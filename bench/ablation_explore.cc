@@ -1,0 +1,65 @@
+// Design-choice ablation (DESIGN.md Section 4): the paper's UCB1-style
+// dynamic action selection (Eq. 6) against epsilon-greedy and pure greedy
+// exploration, at equal budget.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/crowdrl.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using crowdrl::bench::BenchConfig;
+  using crowdrl::bench::Workload;
+  using crowdrl::rl::ExplorationMode;
+
+  BenchConfig config = crowdrl::bench::ParseArgs(argc, argv);
+  crowdrl::bench::PrintBanner(
+      "Ablation: exploration strategy (accuracy / F1)", config);
+
+  struct Variant {
+    const char* label;
+    ExplorationMode mode;
+    bool double_dqn;
+  };
+  const std::vector<Variant> modes = {
+      {"UCB (Eq. 6)", ExplorationMode::kUcb, false},
+      {"UCB + Double DQN", ExplorationMode::kUcb, true},
+      {"epsilon-greedy", ExplorationMode::kEpsilonGreedy, false},
+      {"greedy", ExplorationMode::kGreedy, false},
+  };
+  const std::vector<std::string> datasets = {"S12CP", "Fashion"};
+  std::vector<double> pretrained = crowdrl::bench::PretrainCrowdRl(config);
+
+  std::vector<std::string> header = {"exploration"};
+  for (const std::string& d : datasets) {
+    header.push_back(d + " acc");
+    header.push_back(d + " F1");
+  }
+  crowdrl::Table table(header);
+
+  std::vector<Workload> workloads;
+  for (const std::string& name : datasets) {
+    workloads.push_back(crowdrl::bench::MakeWorkload(name, config));
+  }
+
+  for (const auto& [label, mode, double_dqn] : modes) {
+    std::vector<double> cells;
+    for (const Workload& workload : workloads) {
+      crowdrl::core::CrowdRlConfig crowdrl_config;
+      crowdrl_config.agent.exploration = mode;
+      crowdrl_config.agent.q.double_dqn = double_dqn;
+      crowdrl_config.pretrained_q_params = pretrained;
+      crowdrl::core::CrowdRlFramework framework(std::move(crowdrl_config));
+      auto outcome = crowdrl::bench::RunCell(&framework, workload, config);
+      cells.push_back(outcome.mean.accuracy);
+      cells.push_back(outcome.mean.f1);
+    }
+    table.AddRow(label, cells);
+    std::fflush(stdout);
+  }
+  table.Print(std::cout);
+  return 0;
+}

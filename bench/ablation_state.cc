@@ -1,0 +1,66 @@
+// Design-choice ablation (DESIGN.md Section 4): which groups of state
+// features the Q-network actually needs. Each row masks one group of the
+// per-action feature vector to zero and reruns CrowdRL at equal budget.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/crowdrl.h"
+#include "rl/state.h"
+#include "util/table.h"
+
+namespace {
+
+// Feature layout (rl/state.cc): 0 bias, 1-3 labelling history,
+// 4-5 classifier uncertainty, 6-9 annotator quality/cost, 10-11 global.
+std::vector<bool> MaskOut(std::initializer_list<int> dropped) {
+  std::vector<bool> mask(crowdrl::rl::StateFeaturizer::kFeatureDim, true);
+  for (int f : dropped) mask[static_cast<size_t>(f)] = false;
+  return mask;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using crowdrl::bench::BenchConfig;
+  using crowdrl::bench::Workload;
+
+  BenchConfig config = crowdrl::bench::ParseArgs(argc, argv);
+  crowdrl::bench::PrintBanner("Ablation: state feature groups (accuracy)",
+                              config);
+
+  const std::vector<std::pair<const char*, std::vector<bool>>> variants = {
+      {"all features", {}},
+      {"- labelling history (1-3)", MaskOut({1, 2, 3})},
+      {"- classifier uncertainty (4-5)", MaskOut({4, 5})},
+      {"- annotator quality/cost (6-9)", MaskOut({6, 7, 8, 9})},
+      {"- global progress (10-11)", MaskOut({10, 11})},
+  };
+  const std::vector<std::string> datasets = {"S12CP", "S3CP"};
+
+  std::vector<std::string> header = {"state features"};
+  header.insert(header.end(), datasets.begin(), datasets.end());
+  crowdrl::Table table(header);
+
+  std::vector<Workload> workloads;
+  for (const std::string& name : datasets) {
+    workloads.push_back(crowdrl::bench::MakeWorkload(name, config));
+  }
+
+  for (const auto& [label, mask] : variants) {
+    std::vector<double> cells;
+    for (const Workload& workload : workloads) {
+      crowdrl::core::CrowdRlConfig crowdrl_config;
+      crowdrl_config.agent.feature_mask = mask;
+      crowdrl::core::CrowdRlFramework framework(std::move(crowdrl_config));
+      auto outcome = crowdrl::bench::RunCell(&framework, workload, config);
+      cells.push_back(outcome.mean.accuracy);
+    }
+    table.AddRow(label, cells);
+    std::fflush(stdout);
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,83 @@
+#ifndef CROWDRL_BENCH_BENCH_COMMON_H_
+#define CROWDRL_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+#include "crowd/annotator.h"
+#include "data/dataset.h"
+#include "eval/experiment.h"
+
+namespace crowdrl::bench {
+
+/// Command-line knobs shared by all figure benches.
+///
+/// Defaults are scaled to keep each bench interactive; `--full` restores
+/// the paper's dataset sizes, prosodic dimensionality and budgets.
+struct BenchConfig {
+  /// Fraction of each paper dataset (objects and budget scale together).
+  double scale = 0.25;
+  /// Seeds per cell (metrics are averaged).
+  int seeds = 1;
+  bool full = false;
+  uint64_t base_seed = 100;
+};
+
+/// Parses --scale=F --seeds=N --full --seed=S; unknown flags abort with
+/// a usage message.
+BenchConfig ParseArgs(int argc, char** argv);
+
+/// One evaluation workload: dataset + pool + budget.
+struct Workload {
+  data::Dataset dataset;
+  std::vector<crowd::Annotator> pool;
+  double budget = 0.0;
+};
+
+/// Builds a dataset variant by paper name: "S12C", "S12P", "S12CP",
+/// "S3C", "S3P", "S3CP", "Fashion".
+data::Dataset MakeDatasetVariant(const std::string& name,
+                                 const BenchConfig& config);
+
+/// Default pool for a dataset family (Section VI-B1: |W| = 5 for the
+/// speech datasets, 3 for Fashion; worker cost 1, expert cost 10).
+std::vector<crowd::Annotator> MakePoolFor(const std::string& dataset_name,
+                                          int num_classes, uint64_t seed);
+
+/// Pool of an explicit size (Fig. 6's |W| sweep).
+std::vector<crowd::Annotator> MakePoolOfSize(int total, int num_classes,
+                                             uint64_t seed);
+
+/// Paper budget for a dataset family (10,000 speech / 160,000 Fashion),
+/// scaled with the config.
+double BudgetFor(const std::string& dataset_name, const BenchConfig& config);
+
+/// Complete workload for a named variant under the shared defaults.
+Workload MakeWorkload(const std::string& name, const BenchConfig& config);
+
+/// Offline Q-network pre-training (the paper's "cross training
+/// methodology": the DQN is trained on workloads other than the one under
+/// evaluation). Runs CrowdRL over two held-out synthetic workloads and
+/// returns the resulting parameters. Cached per (config) call site by the
+/// caller if reuse is wanted — the call itself takes a few seconds.
+std::vector<double> PretrainCrowdRl(const BenchConfig& config);
+
+/// The six frameworks of Fig. 4-7, in the paper's order:
+/// DLTA, OBA, IDLE, DALC, Hybrid, CrowdRL. `pretrained_q` (may be empty)
+/// warm-starts CrowdRL's Q-network.
+std::vector<std::unique_ptr<core::LabellingFramework>> MakeAllFrameworks(
+    const std::vector<double>& pretrained_q = {});
+
+/// Runs one cell and returns the outcome; aborts the bench on error.
+eval::ExperimentOutcome RunCell(core::LabellingFramework* framework,
+                                const Workload& workload,
+                                const BenchConfig& config);
+
+/// Prints the standard bench banner (figure id, scale, seeds).
+void PrintBanner(const std::string& figure, const BenchConfig& config);
+
+}  // namespace crowdrl::bench
+
+#endif  // CROWDRL_BENCH_BENCH_COMMON_H_

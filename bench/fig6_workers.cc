@@ -1,0 +1,54 @@
+// Figure 6: precision as the annotator pool size |W| varies over
+// {3, 5, 7} on the three datasets (CP features).
+//
+// Paper shape: CrowdRL on top at every pool size and nearly flat (it is
+// already close to its ceiling); baselines gain more from extra
+// annotators; Fashion is the least sensitive dataset.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using crowdrl::bench::BenchConfig;
+  using crowdrl::bench::Workload;
+
+  BenchConfig config = crowdrl::bench::ParseArgs(argc, argv);
+  crowdrl::bench::PrintBanner("Figure 6: varying |W| (precision)", config);
+
+  const std::vector<int> pool_sizes = {3, 5, 7};
+  const std::vector<std::string> datasets = {"S12CP", "S3CP", "Fashion"};
+  std::vector<double> pretrained = crowdrl::bench::PretrainCrowdRl(config);
+
+  for (const std::string& name : datasets) {
+    Workload base = crowdrl::bench::MakeWorkload(name, config);
+    std::vector<std::string> header = {"method"};
+    for (int w : pool_sizes) header.push_back("|W|=" + std::to_string(w));
+    crowdrl::Table table(header);
+
+    auto frameworks = crowdrl::bench::MakeAllFrameworks(pretrained);
+    for (auto& framework : frameworks) {
+      std::vector<double> precisions;
+      for (int w : pool_sizes) {
+        Workload workload;
+        workload.dataset = base.dataset;
+        workload.pool = crowdrl::bench::MakePoolOfSize(
+            w, base.dataset.num_classes, config.base_seed + 7);
+        workload.budget = base.budget;
+        auto outcome =
+            crowdrl::bench::RunCell(framework.get(), workload, config);
+        precisions.push_back(outcome.mean.precision);
+      }
+      table.AddRow(framework->name(), precisions);
+    }
+    std::printf("-- %s --\n", name.c_str());
+    table.Print(std::cout);
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 7: precision as the initial sampling rate alpha varies over
+// {0.01, 0.05, 0.1} on the three datasets (CP features).
+//
+// Paper shape: CrowdRL's margin is largest at small alpha (it can
+// bootstrap from few labelled objects); once alpha is big enough all
+// human-in-the-loop methods flatten out.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/dalc.h"
+#include "baselines/dlta.h"
+#include "baselines/hybrid.h"
+#include "baselines/idle.h"
+#include "baselines/oba.h"
+#include "bench/bench_common.h"
+#include "core/crowdrl.h"
+#include "util/table.h"
+
+namespace {
+
+// Rebuilds the framework list with every alpha-aware framework set to the
+// given initial sampling rate (IDLE has no bootstrap phase by design).
+std::vector<std::unique_ptr<crowdrl::core::LabellingFramework>>
+FrameworksWithAlpha(double alpha, const std::vector<double>& pretrained) {
+  namespace baselines = crowdrl::baselines;
+  std::vector<std::unique_ptr<crowdrl::core::LabellingFramework>> out;
+  baselines::DltaOptions dlta;
+  dlta.alpha = alpha;
+  out.push_back(std::make_unique<baselines::Dlta>(dlta));
+  baselines::ObaOptions oba;
+  oba.alpha = alpha;
+  out.push_back(std::make_unique<baselines::Oba>(oba));
+  out.push_back(std::make_unique<baselines::Idle>());
+  baselines::DalcOptions dalc;
+  dalc.alpha = alpha;
+  out.push_back(std::make_unique<baselines::Dalc>(std::move(dalc)));
+  baselines::HybridOptions hybrid;
+  hybrid.alpha = alpha;
+  out.push_back(std::make_unique<baselines::Hybrid>(std::move(hybrid)));
+  crowdrl::core::CrowdRlConfig config;
+  config.alpha = alpha;
+  config.pretrained_q_params = pretrained;
+  out.push_back(
+      std::make_unique<crowdrl::core::CrowdRlFramework>(std::move(config)));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using crowdrl::bench::BenchConfig;
+  using crowdrl::bench::Workload;
+
+  BenchConfig config = crowdrl::bench::ParseArgs(argc, argv);
+  crowdrl::bench::PrintBanner("Figure 7: varying alpha (precision)",
+                              config);
+
+  const std::vector<double> alphas = {0.01, 0.05, 0.1};
+  const std::vector<std::string> datasets = {"S12CP", "S3CP", "Fashion"};
+  std::vector<double> pretrained = crowdrl::bench::PretrainCrowdRl(config);
+
+  for (const std::string& name : datasets) {
+    Workload workload = crowdrl::bench::MakeWorkload(name, config);
+    std::vector<std::string> header = {"method"};
+    for (double a : alphas) {
+      header.push_back("a=" + crowdrl::FormatDouble(a, 2));
+    }
+    crowdrl::Table table(header);
+
+    // One row per framework; frameworks are rebuilt per alpha.
+    std::vector<std::vector<double>> rows(6);
+    std::vector<std::string> names;
+    for (size_t ai = 0; ai < alphas.size(); ++ai) {
+      auto frameworks = FrameworksWithAlpha(alphas[ai], pretrained);
+      for (size_t fi = 0; fi < frameworks.size(); ++fi) {
+        if (ai == 0) names.push_back(frameworks[fi]->name());
+        auto outcome = crowdrl::bench::RunCell(frameworks[fi].get(),
+                                               workload, config);
+        rows[fi].push_back(outcome.mean.precision);
+      }
+    }
+    for (size_t fi = 0; fi < rows.size(); ++fi) {
+      table.AddRow(names[fi], rows[fi]);
+    }
+    std::printf("-- %s --\n", name.c_str());
+    table.Print(std::cout);
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}

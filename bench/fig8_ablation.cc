@@ -1,0 +1,66 @@
+// Figure 8: ablation — accuracy of M1 (random task selection), M2 (random
+// task assignment), M3 (PM inference instead of the joint model) against
+// full CrowdRL on the three datasets.
+//
+// Paper shape: every ablation loses accuracy; M3 hurts most on Speech12,
+// while on Speech3 and Fashion M1/M2 sit above M3 (unified TS+TA matters
+// most there).
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/ablations.h"
+#include "bench/bench_common.h"
+#include "core/crowdrl.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using crowdrl::bench::BenchConfig;
+  using crowdrl::bench::Workload;
+
+  BenchConfig config = crowdrl::bench::ParseArgs(argc, argv);
+  crowdrl::bench::PrintBanner("Figure 8: ablations (accuracy)", config);
+
+  const std::vector<std::string> datasets = {"S12CP", "S3CP", "Fashion"};
+  std::vector<double> pretrained = crowdrl::bench::PretrainCrowdRl(config);
+
+  std::vector<std::string> header = {"method"};
+  header.insert(header.end(), datasets.begin(), datasets.end());
+  crowdrl::Table table(header);
+
+  crowdrl::core::CrowdRlConfig base;
+  base.pretrained_q_params = pretrained;
+
+  std::vector<std::unique_ptr<crowdrl::core::LabellingFramework>> variants;
+  variants.push_back(crowdrl::baselines::MakeM1(base));
+  variants.push_back(crowdrl::baselines::MakeM2(base));
+  variants.push_back(crowdrl::baselines::MakeM3(base));
+  variants.push_back(
+      std::make_unique<crowdrl::core::CrowdRlFramework>(base));
+
+  std::vector<Workload> workloads;
+  for (const std::string& name : datasets) {
+    workloads.push_back(crowdrl::bench::MakeWorkload(name, config));
+  }
+
+  for (auto& variant : variants) {
+    std::vector<double> accuracies;
+    for (const Workload& workload : workloads) {
+      auto outcome =
+          crowdrl::bench::RunCell(variant.get(), workload, config);
+      accuracies.push_back(outcome.mean.accuracy);
+    }
+    const char* label = variant->name();
+    // Paper labels: M1 / M2 / M3 / CrowdRL.
+    std::string row_label = label;
+    if (row_label == "CrowdRL-M1") row_label = "M1";
+    if (row_label == "CrowdRL-M2") row_label = "M2";
+    if (row_label == "CrowdRL-M3") row_label = "M3";
+    table.AddRow(row_label, accuracies);
+    std::fflush(stdout);
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,218 @@
+// Component microbenchmarks (google-benchmark): the per-iteration cost of
+// every hot path in the labelling loop — truth inference, action scoring,
+// enrichment, replay training, classifier fits.
+
+#include <benchmark/benchmark.h>
+
+#include "classifier/knn_classifier.h"
+#include "classifier/mlp_classifier.h"
+#include "core/enrichment.h"
+#include "inference/dawid_skene.h"
+#include "inference/joint_inference.h"
+#include "inference/majority_vote.h"
+#include "inference/pm.h"
+#include "rl/dqn_agent.h"
+#include "tests/testing/sim_helpers.h"
+
+namespace crowdrl {
+namespace {
+
+testing::SimWorld& SharedWorld(size_t objects) {
+  static auto* worlds =
+      new std::map<size_t, std::unique_ptr<testing::SimWorld>>();
+  auto it = worlds->find(objects);
+  if (it == worlds->end()) {
+    it = worlds
+             ->emplace(objects, std::make_unique<testing::SimWorld>(
+                                    testing::MakeSimWorld(
+                                        objects, 3, 2, 3, 1234)))
+             .first;
+  }
+  return *it->second;
+}
+
+inference::InferenceInput MakeInput(testing::SimWorld& world) {
+  inference::InferenceInput input;
+  input.answers = world.answers.get();
+  input.num_classes = 2;
+  input.objects = world.objects;
+  return input;
+}
+
+void BM_MajorityVote(benchmark::State& state) {
+  testing::SimWorld& world =
+      SharedWorld(static_cast<size_t>(state.range(0)));
+  inference::MajorityVote mv;
+  for (auto _ : state) {
+    inference::InferenceResult result;
+    benchmark::DoNotOptimize(mv.Infer(MakeInput(world), &result));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MajorityVote)->Arg(256)->Arg(1024);
+
+void BM_DawidSkeneEm(benchmark::State& state) {
+  testing::SimWorld& world =
+      SharedWorld(static_cast<size_t>(state.range(0)));
+  inference::DawidSkene em;
+  for (auto _ : state) {
+    inference::InferenceResult result;
+    benchmark::DoNotOptimize(em.Infer(MakeInput(world), &result));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DawidSkeneEm)->Arg(256)->Arg(1024);
+
+void BM_PmInference(benchmark::State& state) {
+  testing::SimWorld& world =
+      SharedWorld(static_cast<size_t>(state.range(0)));
+  inference::PmInference pm;
+  for (auto _ : state) {
+    inference::InferenceResult result;
+    benchmark::DoNotOptimize(pm.Infer(MakeInput(world), &result));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PmInference)->Arg(256)->Arg(1024);
+
+void BM_JointInference(benchmark::State& state) {
+  testing::SimWorld& world =
+      SharedWorld(static_cast<size_t>(state.range(0)));
+  std::vector<crowd::AnnotatorType> types;
+  for (const auto& a : world.pool) types.push_back(a.type());
+  inference::JointInferenceOptions options;
+  options.em.max_iterations = 8;
+  for (auto _ : state) {
+    classifier::MlpClassifierOptions cls;
+    cls.hidden_sizes = {16};
+    cls.epochs = 6;
+    classifier::MlpClassifier phi(world.dataset.feature_dim(), 2, cls);
+    inference::InferenceInput input = MakeInput(world);
+    input.features = &world.dataset.features;
+    input.classifier = &phi;
+    input.annotator_types = &types;
+    inference::JointInference joint(options);
+    inference::InferenceResult result;
+    benchmark::DoNotOptimize(joint.Infer(input, &result));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JointInference)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_DqnActionScoring(benchmark::State& state) {
+  testing::SimWorld& world =
+      SharedWorld(static_cast<size_t>(state.range(0)));
+  rl::DqnAgent agent((rl::DqnAgentOptions()));
+  agent.BeginEpisode(world.dataset.num_objects(), world.pool.size());
+  std::vector<double> costs, qualities;
+  std::vector<bool> is_expert, labelled, affordable;
+  for (const auto& a : world.pool) {
+    costs.push_back(a.cost());
+    qualities.push_back(a.TrueQuality());
+    is_expert.push_back(a.is_expert());
+    affordable.push_back(true);
+  }
+  // Half-fresh log so there are valid pairs to score.
+  crowd::AnswerLog empty_log(world.dataset.num_objects(),
+                             world.pool.size());
+  labelled.assign(world.dataset.num_objects(), false);
+  rl::StateView view;
+  view.answers = &empty_log;
+  view.num_classes = 2;
+  view.annotator_costs = &costs;
+  view.annotator_qualities = &qualities;
+  view.annotator_is_expert = &is_expert;
+  view.labelled = &labelled;
+  view.max_cost = 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.Score(view, affordable));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<int64_t>(world.pool.size()));
+}
+BENCHMARK(BM_DqnActionScoring)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EnrichmentPass(benchmark::State& state) {
+  testing::SimWorld& world =
+      SharedWorld(static_cast<size_t>(state.range(0)));
+  classifier::MlpClassifierOptions cls;
+  cls.hidden_sizes = {16};
+  cls.epochs = 6;
+  classifier::MlpClassifier phi(world.dataset.feature_dim(), 2, cls);
+  Matrix one_hot(world.dataset.num_objects(), 2);
+  for (size_t i = 0; i < world.dataset.num_objects(); ++i) {
+    one_hot.At(i, static_cast<size_t>(world.dataset.truths[i])) = 1.0;
+  }
+  CROWDRL_CHECK(phi.Train(world.dataset.features, one_hot, {}).ok());
+  core::EnrichmentOptions options;
+  options.min_labelled = 0;
+  options.min_labelled_fraction = 0.0;
+  for (auto _ : state) {
+    core::LabelState labels(world.dataset.num_objects(), 2);
+    labels.SetLabel(0, 0, core::LabelSource::kInference);
+    benchmark::DoNotOptimize(EnrichLabelledSet(phi, world.dataset.features,
+                                               options, &labels));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EnrichmentPass)->Arg(256)->Arg(1024);
+
+void BM_QNetworkTrainBatch(benchmark::State& state) {
+  rl::QNetwork q((rl::QNetworkOptions()));
+  Rng rng(5);
+  std::vector<rl::Transition> transitions(32);
+  for (auto& t : transitions) {
+    t.features.resize(rl::StateFeaturizer::kFeatureDim);
+    for (double& f : t.features) f = rng.Uniform();
+    t.reward = rng.Uniform();
+    t.next_max_q = rng.Uniform();
+  }
+  std::vector<const rl::Transition*> batch;
+  for (const auto& t : transitions) batch.push_back(&t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.TrainBatch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_QNetworkTrainBatch);
+
+void BM_MlpClassifierTrain(benchmark::State& state) {
+  testing::SimWorld& world =
+      SharedWorld(static_cast<size_t>(state.range(0)));
+  Matrix one_hot(world.dataset.num_objects(), 2);
+  for (size_t i = 0; i < world.dataset.num_objects(); ++i) {
+    one_hot.At(i, static_cast<size_t>(world.dataset.truths[i])) = 1.0;
+  }
+  classifier::MlpClassifierOptions cls;
+  cls.hidden_sizes = {16};
+  cls.epochs = 6;
+  for (auto _ : state) {
+    classifier::MlpClassifier phi(world.dataset.feature_dim(), 2, cls);
+    benchmark::DoNotOptimize(
+        phi.Train(world.dataset.features, one_hot, {}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MlpClassifierTrain)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KnnPredict(benchmark::State& state) {
+  testing::SimWorld& world = SharedWorld(1024);
+  Matrix one_hot(world.dataset.num_objects(), 2);
+  for (size_t i = 0; i < world.dataset.num_objects(); ++i) {
+    one_hot.At(i, static_cast<size_t>(world.dataset.truths[i])) = 1.0;
+  }
+  classifier::KnnClassifier knn(world.dataset.feature_dim(), 2);
+  CROWDRL_CHECK(knn.Train(world.dataset.features, one_hot, {}).ok());
+  std::vector<double> probe = world.dataset.features.RowVector(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn.PredictProbs(probe));
+  }
+}
+BENCHMARK(BM_KnnPredict);
+
+}  // namespace
+}  // namespace crowdrl
+
+BENCHMARK_MAIN();

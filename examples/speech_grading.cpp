@@ -1,0 +1,70 @@
+// The paper's motivating scenario (Section I / Fig. 1): grading primary
+// school pupils' oral reports as excellent ('positive') or awful
+// ('negative') with a mixed pool of TAL crowd workers and professional
+// teachers, at several budgets. Shows the cost/quality trade-off curve a
+// deployment would use to pick its spend.
+//
+//   ./build/examples/speech_grading [scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/crowdrl.h"
+#include "crowd/annotator.h"
+#include "data/workloads.h"
+#include "eval/metrics.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+
+  // The Speech12 workload: 2,344 oral reports at full scale, contextual +
+  // prosodic features (S12CP).
+  crowdrl::data::SpeechOptions data_options;
+  data_options.num_objects =
+      static_cast<size_t>(2344 * scale);
+  crowdrl::data::Dataset dataset =
+      crowdrl::data::MakeSpeech12(data_options);
+
+  // 3 crowd annotators + 2 professional teachers (Section VI defaults:
+  // cost 1 vs 10 units per judgement).
+  crowdrl::crowd::PoolOptions pool_options;
+  pool_options.num_workers = 3;
+  pool_options.num_experts = 2;
+  pool_options.seed = 11;
+  std::vector<crowdrl::crowd::Annotator> pool =
+      crowdrl::crowd::MakePool(pool_options);
+
+  std::printf("Grading %zu oral reports (%s) with 3 workers + 2 teachers\n",
+              dataset.num_objects(), dataset.name.c_str());
+  std::printf("%10s %10s %10s %10s %12s\n", "budget", "accuracy", "F1",
+              "answers", "cost/report");
+
+  // Sweep the budget from shoestring to comfortable.
+  for (double per_object : {1.0, 2.0, 4.0, 8.0}) {
+    double budget = per_object * static_cast<double>(dataset.num_objects());
+    crowdrl::core::CrowdRlFramework framework;
+    crowdrl::core::LabellingResult result;
+    crowdrl::Status status =
+        framework.Run(dataset, pool, budget, /*seed=*/5, &result);
+    if (!status.ok()) {
+      std::fprintf(stderr, "run failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    crowdrl::eval::Metrics m = crowdrl::eval::ComputeMetrics(
+        dataset.truths, result.labels, dataset.num_classes);
+    std::printf("%10.0f %10.4f %10.4f %10zu %12.2f\n", budget, m.accuracy,
+                m.f1, result.human_answers,
+                result.budget_spent /
+                    static_cast<double>(dataset.num_objects()));
+  }
+  std::printf("\nMore budget buys more human answers on the reports the\n"
+              "classifier is unsure about; past ~4 units/report the\n"
+              "classifier handles the rest and quality saturates.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,20 @@
+#include "baselines/ablations.h"
+
+namespace crowdrl::baselines {
+
+std::unique_ptr<core::CrowdRlFramework> MakeM1(core::CrowdRlConfig config) {
+  config.random_task_selection = true;
+  return std::make_unique<core::CrowdRlFramework>(std::move(config));
+}
+
+std::unique_ptr<core::CrowdRlFramework> MakeM2(core::CrowdRlConfig config) {
+  config.random_task_assignment = true;
+  return std::make_unique<core::CrowdRlFramework>(std::move(config));
+}
+
+std::unique_ptr<core::CrowdRlFramework> MakeM3(core::CrowdRlConfig config) {
+  config.use_pm_inference = true;
+  return std::make_unique<core::CrowdRlFramework>(std::move(config));
+}
+
+}  // namespace crowdrl::baselines

@@ -1,0 +1,22 @@
+#ifndef CROWDRL_BASELINES_ABLATIONS_H_
+#define CROWDRL_BASELINES_ABLATIONS_H_
+
+#include <memory>
+
+#include "core/crowdrl.h"
+
+namespace crowdrl::baselines {
+
+/// Fig. 8 ablation variants, built from CrowdRL's config switches.
+/// M1: random task selection; M2: random task assignment; M3: PM
+/// inference instead of the joint model.
+std::unique_ptr<core::CrowdRlFramework> MakeM1(
+    core::CrowdRlConfig config = core::CrowdRlConfig());
+std::unique_ptr<core::CrowdRlFramework> MakeM2(
+    core::CrowdRlConfig config = core::CrowdRlConfig());
+std::unique_ptr<core::CrowdRlFramework> MakeM3(
+    core::CrowdRlConfig config = core::CrowdRlConfig());
+
+}  // namespace crowdrl::baselines
+
+#endif  // CROWDRL_BASELINES_ABLATIONS_H_

@@ -1,0 +1,114 @@
+#include "baselines/common.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "math/vector_ops.h"
+#include "util/logging.h"
+
+namespace crowdrl::baselines {
+
+void FinalizeLabels(const classifier::Classifier* phi,
+                    const data::Dataset& dataset, core::LabelState* state,
+                    Rng* rng) {
+  CROWDRL_CHECK(state != nullptr);
+  if (state->AllLabelled()) return;
+
+  bool use_classifier = phi != nullptr && phi->is_trained();
+  std::vector<double> class_weights(
+      static_cast<size_t>(state->num_classes()), 1.0);
+  Rng fallback_rng(0x7A11BAC);
+  if (!use_classifier) {
+    if (rng == nullptr) rng = &fallback_rng;
+    for (size_t i = 0; i < state->num_objects(); ++i) {
+      if (state->IsLabelled(static_cast<int>(i))) {
+        class_weights[static_cast<size_t>(
+            state->label(static_cast<int>(i)))] += 1.0;
+      }
+    }
+  }
+
+  for (int object : state->UnlabelledObjects()) {
+    int label;
+    if (use_classifier) {
+      label = static_cast<int>(Argmax(phi->PredictProbs(
+          dataset.features.RowVector(static_cast<size_t>(object)))));
+    } else {
+      label = rng->Categorical(class_weights);
+    }
+    state->SetLabel(object, label, core::LabelSource::kFallback);
+  }
+}
+
+namespace {
+
+std::vector<int> ValidAnnotators(const core::Environment& env, int object) {
+  std::vector<int> valid;
+  for (size_t j = 0; j < env.num_annotators(); ++j) {
+    int annotator = static_cast<int>(j);
+    if (!env.CanAfford(annotator)) continue;
+    if (env.answers().HasAnswer(object, annotator)) continue;
+    valid.push_back(annotator);
+  }
+  return valid;
+}
+
+}  // namespace
+
+std::vector<int> RandomValidAnnotators(const core::Environment& env,
+                                       int object, int k, Rng* rng) {
+  CROWDRL_CHECK(rng != nullptr && k > 0);
+  std::vector<int> valid = ValidAnnotators(env, object);
+  rng->Shuffle(&valid);
+  if (valid.size() > static_cast<size_t>(k)) {
+    valid.resize(static_cast<size_t>(k));
+  }
+  return valid;
+}
+
+std::vector<int> BestValidAnnotators(const core::Environment& env,
+                                     int object, int k,
+                                     const std::vector<double>& qualities,
+                                     bool per_cost) {
+  CROWDRL_CHECK(k > 0);
+  CROWDRL_CHECK(qualities.size() == env.num_annotators());
+  std::vector<int> valid = ValidAnnotators(env, object);
+  double max_cost = env.max_cost() > 0.0 ? env.max_cost() : 1.0;
+  std::sort(valid.begin(), valid.end(), [&](int a, int b) {
+    double qa = qualities[static_cast<size_t>(a)];
+    double qb = qualities[static_cast<size_t>(b)];
+    if (per_cost) {
+      qa /= env.costs()[static_cast<size_t>(a)] / max_cost + 0.1;
+      qb /= env.costs()[static_cast<size_t>(b)] / max_cost + 0.1;
+    }
+    if (qa != qb) return qa > qb;
+    return a < b;
+  });
+  if (valid.size() > static_cast<size_t>(k)) {
+    valid.resize(static_cast<size_t>(k));
+  }
+  return valid;
+}
+
+std::vector<int> TopScoredObjects(const std::vector<int>& objects,
+                                  const std::vector<double>& scores,
+                                  int batch) {
+  CROWDRL_CHECK(objects.size() == scores.size());
+  CROWDRL_CHECK(batch > 0);
+  std::vector<size_t> order(objects.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return objects[a] < objects[b];
+  });
+  std::vector<int> out;
+  out.reserve(std::min<size_t>(order.size(), static_cast<size_t>(batch)));
+  for (size_t i = 0; i < order.size() &&
+                     out.size() < static_cast<size_t>(batch);
+       ++i) {
+    out.push_back(objects[order[i]]);
+  }
+  return out;
+}
+
+}  // namespace crowdrl::baselines

@@ -1,0 +1,44 @@
+#ifndef CROWDRL_BASELINES_COMMON_H_
+#define CROWDRL_BASELINES_COMMON_H_
+
+#include <vector>
+
+#include "classifier/classifier.h"
+#include "core/environment.h"
+#include "core/framework.h"
+#include "data/dataset.h"
+#include "util/random.h"
+
+namespace crowdrl::baselines {
+
+/// Labels every still-unlabelled object at the end of a run: with the
+/// trained classifier's argmax when one exists; otherwise by sampling from
+/// the empirical distribution of already-decided labels (`rng` required in
+/// that case; a flat majority-class fill would artificially inflate
+/// precision for partial-coverage frameworks). Every framework thus
+/// returns a complete labelling, as the problem statement requires.
+void FinalizeLabels(const classifier::Classifier* phi,
+                    const data::Dataset& dataset, core::LabelState* state,
+                    Rng* rng = nullptr);
+
+/// Up to `k` distinct annotators that have not answered `object` and are
+/// currently affordable, drawn uniformly at random.
+std::vector<int> RandomValidAnnotators(const core::Environment& env,
+                                       int object, int k, Rng* rng);
+
+/// Up to `k` distinct valid annotators greedily ranked by estimated
+/// quality (`per_cost` divides by normalized cost, giving a
+/// cost-effectiveness ranking instead).
+std::vector<int> BestValidAnnotators(const core::Environment& env,
+                                     int object, int k,
+                                     const std::vector<double>& qualities,
+                                     bool per_cost);
+
+/// Objects sorted descending by score, truncated to `batch`.
+std::vector<int> TopScoredObjects(const std::vector<int>& objects,
+                                  const std::vector<double>& scores,
+                                  int batch);
+
+}  // namespace crowdrl::baselines
+
+#endif  // CROWDRL_BASELINES_COMMON_H_

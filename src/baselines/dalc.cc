@@ -1,0 +1,119 @@
+#include "baselines/dalc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/common.h"
+#include "core/environment.h"
+#include "math/vector_ops.h"
+#include "util/logging.h"
+
+namespace crowdrl::baselines {
+
+Dalc::Dalc(DalcOptions options) : options_(std::move(options)) {
+  CROWDRL_CHECK(options_.alpha > 0.0 && options_.alpha <= 1.0);
+  CROWDRL_CHECK(options_.k > 0 && options_.batch_objects > 0);
+}
+
+Status Dalc::Run(const data::Dataset& dataset,
+                 const std::vector<crowd::Annotator>& pool, double budget,
+                 uint64_t seed, core::LabellingResult* result) {
+  CROWDRL_CHECK(result != nullptr);
+  if (pool.empty()) return Status::InvalidArgument("empty annotator pool");
+  if (dataset.num_objects() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  size_t n = dataset.num_objects();
+  int num_classes = dataset.num_classes;
+
+  Rng root(seed);
+  core::Environment env(&dataset, &pool, budget, root.Fork(1).seed());
+  core::LabelState state(n, num_classes);
+  Rng local = root.Fork(2);
+
+  classifier::MlpClassifierOptions cls_options = options_.classifier;
+  cls_options.seed = root.Fork(3).seed();
+  classifier::MlpClassifier phi(dataset.feature_dim(), num_classes,
+                                cls_options);
+  inference::JointInference joint(options_.joint);
+
+  std::vector<crowd::AnnotatorType> types;
+  for (const crowd::Annotator& a : pool) types.push_back(a.type());
+  std::vector<double> qualities(pool.size(),
+                                1.0 / static_cast<double>(num_classes));
+
+  auto run_inference = [&]() -> Status {
+    std::vector<int> objects = env.AnsweredObjects();
+    if (objects.empty()) return Status::Ok();
+    inference::InferenceInput input;
+    input.answers = &env.answers();
+    input.num_classes = num_classes;
+    input.objects = objects;
+    input.features = &dataset.features;
+    input.classifier = &phi;
+    input.annotator_types = &types;
+    inference::InferenceResult inferred;
+    CROWDRL_RETURN_IF_ERROR(joint.Infer(input, &inferred));
+    for (size_t row = 0; row < objects.size(); ++row) {
+      state.SetLabel(objects[row], inferred.labels[row],
+                     core::LabelSource::kInference);
+    }
+    qualities = inferred.qualities;
+    return Status::Ok();
+  };
+
+  size_t bootstrap_count = std::clamp<size_t>(
+      static_cast<size_t>(
+          std::llround(options_.alpha * static_cast<double>(n))),
+      1, n);
+  for (int object : local.SampleWithoutReplacement(
+           static_cast<int>(n), static_cast<int>(bootstrap_count))) {
+    for (int j : RandomValidAnnotators(env, object, options_.k, &local)) {
+      Status s = env.RequestAnswer(object, j);
+      if (s.IsOutOfBudget()) break;
+      CROWDRL_RETURN_IF_ERROR(s);
+    }
+  }
+  CROWDRL_RETURN_IF_ERROR(run_inference());
+
+  size_t iterations = 0;
+  for (size_t t = 0; t < options_.max_iterations; ++t) {
+    if (state.AllLabelled() || !env.AnyAffordable()) break;
+    ++iterations;
+    // Most informative tasks: highest classifier entropy among unlabelled.
+    std::vector<int> unlabelled = state.UnlabelledObjects();
+    std::vector<double> scores;
+    scores.reserve(unlabelled.size());
+    for (int object : unlabelled) {
+      std::vector<double> probs = phi.PredictProbs(
+          dataset.features.RowVector(static_cast<size_t>(object)));
+      scores.push_back(Entropy(probs));
+    }
+    std::vector<int> batch =
+        TopScoredObjects(unlabelled, scores, options_.batch_objects);
+
+    bool spent_any = false;
+    for (int object : batch) {
+      // Highest expertise, cost-blind (per_cost = false).
+      for (int j : BestValidAnnotators(env, object, options_.k, qualities,
+                                       /*per_cost=*/false)) {
+        Status s = env.RequestAnswer(object, j);
+        if (s.IsOutOfBudget()) break;
+        CROWDRL_RETURN_IF_ERROR(s);
+        spent_any = true;
+      }
+    }
+    if (!spent_any) break;
+    CROWDRL_RETURN_IF_ERROR(run_inference());
+  }
+
+  FinalizeLabels(&phi, dataset, &state);
+  state.ExportTo(result);
+  result->budget_spent = env.budget().spent();
+  result->iterations = iterations;
+  result->human_answers = env.human_answers();
+  result->final_annotator_qualities = qualities;
+  return Status::Ok();
+}
+
+}  // namespace crowdrl::baselines

@@ -1,0 +1,57 @@
+#ifndef CROWDRL_BASELINES_DALC_H_
+#define CROWDRL_BASELINES_DALC_H_
+
+#include "classifier/mlp_classifier.h"
+#include "core/framework.h"
+#include "inference/joint_inference.h"
+
+namespace crowdrl::baselines {
+
+/// DALC knobs.
+struct DalcOptions {
+  double alpha = 0.05;
+  int k = 3;
+  int batch_objects = 8;
+  size_t max_iterations = 2000;
+  inference::JointInferenceOptions joint = [] {
+    inference::JointInferenceOptions j;
+    j.em.max_iterations = 8;
+    j.classifier_retrain_period = 1000;
+    return j;
+  }();
+  classifier::MlpClassifierOptions classifier = [] {
+    classifier::MlpClassifierOptions c;
+    c.hidden_sizes = {16};
+    c.epochs = 6;
+    c.warm_start = true;
+    c.weight_decay = 3e-3;
+    return c;
+  }();
+};
+
+/// \brief DALC baseline [42]: deep active learning from crowds.
+///
+/// A unified Bayesian model infers true labels and classifier parameters
+/// simultaneously (we reuse the joint-inference EM, which is that model);
+/// each iteration it selects the most informative tasks — highest
+/// classifier-posterior entropy — and assigns them to the annotators with
+/// the highest estimated expertise, *ignoring cost* (it happily burns
+/// budget on experts, which is why CrowdRL beats it at equal spend).
+/// No labelled-set enrichment and no exploration.
+class Dalc : public core::LabellingFramework {
+ public:
+  explicit Dalc(DalcOptions options = DalcOptions());
+
+  Status Run(const data::Dataset& dataset,
+             const std::vector<crowd::Annotator>& pool, double budget,
+             uint64_t seed, core::LabellingResult* result) override;
+
+  const char* name() const override { return "DALC"; }
+
+ private:
+  DalcOptions options_;
+};
+
+}  // namespace crowdrl::baselines
+
+#endif  // CROWDRL_BASELINES_DALC_H_

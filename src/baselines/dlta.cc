@@ -1,0 +1,123 @@
+#include "baselines/dlta.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/common.h"
+#include "core/environment.h"
+#include "math/vector_ops.h"
+#include "util/logging.h"
+
+namespace crowdrl::baselines {
+
+Dlta::Dlta(DltaOptions options) : options_(options) {
+  CROWDRL_CHECK(options.alpha > 0.0 && options.alpha <= 1.0);
+  CROWDRL_CHECK(options.k > 0 && options.batch_objects > 0);
+}
+
+Status Dlta::Run(const data::Dataset& dataset,
+                 const std::vector<crowd::Annotator>& pool, double budget,
+                 uint64_t seed, core::LabellingResult* result) {
+  CROWDRL_CHECK(result != nullptr);
+  if (pool.empty()) return Status::InvalidArgument("empty annotator pool");
+  if (dataset.num_objects() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  size_t n = dataset.num_objects();
+  int num_classes = dataset.num_classes;
+
+  Rng root(seed);
+  core::Environment env(&dataset, &pool, budget, root.Fork(1).seed());
+  core::LabelState state(n, num_classes);
+  Rng local = root.Fork(2);
+  inference::DawidSkene em(options_.em);
+  std::vector<double> qualities(pool.size(),
+                                1.0 / static_cast<double>(num_classes));
+
+  // Per-object posterior entropy (max for objects with no answers).
+  double max_entropy = std::log(static_cast<double>(num_classes));
+  std::vector<double> uncertainty(n, max_entropy);
+
+  auto run_inference = [&]() -> Status {
+    std::vector<int> objects = env.AnsweredObjects();
+    if (objects.empty()) return Status::Ok();
+    inference::InferenceInput input;
+    input.answers = &env.answers();
+    input.num_classes = num_classes;
+    input.objects = objects;
+    inference::InferenceResult inferred;
+    CROWDRL_RETURN_IF_ERROR(em.Infer(input, &inferred));
+    for (size_t row = 0; row < objects.size(); ++row) {
+      state.SetLabel(objects[row], inferred.labels[row],
+                     core::LabelSource::kInference);
+      uncertainty[static_cast<size_t>(objects[row])] =
+          Entropy(inferred.posteriors.RowVector(row));
+    }
+    qualities = inferred.qualities;
+    return Status::Ok();
+  };
+
+  // Initial random acquisition of an alpha fraction.
+  size_t bootstrap_count = std::clamp<size_t>(
+      static_cast<size_t>(
+          std::llround(options_.alpha * static_cast<double>(n))),
+      1, n);
+  for (int object : local.SampleWithoutReplacement(
+           static_cast<int>(n), static_cast<int>(bootstrap_count))) {
+    for (int j : RandomValidAnnotators(env, object, options_.k, &local)) {
+      Status s = env.RequestAnswer(object, j);
+      if (s.IsOutOfBudget()) break;
+      CROWDRL_RETURN_IF_ERROR(s);
+    }
+  }
+  CROWDRL_RETURN_IF_ERROR(run_inference());
+
+  size_t iterations = 0;
+  for (size_t t = 0; t < options_.max_iterations; ++t) {
+    if (!env.AnyAffordable()) break;
+    // Acquisition: most-uncertain objects that can still take an answer.
+    std::vector<int> candidates;
+    std::vector<double> scores;
+    for (size_t i = 0; i < n; ++i) {
+      int object = static_cast<int>(i);
+      if (env.answers().AnswerCount(object) >=
+          static_cast<int>(env.num_annotators())) {
+        continue;
+      }
+      // Skip objects whose posterior is already confident.
+      if (env.answers().AnswerCount(object) > 0 &&
+          uncertainty[i] < 0.05 * max_entropy) {
+        continue;
+      }
+      candidates.push_back(object);
+      scores.push_back(uncertainty[i]);
+    }
+    if (candidates.empty()) break;
+    std::vector<int> batch =
+        TopScoredObjects(candidates, scores, options_.batch_objects);
+
+    ++iterations;
+    bool spent_any = false;
+    for (int object : batch) {
+      for (int j : BestValidAnnotators(env, object, options_.k, qualities,
+                                       /*per_cost=*/true)) {
+        Status s = env.RequestAnswer(object, j);
+        if (s.IsOutOfBudget()) break;
+        CROWDRL_RETURN_IF_ERROR(s);
+        spent_any = true;
+      }
+    }
+    if (!spent_any) break;
+    CROWDRL_RETURN_IF_ERROR(run_inference());
+  }
+
+  FinalizeLabels(nullptr, dataset, &state, &local);
+  state.ExportTo(result);
+  result->budget_spent = env.budget().spent();
+  result->iterations = iterations;
+  result->human_answers = env.human_answers();
+  result->final_annotator_qualities = qualities;
+  return Status::Ok();
+}
+
+}  // namespace crowdrl::baselines

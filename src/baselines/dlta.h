@@ -1,0 +1,42 @@
+#ifndef CROWDRL_BASELINES_DLTA_H_
+#define CROWDRL_BASELINES_DLTA_H_
+
+#include "core/framework.h"
+#include "inference/dawid_skene.h"
+
+namespace crowdrl::baselines {
+
+/// DLTA knobs (defaults mirror the shared experiment setting).
+struct DltaOptions {
+  double alpha = 0.05;    ///< Initial random sampling rate.
+  int k = 3;              ///< Annotators per selected object.
+  int batch_objects = 8;  ///< Objects acquired per iteration.
+  size_t max_iterations = 2000;
+  inference::EmOptions em;
+};
+
+/// \brief DLTA baseline [46]: dynamic crowdsourcing classification.
+///
+/// Each iteration runs (1) label inference — Dawid-Skene EM over the
+/// answers collected so far — and (2) label acquisition — it buys answers
+/// for the objects whose current posterior is most uncertain (objects with
+/// no answers count as maximally uncertain), assigning each to the
+/// annotators with the best estimated quality per cost. No classifier and
+/// no learned policy: it is the strongest pure-crowd iterative baseline.
+class Dlta : public core::LabellingFramework {
+ public:
+  explicit Dlta(DltaOptions options = DltaOptions());
+
+  Status Run(const data::Dataset& dataset,
+             const std::vector<crowd::Annotator>& pool, double budget,
+             uint64_t seed, core::LabellingResult* result) override;
+
+  const char* name() const override { return "DLTA"; }
+
+ private:
+  DltaOptions options_;
+};
+
+}  // namespace crowdrl::baselines
+
+#endif  // CROWDRL_BASELINES_DLTA_H_

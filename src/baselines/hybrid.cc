@@ -1,0 +1,252 @@
+#include "baselines/hybrid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/common.h"
+#include "core/environment.h"
+#include "math/vector_ops.h"
+#include "util/logging.h"
+
+namespace crowdrl::baselines {
+
+Hybrid::Hybrid(HybridOptions options) : options_(std::move(options)) {
+  CROWDRL_CHECK(options_.alpha > 0.0 && options_.alpha <= 1.0);
+  CROWDRL_CHECK(options_.k > 0 && options_.batch_objects > 0);
+}
+
+Status Hybrid::Run(const data::Dataset& dataset,
+                   const std::vector<crowd::Annotator>& pool, double budget,
+                   uint64_t seed, core::LabellingResult* result) {
+  CROWDRL_CHECK(result != nullptr);
+  if (pool.empty()) return Status::InvalidArgument("empty annotator pool");
+  if (dataset.num_objects() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  size_t n = dataset.num_objects();
+  size_t num_annotators = pool.size();
+  int num_classes = dataset.num_classes;
+
+  Rng root(seed);
+  core::Environment env(&dataset, &pool, budget, root.Fork(1).seed());
+  core::LabelState state(n, num_classes);
+  Rng local = root.Fork(2);
+
+  classifier::MlpClassifierOptions cls_options = options_.classifier;
+  cls_options.seed = root.Fork(3).seed();
+  classifier::MlpClassifier phi(dataset.feature_dim(), num_classes,
+                                cls_options);
+  inference::PmInference pm(options_.pm);
+
+  rl::DqnAgentOptions agent_options = options_.agent;
+  agent_options.seed = root.Fork(4).seed();
+  agent_options.q.feature_dim = rl::StateFeaturizer::kFeatureDim;
+  rl::DqnAgent agent(agent_options);
+  agent.BeginEpisode(n, num_annotators);
+
+  std::vector<bool> is_expert;
+  for (const crowd::Annotator& a : pool) is_expert.push_back(a.is_expert());
+  std::vector<double> qualities(num_annotators,
+                                1.0 / static_cast<double>(num_classes));
+
+  // For the assignment DQN, an object is "done" once it holds k answers:
+  // the agent only scores annotators for objects that can still take one.
+  std::vector<bool> done(n, false);
+  Matrix class_probs;
+  bool have_probs = false;
+  Matrix latest_posteriors;
+  std::vector<int> latest_objects;
+
+  auto run_inference = [&]() -> Status {
+    std::vector<int> objects = env.AnsweredObjects();
+    if (objects.empty()) return Status::Ok();
+    inference::InferenceInput input;
+    input.answers = &env.answers();
+    input.num_classes = num_classes;
+    input.objects = objects;
+    inference::InferenceResult inferred;
+    CROWDRL_RETURN_IF_ERROR(pm.Infer(input, &inferred));
+    for (size_t row = 0; row < objects.size(); ++row) {
+      state.SetLabel(objects[row], inferred.labels[row],
+                     core::LabelSource::kInference);
+    }
+    qualities = inferred.qualities;
+    latest_posteriors = std::move(inferred.posteriors);
+    latest_objects = std::move(objects);
+    // Train the classifier on PM's hard labels (the AL model).
+    Matrix train_x(latest_objects.size(), dataset.feature_dim());
+    Matrix train_y(latest_objects.size(),
+                   static_cast<size_t>(num_classes));
+    for (size_t row = 0; row < latest_objects.size(); ++row) {
+      train_x.SetRow(row, dataset.features.RowVector(
+                              static_cast<size_t>(latest_objects[row])));
+      train_y.At(row, static_cast<size_t>(state.label(
+                          latest_objects[row]))) = 1.0;
+    }
+    CROWDRL_RETURN_IF_ERROR(phi.Train(train_x, train_y, {}));
+    class_probs = phi.PredictProbsBatch(dataset.features);
+    have_probs = true;
+    return Status::Ok();
+  };
+
+  auto refresh_done = [&]() {
+    for (size_t i = 0; i < n; ++i) {
+      done[i] = env.answers().AnswerCount(static_cast<int>(i)) >=
+                options_.k;
+    }
+  };
+
+  auto make_view = [&]() {
+    rl::StateView view;
+    view.answers = &env.answers();
+    view.num_classes = num_classes;
+    view.annotator_costs = &env.costs();
+    view.annotator_qualities = &qualities;
+    view.annotator_is_expert = &is_expert;
+    view.class_probs = have_probs ? &class_probs : nullptr;
+    view.labelled = &done;
+    view.budget_fraction_remaining =
+        budget > 0.0 ? env.budget().remaining() / budget : 0.0;
+    view.fraction_labelled = state.fraction_labelled();
+    view.max_cost = env.max_cost();
+    return view;
+  };
+
+  // MinExpError-style score: disagreement between the classifier's
+  // prediction and the annotators' votes; pure model uncertainty when an
+  // object has no votes yet.
+  auto selection_score = [&](int object) {
+    std::vector<double> probs =
+        have_probs
+            ? class_probs.RowVector(static_cast<size_t>(object))
+            : std::vector<double>(static_cast<size_t>(num_classes),
+                                  1.0 / static_cast<double>(num_classes));
+    std::vector<int> hist =
+        env.answers().LabelHistogram(object, num_classes);
+    int total = 0;
+    for (int v : hist) total += v;
+    if (total == 0) return 1.0 + Entropy(probs);
+    double l1 = 0.0;
+    for (size_t c = 0; c < probs.size(); ++c) {
+      l1 += std::fabs(probs[c] - static_cast<double>(hist[c]) /
+                                     static_cast<double>(total));
+    }
+    return l1;
+  };
+
+  // Bootstrap.
+  size_t bootstrap_count = std::clamp<size_t>(
+      static_cast<size_t>(
+          std::llround(options_.alpha * static_cast<double>(n))),
+      1, n);
+  for (int object : local.SampleWithoutReplacement(
+           static_cast<int>(n), static_cast<int>(bootstrap_count))) {
+    for (int j : RandomValidAnnotators(env, object, options_.k, &local)) {
+      Status s = env.RequestAnswer(object, j);
+      if (s.IsOutOfBudget()) break;
+      CROWDRL_RETURN_IF_ERROR(s);
+    }
+  }
+  CROWDRL_RETURN_IF_ERROR(run_inference());
+  refresh_done();
+
+  size_t iterations = 0;
+  double pending_spend = 0.0;
+  std::vector<std::pair<int, int>> pending_pairs;  // (object, annotator).
+  bool has_pending = false;
+  for (size_t t = 0; t < options_.max_iterations; ++t) {
+    std::vector<bool> affordable = env.AffordableAnnotators();
+    rl::StateView view = make_view();
+    bool all_done =
+        std::all_of(done.begin(), done.end(), [](bool d) { return d; });
+    bool terminal = all_done || !env.AnyAffordable();
+    if (has_pending) {
+      // Assignment reward (as in [32]): how often the purchased answers
+      // agree with the post-inference truth estimate, minus spend.
+      double agree = 0.0;
+      for (const auto& [object, annotator] : pending_pairs) {
+        if (env.answers().Answer(object, annotator) ==
+            state.label(object)) {
+          agree += 1.0;
+        }
+      }
+      if (!pending_pairs.empty()) {
+        agree /= static_cast<double>(pending_pairs.size());
+      }
+      double r =
+          agree - (budget > 0.0 ? pending_spend / budget : 0.0);
+      agent.Observe(r, view, affordable, terminal);
+      has_pending = false;
+      pending_pairs.clear();
+    }
+    if (terminal) break;
+    ++iterations;
+
+    // Step 1: task selection (bootstrap uncertainty, no agent).
+    std::vector<int> eligible;
+    std::vector<double> scores;
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      eligible.push_back(static_cast<int>(i));
+      scores.push_back(selection_score(static_cast<int>(i)));
+    }
+    if (eligible.empty()) break;
+    std::vector<int> batch =
+        TopScoredObjects(eligible, scores, options_.batch_objects);
+    std::vector<bool> in_batch(n, false);
+    for (int object : batch) in_batch[static_cast<size_t>(object)] = true;
+
+    // Step 2: task assignment by the DQN, restricted to the batch.
+    rl::ScoredCandidates candidates = agent.Score(view, affordable);
+    std::vector<std::vector<size_t>> per_object(n);
+    for (size_t idx = 0; idx < candidates.actions.size(); ++idx) {
+      int object = candidates.actions[idx].object;
+      if (!in_batch[static_cast<size_t>(object)]) continue;
+      per_object[static_cast<size_t>(object)].push_back(idx);
+    }
+    std::vector<size_t> chosen;
+    double spend_before = env.budget().spent();
+    bool stop_executing = false;
+    for (int object : batch) {
+      std::vector<size_t>& indices =
+          per_object[static_cast<size_t>(object)];
+      std::sort(indices.begin(), indices.end(), [&](size_t a, size_t b) {
+        return candidates.scores[a] > candidates.scores[b];
+      });
+      int wanted = options_.k -
+                   env.answers().AnswerCount(object);
+      int taken = 0;
+      for (size_t idx : indices) {
+        if (taken >= wanted) break;
+        int annotator = candidates.actions[idx].annotator;
+        Status s = env.RequestAnswer(object, annotator);
+        if (s.IsOutOfBudget()) {
+          stop_executing = true;
+          break;
+        }
+        CROWDRL_RETURN_IF_ERROR(s);
+        chosen.push_back(idx);
+        pending_pairs.emplace_back(object, annotator);
+        ++taken;
+      }
+      if (stop_executing) break;
+    }
+    if (chosen.empty()) break;
+    agent.Commit(candidates, chosen);
+    pending_spend = env.budget().spent() - spend_before;
+    has_pending = true;
+
+    CROWDRL_RETURN_IF_ERROR(run_inference());
+    refresh_done();
+  }
+
+  FinalizeLabels(&phi, dataset, &state);
+  state.ExportTo(result);
+  result->budget_spent = env.budget().spent();
+  result->iterations = iterations;
+  result->human_answers = env.human_answers();
+  result->final_annotator_qualities = qualities;
+  return Status::Ok();
+}
+
+}  // namespace crowdrl::baselines

@@ -1,0 +1,56 @@
+#ifndef CROWDRL_BASELINES_HYBRID_H_
+#define CROWDRL_BASELINES_HYBRID_H_
+
+#include "classifier/mlp_classifier.h"
+#include "core/framework.h"
+#include "inference/pm.h"
+#include "rl/dqn_agent.h"
+
+namespace crowdrl::baselines {
+
+/// Hybrid knobs.
+struct HybridOptions {
+  double alpha = 0.05;
+  int k = 3;
+  int batch_objects = 8;
+  size_t max_iterations = 2000;
+  inference::PmOptions pm;
+  classifier::MlpClassifierOptions classifier = [] {
+    classifier::MlpClassifierOptions c;
+    c.hidden_sizes = {16};
+    c.epochs = 6;
+    c.warm_start = true;
+    c.weight_decay = 3e-3;
+    return c;
+  }();
+  rl::DqnAgentOptions agent;
+};
+
+/// \brief The Hybrid baseline the paper constructs (Section VI-A2):
+/// MinExpError bootstrap task selection [26] + a DQN for task assignment
+/// only (as in [32]) + PM truth inference [48].
+///
+/// Selection score: disagreement between the current classifier's
+/// prediction and the annotators' answers (L1 distance between the
+/// classifier distribution and the vote distribution), with unanswered
+/// objects scored by classifier entropy. The DQN scores annotators for
+/// the *already selected* objects — selection and assignment stay two
+/// separate steps, which is exactly the correlation CrowdRL's unified
+/// action restores.
+class Hybrid : public core::LabellingFramework {
+ public:
+  explicit Hybrid(HybridOptions options = HybridOptions());
+
+  Status Run(const data::Dataset& dataset,
+             const std::vector<crowd::Annotator>& pool, double budget,
+             uint64_t seed, core::LabellingResult* result) override;
+
+  const char* name() const override { return "Hybrid"; }
+
+ private:
+  HybridOptions options_;
+};
+
+}  // namespace crowdrl::baselines
+
+#endif  // CROWDRL_BASELINES_HYBRID_H_

@@ -1,0 +1,184 @@
+#include "baselines/idle.h"
+
+#include <algorithm>
+
+#include "baselines/common.h"
+#include "core/environment.h"
+#include "math/vector_ops.h"
+#include "util/logging.h"
+
+namespace crowdrl::baselines {
+
+Idle::Idle(IdleOptions options) : options_(options) {
+  CROWDRL_CHECK(options.k_workers > 0 && options.k_experts > 0);
+  CROWDRL_CHECK(options.batch_objects > 0);
+  CROWDRL_CHECK(options.ambiguity_margin >= 0.0 &&
+                options.ambiguity_margin <= 1.0);
+}
+
+Status Idle::Run(const data::Dataset& dataset,
+                 const std::vector<crowd::Annotator>& pool, double budget,
+                 uint64_t seed, core::LabellingResult* result) {
+  CROWDRL_CHECK(result != nullptr);
+  if (pool.empty()) return Status::InvalidArgument("empty annotator pool");
+  if (dataset.num_objects() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  size_t n = dataset.num_objects();
+  int num_classes = dataset.num_classes;
+
+  Rng root(seed);
+  core::Environment env(&dataset, &pool, budget, root.Fork(1).seed());
+  core::LabelState state(n, num_classes);
+  Rng local = root.Fork(2);
+  inference::DawidSkene em(options_.em);
+  std::vector<double> qualities(pool.size(),
+                                1.0 / static_cast<double>(num_classes));
+
+  std::vector<int> workers;
+  std::vector<int> experts;
+  for (const crowd::Annotator& a : pool) {
+    (a.is_expert() ? experts : workers).push_back(a.id());
+  }
+
+  // Level-two queue of ambiguous objects.
+  std::vector<int> escalated;
+  std::vector<bool> already_escalated(n, false);
+
+  auto ask = [&](int object, const std::vector<int>& candidates, int k,
+                 bool* out_of_budget) -> Status {
+    std::vector<int> pick = candidates;
+    local.Shuffle(&pick);
+    int asked = 0;
+    for (int j : pick) {
+      if (asked >= k) break;
+      if (env.answers().HasAnswer(object, j)) continue;
+      Status s = env.RequestAnswer(object, j);
+      if (s.IsOutOfBudget()) {
+        *out_of_budget = true;
+        return Status::Ok();
+      }
+      CROWDRL_RETURN_IF_ERROR(s);
+      ++asked;
+    }
+    return Status::Ok();
+  };
+
+  // Objects still ambiguous after their level-two chance: IDLE labels
+  // these "unsolvable" [16], which for evaluation purposes means no
+  // usable label (they fall back to the majority class at the end).
+  std::vector<bool> unsolvable(n, false);
+
+  auto run_inference = [&]() -> Status {
+    std::vector<int> objects = env.AnsweredObjects();
+    if (objects.empty()) return Status::Ok();
+    inference::InferenceInput input;
+    input.answers = &env.answers();
+    input.num_classes = num_classes;
+    input.objects = objects;
+    inference::InferenceResult inferred;
+    CROWDRL_RETURN_IF_ERROR(em.Infer(input, &inferred));
+    for (size_t row = 0; row < objects.size(); ++row) {
+      int object = objects[row];
+      state.SetLabel(object, inferred.labels[row],
+                     core::LabelSource::kInference);
+      // Ambiguity is judged on the raw vote split (EM posteriors
+      // saturate): an object whose top label leads by less than the
+      // margin (fraction of votes) stays ambiguous.
+      std::vector<int> hist =
+          env.answers().LabelHistogram(object, num_classes);
+      int total = 0;
+      int top = 0;
+      int second = 0;
+      for (int v : hist) {
+        total += v;
+        if (v >= top) {
+          second = top;
+          top = v;
+        } else if (v > second) {
+          second = v;
+        }
+      }
+      double margin = total > 0 ? static_cast<double>(top - second) /
+                                      static_cast<double>(total)
+                                : 0.0;
+      if (margin >= options_.ambiguity_margin) {
+        unsolvable[static_cast<size_t>(object)] = false;
+        continue;
+      }
+      if (!already_escalated[static_cast<size_t>(object)] &&
+          !experts.empty()) {
+        escalated.push_back(object);
+        already_escalated[static_cast<size_t>(object)] = true;
+      } else {
+        unsolvable[static_cast<size_t>(object)] = true;
+      }
+    }
+    qualities = inferred.qualities;
+    return Status::Ok();
+  };
+
+  // Random processing order over all objects (random task selection).
+  std::vector<int> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<int>(i);
+  local.Shuffle(&order);
+
+  size_t cursor = 0;
+  size_t iterations = 0;
+  bool out_of_budget = false;
+  for (size_t t = 0; t < options_.max_iterations && !out_of_budget; ++t) {
+    if (!env.AnyAffordable()) break;
+    ++iterations;
+    // Level two first: escalated objects go to experts.
+    std::vector<int> level_two = std::move(escalated);
+    escalated.clear();
+    for (int object : level_two) {
+      CROWDRL_RETURN_IF_ERROR(
+          ask(object, experts, options_.k_experts, &out_of_budget));
+      if (out_of_budget) break;
+    }
+    // Level one: the next batch of randomly ordered objects to workers
+    // (experts stand in when the pool has no workers).
+    const std::vector<int>& level_one_pool =
+        workers.empty() ? experts : workers;
+    int sent = 0;
+    while (!out_of_budget && cursor < order.size() &&
+           sent < options_.batch_objects) {
+      int object = order[cursor++];
+      CROWDRL_RETURN_IF_ERROR(
+          ask(object, level_one_pool, options_.k_workers, &out_of_budget));
+      ++sent;
+    }
+    if (sent == 0 && level_two.empty()) break;
+    CROWDRL_RETURN_IF_ERROR(run_inference());
+    if (cursor >= order.size() && escalated.empty()) break;
+  }
+
+  // "Unsolvable" objects carry no usable label; demote them to the
+  // majority-class fallback before finalizing.
+  {
+    std::vector<int> counts(static_cast<size_t>(num_classes), 0);
+    for (size_t i = 0; i < n; ++i) {
+      if (state.IsLabelled(static_cast<int>(i)) && !unsolvable[i]) {
+        ++counts[static_cast<size_t>(state.label(static_cast<int>(i)))];
+      }
+    }
+    int majority = static_cast<int>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    for (size_t i = 0; i < n; ++i) {
+      if (unsolvable[i]) {
+        state.SetLabel(static_cast<int>(i), majority,
+                       core::LabelSource::kFallback);
+      }
+    }
+  }
+  FinalizeLabels(nullptr, dataset, &state, &local);
+  state.ExportTo(result);
+  result->budget_spent = env.budget().spent();
+  result->iterations = iterations;
+  result->human_answers = env.human_answers();
+  result->final_annotator_qualities = qualities;
+  return Status::Ok();
+}
+
+}  // namespace crowdrl::baselines

@@ -1,0 +1,45 @@
+#ifndef CROWDRL_BASELINES_IDLE_H_
+#define CROWDRL_BASELINES_IDLE_H_
+
+#include "core/framework.h"
+#include "inference/dawid_skene.h"
+
+namespace crowdrl::baselines {
+
+/// IDLE knobs.
+struct IdleOptions {
+  int k_workers = 3;      ///< Workers asked per object on level one.
+  int k_experts = 1;      ///< Experts asked per escalated object.
+  int batch_objects = 8;  ///< Objects processed per iteration.
+  /// An object escalates to experts (or, after its level-two chance,
+  /// becomes "unsolvable") when its top vote leads by less than this
+  /// fraction of its votes.
+  double ambiguity_margin = 0.4;
+  size_t max_iterations = 2000;
+  inference::EmOptions em;
+};
+
+/// \brief IDLE baseline [16]: two-level quality assurance.
+///
+/// Level one sends randomly selected objects to crowdsourcing workers and
+/// aggregates with EM; objects whose posterior stays ambiguous escalate to
+/// level two, where domain experts answer and an expert-weighted vote
+/// decides. Task selection is random (the paper calls this out as its
+/// weakness) and no classifier is used.
+class Idle : public core::LabellingFramework {
+ public:
+  explicit Idle(IdleOptions options = IdleOptions());
+
+  Status Run(const data::Dataset& dataset,
+             const std::vector<crowd::Annotator>& pool, double budget,
+             uint64_t seed, core::LabellingResult* result) override;
+
+  const char* name() const override { return "IDLE"; }
+
+ private:
+  IdleOptions options_;
+};
+
+}  // namespace crowdrl::baselines
+
+#endif  // CROWDRL_BASELINES_IDLE_H_

@@ -1,0 +1,111 @@
+#include "baselines/oba.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/common.h"
+#include "core/environment.h"
+#include "math/vector_ops.h"
+#include "util/logging.h"
+
+namespace crowdrl::baselines {
+
+Oba::Oba(ObaOptions options) : options_(options) {
+  CROWDRL_CHECK(options.alpha > 0.0 && options.alpha <= 1.0);
+  CROWDRL_CHECK(options.batch_objects > 0);
+  CROWDRL_CHECK(options.confidence_threshold > 0.0 &&
+                options.confidence_threshold <= 1.0);
+}
+
+Status Oba::Run(const data::Dataset& dataset,
+                const std::vector<crowd::Annotator>& pool, double budget,
+                uint64_t seed, core::LabellingResult* result) {
+  CROWDRL_CHECK(result != nullptr);
+  if (pool.empty()) return Status::InvalidArgument("empty annotator pool");
+  if (dataset.num_objects() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  size_t n = dataset.num_objects();
+  int num_classes = dataset.num_classes;
+
+  Rng root(seed);
+  core::Environment env(&dataset, &pool, budget, root.Fork(1).seed());
+  core::LabelState state(n, num_classes);
+  Rng local = root.Fork(2);
+  classifier::KnnClassifier ai_worker(dataset.feature_dim(), num_classes,
+                                      options_.knn);
+
+  // Sends `batch` random unlabelled objects to one random affordable
+  // annotator each, trusting the answer as the final label.
+  auto human_round = [&](size_t batch) -> Status {
+    std::vector<int> unlabelled = state.UnlabelledObjects();
+    local.Shuffle(&unlabelled);
+    size_t sent = 0;
+    for (int object : unlabelled) {
+      if (sent >= batch) break;
+      std::vector<int> who = RandomValidAnnotators(env, object, 1, &local);
+      if (who.empty()) continue;
+      Status s = env.RequestAnswer(object, who[0]);
+      if (s.IsOutOfBudget()) break;
+      CROWDRL_RETURN_IF_ERROR(s);
+      state.SetLabel(object, env.answers().Answer(object, who[0]),
+                     core::LabelSource::kInference);
+      ++sent;
+    }
+    return Status::Ok();
+  };
+
+  // Retrains the AI worker on the trusted labels and labels every
+  // unlabelled object whose confidence clears the threshold.
+  auto ai_round = [&]() -> Status {
+    if (state.num_labelled() == 0) return Status::Ok();
+    Matrix train_x(state.num_labelled(), dataset.feature_dim());
+    Matrix train_y(state.num_labelled(), static_cast<size_t>(num_classes));
+    size_t row = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!state.IsLabelled(static_cast<int>(i))) continue;
+      train_x.SetRow(row, dataset.features.RowVector(i));
+      train_y.At(row,
+                 static_cast<size_t>(state.label(static_cast<int>(i)))) =
+          1.0;
+      ++row;
+    }
+    CROWDRL_RETURN_IF_ERROR(ai_worker.Train(train_x, train_y, {}));
+    for (int object : state.UnlabelledObjects()) {
+      std::vector<double> probs = ai_worker.PredictProbs(
+          dataset.features.RowVector(static_cast<size_t>(object)));
+      size_t best = Argmax(probs);
+      if (probs[best] < options_.confidence_threshold) continue;
+      state.SetLabel(object, static_cast<int>(best),
+                     core::LabelSource::kClassifier);
+    }
+    return Status::Ok();
+  };
+
+  size_t bootstrap_count = std::clamp<size_t>(
+      static_cast<size_t>(
+          std::llround(options_.alpha * static_cast<double>(n))),
+      1, n);
+  CROWDRL_RETURN_IF_ERROR(human_round(bootstrap_count));
+
+  size_t iterations = 0;
+  for (size_t t = 0; t < options_.max_iterations; ++t) {
+    if (state.AllLabelled() || !env.AnyAffordable()) break;
+    ++iterations;
+    CROWDRL_RETURN_IF_ERROR(ai_round());
+    if (state.AllLabelled()) break;
+    size_t labelled_before = state.num_labelled();
+    CROWDRL_RETURN_IF_ERROR(
+        human_round(static_cast<size_t>(options_.batch_objects)));
+    if (state.num_labelled() == labelled_before) break;  // Nothing bought.
+  }
+
+  FinalizeLabels(&ai_worker, dataset, &state);
+  state.ExportTo(result);
+  result->budget_spent = env.budget().spent();
+  result->iterations = iterations;
+  result->human_answers = env.human_answers();
+  return Status::Ok();
+}
+
+}  // namespace crowdrl::baselines

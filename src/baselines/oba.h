@@ -1,0 +1,44 @@
+#ifndef CROWDRL_BASELINES_OBA_H_
+#define CROWDRL_BASELINES_OBA_H_
+
+#include "classifier/knn_classifier.h"
+#include "core/framework.h"
+
+namespace crowdrl::baselines {
+
+/// OBA knobs.
+struct ObaOptions {
+  double alpha = 0.05;    ///< Initial random sampling rate.
+  int batch_objects = 24; ///< Objects sent to humans per iteration.
+  /// "AI worker" labels an object when its prediction confidence exceeds
+  /// this threshold.
+  double confidence_threshold = 0.8;
+  size_t max_iterations = 2000;
+  classifier::KnnClassifierOptions knn;
+};
+
+/// \brief OBA baseline [15]: quality-aware human+AI crowd.
+///
+/// Humans (picked uniformly, one per object) label a batch each iteration
+/// and their answers are trusted verbatim — the framework assumes human
+/// workers always return true labels, which the paper identifies as its
+/// weakness. A KNN "AI worker" trained on the trusted labels then labels
+/// every unlabelled object whose prediction confidence clears the
+/// threshold; the rest wait for humans in later iterations.
+class Oba : public core::LabellingFramework {
+ public:
+  explicit Oba(ObaOptions options = ObaOptions());
+
+  Status Run(const data::Dataset& dataset,
+             const std::vector<crowd::Annotator>& pool, double budget,
+             uint64_t seed, core::LabellingResult* result) override;
+
+  const char* name() const override { return "OBA"; }
+
+ private:
+  ObaOptions options_;
+};
+
+}  // namespace crowdrl::baselines
+
+#endif  // CROWDRL_BASELINES_OBA_H_

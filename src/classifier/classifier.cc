@@ -1,0 +1,17 @@
+#include "classifier/classifier.h"
+
+#include "util/logging.h"
+
+namespace crowdrl::classifier {
+
+Matrix Classifier::PredictProbsBatch(const Matrix& features) const {
+  CROWDRL_CHECK(features.cols() == feature_dim());
+  Matrix out(features.rows(), static_cast<size_t>(num_classes()));
+  for (size_t r = 0; r < features.rows(); ++r) {
+    std::vector<double> probs = PredictProbs(features.RowVector(r));
+    out.SetRow(r, probs);
+  }
+  return out;
+}
+
+}  // namespace crowdrl::classifier

@@ -1,0 +1,77 @@
+#include "classifier/knn_classifier.h"
+
+#include <algorithm>
+
+#include "math/vector_ops.h"
+#include "util/logging.h"
+#include "util/topk.h"
+
+namespace crowdrl::classifier {
+
+KnnClassifier::KnnClassifier(size_t feature_dim, int num_classes,
+                             KnnClassifierOptions options)
+    : feature_dim_(feature_dim), num_classes_(num_classes),
+      options_(options) {
+  CROWDRL_CHECK(feature_dim > 0);
+  CROWDRL_CHECK(num_classes >= 2);
+  CROWDRL_CHECK(options.k > 0);
+}
+
+Status KnnClassifier::Train(const Matrix& features, const Matrix& soft_labels,
+                            const std::vector<double>& weights) {
+  if (features.rows() == 0) {
+    return Status::InvalidArgument("cannot train on an empty set");
+  }
+  if (features.cols() != feature_dim_) {
+    return Status::InvalidArgument("feature dimension mismatch");
+  }
+  if (soft_labels.rows() != features.rows() ||
+      soft_labels.cols() != static_cast<size_t>(num_classes_)) {
+    return Status::InvalidArgument("soft label shape mismatch");
+  }
+  if (!weights.empty() && weights.size() != features.rows()) {
+    return Status::InvalidArgument("weight count mismatch");
+  }
+  train_features_ = features;
+  train_labels_.resize(features.rows());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    train_labels_[r] = static_cast<int>(Argmax(soft_labels.RowVector(r)));
+  }
+  return Status::Ok();
+}
+
+std::vector<double> KnnClassifier::PredictProbs(
+    const std::vector<double>& features) const {
+  CROWDRL_CHECK(features.size() == feature_dim_);
+  std::vector<double> probs(static_cast<size_t>(num_classes_),
+                            1.0 / static_cast<double>(num_classes_));
+  if (train_labels_.empty()) return probs;
+
+  // k nearest by negated squared distance (TopK keeps the largest).
+  TopK<int> nearest(static_cast<size_t>(options_.k));
+  for (size_t r = 0; r < train_features_.rows(); ++r) {
+    const double* row = train_features_.Row(r);
+    double dist2 = 0.0;
+    for (size_t d = 0; d < feature_dim_; ++d) {
+      double diff = row[d] - features[d];
+      dist2 += diff * diff;
+    }
+    nearest.Push(-dist2, train_labels_[r]);
+  }
+  std::vector<double> votes(static_cast<size_t>(num_classes_), 0.0);
+  size_t count = 0;
+  for (auto& entry : nearest.TakeSortedDescending()) {
+    votes[static_cast<size_t>(entry.second)] += 1.0;
+    ++count;
+  }
+  for (size_t c = 0; c < votes.size(); ++c) {
+    probs[c] = votes[c] / static_cast<double>(count);
+  }
+  return probs;
+}
+
+std::unique_ptr<Classifier> KnnClassifier::Clone() const {
+  return std::make_unique<KnnClassifier>(*this);
+}
+
+}  // namespace crowdrl::classifier

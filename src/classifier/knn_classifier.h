@@ -1,0 +1,51 @@
+#ifndef CROWDRL_CLASSIFIER_KNN_CLASSIFIER_H_
+#define CROWDRL_CLASSIFIER_KNN_CLASSIFIER_H_
+
+#include <memory>
+#include <vector>
+
+#include "classifier/classifier.h"
+
+namespace crowdrl::classifier {
+
+/// Hyper-parameters for KnnClassifier.
+struct KnnClassifierOptions {
+  int k = 5;
+};
+
+/// \brief k-nearest-neighbours classifier (Euclidean distance).
+///
+/// The OBA baseline's "AI worker" uses traditional classification methods
+/// such as KNN [15]; this is that model. Train() memorizes the examples
+/// (soft labels are reduced to their argmax); PredictProbs returns the
+/// label fractions among the k nearest memorized neighbours. O(n * d) per
+/// prediction — fine at the paper's scale, and the microbench quantifies
+/// it.
+class KnnClassifier : public Classifier {
+ public:
+  KnnClassifier(size_t feature_dim, int num_classes,
+                KnnClassifierOptions options = KnnClassifierOptions());
+
+  Status Train(const Matrix& features, const Matrix& soft_labels,
+               const std::vector<double>& weights) override;
+
+  std::vector<double> PredictProbs(
+      const std::vector<double>& features) const override;
+
+  int num_classes() const override { return num_classes_; }
+  size_t feature_dim() const override { return feature_dim_; }
+  bool is_trained() const override { return !train_labels_.empty(); }
+
+  std::unique_ptr<Classifier> Clone() const override;
+
+ private:
+  size_t feature_dim_;
+  int num_classes_;
+  KnnClassifierOptions options_;
+  Matrix train_features_;
+  std::vector<int> train_labels_;
+};
+
+}  // namespace crowdrl::classifier
+
+#endif  // CROWDRL_CLASSIFIER_KNN_CLASSIFIER_H_

@@ -1,0 +1,92 @@
+#ifndef CROWDRL_CORE_CONFIG_H_
+#define CROWDRL_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "classifier/mlp_classifier.h"
+#include "core/enrichment.h"
+#include "core/reward.h"
+#include "inference/joint_inference.h"
+#include "inference/pm.h"
+#include "rl/dqn_agent.h"
+
+namespace crowdrl::core {
+
+/// \brief All knobs of the CrowdRL workflow (Algorithm 1).
+///
+/// The ablation switches correspond to Fig. 8: M1 disables the learned
+/// task selection, M2 disables the learned task assignment, M3 swaps the
+/// joint inference model for PM. Each switch removes exactly one mechanism
+/// while keeping the rest of the pipeline identical.
+struct CrowdRlConfig {
+  /// Initial sampling rate alpha: this fraction of the objects is sent to
+  /// annotators before the RL loop starts.
+  double alpha = 0.05;
+  /// Annotators asked per object during bootstrap and per selected object
+  /// in the loop (the paper's k, e.g. 3 in the running example).
+  int k = 3;
+  /// Objects selected per labelling iteration. 0 (the default) adapts to
+  /// the workload: |O| / 32 clamped to [4, 12], so small workloads get
+  /// enough iterations for the agent and the inference loop to converge
+  /// before the budget is gone.
+  int batch_objects = 0;
+  /// Safety cap on loop iterations (the loop normally ends on budget or
+  /// full coverage first).
+  size_t max_iterations = 1000;
+
+  EnrichmentOptions enrichment;
+  RewardOptions reward;
+  /// Joint-inference defaults are trimmed relative to the standalone
+  /// library defaults because the EM runs inside every labelling
+  /// iteration: fewer EM rounds and sparser classifier retrains keep a
+  /// full run interactive without measurably hurting quality.
+  inference::JointInferenceOptions joint = [] {
+    inference::JointInferenceOptions j;
+    j.em.max_iterations = 8;
+    // Few answers per annotator accumulate inside the loop; a strong
+    // Laplace prior keeps the confusion estimates from saturating early
+    // (the same role PM's weight clipping plays).
+    j.em.smoothing = 2.0;
+    // Classifier updates happen once per Infer() (the final fit on the
+    // converged posteriors); the warm-started phi carries across
+    // labelling iterations, so mid-EM retrains buy little.
+    j.classifier_retrain_period = 1000;
+    return j;
+  }();
+  inference::PmOptions pm;
+  classifier::MlpClassifierOptions classifier = [] {
+    classifier::MlpClassifierOptions c;
+    c.hidden_sizes = {16};
+    c.epochs = 6;
+    c.warm_start = true;
+    // Stronger regularization than the standalone default: phi's softmax
+    // confidences gate enrichment, so calibration matters more than fit.
+    c.weight_decay = 3e-3;
+    return c;
+  }();
+  rl::DqnAgentOptions agent;
+
+  /// When every object is labelled but budget remains, reopen the
+  /// lowest-margin classifier-labelled objects and keep buying human
+  /// answers for them — the "repeat these steps until the budget ... is
+  /// used up" reading of Section II. Labels can only improve: human
+  /// answers strictly add evidence over the classifier's guess.
+  bool refine_with_leftover_budget = true;
+  /// Objects reopened per refinement round.
+  int refine_batch = 12;
+
+  /// Ablations (Fig. 8).
+  bool random_task_selection = false;   ///< M1.
+  bool random_task_assignment = false;  ///< M2.
+  bool use_pm_inference = false;        ///< M3.
+
+  /// Warm-start parameters for the Q-network, produced by PretrainQNetwork
+  /// (the paper's offline "cross training methodology"). Empty = cold
+  /// start.
+  std::vector<double> pretrained_q_params;
+};
+
+}  // namespace crowdrl::core
+
+#endif  // CROWDRL_CORE_CONFIG_H_

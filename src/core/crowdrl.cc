@@ -1,0 +1,451 @@
+#include "core/crowdrl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "classifier/mlp_classifier.h"
+#include "core/environment.h"
+#include "inference/joint_inference.h"
+#include "inference/pm.h"
+#include "math/vector_ops.h"
+#include "rl/dqn_agent.h"
+#include "util/logging.h"
+
+namespace crowdrl::core {
+
+namespace {
+
+// Groups candidate indices by object id; returns (object, indices) pairs.
+std::vector<std::pair<int, std::vector<size_t>>> GroupByObject(
+    const rl::ScoredCandidates& candidates, size_t num_objects) {
+  std::vector<int> slot(num_objects, -1);
+  std::vector<std::pair<int, std::vector<size_t>>> groups;
+  for (size_t idx = 0; idx < candidates.actions.size(); ++idx) {
+    int object = candidates.actions[idx].object;
+    int s = slot[static_cast<size_t>(object)];
+    if (s < 0) {
+      s = static_cast<int>(groups.size());
+      slot[static_cast<size_t>(object)] = s;
+      groups.emplace_back(object, std::vector<size_t>());
+    }
+    groups[static_cast<size_t>(s)].second.push_back(idx);
+  }
+  return groups;
+}
+
+// Takes the k best-scoring candidate indices of one group.
+std::vector<size_t> TopKOfGroup(const rl::ScoredCandidates& candidates,
+                                const std::vector<size_t>& group, int k) {
+  std::vector<size_t> sorted = group;
+  std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+    return candidates.scores[a] > candidates.scores[b];
+  });
+  if (sorted.size() > static_cast<size_t>(k)) {
+    sorted.resize(static_cast<size_t>(k));
+  }
+  return sorted;
+}
+
+// Takes k random candidate indices of one group.
+std::vector<size_t> RandomKOfGroup(const std::vector<size_t>& group, int k,
+                                   Rng* rng) {
+  std::vector<int> picks = rng->SampleWithoutReplacement(
+      static_cast<int>(group.size()),
+      std::min<int>(k, static_cast<int>(group.size())));
+  std::vector<size_t> out;
+  out.reserve(picks.size());
+  for (int p : picks) out.push_back(group[static_cast<size_t>(p)]);
+  return out;
+}
+
+std::vector<rl::Assignment> BuildAssignments(
+    const rl::ScoredCandidates& candidates,
+    const std::vector<std::pair<int, std::vector<size_t>>>& groups,
+    const std::vector<size_t>& group_order, int batch, int k,
+    bool random_annotators, Rng* rng, std::vector<size_t>* chosen) {
+  std::vector<rl::Assignment> assignments;
+  for (size_t rank = 0;
+       rank < group_order.size() &&
+       assignments.size() < static_cast<size_t>(batch);
+       ++rank) {
+    const auto& [object, indices] = groups[group_order[rank]];
+    std::vector<size_t> picked =
+        random_annotators ? RandomKOfGroup(indices, k, rng)
+                          : TopKOfGroup(candidates, indices, k);
+    rl::Assignment assignment;
+    assignment.object = object;
+    for (size_t idx : picked) {
+      assignment.annotators.push_back(candidates.actions[idx].annotator);
+      chosen->push_back(idx);
+    }
+    assignments.push_back(std::move(assignment));
+  }
+  return assignments;
+}
+
+// M1 (and M1+M2): objects chosen uniformly at random.
+std::vector<rl::Assignment> PickRandomObjects(
+    const rl::ScoredCandidates& candidates, int k, int batch,
+    size_t num_objects, bool random_annotators, Rng* rng,
+    std::vector<size_t>* chosen) {
+  auto groups = GroupByObject(candidates, num_objects);
+  if (groups.empty()) return {};
+  std::vector<size_t> order(groups.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+  return BuildAssignments(candidates, groups, order, batch, k,
+                          random_annotators, rng, chosen);
+}
+
+// M2: objects chosen by the learned top-k-sum criterion, annotators random.
+std::vector<rl::Assignment> PickTopObjectsRandomAnnotators(
+    const rl::ScoredCandidates& candidates, int k, int batch,
+    size_t num_objects, Rng* rng, std::vector<size_t>* chosen) {
+  auto groups = GroupByObject(candidates, num_objects);
+  if (groups.empty()) return {};
+  std::vector<std::pair<double, size_t>> sums;
+  sums.reserve(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    double sum = 0.0;
+    for (size_t idx : TopKOfGroup(candidates, groups[g].second, k)) {
+      sum += candidates.scores[idx];
+    }
+    sums.emplace_back(sum, g);
+  }
+  std::sort(sums.begin(), sums.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<size_t> order;
+  order.reserve(sums.size());
+  for (const auto& [sum, g] : sums) order.push_back(g);
+  return BuildAssignments(candidates, groups, order, batch, k,
+                          /*random_annotators=*/true, rng, chosen);
+}
+
+}  // namespace
+
+CrowdRlFramework::CrowdRlFramework(CrowdRlConfig config)
+    : config_(std::move(config)) {
+  name_ = "CrowdRL";
+  if (config_.random_task_selection) name_ += "-M1";
+  if (config_.random_task_assignment) name_ += "-M2";
+  if (config_.use_pm_inference) name_ += "-M3";
+}
+
+const char* CrowdRlFramework::name() const { return name_.c_str(); }
+
+Status CrowdRlFramework::Run(const data::Dataset& dataset,
+                             const std::vector<crowd::Annotator>& pool,
+                             double budget, uint64_t seed,
+                             LabellingResult* result) {
+  CROWDRL_CHECK(result != nullptr);
+  if (pool.empty()) return Status::InvalidArgument("empty annotator pool");
+  if (dataset.num_objects() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  if (budget < 0.0) return Status::InvalidArgument("negative budget");
+  if (config_.alpha <= 0.0 || config_.alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  if (config_.k <= 0 || config_.batch_objects < 0) {
+    return Status::InvalidArgument("k and batch_objects must be positive");
+  }
+
+  size_t n = dataset.num_objects();
+  int batch_objects = config_.batch_objects;
+  if (batch_objects == 0) {
+    batch_objects =
+        std::clamp(static_cast<int>(n) / 32, 4, 12);  // Auto-scale.
+  }
+  size_t num_annotators = pool.size();
+  int num_classes = dataset.num_classes;
+
+  Rng root(seed);
+  Environment env(&dataset, &pool, budget, root.Fork(1).seed());
+  LabelState state(n, num_classes);
+
+  classifier::MlpClassifierOptions cls_options = config_.classifier;
+  cls_options.seed = root.Fork(2).seed();
+  classifier::MlpClassifier phi(dataset.feature_dim(), num_classes,
+                                cls_options);
+
+  rl::DqnAgentOptions agent_options = config_.agent;
+  agent_options.seed = root.Fork(3).seed();
+  agent_options.q.feature_dim = rl::StateFeaturizer::kFeatureDim;
+  rl::DqnAgent agent(agent_options);
+  agent.BeginEpisode(n, num_annotators);
+  if (!config_.pretrained_q_params.empty()) {
+    agent.q_network().SetFlatParameters(config_.pretrained_q_params);
+  }
+
+  inference::JointInference joint(config_.joint);
+  inference::PmInference pm(config_.pm);
+  Rng local = root.Fork(4);
+
+  std::vector<crowd::AnnotatorType> types;
+  std::vector<bool> is_expert;
+  types.reserve(num_annotators);
+  is_expert.reserve(num_annotators);
+  for (const crowd::Annotator& a : pool) {
+    types.push_back(a.type());
+    is_expert.push_back(a.is_expert());
+  }
+  // Zero-knowledge prior quality tr(uniform)/|C| = 1/|C|.
+  std::vector<double> qualities(num_annotators,
+                                1.0 / static_cast<double>(num_classes));
+  Matrix class_probs;
+  bool have_probs = false;
+
+  // Truth inference over every answered object; retrains phi (the joint
+  // model retrains it internally, the PM ablation trains it on the hard
+  // labels afterwards per Algorithm 1 line 5).
+  auto run_inference = [&]() -> Status {
+    std::vector<int> objects = env.AnsweredObjects();
+    if (objects.empty()) return Status::Ok();
+    inference::InferenceInput input;
+    input.answers = &env.answers();
+    input.num_classes = num_classes;
+    input.objects = objects;
+    input.features = &dataset.features;
+    input.annotator_types = &types;
+    inference::InferenceResult inferred;
+    if (config_.use_pm_inference) {
+      CROWDRL_RETURN_IF_ERROR(pm.Infer(input, &inferred));
+    } else {
+      input.classifier = &phi;
+      CROWDRL_RETURN_IF_ERROR(joint.Infer(input, &inferred));
+    }
+    for (size_t row = 0; row < objects.size(); ++row) {
+      state.SetLabel(objects[row], inferred.labels[row],
+                     LabelSource::kInference);
+    }
+    qualities = inferred.qualities;
+    if (config_.use_pm_inference) {
+      Matrix train_x(objects.size(), dataset.feature_dim());
+      Matrix train_y(objects.size(), static_cast<size_t>(num_classes));
+      for (size_t row = 0; row < objects.size(); ++row) {
+        train_x.SetRow(row, dataset.features.RowVector(
+                                static_cast<size_t>(objects[row])));
+        train_y.At(row, static_cast<size_t>(inferred.labels[row])) = 1.0;
+      }
+      CROWDRL_RETURN_IF_ERROR(phi.Train(train_x, train_y, {}));
+    }
+    class_probs = phi.PredictProbsBatch(dataset.features);
+    have_probs = phi.is_trained();
+    return Status::Ok();
+  };
+
+  auto make_view = [&]() {
+    rl::StateView view;
+    view.answers = &env.answers();
+    view.num_classes = num_classes;
+    view.annotator_costs = &env.costs();
+    view.annotator_qualities = &qualities;
+    view.annotator_is_expert = &is_expert;
+    view.class_probs = have_probs ? &class_probs : nullptr;
+    view.labelled = &state.labelled_mask();
+    view.budget_fraction_remaining =
+        budget > 0.0 ? env.budget().remaining() / budget : 0.0;
+    view.fraction_labelled = state.fraction_labelled();
+    view.max_cost = env.max_cost();
+    return view;
+  };
+
+  // --- Bootstrap: label an alpha fraction with k annotators each. ---
+  size_t bootstrap_count = static_cast<size_t>(
+      std::llround(config_.alpha * static_cast<double>(n)));
+  bootstrap_count = std::clamp<size_t>(bootstrap_count, 1, n);
+  std::vector<int> bootstrap = local.SampleWithoutReplacement(
+      static_cast<int>(n), static_cast<int>(bootstrap_count));
+  bool out_of_budget = false;
+  for (int object : bootstrap) {
+    std::vector<int> ids(static_cast<int>(num_annotators));
+    for (size_t j = 0; j < num_annotators; ++j) ids[j] = static_cast<int>(j);
+    local.Shuffle(&ids);
+    int asked = 0;
+    for (int j : ids) {
+      if (asked >= config_.k) break;
+      Status s = env.RequestAnswer(object, j);
+      if (s.IsOutOfBudget()) continue;  // Try a cheaper annotator.
+      CROWDRL_RETURN_IF_ERROR(s);
+      ++asked;
+    }
+    if (asked == 0) {
+      out_of_budget = true;
+      break;
+    }
+  }
+  (void)out_of_budget;
+  CROWDRL_RETURN_IF_ERROR(run_inference());
+
+  // --- Main labelling loop (Algorithm 1). ---
+  size_t iterations = 0;
+  // Per-pair reward components (mu * agreement + eta * cost) for the last
+  // executed batch, in Commit order; the shared lambda * r_phi term is
+  // added next iteration once the enrichment effect is observable.
+  std::vector<double> pending_pair_rewards;
+  bool has_pending = false;
+  for (size_t t = 0; t < config_.max_iterations; ++t) {
+    size_t unlabelled_before = n - state.num_labelled();
+    size_t enriched = EnrichLabelledSet(phi, dataset.features,
+                                        config_.enrichment, &state);
+
+    std::vector<bool> affordable = env.AffordableAnnotators();
+    rl::StateView view = make_view();
+    bool terminal = state.AllLabelled() || !env.AnyAffordable();
+    if (terminal && state.AllLabelled() && env.AnyAffordable() &&
+        config_.refine_with_leftover_budget && have_probs) {
+      // Refinement: reopen the labelled objects phi is least sure about
+      // and spend the leftover budget on additional human answers for
+      // them (existing answers are kept; inference re-aggregates).
+      std::vector<std::pair<double, int>> reopenable;
+      for (size_t i = 0; i < n; ++i) {
+        int object = static_cast<int>(i);
+        bool has_valid_pair = false;
+        for (size_t j = 0; j < num_annotators; ++j) {
+          if (affordable[j] &&
+              !env.answers().HasAnswer(object, static_cast<int>(j))) {
+            has_valid_pair = true;
+            break;
+          }
+        }
+        if (!has_valid_pair) continue;
+        reopenable.emplace_back(TopTwoGap(class_probs.RowVector(i)),
+                                object);
+      }
+      std::sort(reopenable.begin(), reopenable.end());
+      size_t reopen = std::min<size_t>(
+          reopenable.size(), static_cast<size_t>(config_.refine_batch));
+      for (size_t r = 0; r < reopen; ++r) {
+        state.ClearLabel(reopenable[r].second);
+      }
+      if (reopen > 0) terminal = false;
+    }
+    if (has_pending) {
+      // The shared r_phi term becomes observable only now: it counts the
+      // enrichment enabled by the classifier the action caused to be
+      // retrained.
+      double shared = SharedEnrichmentReward(config_.reward, enriched,
+                                             unlabelled_before);
+      std::vector<double> rewards = pending_pair_rewards;
+      for (double& r : rewards) r += shared;
+      agent.ObservePerPair(rewards, view, affordable, terminal);
+      has_pending = false;
+    }
+    if (terminal) break;
+    ++iterations;
+
+    // Task selection + assignment (joint policy, or the M1/M2 ablations).
+    std::vector<rl::Assignment> assignments;
+    if (!config_.random_task_selection && !config_.random_task_assignment) {
+      assignments = agent.SelectBatch(view, config_.k,
+                                      batch_objects, affordable);
+    } else {
+      rl::ScoredCandidates candidates = agent.Score(view, affordable);
+      std::vector<size_t> chosen;
+      if (config_.random_task_selection) {
+        assignments = PickRandomObjects(
+            candidates, config_.k, batch_objects, n,
+            /*random_annotators=*/config_.random_task_assignment, &local,
+            &chosen);
+      } else {
+        assignments = PickTopObjectsRandomAnnotators(
+            candidates, config_.k, batch_objects, n, &local,
+            &chosen);
+      }
+      agent.Commit(candidates, chosen);
+    }
+    if (assignments.empty()) break;
+
+    // Execute in Commit order, tracking which pairs actually got paid.
+    std::vector<std::pair<int, int>> pairs;  // (object, annotator).
+    for (const rl::Assignment& assignment : assignments) {
+      for (int annotator : assignment.annotators) {
+        pairs.emplace_back(assignment.object, annotator);
+      }
+    }
+    std::vector<bool> executed(pairs.size(), false);
+    bool stop_executing = false;
+    for (size_t p = 0; p < pairs.size() && !stop_executing; ++p) {
+      Status s = env.RequestAnswer(pairs[p].first, pairs[p].second);
+      if (s.IsOutOfBudget()) {
+        stop_executing = true;
+        break;
+      }
+      CROWDRL_RETURN_IF_ERROR(s);
+      executed[p] = true;
+    }
+
+    CROWDRL_RETURN_IF_ERROR(run_inference());
+
+    // Per-pair reward components, now that the inferred truths are known.
+    pending_pair_rewards.assign(pairs.size(), 0.0);
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      if (!executed[p]) continue;  // Never paid: no signal.
+      auto [object, annotator] = pairs[p];
+      bool agreed =
+          env.answers().Answer(object, annotator) == state.label(object);
+      pending_pair_rewards[p] = PairReward(
+          config_.reward, agreed,
+          env.costs()[static_cast<size_t>(annotator)], env.max_cost());
+    }
+    has_pending = true;
+  }
+  if (has_pending) {
+    // Loop left via the iteration cap or an empty candidate set.
+    agent.ObservePerPair(pending_pair_rewards, make_view(),
+                         env.AffordableAnnotators(), /*terminal=*/true);
+  }
+
+  // --- Finalize: every object must carry a label. ---
+  // Classifier-sourced labels are re-rated with the *final* phi: it has
+  // been retrained by every joint-inference round since those objects
+  // were first enriched, so its current prediction strictly dominates the
+  // snapshot that enriched them.
+  if (phi.is_trained()) {
+    Matrix final_probs = phi.PredictProbsBatch(dataset.features);
+    for (size_t i = 0; i < n; ++i) {
+      int object = static_cast<int>(i);
+      if (state.IsLabelled(object) &&
+          state.source(object) == LabelSource::kClassifier) {
+        state.SetLabel(object,
+                       static_cast<int>(Argmax(final_probs.RowVector(i))),
+                       LabelSource::kClassifier);
+      }
+    }
+  }
+  for (int object : state.UnlabelledObjects()) {
+    int label = 0;
+    if (phi.is_trained()) {
+      label = static_cast<int>(Argmax(phi.PredictProbs(
+          dataset.features.RowVector(static_cast<size_t>(object)))));
+    }
+    state.SetLabel(object, label, LabelSource::kFallback);
+  }
+
+  state.ExportTo(result);
+  result->budget_spent = env.budget().spent();
+  result->iterations = iterations;
+  result->human_answers = env.human_answers();
+  result->final_annotator_qualities = qualities;
+  last_q_parameters_ = agent.q_network().FlatParameters();
+  return Status::Ok();
+}
+
+std::vector<double> PretrainQNetwork(CrowdRlConfig config,
+                                     const std::vector<PretrainTask>& tasks,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const PretrainTask& task = tasks[i];
+    CROWDRL_CHECK(task.dataset != nullptr && task.pool != nullptr);
+    CrowdRlFramework framework(config);
+    LabellingResult ignored;
+    Status s = framework.Run(*task.dataset, *task.pool, task.budget,
+                             rng.Fork(i).seed(), &ignored);
+    CROWDRL_CHECK(s.ok()) << "pretraining run failed: " << s.ToString();
+    config.pretrained_q_params = framework.last_q_parameters();
+  }
+  return config.pretrained_q_params;
+}
+
+}  // namespace crowdrl::core

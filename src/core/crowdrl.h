@@ -1,0 +1,67 @@
+#ifndef CROWDRL_CORE_CROWDRL_H_
+#define CROWDRL_CORE_CROWDRL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/framework.h"
+
+namespace crowdrl::core {
+
+/// \brief The end-to-end CrowdRL framework (Algorithm 1).
+///
+/// Per run: (0) bootstrap — ask annotators to label an alpha fraction of
+/// the objects and infer their truths; then iterate until every object is
+/// labelled or the budget is exhausted: (1) labelled-set enrichment with
+/// the classifier trained by the previous round's joint inference;
+/// (2) joint task selection + assignment by the DQN agent (UCB
+/// exploration, Q-masking, per-object top-k); (3) execute the assignments
+/// against the environment and (4) run joint truth inference, which also
+/// retrains phi. The iteration reward r(t) = lambda * r_phi + eta * r_cost
+/// feeds experience replay one step delayed, when the enrichment caused by
+/// the action's retrained classifier is observable.
+class CrowdRlFramework : public LabellingFramework {
+ public:
+  explicit CrowdRlFramework(CrowdRlConfig config = CrowdRlConfig());
+
+  Status Run(const data::Dataset& dataset,
+             const std::vector<crowd::Annotator>& pool, double budget,
+             uint64_t seed, LabellingResult* result) override;
+
+  const char* name() const override;
+
+  const CrowdRlConfig& config() const { return config_; }
+
+  /// Q-network parameters at the end of the latest Run (empty before the
+  /// first run). Feed these into CrowdRlConfig::pretrained_q_params to
+  /// warm-start another run (cross training).
+  const std::vector<double>& last_q_parameters() const {
+    return last_q_parameters_;
+  }
+
+ private:
+  CrowdRlConfig config_;
+  std::string name_;
+  std::vector<double> last_q_parameters_;
+};
+
+/// One offline pre-training workload for the cross-training protocol.
+struct PretrainTask {
+  const data::Dataset* dataset = nullptr;
+  const std::vector<crowd::Annotator>* pool = nullptr;
+  double budget = 0.0;
+};
+
+/// Runs CrowdRL sequentially over the tasks, chaining the Q-network
+/// parameters from one run into the next, and returns the final
+/// parameters (Section VI-A4: "when evaluating one dataset online, we
+/// used the other datasets to train the reinforcement learning model
+/// offline in advance").
+std::vector<double> PretrainQNetwork(CrowdRlConfig config,
+                                     const std::vector<PretrainTask>& tasks,
+                                     uint64_t seed);
+
+}  // namespace crowdrl::core
+
+#endif  // CROWDRL_CORE_CROWDRL_H_

@@ -1,0 +1,84 @@
+#include "core/environment.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace crowdrl::core {
+
+Environment::Environment(const data::Dataset* dataset,
+                         const std::vector<crowd::Annotator>* pool,
+                         double budget, uint64_t seed)
+    : dataset_(dataset),
+      pool_(pool),
+      budget_(budget),
+      answers_(dataset->num_objects(), pool->size()),
+      rng_(seed) {
+  CROWDRL_CHECK(dataset != nullptr && pool != nullptr);
+  CROWDRL_CHECK(!pool->empty());
+  CROWDRL_CHECK(dataset->num_objects() > 0);
+  costs_.reserve(pool->size());
+  max_cost_ = 0.0;
+  for (size_t j = 0; j < pool->size(); ++j) {
+    CROWDRL_CHECK((*pool)[j].id() == static_cast<int>(j))
+        << "pool must be indexed by annotator id";
+    CROWDRL_CHECK((*pool)[j].hidden_confusion().num_classes() ==
+                  dataset->num_classes);
+    costs_.push_back((*pool)[j].cost());
+    max_cost_ = std::max(max_cost_, (*pool)[j].cost());
+  }
+}
+
+Status Environment::RequestAnswer(int object, int annotator) {
+  if (object < 0 || static_cast<size_t>(object) >= num_objects()) {
+    return Status::InvalidArgument("object id out of range");
+  }
+  if (annotator < 0 || static_cast<size_t>(annotator) >= num_annotators()) {
+    return Status::InvalidArgument("annotator id out of range");
+  }
+  if (answers_.HasAnswer(object, annotator)) {
+    return Status::FailedPrecondition(StringPrintf(
+        "annotator %d already answered object %d", annotator, object));
+  }
+  const crowd::Annotator& who = (*pool_)[static_cast<size_t>(annotator)];
+  CROWDRL_RETURN_IF_ERROR(budget_.Spend(who.cost()));
+  int truth = dataset_->truths[static_cast<size_t>(object)];
+  int answer = who.Answer(truth, &rng_);
+  answers_.Record(object, annotator, answer);
+  ++human_answers_;
+  return Status::Ok();
+}
+
+bool Environment::CanAfford(int annotator) const {
+  CROWDRL_DCHECK(annotator >= 0 &&
+                 static_cast<size_t>(annotator) < num_annotators());
+  return budget_.CanAfford(costs_[static_cast<size_t>(annotator)]);
+}
+
+std::vector<bool> Environment::AffordableAnnotators() const {
+  std::vector<bool> mask(num_annotators());
+  for (size_t j = 0; j < num_annotators(); ++j) {
+    mask[j] = budget_.CanAfford(costs_[j]);
+  }
+  return mask;
+}
+
+bool Environment::AnyAffordable() const {
+  for (size_t j = 0; j < num_annotators(); ++j) {
+    if (budget_.CanAfford(costs_[j])) return true;
+  }
+  return false;
+}
+
+std::vector<int> Environment::AnsweredObjects() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < num_objects(); ++i) {
+    if (answers_.AnswerCount(static_cast<int>(i)) > 0) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace crowdrl::core

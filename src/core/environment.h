@@ -1,0 +1,73 @@
+#ifndef CROWDRL_CORE_ENVIRONMENT_H_
+#define CROWDRL_CORE_ENVIRONMENT_H_
+
+#include <vector>
+
+#include "crowd/annotator.h"
+#include "crowd/answer_log.h"
+#include "crowd/budget.h"
+#include "data/dataset.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace crowdrl::core {
+
+/// \brief The simulated labelling environment: routes answer requests to
+/// the annotator pool, charges the budget, and accumulates the labelling
+/// history S.
+///
+/// This is the only component that touches the dataset's hidden truths
+/// (to sample annotator answers). Frameworks interact exclusively through
+/// RequestAnswer / answers() / budget accounting, so "never read the
+/// ground truth" and "never overspend" are structural guarantees.
+class Environment {
+ public:
+  Environment(const data::Dataset* dataset,
+              const std::vector<crowd::Annotator>* pool, double budget,
+              uint64_t seed);
+
+  size_t num_objects() const { return dataset_->num_objects(); }
+  size_t num_annotators() const { return pool_->size(); }
+  int num_classes() const { return dataset_->num_classes; }
+  const data::Dataset& dataset() const { return *dataset_; }
+  const std::vector<crowd::Annotator>& pool() const { return *pool_; }
+
+  /// Asks annotator `annotator` to label `object`: charges the cost and
+  /// records the sampled answer. Fails with OutOfBudget (spending nothing)
+  /// when the remaining budget cannot cover the cost, and with
+  /// FailedPrecondition on a duplicate (object, annotator) request.
+  Status RequestAnswer(int object, int annotator);
+
+  const crowd::AnswerLog& answers() const { return answers_; }
+  const crowd::Budget& budget() const { return budget_; }
+  size_t human_answers() const { return human_answers_; }
+
+  bool CanAfford(int annotator) const;
+  /// Affordability mask over the pool, given the remaining budget.
+  std::vector<bool> AffordableAnnotators() const;
+  /// True if at least one annotator is still affordable.
+  bool AnyAffordable() const;
+
+  /// Objects with at least one recorded answer.
+  std::vector<int> AnsweredObjects() const;
+
+  /// Per-annotator costs (indexed by id) and the maximum cost.
+  const std::vector<double>& costs() const { return costs_; }
+  double max_cost() const { return max_cost_; }
+
+  Rng* rng() { return &rng_; }
+
+ private:
+  const data::Dataset* dataset_;
+  const std::vector<crowd::Annotator>* pool_;
+  crowd::Budget budget_;
+  crowd::AnswerLog answers_;
+  Rng rng_;
+  std::vector<double> costs_;
+  double max_cost_;
+  size_t human_answers_ = 0;
+};
+
+}  // namespace crowdrl::core
+
+#endif  // CROWDRL_CORE_ENVIRONMENT_H_

@@ -1,0 +1,95 @@
+#include "core/framework.h"
+
+#include "util/logging.h"
+
+namespace crowdrl::core {
+
+const char* LabelSourceName(LabelSource source) {
+  switch (source) {
+    case LabelSource::kNone:
+      return "none";
+    case LabelSource::kInference:
+      return "inference";
+    case LabelSource::kClassifier:
+      return "classifier";
+    case LabelSource::kFallback:
+      return "fallback";
+  }
+  return "?";
+}
+
+size_t LabellingResult::CountBySource(LabelSource source) const {
+  size_t count = 0;
+  for (LabelSource s : sources) {
+    if (s == source) ++count;
+  }
+  return count;
+}
+
+LabelState::LabelState(size_t num_objects, int num_classes)
+    : num_classes_(num_classes),
+      labels_(num_objects, -1),
+      sources_(num_objects, LabelSource::kNone),
+      labelled_(num_objects, false) {
+  CROWDRL_CHECK(num_objects > 0);
+  CROWDRL_CHECK(num_classes >= 2);
+}
+
+bool LabelState::IsLabelled(int object) const {
+  CROWDRL_DCHECK(object >= 0 &&
+                 static_cast<size_t>(object) < labels_.size());
+  return labelled_[static_cast<size_t>(object)];
+}
+
+int LabelState::label(int object) const {
+  CROWDRL_DCHECK(object >= 0 &&
+                 static_cast<size_t>(object) < labels_.size());
+  return labels_[static_cast<size_t>(object)];
+}
+
+LabelSource LabelState::source(int object) const {
+  CROWDRL_DCHECK(object >= 0 &&
+                 static_cast<size_t>(object) < labels_.size());
+  return sources_[static_cast<size_t>(object)];
+}
+
+void LabelState::SetLabel(int object, int label, LabelSource source) {
+  CROWDRL_CHECK(object >= 0 &&
+                static_cast<size_t>(object) < labels_.size());
+  CROWDRL_CHECK(label >= 0 && label < num_classes_);
+  CROWDRL_CHECK(source != LabelSource::kNone);
+  size_t i = static_cast<size_t>(object);
+  if (!labelled_[i]) {
+    labelled_[i] = true;
+    ++num_labelled_;
+  }
+  labels_[i] = label;
+  sources_[i] = source;
+}
+
+void LabelState::ClearLabel(int object) {
+  CROWDRL_CHECK(object >= 0 &&
+                static_cast<size_t>(object) < labels_.size());
+  size_t i = static_cast<size_t>(object);
+  if (!labelled_[i]) return;
+  labelled_[i] = false;
+  labels_[i] = -1;
+  sources_[i] = LabelSource::kNone;
+  --num_labelled_;
+}
+
+std::vector<int> LabelState::UnlabelledObjects() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (!labelled_[i]) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+void LabelState::ExportTo(LabellingResult* result) const {
+  CROWDRL_CHECK(result != nullptr);
+  result->labels = labels_;
+  result->sources = sources_;
+}
+
+}  // namespace crowdrl::core

@@ -1,0 +1,100 @@
+#ifndef CROWDRL_CORE_FRAMEWORK_H_
+#define CROWDRL_CORE_FRAMEWORK_H_
+
+#include <vector>
+
+#include "crowd/annotator.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace crowdrl::core {
+
+/// Provenance of a decided label.
+enum class LabelSource {
+  kNone,        ///< Never decided (only possible mid-run).
+  kInference,   ///< Truth inference over human answers (+ classifier).
+  kClassifier,  ///< Labelled-set enrichment by phi.
+  kFallback,    ///< Budget ran out; best guess at finalization time.
+};
+
+const char* LabelSourceName(LabelSource source);
+
+/// Output of one end-to-end labelling run.
+struct LabellingResult {
+  /// Final label per object; frameworks must finalize every object.
+  std::vector<int> labels;
+  std::vector<LabelSource> sources;
+  double budget_spent = 0.0;
+  size_t iterations = 0;
+  size_t human_answers = 0;
+  /// Estimated tr(Pi-hat)/|C| per annotator at the end of the run (may be
+  /// empty for frameworks that never estimate qualities).
+  std::vector<double> final_annotator_qualities;
+
+  /// Number of labels decided by each source.
+  size_t CountBySource(LabelSource source) const;
+};
+
+/// \brief Interface every end-to-end labelling framework implements —
+/// CrowdRL itself, its ablations, and the five baselines (Section VI-A2).
+///
+/// A framework receives the workload, the annotator pool, and the budget,
+/// and must return a label for *every* object without overspending.
+class LabellingFramework {
+ public:
+  virtual ~LabellingFramework() = default;
+
+  virtual Status Run(const data::Dataset& dataset,
+                     const std::vector<crowd::Annotator>& pool,
+                     double budget, uint64_t seed,
+                     LabellingResult* result) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// \brief Tracks which objects have a decided label and from where.
+/// Shared by CrowdRL and all baselines.
+class LabelState {
+ public:
+  LabelState(size_t num_objects, int num_classes);
+
+  size_t num_objects() const { return labels_.size(); }
+  int num_classes() const { return num_classes_; }
+
+  bool IsLabelled(int object) const;
+  int label(int object) const;
+  LabelSource source(int object) const;
+
+  /// Decides (or re-decides) an object's label. Re-deciding is allowed —
+  /// later inference rounds may revise earlier estimates.
+  void SetLabel(int object, int label, LabelSource source);
+
+  /// Reverts an object to unlabelled (used by CrowdRL's leftover-budget
+  /// refinement, which reopens low-confidence classifier labels).
+  void ClearLabel(int object);
+
+  size_t num_labelled() const { return num_labelled_; }
+  double fraction_labelled() const {
+    return static_cast<double>(num_labelled_) /
+           static_cast<double>(labels_.size());
+  }
+  bool AllLabelled() const { return num_labelled_ == labels_.size(); }
+
+  const std::vector<bool>& labelled_mask() const { return labelled_; }
+
+  std::vector<int> UnlabelledObjects() const;
+
+  /// Copies labels/sources into a result.
+  void ExportTo(LabellingResult* result) const;
+
+ private:
+  int num_classes_;
+  std::vector<int> labels_;
+  std::vector<LabelSource> sources_;
+  std::vector<bool> labelled_;
+  size_t num_labelled_ = 0;
+};
+
+}  // namespace crowdrl::core
+
+#endif  // CROWDRL_CORE_FRAMEWORK_H_

@@ -1,0 +1,23 @@
+#include "core/reward.h"
+
+#include "util/logging.h"
+
+namespace crowdrl::core {
+
+double SharedEnrichmentReward(const RewardOptions& options, size_t enriched,
+                              size_t unlabelled_before) {
+  double r_phi = unlabelled_before > 0
+                     ? static_cast<double>(enriched) /
+                           static_cast<double>(unlabelled_before)
+                     : 0.0;
+  return options.lambda * r_phi;
+}
+
+double PairReward(const RewardOptions& options, bool agreed, double cost,
+                  double max_cost) {
+  CROWDRL_CHECK(cost >= 0.0);
+  double norm_cost = max_cost > 0.0 ? cost / max_cost : 0.0;
+  return options.mu * (agreed ? 1.0 : 0.0) + options.eta * norm_cost;
+}
+
+}  // namespace crowdrl::core

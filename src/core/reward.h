@@ -1,0 +1,39 @@
+#ifndef CROWDRL_CORE_REWARD_H_
+#define CROWDRL_CORE_REWARD_H_
+
+#include <cstddef>
+
+namespace crowdrl::core {
+
+/// Weights of the per-iteration reward (Section III-B:
+/// r(t) = lambda * r_phi(t) + eta * r_cost(t), where the Environment
+/// "computes a reward of the assignment" from the labels it collects).
+///
+/// We decompose r(t) per executed (object, annotator) pair so the DQN gets
+/// usable credit assignment instead of one shared scalar across the whole
+/// batch:
+///   r_pair = lambda * r_phi            (shared enrichment coverage)
+///          + mu * agree_pair           (answer matched the inferred truth)
+///          + eta * cost_pair / max_cost
+/// Summed over a batch this matches the paper's aggregate form; the
+/// agreement term is the assignment-quality feedback the Environment
+/// computes (the same signal [32] trains its assignment DQN on, used by
+/// the Hybrid baseline). `eta` is negative: spending is a penalty.
+struct RewardOptions {
+  double lambda = 1.0;
+  double mu = 0.0;
+  double eta = -0.05;
+};
+
+/// Shared component: lambda * r_phi, where r_phi is |objects labelled by
+/// phi this iteration| / |objects unlabelled before enrichment|.
+double SharedEnrichmentReward(const RewardOptions& options, size_t enriched,
+                              size_t unlabelled_before);
+
+/// Per-pair component: mu * agree + eta * cost / max_cost.
+double PairReward(const RewardOptions& options, bool agreed, double cost,
+                  double max_cost);
+
+}  // namespace crowdrl::core
+
+#endif  // CROWDRL_CORE_REWARD_H_

@@ -1,0 +1,80 @@
+#include "crowd/annotator.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crowdrl::crowd {
+
+const char* AnnotatorTypeName(AnnotatorType type) {
+  switch (type) {
+    case AnnotatorType::kWorker:
+      return "worker";
+    case AnnotatorType::kExpert:
+      return "expert";
+  }
+  return "?";
+}
+
+Annotator::Annotator(int id, AnnotatorType type,
+                     ConfusionMatrix hidden_confusion, double cost)
+    : id_(id),
+      type_(type),
+      hidden_confusion_(std::move(hidden_confusion)),
+      cost_(cost) {
+  CROWDRL_CHECK(id >= 0);
+  CROWDRL_CHECK(cost >= 0.0);
+}
+
+int Annotator::Answer(int true_class, Rng* rng) const {
+  return hidden_confusion_.Sample(true_class, rng);
+}
+
+std::vector<Annotator> MakePool(const PoolOptions& options) {
+  CROWDRL_CHECK(options.num_workers >= 0 && options.num_experts >= 0);
+  CROWDRL_CHECK(options.num_workers + options.num_experts > 0);
+  CROWDRL_CHECK(options.num_classes >= 2);
+  Rng rng(options.seed);
+  std::vector<Annotator> pool;
+  pool.reserve(
+      static_cast<size_t>(options.num_workers + options.num_experts));
+  int id = 0;
+  for (int i = 0; i < options.num_workers; ++i) {
+    Rng worker_rng = rng.Fork(static_cast<uint64_t>(id));
+    pool.emplace_back(
+        id, AnnotatorType::kWorker,
+        ConfusionMatrix::Random(options.num_classes, options.worker_diag_lo,
+                                options.worker_diag_hi, &worker_rng),
+        options.worker_cost);
+    ++id;
+  }
+  for (int i = 0; i < options.num_experts; ++i) {
+    Rng expert_rng = rng.Fork(static_cast<uint64_t>(id));
+    pool.emplace_back(
+        id, AnnotatorType::kExpert,
+        ConfusionMatrix::Random(options.num_classes, options.expert_diag_lo,
+                                options.expert_diag_hi, &expert_rng),
+        options.expert_cost);
+    ++id;
+  }
+  return pool;
+}
+
+PoolOptions PoolOfSize(int total, int num_classes, uint64_t seed) {
+  CROWDRL_CHECK(total >= 1);
+  PoolOptions options;
+  options.num_classes = num_classes;
+  options.seed = seed;
+  if (total == 1) {
+    options.num_workers = 1;
+    options.num_experts = 0;
+  } else {
+    options.num_experts = std::max(
+        1, static_cast<int>(std::llround(0.4 * static_cast<double>(total))));
+    options.num_experts = std::min(options.num_experts, total - 1);
+    options.num_workers = total - options.num_experts;
+  }
+  return options;
+}
+
+}  // namespace crowdrl::crowd

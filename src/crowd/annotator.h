@@ -1,0 +1,80 @@
+#ifndef CROWDRL_CROWD_ANNOTATOR_H_
+#define CROWDRL_CROWD_ANNOTATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "crowd/confusion_matrix.h"
+#include "util/random.h"
+
+namespace crowdrl::crowd {
+
+/// Crowdsourcing worker or domain expert (Section II-A's annotator model).
+enum class AnnotatorType { kWorker, kExpert };
+
+const char* AnnotatorTypeName(AnnotatorType type);
+
+/// \brief Simulated annotator: a hidden confusion matrix plus a per-answer
+/// monetary cost.
+///
+/// The hidden matrix stands in for a real human; frameworks under test may
+/// query only `id`, `type`, and `cost` — answers come back through
+/// `Answer()`, and the matrix itself is exposed solely for the simulator
+/// and for evaluating estimated qualities in tests.
+class Annotator {
+ public:
+  Annotator(int id, AnnotatorType type, ConfusionMatrix hidden_confusion,
+            double cost);
+
+  int id() const { return id_; }
+  AnnotatorType type() const { return type_; }
+  bool is_expert() const { return type_ == AnnotatorType::kExpert; }
+  double cost() const { return cost_; }
+
+  /// Samples this annotator's (noisy) answer for an object whose hidden
+  /// truth is `true_class`.
+  int Answer(int true_class, Rng* rng) const;
+
+  /// Ground-truth expertise — simulation/evaluation only.
+  const ConfusionMatrix& hidden_confusion() const {
+    return hidden_confusion_;
+  }
+
+  /// tr(Pi)/|C| of the *hidden* matrix — simulation/evaluation only.
+  double TrueQuality() const { return hidden_confusion_.Quality(); }
+
+ private:
+  int id_;
+  AnnotatorType type_;
+  ConfusionMatrix hidden_confusion_;
+  double cost_;
+};
+
+/// \brief Factory options for a heterogeneous annotator pool.
+///
+/// Defaults follow Section VI: worker cost 1 unit, expert cost 10 units,
+/// worker diagonals moderate, expert diagonals near 1.
+struct PoolOptions {
+  int num_workers = 3;
+  int num_experts = 2;
+  int num_classes = 2;
+  double worker_diag_lo = 0.65;
+  double worker_diag_hi = 0.85;
+  double expert_diag_lo = 0.92;
+  double expert_diag_hi = 1.00;
+  double worker_cost = 1.0;
+  double expert_cost = 10.0;
+  uint64_t seed = 7;
+};
+
+/// Builds `num_workers` workers followed by `num_experts` experts, with
+/// ids 0..n-1 and hidden confusion matrices drawn from the given ranges.
+std::vector<Annotator> MakePool(const PoolOptions& options);
+
+/// Splits a total pool size |W| the way the paper's experiments do: about
+/// 60% workers / 40% experts, at least one of each when size >= 2.
+PoolOptions PoolOfSize(int total, int num_classes, uint64_t seed);
+
+}  // namespace crowdrl::crowd
+
+#endif  // CROWDRL_CROWD_ANNOTATOR_H_

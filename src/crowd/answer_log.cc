@@ -1,0 +1,68 @@
+#include "crowd/answer_log.h"
+
+#include "util/logging.h"
+
+namespace crowdrl::crowd {
+
+AnswerLog::AnswerLog(size_t num_objects, size_t num_annotators)
+    : num_objects_(num_objects),
+      num_annotators_(num_annotators),
+      answers_(num_objects * num_annotators, kNoAnswer),
+      per_object_(num_objects) {
+  CROWDRL_CHECK(num_objects > 0 && num_annotators > 0);
+}
+
+size_t AnswerLog::Index(int object, int annotator) const {
+  CROWDRL_DCHECK(object >= 0 &&
+                 static_cast<size_t>(object) < num_objects_);
+  CROWDRL_DCHECK(annotator >= 0 &&
+                 static_cast<size_t>(annotator) < num_annotators_);
+  return static_cast<size_t>(object) * num_annotators_ +
+         static_cast<size_t>(annotator);
+}
+
+void AnswerLog::Record(int object, int annotator, int label) {
+  CROWDRL_CHECK(label >= 0);
+  size_t idx = Index(object, annotator);
+  CROWDRL_CHECK(answers_[idx] == kNoAnswer)
+      << "duplicate answer for object " << object << " by annotator "
+      << annotator;
+  answers_[idx] = label;
+  per_object_[static_cast<size_t>(object)].emplace_back(annotator, label);
+  ++total_answers_;
+}
+
+bool AnswerLog::HasAnswer(int object, int annotator) const {
+  return answers_[Index(object, annotator)] != kNoAnswer;
+}
+
+int AnswerLog::Answer(int object, int annotator) const {
+  return answers_[Index(object, annotator)];
+}
+
+int AnswerLog::AnswerCount(int object) const {
+  CROWDRL_DCHECK(object >= 0 &&
+                 static_cast<size_t>(object) < num_objects_);
+  return static_cast<int>(per_object_[static_cast<size_t>(object)].size());
+}
+
+const std::vector<std::pair<int, int>>& AnswerLog::AnswersFor(
+    int object) const {
+  CROWDRL_DCHECK(object >= 0 &&
+                 static_cast<size_t>(object) < num_objects_);
+  return per_object_[static_cast<size_t>(object)];
+}
+
+std::vector<int> AnswerLog::LabelHistogram(int object,
+                                           int num_classes) const {
+  CROWDRL_CHECK(num_classes >= 2);
+  std::vector<int> histogram(static_cast<size_t>(num_classes), 0);
+  for (const auto& [annotator, label] : AnswersFor(object)) {
+    CROWDRL_CHECK(label < num_classes)
+        << "answer " << label << " outside class range";
+    ++histogram[static_cast<size_t>(label)];
+  }
+  return histogram;
+}
+
+}  // namespace crowdrl::crowd

@@ -1,0 +1,52 @@
+#ifndef CROWDRL_CROWD_ANSWER_LOG_H_
+#define CROWDRL_CROWD_ANSWER_LOG_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace crowdrl::crowd {
+
+/// \brief The labelling-history matrix S (Section III-B): entry (i, j) is
+/// annotator j's answer for object i, or kNoAnswer if w_j has not labelled
+/// o_i yet. This is the first component of the RL state.
+class AnswerLog {
+ public:
+  static constexpr int kNoAnswer = -1;
+
+  AnswerLog(size_t num_objects, size_t num_annotators);
+
+  size_t num_objects() const { return num_objects_; }
+  size_t num_annotators() const { return num_annotators_; }
+  size_t total_answers() const { return total_answers_; }
+
+  /// Records annotator `annotator`'s answer `label` for object `object`.
+  /// Re-answering the same pair is a programming error (the paper forbids
+  /// duplicate labelling via Q = -inf masking).
+  void Record(int object, int annotator, int label);
+
+  bool HasAnswer(int object, int annotator) const;
+  int Answer(int object, int annotator) const;
+
+  /// Number of answers collected for one object.
+  int AnswerCount(int object) const;
+
+  /// All (annotator, label) pairs for one object, in recording order.
+  const std::vector<std::pair<int, int>>& AnswersFor(int object) const;
+
+  /// Votes per class for one object.
+  std::vector<int> LabelHistogram(int object, int num_classes) const;
+
+ private:
+  size_t Index(int object, int annotator) const;
+
+  size_t num_objects_;
+  size_t num_annotators_;
+  std::vector<int> answers_;  // Row-major |O| x |W|, kNoAnswer-filled.
+  std::vector<std::vector<std::pair<int, int>>> per_object_;
+  size_t total_answers_ = 0;
+};
+
+}  // namespace crowdrl::crowd
+
+#endif  // CROWDRL_CROWD_ANSWER_LOG_H_

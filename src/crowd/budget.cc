@@ -1,0 +1,33 @@
+#include "crowd/budget.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace crowdrl::crowd {
+
+namespace {
+// Tolerance for floating-point accumulation of many unit costs.
+constexpr double kSlack = 1e-9;
+}  // namespace
+
+Budget::Budget(double total) : total_(total) {
+  CROWDRL_CHECK(total >= 0.0);
+}
+
+bool Budget::CanAfford(double amount) const {
+  return amount <= remaining() + kSlack;
+}
+
+Status Budget::Spend(double amount) {
+  if (amount < 0.0) {
+    return Status::InvalidArgument("cannot spend a negative amount");
+  }
+  if (!CanAfford(amount)) {
+    return Status::OutOfBudget(StringPrintf(
+        "spend %.3f exceeds remaining %.3f", amount, remaining()));
+  }
+  spent_ += amount;
+  return Status::Ok();
+}
+
+}  // namespace crowdrl::crowd

@@ -1,0 +1,32 @@
+#ifndef CROWDRL_CROWD_BUDGET_H_
+#define CROWDRL_CROWD_BUDGET_H_
+
+#include "util/status.h"
+
+namespace crowdrl::crowd {
+
+/// \brief Monetary budget B (Section II-A). Every annotator answer must be
+/// paid for through this class, which makes "never overspend" a checkable
+/// invariant of every framework.
+class Budget {
+ public:
+  explicit Budget(double total);
+
+  double total() const { return total_; }
+  double spent() const { return spent_; }
+  double remaining() const { return total_ - spent_; }
+
+  bool CanAfford(double amount) const;
+
+  /// Debits `amount`; returns OutOfBudget (and debits nothing) if the
+  /// remaining budget does not cover it. Negative amounts are rejected.
+  Status Spend(double amount);
+
+ private:
+  double total_;
+  double spent_ = 0.0;
+};
+
+}  // namespace crowdrl::crowd
+
+#endif  // CROWDRL_CROWD_BUDGET_H_

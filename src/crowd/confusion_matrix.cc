@@ -1,0 +1,105 @@
+#include "crowd/confusion_matrix.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crowdrl::crowd {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes) {
+  CROWDRL_CHECK(num_classes >= 2);
+  size_t n = static_cast<size_t>(num_classes);
+  probs_ = Matrix(n, n, 1.0 / static_cast<double>(num_classes));
+}
+
+ConfusionMatrix::ConfusionMatrix(Matrix probs) : probs_(std::move(probs)) {
+  CROWDRL_CHECK(probs_.rows() == probs_.cols() && probs_.rows() >= 2);
+  NormalizeRows();
+}
+
+ConfusionMatrix ConfusionMatrix::Diagonal(int num_classes, double diag) {
+  CROWDRL_CHECK(num_classes >= 2);
+  CROWDRL_CHECK(diag >= 0.0 && diag <= 1.0);
+  size_t n = static_cast<size_t>(num_classes);
+  double off = (1.0 - diag) / static_cast<double>(num_classes - 1);
+  Matrix m(n, n, off);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = diag;
+  return ConfusionMatrix(std::move(m));
+}
+
+ConfusionMatrix ConfusionMatrix::Random(int num_classes, double diag_lo,
+                                        double diag_hi, Rng* rng) {
+  CROWDRL_CHECK(num_classes >= 2);
+  CROWDRL_CHECK(rng != nullptr);
+  CROWDRL_CHECK(0.0 <= diag_lo && diag_lo <= diag_hi && diag_hi <= 1.0);
+  size_t n = static_cast<size_t>(num_classes);
+  Matrix m(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    double diag = rng->Uniform(diag_lo, diag_hi);
+    m.At(r, r) = diag;
+    // Split the remaining mass with random positive proportions.
+    std::vector<double> shares(n - 1);
+    double total = 0.0;
+    for (double& s : shares) {
+      s = rng->Uniform(0.1, 1.0);
+      total += s;
+    }
+    size_t k = 0;
+    for (size_t c = 0; c < n; ++c) {
+      if (c == r) continue;
+      m.At(r, c) = (1.0 - diag) * shares[k++] / total;
+    }
+  }
+  return ConfusionMatrix(std::move(m));
+}
+
+double ConfusionMatrix::At(int true_class, int answered) const {
+  CROWDRL_DCHECK(true_class >= 0 && true_class < num_classes());
+  CROWDRL_DCHECK(answered >= 0 && answered < num_classes());
+  return probs_.At(static_cast<size_t>(true_class),
+                   static_cast<size_t>(answered));
+}
+
+int ConfusionMatrix::Sample(int true_class, Rng* rng) const {
+  CROWDRL_CHECK(rng != nullptr);
+  CROWDRL_CHECK(true_class >= 0 && true_class < num_classes());
+  return rng->Categorical(probs_.RowVector(static_cast<size_t>(true_class)));
+}
+
+double ConfusionMatrix::Quality() const {
+  return probs_.Trace() / static_cast<double>(num_classes());
+}
+
+Status ConfusionMatrix::Validate() const {
+  if (probs_.rows() != probs_.cols() || probs_.rows() < 2) {
+    return Status::InvalidArgument("confusion matrix must be square, >= 2");
+  }
+  for (size_t r = 0; r < probs_.rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < probs_.cols(); ++c) {
+      double p = probs_.At(r, c);
+      if (p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument("entry outside [0, 1]");
+      }
+      sum += p;
+    }
+    if (std::fabs(sum - 1.0) > 1e-9) {
+      return Status::InvalidArgument("row does not sum to 1");
+    }
+  }
+  return Status::Ok();
+}
+
+void ConfusionMatrix::NormalizeRows() {
+  for (size_t r = 0; r < probs_.rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < probs_.cols(); ++c) {
+      CROWDRL_CHECK(probs_.At(r, c) >= 0.0);
+      sum += probs_.At(r, c);
+    }
+    CROWDRL_CHECK(sum > 0.0) << "confusion matrix row " << r << " is all-zero";
+    for (size_t c = 0; c < probs_.cols(); ++c) probs_.At(r, c) /= sum;
+  }
+}
+
+}  // namespace crowdrl::crowd

@@ -1,0 +1,63 @@
+#ifndef CROWDRL_CROWD_CONFUSION_MATRIX_H_
+#define CROWDRL_CROWD_CONFUSION_MATRIX_H_
+
+#include <vector>
+
+#include "math/matrix.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace crowdrl::crowd {
+
+/// \brief Row-stochastic |C| x |C| annotator expertise matrix Pi
+/// (Section II-A): entry (c, l) is the probability that an object whose
+/// true class is c is answered as class l.
+class ConfusionMatrix {
+ public:
+  /// Uniform matrix (every row is the uniform distribution) — the
+  /// zero-knowledge prior used to initialize estimated qualities.
+  explicit ConfusionMatrix(int num_classes);
+
+  /// Takes ownership of a row-stochastic matrix; rows are L1-normalized
+  /// defensively (a CHECK rejects rows that sum to <= 0).
+  explicit ConfusionMatrix(Matrix probs);
+
+  /// Diagonal-dominant matrix: `diag` on the diagonal, remainder uniform
+  /// off-diagonal. `diag` in [0, 1].
+  static ConfusionMatrix Diagonal(int num_classes, double diag);
+
+  /// Random annotator: each row's diagonal drawn U[diag_lo, diag_hi],
+  /// off-diagonal mass split with random proportions.
+  static ConfusionMatrix Random(int num_classes, double diag_lo,
+                                double diag_hi, Rng* rng);
+
+  int num_classes() const { return static_cast<int>(probs_.rows()); }
+
+  /// P(answer = answered | truth = true_class).
+  double At(int true_class, int answered) const;
+
+  /// Samples an answer for an object of the given true class.
+  int Sample(int true_class, Rng* rng) const;
+
+  /// Overall quality tr(Pi) / |C| (the paper's state feature for
+  /// annotator quality).
+  double Quality() const;
+
+  /// OK iff square, entries in [0,1], and each row sums to 1 (tolerance
+  /// 1e-9). Constructors already enforce this; exposed for tests and for
+  /// validating externally supplied matrices.
+  Status Validate() const;
+
+  const Matrix& probs() const { return probs_; }
+  Matrix* mutable_probs() { return &probs_; }
+
+  /// Re-normalizes every row to sum to one (call after external edits).
+  void NormalizeRows();
+
+ private:
+  Matrix probs_;
+};
+
+}  // namespace crowdrl::crowd
+
+#endif  // CROWDRL_CROWD_CONFUSION_MATRIX_H_

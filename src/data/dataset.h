@@ -1,0 +1,67 @@
+#ifndef CROWDRL_DATA_DATASET_H_
+#define CROWDRL_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "math/matrix.h"
+#include "util/random.h"
+
+namespace crowdrl::data {
+
+/// \brief A labelling workload: objects with features and *hidden* truths.
+///
+/// The true labels exist only so that (a) the simulated annotators can
+/// answer from their confusion matrices and (b) the evaluation harness can
+/// score the inferred labels. The labelling frameworks under test never read
+/// `truths` directly — they only see features and annotator answers.
+struct Dataset {
+  std::string name;
+  Matrix features;          ///< num_objects x feature_dim.
+  std::vector<int> truths;  ///< Ground truth class per object (hidden).
+  int num_classes = 2;
+
+  size_t num_objects() const { return truths.size(); }
+  size_t feature_dim() const { return features.cols(); }
+};
+
+/// One synthetic feature view: `dim` features of which the first
+/// `informative_fraction * dim` carry class signal.
+///
+/// `separation` is the *total* Mahalanobis distance between class means
+/// (the per-dimension offset is separation / (2 * sqrt(#informative))),
+/// so it directly fixes the Bayes-optimal accuracy of the view:
+/// Phi(separation / 2) for two balanced classes. E.g. separation 3.0 means
+/// no classifier, however good, can exceed ~93% — which is what makes
+/// human answers genuinely valuable on these workloads, as they are on
+/// the paper's real datasets.
+struct ViewSpec {
+  size_t dim = 50;
+  double separation = 2.6;
+  double informative_fraction = 0.5;
+};
+
+/// Generic planted-cluster generator: balanced classes, Gaussian features.
+/// Class means are +/- offsets along the informative dimensions (sign
+/// pattern drawn per class), noise is N(0, 1) i.i.d.
+struct GaussianMixtureOptions {
+  std::string name = "synthetic";
+  size_t num_objects = 1000;
+  int num_classes = 2;
+  ViewSpec view;
+  uint64_t seed = 1;
+};
+
+Dataset MakeGaussianMixture(const GaussianMixtureOptions& options);
+
+/// Deterministically keeps the first `ratio` fraction of a fixed random
+/// permutation of the objects (the paper's Fig. 5 scalability sampling).
+Dataset Subsample(const Dataset& dataset, double ratio, Rng* rng);
+
+/// Returns the dataset restricted to the given object indices.
+Dataset Select(const Dataset& dataset, const std::vector<int>& indices,
+               const std::string& name_suffix);
+
+}  // namespace crowdrl::data
+
+#endif  // CROWDRL_DATA_DATASET_H_

@@ -1,0 +1,57 @@
+#include "eval/experiment.h"
+
+#include "util/logging.h"
+
+namespace crowdrl::eval {
+
+Status RunExperiment(core::LabellingFramework* framework,
+                     const ExperimentSpec& spec,
+                     ExperimentOutcome* outcome) {
+  CROWDRL_CHECK(framework != nullptr && outcome != nullptr);
+  CROWDRL_CHECK(spec.dataset != nullptr && spec.pool != nullptr);
+  CROWDRL_CHECK(spec.num_seeds > 0);
+
+  OnlineStats accuracy, precision, recall, f1;
+  OnlineStats macro_p, macro_r, macro_f1;
+  OnlineStats spent, iterations, human_answers;
+  for (int s = 0; s < spec.num_seeds; ++s) {
+    core::LabellingResult result;
+    CROWDRL_RETURN_IF_ERROR(
+        framework->Run(*spec.dataset, *spec.pool, spec.budget,
+                       spec.base_seed + static_cast<uint64_t>(s), &result));
+    CROWDRL_CHECK(result.labels.size() == spec.dataset->num_objects())
+        << framework->name() << " returned an incomplete labelling";
+    CROWDRL_CHECK(result.budget_spent <= spec.budget + 1e-6)
+        << framework->name() << " overspent the budget";
+    for (int label : result.labels) {
+      CROWDRL_CHECK(label >= 0 && label < spec.dataset->num_classes)
+          << framework->name() << " left an object unlabelled";
+    }
+    Metrics m = ComputeMetrics(spec.dataset->truths, result.labels,
+                               spec.dataset->num_classes);
+    accuracy.Add(m.accuracy);
+    precision.Add(m.precision);
+    recall.Add(m.recall);
+    f1.Add(m.f1);
+    macro_p.Add(m.macro_precision);
+    macro_r.Add(m.macro_recall);
+    macro_f1.Add(m.macro_f1);
+    spent.Add(result.budget_spent);
+    iterations.Add(static_cast<double>(result.iterations));
+    human_answers.Add(static_cast<double>(result.human_answers));
+  }
+  outcome->mean = {accuracy.mean(),  precision.mean(), recall.mean(),
+                   f1.mean(),        macro_p.mean(),   macro_r.mean(),
+                   macro_f1.mean()};
+  outcome->stddev = {accuracy.stddev(), precision.stddev(),
+                     recall.stddev(),   f1.stddev(),
+                     macro_p.stddev(),  macro_r.stddev(),
+                     macro_f1.stddev()};
+  outcome->mean_spent = spent.mean();
+  outcome->mean_iterations = iterations.mean();
+  outcome->mean_human_answers = human_answers.mean();
+  outcome->runs = spec.num_seeds;
+  return Status::Ok();
+}
+
+}  // namespace crowdrl::eval

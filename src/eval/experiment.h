@@ -1,0 +1,41 @@
+#ifndef CROWDRL_EVAL_EXPERIMENT_H_
+#define CROWDRL_EVAL_EXPERIMENT_H_
+
+#include <vector>
+
+#include "core/framework.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "math/stats.h"
+
+namespace crowdrl::eval {
+
+/// One evaluation cell: a framework run on a dataset with a fixed pool and
+/// budget, repeated over `num_seeds` seeds.
+struct ExperimentSpec {
+  const data::Dataset* dataset = nullptr;
+  const std::vector<crowd::Annotator>* pool = nullptr;
+  double budget = 0.0;
+  int num_seeds = 1;
+  uint64_t base_seed = 100;
+};
+
+/// Seed-aggregated outcome of one cell.
+struct ExperimentOutcome {
+  Metrics mean;          ///< Mean metrics across seeds.
+  Metrics stddev;        ///< Per-metric standard deviation across seeds.
+  double mean_spent = 0.0;
+  double mean_iterations = 0.0;
+  double mean_human_answers = 0.0;
+  int runs = 0;
+};
+
+/// Runs the framework `spec.num_seeds` times (seeds base_seed,
+/// base_seed+1, ...) and aggregates the metrics. Budget-respect and
+/// label-completeness are CHECKed on every run.
+Status RunExperiment(core::LabellingFramework* framework,
+                     const ExperimentSpec& spec, ExperimentOutcome* outcome);
+
+}  // namespace crowdrl::eval
+
+#endif  // CROWDRL_EVAL_EXPERIMENT_H_

@@ -1,0 +1,73 @@
+#include "eval/metrics.h"
+
+#include "util/logging.h"
+
+namespace crowdrl::eval {
+
+Metrics ComputeMetrics(const std::vector<int>& truths,
+                       const std::vector<int>& predicted, int num_classes,
+                       int positive_class) {
+  CROWDRL_CHECK(truths.size() == predicted.size());
+  CROWDRL_CHECK(!truths.empty());
+  CROWDRL_CHECK(num_classes >= 2);
+  CROWDRL_CHECK(positive_class >= 0 && positive_class < num_classes);
+
+  size_t c = static_cast<size_t>(num_classes);
+  std::vector<double> tp(c, 0.0), fp(c, 0.0), fn(c, 0.0);
+  size_t correct = 0;
+  for (size_t i = 0; i < truths.size(); ++i) {
+    int t = truths[i];
+    int p = predicted[i];
+    CROWDRL_CHECK(t >= 0 && t < num_classes);
+    CROWDRL_CHECK(p >= 0 && p < num_classes);
+    if (t == p) {
+      ++correct;
+      tp[static_cast<size_t>(t)] += 1.0;
+    } else {
+      fp[static_cast<size_t>(p)] += 1.0;
+      fn[static_cast<size_t>(t)] += 1.0;
+    }
+  }
+
+  auto precision_of = [&](size_t k) {
+    double denom = tp[k] + fp[k];
+    return denom > 0.0 ? tp[k] / denom : 0.0;
+  };
+  auto recall_of = [&](size_t k) {
+    double denom = tp[k] + fn[k];
+    return denom > 0.0 ? tp[k] / denom : 0.0;
+  };
+  auto f1_of = [&](double precision, double recall) {
+    double denom = precision + recall;
+    return denom > 0.0 ? 2.0 * precision * recall / denom : 0.0;
+  };
+
+  Metrics m;
+  m.accuracy =
+      static_cast<double>(correct) / static_cast<double>(truths.size());
+  size_t pos = static_cast<size_t>(positive_class);
+  m.precision = precision_of(pos);
+  m.recall = recall_of(pos);
+  m.f1 = f1_of(m.precision, m.recall);
+  for (size_t k = 0; k < c; ++k) {
+    double p;
+    double r;
+    if (tp[k] + fp[k] + fn[k] == 0.0) {
+      // Class absent everywhere: score it perfect by convention.
+      p = 1.0;
+      r = 1.0;
+    } else {
+      p = precision_of(k);
+      r = recall_of(k);
+    }
+    m.macro_precision += p;
+    m.macro_recall += r;
+    m.macro_f1 += f1_of(p, r);
+  }
+  m.macro_precision /= static_cast<double>(c);
+  m.macro_recall /= static_cast<double>(c);
+  m.macro_f1 /= static_cast<double>(c);
+  return m;
+}
+
+}  // namespace crowdrl::eval

@@ -1,0 +1,36 @@
+#ifndef CROWDRL_EVAL_METRICS_H_
+#define CROWDRL_EVAL_METRICS_H_
+
+#include <vector>
+
+namespace crowdrl::eval {
+
+/// \brief Quality of a labelling against the ground truth
+/// (the paper's metrics, Section VI-A3).
+///
+/// precision / recall / f1 treat `positive_class` as the positive label
+/// (the paper's datasets are binary with 'positive' = excellent
+/// presentation / fashion-related); the macro_* fields average the
+/// per-class scores, which is what precision degrades to for multi-class
+/// workloads.
+struct Metrics {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double macro_precision = 0.0;
+  double macro_recall = 0.0;
+  double macro_f1 = 0.0;
+};
+
+/// Computes metrics; `truths` and `predicted` must have equal size and all
+/// labels must lie in [0, num_classes). A class absent from both truth and
+/// prediction contributes perfect scores to the macro averages (the usual
+/// convention); an empty positive class yields precision/recall of 0.
+Metrics ComputeMetrics(const std::vector<int>& truths,
+                       const std::vector<int>& predicted, int num_classes,
+                       int positive_class = 1);
+
+}  // namespace crowdrl::eval
+
+#endif  // CROWDRL_EVAL_METRICS_H_

@@ -1,0 +1,87 @@
+#include "inference/dawid_skene.h"
+
+#include <cmath>
+
+#include "math/vector_ops.h"
+#include "util/logging.h"
+
+namespace crowdrl::inference {
+
+namespace {
+constexpr double kLogFloor = 1e-12;
+}  // namespace
+
+DawidSkene::DawidSkene(EmOptions options) : options_(options) {
+  CROWDRL_CHECK(options.max_iterations > 0);
+  CROWDRL_CHECK(options.tolerance >= 0.0);
+}
+
+Status DawidSkene::Infer(const InferenceInput& input,
+                         InferenceResult* result) {
+  CROWDRL_CHECK(result != nullptr);
+  CROWDRL_RETURN_IF_ERROR(ValidateInput(input));
+  size_t n = input.objects.size();
+  size_t c = static_cast<size_t>(input.num_classes);
+
+  Matrix posteriors = MajorityPosteriors(input);
+  std::vector<crowd::ConfusionMatrix> confusions;
+  std::vector<double> priors;
+  double log_likelihood = 0.0;
+  int iteration = 0;
+  for (; iteration < options_.max_iterations; ++iteration) {
+    // M-step.
+    confusions = EstimateConfusions(input, posteriors, options_.smoothing);
+    priors = EstimateClassPriors(posteriors, options_.smoothing);
+
+    // E-step in log space.
+    Matrix next(n, c);
+    log_likelihood = 0.0;
+    double max_change = 0.0;
+    for (size_t row = 0; row < n; ++row) {
+      std::vector<double> log_post(c);
+      for (size_t truth = 0; truth < c; ++truth) {
+        double lp = std::log(std::max(priors[truth], kLogFloor));
+        for (const auto& [annotator, label] :
+             input.answers->AnswersFor(input.objects[row])) {
+          lp += std::log(std::max(
+              confusions[static_cast<size_t>(annotator)].At(
+                  static_cast<int>(truth), label),
+              kLogFloor));
+        }
+        log_post[truth] = lp;
+      }
+      double lse = LogSumExp(log_post);
+      log_likelihood += lse;
+      for (size_t truth = 0; truth < c; ++truth) {
+        double q = std::exp(log_post[truth] - lse);
+        max_change = std::max(max_change,
+                              std::fabs(q - posteriors.At(row, truth)));
+        next.At(row, truth) = q;
+      }
+    }
+    posteriors = std::move(next);
+    if (max_change < options_.tolerance) {
+      ++iteration;
+      break;
+    }
+  }
+  // Final M-step so the reported confusions match the reported posteriors.
+  confusions = EstimateConfusions(input, posteriors, options_.smoothing);
+
+  result->posteriors = std::move(posteriors);
+  result->labels.resize(n);
+  for (size_t row = 0; row < n; ++row) {
+    result->labels[row] =
+        static_cast<int>(Argmax(result->posteriors.RowVector(row)));
+  }
+  result->confusions = std::move(confusions);
+  result->qualities.clear();
+  for (const auto& cm : result->confusions) {
+    result->qualities.push_back(cm.Quality());
+  }
+  result->log_likelihood = log_likelihood;
+  result->iterations = iteration;
+  return Status::Ok();
+}
+
+}  // namespace crowdrl::inference

@@ -1,0 +1,36 @@
+#ifndef CROWDRL_INFERENCE_DAWID_SKENE_H_
+#define CROWDRL_INFERENCE_DAWID_SKENE_H_
+
+#include "inference/truth_inference.h"
+
+namespace crowdrl::inference {
+
+/// Options for the EM loop shared by DawidSkene and JointInference.
+struct EmOptions {
+  int max_iterations = 50;
+  /// Convergence threshold on the max absolute posterior change.
+  double tolerance = 1e-6;
+  /// Laplace smoothing for confusion / prior counts.
+  double smoothing = 0.1;
+};
+
+/// \brief Dawid-Skene EM over annotator confusion matrices — the classic
+/// "EM algorithm" truth inference ([48]; used by the DLTA and IDLE
+/// baselines). E-step: q(y_i = c) proportional to prior_c * prod_j
+/// Pi^j(c, y_ij). M-step: re-estimate priors and confusion matrices from
+/// the soft counts. Initialization is majority voting.
+class DawidSkene : public TruthInference {
+ public:
+  explicit DawidSkene(EmOptions options = EmOptions());
+
+  Status Infer(const InferenceInput& input, InferenceResult* result) override;
+
+  const char* name() const override { return "EM"; }
+
+ private:
+  EmOptions options_;
+};
+
+}  // namespace crowdrl::inference
+
+#endif  // CROWDRL_INFERENCE_DAWID_SKENE_H_

@@ -1,0 +1,29 @@
+#include "inference/majority_vote.h"
+
+#include "math/vector_ops.h"
+#include "util/logging.h"
+
+namespace crowdrl::inference {
+
+Status MajorityVote::Infer(const InferenceInput& input,
+                           InferenceResult* result) {
+  CROWDRL_CHECK(result != nullptr);
+  CROWDRL_RETURN_IF_ERROR(ValidateInput(input));
+  result->posteriors = MajorityPosteriors(input);
+  result->labels.resize(input.objects.size());
+  for (size_t row = 0; row < input.objects.size(); ++row) {
+    result->labels[row] =
+        static_cast<int>(Argmax(result->posteriors.RowVector(row)));
+  }
+  result->confusions = EstimateConfusions(input, result->posteriors);
+  result->qualities.clear();
+  result->qualities.reserve(result->confusions.size());
+  for (const auto& cm : result->confusions) {
+    result->qualities.push_back(cm.Quality());
+  }
+  result->log_likelihood = 0.0;
+  result->iterations = 1;
+  return Status::Ok();
+}
+
+}  // namespace crowdrl::inference

@@ -1,0 +1,22 @@
+#ifndef CROWDRL_INFERENCE_MAJORITY_VOTE_H_
+#define CROWDRL_INFERENCE_MAJORITY_VOTE_H_
+
+#include "inference/truth_inference.h"
+
+namespace crowdrl::inference {
+
+/// \brief Majority voting (the paper's naive TI baseline [48]).
+///
+/// Posteriors are vote fractions; ties resolve to the lowest class index.
+/// Confusion matrices are estimated once against the MV posteriors so that
+/// callers still get quality estimates.
+class MajorityVote : public TruthInference {
+ public:
+  Status Infer(const InferenceInput& input, InferenceResult* result) override;
+
+  const char* name() const override { return "MV"; }
+};
+
+}  // namespace crowdrl::inference
+
+#endif  // CROWDRL_INFERENCE_MAJORITY_VOTE_H_

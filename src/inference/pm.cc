@@ -1,0 +1,96 @@
+#include "inference/pm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/vector_ops.h"
+#include "util/logging.h"
+
+namespace crowdrl::inference {
+
+PmInference::PmInference(PmOptions options) : options_(options) {
+  CROWDRL_CHECK(options.max_iterations > 0);
+  CROWDRL_CHECK(options.smoothing > 0.0);
+  CROWDRL_CHECK(options.max_weight > 0.0);
+}
+
+Status PmInference::Infer(const InferenceInput& input,
+                          InferenceResult* result) {
+  CROWDRL_CHECK(result != nullptr);
+  CROWDRL_RETURN_IF_ERROR(ValidateInput(input));
+  size_t n = input.objects.size();
+  size_t c = static_cast<size_t>(input.num_classes);
+  size_t num_annotators = input.answers->num_annotators();
+
+  // Initialize truths by majority vote.
+  std::vector<int> labels(n);
+  {
+    Matrix mv = MajorityPosteriors(input);
+    for (size_t row = 0; row < n; ++row) {
+      labels[row] = static_cast<int>(Argmax(mv.RowVector(row)));
+    }
+  }
+
+  std::vector<double> weights(num_annotators, 1.0);
+  Matrix vote_mass(n, c);
+  int iteration = 0;
+  for (; iteration < options_.max_iterations; ++iteration) {
+    // Weight update: smoothed error rate against current truths.
+    std::vector<double> errors(num_annotators, 0.0);
+    std::vector<double> answered(num_annotators, 0.0);
+    for (size_t row = 0; row < n; ++row) {
+      for (const auto& [annotator, label] :
+           input.answers->AnswersFor(input.objects[row])) {
+        answered[static_cast<size_t>(annotator)] += 1.0;
+        if (label != labels[row]) {
+          errors[static_cast<size_t>(annotator)] += 1.0;
+        }
+      }
+    }
+    for (size_t j = 0; j < num_annotators; ++j) {
+      double e = (errors[j] + options_.smoothing) /
+                 (answered[j] + 2.0 * options_.smoothing);
+      e = std::clamp(e, 1e-6, 1.0 - 1e-6);
+      weights[j] = std::clamp(std::log((1.0 - e) / e), 0.0,
+                              options_.max_weight);
+    }
+
+    // Truth update: weighted voting.
+    vote_mass.Fill(0.0);
+    bool changed = false;
+    for (size_t row = 0; row < n; ++row) {
+      for (const auto& [annotator, label] :
+           input.answers->AnswersFor(input.objects[row])) {
+        vote_mass.At(row, static_cast<size_t>(label)) +=
+            weights[static_cast<size_t>(annotator)];
+      }
+      int best = static_cast<int>(Argmax(vote_mass.RowVector(row)));
+      if (best != labels[row]) {
+        labels[row] = best;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      ++iteration;
+      break;
+    }
+  }
+
+  result->posteriors = Matrix(n, c);
+  for (size_t row = 0; row < n; ++row) {
+    std::vector<double> mass = vote_mass.RowVector(row);
+    NormalizeL1(&mass);
+    result->posteriors.SetRow(row, mass);
+  }
+  result->labels = std::move(labels);
+  result->confusions = EstimateConfusions(input, result->posteriors);
+  result->qualities.clear();
+  for (const auto& cm : result->confusions) {
+    result->qualities.push_back(cm.Quality());
+  }
+  result->log_likelihood = 0.0;
+  result->iterations = iteration;
+  return Status::Ok();
+}
+
+}  // namespace crowdrl::inference

@@ -1,0 +1,40 @@
+#ifndef CROWDRL_INFERENCE_PM_H_
+#define CROWDRL_INFERENCE_PM_H_
+
+#include "inference/truth_inference.h"
+
+namespace crowdrl::inference {
+
+/// Options for PmInference.
+struct PmOptions {
+  int max_iterations = 50;
+  /// Stop when no inferred label changes between rounds.
+  double smoothing = 0.5;
+  /// Upper clip on a single annotator's weight (log-odds scale).
+  double max_weight = 6.0;
+};
+
+/// \brief The PM algorithm [48]: iteratively re-weights annotators by
+/// their agreement with the current truth estimate and re-derives truths
+/// by weighted voting, until both converge.
+///
+/// Weights use the log-odds form w_j = log((1 - e_j) / e_j) with smoothed
+/// error rate e_j, which is the optimal weighting for symmetric noise; the
+/// truths are arg-max of weighted votes and the reported posteriors are
+/// the normalized weighted vote masses. Used by the Hybrid baseline and by
+/// the M3 ablation (CrowdRL without joint inference).
+class PmInference : public TruthInference {
+ public:
+  explicit PmInference(PmOptions options = PmOptions());
+
+  Status Infer(const InferenceInput& input, InferenceResult* result) override;
+
+  const char* name() const override { return "PM"; }
+
+ private:
+  PmOptions options_;
+};
+
+}  // namespace crowdrl::inference
+
+#endif  // CROWDRL_INFERENCE_PM_H_

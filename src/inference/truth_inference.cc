@@ -1,0 +1,135 @@
+#include "inference/truth_inference.h"
+
+#include <cmath>
+
+#include "math/vector_ops.h"
+#include "util/logging.h"
+
+namespace crowdrl::inference {
+
+Status ValidateInput(const InferenceInput& input) {
+  if (input.answers == nullptr) {
+    return Status::InvalidArgument("answers must be provided");
+  }
+  if (input.num_classes < 2) {
+    return Status::InvalidArgument("need at least 2 classes");
+  }
+  if (input.objects.empty()) {
+    return Status::InvalidArgument("no objects to infer");
+  }
+  for (int o : input.objects) {
+    if (o < 0 || static_cast<size_t>(o) >= input.answers->num_objects()) {
+      return Status::InvalidArgument("object id out of range");
+    }
+  }
+  if (input.features != nullptr &&
+      input.features->rows() != input.answers->num_objects()) {
+    return Status::InvalidArgument("features rows must cover all objects");
+  }
+  if (input.annotator_types != nullptr &&
+      input.annotator_types->size() != input.answers->num_annotators()) {
+    return Status::InvalidArgument("annotator_types size mismatch");
+  }
+  return Status::Ok();
+}
+
+Matrix MajorityPosteriors(const InferenceInput& input) {
+  size_t n = input.objects.size();
+  size_t c = static_cast<size_t>(input.num_classes);
+  Matrix posteriors(n, c, 1.0 / static_cast<double>(c));
+  for (size_t row = 0; row < n; ++row) {
+    std::vector<int> hist =
+        input.answers->LabelHistogram(input.objects[row], input.num_classes);
+    int total = 0;
+    for (int v : hist) total += v;
+    if (total == 0) continue;
+    for (size_t j = 0; j < c; ++j) {
+      posteriors.At(row, j) =
+          static_cast<double>(hist[j]) / static_cast<double>(total);
+    }
+  }
+  return posteriors;
+}
+
+std::vector<crowd::ConfusionMatrix> EstimateConfusions(
+    const InferenceInput& input, const Matrix& posteriors, double smoothing) {
+  CROWDRL_CHECK(posteriors.rows() == input.objects.size());
+  CROWDRL_CHECK(posteriors.cols() == static_cast<size_t>(input.num_classes));
+  CROWDRL_CHECK(smoothing >= 0.0);
+  size_t num_annotators = input.answers->num_annotators();
+  size_t c = static_cast<size_t>(input.num_classes);
+  // Soft counts: counts[j](true_c, answered_l) += q_i(true_c).
+  std::vector<Matrix> counts(num_annotators, Matrix(c, c, smoothing));
+  // Extra mass on the diagonal so that an annotator with no answers gets a
+  // mildly better-than-uniform prior rather than a flat one.
+  for (Matrix& m : counts) {
+    for (size_t d = 0; d < c; ++d) m.At(d, d) += smoothing;
+  }
+  for (size_t row = 0; row < input.objects.size(); ++row) {
+    for (const auto& [annotator, label] :
+         input.answers->AnswersFor(input.objects[row])) {
+      CROWDRL_CHECK(static_cast<size_t>(annotator) < num_annotators);
+      CROWDRL_CHECK(label >= 0 && static_cast<size_t>(label) < c);
+      for (size_t truth = 0; truth < c; ++truth) {
+        counts[static_cast<size_t>(annotator)].At(
+            truth, static_cast<size_t>(label)) += posteriors.At(row, truth);
+      }
+    }
+  }
+  std::vector<crowd::ConfusionMatrix> result;
+  result.reserve(num_annotators);
+  for (Matrix& m : counts) result.emplace_back(std::move(m));
+  return result;
+}
+
+std::vector<double> EstimateClassPriors(const Matrix& posteriors,
+                                        double smoothing) {
+  CROWDRL_CHECK(posteriors.cols() >= 2);
+  std::vector<double> priors(posteriors.cols(), smoothing);
+  for (size_t r = 0; r < posteriors.rows(); ++r) {
+    for (size_t c = 0; c < posteriors.cols(); ++c) {
+      priors[c] += posteriors.At(r, c);
+    }
+  }
+  NormalizeL1(&priors);
+  return priors;
+}
+
+void BoundExpertQuality(const std::vector<crowd::AnnotatorType>& types,
+                        double epsilon, double floor_slack,
+                        std::vector<crowd::ConfusionMatrix>* confusions) {
+  CROWDRL_CHECK(confusions != nullptr);
+  CROWDRL_CHECK(types.size() == confusions->size());
+  CROWDRL_CHECK(epsilon >= 0.0 && epsilon <= 1.0);
+  CROWDRL_CHECK(floor_slack >= 0.0 && floor_slack < 1.0);
+  double floor = 1.0 - floor_slack;
+  for (size_t j = 0; j < types.size(); ++j) {
+    if (types[j] != crowd::AnnotatorType::kExpert) continue;
+    crowd::ConfusionMatrix& cm = (*confusions)[j];
+    Matrix* probs = cm.mutable_probs();
+    size_t c = probs->rows();
+    for (size_t row = 0; row < c; ++row) {
+      double diag = probs->At(row, row);
+      if (diag >= epsilon) continue;
+      // Raise the diagonal to the floor and rescale the off-diagonal mass
+      // so the row stays a distribution.
+      double off = 1.0 - diag;
+      double scale = off > 0.0 ? (1.0 - floor) / off : 0.0;
+      for (size_t col = 0; col < c; ++col) {
+        if (col == row) continue;
+        probs->At(row, col) *= scale;
+      }
+      probs->At(row, row) = floor;
+      if (off <= 0.0) {
+        // Degenerate row (diag was already 1 but below epsilon can't
+        // happen then); spread slack uniformly to stay stochastic.
+        double uniform = (1.0 - floor) / static_cast<double>(c - 1);
+        for (size_t col = 0; col < c; ++col) {
+          if (col != row) probs->At(row, col) = uniform;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace crowdrl::inference

@@ -1,0 +1,86 @@
+#ifndef CROWDRL_INFERENCE_TRUTH_INFERENCE_H_
+#define CROWDRL_INFERENCE_TRUTH_INFERENCE_H_
+
+#include <vector>
+
+#include "classifier/classifier.h"
+#include "crowd/annotator.h"
+#include "crowd/answer_log.h"
+#include "crowd/confusion_matrix.h"
+#include "math/matrix.h"
+#include "util/status.h"
+
+namespace crowdrl::inference {
+
+/// \brief Everything a truth-inference algorithm may look at.
+///
+/// `objects` lists the object ids whose truth should be inferred (normally:
+/// every object with at least one recorded answer). `features` and
+/// `classifier` are optional and only consumed by the models that use phi
+/// (the naive classifier-as-annotator model and the joint model); the
+/// joint model *mutates* the classifier by retraining it on its posteriors.
+struct InferenceInput {
+  const crowd::AnswerLog* answers = nullptr;
+  int num_classes = 0;
+  std::vector<int> objects;
+  const Matrix* features = nullptr;              ///< All objects' features.
+  classifier::Classifier* classifier = nullptr;  ///< Optional phi.
+  /// Optional annotator types, indexed by annotator id; enables the expert
+  /// quality bounding of Section V-A2.
+  const std::vector<crowd::AnnotatorType>* annotator_types = nullptr;
+};
+
+/// Output of one inference pass.
+struct InferenceResult {
+  /// One row per entry of InferenceInput::objects; q(y_i) distributions.
+  Matrix posteriors;
+  /// Argmax labels aligned with InferenceInput::objects.
+  std::vector<int> labels;
+  /// Estimated confusion matrix per annotator id (the paper's Pi-hat).
+  std::vector<crowd::ConfusionMatrix> confusions;
+  /// tr(Pi-hat)/|C| per annotator id.
+  std::vector<double> qualities;
+  /// Final value of the EM objective (Eq. 8) where applicable, else 0.
+  double log_likelihood = 0.0;
+  int iterations = 0;
+};
+
+/// Truth-inference strategy interface (the Environment's pluggable TI).
+class TruthInference {
+ public:
+  virtual ~TruthInference() = default;
+
+  virtual Status Infer(const InferenceInput& input,
+                       InferenceResult* result) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Validates the common parts of an InferenceInput.
+Status ValidateInput(const InferenceInput& input);
+
+/// Vote-fraction posteriors (uniform where an object has no answers).
+Matrix MajorityPosteriors(const InferenceInput& input);
+
+/// Confusion-matrix M-step: soft counts of (posterior mass on class c,
+/// answer l) with Laplace smoothing, row-normalized. `posteriors` rows are
+/// aligned with `input.objects`.
+std::vector<crowd::ConfusionMatrix> EstimateConfusions(
+    const InferenceInput& input, const Matrix& posteriors,
+    double smoothing = 0.1);
+
+/// Posterior-mass class priors with Laplace smoothing.
+std::vector<double> EstimateClassPriors(const Matrix& posteriors,
+                                        double smoothing = 0.1);
+
+/// Applies the paper's expert-quality bounding (Section V-A2): for every
+/// expert whose estimated diagonal entry pi_cc drops below `epsilon`, the
+/// diagonal is raised to 1 - `floor_slack` and the row's off-diagonal mass
+/// is rescaled to keep the row stochastic.
+void BoundExpertQuality(const std::vector<crowd::AnnotatorType>& types,
+                        double epsilon, double floor_slack,
+                        std::vector<crowd::ConfusionMatrix>* confusions);
+
+}  // namespace crowdrl::inference
+
+#endif  // CROWDRL_INFERENCE_TRUTH_INFERENCE_H_

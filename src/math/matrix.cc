@@ -1,0 +1,117 @@
+#include "math/matrix.h"
+
+#include <cmath>
+
+namespace crowdrl {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    CROWDRL_CHECK(rows[r].size() == m.cols_)
+        << "ragged row " << r << ": " << rows[r].size() << " vs " << m.cols_;
+    for (size_t c = 0; c < m.cols_; ++c) m.At(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::RowVector(size_t r) const {
+  CROWDRL_DCHECK(r < rows_);
+  const double* p = Row(r);
+  return std::vector<double>(p, p + cols_);
+}
+
+void Matrix::SetRow(size_t r, const std::vector<double>& values) {
+  CROWDRL_CHECK(values.size() == cols_);
+  double* p = Row(r);
+  for (size_t c = 0; c < cols_; ++c) p[c] = values[c];
+}
+
+void Matrix::Fill(double value) {
+  for (double& v : data_) v = value;
+}
+
+void Matrix::FillGaussian(Rng* rng, double mean, double stddev) {
+  CROWDRL_CHECK(rng != nullptr);
+  for (double& v : data_) v = rng->Gaussian(mean, stddev);
+}
+
+void Matrix::FillUniform(Rng* rng, double lo, double hi) {
+  CROWDRL_CHECK(rng != nullptr);
+  for (double& v : data_) v = rng->Uniform(lo, hi);
+}
+
+void Matrix::Add(const Matrix& other) {
+  CROWDRL_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Axpy(double alpha, const Matrix& other) {
+  CROWDRL_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Matrix::Scale(double alpha) {
+  for (double& v : data_) v *= alpha;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  CROWDRL_CHECK(cols_ == other.rows_)
+      << "matmul shape mismatch: " << cols_ << " vs " << other.rows_;
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order keeps the inner loop contiguous in both inputs.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a_row = Row(i);
+    double* out_row = out.Row(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = other.Row(k);
+      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MatVec(const std::vector<double>& x) const {
+  CROWDRL_CHECK(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = Row(i);
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  }
+  return out;
+}
+
+double Matrix::Trace() const {
+  size_t n = rows_ < cols_ ? rows_ : cols_;
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += At(i, i);
+  return sum;
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,56 @@
+#include "math/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdrl {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double mu = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(v.size());
+}
+
+double Stddev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  std::nth_element(v.begin(), v.begin() + mid - 1, v.end());
+  return (hi + v[mid - 1]) / 2.0;
+}
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace crowdrl

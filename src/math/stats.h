@@ -1,0 +1,48 @@
+#ifndef CROWDRL_MATH_STATS_H_
+#define CROWDRL_MATH_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace crowdrl {
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& v);
+
+/// Population variance; 0 for inputs with fewer than 2 elements.
+double Variance(const std::vector<double>& v);
+
+double Stddev(const std::vector<double>& v);
+
+/// Median via nth_element on a copy; 0 for an empty input.
+double Median(std::vector<double> v);
+
+/// \brief Welford online accumulator for mean/variance of a stream.
+///
+/// Used by the bench harness to aggregate metrics across seeds without
+/// storing every sample.
+class OnlineStats {
+ public:
+  OnlineStats() = default;
+
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance of the samples seen so far.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_MATH_STATS_H_

@@ -1,0 +1,95 @@
+#include "math/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace crowdrl {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  CROWDRL_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void Axpy(double alpha, const std::vector<double>& x,
+          std::vector<double>* y) {
+  CROWDRL_CHECK(y != nullptr && x.size() == y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+size_t Argmax(const std::vector<double>& v) {
+  CROWDRL_CHECK(!v.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+
+double LogSumExp(const std::vector<double>& v) {
+  CROWDRL_CHECK(!v.empty());
+  double max = *std::max_element(v.begin(), v.end());
+  if (!std::isfinite(max)) return max;
+  double sum = 0.0;
+  for (double x : v) sum += std::exp(x - max);
+  return max + std::log(sum);
+}
+
+std::vector<double> Softmax(const std::vector<double>& logits) {
+  CROWDRL_CHECK(!logits.empty());
+  double lse = LogSumExp(logits);
+  std::vector<double> out(logits.size());
+  for (size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - lse);
+  }
+  return out;
+}
+
+double Entropy(const std::vector<double>& probs) {
+  double h = 0.0;
+  for (double p : probs) {
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+void NormalizeL1(std::vector<double>* v) {
+  CROWDRL_CHECK(v != nullptr && !v->empty());
+  double sum = 0.0;
+  for (double x : *v) {
+    CROWDRL_DCHECK(x >= 0.0);
+    sum += x;
+  }
+  if (sum <= 0.0) {
+    double uniform = 1.0 / static_cast<double>(v->size());
+    for (double& x : *v) x = uniform;
+    return;
+  }
+  for (double& x : *v) x /= sum;
+}
+
+void Clip(std::vector<double>* v, double lo, double hi) {
+  CROWDRL_CHECK(v != nullptr && lo <= hi);
+  for (double& x : *v) x = std::clamp(x, lo, hi);
+}
+
+double TopTwoGap(const std::vector<double>& v) {
+  CROWDRL_CHECK(v.size() >= 2);
+  double best = -std::numeric_limits<double>::infinity();
+  double second = best;
+  for (double x : v) {
+    if (x > best) {
+      second = best;
+      best = x;
+    } else if (x > second) {
+      second = x;
+    }
+  }
+  return best - second;
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,65 @@
+#include "nn/activation.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crowdrl::nn {
+
+const char* ActivationName(Activation act) {
+  switch (act) {
+    case Activation::kIdentity:
+      return "identity";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kSigmoid:
+      return "sigmoid";
+    case Activation::kTanh:
+      return "tanh";
+  }
+  return "?";
+}
+
+void ApplyActivation(Activation act, Matrix* values) {
+  CROWDRL_CHECK(values != nullptr);
+  switch (act) {
+    case Activation::kIdentity:
+      return;
+    case Activation::kRelu:
+      for (double& v : values->data()) v = v > 0.0 ? v : 0.0;
+      return;
+    case Activation::kSigmoid:
+      for (double& v : values->data()) v = 1.0 / (1.0 + std::exp(-v));
+      return;
+    case Activation::kTanh:
+      for (double& v : values->data()) v = std::tanh(v);
+      return;
+  }
+}
+
+void ApplyActivationGrad(Activation act, const Matrix& post, Matrix* grad) {
+  CROWDRL_CHECK(grad != nullptr && post.SameShape(*grad));
+  switch (act) {
+    case Activation::kIdentity:
+      return;
+    case Activation::kRelu:
+      for (size_t i = 0; i < grad->data().size(); ++i) {
+        if (post.data()[i] <= 0.0) grad->data()[i] = 0.0;
+      }
+      return;
+    case Activation::kSigmoid:
+      for (size_t i = 0; i < grad->data().size(); ++i) {
+        double y = post.data()[i];
+        grad->data()[i] *= y * (1.0 - y);
+      }
+      return;
+    case Activation::kTanh:
+      for (size_t i = 0; i < grad->data().size(); ++i) {
+        double y = post.data()[i];
+        grad->data()[i] *= 1.0 - y * y;
+      }
+      return;
+  }
+}
+
+}  // namespace crowdrl::nn

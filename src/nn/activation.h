@@ -1,0 +1,27 @@
+#ifndef CROWDRL_NN_ACTIVATION_H_
+#define CROWDRL_NN_ACTIVATION_H_
+
+#include "math/matrix.h"
+
+namespace crowdrl::nn {
+
+/// Element-wise nonlinearity applied after a linear layer.
+///
+/// Softmax is deliberately absent: multi-class outputs use identity logits
+/// plus `SoftmaxCrossEntropyLoss`, which differentiates through the softmax
+/// analytically (and, for two classes, is exactly the paper's "sigmoid
+/// output layer").
+enum class Activation { kIdentity, kRelu, kSigmoid, kTanh };
+
+const char* ActivationName(Activation act);
+
+/// Applies the activation element-wise, in place.
+void ApplyActivation(Activation act, Matrix* values);
+
+/// Multiplies `grad` in place by the activation derivative, evaluated from
+/// the *post-activation* values (all supported activations admit this).
+void ApplyActivationGrad(Activation act, const Matrix& post, Matrix* grad);
+
+}  // namespace crowdrl::nn
+
+#endif  // CROWDRL_NN_ACTIVATION_H_

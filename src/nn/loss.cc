@@ -1,0 +1,91 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "math/vector_ops.h"
+#include "util/logging.h"
+
+namespace crowdrl::nn {
+
+namespace {
+
+// Clamps log arguments away from zero.
+constexpr double kLogFloor = 1e-12;
+
+}  // namespace
+
+double MseLoss(const Matrix& pred, const Matrix& target, Matrix* grad) {
+  return WeightedMseLoss(pred, target,
+                         std::vector<double>(pred.rows(), 1.0), grad);
+}
+
+double WeightedMseLoss(const Matrix& pred, const Matrix& target,
+                       const std::vector<double>& row_weights, Matrix* grad) {
+  CROWDRL_CHECK(pred.SameShape(target));
+  CROWDRL_CHECK(row_weights.size() == pred.rows());
+  CROWDRL_CHECK(grad != nullptr);
+  CROWDRL_CHECK(pred.rows() > 0 && pred.cols() > 0);
+  *grad = Matrix(pred.rows(), pred.cols());
+  double n = static_cast<double>(pred.rows() * pred.cols());
+  double loss = 0.0;
+  for (size_t r = 0; r < pred.rows(); ++r) {
+    double w = row_weights[r];
+    for (size_t c = 0; c < pred.cols(); ++c) {
+      double diff = pred.At(r, c) - target.At(r, c);
+      loss += w * diff * diff;
+      grad->At(r, c) = w * 2.0 * diff / n;
+    }
+  }
+  return loss / n;
+}
+
+double SoftmaxCrossEntropyLoss(const Matrix& logits, const Matrix& target,
+                               Matrix* grad) {
+  return WeightedSoftmaxCrossEntropyLoss(
+      logits, target, std::vector<double>(logits.rows(), 1.0), grad);
+}
+
+double WeightedSoftmaxCrossEntropyLoss(const Matrix& logits,
+                                       const Matrix& target,
+                                       const std::vector<double>& row_weights,
+                                       Matrix* grad) {
+  CROWDRL_CHECK(logits.SameShape(target));
+  CROWDRL_CHECK(row_weights.size() == logits.rows());
+  CROWDRL_CHECK(grad != nullptr);
+  CROWDRL_CHECK(logits.rows() > 0 && logits.cols() > 0);
+  *grad = Matrix(logits.rows(), logits.cols());
+  double batch = static_cast<double>(logits.rows());
+  double loss = 0.0;
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    std::vector<double> probs = Softmax(logits.RowVector(r));
+    double w = row_weights[r];
+    for (size_t c = 0; c < logits.cols(); ++c) {
+      double t = target.At(r, c);
+      if (t > 0.0) loss -= w * t * std::log(std::max(probs[c], kLogFloor));
+      grad->At(r, c) = w * (probs[c] - t) / batch;
+    }
+  }
+  return loss / batch;
+}
+
+double MaskedMseLoss(const Matrix& pred, const Matrix& target,
+                     const Matrix& mask, Matrix* grad) {
+  CROWDRL_CHECK(pred.SameShape(target) && pred.SameShape(mask));
+  CROWDRL_CHECK(grad != nullptr);
+  *grad = Matrix(pred.rows(), pred.cols());
+  double count = 0.0;
+  for (double m : mask.data()) {
+    if (m != 0.0) count += 1.0;
+  }
+  if (count == 0.0) return 0.0;
+  double loss = 0.0;
+  for (size_t i = 0; i < pred.data().size(); ++i) {
+    if (mask.data()[i] == 0.0) continue;
+    double diff = pred.data()[i] - target.data()[i];
+    loss += diff * diff;
+    grad->data()[i] = 2.0 * diff / count;
+  }
+  return loss / count;
+}
+
+}  // namespace crowdrl::nn

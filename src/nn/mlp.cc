@@ -1,0 +1,159 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crowdrl::nn {
+
+Mlp::Mlp(const std::vector<size_t>& sizes,
+         const std::vector<Activation>& activations, Rng* rng)
+    : sizes_(sizes) {
+  CROWDRL_CHECK(sizes.size() >= 2) << "need at least input and output sizes";
+  CROWDRL_CHECK(activations.size() == sizes.size() - 1);
+  CROWDRL_CHECK(rng != nullptr);
+  for (size_t size : sizes) CROWDRL_CHECK(size > 0);
+  layers_.resize(sizes.size() - 1);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    Layer& layer = layers_[l];
+    size_t in = sizes[l];
+    size_t out = sizes[l + 1];
+    layer.weight = Matrix(out, in);
+    layer.bias.assign(out, 0.0);
+    layer.weight_grad = Matrix(out, in);
+    layer.bias_grad.assign(out, 0.0);
+    layer.activation = activations[l];
+    // Xavier-uniform bound; He variant (gain sqrt(2)) for ReLU layers.
+    double gain = activations[l] == Activation::kRelu ? std::sqrt(2.0) : 1.0;
+    double bound = gain * std::sqrt(6.0 / static_cast<double>(in + out));
+    layer.weight.FillUniform(rng, -bound, bound);
+  }
+}
+
+Matrix Mlp::Forward(const Matrix& batch) {
+  CROWDRL_CHECK(batch.cols() == input_size());
+  Matrix current = batch;
+  for (Layer& layer : layers_) {
+    layer.input = current;
+    Matrix pre = current.MatMul(layer.weight.Transposed());
+    for (size_t r = 0; r < pre.rows(); ++r) {
+      double* row = pre.Row(r);
+      for (size_t c = 0; c < pre.cols(); ++c) row[c] += layer.bias[c];
+    }
+    ApplyActivation(layer.activation, &pre);
+    layer.output = pre;
+    current = std::move(pre);
+  }
+  return current;
+}
+
+Matrix Mlp::Infer(const Matrix& batch) const {
+  CROWDRL_CHECK(batch.cols() == input_size());
+  Matrix current = batch;
+  for (const Layer& layer : layers_) {
+    Matrix pre = current.MatMul(layer.weight.Transposed());
+    for (size_t r = 0; r < pre.rows(); ++r) {
+      double* row = pre.Row(r);
+      for (size_t c = 0; c < pre.cols(); ++c) row[c] += layer.bias[c];
+    }
+    ApplyActivation(layer.activation, &pre);
+    current = std::move(pre);
+  }
+  return current;
+}
+
+std::vector<double> Mlp::Infer(const std::vector<double>& input) const {
+  Matrix batch(1, input.size());
+  batch.SetRow(0, input);
+  Matrix out = Infer(batch);
+  return out.RowVector(0);
+}
+
+Matrix Mlp::Backward(const Matrix& grad_output) {
+  CROWDRL_CHECK(!layers_.empty());
+  CROWDRL_CHECK(grad_output.rows() == layers_.back().output.rows() &&
+                grad_output.cols() == layers_.back().output.cols())
+      << "Backward called with mismatched gradient shape (did Forward run?)";
+  Matrix grad = grad_output;
+  for (size_t l = layers_.size(); l > 0; --l) {
+    Layer& layer = layers_[l - 1];
+    // Through the activation.
+    ApplyActivationGrad(layer.activation, layer.output, &grad);
+    // Parameter gradients: dW += grad^T * input, db += column sums of grad.
+    Matrix dw = grad.Transposed().MatMul(layer.input);
+    layer.weight_grad.Add(dw);
+    for (size_t r = 0; r < grad.rows(); ++r) {
+      const double* row = grad.Row(r);
+      for (size_t c = 0; c < grad.cols(); ++c) layer.bias_grad[c] += row[c];
+    }
+    // Input gradient: grad * W.
+    grad = grad.MatMul(layer.weight);
+  }
+  return grad;
+}
+
+void Mlp::ZeroGrad() {
+  for (Layer& layer : layers_) {
+    layer.weight_grad.Fill(0.0);
+    for (double& g : layer.bias_grad) g = 0.0;
+  }
+}
+
+std::vector<ParamView> Mlp::ParamViews() {
+  std::vector<ParamView> views;
+  views.reserve(layers_.size() * 2);
+  for (Layer& layer : layers_) {
+    views.push_back({layer.weight.data().data(),
+                     layer.weight_grad.data().data(),
+                     layer.weight.data().size()});
+    views.push_back(
+        {layer.bias.data(), layer.bias_grad.data(), layer.bias.size()});
+  }
+  return views;
+}
+
+size_t Mlp::ParameterCount() const {
+  size_t count = 0;
+  for (const Layer& layer : layers_) {
+    count += layer.weight.size() + layer.bias.size();
+  }
+  return count;
+}
+
+std::vector<double> Mlp::FlatParameters() const {
+  std::vector<double> flat;
+  flat.reserve(ParameterCount());
+  for (const Layer& layer : layers_) {
+    flat.insert(flat.end(), layer.weight.data().begin(),
+                layer.weight.data().end());
+    flat.insert(flat.end(), layer.bias.begin(), layer.bias.end());
+  }
+  return flat;
+}
+
+void Mlp::SetFlatParameters(const std::vector<double>& flat) {
+  CROWDRL_CHECK(flat.size() == ParameterCount());
+  size_t offset = 0;
+  for (Layer& layer : layers_) {
+    for (double& w : layer.weight.data()) w = flat[offset++];
+    for (double& b : layer.bias) b = flat[offset++];
+  }
+}
+
+void Mlp::BlendFrom(const Mlp& other, double tau) {
+  CROWDRL_CHECK(sizes_ == other.sizes_);
+  CROWDRL_CHECK(tau >= 0.0 && tau <= 1.0);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    Layer& mine = layers_[l];
+    const Layer& theirs = other.layers_[l];
+    for (size_t i = 0; i < mine.weight.data().size(); ++i) {
+      mine.weight.data()[i] = (1.0 - tau) * mine.weight.data()[i] +
+                              tau * theirs.weight.data()[i];
+    }
+    for (size_t i = 0; i < mine.bias.size(); ++i) {
+      mine.bias[i] = (1.0 - tau) * mine.bias[i] + tau * theirs.bias[i];
+    }
+  }
+}
+
+}  // namespace crowdrl::nn

@@ -1,0 +1,92 @@
+#ifndef CROWDRL_NN_MLP_H_
+#define CROWDRL_NN_MLP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "math/matrix.h"
+#include "nn/activation.h"
+#include "util/random.h"
+
+namespace crowdrl::nn {
+
+/// Mutable view of one parameter block and its gradient, for optimizers.
+struct ParamView {
+  double* value;
+  double* grad;
+  size_t size;
+};
+
+/// \brief Fully connected feed-forward network with explicit backprop.
+///
+/// This is the substrate for both neural models the paper needs: the
+/// classifier phi ("a fully connected neural network with a sigmoid output
+/// layer", Section VI-A4) and the Deep Q-Network of the Agent (Section IV).
+/// Batches are matrices with one sample per row.
+class Mlp {
+ public:
+  /// `sizes` lists layer widths, input first: {in, h1, ..., out}.
+  /// `activations` has sizes.size()-1 entries, one per linear layer.
+  /// Weights use Xavier-uniform init (He-scaled for ReLU layers).
+  Mlp(const std::vector<size_t>& sizes,
+      const std::vector<Activation>& activations, Rng* rng);
+
+  Mlp(const Mlp&) = default;
+  Mlp& operator=(const Mlp&) = default;
+  Mlp(Mlp&&) noexcept = default;
+  Mlp& operator=(Mlp&&) noexcept = default;
+
+  size_t input_size() const { return sizes_.front(); }
+  size_t output_size() const { return sizes_.back(); }
+  size_t num_layers() const { return layers_.size(); }
+
+  /// Forward pass that caches per-layer values for a subsequent Backward.
+  Matrix Forward(const Matrix& batch);
+
+  /// Stateless forward (no caches touched); safe on a const network.
+  Matrix Infer(const Matrix& batch) const;
+
+  /// Single-sample stateless forward.
+  std::vector<double> Infer(const std::vector<double>& input) const;
+
+  /// Accumulates parameter gradients given dLoss/dOutput for the batch
+  /// passed to the latest Forward. Returns dLoss/dInput (rarely needed, but
+  /// exercised by the gradient-check tests).
+  Matrix Backward(const Matrix& grad_output);
+
+  /// Clears accumulated gradients.
+  void ZeroGrad();
+
+  /// Parameter/gradient views in a stable order, for optimizers.
+  std::vector<ParamView> ParamViews();
+
+  size_t ParameterCount() const;
+
+  /// Copies all parameters into / out of a flat buffer (used for target-
+  /// network sync in the DQN and for snapshotting the best classifier).
+  std::vector<double> FlatParameters() const;
+  void SetFlatParameters(const std::vector<double>& flat);
+
+  /// this = (1 - tau) * this + tau * other (soft target update).
+  /// Requires identical architecture.
+  void BlendFrom(const Mlp& other, double tau);
+
+ private:
+  struct Layer {
+    Matrix weight;  // out x in
+    std::vector<double> bias;
+    Matrix weight_grad;
+    std::vector<double> bias_grad;
+    Activation activation;
+    // Forward caches.
+    Matrix input;
+    Matrix output;  // post-activation
+  };
+
+  std::vector<size_t> sizes_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace crowdrl::nn
+
+#endif  // CROWDRL_NN_MLP_H_

@@ -1,0 +1,94 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crowdrl::nn {
+
+void Optimizer::Step(Mlp* net) {
+  CROWDRL_CHECK(net != nullptr);
+  std::vector<ParamView> views = net->ParamViews();
+  size_t total = 0;
+  for (const ParamView& v : views) total += v.size;
+  if (bound_size_ == 0) {
+    bound_size_ = total;
+  } else {
+    CROWDRL_CHECK(bound_size_ == total)
+        << "optimizer bound to a network of " << bound_size_
+        << " parameters, got " << total;
+  }
+  ApplyUpdate(&views);
+  net->ZeroGrad();
+}
+
+Sgd::Sgd(double learning_rate, double momentum, double weight_decay)
+    : learning_rate_(learning_rate),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  CROWDRL_CHECK(learning_rate > 0.0);
+  CROWDRL_CHECK(momentum >= 0.0 && momentum < 1.0);
+  CROWDRL_CHECK(weight_decay >= 0.0);
+}
+
+void Sgd::ApplyUpdate(std::vector<ParamView>* views) {
+  if (velocity_.empty()) {
+    velocity_.resize(views->size());
+    for (size_t i = 0; i < views->size(); ++i) {
+      velocity_[i].assign((*views)[i].size, 0.0);
+    }
+  }
+  CROWDRL_CHECK(velocity_.size() == views->size());
+  for (size_t i = 0; i < views->size(); ++i) {
+    ParamView& view = (*views)[i];
+    std::vector<double>& vel = velocity_[i];
+    for (size_t j = 0; j < view.size; ++j) {
+      double g = view.grad[j] + weight_decay_ * view.value[j];
+      vel[j] = momentum_ * vel[j] + g;
+      view.value[j] -= learning_rate_ * vel[j];
+    }
+  }
+}
+
+Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon,
+           double weight_decay)
+    : learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  CROWDRL_CHECK(learning_rate > 0.0);
+  CROWDRL_CHECK(beta1 >= 0.0 && beta1 < 1.0);
+  CROWDRL_CHECK(beta2 >= 0.0 && beta2 < 1.0);
+  CROWDRL_CHECK(epsilon > 0.0);
+}
+
+void Adam::ApplyUpdate(std::vector<ParamView>* views) {
+  if (m_.empty()) {
+    m_.resize(views->size());
+    v_.resize(views->size());
+    for (size_t i = 0; i < views->size(); ++i) {
+      m_[i].assign((*views)[i].size, 0.0);
+      v_[i].assign((*views)[i].size, 0.0);
+    }
+  }
+  CROWDRL_CHECK(m_.size() == views->size());
+  ++step_;
+  double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
+  double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
+  for (size_t i = 0; i < views->size(); ++i) {
+    ParamView& view = (*views)[i];
+    std::vector<double>& m = m_[i];
+    std::vector<double>& v = v_[i];
+    for (size_t j = 0; j < view.size; ++j) {
+      double g = view.grad[j] + weight_decay_ * view.value[j];
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g * g;
+      double m_hat = m[j] / bc1;
+      double v_hat = v[j] / bc2;
+      view.value[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace crowdrl::nn

@@ -1,0 +1,28 @@
+#ifndef CROWDRL_RL_ACTION_H_
+#define CROWDRL_RL_ACTION_H_
+
+#include <vector>
+
+namespace crowdrl::rl {
+
+/// The paper's joint TS+TA action A(t) = (i, j): assign object i to
+/// annotator j (Section III-B).
+struct Action {
+  int object = -1;
+  int annotator = -1;
+
+  bool operator==(const Action& other) const {
+    return object == other.object && annotator == other.annotator;
+  }
+};
+
+/// One selected object together with the k annotators chosen for it
+/// (Section IV-B Discussion: top-k Q values per object).
+struct Assignment {
+  int object = -1;
+  std::vector<int> annotators;
+};
+
+}  // namespace crowdrl::rl
+
+#endif  // CROWDRL_RL_ACTION_H_

@@ -1,0 +1,242 @@
+#include "rl/dqn_agent.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/topk.h"
+
+namespace crowdrl::rl {
+
+DqnAgent::DqnAgent(DqnAgentOptions options)
+    : options_(options),
+      q_network_(options.q),
+      replay_(options.replay_capacity),
+      rng_(options.seed),
+      epsilon_(options.epsilon) {
+  CROWDRL_CHECK(options.train_batch > 0);
+  CROWDRL_CHECK(options.train_steps_per_observe >= 0);
+  CROWDRL_CHECK(options.ucb_c >= 0.0);
+  CROWDRL_CHECK(options.epsilon >= 0.0 && options.epsilon <= 1.0);
+  CROWDRL_CHECK(options.epsilon_decay > 0.0 && options.epsilon_decay <= 1.0);
+  CROWDRL_CHECK(options.max_bootstrap_candidates > 0);
+}
+
+void DqnAgent::BeginEpisode(size_t num_objects, size_t num_annotators) {
+  CROWDRL_CHECK(num_objects > 0 && num_annotators > 0);
+  episode_objects_ = num_objects;
+  episode_annotators_ = num_annotators;
+  selection_counts_.assign(num_objects * num_annotators, 0);
+  total_selections_ = 0;
+  pending_.clear();
+  epsilon_ = options_.epsilon;
+}
+
+size_t DqnAgent::PairIndex(int object, int annotator) const {
+  return static_cast<size_t>(object) * episode_annotators_ +
+         static_cast<size_t>(annotator);
+}
+
+std::vector<Action> DqnAgent::EnumerateCandidates(
+    const StateView& view, const std::vector<bool>& annotator_affordable,
+    size_t max_pairs, Matrix* features) {
+  CROWDRL_CHECK(features != nullptr);
+  CROWDRL_CHECK(view.answers != nullptr && view.labelled != nullptr);
+  size_t num_objects = view.answers->num_objects();
+  size_t num_annotators = view.answers->num_annotators();
+  CROWDRL_CHECK(annotator_affordable.size() == num_annotators);
+
+  std::vector<Action> valid;
+  for (size_t i = 0; i < num_objects; ++i) {
+    if ((*view.labelled)[i]) continue;
+    for (size_t j = 0; j < num_annotators; ++j) {
+      if (!annotator_affordable[j]) continue;
+      if (view.answers->HasAnswer(static_cast<int>(i),
+                                  static_cast<int>(j))) {
+        continue;
+      }
+      valid.push_back({static_cast<int>(i), static_cast<int>(j)});
+    }
+  }
+  if (valid.size() > max_pairs) {
+    // Uniform subsample keeps the scan bounded for huge workloads.
+    std::vector<int> keep = rng_.SampleWithoutReplacement(
+        static_cast<int>(valid.size()), static_cast<int>(max_pairs));
+    std::vector<Action> sampled;
+    sampled.reserve(max_pairs);
+    for (int idx : keep) sampled.push_back(valid[static_cast<size_t>(idx)]);
+    valid = std::move(sampled);
+  }
+
+  *features = Matrix(valid.size(), StateFeaturizer::kFeatureDim);
+  std::vector<double> row;
+  for (size_t idx = 0; idx < valid.size(); ++idx) {
+    featurizer_.Featurize(view, valid[idx].object, valid[idx].annotator,
+                          &row);
+    if (!options_.feature_mask.empty()) {
+      CROWDRL_CHECK(options_.feature_mask.size() == row.size());
+      for (size_t f = 0; f < row.size(); ++f) {
+        if (!options_.feature_mask[f]) row[f] = 0.0;
+      }
+    }
+    features->SetRow(idx, row);
+  }
+  return valid;
+}
+
+ScoredCandidates DqnAgent::Score(
+    const StateView& view, const std::vector<bool>& annotator_affordable) {
+  CROWDRL_CHECK(episode_objects_ > 0)
+      << "BeginEpisode must be called before Score";
+  ScoredCandidates out;
+  out.actions = EnumerateCandidates(view, annotator_affordable,
+                                    std::numeric_limits<size_t>::max(),
+                                    &out.features);
+  if (out.actions.empty()) return out;
+
+  bool explore_randomly =
+      options_.exploration == ExplorationMode::kEpsilonGreedy &&
+      rng_.Bernoulli(epsilon_);
+  if (explore_randomly) {
+    out.scores.resize(out.actions.size());
+    for (double& s : out.scores) s = rng_.Uniform();
+  } else {
+    out.scores = q_network_.PredictBatch(out.features);
+    if (options_.exploration == ExplorationMode::kUcb) {
+      double log_term =
+          2.0 * std::log(static_cast<double>(total_selections_) + 1.0);
+      for (size_t idx = 0; idx < out.actions.size(); ++idx) {
+        const Action& a = out.actions[idx];
+        int n = selection_counts_[PairIndex(a.object, a.annotator)];
+        out.scores[idx] +=
+            options_.ucb_c *
+            std::sqrt(log_term / (static_cast<double>(n) + 1.0));
+      }
+    }
+  }
+  if (options_.exploration == ExplorationMode::kEpsilonGreedy) {
+    epsilon_ = std::max(options_.epsilon_min,
+                        epsilon_ * options_.epsilon_decay);
+  }
+  return out;
+}
+
+void DqnAgent::Commit(const ScoredCandidates& candidates,
+                      const std::vector<size_t>& chosen_indices) {
+  for (size_t idx : chosen_indices) {
+    CROWDRL_CHECK(idx < candidates.actions.size());
+    const Action& action = candidates.actions[idx];
+    pending_.push_back(candidates.features.RowVector(idx));
+    ++selection_counts_[PairIndex(action.object, action.annotator)];
+    ++total_selections_;
+  }
+}
+
+std::vector<Assignment> PickTopKSumAssignments(
+    const ScoredCandidates& candidates, int k, int num_objects_to_pick,
+    size_t num_objects_total, std::vector<size_t>* chosen_indices) {
+  CROWDRL_CHECK(k > 0 && num_objects_to_pick > 0);
+  CROWDRL_CHECK(chosen_indices != nullptr);
+  chosen_indices->clear();
+  if (candidates.actions.empty()) return {};
+
+  // Per object: top-k annotators by score.
+  std::vector<int> object_slot(num_objects_total, -1);
+  std::vector<TopK<size_t>> per_object;
+  std::vector<int> object_ids;
+  for (size_t idx = 0; idx < candidates.actions.size(); ++idx) {
+    int object = candidates.actions[idx].object;
+    CROWDRL_CHECK(object >= 0 &&
+                  static_cast<size_t>(object) < num_objects_total);
+    int slot = object_slot[static_cast<size_t>(object)];
+    if (slot < 0) {
+      slot = static_cast<int>(per_object.size());
+      object_slot[static_cast<size_t>(object)] = slot;
+      per_object.emplace_back(static_cast<size_t>(k));
+      object_ids.push_back(object);
+    }
+    per_object[static_cast<size_t>(slot)].Push(candidates.scores[idx], idx);
+  }
+
+  // Objects with the largest top-k sums ("MinHeap algorithm").
+  TopK<size_t> best_objects(static_cast<size_t>(num_objects_to_pick));
+  for (size_t slot = 0; slot < per_object.size(); ++slot) {
+    best_objects.Push(per_object[slot].ScoreSum(), slot);
+  }
+
+  std::vector<Assignment> assignments;
+  for (auto& scored_slot : best_objects.TakeSortedDescending()) {
+    size_t slot = scored_slot.second;
+    Assignment assignment;
+    assignment.object = object_ids[slot];
+    for (auto& scored_idx : per_object[slot].TakeSortedDescending()) {
+      size_t idx = scored_idx.second;
+      assignment.annotators.push_back(candidates.actions[idx].annotator);
+      chosen_indices->push_back(idx);
+    }
+    assignments.push_back(std::move(assignment));
+  }
+  return assignments;
+}
+
+std::vector<Assignment> DqnAgent::SelectBatch(
+    const StateView& view, int k, int num_objects_to_pick,
+    const std::vector<bool>& annotator_affordable) {
+  ScoredCandidates candidates = Score(view, annotator_affordable);
+  std::vector<size_t> chosen;
+  std::vector<Assignment> assignments = PickTopKSumAssignments(
+      candidates, k, num_objects_to_pick, episode_objects_, &chosen);
+  Commit(candidates, chosen);
+  return assignments;
+}
+
+void DqnAgent::Observe(double reward, const StateView& next_view,
+                       const std::vector<bool>& annotator_affordable,
+                       bool terminal) {
+  ObservePerPair(std::vector<double>(pending_.size(), reward), next_view,
+                 annotator_affordable, terminal);
+}
+
+void DqnAgent::ObservePerPair(const std::vector<double>& rewards,
+                              const StateView& next_view,
+                              const std::vector<bool>& annotator_affordable,
+                              bool terminal) {
+  CROWDRL_CHECK(rewards.size() == pending_.size())
+      << "need one reward per pending pair";
+  double next_max_q = 0.0;
+  if (!terminal) {
+    Matrix features;
+    std::vector<Action> candidates =
+        EnumerateCandidates(next_view, annotator_affordable,
+                            options_.max_bootstrap_candidates, &features);
+    if (!candidates.empty()) {
+      std::vector<double> target_q =
+          q_network_.TargetPredictBatch(features);
+      if (options_.q.double_dqn) {
+        // Double DQN: pick the action with the online network, evaluate
+        // it with the target network.
+        std::vector<double> online_q = q_network_.PredictBatch(features);
+        size_t best = 0;
+        for (size_t i = 1; i < online_q.size(); ++i) {
+          if (online_q[i] > online_q[best]) best = i;
+        }
+        next_max_q = target_q[best];
+      } else {
+        next_max_q = *std::max_element(target_q.begin(), target_q.end());
+      }
+    }
+  }
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    replay_.Add(Transition{std::move(pending_[i]), rewards[i], next_max_q,
+                           terminal});
+  }
+  pending_.clear();
+
+  if (replay_.size() < options_.min_replay_before_training) return;
+  for (int step = 0; step < options_.train_steps_per_observe; ++step) {
+    q_network_.TrainBatch(replay_.Sample(options_.train_batch, &rng_));
+  }
+}
+
+}  // namespace crowdrl::rl

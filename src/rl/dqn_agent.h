@@ -1,0 +1,151 @@
+#ifndef CROWDRL_RL_DQN_AGENT_H_
+#define CROWDRL_RL_DQN_AGENT_H_
+
+#include <vector>
+
+#include "rl/action.h"
+#include "rl/q_network.h"
+#include "rl/replay_buffer.h"
+#include "rl/state.h"
+#include "util/random.h"
+
+namespace crowdrl::rl {
+
+/// How the agent trades exploration against greed when picking actions.
+enum class ExplorationMode {
+  /// The paper's dynamic selection (Eq. 6): Q(S, A) plus a UCB1-style
+  /// bonus sqrt(2 ln n' / n) over per-pair selection counts.
+  kUcb,
+  /// Classic epsilon-greedy with multiplicative decay (kept for the
+  /// exploration ablation bench).
+  kEpsilonGreedy,
+  /// Pure arg-max (no exploration; ablation only).
+  kGreedy,
+};
+
+/// Agent hyper-parameters.
+struct DqnAgentOptions {
+  QNetworkOptions q;
+  size_t replay_capacity = 4096;
+  size_t train_batch = 32;
+  /// Gradient steps run after each Observe().
+  int train_steps_per_observe = 8;
+  /// Replay warm-up before training starts.
+  size_t min_replay_before_training = 32;
+  ExplorationMode exploration = ExplorationMode::kUcb;
+  double ucb_c = 0.5;
+  double epsilon = 0.2;
+  double epsilon_min = 0.02;
+  double epsilon_decay = 0.98;
+  /// Cap on candidate pairs scanned when bootstrapping
+  /// max_a Q_target(S', a) (sampled uniformly beyond the cap).
+  size_t max_bootstrap_candidates = 2048;
+  /// State-feature ablation mask (bench/ablation_state): when non-empty,
+  /// must have StateFeaturizer::kFeatureDim entries and masked-off
+  /// features are zeroed before reaching the Q-network. Empty = all on.
+  std::vector<bool> feature_mask;
+  uint64_t seed = 23;
+};
+
+/// All valid candidate actions of a state, with features and scores.
+/// Produced by DqnAgent::Score; consumed by a selection policy and then
+/// DqnAgent::Commit.
+struct ScoredCandidates {
+  std::vector<Action> actions;
+  Matrix features;  ///< One row per action.
+  /// Q(S, A) plus the exploration bonus when the mode adds one.
+  std::vector<double> scores;
+};
+
+/// \brief The Agent of CrowdRL (Section IV): scores every valid
+/// (object, annotator) pair with the DQN, masks already-labelled objects
+/// and already-answered pairs (they are simply never enumerated, which is
+/// the Q = -inf masking of Section IV-B), adds the UCB exploration bonus,
+/// and selects the objects whose top-k Q-values sum highest (min-heap
+/// selection), assigning each to those k annotators.
+///
+/// The Score / Commit split exists so the ablation variants (random task
+/// selection M1, random task assignment M2) can reuse the exact scoring
+/// path while replacing one half of the joint policy. Transitions are
+/// completed lazily: Commit caches the executed pairs' features, and the
+/// following Observe() attaches the reward and the next-state bootstrap
+/// before pushing them into experience replay.
+class DqnAgent {
+ public:
+  explicit DqnAgent(DqnAgentOptions options);
+
+  /// Resets per-episode exploration state (UCB counts, pending
+  /// transitions) for a workload of the given shape.
+  void BeginEpisode(size_t num_objects, size_t num_annotators);
+
+  /// Enumerates and scores every valid pair: object unlabelled, pair
+  /// unanswered, annotator affordable.
+  ScoredCandidates Score(const StateView& view,
+                         const std::vector<bool>& annotator_affordable);
+
+  /// Registers the candidate indices that were actually executed: caches
+  /// their features as pending transitions and bumps UCB counts.
+  void Commit(const ScoredCandidates& candidates,
+              const std::vector<size_t>& chosen_indices);
+
+  /// The paper's joint policy: picks up to `num_objects_to_pick` objects,
+  /// each assigned up to `k` annotators, and Commits the choice. Returns
+  /// fewer (possibly zero) assignments when valid pairs run out.
+  std::vector<Assignment> SelectBatch(
+      const StateView& view, int k, int num_objects_to_pick,
+      const std::vector<bool>& annotator_affordable);
+
+  /// Completes the transitions cached by the latest Commit with the
+  /// observed iteration reward r(t) and the next state's bootstrap value,
+  /// then runs training steps on replay. The same reward is attached to
+  /// every pending pair.
+  void Observe(double reward, const StateView& next_view,
+               const std::vector<bool>& annotator_affordable, bool terminal);
+
+  /// Like Observe but with one reward per pending pair (in Commit order) —
+  /// the decomposed credit assignment of core::PairReward. `rewards` must
+  /// have exactly pending_transitions() entries.
+  void ObservePerPair(const std::vector<double>& rewards,
+                      const StateView& next_view,
+                      const std::vector<bool>& annotator_affordable,
+                      bool terminal);
+
+  QNetwork& q_network() { return q_network_; }
+  const QNetwork& q_network() const { return q_network_; }
+  const ReplayBuffer& replay() const { return replay_; }
+  size_t pending_transitions() const { return pending_.size(); }
+  double current_epsilon() const { return epsilon_; }
+  Rng* rng() { return &rng_; }
+
+ private:
+  /// Enumerates valid pairs and fills features (one candidate per row).
+  std::vector<Action> EnumerateCandidates(
+      const StateView& view, const std::vector<bool>& annotator_affordable,
+      size_t max_pairs, Matrix* features);
+
+  size_t PairIndex(int object, int annotator) const;
+
+  DqnAgentOptions options_;
+  QNetwork q_network_;
+  ReplayBuffer replay_;
+  StateFeaturizer featurizer_;
+  Rng rng_;
+  double epsilon_;
+
+  size_t episode_objects_ = 0;
+  size_t episode_annotators_ = 0;
+  std::vector<int> selection_counts_;  // Per (object, annotator) pair.
+  size_t total_selections_ = 0;
+  std::vector<std::vector<double>> pending_;  // Executed pairs' features.
+};
+
+/// Greedy joint policy over scored candidates: per-object top-k by score,
+/// then the `num_objects_to_pick` objects with the largest top-k sums.
+/// Returns the chosen candidate indices grouped into assignments.
+std::vector<Assignment> PickTopKSumAssignments(
+    const ScoredCandidates& candidates, int k, int num_objects_to_pick,
+    size_t num_objects_total, std::vector<size_t>* chosen_indices);
+
+}  // namespace crowdrl::rl
+
+#endif  // CROWDRL_RL_DQN_AGENT_H_

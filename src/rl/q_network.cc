@@ -1,0 +1,97 @@
+#include "rl/q_network.h"
+
+#include "nn/loss.h"
+#include "util/logging.h"
+
+namespace crowdrl::rl {
+
+namespace {
+
+nn::Mlp BuildNet(const QNetworkOptions& options, Rng* rng) {
+  std::vector<size_t> sizes;
+  sizes.push_back(options.feature_dim);
+  for (size_t h : options.hidden_sizes) sizes.push_back(h);
+  sizes.push_back(1);
+  std::vector<nn::Activation> acts(sizes.size() - 1, nn::Activation::kRelu);
+  acts.back() = nn::Activation::kIdentity;
+  return nn::Mlp(sizes, acts, rng);
+}
+
+}  // namespace
+
+QNetwork::QNetwork(QNetworkOptions options)
+    : options_(options),
+      online_([&options] {
+        Rng rng(options.seed);
+        return BuildNet(options, &rng);
+      }()),
+      target_(online_),
+      optimizer_(options.learning_rate) {
+  CROWDRL_CHECK(options.feature_dim > 0);
+  CROWDRL_CHECK(options.gamma > 0.0 && options.gamma <= 1.0);
+  CROWDRL_CHECK(options.soft_tau >= 0.0 && options.soft_tau <= 1.0);
+  CROWDRL_CHECK(options.soft_tau > 0.0 || options.target_sync_period > 0);
+}
+
+double QNetwork::Predict(const std::vector<double>& features) const {
+  CROWDRL_DCHECK(features.size() == options_.feature_dim);
+  return online_.Infer(features)[0];
+}
+
+std::vector<double> QNetwork::PredictBatch(const Matrix& features) const {
+  Matrix out = online_.Infer(features);
+  std::vector<double> q(out.rows());
+  for (size_t r = 0; r < out.rows(); ++r) q[r] = out.At(r, 0);
+  return q;
+}
+
+std::vector<double> QNetwork::TargetPredictBatch(
+    const Matrix& features) const {
+  Matrix out = target_.Infer(features);
+  std::vector<double> q(out.rows());
+  for (size_t r = 0; r < out.rows(); ++r) q[r] = out.At(r, 0);
+  return q;
+}
+
+double QNetwork::TrainBatch(const std::vector<const Transition*>& batch) {
+  CROWDRL_CHECK(!batch.empty());
+  Matrix x(batch.size(), options_.feature_dim);
+  Matrix y(batch.size(), 1);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Transition& t = *batch[i];
+    CROWDRL_CHECK(t.features.size() == options_.feature_dim);
+    x.SetRow(i, t.features);
+    double target = t.reward;
+    if (!t.terminal) target += options_.gamma * t.next_max_q;
+    y.At(i, 0) = target;
+  }
+  Matrix pred = online_.Forward(x);
+  Matrix grad;
+  double loss = nn::MseLoss(pred, y, &grad);
+  online_.Backward(grad);
+  optimizer_.Step(&online_);
+  ++train_steps_;
+  SyncTargetIfDue();
+  return loss;
+}
+
+void QNetwork::SyncTargetIfDue() {
+  if (options_.soft_tau > 0.0) {
+    target_.BlendFrom(online_, options_.soft_tau);
+    return;
+  }
+  if (train_steps_ % options_.target_sync_period == 0) {
+    target_ = online_;
+  }
+}
+
+std::vector<double> QNetwork::FlatParameters() const {
+  return online_.FlatParameters();
+}
+
+void QNetwork::SetFlatParameters(const std::vector<double>& params) {
+  online_.SetFlatParameters(params);
+  target_ = online_;
+}
+
+}  // namespace crowdrl::rl

@@ -1,0 +1,76 @@
+#ifndef CROWDRL_RL_Q_NETWORK_H_
+#define CROWDRL_RL_Q_NETWORK_H_
+
+#include <memory>
+#include <vector>
+
+#include "math/matrix.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "rl/replay_buffer.h"
+
+namespace crowdrl::rl {
+
+/// Hyper-parameters of the Deep Q-Network.
+struct QNetworkOptions {
+  size_t feature_dim = 12;
+  std::vector<size_t> hidden_sizes = {64, 32};
+  double learning_rate = 1e-3;
+  /// Discount factor gamma of the long-term reward (Eq. 1).
+  double gamma = 0.95;
+  /// Hard target-network sync every this many TrainBatch calls
+  /// (ignored when soft_tau > 0).
+  size_t target_sync_period = 25;
+  /// If > 0, Polyak-average the target toward the online net each step.
+  double soft_tau = 0.0;
+  /// Double DQN [38] (the paper notes DQN variants drop in): the
+  /// bootstrap evaluates the target network at the *online* network's
+  /// arg-max action instead of taking the target's own max, which
+  /// counters Q-value overestimation.
+  bool double_dqn = false;
+  uint64_t seed = 17;
+};
+
+/// \brief Q(S, A; theta) as a small MLP over per-action features, with a
+/// separate target network for the bootstrapped regression target
+/// y = r + gamma * max_a' Q_target(S', a') (the loss L(theta) of
+/// Section IV-A).
+class QNetwork {
+ public:
+  explicit QNetwork(QNetworkOptions options);
+
+  size_t feature_dim() const { return options_.feature_dim; }
+  double gamma() const { return options_.gamma; }
+
+  /// Online-network Q value for one action's features.
+  double Predict(const std::vector<double>& features) const;
+
+  /// Online-network Q values for a batch (one action per row).
+  std::vector<double> PredictBatch(const Matrix& features) const;
+
+  /// Target-network Q values for a batch.
+  std::vector<double> TargetPredictBatch(const Matrix& features) const;
+
+  /// One SGD step on a replay minibatch; returns the TD loss.
+  double TrainBatch(const std::vector<const Transition*>& batch);
+
+  size_t train_steps() const { return train_steps_; }
+
+  /// Parameter transfer for offline pre-training ("cross training
+  /// methodology", Section VI-A4); also resets the target network.
+  std::vector<double> FlatParameters() const;
+  void SetFlatParameters(const std::vector<double>& params);
+
+ private:
+  void SyncTargetIfDue();
+
+  QNetworkOptions options_;
+  nn::Mlp online_;
+  nn::Mlp target_;
+  nn::Adam optimizer_;
+  size_t train_steps_ = 0;
+};
+
+}  // namespace crowdrl::rl
+
+#endif  // CROWDRL_RL_Q_NETWORK_H_

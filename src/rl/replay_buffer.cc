@@ -1,0 +1,44 @@
+#include "rl/replay_buffer.h"
+
+#include "util/logging.h"
+
+namespace crowdrl::rl {
+
+ReplayBuffer::ReplayBuffer(size_t capacity) : capacity_(capacity) {
+  CROWDRL_CHECK(capacity > 0);
+  buffer_.reserve(capacity);
+}
+
+void ReplayBuffer::Add(Transition transition) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(std::move(transition));
+    return;
+  }
+  buffer_[next_] = std::move(transition);
+  next_ = (next_ + 1) % capacity_;
+}
+
+const Transition& ReplayBuffer::at(size_t i) const {
+  CROWDRL_CHECK(i < buffer_.size());
+  return buffer_[i];
+}
+
+std::vector<const Transition*> ReplayBuffer::Sample(size_t batch,
+                                                    Rng* rng) const {
+  CROWDRL_CHECK(rng != nullptr);
+  CROWDRL_CHECK(!buffer_.empty());
+  std::vector<const Transition*> out;
+  out.reserve(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    out.push_back(&buffer_[static_cast<size_t>(
+        rng->UniformInt(static_cast<int>(buffer_.size())))]);
+  }
+  return out;
+}
+
+void ReplayBuffer::Clear() {
+  buffer_.clear();
+  next_ = 0;
+}
+
+}  // namespace crowdrl::rl

@@ -1,0 +1,52 @@
+#ifndef CROWDRL_RL_REPLAY_BUFFER_H_
+#define CROWDRL_RL_REPLAY_BUFFER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/random.h"
+
+namespace crowdrl::rl {
+
+/// \brief One replayable experience (S(t), A(t), r(t), S(t+1)) in the
+/// per-action-feature realization: the taken action's feature vector, the
+/// observed reward, and the next state's best target-network Q-value
+/// (computed when the next state is reached, so replay stores O(dim)
+/// per transition instead of the full successor state).
+struct Transition {
+  std::vector<double> features;
+  double reward = 0.0;
+  double next_max_q = 0.0;
+  bool terminal = false;
+};
+
+/// \brief Fixed-capacity experience pool with uniform sampling
+/// (the paper's "experience replay", Section IV-A / Fig. 2).
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(size_t capacity);
+
+  /// Appends a transition, evicting the oldest when full.
+  void Add(Transition transition);
+
+  size_t size() const { return buffer_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return buffer_.empty(); }
+
+  const Transition& at(size_t i) const;
+
+  /// Uniform sample with replacement of `batch` transitions.
+  /// Requires a non-empty buffer.
+  std::vector<const Transition*> Sample(size_t batch, Rng* rng) const;
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  size_t next_ = 0;  // Ring-buffer write cursor once full.
+  std::vector<Transition> buffer_;
+};
+
+}  // namespace crowdrl::rl
+
+#endif  // CROWDRL_RL_REPLAY_BUFFER_H_

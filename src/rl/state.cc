@@ -1,0 +1,82 @@
+#include "rl/state.h"
+
+#include <cmath>
+
+#include "math/vector_ops.h"
+#include "util/logging.h"
+
+namespace crowdrl::rl {
+
+void StateFeaturizer::Featurize(const StateView& view, int object,
+                                int annotator,
+                                std::vector<double>* out) const {
+  CROWDRL_DCHECK(out != nullptr);
+  CROWDRL_DCHECK(view.answers != nullptr);
+  CROWDRL_DCHECK(view.annotator_costs != nullptr);
+  CROWDRL_DCHECK(view.annotator_qualities != nullptr);
+  CROWDRL_DCHECK(view.num_classes >= 2);
+  out->assign(kFeatureDim, 0.0);
+
+  size_t num_annotators = view.answers->num_annotators();
+  double log_c = std::log(static_cast<double>(view.num_classes));
+
+  // Object-side features.
+  std::vector<int> hist =
+      view.answers->LabelHistogram(object, view.num_classes);
+  int answer_count = 0;
+  int top_votes = 0;
+  for (int v : hist) {
+    answer_count += v;
+    top_votes = std::max(top_votes, v);
+  }
+  double answer_entropy = 0.0;
+  if (answer_count > 0) {
+    std::vector<double> frac(hist.size());
+    for (size_t i = 0; i < hist.size(); ++i) {
+      frac[i] = static_cast<double>(hist[i]) /
+                static_cast<double>(answer_count);
+    }
+    answer_entropy = Entropy(frac) / log_c;
+  }
+  double agreement =
+      answer_count > 0 ? static_cast<double>(top_votes) /
+                             static_cast<double>(answer_count)
+                       : 0.0;
+
+  double cls_margin = 0.0;
+  double cls_entropy = 1.0;  // Max uncertainty before phi exists.
+  if (view.class_probs != nullptr) {
+    std::vector<double> probs =
+        view.class_probs->RowVector(static_cast<size_t>(object));
+    cls_margin = TopTwoGap(probs);
+    cls_entropy = Entropy(probs) / log_c;
+  }
+
+  // Annotator-side features.
+  size_t j = static_cast<size_t>(annotator);
+  double cost = (*view.annotator_costs)[j];
+  double max_cost = view.max_cost > 0.0 ? view.max_cost : 1.0;
+  double norm_cost = cost / max_cost;
+  double quality = (*view.annotator_qualities)[j];
+  double quality_per_cost = quality / (norm_cost + 0.1);
+  double is_expert =
+      view.annotator_is_expert != nullptr && (*view.annotator_is_expert)[j]
+          ? 1.0
+          : 0.0;
+
+  (*out)[0] = 1.0;  // Bias.
+  (*out)[1] = static_cast<double>(answer_count) /
+              static_cast<double>(num_annotators);
+  (*out)[2] = answer_entropy;
+  (*out)[3] = agreement;
+  (*out)[4] = cls_margin;
+  (*out)[5] = cls_entropy;
+  (*out)[6] = quality;
+  (*out)[7] = norm_cost;
+  (*out)[8] = quality_per_cost / 10.0;  // Keep in roughly [0, 1].
+  (*out)[9] = is_expert;
+  (*out)[10] = view.budget_fraction_remaining;
+  (*out)[11] = view.fraction_labelled;
+}
+
+}  // namespace crowdrl::rl

@@ -1,0 +1,63 @@
+#ifndef CROWDRL_RL_STATE_H_
+#define CROWDRL_RL_STATE_H_
+
+#include <vector>
+
+#include "crowd/answer_log.h"
+#include "math/matrix.h"
+
+namespace crowdrl::rl {
+
+/// \brief Read-only view of the RL state S(t) (Section III-B): labelling
+/// history, annotator costs and estimated qualities, plus the classifier's
+/// current beliefs and global progress counters.
+///
+/// All pointers are borrowed and must outlive the view.
+struct StateView {
+  const crowd::AnswerLog* answers = nullptr;
+  int num_classes = 0;
+  const std::vector<double>* annotator_costs = nullptr;
+  const std::vector<double>* annotator_qualities = nullptr;
+  const std::vector<bool>* annotator_is_expert = nullptr;
+  /// phi's class probabilities per object (all objects); null before the
+  /// classifier has been trained.
+  const Matrix* class_probs = nullptr;
+  /// Objects whose truth has already been decided (by inference or by
+  /// enrichment); the agent must never select them again (Q = -inf).
+  const std::vector<bool>* labelled = nullptr;
+  double budget_fraction_remaining = 1.0;
+  double fraction_labelled = 0.0;
+  double max_cost = 1.0;
+};
+
+/// \brief Encodes one candidate action (object, annotator) into a fixed
+/// feature vector for the Q-network.
+///
+/// The literal state space is (|C|+1)^(|O||W|) (Section III-B), which the
+/// paper itself replaces with a DQN approximation. This featurizer is our
+/// concrete realization: each candidate pair is described by the
+/// information the paper lists as state — the object's labelling history
+/// (answer count, answer entropy, agreement), the classifier's uncertainty
+/// about it, the annotator's estimated quality and cost, and the global
+/// budget/progress — and the DQN scores pairs independently, keeping
+/// action scoring O(|O||W|) per iteration.
+class StateFeaturizer {
+ public:
+  static constexpr size_t kFeatureDim = 12;
+
+  /// Writes the feature vector for (object, annotator) into `out`
+  /// (resized to kFeatureDim).
+  void Featurize(const StateView& view, int object, int annotator,
+                 std::vector<double>* out) const;
+
+  std::vector<double> Featurize(const StateView& view, int object,
+                                int annotator) const {
+    std::vector<double> out;
+    Featurize(view, object, annotator, &out);
+    return out;
+  }
+};
+
+}  // namespace crowdrl::rl
+
+#endif  // CROWDRL_RL_STATE_H_

@@ -1,0 +1,75 @@
+#ifndef CROWDRL_UTIL_LOGGING_H_
+#define CROWDRL_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace crowdrl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide minimum level below which log lines are dropped.
+///
+/// Defaults to kInfo; benchmarks raise it to kWarning to keep output clean.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log line writer; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction (CHECK failures).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define CROWDRL_LOG(level)                                      \
+  ::crowdrl::internal_logging::LogMessage(                      \
+      ::crowdrl::LogLevel::k##level, __FILE__, __LINE__)        \
+      .stream()
+
+/// Aborts with a message when `condition` is false. Active in all builds:
+/// these guard invariants whose violation means memory-unsafe behaviour.
+#define CROWDRL_CHECK(condition)                                        \
+  if (!(condition))                                                     \
+  ::crowdrl::internal_logging::FatalLogMessage(__FILE__, __LINE__)      \
+          .stream()                                                     \
+      << "Check failed: " #condition " "
+
+#ifdef NDEBUG
+#define CROWDRL_DCHECK(condition) \
+  while (false) CROWDRL_CHECK(condition)
+#else
+#define CROWDRL_DCHECK(condition) CROWDRL_CHECK(condition)
+#endif
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_UTIL_LOGGING_H_

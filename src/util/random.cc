@@ -1,0 +1,58 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace crowdrl {
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return Uniform() < p;
+}
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  CROWDRL_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    CROWDRL_DCHECK(w >= 0.0);
+    total += w;
+  }
+  CROWDRL_CHECK(total > 0.0) << "Categorical weights must have positive sum";
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return static_cast<int>(i);
+  }
+  // Floating-point slack: the draw landed on the total; return the last
+  // index with positive weight.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return static_cast<int>(i - 1);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  CROWDRL_CHECK(n >= 0 && k >= 0 && k <= n);
+  std::vector<int> pool(static_cast<size_t>(n));
+  std::iota(pool.begin(), pool.end(), 0);
+  // Partial Fisher-Yates: only the first k positions need to be randomized.
+  for (int i = 0; i < k; ++i) {
+    int j = UniformInt(i, n - 1);
+    std::swap(pool[static_cast<size_t>(i)], pool[static_cast<size_t>(j)]);
+  }
+  pool.resize(static_cast<size_t>(k));
+  return pool;
+}
+
+Rng Rng::Fork(uint64_t tag) const {
+  // SplitMix64-style mixing of (seed, tag) so child streams are
+  // decorrelated from the parent and from each other.
+  uint64_t z = seed_ + 0x9E3779B97F4A7C15ULL * (tag + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z = z ^ (z >> 31);
+  return Rng(z);
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,81 @@
+#ifndef CROWDRL_UTIL_STATUS_H_
+#define CROWDRL_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace crowdrl {
+
+/// \brief Lightweight result-of-operation type, RocksDB style.
+///
+/// Functions that can fail in recoverable ways return a `Status` (or a
+/// `StatusOr<T>`); invariant violations use `CROWDRL_CHECK` instead. A
+/// default-constructed `Status` is OK and carries no message.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kOutOfBudget,
+    kFailedPrecondition,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status OutOfBudget(std::string msg) {
+    return Status(Code::kOutOfBudget, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string for logs and test failures.
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsOutOfBudget() const { return code_ == Code::kOutOfBudget; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+ private:
+  Status(Code code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Early-returns the enclosing function with `s` if `s` is not OK.
+#define CROWDRL_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::crowdrl::Status _crowdrl_status = (expr);      \
+    if (!_crowdrl_status.ok()) return _crowdrl_status; \
+  } while (false)
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_UTIL_STATUS_H_

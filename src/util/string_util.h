@@ -1,0 +1,19 @@
+#ifndef CROWDRL_UTIL_STRING_UTIL_H_
+#define CROWDRL_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace crowdrl {
+
+/// Joins the pieces with the separator: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& pieces,
+                 const std::string& sep);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_UTIL_STRING_UTIL_H_

@@ -1,0 +1,41 @@
+#ifndef CROWDRL_UTIL_TABLE_H_
+#define CROWDRL_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace crowdrl {
+
+/// \brief Fixed-width text table used by the benchmark harness to print
+/// paper-style result grids (one table per figure).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 4);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with column separators and a header rule.
+  void Print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing commas are quoted).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (no locale surprises).
+std::string FormatDouble(double value, int precision);
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_UTIL_TABLE_H_

@@ -1,0 +1,74 @@
+#ifndef CROWDRL_UTIL_TOPK_H_
+#define CROWDRL_UTIL_TOPK_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace crowdrl {
+
+/// \brief Streaming top-k selector backed by a min-heap.
+///
+/// Keeps the k items with the largest scores seen so far; the paper's
+/// "MinHeap algorithm" for picking the object whose top-k Q-values have the
+/// largest sum (Section IV-B, Discussion) is built on this.
+template <typename T>
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k) { CROWDRL_CHECK(k > 0); }
+
+  /// Offers one candidate; kept iff it beats the current k-th best.
+  void Push(double score, T item) {
+    if (heap_.size() < k_) {
+      heap_.emplace_back(score, std::move(item));
+      std::push_heap(heap_.begin(), heap_.end(), GreaterScore);
+      return;
+    }
+    if (score <= heap_.front().first) return;
+    std::pop_heap(heap_.begin(), heap_.end(), GreaterScore);
+    heap_.back() = {score, std::move(item)};
+    std::push_heap(heap_.begin(), heap_.end(), GreaterScore);
+  }
+
+  size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+
+  /// Sum of the retained scores (the paper's per-object top-k Q-sum).
+  double ScoreSum() const {
+    double sum = 0.0;
+    for (const auto& entry : heap_) sum += entry.first;
+    return sum;
+  }
+
+  /// Smallest retained score; only meaningful when size() == k.
+  double MinScore() const {
+    CROWDRL_DCHECK(!heap_.empty());
+    return heap_.front().first;
+  }
+
+  /// Destructively extracts the retained items, best score first.
+  std::vector<std::pair<double, T>> TakeSortedDescending() {
+    std::vector<std::pair<double, T>> out = std::move(heap_);
+    heap_.clear();
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      return a.first > b.first;
+    });
+    return out;
+  }
+
+ private:
+  static bool GreaterScore(const std::pair<double, T>& a,
+                           const std::pair<double, T>& b) {
+    return a.first > b.first;
+  }
+
+  size_t k_;
+  std::vector<std::pair<double, T>> heap_;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_UTIL_TOPK_H_

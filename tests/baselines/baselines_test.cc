@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "baselines/ablations.h"
+#include "baselines/dalc.h"
+#include "baselines/dlta.h"
+#include "baselines/hybrid.h"
+#include "baselines/idle.h"
+#include "baselines/oba.h"
+#include "eval/metrics.h"
+
+namespace crowdrl::baselines {
+namespace {
+
+struct Workload {
+  data::Dataset dataset;
+  std::vector<crowd::Annotator> pool;
+
+  Workload() {
+    data::GaussianMixtureOptions options;
+    options.num_objects = 150;
+    options.view = {10, 2.6, 0.5};
+    options.seed = 17;
+    dataset = data::MakeGaussianMixture(options);
+    crowd::PoolOptions pool_options;
+    pool_options.num_workers = 3;
+    pool_options.num_experts = 2;
+    pool_options.seed = 18;
+    pool = crowd::MakePool(pool_options);
+  }
+};
+
+class BaselineContractTest
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<core::LabellingFramework> Make(const std::string& name) {
+    if (name == "DLTA") return std::make_unique<Dlta>();
+    if (name == "OBA") return std::make_unique<Oba>();
+    if (name == "IDLE") return std::make_unique<Idle>();
+    if (name == "DALC") return std::make_unique<Dalc>();
+    if (name == "Hybrid") return std::make_unique<Hybrid>();
+    if (name == "M1") return MakeM1();
+    if (name == "M2") return MakeM2();
+    if (name == "M3") return MakeM3();
+    ADD_FAILURE() << "unknown baseline " << name;
+    return nullptr;
+  }
+};
+
+// Every framework must satisfy the same contract: complete labelling,
+// budget respected, better than coin-flipping on a learnable workload.
+TEST_P(BaselineContractTest, CompleteWithinBudgetAndInformative) {
+  Workload w;
+  auto framework = Make(GetParam());
+  core::LabellingResult result;
+  ASSERT_TRUE(framework->Run(w.dataset, w.pool, 600.0, 3, &result).ok())
+      << framework->name();
+  ASSERT_EQ(result.labels.size(), w.dataset.num_objects());
+  EXPECT_LE(result.budget_spent, 600.0 + 1e-9) << framework->name();
+  for (int label : result.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 2);
+  }
+  eval::Metrics m = eval::ComputeMetrics(w.dataset.truths, result.labels, 2);
+  EXPECT_GT(m.accuracy, 0.55) << framework->name();
+}
+
+TEST_P(BaselineContractTest, DeterministicForFixedSeed) {
+  Workload w;
+  auto framework = Make(GetParam());
+  core::LabellingResult a, b;
+  ASSERT_TRUE(framework->Run(w.dataset, w.pool, 400.0, 9, &a).ok());
+  auto fresh = Make(GetParam());
+  ASSERT_TRUE(fresh->Run(w.dataset, w.pool, 400.0, 9, &b).ok());
+  EXPECT_EQ(a.labels, b.labels) << framework->name();
+}
+
+TEST_P(BaselineContractTest, RejectsEmptyPool) {
+  Workload w;
+  auto framework = Make(GetParam());
+  core::LabellingResult result;
+  EXPECT_TRUE(framework->Run(w.dataset, {}, 100.0, 1, &result)
+                  .IsInvalidArgument());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, BaselineContractTest,
+                         ::testing::Values("DLTA", "OBA", "IDLE", "DALC",
+                                           "Hybrid", "M1", "M2", "M3"));
+
+TEST(BaselineNamesTest, AsReported) {
+  EXPECT_STREQ(Dlta().name(), "DLTA");
+  EXPECT_STREQ(Oba().name(), "OBA");
+  EXPECT_STREQ(Idle().name(), "IDLE");
+  EXPECT_STREQ(Dalc().name(), "DALC");
+  EXPECT_STREQ(Hybrid().name(), "Hybrid");
+  EXPECT_STREQ(MakeM1()->name(), "CrowdRL-M1");
+  EXPECT_STREQ(MakeM2()->name(), "CrowdRL-M2");
+  EXPECT_STREQ(MakeM3()->name(), "CrowdRL-M3");
+}
+
+TEST(DltaTest, SpendsTheBudgetOnUncertainObjects) {
+  Workload w;
+  Dlta dlta;
+  core::LabellingResult result;
+  ASSERT_TRUE(dlta.Run(w.dataset, w.pool, 600.0, 5, &result).ok());
+  // DLTA is a pure-crowd method: no classifier-labelled objects.
+  EXPECT_EQ(result.CountBySource(core::LabelSource::kClassifier), 0u);
+  EXPECT_GT(result.budget_spent, 500.0);
+}
+
+TEST(ObaTest, TrustsSingleAnswers) {
+  Workload w;
+  Oba oba;
+  core::LabellingResult result;
+  ASSERT_TRUE(oba.Run(w.dataset, w.pool, 600.0, 5, &result).ok());
+  // OBA asks exactly one annotator per human-labelled object.
+  EXPECT_EQ(result.human_answers,
+            result.CountBySource(core::LabelSource::kInference));
+}
+
+TEST(HybridTest, UsesBothHumansAndClassifier) {
+  Workload w;
+  Hybrid hybrid;
+  core::LabellingResult result;
+  ASSERT_TRUE(hybrid.Run(w.dataset, w.pool, 400.0, 5, &result).ok());
+  EXPECT_GT(result.human_answers, 0u);
+}
+
+}  // namespace
+}  // namespace crowdrl::baselines

@@ -1,0 +1,79 @@
+#include "classifier/knn_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "math/vector_ops.h"
+
+namespace crowdrl::classifier {
+namespace {
+
+TEST(KnnClassifierTest, UntrainedPredictsUniform) {
+  KnnClassifier c(2, 2);
+  EXPECT_FALSE(c.is_trained());
+  std::vector<double> p = c.PredictProbs({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  EXPECT_DOUBLE_EQ(p[1], 0.5);
+}
+
+TEST(KnnClassifierTest, NearestNeighbourWins) {
+  KnnClassifier c(1, 2, {1});
+  Matrix x = Matrix::FromRows({{0.0}, {10.0}});
+  Matrix y = Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
+  ASSERT_TRUE(c.Train(x, y, {}).ok());
+  EXPECT_EQ(Argmax(c.PredictProbs({1.0})), 0u);
+  EXPECT_EQ(Argmax(c.PredictProbs({9.0})), 1u);
+}
+
+TEST(KnnClassifierTest, VoteFractionsAreProbabilities) {
+  KnnClassifier c(1, 2, {3});
+  Matrix x = Matrix::FromRows({{0.0}, {1.0}, {2.0}, {10.0}});
+  Matrix y = Matrix::FromRows(
+      {{1.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}, {0.0, 1.0}});
+  ASSERT_TRUE(c.Train(x, y, {}).ok());
+  // Neighbours of 0.5: {0, 1, 2} -> two class-0 votes, one class-1.
+  std::vector<double> p = c.PredictProbs({0.5});
+  EXPECT_NEAR(p[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(p[1], 1.0 / 3.0, 1e-12);
+}
+
+TEST(KnnClassifierTest, KLargerThanTrainingSet) {
+  KnnClassifier c(1, 2, {10});
+  Matrix x = Matrix::FromRows({{0.0}, {1.0}});
+  Matrix y = Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
+  ASSERT_TRUE(c.Train(x, y, {}).ok());
+  std::vector<double> p = c.PredictProbs({0.5});
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+}
+
+TEST(KnnClassifierTest, SoftLabelsReducedToArgmax) {
+  KnnClassifier c(1, 2, {1});
+  Matrix x = Matrix::FromRows({{0.0}});
+  Matrix y = Matrix::FromRows({{0.4, 0.6}});
+  ASSERT_TRUE(c.Train(x, y, {}).ok());
+  EXPECT_EQ(Argmax(c.PredictProbs({0.0})), 1u);
+}
+
+TEST(KnnClassifierTest, ErrorStatuses) {
+  KnnClassifier c(2, 2);
+  Matrix empty;
+  EXPECT_TRUE(c.Train(empty, empty, {}).IsInvalidArgument());
+  Matrix x(2, 3);
+  Matrix y(2, 2);
+  EXPECT_TRUE(c.Train(x, y, {}).IsInvalidArgument());
+}
+
+TEST(KnnClassifierTest, CloneIsIndependent) {
+  KnnClassifier c(1, 2, {1});
+  Matrix x = Matrix::FromRows({{0.0}});
+  Matrix y = Matrix::FromRows({{1.0, 0.0}});
+  ASSERT_TRUE(c.Train(x, y, {}).ok());
+  std::unique_ptr<Classifier> clone = c.Clone();
+  Matrix x2 = Matrix::FromRows({{0.0}});
+  Matrix y2 = Matrix::FromRows({{0.0, 1.0}});
+  ASSERT_TRUE(c.Train(x2, y2, {}).ok());
+  EXPECT_EQ(Argmax(clone->PredictProbs({0.0})), 0u);
+  EXPECT_EQ(Argmax(c.PredictProbs({0.0})), 1u);
+}
+
+}  // namespace
+}  // namespace crowdrl::classifier

@@ -1,0 +1,169 @@
+#include "classifier/mlp_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "math/vector_ops.h"
+
+namespace crowdrl::classifier {
+namespace {
+
+// Well-separated two-class workload plus one-hot labels.
+struct TrainingSet {
+  Matrix x;
+  Matrix y;
+  std::vector<int> truths;
+};
+
+TrainingSet MakeSeparable(size_t n, uint64_t seed) {
+  data::GaussianMixtureOptions options;
+  options.num_objects = n;
+  options.view = {8, 6.0, 1.0};  // Very separable.
+  options.seed = seed;
+  data::Dataset d = data::MakeGaussianMixture(options);
+  TrainingSet set;
+  set.x = d.features;
+  set.y = Matrix(n, 2);
+  for (size_t i = 0; i < n; ++i) {
+    set.y.At(i, static_cast<size_t>(d.truths[i])) = 1.0;
+  }
+  set.truths = d.truths;
+  return set;
+}
+
+double Accuracy(const Classifier& c, const TrainingSet& set) {
+  size_t correct = 0;
+  for (size_t i = 0; i < set.x.rows(); ++i) {
+    if (static_cast<int>(Argmax(c.PredictProbs(set.x.RowVector(i)))) ==
+        set.truths[i]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(set.x.rows());
+}
+
+TEST(MlpClassifierTest, UntrainedPredictsUniform) {
+  MlpClassifier c(4, 3);
+  EXPECT_FALSE(c.is_trained());
+  std::vector<double> probs = c.PredictProbs({0.0, 0.0, 0.0, 0.0});
+  for (double p : probs) EXPECT_DOUBLE_EQ(p, 1.0 / 3.0);
+}
+
+TEST(MlpClassifierTest, LearnsSeparableData) {
+  TrainingSet set = MakeSeparable(200, 3);
+  MlpClassifier c(8, 2);
+  ASSERT_TRUE(c.Train(set.x, set.y, {}).ok());
+  EXPECT_TRUE(c.is_trained());
+  EXPECT_GT(Accuracy(c, set), 0.95);
+}
+
+TEST(MlpClassifierTest, ProbabilitiesSumToOne) {
+  TrainingSet set = MakeSeparable(100, 4);
+  MlpClassifier c(8, 2);
+  ASSERT_TRUE(c.Train(set.x, set.y, {}).ok());
+  for (size_t i = 0; i < 10; ++i) {
+    std::vector<double> p = c.PredictProbs(set.x.RowVector(i));
+    double sum = 0.0;
+    for (double v : p) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(MlpClassifierTest, BatchMatchesSinglePrediction) {
+  TrainingSet set = MakeSeparable(50, 5);
+  MlpClassifier c(8, 2);
+  ASSERT_TRUE(c.Train(set.x, set.y, {}).ok());
+  Matrix batch = c.PredictProbsBatch(set.x);
+  for (size_t i = 0; i < 10; ++i) {
+    std::vector<double> single = c.PredictProbs(set.x.RowVector(i));
+    for (size_t k = 0; k < 2; ++k) {
+      EXPECT_NEAR(batch.At(i, k), single[k], 1e-12);
+    }
+  }
+}
+
+TEST(MlpClassifierTest, SoftLabelTrainingWorks) {
+  TrainingSet set = MakeSeparable(150, 6);
+  // Soften the labels: 0.9 / 0.1 instead of one-hot.
+  Matrix soft = set.y;
+  for (size_t i = 0; i < soft.rows(); ++i) {
+    for (size_t k = 0; k < 2; ++k) {
+      soft.At(i, k) = soft.At(i, k) * 0.8 + 0.1;
+    }
+  }
+  MlpClassifier c(8, 2);
+  ASSERT_TRUE(c.Train(set.x, soft, {}).ok());
+  EXPECT_GT(Accuracy(c, set), 0.9);
+}
+
+TEST(MlpClassifierTest, SampleWeightsResolveConflictingLabels) {
+  // The same input appears with both labels; the heavier label must win.
+  Matrix x(20, 2);
+  Matrix y(20, 2);
+  std::vector<double> weights(20);
+  for (size_t i = 0; i < 20; ++i) {
+    x.At(i, 0) = 1.0;
+    x.At(i, 1) = -1.0;
+    bool label_one = i % 2 == 0;
+    y.At(i, label_one ? 1 : 0) = 1.0;
+    weights[i] = label_one ? 10.0 : 0.1;
+  }
+  MlpClassifier c(2, 2);
+  ASSERT_TRUE(c.Train(x, y, weights).ok());
+  EXPECT_EQ(Argmax(c.PredictProbs({1.0, -1.0})), 1u);
+}
+
+TEST(MlpClassifierTest, ErrorStatuses) {
+  MlpClassifier c(4, 2);
+  Matrix empty;
+  EXPECT_TRUE(c.Train(empty, empty, {}).IsInvalidArgument());
+  Matrix x(3, 4);
+  Matrix wrong_labels(3, 3);
+  EXPECT_TRUE(c.Train(x, wrong_labels, {}).IsInvalidArgument());
+  Matrix y(3, 2);
+  EXPECT_TRUE(c.Train(x, y, {1.0}).IsInvalidArgument());
+  Matrix bad_x(3, 5);
+  EXPECT_TRUE(c.Train(bad_x, y, {}).IsInvalidArgument());
+}
+
+TEST(MlpClassifierTest, CloneIsIndependent) {
+  TrainingSet set = MakeSeparable(80, 8);
+  MlpClassifier c(8, 2);
+  ASSERT_TRUE(c.Train(set.x, set.y, {}).ok());
+  std::unique_ptr<Classifier> clone = c.Clone();
+  EXPECT_TRUE(clone->is_trained());
+  std::vector<double> before = clone->PredictProbs(set.x.RowVector(0));
+  // Retrain the original on flipped labels; the clone must not move.
+  Matrix flipped(set.y.rows(), 2);
+  for (size_t i = 0; i < set.y.rows(); ++i) {
+    flipped.At(i, 0) = set.y.At(i, 1);
+    flipped.At(i, 1) = set.y.At(i, 0);
+  }
+  ASSERT_TRUE(c.Train(set.x, flipped, {}).ok());
+  std::vector<double> after = clone->PredictProbs(set.x.RowVector(0));
+  EXPECT_EQ(before, after);
+}
+
+TEST(MlpClassifierTest, WarmStartContinuesFromWeights) {
+  TrainingSet set = MakeSeparable(150, 9);
+  MlpClassifierOptions options;
+  options.warm_start = true;
+  options.epochs = 3;
+  MlpClassifier c(8, 2, options);
+  ASSERT_TRUE(c.Train(set.x, set.y, {}).ok());
+  double acc1 = Accuracy(c, set);
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(c.Train(set.x, set.y, {}).ok());
+  }
+  EXPECT_GE(Accuracy(c, set), acc1 - 0.02);  // Refinement never regresses.
+}
+
+TEST(LogisticClassifierTest, LearnsLinearlySeparableData) {
+  TrainingSet set = MakeSeparable(200, 10);
+  LogisticClassifier c(8, 2);
+  ASSERT_TRUE(c.Train(set.x, set.y, {}).ok());
+  EXPECT_GT(Accuracy(c, set), 0.95);
+}
+
+}  // namespace
+}  // namespace crowdrl::classifier

@@ -1,0 +1,181 @@
+#include "core/crowdrl.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace crowdrl::core {
+namespace {
+
+struct RunFixture {
+  data::Dataset dataset;
+  std::vector<crowd::Annotator> pool;
+
+  explicit RunFixture(size_t objects = 150, uint64_t seed = 3) {
+    data::GaussianMixtureOptions options;
+    options.num_objects = objects;
+    options.view = {10, 2.6, 0.5};
+    options.seed = seed;
+    dataset = data::MakeGaussianMixture(options);
+    crowd::PoolOptions pool_options;
+    pool_options.num_workers = 3;
+    pool_options.num_experts = 2;
+    pool_options.seed = seed + 1;
+    pool = crowd::MakePool(pool_options);
+  }
+};
+
+CrowdRlConfig FastConfig() {
+  CrowdRlConfig config;
+  config.max_iterations = 200;
+  return config;
+}
+
+TEST(CrowdRlTest, CompletesAndRespectsInvariants) {
+  RunFixture f;
+  CrowdRlFramework framework(FastConfig());
+  LabellingResult result;
+  ASSERT_TRUE(framework.Run(f.dataset, f.pool, 600.0, 1, &result).ok());
+  ASSERT_EQ(result.labels.size(), f.dataset.num_objects());
+  for (size_t i = 0; i < result.labels.size(); ++i) {
+    EXPECT_GE(result.labels[i], 0);
+    EXPECT_LT(result.labels[i], 2);
+    EXPECT_NE(result.sources[i], LabelSource::kNone);
+  }
+  EXPECT_LE(result.budget_spent, 600.0 + 1e-9);
+  EXPECT_GT(result.human_answers, 0u);
+  EXPECT_EQ(result.final_annotator_qualities.size(), f.pool.size());
+}
+
+TEST(CrowdRlTest, BeatsMajorityClassBaseline) {
+  RunFixture f(300, 3);
+  CrowdRlFramework framework(FastConfig());
+  LabellingResult result;
+  ASSERT_TRUE(framework.Run(f.dataset, f.pool, 1200.0, 2, &result).ok());
+  eval::Metrics m =
+      eval::ComputeMetrics(f.dataset.truths, result.labels, 2);
+  EXPECT_GT(m.accuracy, 0.72);
+}
+
+TEST(CrowdRlTest, DeterministicForFixedSeed) {
+  RunFixture f;
+  LabellingResult a, b;
+  {
+    CrowdRlFramework framework(FastConfig());
+    ASSERT_TRUE(framework.Run(f.dataset, f.pool, 500.0, 7, &a).ok());
+  }
+  {
+    CrowdRlFramework framework(FastConfig());
+    ASSERT_TRUE(framework.Run(f.dataset, f.pool, 500.0, 7, &b).ok());
+  }
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_DOUBLE_EQ(a.budget_spent, b.budget_spent);
+  EXPECT_EQ(a.human_answers, b.human_answers);
+}
+
+TEST(CrowdRlTest, SeedsChangeTheRun) {
+  RunFixture f;
+  CrowdRlFramework framework(FastConfig());
+  LabellingResult a, b;
+  ASSERT_TRUE(framework.Run(f.dataset, f.pool, 500.0, 7, &a).ok());
+  ASSERT_TRUE(framework.Run(f.dataset, f.pool, 500.0, 8, &b).ok());
+  EXPECT_NE(a.labels, b.labels);
+}
+
+TEST(CrowdRlTest, ZeroBudgetStillLabelsEverything) {
+  RunFixture f;
+  CrowdRlFramework framework(FastConfig());
+  LabellingResult result;
+  ASSERT_TRUE(framework.Run(f.dataset, f.pool, 0.0, 1, &result).ok());
+  EXPECT_DOUBLE_EQ(result.budget_spent, 0.0);
+  EXPECT_EQ(result.human_answers, 0u);
+  EXPECT_EQ(result.CountBySource(LabelSource::kFallback),
+            f.dataset.num_objects());
+}
+
+TEST(CrowdRlTest, InvalidInputsRejected) {
+  RunFixture f;
+  CrowdRlFramework framework;
+  LabellingResult result;
+  EXPECT_TRUE(framework.Run(f.dataset, {}, 100.0, 1, &result)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(framework.Run(f.dataset, f.pool, -5.0, 1, &result)
+                  .IsInvalidArgument());
+  CrowdRlConfig bad;
+  bad.alpha = 0.0;
+  CrowdRlFramework bad_framework(bad);
+  EXPECT_TRUE(bad_framework.Run(f.dataset, f.pool, 100.0, 1, &result)
+                  .IsInvalidArgument());
+}
+
+class AblationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AblationTest, AblatedConfigsCompleteWithinBudget) {
+  RunFixture f;
+  CrowdRlConfig config = FastConfig();
+  switch (GetParam()) {
+    case 1:
+      config.random_task_selection = true;
+      break;
+    case 2:
+      config.random_task_assignment = true;
+      break;
+    case 3:
+      config.use_pm_inference = true;
+      break;
+    case 4:
+      config.random_task_selection = true;
+      config.random_task_assignment = true;
+      break;
+  }
+  CrowdRlFramework framework(config);
+  LabellingResult result;
+  ASSERT_TRUE(framework.Run(f.dataset, f.pool, 500.0, 5, &result).ok());
+  EXPECT_LE(result.budget_spent, 500.0 + 1e-9);
+  EXPECT_EQ(result.labels.size(), f.dataset.num_objects());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, AblationTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(AblationTest, NamesReflectSwitches) {
+  CrowdRlConfig config;
+  config.use_pm_inference = true;
+  CrowdRlFramework m3(config);
+  EXPECT_STREQ(m3.name(), "CrowdRL-M3");
+  EXPECT_STREQ(CrowdRlFramework().name(), "CrowdRL");
+}
+
+TEST(PretrainTest, ChainsParametersAcrossTasks) {
+  RunFixture f(80, 11);
+  RunFixture g(80, 12);
+  std::vector<PretrainTask> tasks = {{&f.dataset, &f.pool, 300.0},
+                                     {&g.dataset, &g.pool, 300.0}};
+  std::vector<double> params =
+      PretrainQNetwork(CrowdRlConfig(), tasks, 100);
+  EXPECT_FALSE(params.empty());
+
+  // A warm-started run must accept the parameters and complete.
+  CrowdRlConfig config = FastConfig();
+  config.pretrained_q_params = params;
+  CrowdRlFramework framework(config);
+  LabellingResult result;
+  ASSERT_TRUE(framework.Run(f.dataset, f.pool, 300.0, 2, &result).ok());
+  EXPECT_EQ(framework.last_q_parameters().size(), params.size());
+}
+
+TEST(CrowdRlTest, RefinementSpendsLeftoverBudget) {
+  RunFixture f;
+  CrowdRlConfig with = FastConfig();
+  with.refine_with_leftover_budget = true;
+  CrowdRlConfig without = FastConfig();
+  without.refine_with_leftover_budget = false;
+  LabellingResult r_with, r_without;
+  CrowdRlFramework fw_with(with), fw_without(without);
+  ASSERT_TRUE(fw_with.Run(f.dataset, f.pool, 900.0, 4, &r_with).ok());
+  ASSERT_TRUE(
+      fw_without.Run(f.dataset, f.pool, 900.0, 4, &r_without).ok());
+  EXPECT_GE(r_with.budget_spent + 1e-9, r_without.budget_spent);
+}
+
+}  // namespace
+}  // namespace crowdrl::core

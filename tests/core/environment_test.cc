@@ -1,0 +1,106 @@
+#include "core/environment.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl::core {
+namespace {
+
+struct EnvFixture {
+  data::Dataset dataset;
+  std::vector<crowd::Annotator> pool;
+
+  EnvFixture() {
+    data::GaussianMixtureOptions options;
+    options.num_objects = 20;
+    options.seed = 3;
+    dataset = data::MakeGaussianMixture(options);
+    crowd::PoolOptions pool_options;
+    pool_options.num_workers = 2;
+    pool_options.num_experts = 1;
+    pool = crowd::MakePool(pool_options);  // Costs 1, 1, 10.
+  }
+};
+
+TEST(EnvironmentTest, RequestAnswerSpendsAndRecords) {
+  EnvFixture f;
+  Environment env(&f.dataset, &f.pool, 100.0, 1);
+  ASSERT_TRUE(env.RequestAnswer(0, 0).ok());
+  EXPECT_DOUBLE_EQ(env.budget().spent(), 1.0);
+  EXPECT_TRUE(env.answers().HasAnswer(0, 0));
+  EXPECT_EQ(env.human_answers(), 1u);
+  ASSERT_TRUE(env.RequestAnswer(0, 2).ok());
+  EXPECT_DOUBLE_EQ(env.budget().spent(), 11.0);
+}
+
+TEST(EnvironmentTest, DuplicateRequestFails) {
+  EnvFixture f;
+  Environment env(&f.dataset, &f.pool, 100.0, 1);
+  ASSERT_TRUE(env.RequestAnswer(0, 0).ok());
+  EXPECT_TRUE(env.RequestAnswer(0, 0).IsFailedPrecondition());
+  EXPECT_DOUBLE_EQ(env.budget().spent(), 1.0);  // Nothing double-charged.
+}
+
+TEST(EnvironmentTest, OutOfBudgetSpendsNothing) {
+  EnvFixture f;
+  Environment env(&f.dataset, &f.pool, 5.0, 1);
+  EXPECT_TRUE(env.RequestAnswer(0, 2).IsOutOfBudget());  // Expert costs 10.
+  EXPECT_DOUBLE_EQ(env.budget().spent(), 0.0);
+  EXPECT_FALSE(env.answers().HasAnswer(0, 2));
+}
+
+TEST(EnvironmentTest, InvalidIdsRejected) {
+  EnvFixture f;
+  Environment env(&f.dataset, &f.pool, 100.0, 1);
+  EXPECT_TRUE(env.RequestAnswer(-1, 0).IsInvalidArgument());
+  EXPECT_TRUE(env.RequestAnswer(100, 0).IsInvalidArgument());
+  EXPECT_TRUE(env.RequestAnswer(0, 7).IsInvalidArgument());
+}
+
+TEST(EnvironmentTest, AffordabilityTracksRemainingBudget) {
+  EnvFixture f;
+  Environment env(&f.dataset, &f.pool, 11.0, 1);
+  EXPECT_EQ(env.AffordableAnnotators(), (std::vector<bool>{1, 1, 1}));
+  ASSERT_TRUE(env.RequestAnswer(0, 2).ok());  // Spend 10, remaining 1.
+  std::vector<bool> affordable = env.AffordableAnnotators();
+  EXPECT_TRUE(affordable[0]);
+  EXPECT_FALSE(affordable[2]);
+  EXPECT_TRUE(env.AnyAffordable());
+  ASSERT_TRUE(env.RequestAnswer(0, 0).ok());  // Remaining 0.
+  EXPECT_FALSE(env.AnyAffordable());
+}
+
+TEST(EnvironmentTest, AnsweredObjects) {
+  EnvFixture f;
+  Environment env(&f.dataset, &f.pool, 100.0, 1);
+  ASSERT_TRUE(env.RequestAnswer(3, 0).ok());
+  ASSERT_TRUE(env.RequestAnswer(7, 1).ok());
+  EXPECT_EQ(env.AnsweredObjects(), (std::vector<int>{3, 7}));
+}
+
+TEST(EnvironmentTest, AnswersFollowHiddenConfusion) {
+  // A perfect annotator must always return the hidden truth.
+  data::GaussianMixtureOptions options;
+  options.num_objects = 50;
+  options.seed = 5;
+  data::Dataset dataset = data::MakeGaussianMixture(options);
+  std::vector<crowd::Annotator> pool;
+  pool.emplace_back(0, crowd::AnnotatorType::kExpert,
+                    crowd::ConfusionMatrix::Diagonal(2, 1.0), 1.0);
+  Environment env(&dataset, &pool, 100.0, 1);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(env.RequestAnswer(i, 0).ok());
+    EXPECT_EQ(env.answers().Answer(i, 0),
+              dataset.truths[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(EnvironmentTest, CostsAndMaxCost) {
+  EnvFixture f;
+  Environment env(&f.dataset, &f.pool, 100.0, 1);
+  EXPECT_DOUBLE_EQ(env.max_cost(), 10.0);
+  EXPECT_EQ(env.costs().size(), 3u);
+  EXPECT_DOUBLE_EQ(env.costs()[0], 1.0);
+}
+
+}  // namespace
+}  // namespace crowdrl::core

@@ -1,0 +1,83 @@
+#include "core/framework.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl::core {
+namespace {
+
+TEST(LabelStateTest, StartsUnlabelled) {
+  LabelState state(3, 2);
+  EXPECT_EQ(state.num_labelled(), 0u);
+  EXPECT_FALSE(state.IsLabelled(0));
+  EXPECT_EQ(state.label(0), -1);
+  EXPECT_EQ(state.source(0), LabelSource::kNone);
+  EXPECT_FALSE(state.AllLabelled());
+  EXPECT_EQ(state.UnlabelledObjects(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(LabelStateTest, SetLabelTracksCountAndSource) {
+  LabelState state(3, 2);
+  state.SetLabel(1, 0, LabelSource::kInference);
+  EXPECT_TRUE(state.IsLabelled(1));
+  EXPECT_EQ(state.label(1), 0);
+  EXPECT_EQ(state.source(1), LabelSource::kInference);
+  EXPECT_EQ(state.num_labelled(), 1u);
+  EXPECT_NEAR(state.fraction_labelled(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(LabelStateTest, RelabellingDoesNotDoubleCount) {
+  LabelState state(2, 2);
+  state.SetLabel(0, 0, LabelSource::kInference);
+  state.SetLabel(0, 1, LabelSource::kClassifier);
+  EXPECT_EQ(state.num_labelled(), 1u);
+  EXPECT_EQ(state.label(0), 1);
+  EXPECT_EQ(state.source(0), LabelSource::kClassifier);
+}
+
+TEST(LabelStateTest, ClearLabelReopens) {
+  LabelState state(2, 2);
+  state.SetLabel(0, 1, LabelSource::kClassifier);
+  state.ClearLabel(0);
+  EXPECT_FALSE(state.IsLabelled(0));
+  EXPECT_EQ(state.num_labelled(), 0u);
+  EXPECT_EQ(state.source(0), LabelSource::kNone);
+  state.ClearLabel(0);  // Idempotent on unlabelled objects.
+  EXPECT_EQ(state.num_labelled(), 0u);
+}
+
+TEST(LabelStateTest, AllLabelledAndMask) {
+  LabelState state(2, 2);
+  state.SetLabel(0, 0, LabelSource::kInference);
+  state.SetLabel(1, 1, LabelSource::kFallback);
+  EXPECT_TRUE(state.AllLabelled());
+  EXPECT_TRUE(state.labelled_mask()[0]);
+  EXPECT_TRUE(state.labelled_mask()[1]);
+}
+
+TEST(LabelStateTest, ExportToResult) {
+  LabelState state(2, 2);
+  state.SetLabel(0, 1, LabelSource::kInference);
+  state.SetLabel(1, 0, LabelSource::kClassifier);
+  LabellingResult result;
+  state.ExportTo(&result);
+  EXPECT_EQ(result.labels, (std::vector<int>{1, 0}));
+  EXPECT_EQ(result.CountBySource(LabelSource::kInference), 1u);
+  EXPECT_EQ(result.CountBySource(LabelSource::kClassifier), 1u);
+  EXPECT_EQ(result.CountBySource(LabelSource::kFallback), 0u);
+}
+
+TEST(LabelStateDeathTest, InvalidLabelAborts) {
+  LabelState state(2, 2);
+  EXPECT_DEATH(state.SetLabel(0, 2, LabelSource::kInference), "");
+  EXPECT_DEATH(state.SetLabel(0, 0, LabelSource::kNone), "");
+}
+
+TEST(LabelSourceNameTest, Names) {
+  EXPECT_STREQ(LabelSourceName(LabelSource::kNone), "none");
+  EXPECT_STREQ(LabelSourceName(LabelSource::kInference), "inference");
+  EXPECT_STREQ(LabelSourceName(LabelSource::kClassifier), "classifier");
+  EXPECT_STREQ(LabelSourceName(LabelSource::kFallback), "fallback");
+}
+
+}  // namespace
+}  // namespace crowdrl::core

@@ -1,0 +1,89 @@
+// Encodes the paper's running example (Section II, Tables II, IV, V):
+// 8 videos, 3 workers + 2 experts, worker cost 1 / expert cost 5,
+// budget B = 30. These tests pin the quantities the paper states and run
+// the full framework on the exact scenario.
+
+#include <gtest/gtest.h>
+
+#include "core/crowdrl.h"
+#include "crowd/budget.h"
+#include "crowd/confusion_matrix.h"
+
+namespace crowdrl::core {
+namespace {
+
+// Table IV: worker w1's confusion matrix.
+crowd::ConfusionMatrix TableIv() {
+  return crowd::ConfusionMatrix(
+      Matrix::FromRows({{0.60, 0.40}, {0.30, 0.70}}));
+}
+
+// Table V: expert w4's confusion matrix.
+crowd::ConfusionMatrix TableV() {
+  return crowd::ConfusionMatrix(
+      Matrix::FromRows({{0.98, 0.02}, {0.01, 0.99}}));
+}
+
+TEST(WorkedExampleTest, TableIvQualityIsPoint65) {
+  // Table II lists w1's quality as 0.65 = tr(Pi) / |C|.
+  EXPECT_DOUBLE_EQ(TableIv().Quality(), 0.65);
+}
+
+TEST(WorkedExampleTest, TableVQualityIsPoint985) {
+  // Table II lists w4's quality as 0.985.
+  EXPECT_DOUBLE_EQ(TableV().Quality(), 0.985);
+}
+
+TEST(WorkedExampleTest, TableVEntryPi22) {
+  // "The element pi_22 = 0.99 denotes w4 has a probability of 0.99 to
+  // label a negative object as 'negative'."
+  EXPECT_DOUBLE_EQ(TableV().At(1, 1), 0.99);
+}
+
+// Example 2's cost bookkeeping: one iteration asking w1, w3 (workers, cost
+// 1 each) and w5 (expert, cost 5) costs 1 + 1 + 5 = 7.
+TEST(WorkedExampleTest, ExampleTwoIterationCost) {
+  crowd::Budget budget(30.0);
+  ASSERT_TRUE(budget.Spend(1.0).ok());
+  ASSERT_TRUE(budget.Spend(1.0).ok());
+  ASSERT_TRUE(budget.Spend(5.0).ok());
+  EXPECT_DOUBLE_EQ(budget.spent(), 7.0);
+  EXPECT_DOUBLE_EQ(budget.remaining(), 23.0);
+}
+
+// Runs CrowdRL on the full scenario: 8 objects, the paper's annotator
+// costs, budget 30. Everything must be labelled without overspending.
+TEST(WorkedExampleTest, FullRunOnEightVideos) {
+  data::GaussianMixtureOptions data_options;
+  data_options.num_objects = 8;
+  data_options.view = {4, 3.0, 1.0};  // Fluency/volume-like features.
+  data_options.seed = 8;
+  data::Dataset dataset = data::MakeGaussianMixture(data_options);
+
+  // Workers w1..w3 with Table-IV-grade quality, experts w4, w5 with
+  // Table-V-grade quality; costs 1 and 5 (Example 1).
+  std::vector<crowd::Annotator> pool;
+  for (int j = 0; j < 3; ++j) {
+    pool.emplace_back(j, crowd::AnnotatorType::kWorker, TableIv(), 1.0);
+  }
+  for (int j = 3; j < 5; ++j) {
+    pool.emplace_back(j, crowd::AnnotatorType::kExpert, TableV(), 5.0);
+  }
+
+  CrowdRlConfig config;
+  config.alpha = 0.25;  // Example 2: initially label 8 * 0.25 = 2 objects.
+  config.batch_objects = 1;
+  config.k = 3;
+  CrowdRlFramework framework(config);
+  LabellingResult result;
+  ASSERT_TRUE(framework.Run(dataset, pool, 30.0, 1, &result).ok());
+  EXPECT_LE(result.budget_spent, 30.0 + 1e-9);
+  ASSERT_EQ(result.labels.size(), 8u);
+  for (int label : result.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 2);
+  }
+}
+
+}  // namespace
+}  // namespace crowdrl::core

@@ -1,0 +1,93 @@
+#include "crowd/annotator.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl::crowd {
+namespace {
+
+TEST(AnnotatorTest, Accessors) {
+  Annotator a(3, AnnotatorType::kExpert, ConfusionMatrix::Diagonal(2, 0.95),
+              10.0);
+  EXPECT_EQ(a.id(), 3);
+  EXPECT_TRUE(a.is_expert());
+  EXPECT_DOUBLE_EQ(a.cost(), 10.0);
+  EXPECT_DOUBLE_EQ(a.TrueQuality(), 0.95);
+}
+
+TEST(AnnotatorTest, AnswersFollowConfusionMatrix) {
+  Annotator perfect(0, AnnotatorType::kExpert,
+                    ConfusionMatrix::Diagonal(3, 1.0), 5.0);
+  Rng rng(7);
+  for (int truth = 0; truth < 3; ++truth) {
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(perfect.Answer(truth, &rng), truth);
+    }
+  }
+}
+
+TEST(MakePoolTest, CompositionAndIds) {
+  PoolOptions options;
+  options.num_workers = 3;
+  options.num_experts = 2;
+  std::vector<Annotator> pool = MakePool(options);
+  ASSERT_EQ(pool.size(), 5u);
+  for (size_t j = 0; j < pool.size(); ++j) {
+    EXPECT_EQ(pool[j].id(), static_cast<int>(j));
+  }
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_FALSE(pool[static_cast<size_t>(j)].is_expert());
+    EXPECT_DOUBLE_EQ(pool[static_cast<size_t>(j)].cost(),
+                     options.worker_cost);
+  }
+  for (int j = 3; j < 5; ++j) {
+    EXPECT_TRUE(pool[static_cast<size_t>(j)].is_expert());
+    EXPECT_DOUBLE_EQ(pool[static_cast<size_t>(j)].cost(),
+                     options.expert_cost);
+  }
+}
+
+TEST(MakePoolTest, ExpertsBeatWorkersOnAverage) {
+  PoolOptions options;
+  options.num_workers = 10;
+  options.num_experts = 10;
+  std::vector<Annotator> pool = MakePool(options);
+  double worker_quality = 0.0;
+  double expert_quality = 0.0;
+  for (const Annotator& a : pool) {
+    (a.is_expert() ? expert_quality : worker_quality) += a.TrueQuality();
+  }
+  EXPECT_GT(expert_quality / 10.0, worker_quality / 10.0);
+  EXPECT_GT(expert_quality / 10.0, 0.9);
+}
+
+TEST(MakePoolTest, Deterministic) {
+  PoolOptions options;
+  std::vector<Annotator> a = MakePool(options);
+  std::vector<Annotator> b = MakePool(options);
+  for (size_t j = 0; j < a.size(); ++j) {
+    EXPECT_DOUBLE_EQ(a[j].TrueQuality(), b[j].TrueQuality());
+  }
+}
+
+class PoolOfSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoolOfSizeTest, SplitsSensibly) {
+  int total = GetParam();
+  PoolOptions options = PoolOfSize(total, 2, 1);
+  EXPECT_EQ(options.num_workers + options.num_experts, total);
+  if (total >= 2) {
+    EXPECT_GE(options.num_workers, 1);
+    EXPECT_GE(options.num_experts, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PoolOfSizeTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 20));
+
+TEST(AnnotatorTypeTest, Names) {
+  EXPECT_STREQ(AnnotatorTypeName(AnnotatorType::kWorker), "worker");
+  EXPECT_STREQ(AnnotatorTypeName(AnnotatorType::kExpert), "expert");
+}
+
+}  // namespace
+}  // namespace crowdrl::crowd

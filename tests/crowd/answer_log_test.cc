@@ -1,0 +1,61 @@
+#include "crowd/answer_log.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl::crowd {
+namespace {
+
+TEST(AnswerLogTest, StartsEmpty) {
+  AnswerLog log(4, 3);
+  EXPECT_EQ(log.num_objects(), 4u);
+  EXPECT_EQ(log.num_annotators(), 3u);
+  EXPECT_EQ(log.total_answers(), 0u);
+  EXPECT_FALSE(log.HasAnswer(0, 0));
+  EXPECT_EQ(log.Answer(0, 0), AnswerLog::kNoAnswer);
+  EXPECT_EQ(log.AnswerCount(2), 0);
+}
+
+TEST(AnswerLogTest, RecordAndQuery) {
+  AnswerLog log(4, 3);
+  log.Record(1, 2, 0);
+  log.Record(1, 0, 1);
+  EXPECT_TRUE(log.HasAnswer(1, 2));
+  EXPECT_EQ(log.Answer(1, 2), 0);
+  EXPECT_EQ(log.AnswerCount(1), 2);
+  EXPECT_EQ(log.total_answers(), 2u);
+  const auto& answers = log.AnswersFor(1);
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_EQ(answers[0], (std::pair<int, int>{2, 0}));
+  EXPECT_EQ(answers[1], (std::pair<int, int>{0, 1}));
+}
+
+TEST(AnswerLogTest, LabelHistogram) {
+  AnswerLog log(2, 3);
+  log.Record(0, 0, 1);
+  log.Record(0, 1, 1);
+  log.Record(0, 2, 0);
+  std::vector<int> hist = log.LabelHistogram(0, 2);
+  EXPECT_EQ(hist[0], 1);
+  EXPECT_EQ(hist[1], 2);
+  EXPECT_EQ(log.LabelHistogram(1, 2), (std::vector<int>{0, 0}));
+}
+
+TEST(AnswerLogDeathTest, DuplicateRecordAborts) {
+  AnswerLog log(2, 2);
+  log.Record(0, 0, 1);
+  EXPECT_DEATH(log.Record(0, 0, 0), "duplicate answer");
+}
+
+TEST(AnswerLogDeathTest, NegativeLabelAborts) {
+  AnswerLog log(2, 2);
+  EXPECT_DEATH(log.Record(0, 0, -1), "");
+}
+
+TEST(AnswerLogDeathTest, HistogramRejectsOutOfRangeLabel) {
+  AnswerLog log(1, 1);
+  log.Record(0, 0, 5);
+  EXPECT_DEATH(log.LabelHistogram(0, 2), "outside class range");
+}
+
+}  // namespace
+}  // namespace crowdrl::crowd

@@ -1,0 +1,56 @@
+#include "crowd/budget.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl::crowd {
+namespace {
+
+TEST(BudgetTest, SpendAndRemaining) {
+  Budget b(100.0);
+  EXPECT_TRUE(b.Spend(30.0).ok());
+  EXPECT_DOUBLE_EQ(b.spent(), 30.0);
+  EXPECT_DOUBLE_EQ(b.remaining(), 70.0);
+  EXPECT_DOUBLE_EQ(b.total(), 100.0);
+}
+
+TEST(BudgetTest, OverspendFailsAndDebitsNothing) {
+  Budget b(10.0);
+  EXPECT_TRUE(b.Spend(8.0).ok());
+  Status s = b.Spend(5.0);
+  EXPECT_TRUE(s.IsOutOfBudget());
+  EXPECT_DOUBLE_EQ(b.spent(), 8.0);
+  EXPECT_TRUE(b.Spend(2.0).ok());
+  EXPECT_DOUBLE_EQ(b.remaining(), 0.0);
+}
+
+TEST(BudgetTest, NegativeSpendRejected) {
+  Budget b(10.0);
+  EXPECT_TRUE(b.Spend(-1.0).IsInvalidArgument());
+}
+
+TEST(BudgetTest, CanAfford) {
+  Budget b(5.0);
+  EXPECT_TRUE(b.CanAfford(5.0));
+  EXPECT_FALSE(b.CanAfford(5.1));
+  EXPECT_TRUE(b.Spend(5.0).ok());
+  EXPECT_FALSE(b.CanAfford(0.1));
+  EXPECT_TRUE(b.CanAfford(0.0));
+}
+
+TEST(BudgetTest, ZeroBudget) {
+  Budget b(0.0);
+  EXPECT_FALSE(b.CanAfford(1.0));
+  EXPECT_TRUE(b.Spend(0.0).ok());
+  EXPECT_TRUE(b.Spend(1.0).IsOutOfBudget());
+}
+
+TEST(BudgetTest, FloatingPointAccumulationTolerated) {
+  Budget b(1.0);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(b.Spend(0.1).ok()) << "step " << i;
+  }
+  EXPECT_NEAR(b.remaining(), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace crowdrl::crowd

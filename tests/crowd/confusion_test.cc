@@ -1,0 +1,87 @@
+#include "crowd/confusion_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl::crowd {
+namespace {
+
+TEST(ConfusionMatrixTest, UniformPrior) {
+  ConfusionMatrix cm(4);
+  EXPECT_EQ(cm.num_classes(), 4);
+  EXPECT_DOUBLE_EQ(cm.At(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(cm.Quality(), 0.25);
+  EXPECT_TRUE(cm.Validate().ok());
+}
+
+TEST(ConfusionMatrixTest, Diagonal) {
+  ConfusionMatrix cm = ConfusionMatrix::Diagonal(3, 0.7);
+  EXPECT_DOUBLE_EQ(cm.At(1, 1), 0.7);
+  EXPECT_DOUBLE_EQ(cm.At(1, 0), 0.15);
+  EXPECT_DOUBLE_EQ(cm.Quality(), 0.7);
+  EXPECT_TRUE(cm.Validate().ok());
+}
+
+// The paper's Table V (expert w4): quality tr/|C| = (0.98 + 0.99)/2.
+TEST(ConfusionMatrixTest, PaperTableVQuality) {
+  ConfusionMatrix w4(Matrix::FromRows({{0.98, 0.02}, {0.01, 0.99}}));
+  EXPECT_DOUBLE_EQ(w4.Quality(), 0.985);
+}
+
+// Table IV (worker w1): quality (0.60 + 0.70)/2 = 0.65.
+TEST(ConfusionMatrixTest, PaperTableIVQuality) {
+  ConfusionMatrix w1(Matrix::FromRows({{0.60, 0.40}, {0.30, 0.70}}));
+  EXPECT_DOUBLE_EQ(w1.Quality(), 0.65);
+}
+
+TEST(ConfusionMatrixTest, ConstructorNormalizesRows) {
+  ConfusionMatrix cm(Matrix::FromRows({{2.0, 2.0}, {1.0, 3.0}}));
+  EXPECT_DOUBLE_EQ(cm.At(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(cm.At(1, 1), 0.75);
+  EXPECT_TRUE(cm.Validate().ok());
+}
+
+TEST(ConfusionMatrixDeathTest, NegativeEntryAborts) {
+  EXPECT_DEATH(ConfusionMatrix(Matrix::FromRows({{1.0, -0.1}, {0.5, 0.5}})),
+               "");
+}
+
+TEST(ConfusionMatrixTest, ValidateRejectsTamperedMatrix) {
+  ConfusionMatrix cm = ConfusionMatrix::Diagonal(2, 0.9);
+  cm.mutable_probs()->At(0, 0) = 0.5;  // Row now sums to 0.6.
+  EXPECT_FALSE(cm.Validate().ok());
+  cm.NormalizeRows();
+  EXPECT_TRUE(cm.Validate().ok());
+}
+
+class RandomConfusionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RandomConfusionTest, DiagonalInRangeAndRowsStochastic) {
+  double lo = GetParam();
+  double hi = lo + 0.1;
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    ConfusionMatrix cm = ConfusionMatrix::Random(3, lo, hi, &rng);
+    EXPECT_TRUE(cm.Validate().ok());
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_GE(cm.At(c, c), lo - 1e-12);
+      EXPECT_LE(cm.At(c, c), hi + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DiagRanges, RandomConfusionTest,
+                         ::testing::Values(0.4, 0.6, 0.8, 0.89));
+
+TEST(ConfusionMatrixTest, SampleMatchesRowDistribution) {
+  ConfusionMatrix cm(Matrix::FromRows({{0.8, 0.2}, {0.1, 0.9}}));
+  Rng rng(23);
+  int agree = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (cm.Sample(0, &rng) == 0) ++agree;
+  }
+  EXPECT_NEAR(agree / static_cast<double>(kTrials), 0.8, 0.02);
+}
+
+}  // namespace
+}  // namespace crowdrl::crowd

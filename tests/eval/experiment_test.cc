@@ -1,0 +1,106 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl::eval {
+namespace {
+
+// Deterministic framework that labels everything with the majority class
+// it can see — ideal for checking the runner's aggregation mechanics.
+class ConstantFramework : public core::LabellingFramework {
+ public:
+  explicit ConstantFramework(int label, double spend = 0.0)
+      : label_(label), spend_(spend) {}
+
+  Status Run(const data::Dataset& dataset,
+             const std::vector<crowd::Annotator>&, double, uint64_t seed,
+             core::LabellingResult* result) override {
+    result->labels.assign(dataset.num_objects(), label_);
+    result->sources.assign(dataset.num_objects(),
+                           core::LabelSource::kFallback);
+    result->budget_spent = spend_;
+    result->iterations = seed;  // Varies across seeds.
+    return Status::Ok();
+  }
+
+  const char* name() const override { return "Constant"; }
+
+ private:
+  int label_;
+  double spend_;
+};
+
+// Framework that violates the completeness contract.
+class BrokenFramework : public core::LabellingFramework {
+ public:
+  Status Run(const data::Dataset& dataset,
+             const std::vector<crowd::Annotator>&, double, uint64_t,
+             core::LabellingResult* result) override {
+    result->labels.assign(dataset.num_objects(), -1);  // "Unlabelled".
+    result->sources.assign(dataset.num_objects(),
+                           core::LabelSource::kNone);
+    return Status::Ok();
+  }
+
+  const char* name() const override { return "Broken"; }
+};
+
+struct Fixture {
+  data::Dataset dataset;
+  std::vector<crowd::Annotator> pool;
+
+  Fixture() {
+    data::GaussianMixtureOptions options;
+    options.num_objects = 60;
+    options.seed = 1;
+    dataset = data::MakeGaussianMixture(options);
+    pool = crowd::MakePool(crowd::PoolOptions());
+  }
+
+  ExperimentSpec Spec(int seeds) const {
+    ExperimentSpec spec;
+    spec.dataset = &dataset;
+    spec.pool = &pool;
+    spec.budget = 100.0;
+    spec.num_seeds = seeds;
+    return spec;
+  }
+};
+
+TEST(ExperimentTest, AggregatesAcrossSeeds) {
+  Fixture f;
+  ConstantFramework framework(1);
+  ExperimentOutcome outcome;
+  ASSERT_TRUE(RunExperiment(&framework, f.Spec(3), &outcome).ok());
+  EXPECT_EQ(outcome.runs, 3);
+  // Identical labelling every seed: zero stddev.
+  EXPECT_DOUBLE_EQ(outcome.stddev.accuracy, 0.0);
+  // Accuracy equals the class-1 fraction of the dataset.
+  double ones = 0.0;
+  for (int y : f.dataset.truths) ones += y;
+  EXPECT_NEAR(outcome.mean.accuracy,
+              ones / static_cast<double>(f.dataset.num_objects()), 1e-12);
+  // Iterations vary with the seed, so their mean reflects base_seed.
+  EXPECT_GT(outcome.mean_iterations, 0.0);
+}
+
+TEST(ExperimentDeathTest, IncompleteLabellingAborts) {
+  Fixture f;
+  BrokenFramework framework;
+  ExperimentOutcome outcome;
+  EXPECT_DEATH(
+      { (void)RunExperiment(&framework, f.Spec(1), &outcome); },
+      "unlabelled");
+}
+
+TEST(ExperimentDeathTest, OverspendAborts) {
+  Fixture f;
+  ConstantFramework framework(0, /*spend=*/500.0);  // Budget is 100.
+  ExperimentOutcome outcome;
+  EXPECT_DEATH(
+      { (void)RunExperiment(&framework, f.Spec(1), &outcome); },
+      "overspent");
+}
+
+}  // namespace
+}  // namespace crowdrl::eval

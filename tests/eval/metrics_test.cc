@@ -1,0 +1,70 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl::eval {
+namespace {
+
+TEST(MetricsTest, PerfectPrediction) {
+  Metrics m = ComputeMetrics({0, 1, 0, 1}, {0, 1, 0, 1}, 2);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_DOUBLE_EQ(m.macro_f1, 1.0);
+}
+
+TEST(MetricsTest, HandComputedBinaryCase) {
+  // truths:    1 1 1 0 0
+  // predicted: 1 0 1 1 0
+  // TP=2, FP=1, FN=1 for class 1.
+  Metrics m = ComputeMetrics({1, 1, 1, 0, 0}, {1, 0, 1, 1, 0}, 2);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.6);
+  EXPECT_DOUBLE_EQ(m.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.recall, 2.0 / 3.0);
+  EXPECT_NEAR(m.f1, 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, PositiveClassSelectable) {
+  Metrics m = ComputeMetrics({1, 1, 1, 0, 0}, {1, 0, 1, 1, 0}, 2,
+                             /*positive_class=*/0);
+  // For class 0: TP=1, FP=1, FN=1.
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+}
+
+TEST(MetricsTest, AllOnePrediction) {
+  Metrics m = ComputeMetrics({0, 0, 1, 1}, {1, 1, 1, 1}, 2);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  // Class 0 never predicted: precision 0, recall 0.
+  EXPECT_DOUBLE_EQ(m.macro_recall, 0.5);
+}
+
+TEST(MetricsTest, MultiClassMacro) {
+  Metrics m = ComputeMetrics({0, 1, 2}, {0, 1, 1}, 3);
+  EXPECT_NEAR(m.accuracy, 2.0 / 3.0, 1e-12);
+  // Class 0: P=1 R=1. Class 1: P=0.5 R=1. Class 2: P=0 R=0.
+  EXPECT_NEAR(m.macro_precision, (1.0 + 0.5 + 0.0) / 3.0, 1e-12);
+  EXPECT_NEAR(m.macro_recall, (1.0 + 1.0 + 0.0) / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, AbsentClassScoresPerfectInMacro) {
+  // Class 2 appears nowhere: contributes (1, 1) to the macro averages.
+  Metrics m = ComputeMetrics({0, 1}, {0, 1}, 3);
+  EXPECT_DOUBLE_EQ(m.macro_precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.macro_recall, 1.0);
+}
+
+TEST(MetricsDeathTest, SizeMismatchAborts) {
+  EXPECT_DEATH(ComputeMetrics({0, 1}, {0}, 2), "");
+}
+
+TEST(MetricsDeathTest, OutOfRangeLabelAborts) {
+  EXPECT_DEATH(ComputeMetrics({0, 2}, {0, 0}, 2), "");
+  EXPECT_DEATH(ComputeMetrics({0, 0}, {0, -1}, 2), "");
+}
+
+}  // namespace
+}  // namespace crowdrl::eval

@@ -1,0 +1,119 @@
+#include "inference/dawid_skene.h"
+
+#include <gtest/gtest.h>
+
+#include "inference/majority_vote.h"
+#include "tests/testing/sim_helpers.h"
+
+namespace crowdrl::inference {
+namespace {
+
+InferenceInput MakeInput(const testing::SimWorld& world) {
+  InferenceInput input;
+  input.answers = world.answers.get();
+  input.num_classes = 2;
+  input.objects = world.objects;
+  return input;
+}
+
+TEST(DawidSkeneTest, RecoversTruthWithGoodAnnotators) {
+  testing::SimWorld world = testing::MakeSimWorld(300, 0, 5, 3, 21);
+  DawidSkene em;
+  InferenceResult result;
+  ASSERT_TRUE(em.Infer(MakeInput(world), &result).ok());
+  EXPECT_GT(testing::LabelAccuracy(world, result.labels), 0.97);
+  EXPECT_GT(result.iterations, 0);
+}
+
+TEST(DawidSkeneTest, PosteriorsAreDistributions) {
+  testing::SimWorld world = testing::MakeSimWorld(50, 3, 1, 3, 22);
+  DawidSkene em;
+  InferenceResult result;
+  ASSERT_TRUE(em.Infer(MakeInput(world), &result).ok());
+  for (size_t r = 0; r < result.posteriors.rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < 2; ++c) {
+      double q = result.posteriors.At(r, c);
+      EXPECT_GE(q, 0.0);
+      EXPECT_LE(q, 1.0);
+      sum += q;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+class DawidSkeneVsMvTest : public ::testing::TestWithParam<uint64_t> {};
+
+// With heterogeneous annotator quality, EM's quality weighting must not
+// lose to unweighted majority voting.
+TEST_P(DawidSkeneVsMvTest, AtLeastAsGoodAsMajorityVote) {
+  testing::SimWorld world = testing::MakeSimWorld(400, 4, 1, 5, GetParam());
+  InferenceInput input = MakeInput(world);
+  DawidSkene em;
+  MajorityVote mv;
+  InferenceResult em_result, mv_result;
+  ASSERT_TRUE(em.Infer(input, &em_result).ok());
+  ASSERT_TRUE(mv.Infer(input, &mv_result).ok());
+  EXPECT_GE(testing::LabelAccuracy(world, em_result.labels) + 0.01,
+            testing::LabelAccuracy(world, mv_result.labels));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DawidSkeneVsMvTest,
+                         ::testing::Values(31, 32, 33, 34, 35));
+
+TEST(DawidSkeneTest, EstimatedQualitiesTrackTrueQualities) {
+  // All five annotators answer every object: plenty of signal.
+  testing::SimWorld world = testing::MakeSimWorld(600, 3, 2, 5, 41);
+  DawidSkene em;
+  InferenceResult result;
+  ASSERT_TRUE(em.Infer(MakeInput(world), &result).ok());
+  for (size_t j = 0; j < world.pool.size(); ++j) {
+    EXPECT_NEAR(result.qualities[j], world.pool[j].TrueQuality(), 0.08)
+        << "annotator " << j;
+  }
+}
+
+TEST(DawidSkeneTest, ConvergesWithinIterationCap) {
+  testing::SimWorld world = testing::MakeSimWorld(100, 2, 2, 4, 43);
+  EmOptions options;
+  options.max_iterations = 100;
+  DawidSkene em(options);
+  InferenceResult result;
+  ASSERT_TRUE(em.Infer(MakeInput(world), &result).ok());
+  EXPECT_LT(result.iterations, 100);
+}
+
+TEST(DawidSkeneTest, AdversarialAnnotatorsDoNotCrash) {
+  // Workers systematically worse than chance.
+  crowd::PoolOptions options;
+  options.num_workers = 4;
+  options.num_experts = 0;
+  options.worker_diag_lo = 0.1;
+  options.worker_diag_hi = 0.3;
+  std::vector<crowd::Annotator> pool = crowd::MakePool(options);
+  crowd::AnswerLog log(100, pool.size());
+  Rng rng(47);
+  data::GaussianMixtureOptions d;
+  d.num_objects = 100;
+  data::Dataset dataset = data::MakeGaussianMixture(d);
+  std::vector<int> objects;
+  for (int i = 0; i < 100; ++i) {
+    objects.push_back(i);
+    for (size_t j = 0; j < pool.size(); ++j) {
+      log.Record(i, static_cast<int>(j),
+                 pool[j].Answer(dataset.truths[static_cast<size_t>(i)],
+                                &rng));
+    }
+  }
+  InferenceInput input;
+  input.answers = &log;
+  input.num_classes = 2;
+  input.objects = objects;
+  DawidSkene em;
+  InferenceResult result;
+  EXPECT_TRUE(em.Infer(input, &result).ok());
+  EXPECT_EQ(result.labels.size(), 100u);
+}
+
+}  // namespace
+}  // namespace crowdrl::inference

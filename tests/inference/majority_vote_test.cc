@@ -1,0 +1,102 @@
+#include "inference/majority_vote.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/sim_helpers.h"
+
+namespace crowdrl::inference {
+namespace {
+
+// The paper's Example 1: o1 answered 'positive', 'negative', 'positive'
+// by w1, w3, w4 -> majority voting infers 'positive' (class 1 here).
+TEST(MajorityVoteTest, PaperExampleObjectOne) {
+  crowd::AnswerLog log(1, 5);
+  log.Record(0, 0, 1);  // w1: positive.
+  log.Record(0, 2, 0);  // w3: negative.
+  log.Record(0, 3, 1);  // w4: positive.
+  InferenceInput input;
+  input.answers = &log;
+  input.num_classes = 2;
+  input.objects = {0};
+  MajorityVote mv;
+  InferenceResult result;
+  ASSERT_TRUE(mv.Infer(input, &result).ok());
+  EXPECT_EQ(result.labels[0], 1);
+  EXPECT_NEAR(result.posteriors.At(0, 1), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MajorityVoteTest, TieBreaksToLowestClass) {
+  crowd::AnswerLog log(1, 2);
+  log.Record(0, 0, 0);
+  log.Record(0, 1, 1);
+  InferenceInput input;
+  input.answers = &log;
+  input.num_classes = 2;
+  input.objects = {0};
+  MajorityVote mv;
+  InferenceResult result;
+  ASSERT_TRUE(mv.Infer(input, &result).ok());
+  EXPECT_EQ(result.labels[0], 0);
+}
+
+TEST(MajorityVoteTest, UnansweredObjectGetsUniformPosterior) {
+  crowd::AnswerLog log(2, 2);
+  log.Record(0, 0, 1);
+  InferenceInput input;
+  input.answers = &log;
+  input.num_classes = 2;
+  input.objects = {0, 1};
+  MajorityVote mv;
+  InferenceResult result;
+  ASSERT_TRUE(mv.Infer(input, &result).ok());
+  EXPECT_DOUBLE_EQ(result.posteriors.At(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(result.posteriors.At(1, 1), 0.5);
+}
+
+TEST(MajorityVoteTest, AccurateOnGoodAnnotators) {
+  testing::SimWorld world = testing::MakeSimWorld(300, 0, 5, 3, 11);
+  InferenceInput input;
+  input.answers = world.answers.get();
+  input.num_classes = 2;
+  input.objects = world.objects;
+  MajorityVote mv;
+  InferenceResult result;
+  ASSERT_TRUE(mv.Infer(input, &result).ok());
+  EXPECT_GT(testing::LabelAccuracy(world, result.labels), 0.95);
+}
+
+TEST(MajorityVoteTest, InputValidation) {
+  MajorityVote mv;
+  InferenceResult result;
+  InferenceInput input;
+  EXPECT_TRUE(mv.Infer(input, &result).IsInvalidArgument());
+  crowd::AnswerLog log(1, 1);
+  input.answers = &log;
+  input.num_classes = 1;
+  input.objects = {0};
+  EXPECT_TRUE(mv.Infer(input, &result).IsInvalidArgument());
+  input.num_classes = 2;
+  input.objects = {5};
+  EXPECT_TRUE(mv.Infer(input, &result).IsInvalidArgument());
+  input.objects = {};
+  EXPECT_TRUE(mv.Infer(input, &result).IsInvalidArgument());
+}
+
+TEST(MajorityVoteTest, ReportsQualitiesPerAnnotator) {
+  testing::SimWorld world = testing::MakeSimWorld(100, 2, 2, 3, 13);
+  InferenceInput input;
+  input.answers = world.answers.get();
+  input.num_classes = 2;
+  input.objects = world.objects;
+  MajorityVote mv;
+  InferenceResult result;
+  ASSERT_TRUE(mv.Infer(input, &result).ok());
+  EXPECT_EQ(result.qualities.size(), world.pool.size());
+  EXPECT_EQ(result.confusions.size(), world.pool.size());
+  for (const auto& cm : result.confusions) {
+    EXPECT_TRUE(cm.Validate().ok());
+  }
+}
+
+}  // namespace
+}  // namespace crowdrl::inference

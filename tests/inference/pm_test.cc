@@ -1,0 +1,84 @@
+#include "inference/pm.h"
+
+#include <gtest/gtest.h>
+
+#include "inference/majority_vote.h"
+#include "tests/testing/sim_helpers.h"
+
+namespace crowdrl::inference {
+namespace {
+
+InferenceInput MakeInput(const testing::SimWorld& world) {
+  InferenceInput input;
+  input.answers = world.answers.get();
+  input.num_classes = 2;
+  input.objects = world.objects;
+  return input;
+}
+
+TEST(PmTest, AccurateOnGoodAnnotators) {
+  testing::SimWorld world = testing::MakeSimWorld(300, 0, 5, 3, 51);
+  PmInference pm;
+  InferenceResult result;
+  ASSERT_TRUE(pm.Infer(MakeInput(world), &result).ok());
+  EXPECT_GT(testing::LabelAccuracy(world, result.labels), 0.95);
+}
+
+TEST(PmTest, ConvergesAndReportsIterations) {
+  testing::SimWorld world = testing::MakeSimWorld(150, 3, 2, 4, 53);
+  PmInference pm;
+  InferenceResult result;
+  ASSERT_TRUE(pm.Infer(MakeInput(world), &result).ok());
+  EXPECT_GT(result.iterations, 0);
+  EXPECT_LT(result.iterations, PmOptions().max_iterations);
+}
+
+class PmVsMvTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PmVsMvTest, NotWorseThanMajorityVoteOnSkewedPools) {
+  testing::SimWorld world = testing::MakeSimWorld(400, 4, 1, 5, GetParam());
+  InferenceInput input = MakeInput(world);
+  PmInference pm;
+  MajorityVote mv;
+  InferenceResult pm_result, mv_result;
+  ASSERT_TRUE(pm.Infer(input, &pm_result).ok());
+  ASSERT_TRUE(mv.Infer(input, &mv_result).ok());
+  EXPECT_GE(testing::LabelAccuracy(world, pm_result.labels) + 0.01,
+            testing::LabelAccuracy(world, mv_result.labels));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PmVsMvTest,
+                         ::testing::Values(61, 62, 63, 64));
+
+TEST(PmTest, PosteriorsAreNormalizedVoteMasses) {
+  testing::SimWorld world = testing::MakeSimWorld(60, 2, 2, 3, 67);
+  PmInference pm;
+  InferenceResult result;
+  ASSERT_TRUE(pm.Infer(MakeInput(world), &result).ok());
+  for (size_t r = 0; r < result.posteriors.rows(); ++r) {
+    double sum = result.posteriors.At(r, 0) + result.posteriors.At(r, 1);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(PmTest, BetterAnnotatorsGetHigherEstimatedQuality) {
+  testing::SimWorld world = testing::MakeSimWorld(600, 3, 2, 5, 71);
+  PmInference pm;
+  InferenceResult result;
+  ASSERT_TRUE(pm.Infer(MakeInput(world), &result).ok());
+  // Experts (ids 3, 4) must outrank the weakest worker.
+  double weakest_worker = std::min(
+      {result.qualities[0], result.qualities[1], result.qualities[2]});
+  EXPECT_GT(result.qualities[3], weakest_worker);
+  EXPECT_GT(result.qualities[4], weakest_worker);
+}
+
+TEST(PmTest, InputValidation) {
+  PmInference pm;
+  InferenceResult result;
+  InferenceInput input;
+  EXPECT_TRUE(pm.Infer(input, &result).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace crowdrl::inference

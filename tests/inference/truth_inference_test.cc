@@ -1,0 +1,131 @@
+// Unit tests for the shared truth-inference helpers (the E/M-step
+// building blocks every model reuses).
+
+#include "inference/truth_inference.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl::inference {
+namespace {
+
+TEST(MajorityPosteriorsTest, FractionsAndUniformFallback) {
+  crowd::AnswerLog log(3, 4);
+  log.Record(0, 0, 1);
+  log.Record(0, 1, 1);
+  log.Record(0, 2, 0);
+  log.Record(1, 3, 0);
+  InferenceInput input;
+  input.answers = &log;
+  input.num_classes = 2;
+  input.objects = {0, 1, 2};
+  Matrix q = MajorityPosteriors(input);
+  EXPECT_NEAR(q.At(0, 1), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(q.At(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(q.At(2, 0), 0.5);  // No answers: uniform.
+}
+
+TEST(EstimateConfusionsTest, RecoversCleanAnnotator) {
+  // One annotator answering truthfully on one-hot posteriors.
+  crowd::AnswerLog log(40, 1);
+  Matrix posteriors(40, 2);
+  InferenceInput input;
+  input.answers = &log;
+  input.num_classes = 2;
+  for (int i = 0; i < 40; ++i) {
+    int truth = i % 2;
+    log.Record(i, 0, truth);
+    posteriors.At(static_cast<size_t>(i), static_cast<size_t>(truth)) =
+        1.0;
+    input.objects.push_back(i);
+  }
+  auto confusions = EstimateConfusions(input, posteriors, 0.01);
+  ASSERT_EQ(confusions.size(), 1u);
+  EXPECT_GT(confusions[0].At(0, 0), 0.99);
+  EXPECT_GT(confusions[0].At(1, 1), 0.99);
+  EXPECT_TRUE(confusions[0].Validate().ok());
+}
+
+TEST(EstimateConfusionsTest, UnseenAnnotatorGetsDiagonalLeaningPrior) {
+  crowd::AnswerLog log(2, 2);
+  log.Record(0, 0, 1);
+  Matrix posteriors(1, 2);
+  posteriors.At(0, 1) = 1.0;
+  InferenceInput input;
+  input.answers = &log;
+  input.num_classes = 2;
+  input.objects = {0};
+  auto confusions = EstimateConfusions(input, posteriors, 0.5);
+  // Annotator 1 never answered: smoothing-only estimate with extra
+  // diagonal mass.
+  EXPECT_GT(confusions[1].At(0, 0), 0.5);
+  EXPECT_GT(confusions[1].At(1, 1), 0.5);
+  EXPECT_TRUE(confusions[1].Validate().ok());
+}
+
+TEST(EstimateClassPriorsTest, MassAndSmoothing) {
+  Matrix posteriors = Matrix::FromRows({{1.0, 0.0}, {1.0, 0.0},
+                                        {0.0, 1.0}});
+  std::vector<double> priors = EstimateClassPriors(posteriors, 0.0);
+  EXPECT_NEAR(priors[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(priors[1], 1.0 / 3.0, 1e-12);
+  // Heavy smoothing pulls toward uniform.
+  std::vector<double> smoothed = EstimateClassPriors(posteriors, 100.0);
+  EXPECT_NEAR(smoothed[0], 0.5, 0.01);
+}
+
+TEST(ValidateInputTest, EveryBranch) {
+  InferenceInput input;
+  EXPECT_TRUE(ValidateInput(input).IsInvalidArgument());  // No answers.
+  crowd::AnswerLog log(2, 2);
+  input.answers = &log;
+  input.num_classes = 1;
+  input.objects = {0};
+  EXPECT_TRUE(ValidateInput(input).IsInvalidArgument());  // < 2 classes.
+  input.num_classes = 2;
+  input.objects = {};
+  EXPECT_TRUE(ValidateInput(input).IsInvalidArgument());  // No objects.
+  input.objects = {9};
+  EXPECT_TRUE(ValidateInput(input).IsInvalidArgument());  // Out of range.
+  input.objects = {0};
+  Matrix features(1, 3);  // Wrong row count (needs 2).
+  input.features = &features;
+  EXPECT_TRUE(ValidateInput(input).IsInvalidArgument());
+  Matrix good_features(2, 3);
+  input.features = &good_features;
+  std::vector<crowd::AnnotatorType> one_type = {
+      crowd::AnnotatorType::kWorker};
+  input.annotator_types = &one_type;  // Needs 2.
+  EXPECT_TRUE(ValidateInput(input).IsInvalidArgument());
+  std::vector<crowd::AnnotatorType> two_types = {
+      crowd::AnnotatorType::kWorker, crowd::AnnotatorType::kExpert};
+  input.annotator_types = &two_types;
+  EXPECT_TRUE(ValidateInput(input).ok());
+}
+
+TEST(BoundExpertQualityTest, NoOpWhenAllAboveEpsilon) {
+  std::vector<crowd::ConfusionMatrix> confusions = {
+      crowd::ConfusionMatrix::Diagonal(2, 0.95)};
+  std::vector<crowd::AnnotatorType> types = {
+      crowd::AnnotatorType::kExpert};
+  BoundExpertQuality(types, 0.8, 0.05, &confusions);
+  EXPECT_DOUBLE_EQ(confusions[0].At(0, 0), 0.95);
+}
+
+TEST(BoundExpertQualityTest, MultiClassRowStaysStochastic) {
+  std::vector<crowd::ConfusionMatrix> confusions = {
+      crowd::ConfusionMatrix(Matrix::FromRows({{0.2, 0.5, 0.3},
+                                               {0.1, 0.8, 0.1},
+                                               {0.3, 0.3, 0.4}}))};
+  std::vector<crowd::AnnotatorType> types = {
+      crowd::AnnotatorType::kExpert};
+  BoundExpertQuality(types, 0.7, 0.1, &confusions);
+  EXPECT_TRUE(confusions[0].Validate().ok());
+  EXPECT_DOUBLE_EQ(confusions[0].At(0, 0), 0.9);
+  EXPECT_DOUBLE_EQ(confusions[0].At(2, 2), 0.9);
+  // Off-diagonal proportions of row 0 preserved: 0.5 : 0.3.
+  EXPECT_NEAR(confusions[0].At(0, 1) / confusions[0].At(0, 2),
+              0.5 / 0.3, 1e-9);
+}
+
+}  // namespace
+}  // namespace crowdrl::inference

@@ -1,0 +1,168 @@
+// Cross-module integration tests: the full CrowdRL stack against naive
+// strategies, adversarial conditions, and degenerate inputs.
+
+#include <gtest/gtest.h>
+
+#include "baselines/ablations.h"
+#include "core/crowdrl.h"
+#include "crowd/budget.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "inference/majority_vote.h"
+
+namespace crowdrl {
+namespace {
+
+struct World {
+  data::Dataset dataset;
+  std::vector<crowd::Annotator> pool;
+
+  World(size_t objects, uint64_t seed, crowd::PoolOptions pool_options =
+                                           crowd::PoolOptions()) {
+    data::GaussianMixtureOptions options;
+    options.num_objects = objects;
+    options.view = {12, 2.6, 0.5};
+    options.seed = seed;
+    dataset = data::MakeGaussianMixture(options);
+    pool_options.seed = seed + 1;
+    pool = crowd::MakePool(pool_options);
+  }
+};
+
+// Naive reference: random assignment of k random annotators per object in
+// arrival order until the budget runs out, majority-vote inference,
+// majority-class fallback. Everything CrowdRL claims to improve over.
+double NaiveAccuracy(const World& world, double budget, uint64_t seed) {
+  Rng rng(seed);
+  crowd::Budget purse(budget);
+  crowd::AnswerLog log(world.dataset.num_objects(), world.pool.size());
+  std::vector<int> order(world.dataset.num_objects());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  rng.Shuffle(&order);
+  for (int object : order) {
+    std::vector<int> who = rng.SampleWithoutReplacement(
+        static_cast<int>(world.pool.size()), 3);
+    for (int j : who) {
+      const crowd::Annotator& a = world.pool[static_cast<size_t>(j)];
+      if (!purse.CanAfford(a.cost())) continue;
+      (void)purse.Spend(a.cost());
+      log.Record(object, j,
+                 a.Answer(world.dataset.truths[static_cast<size_t>(object)],
+                          &rng));
+    }
+  }
+  inference::InferenceInput input;
+  input.answers = &log;
+  input.num_classes = 2;
+  for (size_t i = 0; i < world.dataset.num_objects(); ++i) {
+    input.objects.push_back(static_cast<int>(i));
+  }
+  inference::MajorityVote mv;
+  inference::InferenceResult result;
+  if (!mv.Infer(input, &result).ok()) return 0.0;
+  return eval::ComputeMetrics(world.dataset.truths, result.labels, 2)
+      .accuracy;
+}
+
+class CrowdRlBeatsNaiveTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrowdRlBeatsNaiveTest, HigherAccuracyAtEqualBudget) {
+  World world(300, GetParam());
+  const double kBudget = 1200.0;
+  core::CrowdRlFramework framework;
+  core::LabellingResult result;
+  ASSERT_TRUE(
+      framework.Run(world.dataset, world.pool, kBudget, GetParam(), &result)
+          .ok());
+  double crowdrl_acc =
+      eval::ComputeMetrics(world.dataset.truths, result.labels, 2).accuracy;
+  double naive_acc = NaiveAccuracy(world, kBudget, GetParam() + 50);
+  EXPECT_GT(crowdrl_acc + 0.02, naive_acc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrowdRlBeatsNaiveTest,
+                         ::testing::Values(201, 202, 203));
+
+TEST(AdversarialTest, WorseThanRandomWorkersDoNotBreakTheRun) {
+  crowd::PoolOptions pool_options;
+  pool_options.num_workers = 3;
+  pool_options.num_experts = 2;
+  pool_options.worker_diag_lo = 0.15;  // Adversarial workers.
+  pool_options.worker_diag_hi = 0.35;
+  World world(120, 31, pool_options);
+  core::CrowdRlFramework framework;
+  core::LabellingResult result;
+  ASSERT_TRUE(
+      framework.Run(world.dataset, world.pool, 500.0, 1, &result).ok());
+  EXPECT_EQ(result.labels.size(), 120u);
+  EXPECT_LE(result.budget_spent, 500.0 + 1e-9);
+}
+
+TEST(AdversarialTest, WorkerOnlyPoolStillRuns) {
+  crowd::PoolOptions pool_options;
+  pool_options.num_workers = 5;
+  pool_options.num_experts = 0;
+  World world(120, 37, pool_options);
+  core::CrowdRlFramework framework;
+  core::LabellingResult result;
+  ASSERT_TRUE(
+      framework.Run(world.dataset, world.pool, 400.0, 1, &result).ok());
+  eval::Metrics m =
+      eval::ComputeMetrics(world.dataset.truths, result.labels, 2);
+  EXPECT_GT(m.accuracy, 0.6);
+}
+
+TEST(AdversarialTest, SingleAnnotatorPool) {
+  crowd::PoolOptions pool_options;
+  pool_options.num_workers = 0;
+  pool_options.num_experts = 1;
+  World world(60, 41, pool_options);
+  core::CrowdRlFramework framework;
+  core::LabellingResult result;
+  ASSERT_TRUE(
+      framework.Run(world.dataset, world.pool, 200.0, 1, &result).ok());
+  EXPECT_EQ(result.labels.size(), 60u);
+}
+
+TEST(TinyBudgetTest, BudgetSmallerThanOneExpertAnswer) {
+  World world(40, 43);
+  core::CrowdRlFramework framework;
+  core::LabellingResult result;
+  // Budget 2: only two worker answers total.
+  ASSERT_TRUE(
+      framework.Run(world.dataset, world.pool, 2.0, 1, &result).ok());
+  EXPECT_LE(result.budget_spent, 2.0 + 1e-9);
+  EXPECT_EQ(result.labels.size(), 40u);
+}
+
+TEST(ExperimentRunnerIntegrationTest, FullCellOverTwoSeeds) {
+  World world(100, 47);
+  eval::ExperimentSpec spec;
+  spec.dataset = &world.dataset;
+  spec.pool = &world.pool;
+  spec.budget = 400.0;
+  spec.num_seeds = 2;
+  core::CrowdRlFramework framework;
+  eval::ExperimentOutcome outcome;
+  ASSERT_TRUE(eval::RunExperiment(&framework, spec, &outcome).ok());
+  EXPECT_EQ(outcome.runs, 2);
+  EXPECT_GT(outcome.mean.accuracy, 0.6);
+  EXPECT_LE(outcome.mean_spent, 400.0 + 1e-9);
+}
+
+// Full-ablation sanity: each removed mechanism must not make the variant
+// fail its contract (quality ordering is the Fig. 8 bench's job).
+TEST(AblationIntegrationTest, AllVariantsProduceCompleteLabellings) {
+  World world(150, 53);
+  for (auto& framework :
+       {baselines::MakeM1(), baselines::MakeM2(), baselines::MakeM3()}) {
+    core::LabellingResult result;
+    ASSERT_TRUE(
+        framework->Run(world.dataset, world.pool, 500.0, 2, &result).ok())
+        << framework->name();
+    EXPECT_EQ(result.labels.size(), 150u) << framework->name();
+  }
+}
+
+}  // namespace
+}  // namespace crowdrl

@@ -1,0 +1,146 @@
+#include "math/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace crowdrl {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 1.5);
+  m.At(0, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 4.0);
+}
+
+TEST(MatrixTest, EmptyMatrix) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 0.0);
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 6.0);
+}
+
+TEST(MatrixDeathTest, RaggedRowsAbort) {
+  EXPECT_DEATH(Matrix::FromRows({{1, 2}, {3}}), "ragged");
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id.Trace(), 3.0);
+  EXPECT_DOUBLE_EQ(id.At(0, 1), 0.0);
+}
+
+TEST(MatrixTest, RowAccessAndSet) {
+  Matrix m(2, 2);
+  m.SetRow(0, {7.0, 8.0});
+  EXPECT_EQ(m.RowVector(0), (std::vector<double>{7.0, 8.0}));
+  EXPECT_DOUBLE_EQ(m.Row(0)[1], 8.0);
+}
+
+TEST(MatrixTest, MatMulHandExample) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatMulIdentityIsNoop) {
+  Rng rng(5);
+  Matrix a(3, 3);
+  a.FillGaussian(&rng, 0.0, 1.0);
+  Matrix b = a.MatMul(Matrix::Identity(3));
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(MatrixDeathTest, MatMulShapeMismatchAborts) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_DEATH(a.MatMul(b), "matmul shape mismatch");
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  std::vector<double> y = a.MatVec({1.0, 0.0, -1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Rng rng(9);
+  Matrix a(4, 7);
+  a.FillUniform(&rng, -1.0, 1.0);
+  Matrix tt = a.Transposed().Transposed();
+  ASSERT_TRUE(a.SameShape(tt));
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.data()[i], tt.data()[i]);
+  }
+}
+
+class MatMulPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatMulPropertyTest, TransposeOfProductIsReversedProduct) {
+  Rng rng(GetParam());
+  Matrix a(3, 5);
+  Matrix b(5, 4);
+  a.FillGaussian(&rng, 0.0, 1.0);
+  b.FillGaussian(&rng, 0.0, 1.0);
+  Matrix lhs = a.MatMul(b).Transposed();
+  Matrix rhs = b.Transposed().MatMul(a.Transposed());
+  ASSERT_TRUE(lhs.SameShape(rhs));
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatMulPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(MatrixTest, AddAxpyScale) {
+  Matrix a = Matrix::FromRows({{1, 2}});
+  Matrix b = Matrix::FromRows({{10, 20}});
+  a.Add(b);
+  EXPECT_DOUBLE_EQ(a.At(0, 1), 22.0);
+  a.Axpy(0.5, b);
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 16.0);
+  a.Scale(2.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 32.0);
+}
+
+TEST(MatrixTest, TraceOfNonSquareUsesMinDim) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_DOUBLE_EQ(m.Trace(), 6.0);  // 1 + 5.
+}
+
+TEST(MatrixTest, MaxAbs) {
+  Matrix m = Matrix::FromRows({{1, -9}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 9.0);
+}
+
+TEST(MatrixTest, FillGaussianStatistics) {
+  Rng rng(13);
+  Matrix m(100, 100);
+  m.FillGaussian(&rng, 1.0, 2.0);
+  double sum = 0.0;
+  for (double v : m.data()) sum += v;
+  EXPECT_NEAR(sum / static_cast<double>(m.size()), 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace crowdrl

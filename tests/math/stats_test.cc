@@ -1,0 +1,58 @@
+#include "math/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace crowdrl {
+namespace {
+
+TEST(StatsTest, MeanVarianceKnownValues) {
+  std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(Variance(v), 4.0);
+  EXPECT_DOUBLE_EQ(Stddev(v), 2.0);
+}
+
+TEST(StatsTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({42.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(OnlineStatsTest, TracksMinMaxCount) {
+  OnlineStats s;
+  s.Add(3.0);
+  s.Add(-1.0);
+  s.Add(10.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+}
+
+class OnlineStatsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OnlineStatsPropertyTest, MatchesBatchComputation) {
+  Rng rng(GetParam());
+  std::vector<double> samples(500);
+  OnlineStats online;
+  for (double& x : samples) {
+    x = rng.Gaussian(3.0, 2.0);
+    online.Add(x);
+  }
+  EXPECT_NEAR(online.mean(), Mean(samples), 1e-9);
+  EXPECT_NEAR(online.variance(), Variance(samples), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineStatsPropertyTest,
+                         ::testing::Values(1, 7, 13, 99));
+
+}  // namespace
+}  // namespace crowdrl

@@ -1,0 +1,92 @@
+#include "math/vector_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace crowdrl {
+namespace {
+
+TEST(DotTest, Basic) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+TEST(AxpyTest, Basic) {
+  std::vector<double> y = {1, 1};
+  Axpy(2.0, {3, 4}, &y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 9.0);
+}
+
+TEST(ArgmaxTest, FirstOnTies) {
+  EXPECT_EQ(Argmax({1.0, 3.0, 3.0, 2.0}), 1u);
+  EXPECT_EQ(Argmax({5.0}), 0u);
+}
+
+TEST(LogSumExpTest, MatchesNaiveOnSmallValues) {
+  std::vector<double> v = {0.1, 0.2, 0.3};
+  double naive = std::log(std::exp(0.1) + std::exp(0.2) + std::exp(0.3));
+  EXPECT_NEAR(LogSumExp(v), naive, 1e-12);
+}
+
+TEST(LogSumExpTest, StableOnLargeValues) {
+  std::vector<double> v = {1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(v), 1000.0 + std::log(2.0), 1e-9);
+  std::vector<double> w = {-1000.0, -1000.0};
+  EXPECT_NEAR(LogSumExp(w), -1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(SoftmaxTest, SumsToOne) {
+  std::vector<double> p = Softmax({1.0, 2.0, 3.0});
+  double sum = 0.0;
+  for (double x : p) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(p[2], p[1]);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(SoftmaxTest, InvariantToShift) {
+  std::vector<double> a = Softmax({1.0, 2.0});
+  std::vector<double> b = Softmax({101.0, 102.0});
+  EXPECT_NEAR(a[0], b[0], 1e-12);
+}
+
+TEST(EntropyTest, UniformIsLogC) {
+  EXPECT_NEAR(Entropy({0.5, 0.5}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(Entropy({0.25, 0.25, 0.25, 0.25}), std::log(4.0), 1e-12);
+}
+
+TEST(EntropyTest, DegenerateIsZero) {
+  EXPECT_DOUBLE_EQ(Entropy({1.0, 0.0}), 0.0);
+}
+
+TEST(NormalizeL1Test, Scales) {
+  std::vector<double> v = {1.0, 3.0};
+  NormalizeL1(&v);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+}
+
+TEST(NormalizeL1Test, ZeroSumBecomesUniform) {
+  std::vector<double> v = {0.0, 0.0, 0.0, 0.0};
+  NormalizeL1(&v);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 0.25);
+}
+
+TEST(ClipTest, Clamps) {
+  std::vector<double> v = {-5.0, 0.5, 5.0};
+  Clip(&v, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.5);
+  EXPECT_DOUBLE_EQ(v[2], 1.0);
+}
+
+TEST(TopTwoGapTest, Basic) {
+  EXPECT_DOUBLE_EQ(TopTwoGap({0.9, 0.1}), 0.8);
+  EXPECT_DOUBLE_EQ(TopTwoGap({0.2, 0.5, 0.3}), 0.2);
+  EXPECT_DOUBLE_EQ(TopTwoGap({0.5, 0.5}), 0.0);
+}
+
+}  // namespace
+}  // namespace crowdrl

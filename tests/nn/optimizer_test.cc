@@ -1,0 +1,102 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+#include "util/random.h"
+
+namespace crowdrl::nn {
+namespace {
+
+// Trains y = 2x - 1 with a linear net; returns the final MSE.
+double TrainLinear(Optimizer* optimizer, int steps, uint64_t seed) {
+  Rng rng(seed);
+  Mlp net({1, 1}, {Activation::kIdentity}, &rng);
+  Matrix x(16, 1);
+  Matrix y(16, 1);
+  for (size_t i = 0; i < 16; ++i) {
+    double xi = rng.Uniform(-1.0, 1.0);
+    x.At(i, 0) = xi;
+    y.At(i, 0) = 2.0 * xi - 1.0;
+  }
+  double loss = 0.0;
+  for (int s = 0; s < steps; ++s) {
+    Matrix grad;
+    loss = MseLoss(net.Forward(x), y, &grad);
+    net.Backward(grad);
+    optimizer->Step(&net);
+  }
+  return loss;
+}
+
+TEST(SgdTest, ConvergesOnLinearRegression) {
+  Sgd sgd(0.3);
+  EXPECT_LT(TrainLinear(&sgd, 300, 1), 1e-6);
+}
+
+TEST(SgdTest, MomentumConverges) {
+  Sgd sgd(0.1, 0.9);
+  EXPECT_LT(TrainLinear(&sgd, 300, 2), 1e-6);
+}
+
+TEST(AdamTest, ConvergesOnLinearRegression) {
+  Adam adam(0.05);
+  EXPECT_LT(TrainLinear(&adam, 500, 3), 1e-5);
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Rng rng(4);
+  Mlp net({1, 1}, {Activation::kIdentity}, &rng);
+  // No data gradient, only decay: weights must shrink toward zero.
+  Sgd sgd(0.1, 0.0, 0.5);
+  double before = std::abs(net.ParamViews()[0].value[0]);
+  for (int i = 0; i < 50; ++i) {
+    net.ZeroGrad();
+    sgd.Step(&net);
+  }
+  double after = std::abs(net.ParamViews()[0].value[0]);
+  EXPECT_LT(after, before * 0.1 + 1e-9);
+}
+
+TEST(OptimizerTest, StepZeroesGradients) {
+  Rng rng(5);
+  Mlp net({2, 2}, {Activation::kIdentity}, &rng);
+  Matrix x = Matrix::FromRows({{1.0, 1.0}});
+  Matrix t = Matrix::FromRows({{0.0, 0.0}});
+  Matrix grad;
+  MseLoss(net.Forward(x), t, &grad);
+  net.Backward(grad);
+  Sgd sgd(0.01);
+  sgd.Step(&net);
+  for (const ParamView& v : net.ParamViews()) {
+    for (size_t i = 0; i < v.size; ++i) {
+      EXPECT_DOUBLE_EQ(v.grad[i], 0.0);
+    }
+  }
+}
+
+TEST(OptimizerDeathTest, RebindingToDifferentNetworkAborts) {
+  Rng rng(6);
+  Mlp small({1, 1}, {Activation::kIdentity}, &rng);
+  Mlp big({4, 4}, {Activation::kIdentity}, &rng);
+  Sgd sgd(0.1);
+  sgd.Step(&small);
+  EXPECT_DEATH(sgd.Step(&big), "optimizer bound");
+}
+
+TEST(AdamTest, FirstStepHasUnitScaleRegardlessOfGradientMagnitude) {
+  // Adam's bias-corrected first update is lr * g / (|g| + eps) — i.e.
+  // approximately lr * sign(g) whatever the gradient scale.
+  Rng rng(7);
+  Mlp net({1, 1}, {Activation::kIdentity}, &rng);
+  ParamView view = net.ParamViews()[0];
+  double before = view.value[0];
+  view.grad[0] = 1234.5;  // Huge gradient.
+  Adam adam(0.01);
+  adam.Step(&net);
+  double after = net.ParamViews()[0].value[0];
+  EXPECT_NEAR(before - after, 0.01, 1e-6);
+}
+
+}  // namespace
+}  // namespace crowdrl::nn

@@ -1,0 +1,76 @@
+#include "rl/replay_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl::rl {
+namespace {
+
+Transition MakeTransition(double reward) {
+  return Transition{{reward}, reward, 0.0, false};
+}
+
+TEST(ReplayBufferTest, FillsToCapacityThenEvictsOldest) {
+  ReplayBuffer buffer(3);
+  for (int i = 0; i < 3; ++i) buffer.Add(MakeTransition(i));
+  EXPECT_EQ(buffer.size(), 3u);
+  buffer.Add(MakeTransition(99));
+  EXPECT_EQ(buffer.size(), 3u);
+  // Oldest (reward 0) was evicted.
+  bool found_zero = false;
+  bool found_99 = false;
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    if (buffer.at(i).reward == 0.0) found_zero = true;
+    if (buffer.at(i).reward == 99.0) found_99 = true;
+  }
+  EXPECT_FALSE(found_zero);
+  EXPECT_TRUE(found_99);
+}
+
+TEST(ReplayBufferTest, RingWrapsRepeatedly) {
+  ReplayBuffer buffer(2);
+  for (int i = 0; i < 10; ++i) buffer.Add(MakeTransition(i));
+  EXPECT_EQ(buffer.size(), 2u);
+  double sum = buffer.at(0).reward + buffer.at(1).reward;
+  EXPECT_DOUBLE_EQ(sum, 8.0 + 9.0);
+}
+
+TEST(ReplayBufferTest, SampleReturnsStoredTransitions) {
+  ReplayBuffer buffer(8);
+  for (int i = 0; i < 5; ++i) buffer.Add(MakeTransition(i));
+  Rng rng(3);
+  std::vector<const Transition*> sample = buffer.Sample(20, &rng);
+  ASSERT_EQ(sample.size(), 20u);
+  for (const Transition* t : sample) {
+    EXPECT_GE(t->reward, 0.0);
+    EXPECT_LE(t->reward, 4.0);
+  }
+}
+
+TEST(ReplayBufferTest, SampleCoversBuffer) {
+  ReplayBuffer buffer(4);
+  for (int i = 0; i < 4; ++i) buffer.Add(MakeTransition(i));
+  Rng rng(5);
+  std::vector<bool> seen(4, false);
+  for (const Transition* t : buffer.Sample(200, &rng)) {
+    seen[static_cast<size_t>(t->reward)] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(ReplayBufferTest, ClearEmpties) {
+  ReplayBuffer buffer(4);
+  buffer.Add(MakeTransition(1));
+  buffer.Clear();
+  EXPECT_TRUE(buffer.empty());
+  buffer.Add(MakeTransition(2));
+  EXPECT_EQ(buffer.size(), 1u);
+}
+
+TEST(ReplayBufferDeathTest, SamplingEmptyBufferAborts) {
+  ReplayBuffer buffer(2);
+  Rng rng(1);
+  EXPECT_DEATH(buffer.Sample(1, &rng), "");
+}
+
+}  // namespace
+}  // namespace crowdrl::rl

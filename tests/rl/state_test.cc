@@ -1,0 +1,105 @@
+#include "rl/state.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl::rl {
+namespace {
+
+struct StateFixture {
+  crowd::AnswerLog answers{4, 3};
+  std::vector<double> costs = {1.0, 1.0, 10.0};
+  std::vector<double> qualities = {0.6, 0.7, 0.95};
+  std::vector<bool> is_expert = {false, false, true};
+  std::vector<bool> labelled = {false, false, false, false};
+  Matrix class_probs;
+
+  StateView View(bool with_probs) {
+    StateView view;
+    view.answers = &answers;
+    view.num_classes = 2;
+    view.annotator_costs = &costs;
+    view.annotator_qualities = &qualities;
+    view.annotator_is_expert = &is_expert;
+    view.class_probs = with_probs ? &class_probs : nullptr;
+    view.labelled = &labelled;
+    view.budget_fraction_remaining = 0.5;
+    view.fraction_labelled = 0.25;
+    view.max_cost = 10.0;
+    return view;
+  }
+};
+
+TEST(StateFeaturizerTest, FeatureDimMatches) {
+  StateFixture f;
+  StateFeaturizer featurizer;
+  std::vector<double> features = featurizer.Featurize(f.View(false), 0, 0);
+  EXPECT_EQ(features.size(), StateFeaturizer::kFeatureDim);
+}
+
+TEST(StateFeaturizerTest, NoAnswersNoClassifierDefaults) {
+  StateFixture f;
+  StateFeaturizer featurizer;
+  std::vector<double> v = featurizer.Featurize(f.View(false), 0, 0);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);   // Bias.
+  EXPECT_DOUBLE_EQ(v[1], 0.0);   // No answers.
+  EXPECT_DOUBLE_EQ(v[2], 0.0);   // No entropy.
+  EXPECT_DOUBLE_EQ(v[4], 0.0);   // No classifier margin.
+  EXPECT_DOUBLE_EQ(v[5], 1.0);   // Max classifier uncertainty.
+  EXPECT_DOUBLE_EQ(v[10], 0.5);  // Budget fraction.
+  EXPECT_DOUBLE_EQ(v[11], 0.25);
+}
+
+TEST(StateFeaturizerTest, AnswerHistoryFeatures) {
+  StateFixture f;
+  f.answers.Record(1, 0, 0);
+  f.answers.Record(1, 1, 1);
+  StateFeaturizer featurizer;
+  std::vector<double> v = featurizer.Featurize(f.View(false), 1, 2);
+  EXPECT_NEAR(v[1], 2.0 / 3.0, 1e-12);  // 2 of 3 annotators answered.
+  EXPECT_NEAR(v[2], 1.0, 1e-9);         // Split answers: max entropy.
+  EXPECT_NEAR(v[3], 0.5, 1e-12);        // Agreement 1/2.
+}
+
+TEST(StateFeaturizerTest, AnnotatorFeaturesDistinguishExpert) {
+  StateFixture f;
+  StateFeaturizer featurizer;
+  std::vector<double> worker = featurizer.Featurize(f.View(false), 0, 0);
+  std::vector<double> expert = featurizer.Featurize(f.View(false), 0, 2);
+  EXPECT_DOUBLE_EQ(worker[9], 0.0);
+  EXPECT_DOUBLE_EQ(expert[9], 1.0);
+  EXPECT_LT(worker[7], expert[7]);   // Normalized cost.
+  EXPECT_LT(worker[6], expert[6]);   // Quality.
+}
+
+TEST(StateFeaturizerTest, ClassifierFeaturesUseProbs) {
+  StateFixture f;
+  f.class_probs = Matrix::FromRows(
+      {{0.9, 0.1}, {0.5, 0.5}, {0.6, 0.4}, {0.3, 0.7}});
+  StateFeaturizer featurizer;
+  std::vector<double> confident = featurizer.Featurize(f.View(true), 0, 0);
+  std::vector<double> uncertain = featurizer.Featurize(f.View(true), 1, 0);
+  EXPECT_NEAR(confident[4], 0.8, 1e-12);
+  EXPECT_NEAR(uncertain[4], 0.0, 1e-12);
+  EXPECT_LT(confident[5], uncertain[5]);
+  EXPECT_NEAR(uncertain[5], 1.0, 1e-9);
+}
+
+TEST(StateFeaturizerTest, FeaturesAreBoundedForTypicalInputs) {
+  StateFixture f;
+  f.answers.Record(0, 0, 1);
+  f.answers.Record(0, 1, 1);
+  f.answers.Record(0, 2, 0);
+  f.class_probs = Matrix(4, 2, 0.5);
+  StateFeaturizer featurizer;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      for (double v : featurizer.Featurize(f.View(true), i, j)) {
+        EXPECT_GE(v, -0.01);
+        EXPECT_LE(v, 1.5);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowdrl::rl

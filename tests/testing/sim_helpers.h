@@ -1,0 +1,74 @@
+#ifndef CROWDRL_TESTS_TESTING_SIM_HELPERS_H_
+#define CROWDRL_TESTS_TESTING_SIM_HELPERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "crowd/annotator.h"
+#include "crowd/answer_log.h"
+#include "data/dataset.h"
+#include "util/random.h"
+
+namespace crowdrl::testing {
+
+/// A simulated truth-inference scenario: a dataset with hidden truths, a
+/// pool, and a fully populated answer log (`answers_per_object` answers
+/// per object from a random annotator subset).
+struct SimWorld {
+  data::Dataset dataset;
+  std::vector<crowd::Annotator> pool;
+  std::unique_ptr<crowd::AnswerLog> answers;
+  std::vector<int> objects;  ///< All object ids (inference targets).
+};
+
+inline SimWorld MakeSimWorld(size_t num_objects, int num_workers,
+                             int num_experts, int answers_per_object,
+                             uint64_t seed, double separation = 2.6) {
+  SimWorld world;
+  data::GaussianMixtureOptions data_options;
+  data_options.num_objects = num_objects;
+  data_options.view = {12, separation, 0.5};
+  data_options.seed = seed;
+  world.dataset = data::MakeGaussianMixture(data_options);
+
+  crowd::PoolOptions pool_options;
+  pool_options.num_workers = num_workers;
+  pool_options.num_experts = num_experts;
+  pool_options.seed = seed + 1;
+  world.pool = crowd::MakePool(pool_options);
+
+  world.answers = std::make_unique<crowd::AnswerLog>(num_objects,
+                                                     world.pool.size());
+  Rng rng(seed + 2);
+  for (size_t i = 0; i < num_objects; ++i) {
+    world.objects.push_back(static_cast<int>(i));
+    std::vector<int> who = rng.SampleWithoutReplacement(
+        static_cast<int>(world.pool.size()),
+        std::min<int>(answers_per_object,
+                      static_cast<int>(world.pool.size())));
+    for (int j : who) {
+      world.answers->Record(
+          static_cast<int>(i), j,
+          world.pool[static_cast<size_t>(j)].Answer(
+              world.dataset.truths[i], &rng));
+    }
+  }
+  return world;
+}
+
+/// Fraction of inferred labels matching the hidden truths.
+inline double LabelAccuracy(const SimWorld& world,
+                            const std::vector<int>& labels) {
+  size_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] ==
+        world.dataset.truths[static_cast<size_t>(world.objects[i])]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace crowdrl::testing
+
+#endif  // CROWDRL_TESTS_TESTING_SIM_HELPERS_H_

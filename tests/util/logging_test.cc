@@ -1,0 +1,65 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST(LoggingTest, MessagesAboveThresholdReachStderr) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  CROWDRL_LOG(Warning) << "visible-" << 42;
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("visible-42"), std::string::npos);
+  EXPECT_NE(out.find("WARN"), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST(LoggingTest, MessagesBelowThresholdAreDropped) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  CROWDRL_LOG(Info) << "hidden";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+}
+
+TEST(LoggingDeathTest, CheckFailureAbortsWithMessage) {
+  EXPECT_DEATH(CROWDRL_CHECK(1 == 2) << "doom", "Check failed: 1 == 2");
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  ::testing::internal::CaptureStderr();
+  CROWDRL_CHECK(true) << "never built";
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(LoggingDeathTest, DcheckActiveMatchesBuildMode) {
+#ifdef NDEBUG
+  CROWDRL_DCHECK(false) << "compiled out in release";
+  SUCCEED();
+#else
+  EXPECT_DEATH(CROWDRL_DCHECK(false), "Check failed");
+#endif
+}
+
+}  // namespace
+}  // namespace crowdrl

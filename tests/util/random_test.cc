@@ -1,0 +1,169 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace crowdrl {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform() == b.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    double v = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int x = rng.UniformInt(5);
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 5);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int heads = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.Bernoulli(0.3)) ++heads;
+  }
+  double rate = static_cast<double>(heads) / kTrials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RngTest, BernoulliDegenerateProbabilities) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, CategoricalMatchesWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int kTrials = 30000;
+  for (int i = 0; i < kTrials; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kTrials), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kTrials), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kTrials), 0.6, 0.02);
+}
+
+TEST(RngTest, CategoricalSkipsZeroWeights) {
+  Rng rng(23);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.Categorical(weights), 1);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(29);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) {
+    double x = rng.Gaussian(2.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / kTrials;
+  double var = sum_sq / kTrials - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.3);
+}
+
+TEST(RngTest, GaussianZeroStddevIsMean) {
+  Rng rng(31);
+  EXPECT_DOUBLE_EQ(rng.Gaussian(5.0, 0.0), 5.0);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(37);
+  Rng child1 = parent.Fork(1);
+  Rng child2 = parent.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.Uniform() == child2.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(41);
+  Rng b(41);
+  Rng ca = a.Fork(9);
+  Rng cb = b.Fork(9);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(ca.Uniform(), cb.Uniform());
+  }
+}
+
+class SampleWithoutReplacementTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SampleWithoutReplacementTest, DistinctAndInRange) {
+  auto [n, k] = GetParam();
+  Rng rng(43);
+  std::vector<int> sample = rng.SampleWithoutReplacement(n, k);
+  ASSERT_EQ(sample.size(), static_cast<size_t>(k));
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), sample.size());
+  for (int x : sample) {
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SampleWithoutReplacementTest,
+                         ::testing::Values(std::pair{1, 1}, std::pair{5, 0},
+                                           std::pair{10, 10},
+                                           std::pair{100, 7},
+                                           std::pair{1000, 500}));
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(47);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<size_t>(i)] = i;
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::vector<int> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+  EXPECT_NE(shuffled, v);  // Astronomically unlikely to be identity.
+}
+
+}  // namespace
+}  // namespace crowdrl

@@ -1,0 +1,59 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("bad").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("gone").IsNotFound());
+  EXPECT_TRUE(Status::OutOfBudget("broke").IsOutOfBudget());
+  EXPECT_TRUE(Status::FailedPrecondition("early").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Internal("bug").IsInternal());
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+}
+
+TEST(StatusTest, NonOkStatusesAreNotOk) {
+  EXPECT_FALSE(Status::InvalidArgument("x").ok());
+  EXPECT_FALSE(Status::OutOfBudget("x").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad arg").ToString(),
+            "INVALID_ARGUMENT: bad arg");
+  EXPECT_EQ(Status::OutOfBudget("").ToString(), "OUT_OF_BUDGET");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status a = Status::NotFound("missing");
+  Status b = a;
+  EXPECT_TRUE(b.IsNotFound());
+  EXPECT_EQ(b.message(), "missing");
+}
+
+Status FailsThrough() {
+  CROWDRL_RETURN_IF_ERROR(Status::Internal("inner"));
+  return Status::Ok();
+}
+
+Status Passes() {
+  CROWDRL_RETURN_IF_ERROR(Status::Ok());
+  return Status::InvalidArgument("reached end");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(FailsThrough().IsInternal());
+  EXPECT_TRUE(Passes().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace crowdrl

@@ -1,0 +1,25 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrl {
+namespace {
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringPrintfTest, FormatsLikePrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%.2f", 3.14159), "3.14");
+}
+
+TEST(StringPrintfTest, LongOutput) {
+  std::string big(500, 'z');
+  EXPECT_EQ(StringPrintf("%s", big.c_str()), big);
+}
+
+}  // namespace
+}  // namespace crowdrl

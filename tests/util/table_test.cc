@@ -1,0 +1,60 @@
+#include "util/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace crowdrl {
+namespace {
+
+TEST(TableTest, PrintsHeaderAndRows) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, DoubleRowsAreFormatted) {
+  Table t({"m", "a", "b"});
+  t.AddRow("row", {0.123456, 2.0}, 3);
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("0.123"), std::string::npos);
+  EXPECT_NE(os.str().find("2.000"), std::string::npos);
+}
+
+TEST(TableTest, CsvQuotesSpecialCells) {
+  Table t({"a", "b"});
+  t.AddRow({"has,comma", "has\"quote"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, CsvPlainCellsUnquoted) {
+  Table t({"a"});
+  t.AddRow({"plain"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a\nplain\n");
+}
+
+TEST(TableDeathTest, MismatchedRowAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "row has");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(-0.5, 4), "-0.5000");
+}
+
+}  // namespace
+}  // namespace crowdrl

@@ -1,0 +1,83 @@
+#include "util/topk.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace crowdrl {
+namespace {
+
+TEST(TopKTest, KeepsLargestScores) {
+  TopK<int> top(3);
+  for (int i = 0; i < 10; ++i) top.Push(static_cast<double>(i), i);
+  auto out = top.TakeSortedDescending();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].second, 9);
+  EXPECT_EQ(out[1].second, 8);
+  EXPECT_EQ(out[2].second, 7);
+}
+
+TEST(TopKTest, FewerItemsThanK) {
+  TopK<int> top(5);
+  top.Push(1.0, 1);
+  top.Push(2.0, 2);
+  EXPECT_EQ(top.size(), 2u);
+  EXPECT_DOUBLE_EQ(top.ScoreSum(), 3.0);
+}
+
+TEST(TopKTest, ScoreSumTracksRetained) {
+  TopK<int> top(2);
+  top.Push(1.0, 1);
+  top.Push(5.0, 5);
+  top.Push(3.0, 3);
+  EXPECT_DOUBLE_EQ(top.ScoreSum(), 8.0);  // 5 + 3.
+  EXPECT_DOUBLE_EQ(top.MinScore(), 3.0);
+}
+
+TEST(TopKTest, NegativeScores) {
+  TopK<int> top(2);
+  top.Push(-5.0, 1);
+  top.Push(-1.0, 2);
+  top.Push(-3.0, 3);
+  auto out = top.TakeSortedDescending();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].second, 2);
+  EXPECT_EQ(out[1].second, 3);
+}
+
+TEST(TopKTest, TakeEmptiesTheSelector) {
+  TopK<int> top(2);
+  top.Push(1.0, 1);
+  (void)top.TakeSortedDescending();
+  EXPECT_TRUE(top.empty());
+  EXPECT_DOUBLE_EQ(top.ScoreSum(), 0.0);
+}
+
+class TopKPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopKPropertyTest, MatchesSortOnRandomInput) {
+  int k = GetParam();
+  Rng rng(101 + static_cast<uint64_t>(k));
+  std::vector<double> scores(200);
+  for (double& s : scores) s = rng.Uniform(-10.0, 10.0);
+
+  TopK<size_t> top(static_cast<size_t>(k));
+  for (size_t i = 0; i < scores.size(); ++i) top.Push(scores[i], i);
+  auto got = top.TakeSortedDescending();
+
+  std::vector<double> sorted = scores;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  ASSERT_EQ(got.size(), std::min<size_t>(k, scores.size()));
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i].first, sorted[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TopKPropertyTest,
+                         ::testing::Values(1, 2, 3, 10, 50, 200, 500));
+
+}  // namespace
+}  // namespace crowdrl
