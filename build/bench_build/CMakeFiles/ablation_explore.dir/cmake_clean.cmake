@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_explore"
+  "../bench/ablation_explore.pdb"
+  "CMakeFiles/ablation_explore.dir/ablation_explore.cc.o"
+  "CMakeFiles/ablation_explore.dir/ablation_explore.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

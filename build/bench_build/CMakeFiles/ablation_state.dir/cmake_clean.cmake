@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_state"
+  "../bench/ablation_state.pdb"
+  "CMakeFiles/ablation_state.dir/ablation_state.cc.o"
+  "CMakeFiles/ablation_state.dir/ablation_state.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrl_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/crowdrl_bench_common.dir/bench_common.cc.o.d"
+  "libcrowdrl_bench_common.a"
+  "libcrowdrl_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrl_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_quality"
+  "../bench/fig4_quality.pdb"
+  "CMakeFiles/fig4_quality.dir/fig4_quality.cc.o"
+  "CMakeFiles/fig4_quality.dir/fig4_quality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_scalability"
+  "../bench/fig5_scalability.pdb"
+  "CMakeFiles/fig5_scalability.dir/fig5_scalability.cc.o"
+  "CMakeFiles/fig5_scalability.dir/fig5_scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

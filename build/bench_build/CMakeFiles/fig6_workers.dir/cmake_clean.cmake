@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_workers"
+  "../bench/fig6_workers.pdb"
+  "CMakeFiles/fig6_workers.dir/fig6_workers.cc.o"
+  "CMakeFiles/fig6_workers.dir/fig6_workers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

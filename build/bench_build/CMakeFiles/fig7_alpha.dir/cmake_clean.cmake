@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_alpha"
+  "../bench/fig7_alpha.pdb"
+  "CMakeFiles/fig7_alpha.dir/fig7_alpha.cc.o"
+  "CMakeFiles/fig7_alpha.dir/fig7_alpha.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

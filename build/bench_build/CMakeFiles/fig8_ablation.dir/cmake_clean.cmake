@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_ablation"
+  "../bench/fig8_ablation.pdb"
+  "CMakeFiles/fig8_ablation.dir/fig8_ablation.cc.o"
+  "CMakeFiles/fig8_ablation.dir/fig8_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_frameworks.dir/compare_frameworks.cpp.o"
+  "CMakeFiles/compare_frameworks.dir/compare_frameworks.cpp.o.d"
+  "compare_frameworks"
+  "compare_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

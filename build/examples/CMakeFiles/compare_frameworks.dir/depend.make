@@ -1,0 +1,2 @@
+# Empty dependencies file for compare_frameworks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_triage.dir/medical_triage.cpp.o"
+  "CMakeFiles/medical_triage.dir/medical_triage.cpp.o.d"
+  "medical_triage"
+  "medical_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

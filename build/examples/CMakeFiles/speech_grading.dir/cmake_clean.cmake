@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speech_grading.dir/speech_grading.cpp.o"
+  "CMakeFiles/speech_grading.dir/speech_grading.cpp.o.d"
+  "speech_grading"
+  "speech_grading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speech_grading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

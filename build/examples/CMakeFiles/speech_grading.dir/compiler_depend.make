@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for speech_grading.
+# This may be replaced when dependencies are built.

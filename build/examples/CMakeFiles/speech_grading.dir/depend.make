@@ -1,0 +1,2 @@
+# Empty dependencies file for speech_grading.
+# This may be replaced when dependencies are built.

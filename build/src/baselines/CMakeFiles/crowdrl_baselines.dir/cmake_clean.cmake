@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrl_baselines.dir/ablations.cc.o"
+  "CMakeFiles/crowdrl_baselines.dir/ablations.cc.o.d"
+  "CMakeFiles/crowdrl_baselines.dir/common.cc.o"
+  "CMakeFiles/crowdrl_baselines.dir/common.cc.o.d"
+  "CMakeFiles/crowdrl_baselines.dir/dalc.cc.o"
+  "CMakeFiles/crowdrl_baselines.dir/dalc.cc.o.d"
+  "CMakeFiles/crowdrl_baselines.dir/dlta.cc.o"
+  "CMakeFiles/crowdrl_baselines.dir/dlta.cc.o.d"
+  "CMakeFiles/crowdrl_baselines.dir/hybrid.cc.o"
+  "CMakeFiles/crowdrl_baselines.dir/hybrid.cc.o.d"
+  "CMakeFiles/crowdrl_baselines.dir/idle.cc.o"
+  "CMakeFiles/crowdrl_baselines.dir/idle.cc.o.d"
+  "CMakeFiles/crowdrl_baselines.dir/oba.cc.o"
+  "CMakeFiles/crowdrl_baselines.dir/oba.cc.o.d"
+  "libcrowdrl_baselines.a"
+  "libcrowdrl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

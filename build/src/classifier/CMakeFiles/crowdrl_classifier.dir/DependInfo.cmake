@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classifier/classifier.cc" "src/classifier/CMakeFiles/crowdrl_classifier.dir/classifier.cc.o" "gcc" "src/classifier/CMakeFiles/crowdrl_classifier.dir/classifier.cc.o.d"
+  "/root/repo/src/classifier/knn_classifier.cc" "src/classifier/CMakeFiles/crowdrl_classifier.dir/knn_classifier.cc.o" "gcc" "src/classifier/CMakeFiles/crowdrl_classifier.dir/knn_classifier.cc.o.d"
+  "/root/repo/src/classifier/mlp_classifier.cc" "src/classifier/CMakeFiles/crowdrl_classifier.dir/mlp_classifier.cc.o" "gcc" "src/classifier/CMakeFiles/crowdrl_classifier.dir/mlp_classifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/crowdrl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/crowdrl_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

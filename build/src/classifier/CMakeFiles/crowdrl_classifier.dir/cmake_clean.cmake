@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrl_classifier.dir/classifier.cc.o"
+  "CMakeFiles/crowdrl_classifier.dir/classifier.cc.o.d"
+  "CMakeFiles/crowdrl_classifier.dir/knn_classifier.cc.o"
+  "CMakeFiles/crowdrl_classifier.dir/knn_classifier.cc.o.d"
+  "CMakeFiles/crowdrl_classifier.dir/mlp_classifier.cc.o"
+  "CMakeFiles/crowdrl_classifier.dir/mlp_classifier.cc.o.d"
+  "libcrowdrl_classifier.a"
+  "libcrowdrl_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrl_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

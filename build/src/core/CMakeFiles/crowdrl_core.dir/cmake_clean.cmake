@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrl_core.dir/crowdrl.cc.o"
+  "CMakeFiles/crowdrl_core.dir/crowdrl.cc.o.d"
+  "CMakeFiles/crowdrl_core.dir/enrichment.cc.o"
+  "CMakeFiles/crowdrl_core.dir/enrichment.cc.o.d"
+  "CMakeFiles/crowdrl_core.dir/environment.cc.o"
+  "CMakeFiles/crowdrl_core.dir/environment.cc.o.d"
+  "CMakeFiles/crowdrl_core.dir/framework.cc.o"
+  "CMakeFiles/crowdrl_core.dir/framework.cc.o.d"
+  "CMakeFiles/crowdrl_core.dir/reward.cc.o"
+  "CMakeFiles/crowdrl_core.dir/reward.cc.o.d"
+  "libcrowdrl_core.a"
+  "libcrowdrl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

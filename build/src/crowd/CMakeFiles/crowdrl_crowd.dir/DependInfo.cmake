@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crowd/annotator.cc" "src/crowd/CMakeFiles/crowdrl_crowd.dir/annotator.cc.o" "gcc" "src/crowd/CMakeFiles/crowdrl_crowd.dir/annotator.cc.o.d"
+  "/root/repo/src/crowd/answer_log.cc" "src/crowd/CMakeFiles/crowdrl_crowd.dir/answer_log.cc.o" "gcc" "src/crowd/CMakeFiles/crowdrl_crowd.dir/answer_log.cc.o.d"
+  "/root/repo/src/crowd/budget.cc" "src/crowd/CMakeFiles/crowdrl_crowd.dir/budget.cc.o" "gcc" "src/crowd/CMakeFiles/crowdrl_crowd.dir/budget.cc.o.d"
+  "/root/repo/src/crowd/confusion_matrix.cc" "src/crowd/CMakeFiles/crowdrl_crowd.dir/confusion_matrix.cc.o" "gcc" "src/crowd/CMakeFiles/crowdrl_crowd.dir/confusion_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/crowdrl_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrl_crowd.dir/annotator.cc.o"
+  "CMakeFiles/crowdrl_crowd.dir/annotator.cc.o.d"
+  "CMakeFiles/crowdrl_crowd.dir/answer_log.cc.o"
+  "CMakeFiles/crowdrl_crowd.dir/answer_log.cc.o.d"
+  "CMakeFiles/crowdrl_crowd.dir/budget.cc.o"
+  "CMakeFiles/crowdrl_crowd.dir/budget.cc.o.d"
+  "CMakeFiles/crowdrl_crowd.dir/confusion_matrix.cc.o"
+  "CMakeFiles/crowdrl_crowd.dir/confusion_matrix.cc.o.d"
+  "libcrowdrl_crowd.a"
+  "libcrowdrl_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrl_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrl_data.dir/dataset.cc.o"
+  "CMakeFiles/crowdrl_data.dir/dataset.cc.o.d"
+  "CMakeFiles/crowdrl_data.dir/workloads.cc.o"
+  "CMakeFiles/crowdrl_data.dir/workloads.cc.o.d"
+  "libcrowdrl_data.a"
+  "libcrowdrl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

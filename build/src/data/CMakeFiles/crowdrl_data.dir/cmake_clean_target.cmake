@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrowdrl_data.a"
+)

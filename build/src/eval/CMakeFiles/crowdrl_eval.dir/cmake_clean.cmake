@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrl_eval.dir/experiment.cc.o"
+  "CMakeFiles/crowdrl_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/crowdrl_eval.dir/metrics.cc.o"
+  "CMakeFiles/crowdrl_eval.dir/metrics.cc.o.d"
+  "libcrowdrl_eval.a"
+  "libcrowdrl_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrl_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

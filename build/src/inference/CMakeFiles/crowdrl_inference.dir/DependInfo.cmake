@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inference/dawid_skene.cc" "src/inference/CMakeFiles/crowdrl_inference.dir/dawid_skene.cc.o" "gcc" "src/inference/CMakeFiles/crowdrl_inference.dir/dawid_skene.cc.o.d"
+  "/root/repo/src/inference/joint_inference.cc" "src/inference/CMakeFiles/crowdrl_inference.dir/joint_inference.cc.o" "gcc" "src/inference/CMakeFiles/crowdrl_inference.dir/joint_inference.cc.o.d"
+  "/root/repo/src/inference/majority_vote.cc" "src/inference/CMakeFiles/crowdrl_inference.dir/majority_vote.cc.o" "gcc" "src/inference/CMakeFiles/crowdrl_inference.dir/majority_vote.cc.o.d"
+  "/root/repo/src/inference/pm.cc" "src/inference/CMakeFiles/crowdrl_inference.dir/pm.cc.o" "gcc" "src/inference/CMakeFiles/crowdrl_inference.dir/pm.cc.o.d"
+  "/root/repo/src/inference/truth_inference.cc" "src/inference/CMakeFiles/crowdrl_inference.dir/truth_inference.cc.o" "gcc" "src/inference/CMakeFiles/crowdrl_inference.dir/truth_inference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/classifier/CMakeFiles/crowdrl_classifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/crowdrl_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/crowdrl_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdrl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/crowdrl_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrl_inference.dir/dawid_skene.cc.o"
+  "CMakeFiles/crowdrl_inference.dir/dawid_skene.cc.o.d"
+  "CMakeFiles/crowdrl_inference.dir/joint_inference.cc.o"
+  "CMakeFiles/crowdrl_inference.dir/joint_inference.cc.o.d"
+  "CMakeFiles/crowdrl_inference.dir/majority_vote.cc.o"
+  "CMakeFiles/crowdrl_inference.dir/majority_vote.cc.o.d"
+  "CMakeFiles/crowdrl_inference.dir/pm.cc.o"
+  "CMakeFiles/crowdrl_inference.dir/pm.cc.o.d"
+  "CMakeFiles/crowdrl_inference.dir/truth_inference.cc.o"
+  "CMakeFiles/crowdrl_inference.dir/truth_inference.cc.o.d"
+  "libcrowdrl_inference.a"
+  "libcrowdrl_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrl_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/matrix.cc" "src/math/CMakeFiles/crowdrl_math.dir/matrix.cc.o" "gcc" "src/math/CMakeFiles/crowdrl_math.dir/matrix.cc.o.d"
+  "/root/repo/src/math/stats.cc" "src/math/CMakeFiles/crowdrl_math.dir/stats.cc.o" "gcc" "src/math/CMakeFiles/crowdrl_math.dir/stats.cc.o.d"
+  "/root/repo/src/math/vector_ops.cc" "src/math/CMakeFiles/crowdrl_math.dir/vector_ops.cc.o" "gcc" "src/math/CMakeFiles/crowdrl_math.dir/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/crowdrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrl_math.dir/matrix.cc.o"
+  "CMakeFiles/crowdrl_math.dir/matrix.cc.o.d"
+  "CMakeFiles/crowdrl_math.dir/stats.cc.o"
+  "CMakeFiles/crowdrl_math.dir/stats.cc.o.d"
+  "CMakeFiles/crowdrl_math.dir/vector_ops.cc.o"
+  "CMakeFiles/crowdrl_math.dir/vector_ops.cc.o.d"
+  "libcrowdrl_math.a"
+  "libcrowdrl_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrl_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

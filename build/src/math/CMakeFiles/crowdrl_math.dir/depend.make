@@ -1,0 +1,2 @@
+# Empty dependencies file for crowdrl_math.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrl_nn.dir/activation.cc.o"
+  "CMakeFiles/crowdrl_nn.dir/activation.cc.o.d"
+  "CMakeFiles/crowdrl_nn.dir/loss.cc.o"
+  "CMakeFiles/crowdrl_nn.dir/loss.cc.o.d"
+  "CMakeFiles/crowdrl_nn.dir/mlp.cc.o"
+  "CMakeFiles/crowdrl_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/crowdrl_nn.dir/optimizer.cc.o"
+  "CMakeFiles/crowdrl_nn.dir/optimizer.cc.o.d"
+  "libcrowdrl_nn.a"
+  "libcrowdrl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/dqn_agent.cc" "src/rl/CMakeFiles/crowdrl_rl.dir/dqn_agent.cc.o" "gcc" "src/rl/CMakeFiles/crowdrl_rl.dir/dqn_agent.cc.o.d"
+  "/root/repo/src/rl/q_network.cc" "src/rl/CMakeFiles/crowdrl_rl.dir/q_network.cc.o" "gcc" "src/rl/CMakeFiles/crowdrl_rl.dir/q_network.cc.o.d"
+  "/root/repo/src/rl/replay_buffer.cc" "src/rl/CMakeFiles/crowdrl_rl.dir/replay_buffer.cc.o" "gcc" "src/rl/CMakeFiles/crowdrl_rl.dir/replay_buffer.cc.o.d"
+  "/root/repo/src/rl/state.cc" "src/rl/CMakeFiles/crowdrl_rl.dir/state.cc.o" "gcc" "src/rl/CMakeFiles/crowdrl_rl.dir/state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crowd/CMakeFiles/crowdrl_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/crowdrl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/crowdrl_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrl_rl.dir/dqn_agent.cc.o"
+  "CMakeFiles/crowdrl_rl.dir/dqn_agent.cc.o.d"
+  "CMakeFiles/crowdrl_rl.dir/q_network.cc.o"
+  "CMakeFiles/crowdrl_rl.dir/q_network.cc.o.d"
+  "CMakeFiles/crowdrl_rl.dir/replay_buffer.cc.o"
+  "CMakeFiles/crowdrl_rl.dir/replay_buffer.cc.o.d"
+  "CMakeFiles/crowdrl_rl.dir/state.cc.o"
+  "CMakeFiles/crowdrl_rl.dir/state.cc.o.d"
+  "libcrowdrl_rl.a"
+  "libcrowdrl_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrl_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

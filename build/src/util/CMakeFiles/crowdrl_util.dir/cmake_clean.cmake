@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrl_util.dir/logging.cc.o"
+  "CMakeFiles/crowdrl_util.dir/logging.cc.o.d"
+  "CMakeFiles/crowdrl_util.dir/random.cc.o"
+  "CMakeFiles/crowdrl_util.dir/random.cc.o.d"
+  "CMakeFiles/crowdrl_util.dir/status.cc.o"
+  "CMakeFiles/crowdrl_util.dir/status.cc.o.d"
+  "CMakeFiles/crowdrl_util.dir/string_util.cc.o"
+  "CMakeFiles/crowdrl_util.dir/string_util.cc.o.d"
+  "CMakeFiles/crowdrl_util.dir/table.cc.o"
+  "CMakeFiles/crowdrl_util.dir/table.cc.o.d"
+  "libcrowdrl_util.a"
+  "libcrowdrl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

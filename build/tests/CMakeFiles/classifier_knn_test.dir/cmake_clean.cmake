@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classifier_knn_test.dir/classifier/knn_classifier_test.cc.o"
+  "CMakeFiles/classifier_knn_test.dir/classifier/knn_classifier_test.cc.o.d"
+  "classifier_knn_test"
+  "classifier_knn_test.pdb"
+  "classifier_knn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classifier_knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classifier_mlp_test.dir/classifier/mlp_classifier_test.cc.o"
+  "CMakeFiles/classifier_mlp_test.dir/classifier/mlp_classifier_test.cc.o.d"
+  "classifier_mlp_test"
+  "classifier_mlp_test.pdb"
+  "classifier_mlp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classifier_mlp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

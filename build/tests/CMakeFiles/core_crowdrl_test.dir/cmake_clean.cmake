@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_crowdrl_test.dir/core/crowdrl_test.cc.o"
+  "CMakeFiles/core_crowdrl_test.dir/core/crowdrl_test.cc.o.d"
+  "core_crowdrl_test"
+  "core_crowdrl_test.pdb"
+  "core_crowdrl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_crowdrl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_enrichment_test.dir/core/enrichment_test.cc.o"
+  "CMakeFiles/core_enrichment_test.dir/core/enrichment_test.cc.o.d"
+  "core_enrichment_test"
+  "core_enrichment_test.pdb"
+  "core_enrichment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_enrichment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_environment_test.dir/core/environment_test.cc.o"
+  "CMakeFiles/core_environment_test.dir/core/environment_test.cc.o.d"
+  "core_environment_test"
+  "core_environment_test.pdb"
+  "core_environment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_environment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_framework_test.dir/core/framework_test.cc.o"
+  "CMakeFiles/core_framework_test.dir/core/framework_test.cc.o.d"
+  "core_framework_test"
+  "core_framework_test.pdb"
+  "core_framework_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_framework_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

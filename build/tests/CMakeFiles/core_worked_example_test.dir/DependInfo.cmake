@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/worked_example_test.cc" "tests/CMakeFiles/core_worked_example_test.dir/core/worked_example_test.cc.o" "gcc" "tests/CMakeFiles/core_worked_example_test.dir/core/worked_example_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/crowdrl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/crowdrl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/crowdrl_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/crowdrl_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/inference/CMakeFiles/crowdrl_inference.dir/DependInfo.cmake"
+  "/root/repo/build/src/classifier/CMakeFiles/crowdrl_classifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/crowdrl_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/crowdrl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/crowdrl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/crowdrl_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

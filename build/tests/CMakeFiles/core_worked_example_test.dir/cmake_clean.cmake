@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_worked_example_test.dir/core/worked_example_test.cc.o"
+  "CMakeFiles/core_worked_example_test.dir/core/worked_example_test.cc.o.d"
+  "core_worked_example_test"
+  "core_worked_example_test.pdb"
+  "core_worked_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_worked_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

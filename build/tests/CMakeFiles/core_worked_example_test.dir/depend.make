@@ -1,0 +1,2 @@
+# Empty dependencies file for core_worked_example_test.
+# This may be replaced when dependencies are built.

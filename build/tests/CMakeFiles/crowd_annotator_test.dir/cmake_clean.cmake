@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_annotator_test.dir/crowd/annotator_test.cc.o"
+  "CMakeFiles/crowd_annotator_test.dir/crowd/annotator_test.cc.o.d"
+  "crowd_annotator_test"
+  "crowd_annotator_test.pdb"
+  "crowd_annotator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_annotator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

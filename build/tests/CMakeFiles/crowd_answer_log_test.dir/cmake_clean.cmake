@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_answer_log_test.dir/crowd/answer_log_test.cc.o"
+  "CMakeFiles/crowd_answer_log_test.dir/crowd/answer_log_test.cc.o.d"
+  "crowd_answer_log_test"
+  "crowd_answer_log_test.pdb"
+  "crowd_answer_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_answer_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

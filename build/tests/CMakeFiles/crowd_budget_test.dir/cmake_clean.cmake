@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_budget_test.dir/crowd/budget_test.cc.o"
+  "CMakeFiles/crowd_budget_test.dir/crowd/budget_test.cc.o.d"
+  "crowd_budget_test"
+  "crowd_budget_test.pdb"
+  "crowd_budget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

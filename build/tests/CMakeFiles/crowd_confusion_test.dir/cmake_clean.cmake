@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_confusion_test.dir/crowd/confusion_test.cc.o"
+  "CMakeFiles/crowd_confusion_test.dir/crowd/confusion_test.cc.o.d"
+  "crowd_confusion_test"
+  "crowd_confusion_test.pdb"
+  "crowd_confusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_confusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_workloads_test.dir/data/workloads_test.cc.o"
+  "CMakeFiles/data_workloads_test.dir/data/workloads_test.cc.o.d"
+  "data_workloads_test"
+  "data_workloads_test.pdb"
+  "data_workloads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

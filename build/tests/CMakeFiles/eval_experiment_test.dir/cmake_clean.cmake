@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_experiment_test.dir/eval/experiment_test.cc.o"
+  "CMakeFiles/eval_experiment_test.dir/eval/experiment_test.cc.o.d"
+  "eval_experiment_test"
+  "eval_experiment_test.pdb"
+  "eval_experiment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_dawid_skene_test.dir/inference/dawid_skene_test.cc.o"
+  "CMakeFiles/inference_dawid_skene_test.dir/inference/dawid_skene_test.cc.o.d"
+  "inference_dawid_skene_test"
+  "inference_dawid_skene_test.pdb"
+  "inference_dawid_skene_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_dawid_skene_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_helpers_test.dir/inference/truth_inference_test.cc.o"
+  "CMakeFiles/inference_helpers_test.dir/inference/truth_inference_test.cc.o.d"
+  "inference_helpers_test"
+  "inference_helpers_test.pdb"
+  "inference_helpers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_helpers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

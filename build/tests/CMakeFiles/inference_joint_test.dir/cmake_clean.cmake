@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_joint_test.dir/inference/joint_inference_test.cc.o"
+  "CMakeFiles/inference_joint_test.dir/inference/joint_inference_test.cc.o.d"
+  "inference_joint_test"
+  "inference_joint_test.pdb"
+  "inference_joint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_joint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

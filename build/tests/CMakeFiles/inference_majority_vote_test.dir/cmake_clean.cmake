@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_majority_vote_test.dir/inference/majority_vote_test.cc.o"
+  "CMakeFiles/inference_majority_vote_test.dir/inference/majority_vote_test.cc.o.d"
+  "inference_majority_vote_test"
+  "inference_majority_vote_test.pdb"
+  "inference_majority_vote_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_majority_vote_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_pm_test.dir/inference/pm_test.cc.o"
+  "CMakeFiles/inference_pm_test.dir/inference/pm_test.cc.o.d"
+  "inference_pm_test"
+  "inference_pm_test.pdb"
+  "inference_pm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_pm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

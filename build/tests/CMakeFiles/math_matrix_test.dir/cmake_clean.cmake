@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_matrix_test.dir/math/matrix_test.cc.o"
+  "CMakeFiles/math_matrix_test.dir/math/matrix_test.cc.o.d"
+  "math_matrix_test"
+  "math_matrix_test.pdb"
+  "math_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_stats_test.dir/math/stats_test.cc.o"
+  "CMakeFiles/math_stats_test.dir/math/stats_test.cc.o.d"
+  "math_stats_test"
+  "math_stats_test.pdb"
+  "math_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

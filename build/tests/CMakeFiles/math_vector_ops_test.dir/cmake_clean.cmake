@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_vector_ops_test.dir/math/vector_ops_test.cc.o"
+  "CMakeFiles/math_vector_ops_test.dir/math/vector_ops_test.cc.o.d"
+  "math_vector_ops_test"
+  "math_vector_ops_test.pdb"
+  "math_vector_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_vector_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_activation_test.dir/nn/activation_test.cc.o"
+  "CMakeFiles/nn_activation_test.dir/nn/activation_test.cc.o.d"
+  "nn_activation_test"
+  "nn_activation_test.pdb"
+  "nn_activation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_activation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_mlp_test.dir/nn/mlp_test.cc.o"
+  "CMakeFiles/nn_mlp_test.dir/nn/mlp_test.cc.o.d"
+  "nn_mlp_test"
+  "nn_mlp_test.pdb"
+  "nn_mlp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_mlp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_double_dqn_test.dir/rl/double_dqn_test.cc.o"
+  "CMakeFiles/rl_double_dqn_test.dir/rl/double_dqn_test.cc.o.d"
+  "rl_double_dqn_test"
+  "rl_double_dqn_test.pdb"
+  "rl_double_dqn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_double_dqn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

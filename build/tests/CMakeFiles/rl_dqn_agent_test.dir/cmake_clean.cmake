@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_dqn_agent_test.dir/rl/dqn_agent_test.cc.o"
+  "CMakeFiles/rl_dqn_agent_test.dir/rl/dqn_agent_test.cc.o.d"
+  "rl_dqn_agent_test"
+  "rl_dqn_agent_test.pdb"
+  "rl_dqn_agent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_dqn_agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_q_network_test.dir/rl/q_network_test.cc.o"
+  "CMakeFiles/rl_q_network_test.dir/rl/q_network_test.cc.o.d"
+  "rl_q_network_test"
+  "rl_q_network_test.pdb"
+  "rl_q_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_q_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_replay_test.dir/rl/replay_test.cc.o"
+  "CMakeFiles/rl_replay_test.dir/rl/replay_test.cc.o.d"
+  "rl_replay_test"
+  "rl_replay_test.pdb"
+  "rl_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_state_test.dir/rl/state_test.cc.o"
+  "CMakeFiles/rl_state_test.dir/rl/state_test.cc.o.d"
+  "rl_state_test"
+  "rl_state_test.pdb"
+  "rl_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_logging_test.dir/util/logging_test.cc.o"
+  "CMakeFiles/util_logging_test.dir/util/logging_test.cc.o.d"
+  "util_logging_test"
+  "util_logging_test.pdb"
+  "util_logging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_logging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_topk_test.dir/util/topk_test.cc.o"
+  "CMakeFiles/util_topk_test.dir/util/topk_test.cc.o.d"
+  "util_topk_test"
+  "util_topk_test.pdb"
+  "util_topk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_topk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
