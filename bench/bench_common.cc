@@ -23,12 +23,15 @@ constexpr double kFashionBudget = 160000.0;
 
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--scale=F] [--seeds=N] [--seed=S] [--full]\n"
-               "  --scale=F  fraction of the paper's dataset size/budget "
+               "usage: %s [--scale=F] [--seeds=N] [--seed=S] [--full] "
+               "[--threads=T]\n"
+               "  --scale=F    fraction of the paper's dataset size/budget "
                "(default 0.25)\n"
-               "  --seeds=N  seeds per cell, metrics averaged (default 1)\n"
-               "  --seed=S   base seed (default 100)\n"
-               "  --full     paper-scale datasets, dims and budgets\n",
+               "  --seeds=N    seeds per cell, metrics averaged (default 1)\n"
+               "  --seed=S     base seed (default 100)\n"
+               "  --full       paper-scale datasets, dims and budgets\n"
+               "  --threads=T  largest thread count in thread sweeps "
+               "(default 4)\n",
                argv0);
   std::exit(2);
 }
@@ -60,6 +63,9 @@ BenchConfig ParseArgs(int argc, char** argv) {
       if (config.seeds <= 0) Usage(argv[0]);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       config.base_seed = static_cast<uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      config.threads = std::atoi(arg + 10);
+      if (config.threads <= 0) Usage(argv[0]);
     } else if (std::strcmp(arg, "--full") == 0) {
       config.full = true;
       config.scale = 1.0;

@@ -23,10 +23,13 @@ struct BenchConfig {
   int seeds = 1;
   bool full = false;
   uint64_t base_seed = 100;
+  /// Largest worker-thread count exercised by the benches that sweep
+  /// thread counts (fig5's candidate-scoring sweep).
+  int threads = 4;
 };
 
-/// Parses --scale=F --seeds=N --full --seed=S; unknown flags abort with
-/// a usage message.
+/// Parses --scale=F --seeds=N --full --seed=S --threads=T; unknown flags
+/// abort with a usage message.
 BenchConfig ParseArgs(int argc, char** argv);
 
 /// One evaluation workload: dataset + pool + budget.

@@ -7,15 +7,31 @@
 
 namespace crowdrl::core {
 
+namespace {
+
+// Validates the borrowed pointers before any member initializer can
+// dereference them: the member-initializer list runs before the
+// constructor body, so a check there would fire only after
+// `answers_(dataset->num_objects(), pool->size())` had already invoked UB
+// on a null argument. `dataset_` is the first member, so routing its
+// initializer through this helper guards every later one.
+const data::Dataset* CheckedEnvironmentArgs(
+    const data::Dataset* dataset,
+    const std::vector<crowd::Annotator>* pool) {
+  CROWDRL_CHECK(dataset != nullptr && pool != nullptr);
+  return dataset;
+}
+
+}  // namespace
+
 Environment::Environment(const data::Dataset* dataset,
                          const std::vector<crowd::Annotator>* pool,
                          double budget, uint64_t seed)
-    : dataset_(dataset),
+    : dataset_(CheckedEnvironmentArgs(dataset, pool)),
       pool_(pool),
       budget_(budget),
       answers_(dataset->num_objects(), pool->size()),
       rng_(seed) {
-  CROWDRL_CHECK(dataset != nullptr && pool != nullptr);
   CROWDRL_CHECK(!pool->empty());
   CROWDRL_CHECK(dataset->num_objects() > 0);
   costs_.reserve(pool->size());

@@ -21,6 +21,69 @@ Matrix GatherFeatures(const InferenceInput& input) {
   return out;
 }
 
+/// Objects per parallel E-step chunk.
+constexpr size_t kEStepGrain = 32;
+
+/// One E-step sweep: for every target row, the posterior
+/// q(y_i = c) proportional to p(c | phi)^w * prod_j Pi^j(c, y_ij), written
+/// into `posteriors`, plus that row's log-sum-exp term of the likelihood in
+/// `row_lse`. Rows are independent, so the sweep parallelizes over objects
+/// (`pool` may be null = serial); callers reduce `row_lse` serially in row
+/// order, which keeps the summed likelihood bit-identical at every thread
+/// count.
+void EStep(const InferenceInput& input,
+           const std::vector<crowd::ConfusionMatrix>& confusions,
+           const Matrix& class_probs, const JointInferenceOptions& options,
+           ThreadPool* pool, Matrix* posteriors,
+           std::vector<double>* row_lse) {
+  size_t n = input.objects.size();
+  size_t c = static_cast<size_t>(input.num_classes);
+  row_lse->assign(n, 0.0);
+  auto e_step_range = [&](size_t row_begin, size_t row_end) {
+    std::vector<double> log_post(c);  // Per-chunk scratch.
+    for (size_t row = row_begin; row < row_end; ++row) {
+      bool use_prior = options.classifier_prior_on_unanimous;
+      if (!use_prior) {
+        // Prior only for split votes (or no votes at all).
+        const auto& answers = input.answers->AnswersFor(input.objects[row]);
+        for (size_t a = 1; a < answers.size(); ++a) {
+          if (answers[a].second != answers[0].second) {
+            use_prior = true;
+            break;
+          }
+        }
+        if (answers.empty()) use_prior = true;
+      }
+      for (size_t truth = 0; truth < c; ++truth) {
+        double lp =
+            use_prior
+                ? options.classifier_weight *
+                      std::log(std::max(class_probs.At(row, truth),
+                                        kLogFloor))
+                : 0.0;
+        for (const auto& [annotator, label] :
+             input.answers->AnswersFor(input.objects[row])) {
+          lp += std::log(std::max(
+              confusions[static_cast<size_t>(annotator)].At(
+                  static_cast<int>(truth), label),
+              kLogFloor));
+        }
+        log_post[truth] = lp;
+      }
+      double lse = LogSumExp(log_post);
+      (*row_lse)[row] = lse;
+      for (size_t truth = 0; truth < c; ++truth) {
+        posteriors->At(row, truth) = std::exp(log_post[truth] - lse);
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, n, kEStepGrain, e_step_range);
+  } else {
+    e_step_range(0, n);
+  }
+}
+
 Status RequireClassifierInputs(const InferenceInput& input) {
   if (input.features == nullptr) {
     return Status::InvalidArgument("joint inference requires features");
@@ -43,6 +106,10 @@ JointInference::JointInference(JointInferenceOptions options)
     : options_(options) {
   CROWDRL_CHECK(options.em.max_iterations > 0);
   CROWDRL_CHECK(options.classifier_retrain_period > 0);
+  CROWDRL_CHECK(options.threads >= 1);
+  if (options.threads > 1) {
+    pool_ = std::make_shared<ThreadPool>(options.threads);
+  }
   CROWDRL_CHECK(options.expert_epsilon >= 0.0 &&
                 options.expert_epsilon <= 1.0);
   CROWDRL_CHECK(options.expert_floor_slack >= 0.0 &&
@@ -81,8 +148,13 @@ Status JointInference::Infer(const InferenceInput& input,
       BoundExpertQuality(*input.annotator_types, options_.expert_epsilon,
                          options_.expert_floor_slack, &confusions);
     }
-    // M-step over Theta: retrain phi on the current posteriors.
-    if (iteration % options_.classifier_retrain_period == 0) {
+    // M-step over Theta: retrain phi on the current posteriors. Skipped at
+    // iteration 0: at that point `posteriors` is exactly what the
+    // classifier was just seeded with (or, warm-started, the beliefs it
+    // deliberately keeps), so a retrain would only burn epochs on
+    // identical targets.
+    if (iteration > 0 &&
+        iteration % options_.classifier_retrain_period == 0) {
       CROWDRL_RETURN_IF_ERROR(
           input.classifier->Train(target_features, posteriors, {}));
     }
@@ -91,46 +163,15 @@ Status JointInference::Infer(const InferenceInput& input,
 
     // E-step: q(y_i = c) proportional to p(c | phi) * prod_j Pi^j(c, y_ij).
     Matrix next(n, c);
+    std::vector<double> row_lse;
+    EStep(input, confusions, class_probs, options_, pool_.get(), &next,
+          &row_lse);
     log_likelihood = 0.0;
+    for (double lse : row_lse) log_likelihood += lse;
     double max_change = 0.0;
-    for (size_t row = 0; row < n; ++row) {
-      bool use_prior = options_.classifier_prior_on_unanimous;
-      if (!use_prior) {
-        // Prior only for split votes (or no votes at all).
-        const auto& answers = input.answers->AnswersFor(input.objects[row]);
-        for (size_t a = 1; a < answers.size(); ++a) {
-          if (answers[a].second != answers[0].second) {
-            use_prior = true;
-            break;
-          }
-        }
-        if (answers.empty()) use_prior = true;
-      }
-      std::vector<double> log_post(c);
-      for (size_t truth = 0; truth < c; ++truth) {
-        double lp =
-            use_prior
-                ? options_.classifier_weight *
-                      std::log(std::max(class_probs.At(row, truth),
-                                        kLogFloor))
-                : 0.0;
-        for (const auto& [annotator, label] :
-             input.answers->AnswersFor(input.objects[row])) {
-          lp += std::log(std::max(
-              confusions[static_cast<size_t>(annotator)].At(
-                  static_cast<int>(truth), label),
-              kLogFloor));
-        }
-        log_post[truth] = lp;
-      }
-      double lse = LogSumExp(log_post);
-      log_likelihood += lse;
-      for (size_t truth = 0; truth < c; ++truth) {
-        double q = std::exp(log_post[truth] - lse);
-        max_change = std::max(max_change,
-                              std::fabs(q - posteriors.At(row, truth)));
-        next.At(row, truth) = q;
-      }
+    for (size_t i = 0; i < next.size(); ++i) {
+      max_change = std::max(max_change,
+                            std::fabs(next.data()[i] - posteriors.data()[i]));
     }
     posteriors = std::move(next);
     if (max_change < options_.em.tolerance) {
@@ -145,6 +186,20 @@ Status JointInference::Infer(const InferenceInput& input,
   if (input.annotator_types != nullptr) {
     BoundExpertQuality(*input.annotator_types, options_.expert_epsilon,
                        options_.expert_floor_slack, &confusions);
+  }
+  // Recompute the likelihood under the *final* confusions and the phi that
+  // shaped the converged posteriors (i.e. before the enrichment-oriented
+  // final fit below), so the reported value matches the returned
+  // confusions/posteriors instead of the pre-M-step ones.
+  {
+    Matrix final_probs =
+        input.classifier->PredictProbsBatch(target_features);
+    Matrix unused(n, c);
+    std::vector<double> row_lse;
+    EStep(input, confusions, final_probs, options_, pool_.get(), &unused,
+          &row_lse);
+    log_likelihood = 0.0;
+    for (double lse : row_lse) log_likelihood += lse;
   }
   if (options_.final_fit_on_hard_labels) {
     Matrix hard(n, c);

@@ -1,10 +1,21 @@
 #include "nn/mlp.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.h"
 
 namespace crowdrl::nn {
+
+namespace {
+
+/// Rows per parallel inference chunk. Small enough to balance load across
+/// workers for the candidate batches the DQN produces (hundreds to tens of
+/// thousands of rows), large enough that each chunk amortizes its matmul
+/// setup.
+constexpr size_t kInferChunkRows = 64;
+
+}  // namespace
 
 Mlp::Mlp(const std::vector<size_t>& sizes,
          const std::vector<Activation>& activations, Rng* rng)
@@ -60,6 +71,28 @@ Matrix Mlp::Infer(const Matrix& batch) const {
     current = std::move(pre);
   }
   return current;
+}
+
+Matrix Mlp::Infer(const Matrix& batch, ThreadPool* pool) const {
+  CROWDRL_CHECK(batch.cols() == input_size());
+  if (pool == nullptr || batch.rows() <= kInferChunkRows) {
+    return Infer(batch);
+  }
+  Matrix out(batch.rows(), output_size());
+  pool->ParallelFor(
+      0, batch.rows(), kInferChunkRows, [&](size_t row_begin, size_t row_end) {
+        Matrix chunk(row_end - row_begin, batch.cols());
+        for (size_t r = row_begin; r < row_end; ++r) {
+          std::copy(batch.Row(r), batch.Row(r) + batch.cols(),
+                    chunk.Row(r - row_begin));
+        }
+        Matrix result = Infer(chunk);
+        for (size_t r = row_begin; r < row_end; ++r) {
+          std::copy(result.Row(r - row_begin),
+                    result.Row(r - row_begin) + result.cols(), out.Row(r));
+        }
+      });
+  return out;
 }
 
 std::vector<double> Mlp::Infer(const std::vector<double>& input) const {

@@ -7,6 +7,7 @@
 #include "math/matrix.h"
 #include "nn/activation.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace crowdrl::nn {
 
@@ -45,6 +46,12 @@ class Mlp {
 
   /// Stateless forward (no caches touched); safe on a const network.
   Matrix Infer(const Matrix& batch) const;
+
+  /// Row-chunked stateless forward on a thread pool. Every output row is an
+  /// independent dot-product chain, so the result is bit-identical to the
+  /// serial Infer at any thread count. `pool == nullptr` falls back to the
+  /// serial path.
+  Matrix Infer(const Matrix& batch, ThreadPool* pool) const;
 
   /// Single-sample stateless forward.
   std::vector<double> Infer(const std::vector<double>& input) const;

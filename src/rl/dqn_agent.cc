@@ -9,6 +9,15 @@
 
 namespace crowdrl::rl {
 
+namespace {
+
+/// Candidates per parallel featurization chunk: ~a dozen chunks per worker
+/// on the paper-scale candidate counts (thousands), keeping load balanced
+/// without drowning in dispatch overhead.
+constexpr size_t kFeaturizeGrain = 128;
+
+}  // namespace
+
 DqnAgent::DqnAgent(DqnAgentOptions options)
     : options_(options),
       q_network_(options.q),
@@ -21,6 +30,10 @@ DqnAgent::DqnAgent(DqnAgentOptions options)
   CROWDRL_CHECK(options.epsilon >= 0.0 && options.epsilon <= 1.0);
   CROWDRL_CHECK(options.epsilon_decay > 0.0 && options.epsilon_decay <= 1.0);
   CROWDRL_CHECK(options.max_bootstrap_candidates > 0);
+  CROWDRL_CHECK(options.threads >= 1);
+  if (options.threads > 1) {
+    pool_ = std::make_shared<ThreadPool>(options.threads);
+  }
 }
 
 void DqnAgent::BeginEpisode(size_t num_objects, size_t num_annotators) {
@@ -36,6 +49,17 @@ void DqnAgent::BeginEpisode(size_t num_objects, size_t num_annotators) {
 size_t DqnAgent::PairIndex(int object, int annotator) const {
   return static_cast<size_t>(object) * episode_annotators_ +
          static_cast<size_t>(annotator);
+}
+
+void DqnAgent::CheckViewMatchesEpisode(const StateView& view) const {
+  CROWDRL_CHECK(view.answers != nullptr);
+  CROWDRL_CHECK(view.answers->num_objects() == episode_objects_ &&
+                view.answers->num_annotators() == episode_annotators_)
+      << "state view shape (" << view.answers->num_objects() << " x "
+      << view.answers->num_annotators()
+      << ") does not match the episode shape (" << episode_objects_ << " x "
+      << episode_annotators_
+      << "); selection counts are indexed by the episode shape";
 }
 
 std::vector<Action> DqnAgent::EnumerateCandidates(
@@ -70,17 +94,27 @@ std::vector<Action> DqnAgent::EnumerateCandidates(
   }
 
   *features = Matrix(valid.size(), StateFeaturizer::kFeatureDim);
-  std::vector<double> row;
-  for (size_t idx = 0; idx < valid.size(); ++idx) {
-    featurizer_.Featurize(view, valid[idx].object, valid[idx].annotator,
-                          &row);
-    if (!options_.feature_mask.empty()) {
-      CROWDRL_CHECK(options_.feature_mask.size() == row.size());
-      for (size_t f = 0; f < row.size(); ++f) {
-        if (!options_.feature_mask[f]) row[f] = 0.0;
+  // Each feature row depends only on its own candidate, so chunks write
+  // disjoint rows and the parallel result is bit-identical to the serial
+  // one at every thread count.
+  auto featurize_range = [&](size_t idx_begin, size_t idx_end) {
+    std::vector<double> row;  // Per-chunk scratch.
+    for (size_t idx = idx_begin; idx < idx_end; ++idx) {
+      featurizer_.Featurize(view, valid[idx].object, valid[idx].annotator,
+                            &row);
+      if (!options_.feature_mask.empty()) {
+        CROWDRL_CHECK(options_.feature_mask.size() == row.size());
+        for (size_t f = 0; f < row.size(); ++f) {
+          if (!options_.feature_mask[f]) row[f] = 0.0;
+        }
       }
+      features->SetRow(idx, row);
     }
-    features->SetRow(idx, row);
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(0, valid.size(), kFeaturizeGrain, featurize_range);
+  } else {
+    featurize_range(0, valid.size());
   }
   return valid;
 }
@@ -89,6 +123,7 @@ ScoredCandidates DqnAgent::Score(
     const StateView& view, const std::vector<bool>& annotator_affordable) {
   CROWDRL_CHECK(episode_objects_ > 0)
       << "BeginEpisode must be called before Score";
+  CheckViewMatchesEpisode(view);
   ScoredCandidates out;
   out.actions = EnumerateCandidates(view, annotator_affordable,
                                     std::numeric_limits<size_t>::max(),
@@ -204,6 +239,7 @@ void DqnAgent::ObservePerPair(const std::vector<double>& rewards,
                               bool terminal) {
   CROWDRL_CHECK(rewards.size() == pending_.size())
       << "need one reward per pending pair";
+  CheckViewMatchesEpisode(next_view);
   double next_max_q = 0.0;
   if (!terminal) {
     Matrix features;

@@ -1,6 +1,7 @@
 #ifndef CROWDRL_RL_DQN_AGENT_H_
 #define CROWDRL_RL_DQN_AGENT_H_
 
+#include <memory>
 #include <vector>
 
 #include "rl/action.h"
@@ -8,6 +9,7 @@
 #include "rl/replay_buffer.h"
 #include "rl/state.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace crowdrl::rl {
 
@@ -44,6 +46,13 @@ struct DqnAgentOptions {
   /// must have StateFeaturizer::kFeatureDim entries and masked-off
   /// features are zeroed before reaching the Q-network. Empty = all on.
   std::vector<bool> feature_mask;
+  /// Worker threads for candidate featurization: the per-pair feature rows
+  /// of EnumerateCandidates are built in parallel chunks. 1 (the default)
+  /// runs the original serial path; every feature row depends only on its
+  /// own (object, annotator), so results are bit-identical at any thread
+  /// count. Q-network inference threads are configured separately via
+  /// `q.threads`.
+  int threads = 1;
   uint64_t seed = 23;
 };
 
@@ -125,12 +134,19 @@ class DqnAgent {
 
   size_t PairIndex(int object, int annotator) const;
 
+  /// Aborts unless the view's answer log matches the BeginEpisode shape:
+  /// selection_counts_ is indexed by (object, annotator) pairs of that
+  /// shape, so a wider view would silently read out of bounds.
+  void CheckViewMatchesEpisode(const StateView& view) const;
+
   DqnAgentOptions options_;
   QNetwork q_network_;
   ReplayBuffer replay_;
   StateFeaturizer featurizer_;
   Rng rng_;
   double epsilon_;
+  /// Featurization pool, null when options_.threads <= 1 (serial).
+  std::shared_ptr<ThreadPool> pool_;
 
   size_t episode_objects_ = 0;
   size_t episode_annotators_ = 0;

@@ -28,6 +28,10 @@ QNetwork::QNetwork(QNetworkOptions options)
       target_(online_),
       optimizer_(options.learning_rate) {
   CROWDRL_CHECK(options.feature_dim > 0);
+  CROWDRL_CHECK(options.threads >= 1);
+  if (options.threads > 1) {
+    pool_ = std::make_shared<ThreadPool>(options.threads);
+  }
   CROWDRL_CHECK(options.gamma > 0.0 && options.gamma <= 1.0);
   CROWDRL_CHECK(options.soft_tau >= 0.0 && options.soft_tau <= 1.0);
   CROWDRL_CHECK(options.soft_tau > 0.0 || options.target_sync_period > 0);
@@ -39,7 +43,7 @@ double QNetwork::Predict(const std::vector<double>& features) const {
 }
 
 std::vector<double> QNetwork::PredictBatch(const Matrix& features) const {
-  Matrix out = online_.Infer(features);
+  Matrix out = online_.Infer(features, pool_.get());
   std::vector<double> q(out.rows());
   for (size_t r = 0; r < out.rows(); ++r) q[r] = out.At(r, 0);
   return q;
@@ -47,7 +51,7 @@ std::vector<double> QNetwork::PredictBatch(const Matrix& features) const {
 
 std::vector<double> QNetwork::TargetPredictBatch(
     const Matrix& features) const {
-  Matrix out = target_.Infer(features);
+  Matrix out = target_.Infer(features, pool_.get());
   std::vector<double> q(out.rows());
   for (size_t r = 0; r < out.rows(); ++r) q[r] = out.At(r, 0);
   return q;

@@ -8,6 +8,7 @@
 #include "nn/mlp.h"
 #include "nn/optimizer.h"
 #include "rl/replay_buffer.h"
+#include "util/thread_pool.h"
 
 namespace crowdrl::rl {
 
@@ -28,6 +29,11 @@ struct QNetworkOptions {
   /// arg-max action instead of taking the target's own max, which
   /// counters Q-value overestimation.
   bool double_dqn = false;
+  /// Worker threads for batch inference (PredictBatch /
+  /// TargetPredictBatch): rows are scored in parallel chunks. 1 (the
+  /// default) runs the original serial path; results are bit-identical at
+  /// every thread count because each row's forward pass is independent.
+  int threads = 1;
   uint64_t seed = 17;
 };
 
@@ -69,6 +75,9 @@ class QNetwork {
   nn::Mlp target_;
   nn::Adam optimizer_;
   size_t train_steps_ = 0;
+  /// Inference pool, null when options_.threads <= 1 (serial). Shared so
+  /// the network stays copyable; copies score on the same workers.
+  std::shared_ptr<ThreadPool> pool_;
 };
 
 }  // namespace crowdrl::rl

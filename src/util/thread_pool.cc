@@ -1,0 +1,80 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace crowdrl {
+
+ThreadPool::ThreadPool(int threads) {
+  int spawn = std::max(0, threads - 1);
+  workers_.reserve(static_cast<size_t>(spawn));
+  for (int t = 0; t < spawn; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  size_t count = end - begin;
+  if (workers_.empty() || count <= grain) {
+    fn(begin, end);
+    return;
+  }
+
+  // Chunk boundaries depend only on (begin, end, grain), never on thread
+  // count or scheduling; workers claim chunks from a shared counter.
+  size_t num_chunks = (count + grain - 1) / grain;
+  std::atomic<size_t> next_chunk{0};
+  std::function<void()> job = [&] {
+    while (true) {
+      size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      size_t chunk_begin = begin + c * grain;
+      fn(chunk_begin, std::min(end, chunk_begin + grain));
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    acked_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  job();  // The calling thread is a full lane.
+
+  // `job` lives on this stack frame: wait until every worker has finished
+  // with it (a worker that wakes late finds the chunk counter exhausted
+  // and acks immediately).
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return acked_ == workers_.size(); });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const std::function<void()>* job = job_;
+    lock.unlock();
+    (*job)();
+    lock.lock();
+    if (++acked_ == workers_.size()) done_cv_.notify_all();
+  }
+}
+
+}  // namespace crowdrl

@@ -1,0 +1,72 @@
+#ifndef CROWDRL_UTIL_THREAD_POOL_H_
+#define CROWDRL_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crowdrl {
+
+/// \brief Fixed-size worker pool for data-parallel loops over index ranges.
+///
+/// The parallel substrate of the hot paths (candidate featurization, batch
+/// Q-network inference, the joint-inference E-step). Design constraints:
+///
+///  * **Single-thread fallback.** Constructed with `threads <= 1`, the pool
+///    spawns no workers and ParallelFor runs the body inline on the calling
+///    thread — byte-for-byte the serial code path, so `threads = 1` (the
+///    default everywhere) keeps every existing result bit-identical.
+///  * **Determinism.** ParallelFor only divides [begin, end) into
+///    grain-sized chunks and runs each chunk exactly once; chunks write
+///    disjoint outputs chosen by index. Any per-element computation that is
+///    deterministic serially therefore produces identical results at every
+///    thread count. Order-sensitive reductions (e.g. floating-point sums)
+///    must be done by storing per-element terms and reducing serially —
+///    see JointInference::Infer for the pattern.
+///  * **Blocking dispatch.** ParallelFor returns only after every chunk has
+///    finished; the calling thread processes chunks alongside the workers,
+///    so a pool of `threads` gives `threads`-way concurrency with
+///    `threads - 1` spawned std::threads.
+///
+/// ParallelFor is not reentrant: the loop body must not call back into the
+/// same pool (callers own disjoint pools precisely to keep this simple).
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (none when `threads <= 1`); the calling
+  /// thread is the remaining lane.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency, including the calling thread.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs `fn(chunk_begin, chunk_end)` over [begin, end) split into chunks
+  /// of at most `grain` indices. Blocks until every chunk has run. With no
+  /// workers (threads <= 1) or a range no larger than one grain, the whole
+  /// range runs inline as a single chunk.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  uint64_t generation_ = 0;
+  size_t acked_ = 0;
+  const std::function<void()>* job_ = nullptr;  // Valid while a job runs.
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace crowdrl
+
+#endif  // CROWDRL_UTIL_THREAD_POOL_H_

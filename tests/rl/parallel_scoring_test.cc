@@ -1,0 +1,157 @@
+// The thread-pool determinism contract: every threaded hot path
+// (candidate featurization, batch Q inference, the joint-inference E-step)
+// must produce results bit-identical to the serial threads=1 path.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "classifier/mlp_classifier.h"
+#include "inference/joint_inference.h"
+#include "nn/mlp.h"
+#include "rl/dqn_agent.h"
+#include "tests/testing/sim_helpers.h"
+#include "util/thread_pool.h"
+
+namespace crowdrl::rl {
+namespace {
+
+// Large enough that the parallel chunking in featurization (grain 128) and
+// MLP inference (64-row chunks) actually engages.
+struct WideFixture {
+  static constexpr size_t kObjects = 60;
+  static constexpr size_t kAnnotators = 6;
+
+  crowd::AnswerLog answers{kObjects, kAnnotators};
+  std::vector<double> costs;
+  std::vector<double> qualities;
+  std::vector<bool> is_expert;
+  std::vector<bool> labelled;
+  std::vector<bool> affordable;
+
+  WideFixture() {
+    for (size_t j = 0; j < kAnnotators; ++j) {
+      bool expert = j + 1 == kAnnotators;
+      costs.push_back(expert ? 10.0 : 1.0);
+      qualities.push_back(0.5 + 0.05 * static_cast<double>(j));
+      is_expert.push_back(expert);
+      affordable.push_back(true);
+    }
+    labelled.assign(kObjects, false);
+    // A few answers so the history features are non-trivial.
+    answers.Record(0, 0, 1);
+    answers.Record(0, 1, 0);
+    answers.Record(1, 2, 1);
+  }
+
+  StateView View() const {
+    StateView view;
+    view.answers = &answers;
+    view.num_classes = 2;
+    view.annotator_costs = &costs;
+    view.annotator_qualities = &qualities;
+    view.annotator_is_expert = &is_expert;
+    view.labelled = &labelled;
+    view.budget_fraction_remaining = 0.8;
+    view.fraction_labelled = 0.1;
+    view.max_cost = 10.0;
+    return view;
+  }
+
+  DqnAgent MakeAgent(int threads) const {
+    DqnAgentOptions options;
+    options.exploration = ExplorationMode::kUcb;
+    options.seed = 13;
+    options.q.seed = 17;
+    options.threads = threads;
+    options.q.threads = threads;
+    DqnAgent agent(options);
+    agent.BeginEpisode(kObjects, kAnnotators);
+    return agent;
+  }
+};
+
+TEST(ParallelScoringTest, ScoreIsBitIdenticalAcrossThreadCounts) {
+  WideFixture f;
+  DqnAgent serial = f.MakeAgent(1);
+  ScoredCandidates baseline = serial.Score(f.View(), f.affordable);
+  ASSERT_EQ(baseline.actions.size(), f.kObjects * f.kAnnotators - 3);
+
+  for (int threads : {2, 4}) {
+    DqnAgent agent = f.MakeAgent(threads);
+    ScoredCandidates got = agent.Score(f.View(), f.affordable);
+    ASSERT_EQ(got.actions.size(), baseline.actions.size());
+    for (size_t i = 0; i < got.actions.size(); ++i) {
+      EXPECT_EQ(got.actions[i].object, baseline.actions[i].object);
+      EXPECT_EQ(got.actions[i].annotator, baseline.actions[i].annotator);
+      EXPECT_EQ(got.scores[i], baseline.scores[i]) << "candidate " << i;
+    }
+    ASSERT_EQ(got.features.rows(), baseline.features.rows());
+    ASSERT_EQ(got.features.cols(), baseline.features.cols());
+    for (size_t i = 0; i < got.features.size(); ++i) {
+      EXPECT_EQ(got.features.data()[i], baseline.features.data()[i]);
+    }
+  }
+}
+
+TEST(ParallelScoringTest, MlpInferOnPoolMatchesSerialBitwise) {
+  Rng rng(7);
+  nn::Mlp mlp({12, 32, 4},
+              {nn::Activation::kRelu, nn::Activation::kIdentity}, &rng);
+  Matrix batch(300, 12);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch.data()[i] = rng.Uniform(-2.0, 2.0);
+  }
+
+  Matrix serial = mlp.Infer(batch);
+  ThreadPool pool(4);
+  Matrix parallel = mlp.Infer(batch, &pool);
+  ASSERT_EQ(parallel.rows(), serial.rows());
+  ASSERT_EQ(parallel.cols(), serial.cols());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel.data()[i], serial.data()[i]) << "element " << i;
+  }
+
+  // nullptr pool falls back to the serial path.
+  Matrix fallback = mlp.Infer(batch, nullptr);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(fallback.data()[i], serial.data()[i]);
+  }
+}
+
+TEST(ParallelScoringTest, JointInferenceIsBitIdenticalAcrossThreadCounts) {
+  crowdrl::testing::SimWorld world =
+      crowdrl::testing::MakeSimWorld(200, 4, 1, 3, 91);
+
+  auto run = [&](int threads) {
+    classifier::MlpClassifier phi(world.dataset.feature_dim(), 2);
+    inference::InferenceInput input;
+    input.answers = world.answers.get();
+    input.num_classes = 2;
+    input.objects = world.objects;
+    input.features = &world.dataset.features;
+    input.classifier = &phi;
+    inference::JointInferenceOptions options;
+    options.threads = threads;
+    inference::JointInference joint(options);
+    inference::InferenceResult result;
+    EXPECT_TRUE(joint.Infer(input, &result).ok());
+    return result;
+  };
+
+  inference::InferenceResult serial = run(1);
+  for (int threads : {2, 4}) {
+    inference::InferenceResult got = run(threads);
+    EXPECT_EQ(got.labels, serial.labels);
+    EXPECT_EQ(got.log_likelihood, serial.log_likelihood);  // Bitwise.
+    EXPECT_EQ(got.iterations, serial.iterations);
+    ASSERT_EQ(got.posteriors.size(), serial.posteriors.size());
+    for (size_t i = 0; i < serial.posteriors.size(); ++i) {
+      EXPECT_EQ(got.posteriors.data()[i], serial.posteriors.data()[i]);
+    }
+    EXPECT_EQ(got.qualities, serial.qualities);
+  }
+}
+
+}  // namespace
+}  // namespace crowdrl::rl

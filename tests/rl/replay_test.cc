@@ -34,6 +34,30 @@ TEST(ReplayBufferTest, RingWrapsRepeatedly) {
   EXPECT_DOUBLE_EQ(sum, 8.0 + 9.0);
 }
 
+TEST(ReplayBufferTest, WraparoundOverwritesOldestFirst) {
+  // After the ring is full, the write cursor walks slot by slot, always
+  // replacing the oldest surviving transition. Track the full contents
+  // through two wraps of a capacity-3 buffer.
+  ReplayBuffer buffer(3);
+  auto contents = [&buffer] {
+    std::vector<double> out;
+    for (size_t i = 0; i < buffer.size(); ++i) {
+      out.push_back(buffer.at(i).reward);
+    }
+    return out;
+  };
+  for (int i = 0; i < 3; ++i) buffer.Add(MakeTransition(i));
+  EXPECT_EQ(contents(), (std::vector<double>{0, 1, 2}));
+  buffer.Add(MakeTransition(3));  // Evicts 0, the oldest.
+  EXPECT_EQ(contents(), (std::vector<double>{3, 1, 2}));
+  buffer.Add(MakeTransition(4));  // Evicts 1.
+  EXPECT_EQ(contents(), (std::vector<double>{3, 4, 2}));
+  buffer.Add(MakeTransition(5));  // Evicts 2.
+  EXPECT_EQ(contents(), (std::vector<double>{3, 4, 5}));
+  buffer.Add(MakeTransition(6));  // Second wrap: evicts 3 again.
+  EXPECT_EQ(contents(), (std::vector<double>{6, 4, 5}));
+}
+
 TEST(ReplayBufferTest, SampleReturnsStoredTransitions) {
   ReplayBuffer buffer(8);
   for (int i = 0; i < 5; ++i) buffer.Add(MakeTransition(i));

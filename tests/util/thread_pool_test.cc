@@ -1,0 +1,110 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace crowdrl {
+namespace {
+
+TEST(ThreadPoolTest, SingleThreadSpawnsNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool clamped(0);
+  EXPECT_EQ(clamped.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, ReportsRequestedConcurrency) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  // Chunks write disjoint slots, so no synchronization is needed and any
+  // double-visit or gap shows up as a wrong count.
+  std::vector<int> visits(1000, 0);
+  pool.ParallelFor(0, visits.size(), 7, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++visits[i];
+  });
+  for (size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SubrangeOnlyTouchesItsIndices) {
+  ThreadPool pool(3);
+  std::vector<int> visits(100, 0);
+  pool.ParallelFor(25, 75, 4, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++visits[i];
+  });
+  for (size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i], (i >= 25 && i < 75) ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, RangeWithinOneGrainRunsInlineAsOneChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  std::thread::id chunk_thread;
+  pool.ParallelFor(0, 10, 64, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+    chunk_thread = std::this_thread::get_id();
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(chunk_thread, std::this_thread::get_id());
+}
+
+TEST(ThreadPoolTest, ZeroGrainIsTreatedAsOne) {
+  ThreadPool pool(2);
+  std::vector<int> visits(20, 0);
+  pool.ParallelFor(0, visits.size(), 0, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++visits[i];
+  });
+  for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(ThreadPoolTest, PerChunkReductionMatchesSerialSum) {
+  // The determinism pattern the hot paths rely on: store per-element terms
+  // (here per-index products), reduce serially afterwards.
+  std::vector<double> terms(5000);
+  ThreadPool pool(4);
+  pool.ParallelFor(0, terms.size(), 33, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      terms[i] = 0.5 * static_cast<double>(i) + 1.0;
+    }
+  });
+  double parallel_sum = 0.0;
+  for (double t : terms) parallel_sum += t;
+
+  double serial_sum = 0.0;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    serial_sum += 0.5 * static_cast<double>(i) + 1.0;
+  }
+  EXPECT_EQ(parallel_sum, serial_sum);  // Bitwise, not approximate.
+}
+
+TEST(ThreadPoolTest, BackToBackDispatchesReuseWorkers) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> count{0};
+    pool.ParallelFor(0, 100, 3, [&](size_t begin, size_t end) {
+      count += end - begin;
+    });
+    ASSERT_EQ(count.load(), 100u) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace crowdrl

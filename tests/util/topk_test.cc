@@ -48,6 +48,36 @@ TEST(TopKTest, NegativeScores) {
   EXPECT_EQ(out[1].second, 3);
 }
 
+TEST(TopKTest, AllNegativeScoreSumAndMin) {
+  // Q-values below zero are routine early in training; the selector must
+  // not treat 0 as an implicit floor when every score is negative.
+  TopK<int> top(3);
+  top.Push(-8.0, 1);
+  top.Push(-2.0, 2);
+  top.Push(-4.0, 3);
+  top.Push(-16.0, 4);
+  EXPECT_EQ(top.size(), 3u);
+  EXPECT_DOUBLE_EQ(top.ScoreSum(), -14.0);  // -2 + -4 + -8.
+  EXPECT_DOUBLE_EQ(top.MinScore(), -8.0);
+  auto out = top.TakeSortedDescending();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].second, 2);
+  EXPECT_EQ(out[1].second, 3);
+  EXPECT_EQ(out[2].second, 1);
+}
+
+TEST(TopKTest, AllNegativeFewerThanK) {
+  TopK<int> top(5);
+  top.Push(-1.5, 7);
+  top.Push(-0.5, 8);
+  EXPECT_EQ(top.size(), 2u);
+  EXPECT_DOUBLE_EQ(top.ScoreSum(), -2.0);
+  auto out = top.TakeSortedDescending();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].second, 8);
+  EXPECT_EQ(out[1].second, 7);
+}
+
 TEST(TopKTest, TakeEmptiesTheSelector) {
   TopK<int> top(2);
   top.Push(1.0, 1);
