@@ -24,14 +24,19 @@ constexpr double kFashionBudget = 160000.0;
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--scale=F] [--seeds=N] [--seed=S] [--full] "
-               "[--threads=T]\n"
+               "[--threads=T] [--checkpoint-dir=D] [--checkpoint-every=N] "
+               "[--resume]\n"
                "  --scale=F    fraction of the paper's dataset size/budget "
                "(default 0.25)\n"
                "  --seeds=N    seeds per cell, metrics averaged (default 1)\n"
                "  --seed=S     base seed (default 100)\n"
                "  --full       paper-scale datasets, dims and budgets\n"
                "  --threads=T  largest thread count in thread sweeps "
-               "(default 4)\n",
+               "(default 4)\n"
+               "  --checkpoint-dir=D    rotating CrowdRL checkpoints in D\n"
+               "  --checkpoint-every=N  checkpoint every N iterations\n"
+               "  --resume              resume CrowdRL from the newest "
+               "checkpoint in D\n",
                argv0);
   std::exit(2);
 }
@@ -66,6 +71,14 @@ BenchConfig ParseArgs(int argc, char** argv) {
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       config.threads = std::atoi(arg + 10);
       if (config.threads <= 0) Usage(argv[0]);
+    } else if (std::strncmp(arg, "--checkpoint-dir=", 17) == 0) {
+      config.checkpoint_dir = arg + 17;
+      if (config.checkpoint_dir.empty()) Usage(argv[0]);
+    } else if (std::strncmp(arg, "--checkpoint-every=", 19) == 0) {
+      config.checkpoint_every =
+          static_cast<size_t>(std::atoll(arg + 19));
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      config.resume = true;
     } else if (std::strcmp(arg, "--full") == 0) {
       config.full = true;
       config.scale = 1.0;
@@ -157,17 +170,22 @@ std::vector<double> PretrainCrowdRl(const BenchConfig& config) {
 }
 
 std::vector<std::unique_ptr<core::LabellingFramework>> MakeAllFrameworks(
-    const std::vector<double>& pretrained_q) {
+    const std::vector<double>& pretrained_q, const BenchConfig* config) {
   std::vector<std::unique_ptr<core::LabellingFramework>> frameworks;
   frameworks.push_back(std::make_unique<baselines::Dlta>());
   frameworks.push_back(std::make_unique<baselines::Oba>());
   frameworks.push_back(std::make_unique<baselines::Idle>());
   frameworks.push_back(std::make_unique<baselines::Dalc>());
   frameworks.push_back(std::make_unique<baselines::Hybrid>());
-  core::CrowdRlConfig config;
-  config.pretrained_q_params = pretrained_q;
+  core::CrowdRlConfig crowdrl_config;
+  crowdrl_config.pretrained_q_params = pretrained_q;
+  if (config != nullptr) {
+    crowdrl_config.checkpoint_dir = config->checkpoint_dir;
+    crowdrl_config.checkpoint_every_n_iterations = config->checkpoint_every;
+    crowdrl_config.resume = config->resume;
+  }
   frameworks.push_back(
-      std::make_unique<core::CrowdRlFramework>(std::move(config)));
+      std::make_unique<core::CrowdRlFramework>(std::move(crowdrl_config)));
   return frameworks;
 }
 

@@ -26,10 +26,18 @@ struct BenchConfig {
   /// Largest worker-thread count exercised by the benches that sweep
   /// thread counts (fig5's candidate-scoring sweep).
   int threads = 4;
+  /// Checkpointing for the CrowdRL entry (crash-safe long benches):
+  /// directory for rotating checkpoint files (empty = off).
+  std::string checkpoint_dir;
+  /// Checkpoint every N labelling iterations (0 = off).
+  size_t checkpoint_every = 0;
+  /// Resume the CrowdRL run from the newest checkpoint in checkpoint_dir.
+  bool resume = false;
 };
 
-/// Parses --scale=F --seeds=N --full --seed=S --threads=T; unknown flags
-/// abort with a usage message.
+/// Parses --scale=F --seeds=N --full --seed=S --threads=T
+/// --checkpoint-dir=D --checkpoint-every=N --resume; unknown flags abort
+/// with a usage message.
 BenchConfig ParseArgs(int argc, char** argv);
 
 /// One evaluation workload: dataset + pool + budget.
@@ -69,9 +77,12 @@ std::vector<double> PretrainCrowdRl(const BenchConfig& config);
 
 /// The six frameworks of Fig. 4-7, in the paper's order:
 /// DLTA, OBA, IDLE, DALC, Hybrid, CrowdRL. `pretrained_q` (may be empty)
-/// warm-starts CrowdRL's Q-network.
+/// warm-starts CrowdRL's Q-network. When `config` is non-null, its
+/// checkpoint flags are applied to the CrowdRL entry (the baselines have
+/// no mutable state worth snapshotting).
 std::vector<std::unique_ptr<core::LabellingFramework>> MakeAllFrameworks(
-    const std::vector<double>& pretrained_q = {});
+    const std::vector<double>& pretrained_q = {},
+    const BenchConfig* config = nullptr);
 
 /// Runs one cell and returns the outcome; aborts the bench on error.
 eval::ExperimentOutcome RunCell(core::LabellingFramework* framework,

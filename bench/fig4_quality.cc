@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
                                              "S3C",  "S3P",  "S3CP",
                                              "Fashion"};
   auto frameworks = crowdrl::bench::MakeAllFrameworks(
-      crowdrl::bench::PretrainCrowdRl(config));
+      crowdrl::bench::PretrainCrowdRl(config), &config);
 
   struct MetricTable {
     const char* title;

@@ -110,6 +110,41 @@ Matrix MlpClassifier::PredictProbsBatch(const Matrix& features) const {
   return out;
 }
 
+void MlpClassifier::SaveState(io::Writer* writer) const {
+  CROWDRL_CHECK(writer != nullptr);
+  writer->WriteSize(feature_dim_);
+  writer->WriteI32(num_classes_);
+  writer->WriteSize(retrain_count_);
+  writer->WriteBool(net_.has_value());
+  if (net_.has_value()) net_->SaveState(writer);
+}
+
+Status MlpClassifier::LoadState(io::Reader* reader) {
+  CROWDRL_CHECK(reader != nullptr);
+  size_t feature_dim = 0;
+  int32_t num_classes = 0;
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&feature_dim));
+  CROWDRL_RETURN_IF_ERROR(reader->ReadI32(&num_classes));
+  if (feature_dim != feature_dim_ || num_classes != num_classes_) {
+    return Status::InvalidArgument("classifier shape mismatch on restore");
+  }
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&retrain_count_));
+  bool has_net = false;
+  CROWDRL_RETURN_IF_ERROR(reader->ReadBool(&has_net));
+  if (!has_net) {
+    net_.reset();
+    return Status::Ok();
+  }
+  // Build a network of the configured architecture (the throwaway init
+  // seed is overwritten by the serialized weights), then restore into it
+  // so LoadState's architecture validation applies.
+  Rng scratch(options_.seed);
+  nn::Mlp net = BuildNetwork(&scratch);
+  CROWDRL_RETURN_IF_ERROR(net.LoadState(reader));
+  net_ = std::move(net);
+  return Status::Ok();
+}
+
 std::unique_ptr<Classifier> MlpClassifier::Clone() const {
   return std::make_unique<MlpClassifier>(*this);
 }

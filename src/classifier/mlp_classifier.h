@@ -50,6 +50,14 @@ class MlpClassifier : public Classifier {
 
   std::unique_ptr<Classifier> Clone() const override;
 
+  /// Checkpointable surface: feature_dim / num_classes (validated on
+  /// restore — InvalidArgument on mismatch), the retrain counter (each
+  /// Train() derives its init seed from it, so resumed retrains stay on
+  /// the uninterrupted run's seed sequence), and the trained network if
+  /// one exists.
+  void SaveState(io::Writer* writer) const;
+  Status LoadState(io::Reader* reader);
+
  private:
   nn::Mlp BuildNetwork(Rng* rng) const;
 

@@ -2,6 +2,7 @@
 #define CROWDRL_CORE_CONFIG_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "classifier/mlp_classifier.h"
@@ -85,6 +86,27 @@ struct CrowdRlConfig {
   /// (the paper's offline "cross training methodology"). Empty = cold
   /// start.
   std::vector<double> pretrained_q_params;
+
+  /// --- Checkpointing (crash-safe, bit-identical resumable runs) ---
+  /// Directory for rotating checkpoint files (ckpt-<iteration>.ckpt).
+  /// Empty disables periodic checkpointing.
+  std::string checkpoint_dir;
+  /// Write a checkpoint after every N completed labelling iterations
+  /// (0 = never). Requires checkpoint_dir.
+  size_t checkpoint_every_n_iterations = 0;
+  /// Checkpoints retained in checkpoint_dir; older ones are deleted after
+  /// each write (0 = keep everything).
+  size_t checkpoint_keep_last = 3;
+  /// Resume from the newest checkpoint in checkpoint_dir when Run starts
+  /// (fresh start if the directory has none). The run must be re-launched
+  /// with the same dataset, pool, budget, and seed; mismatches are
+  /// rejected with InvalidArgument.
+  bool resume = false;
+  /// Simulated crash for testing: stop with Status::Interrupted after this
+  /// many completed labelling iterations (0 = run to completion). The
+  /// interrupted framework keeps its in-progress run state so a checkpoint
+  /// written at the halt point can be resumed.
+  size_t halt_after_iterations = 0;
 };
 
 }  // namespace crowdrl::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "classifier/mlp_classifier.h"
 #include "core/environment.h"
@@ -10,6 +11,7 @@
 #include "math/vector_ops.h"
 #include "rl/dqn_agent.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace crowdrl::core {
 
@@ -121,7 +123,99 @@ std::vector<rl::Assignment> PickTopObjectsRandomAnnotators(
                           /*random_annotators=*/true, rng, chosen);
 }
 
+// Objects selected per iteration: the configured value, or the |O|-scaled
+// default.
+int ResolveBatchObjects(const CrowdRlConfig& config, size_t n) {
+  if (config.batch_objects != 0) return config.batch_objects;
+  return std::clamp(static_cast<int>(n) / 32, 4, 12);
+}
+
+classifier::MlpClassifierOptions MakeClassifierOptions(
+    const CrowdRlConfig& config, uint64_t seed) {
+  classifier::MlpClassifierOptions options = config.classifier;
+  options.seed = seed;
+  return options;
+}
+
+rl::DqnAgentOptions MakeAgentOptions(const CrowdRlConfig& config,
+                                     uint64_t seed) {
+  rl::DqnAgentOptions options = config.agent;
+  options.seed = seed;
+  options.q.feature_dim = rl::StateFeaturizer::kFeatureDim;
+  return options;
+}
+
 }  // namespace
+
+/// Every mutable piece of one labelling run. Construction reproduces the
+/// deterministic setup (seed forks, agent episode, priors); checkpoints
+/// are applied on top of a freshly constructed RunState, which is why a
+/// resumed run must be launched with identical inputs.
+struct CrowdRlFramework::RunState {
+  RunState(const CrowdRlConfig& config, const data::Dataset& dataset,
+           const std::vector<crowd::Annotator>& pool, double budget_in,
+           uint64_t seed_in)
+      : n(dataset.num_objects()),
+        num_classes(dataset.num_classes),
+        num_annotators(pool.size()),
+        budget(budget_in),
+        seed(seed_in),
+        batch_objects(ResolveBatchObjects(config, n)),
+        env(&dataset, &pool, budget_in, Rng(seed_in).Fork(1).seed()),
+        state(n, num_classes),
+        phi(dataset.feature_dim(), num_classes,
+            MakeClassifierOptions(config, Rng(seed_in).Fork(2).seed())),
+        agent(MakeAgentOptions(config, Rng(seed_in).Fork(3).seed())),
+        joint(config.joint),
+        pm(config.pm),
+        local(Rng(seed_in).Fork(4)) {
+    agent.BeginEpisode(n, num_annotators);
+    if (!config.pretrained_q_params.empty()) {
+      agent.q_network().SetFlatParameters(config.pretrained_q_params);
+    }
+    types.reserve(num_annotators);
+    is_expert.reserve(num_annotators);
+    for (const crowd::Annotator& a : pool) {
+      types.push_back(a.type());
+      is_expert.push_back(a.is_expert());
+    }
+    // Zero-knowledge prior quality tr(uniform)/|C| = 1/|C|.
+    qualities.assign(num_annotators, 1.0 / static_cast<double>(num_classes));
+  }
+
+  // Run identity, validated against a checkpoint's meta on restore.
+  size_t n;
+  int num_classes;
+  size_t num_annotators;
+  double budget;
+  uint64_t seed;
+  int batch_objects;
+
+  Environment env;
+  LabelState state;
+  classifier::MlpClassifier phi;
+  rl::DqnAgent agent;
+  inference::JointInference joint;
+  inference::PmInference pm;
+  Rng local;
+
+  std::vector<crowd::AnnotatorType> types;
+  std::vector<bool> is_expert;
+  std::vector<double> qualities;
+  /// phi's class posteriors over all objects. Not serialized: it is a
+  /// deterministic function of the restored phi and is recomputed on
+  /// restore when have_probs says it was valid.
+  Matrix class_probs;
+  bool have_probs = false;
+  double last_log_likelihood = 0.0;
+
+  // Loop progress.
+  bool bootstrapped = false;
+  size_t next_t = 0;
+  size_t iterations = 0;
+  std::vector<double> pending_pair_rewards;
+  bool has_pending = false;
+};
 
 CrowdRlFramework::CrowdRlFramework(CrowdRlConfig config)
     : config_(std::move(config)) {
@@ -131,7 +225,117 @@ CrowdRlFramework::CrowdRlFramework(CrowdRlConfig config)
   if (config_.use_pm_inference) name_ += "-M3";
 }
 
+CrowdRlFramework::~CrowdRlFramework() = default;
+
 const char* CrowdRlFramework::name() const { return name_.c_str(); }
+
+void CrowdRlFramework::BuildSnapshot(io::SnapshotBuilder* builder) const {
+  CROWDRL_CHECK(builder != nullptr && run_state_ != nullptr);
+  const RunState& rs = *run_state_;
+  io::Writer* meta = builder->AddSection("meta");
+  meta->WriteSize(rs.n);
+  meta->WriteI32(rs.num_classes);
+  meta->WriteSize(rs.num_annotators);
+  meta->WriteDouble(rs.budget);
+  meta->WriteU64(rs.seed);
+  meta->WriteBool(rs.bootstrapped);
+  meta->WriteSize(rs.next_t);
+  meta->WriteSize(rs.iterations);
+  meta->WriteBool(rs.has_pending);
+  meta->WriteDoubleVector(rs.pending_pair_rewards);
+  meta->WriteBool(rs.have_probs);
+  meta->WriteDouble(rs.last_log_likelihood);
+  meta->WriteDoubleVector(rs.qualities);
+  rs.env.SaveState(builder->AddSection("env"));
+  rs.state.SaveState(builder->AddSection("labels"));
+  rs.phi.SaveState(builder->AddSection("phi"));
+  rs.agent.SaveState(builder->AddSection("agent"));
+  builder->AddSection("rng")->WriteString(rs.local.SaveStateString());
+}
+
+Status CrowdRlFramework::ApplyRestore(const io::Snapshot& snapshot,
+                                      RunState* rs) const {
+  CROWDRL_CHECK(rs != nullptr);
+  io::Reader meta;
+  CROWDRL_RETURN_IF_ERROR(snapshot.OpenSection("meta", &meta));
+  size_t n = 0;
+  int32_t num_classes = 0;
+  size_t num_annotators = 0;
+  double budget = 0.0;
+  uint64_t seed = 0;
+  CROWDRL_RETURN_IF_ERROR(meta.ReadSize(&n));
+  CROWDRL_RETURN_IF_ERROR(meta.ReadI32(&num_classes));
+  CROWDRL_RETURN_IF_ERROR(meta.ReadSize(&num_annotators));
+  CROWDRL_RETURN_IF_ERROR(meta.ReadDouble(&budget));
+  CROWDRL_RETURN_IF_ERROR(meta.ReadU64(&seed));
+  if (n != rs->n || num_classes != rs->num_classes ||
+      num_annotators != rs->num_annotators || budget != rs->budget ||
+      seed != rs->seed) {
+    return Status::InvalidArgument(StringPrintf(
+        "checkpoint was taken from a different run (checkpoint: %zu objects, "
+        "%d classes, %zu annotators, budget %.3f, seed %llu; this run: %zu, "
+        "%d, %zu, %.3f, %llu)",
+        n, static_cast<int>(num_classes), num_annotators, budget,
+        static_cast<unsigned long long>(seed), rs->n, rs->num_classes,
+        rs->num_annotators, rs->budget,
+        static_cast<unsigned long long>(rs->seed)));
+  }
+  CROWDRL_RETURN_IF_ERROR(meta.ReadBool(&rs->bootstrapped));
+  CROWDRL_RETURN_IF_ERROR(meta.ReadSize(&rs->next_t));
+  CROWDRL_RETURN_IF_ERROR(meta.ReadSize(&rs->iterations));
+  CROWDRL_RETURN_IF_ERROR(meta.ReadBool(&rs->has_pending));
+  CROWDRL_RETURN_IF_ERROR(meta.ReadDoubleVector(&rs->pending_pair_rewards));
+  CROWDRL_RETURN_IF_ERROR(meta.ReadBool(&rs->have_probs));
+  CROWDRL_RETURN_IF_ERROR(meta.ReadDouble(&rs->last_log_likelihood));
+  CROWDRL_RETURN_IF_ERROR(meta.ReadDoubleVector(&rs->qualities));
+  if (rs->qualities.size() != rs->num_annotators) {
+    return Status::DataLoss("quality vector does not match the pool size");
+  }
+  CROWDRL_RETURN_IF_ERROR(meta.ExpectEnd());
+
+  io::Reader section;
+  CROWDRL_RETURN_IF_ERROR(snapshot.OpenSection("env", &section));
+  CROWDRL_RETURN_IF_ERROR(rs->env.LoadState(&section));
+  CROWDRL_RETURN_IF_ERROR(section.ExpectEnd());
+  CROWDRL_RETURN_IF_ERROR(snapshot.OpenSection("labels", &section));
+  CROWDRL_RETURN_IF_ERROR(rs->state.LoadState(&section));
+  CROWDRL_RETURN_IF_ERROR(section.ExpectEnd());
+  CROWDRL_RETURN_IF_ERROR(snapshot.OpenSection("phi", &section));
+  CROWDRL_RETURN_IF_ERROR(rs->phi.LoadState(&section));
+  CROWDRL_RETURN_IF_ERROR(section.ExpectEnd());
+  CROWDRL_RETURN_IF_ERROR(snapshot.OpenSection("agent", &section));
+  CROWDRL_RETURN_IF_ERROR(rs->agent.LoadState(&section));
+  CROWDRL_RETURN_IF_ERROR(section.ExpectEnd());
+  CROWDRL_RETURN_IF_ERROR(snapshot.OpenSection("rng", &section));
+  std::string rng_state;
+  CROWDRL_RETURN_IF_ERROR(section.ReadString(&rng_state));
+  CROWDRL_RETURN_IF_ERROR(rs->local.LoadStateString(rng_state));
+  CROWDRL_RETURN_IF_ERROR(section.ExpectEnd());
+
+  // class_probs is a pure function of the restored phi.
+  if (rs->have_probs) {
+    rs->class_probs = rs->phi.PredictProbsBatch(rs->env.dataset().features);
+  }
+  return Status::Ok();
+}
+
+Status CrowdRlFramework::SaveCheckpoint(const std::string& path) const {
+  if (run_state_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no in-progress run to checkpoint (SaveCheckpoint is valid after "
+        "Run returned Interrupted)");
+  }
+  io::SnapshotBuilder builder;
+  BuildSnapshot(&builder);
+  return builder.WriteFile(path);
+}
+
+Status CrowdRlFramework::LoadCheckpoint(const std::string& path) {
+  auto snapshot = std::make_unique<io::Snapshot>();
+  CROWDRL_RETURN_IF_ERROR(io::Snapshot::ReadFile(path, snapshot.get()));
+  pending_restore_ = std::move(snapshot);
+  return Status::Ok();
+}
 
 Status CrowdRlFramework::Run(const data::Dataset& dataset,
                              const std::vector<crowd::Annotator>& pool,
@@ -150,75 +354,65 @@ Status CrowdRlFramework::Run(const data::Dataset& dataset,
     return Status::InvalidArgument("k and batch_objects must be positive");
   }
 
-  size_t n = dataset.num_objects();
-  int batch_objects = config_.batch_objects;
-  if (batch_objects == 0) {
-    batch_objects =
-        std::clamp(static_cast<int>(n) / 32, 4, 12);  // Auto-scale.
+  // Fresh deterministic setup; a pending checkpoint is applied on top.
+  run_state_ = std::make_unique<RunState>(config_, dataset, pool, budget,
+                                          seed);
+  RunState& rs = *run_state_;
+  size_t n = rs.n;
+  size_t num_annotators = rs.num_annotators;
+  int num_classes = rs.num_classes;
+
+  if (pending_restore_ == nullptr && config_.resume &&
+      !config_.checkpoint_dir.empty()) {
+    std::string latest;
+    Status found = io::FindLatestCheckpoint(config_.checkpoint_dir, &latest);
+    if (found.ok()) {
+      auto snapshot = std::make_unique<io::Snapshot>();
+      Status read = io::Snapshot::ReadFile(latest, snapshot.get());
+      if (!read.ok()) {
+        run_state_.reset();
+        return read;
+      }
+      pending_restore_ = std::move(snapshot);
+    } else if (!found.IsNotFound()) {
+      run_state_.reset();
+      return found;
+    }
   }
-  size_t num_annotators = pool.size();
-  int num_classes = dataset.num_classes;
-
-  Rng root(seed);
-  Environment env(&dataset, &pool, budget, root.Fork(1).seed());
-  LabelState state(n, num_classes);
-
-  classifier::MlpClassifierOptions cls_options = config_.classifier;
-  cls_options.seed = root.Fork(2).seed();
-  classifier::MlpClassifier phi(dataset.feature_dim(), num_classes,
-                                cls_options);
-
-  rl::DqnAgentOptions agent_options = config_.agent;
-  agent_options.seed = root.Fork(3).seed();
-  agent_options.q.feature_dim = rl::StateFeaturizer::kFeatureDim;
-  rl::DqnAgent agent(agent_options);
-  agent.BeginEpisode(n, num_annotators);
-  if (!config_.pretrained_q_params.empty()) {
-    agent.q_network().SetFlatParameters(config_.pretrained_q_params);
+  if (pending_restore_ != nullptr) {
+    std::unique_ptr<io::Snapshot> snapshot = std::move(pending_restore_);
+    Status restored = ApplyRestore(*snapshot, &rs);
+    if (!restored.ok()) {
+      run_state_.reset();
+      return restored;
+    }
   }
-
-  inference::JointInference joint(config_.joint);
-  inference::PmInference pm(config_.pm);
-  Rng local = root.Fork(4);
-
-  std::vector<crowd::AnnotatorType> types;
-  std::vector<bool> is_expert;
-  types.reserve(num_annotators);
-  is_expert.reserve(num_annotators);
-  for (const crowd::Annotator& a : pool) {
-    types.push_back(a.type());
-    is_expert.push_back(a.is_expert());
-  }
-  // Zero-knowledge prior quality tr(uniform)/|C| = 1/|C|.
-  std::vector<double> qualities(num_annotators,
-                                1.0 / static_cast<double>(num_classes));
-  Matrix class_probs;
-  bool have_probs = false;
 
   // Truth inference over every answered object; retrains phi (the joint
   // model retrains it internally, the PM ablation trains it on the hard
   // labels afterwards per Algorithm 1 line 5).
   auto run_inference = [&]() -> Status {
-    std::vector<int> objects = env.AnsweredObjects();
+    std::vector<int> objects = rs.env.AnsweredObjects();
     if (objects.empty()) return Status::Ok();
     inference::InferenceInput input;
-    input.answers = &env.answers();
+    input.answers = &rs.env.answers();
     input.num_classes = num_classes;
     input.objects = objects;
     input.features = &dataset.features;
-    input.annotator_types = &types;
+    input.annotator_types = &rs.types;
     inference::InferenceResult inferred;
     if (config_.use_pm_inference) {
-      CROWDRL_RETURN_IF_ERROR(pm.Infer(input, &inferred));
+      CROWDRL_RETURN_IF_ERROR(rs.pm.Infer(input, &inferred));
     } else {
-      input.classifier = &phi;
-      CROWDRL_RETURN_IF_ERROR(joint.Infer(input, &inferred));
+      input.classifier = &rs.phi;
+      CROWDRL_RETURN_IF_ERROR(rs.joint.Infer(input, &inferred));
     }
     for (size_t row = 0; row < objects.size(); ++row) {
-      state.SetLabel(objects[row], inferred.labels[row],
-                     LabelSource::kInference);
+      rs.state.SetLabel(objects[row], inferred.labels[row],
+                        LabelSource::kInference);
     }
-    qualities = inferred.qualities;
+    rs.qualities = inferred.qualities;
+    rs.last_log_likelihood = inferred.log_likelihood;
     if (config_.use_pm_inference) {
       Matrix train_x(objects.size(), dataset.feature_dim());
       Matrix train_y(objects.size(), static_cast<size_t>(num_classes));
@@ -227,73 +421,87 @@ Status CrowdRlFramework::Run(const data::Dataset& dataset,
                                 static_cast<size_t>(objects[row])));
         train_y.At(row, static_cast<size_t>(inferred.labels[row])) = 1.0;
       }
-      CROWDRL_RETURN_IF_ERROR(phi.Train(train_x, train_y, {}));
+      CROWDRL_RETURN_IF_ERROR(rs.phi.Train(train_x, train_y, {}));
     }
-    class_probs = phi.PredictProbsBatch(dataset.features);
-    have_probs = phi.is_trained();
+    rs.class_probs = rs.phi.PredictProbsBatch(dataset.features);
+    rs.have_probs = rs.phi.is_trained();
     return Status::Ok();
   };
 
   auto make_view = [&]() {
     rl::StateView view;
-    view.answers = &env.answers();
+    view.answers = &rs.env.answers();
     view.num_classes = num_classes;
-    view.annotator_costs = &env.costs();
-    view.annotator_qualities = &qualities;
-    view.annotator_is_expert = &is_expert;
-    view.class_probs = have_probs ? &class_probs : nullptr;
-    view.labelled = &state.labelled_mask();
+    view.annotator_costs = &rs.env.costs();
+    view.annotator_qualities = &rs.qualities;
+    view.annotator_is_expert = &rs.is_expert;
+    view.class_probs = rs.have_probs ? &rs.class_probs : nullptr;
+    view.labelled = &rs.state.labelled_mask();
     view.budget_fraction_remaining =
-        budget > 0.0 ? env.budget().remaining() / budget : 0.0;
-    view.fraction_labelled = state.fraction_labelled();
-    view.max_cost = env.max_cost();
+        budget > 0.0 ? rs.env.budget().remaining() / budget : 0.0;
+    view.fraction_labelled = rs.state.fraction_labelled();
+    view.max_cost = rs.env.max_cost();
     return view;
   };
 
+  // Writes a rotating checkpoint when periodic checkpointing is on and
+  // due at the current iteration count.
+  auto maybe_checkpoint = [&]() -> Status {
+    if (config_.checkpoint_dir.empty() ||
+        config_.checkpoint_every_n_iterations == 0 ||
+        rs.iterations % config_.checkpoint_every_n_iterations != 0) {
+      return Status::Ok();
+    }
+    io::SnapshotBuilder builder;
+    BuildSnapshot(&builder);
+    return io::WriteCheckpointRotating(builder, config_.checkpoint_dir,
+                                       rs.iterations,
+                                       config_.checkpoint_keep_last);
+  };
+
   // --- Bootstrap: label an alpha fraction with k annotators each. ---
-  size_t bootstrap_count = static_cast<size_t>(
-      std::llround(config_.alpha * static_cast<double>(n)));
-  bootstrap_count = std::clamp<size_t>(bootstrap_count, 1, n);
-  std::vector<int> bootstrap = local.SampleWithoutReplacement(
-      static_cast<int>(n), static_cast<int>(bootstrap_count));
-  bool out_of_budget = false;
-  for (int object : bootstrap) {
-    std::vector<int> ids(static_cast<int>(num_annotators));
-    for (size_t j = 0; j < num_annotators; ++j) ids[j] = static_cast<int>(j);
-    local.Shuffle(&ids);
-    int asked = 0;
-    for (int j : ids) {
-      if (asked >= config_.k) break;
-      Status s = env.RequestAnswer(object, j);
-      if (s.IsOutOfBudget()) continue;  // Try a cheaper annotator.
-      CROWDRL_RETURN_IF_ERROR(s);
-      ++asked;
+  // Skipped when a restored checkpoint already carries its outcome.
+  if (!rs.bootstrapped) {
+    size_t bootstrap_count = static_cast<size_t>(
+        std::llround(config_.alpha * static_cast<double>(n)));
+    bootstrap_count = std::clamp<size_t>(bootstrap_count, 1, n);
+    std::vector<int> bootstrap = rs.local.SampleWithoutReplacement(
+        static_cast<int>(n), static_cast<int>(bootstrap_count));
+    for (int object : bootstrap) {
+      std::vector<int> ids(static_cast<int>(num_annotators));
+      for (size_t j = 0; j < num_annotators; ++j) {
+        ids[j] = static_cast<int>(j);
+      }
+      rs.local.Shuffle(&ids);
+      int asked = 0;
+      for (int j : ids) {
+        if (asked >= config_.k) break;
+        Status s = rs.env.RequestAnswer(object, j);
+        if (s.IsOutOfBudget()) continue;  // Try a cheaper annotator.
+        CROWDRL_RETURN_IF_ERROR(s);
+        ++asked;
+      }
+      if (asked == 0) break;  // Budget exhausted mid-bootstrap.
     }
-    if (asked == 0) {
-      out_of_budget = true;
-      break;
-    }
+    CROWDRL_RETURN_IF_ERROR(run_inference());
+    rs.bootstrapped = true;
   }
-  (void)out_of_budget;
-  CROWDRL_RETURN_IF_ERROR(run_inference());
 
   // --- Main labelling loop (Algorithm 1). ---
-  size_t iterations = 0;
-  // Per-pair reward components (mu * agreement + eta * cost) for the last
-  // executed batch, in Commit order; the shared lambda * r_phi term is
-  // added next iteration once the enrichment effect is observable.
-  std::vector<double> pending_pair_rewards;
-  bool has_pending = false;
-  for (size_t t = 0; t < config_.max_iterations; ++t) {
-    size_t unlabelled_before = n - state.num_labelled();
-    size_t enriched = EnrichLabelledSet(phi, dataset.features,
-                                        config_.enrichment, &state);
+  // rs.pending_pair_rewards carries the per-pair reward components
+  // (mu * agreement + eta * cost) for the last executed batch, in Commit
+  // order; the shared lambda * r_phi term is added next iteration once
+  // the enrichment effect is observable.
+  for (size_t t = rs.next_t; t < config_.max_iterations; ++t) {
+    size_t unlabelled_before = n - rs.state.num_labelled();
+    size_t enriched = EnrichLabelledSet(rs.phi, dataset.features,
+                                        config_.enrichment, &rs.state);
 
-    std::vector<bool> affordable = env.AffordableAnnotators();
+    std::vector<bool> affordable = rs.env.AffordableAnnotators();
     rl::StateView view = make_view();
-    bool terminal = state.AllLabelled() || !env.AnyAffordable();
-    if (terminal && state.AllLabelled() && env.AnyAffordable() &&
-        config_.refine_with_leftover_budget && have_probs) {
+    bool terminal = rs.state.AllLabelled() || !rs.env.AnyAffordable();
+    if (terminal && rs.state.AllLabelled() && rs.env.AnyAffordable() &&
+        config_.refine_with_leftover_budget && rs.have_probs) {
       // Refinement: reopen the labelled objects phi is least sure about
       // and spend the leftover budget on additional human answers for
       // them (existing answers are kept; inference re-aggregates).
@@ -303,56 +511,56 @@ Status CrowdRlFramework::Run(const data::Dataset& dataset,
         bool has_valid_pair = false;
         for (size_t j = 0; j < num_annotators; ++j) {
           if (affordable[j] &&
-              !env.answers().HasAnswer(object, static_cast<int>(j))) {
+              !rs.env.answers().HasAnswer(object, static_cast<int>(j))) {
             has_valid_pair = true;
             break;
           }
         }
         if (!has_valid_pair) continue;
-        reopenable.emplace_back(TopTwoGap(class_probs.RowVector(i)),
+        reopenable.emplace_back(TopTwoGap(rs.class_probs.RowVector(i)),
                                 object);
       }
       std::sort(reopenable.begin(), reopenable.end());
       size_t reopen = std::min<size_t>(
           reopenable.size(), static_cast<size_t>(config_.refine_batch));
       for (size_t r = 0; r < reopen; ++r) {
-        state.ClearLabel(reopenable[r].second);
+        rs.state.ClearLabel(reopenable[r].second);
       }
       if (reopen > 0) terminal = false;
     }
-    if (has_pending) {
+    if (rs.has_pending) {
       // The shared r_phi term becomes observable only now: it counts the
       // enrichment enabled by the classifier the action caused to be
       // retrained.
       double shared = SharedEnrichmentReward(config_.reward, enriched,
                                              unlabelled_before);
-      std::vector<double> rewards = pending_pair_rewards;
+      std::vector<double> rewards = rs.pending_pair_rewards;
       for (double& r : rewards) r += shared;
-      agent.ObservePerPair(rewards, view, affordable, terminal);
-      has_pending = false;
+      rs.agent.ObservePerPair(rewards, view, affordable, terminal);
+      rs.has_pending = false;
     }
     if (terminal) break;
-    ++iterations;
+    ++rs.iterations;
 
     // Task selection + assignment (joint policy, or the M1/M2 ablations).
     std::vector<rl::Assignment> assignments;
     if (!config_.random_task_selection && !config_.random_task_assignment) {
-      assignments = agent.SelectBatch(view, config_.k,
-                                      batch_objects, affordable);
+      assignments = rs.agent.SelectBatch(view, config_.k,
+                                         rs.batch_objects, affordable);
     } else {
-      rl::ScoredCandidates candidates = agent.Score(view, affordable);
+      rl::ScoredCandidates candidates = rs.agent.Score(view, affordable);
       std::vector<size_t> chosen;
       if (config_.random_task_selection) {
         assignments = PickRandomObjects(
-            candidates, config_.k, batch_objects, n,
-            /*random_annotators=*/config_.random_task_assignment, &local,
+            candidates, config_.k, rs.batch_objects, n,
+            /*random_annotators=*/config_.random_task_assignment, &rs.local,
             &chosen);
       } else {
         assignments = PickTopObjectsRandomAnnotators(
-            candidates, config_.k, batch_objects, n, &local,
+            candidates, config_.k, rs.batch_objects, n, &rs.local,
             &chosen);
       }
-      agent.Commit(candidates, chosen);
+      rs.agent.Commit(candidates, chosen);
     }
     if (assignments.empty()) break;
 
@@ -366,7 +574,7 @@ Status CrowdRlFramework::Run(const data::Dataset& dataset,
     std::vector<bool> executed(pairs.size(), false);
     bool stop_executing = false;
     for (size_t p = 0; p < pairs.size() && !stop_executing; ++p) {
-      Status s = env.RequestAnswer(pairs[p].first, pairs[p].second);
+      Status s = rs.env.RequestAnswer(pairs[p].first, pairs[p].second);
       if (s.IsOutOfBudget()) {
         stop_executing = true;
         break;
@@ -378,22 +586,36 @@ Status CrowdRlFramework::Run(const data::Dataset& dataset,
     CROWDRL_RETURN_IF_ERROR(run_inference());
 
     // Per-pair reward components, now that the inferred truths are known.
-    pending_pair_rewards.assign(pairs.size(), 0.0);
+    rs.pending_pair_rewards.assign(pairs.size(), 0.0);
     for (size_t p = 0; p < pairs.size(); ++p) {
       if (!executed[p]) continue;  // Never paid: no signal.
       auto [object, annotator] = pairs[p];
-      bool agreed =
-          env.answers().Answer(object, annotator) == state.label(object);
-      pending_pair_rewards[p] = PairReward(
+      bool agreed = rs.env.answers().Answer(object, annotator) ==
+                    rs.state.label(object);
+      rs.pending_pair_rewards[p] = PairReward(
           config_.reward, agreed,
-          env.costs()[static_cast<size_t>(annotator)], env.max_cost());
+          rs.env.costs()[static_cast<size_t>(annotator)], rs.env.max_cost());
     }
-    has_pending = true;
+    rs.has_pending = true;
+
+    // End of iteration t: everything live is inside rs, so this is the
+    // consistent cut point for periodic checkpoints and simulated crashes.
+    rs.next_t = t + 1;
+    CROWDRL_RETURN_IF_ERROR(maybe_checkpoint());
+    if (config_.halt_after_iterations > 0 &&
+        rs.iterations >= config_.halt_after_iterations) {
+      // run_state_ stays alive so SaveCheckpoint can snapshot the halt
+      // point; the next Run constructs a fresh RunState regardless.
+      return Status::Interrupted(StringPrintf(
+          "halted after %zu labelling iterations as configured",
+          rs.iterations));
+    }
   }
-  if (has_pending) {
+  if (rs.has_pending) {
     // Loop left via the iteration cap or an empty candidate set.
-    agent.ObservePerPair(pending_pair_rewards, make_view(),
-                         env.AffordableAnnotators(), /*terminal=*/true);
+    rs.agent.ObservePerPair(rs.pending_pair_rewards, make_view(),
+                            rs.env.AffordableAnnotators(), /*terminal=*/true);
+    rs.has_pending = false;
   }
 
   // --- Finalize: every object must carry a label. ---
@@ -401,33 +623,35 @@ Status CrowdRlFramework::Run(const data::Dataset& dataset,
   // been retrained by every joint-inference round since those objects
   // were first enriched, so its current prediction strictly dominates the
   // snapshot that enriched them.
-  if (phi.is_trained()) {
-    Matrix final_probs = phi.PredictProbsBatch(dataset.features);
+  if (rs.phi.is_trained()) {
+    Matrix final_probs = rs.phi.PredictProbsBatch(dataset.features);
     for (size_t i = 0; i < n; ++i) {
       int object = static_cast<int>(i);
-      if (state.IsLabelled(object) &&
-          state.source(object) == LabelSource::kClassifier) {
-        state.SetLabel(object,
-                       static_cast<int>(Argmax(final_probs.RowVector(i))),
-                       LabelSource::kClassifier);
+      if (rs.state.IsLabelled(object) &&
+          rs.state.source(object) == LabelSource::kClassifier) {
+        rs.state.SetLabel(object,
+                          static_cast<int>(Argmax(final_probs.RowVector(i))),
+                          LabelSource::kClassifier);
       }
     }
   }
-  for (int object : state.UnlabelledObjects()) {
+  for (int object : rs.state.UnlabelledObjects()) {
     int label = 0;
-    if (phi.is_trained()) {
-      label = static_cast<int>(Argmax(phi.PredictProbs(
+    if (rs.phi.is_trained()) {
+      label = static_cast<int>(Argmax(rs.phi.PredictProbs(
           dataset.features.RowVector(static_cast<size_t>(object)))));
     }
-    state.SetLabel(object, label, LabelSource::kFallback);
+    rs.state.SetLabel(object, label, LabelSource::kFallback);
   }
 
-  state.ExportTo(result);
-  result->budget_spent = env.budget().spent();
-  result->iterations = iterations;
-  result->human_answers = env.human_answers();
-  result->final_annotator_qualities = qualities;
-  last_q_parameters_ = agent.q_network().FlatParameters();
+  rs.state.ExportTo(result);
+  result->budget_spent = rs.env.budget().spent();
+  result->iterations = rs.iterations;
+  result->human_answers = rs.env.human_answers();
+  result->final_annotator_qualities = rs.qualities;
+  result->final_log_likelihood = rs.last_log_likelihood;
+  last_q_parameters_ = rs.agent.q_network().FlatParameters();
+  run_state_.reset();
   return Status::Ok();
 }
 

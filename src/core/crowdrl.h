@@ -1,11 +1,13 @@
 #ifndef CROWDRL_CORE_CROWDRL_H_
 #define CROWDRL_CORE_CROWDRL_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/config.h"
 #include "core/framework.h"
+#include "io/snapshot.h"
 
 namespace crowdrl::core {
 
@@ -21,9 +23,16 @@ namespace crowdrl::core {
 /// retrains phi. The iteration reward r(t) = lambda * r_phi + eta * r_cost
 /// feeds experience replay one step delayed, when the enrichment caused by
 /// the action's retrained classifier is observable.
+/// Checkpointing: a run snapshots its complete mutable state — answer
+/// log, budget ledger, label state, classifier, Q-networks, replay
+/// buffer, every RNG stream — into the versioned `io::Snapshot` container
+/// at configurable iteration boundaries (CrowdRlConfig::checkpoint_*).
+/// A run resumed from such a checkpoint (same dataset, pool, budget, and
+/// seed; threads=1) finishes bit-identically to the uninterrupted run.
 class CrowdRlFramework : public LabellingFramework {
  public:
   explicit CrowdRlFramework(CrowdRlConfig config = CrowdRlConfig());
+  ~CrowdRlFramework() override;
 
   Status Run(const data::Dataset& dataset,
              const std::vector<crowd::Annotator>& pool, double budget,
@@ -33,6 +42,20 @@ class CrowdRlFramework : public LabellingFramework {
 
   const CrowdRlConfig& config() const { return config_; }
 
+  /// Writes the in-progress run state to `path` (atomic write-then-
+  /// rename). Valid only while a run is paused — i.e. after Run returned
+  /// Status::Interrupted via CrowdRlConfig::halt_after_iterations;
+  /// FailedPrecondition otherwise. Periodic checkpointing during Run is
+  /// configured with CrowdRlConfig::checkpoint_* instead.
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Reads and validates a snapshot file; the next Run call restores from
+  /// it instead of starting fresh. The run must be launched with the same
+  /// dataset shape, pool, budget, and seed as the checkpointed one
+  /// (InvalidArgument otherwise). Corrupt or truncated files are rejected
+  /// here with DataLoss.
+  Status LoadCheckpoint(const std::string& path);
+
   /// Q-network parameters at the end of the latest Run (empty before the
   /// first run). Feed these into CrowdRlConfig::pretrained_q_params to
   /// warm-start another run (cross training).
@@ -41,9 +64,21 @@ class CrowdRlFramework : public LabellingFramework {
   }
 
  private:
+  /// All mutable state of one labelling run, hoisted out of Run so it can
+  /// be snapshotted mid-loop and survive an Interrupted return. Defined in
+  /// crowdrl.cc.
+  struct RunState;
+
+  void BuildSnapshot(io::SnapshotBuilder* builder) const;
+  Status ApplyRestore(const io::Snapshot& snapshot, RunState* rs) const;
+
   CrowdRlConfig config_;
   std::string name_;
   std::vector<double> last_q_parameters_;
+  /// Alive between an Interrupted Run and the next Run (or destruction).
+  std::unique_ptr<RunState> run_state_;
+  /// Set by LoadCheckpoint (or config_.resume); consumed by the next Run.
+  std::unique_ptr<io::Snapshot> pending_restore_;
 };
 
 /// One offline pre-training workload for the cross-training protocol.

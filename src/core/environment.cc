@@ -87,6 +87,25 @@ bool Environment::AnyAffordable() const {
   return false;
 }
 
+void Environment::SaveState(io::Writer* writer) const {
+  CROWDRL_CHECK(writer != nullptr);
+  budget_.SaveState(writer);
+  answers_.SaveState(writer);
+  writer->WriteString(rng_.SaveStateString());
+  writer->WriteSize(human_answers_);
+}
+
+Status Environment::LoadState(io::Reader* reader) {
+  CROWDRL_CHECK(reader != nullptr);
+  CROWDRL_RETURN_IF_ERROR(budget_.LoadState(reader));
+  CROWDRL_RETURN_IF_ERROR(answers_.LoadState(reader));
+  std::string rng_state;
+  CROWDRL_RETURN_IF_ERROR(reader->ReadString(&rng_state));
+  CROWDRL_RETURN_IF_ERROR(rng_.LoadStateString(rng_state));
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&human_answers_));
+  return Status::Ok();
+}
+
 std::vector<int> Environment::AnsweredObjects() const {
   std::vector<int> out;
   for (size_t i = 0; i < num_objects(); ++i) {

@@ -7,6 +7,7 @@
 #include "crowd/answer_log.h"
 #include "crowd/budget.h"
 #include "data/dataset.h"
+#include "io/serializer.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -56,6 +57,13 @@ class Environment {
   double max_cost() const { return max_cost_; }
 
   Rng* rng() { return &rng_; }
+
+  /// Checkpointable surface: budget ledger, answer log, the environment's
+  /// RNG stream, and the human-answer counter. Restore into an environment
+  /// built over the same dataset / pool / budget / seed (the borrowed
+  /// pointers and derived costs are reconstructed by the constructor).
+  void SaveState(io::Writer* writer) const;
+  Status LoadState(io::Reader* reader);
 
  private:
   const data::Dataset* dataset_;

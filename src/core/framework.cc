@@ -86,6 +86,57 @@ std::vector<int> LabelState::UnlabelledObjects() const {
   return out;
 }
 
+void LabelState::SaveState(io::Writer* writer) const {
+  CROWDRL_CHECK(writer != nullptr);
+  writer->WriteSize(labels_.size());
+  writer->WriteI32(num_classes_);
+  writer->WriteIntVector(labels_);
+  for (LabelSource s : sources_) writer->WriteU8(static_cast<uint8_t>(s));
+}
+
+Status LabelState::LoadState(io::Reader* reader) {
+  CROWDRL_CHECK(reader != nullptr);
+  size_t num_objects = 0;
+  int32_t num_classes = 0;
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&num_objects));
+  CROWDRL_RETURN_IF_ERROR(reader->ReadI32(&num_classes));
+  if (num_objects != labels_.size() || num_classes != num_classes_) {
+    return Status::InvalidArgument("label-state shape mismatch on restore");
+  }
+  std::vector<int> labels;
+  CROWDRL_RETURN_IF_ERROR(reader->ReadIntVector(&labels));
+  if (labels.size() != num_objects) {
+    return Status::DataLoss("label count does not match object count");
+  }
+  std::vector<LabelSource> sources(num_objects);
+  std::vector<bool> labelled(num_objects, false);
+  size_t num_labelled = 0;
+  for (size_t i = 0; i < num_objects; ++i) {
+    uint8_t raw = 0;
+    CROWDRL_RETURN_IF_ERROR(reader->ReadU8(&raw));
+    if (raw > static_cast<uint8_t>(LabelSource::kFallback)) {
+      return Status::DataLoss("unknown label source in snapshot");
+    }
+    sources[i] = static_cast<LabelSource>(raw);
+    if (sources[i] == LabelSource::kNone) {
+      if (labels[i] != -1) {
+        return Status::DataLoss("undecided object carries a label");
+      }
+      continue;
+    }
+    if (labels[i] < 0 || labels[i] >= num_classes_) {
+      return Status::DataLoss("decided label outside the class range");
+    }
+    labelled[i] = true;
+    ++num_labelled;
+  }
+  labels_ = std::move(labels);
+  sources_ = std::move(sources);
+  labelled_ = std::move(labelled);
+  num_labelled_ = num_labelled;
+  return Status::Ok();
+}
+
 void LabelState::ExportTo(LabellingResult* result) const {
   CROWDRL_CHECK(result != nullptr);
   result->labels = labels_;

@@ -5,6 +5,7 @@
 
 #include "crowd/annotator.h"
 #include "data/dataset.h"
+#include "io/serializer.h"
 #include "util/status.h"
 
 namespace crowdrl::core {
@@ -30,6 +31,10 @@ struct LabellingResult {
   /// Estimated tr(Pi-hat)/|C| per annotator at the end of the run (may be
   /// empty for frameworks that never estimate qualities).
   std::vector<double> final_annotator_qualities;
+  /// Log-likelihood of the last truth-inference EM fit, or 0.0 for
+  /// frameworks that never ran inference. Exposed so checkpoint-resume
+  /// equivalence can be asserted on the EM objective, not just the labels.
+  double final_log_likelihood = 0.0;
 
   /// Number of labels decided by each source.
   size_t CountBySource(LabelSource source) const;
@@ -86,6 +91,13 @@ class LabelState {
 
   /// Copies labels/sources into a result.
   void ExportTo(LabellingResult* result) const;
+
+  /// Checkpointable surface: labels and sources (the labelled mask and
+  /// count are rebuilt from the sources). LoadState requires the same
+  /// shape (InvalidArgument otherwise) and rejects labels outside
+  /// [0, num_classes) or inconsistent label/source pairs with DataLoss.
+  void SaveState(io::Writer* writer) const;
+  Status LoadState(io::Reader* reader);
 
  private:
   int num_classes_;

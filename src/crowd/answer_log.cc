@@ -53,6 +53,67 @@ const std::vector<std::pair<int, int>>& AnswerLog::AnswersFor(
   return per_object_[static_cast<size_t>(object)];
 }
 
+void AnswerLog::SaveState(io::Writer* writer) const {
+  CROWDRL_CHECK(writer != nullptr);
+  writer->WriteSize(num_objects_);
+  writer->WriteSize(num_annotators_);
+  for (const auto& answers : per_object_) {
+    writer->WriteSize(answers.size());
+    for (const auto& [annotator, label] : answers) {
+      writer->WriteI32(annotator);
+      writer->WriteI32(label);
+    }
+  }
+}
+
+Status AnswerLog::LoadState(io::Reader* reader) {
+  CROWDRL_CHECK(reader != nullptr);
+  size_t num_objects = 0;
+  size_t num_annotators = 0;
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&num_objects));
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&num_annotators));
+  if (num_objects != num_objects_ || num_annotators != num_annotators_) {
+    return Status::InvalidArgument("answer-log shape mismatch on restore");
+  }
+  // Rebuild the grid by replaying the per-object recording order, with the
+  // same range and no-duplicate invariants Record enforces — but returning
+  // DataLoss instead of aborting, since the bytes come from disk.
+  std::vector<int> answers(num_objects * num_annotators, kNoAnswer);
+  std::vector<std::vector<std::pair<int, int>>> per_object(num_objects);
+  size_t total = 0;
+  for (size_t i = 0; i < num_objects; ++i) {
+    size_t count = 0;
+    CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&count));
+    if (count > num_annotators) {
+      return Status::DataLoss("object has more answers than annotators");
+    }
+    per_object[i].reserve(count);
+    for (size_t a = 0; a < count; ++a) {
+      int32_t annotator = 0;
+      int32_t label = 0;
+      CROWDRL_RETURN_IF_ERROR(reader->ReadI32(&annotator));
+      CROWDRL_RETURN_IF_ERROR(reader->ReadI32(&label));
+      if (annotator < 0 || static_cast<size_t>(annotator) >= num_annotators) {
+        return Status::DataLoss("answer-log annotator out of range");
+      }
+      if (label < 0) {
+        return Status::DataLoss("answer-log label is negative");
+      }
+      size_t idx = i * num_annotators + static_cast<size_t>(annotator);
+      if (answers[idx] != kNoAnswer) {
+        return Status::DataLoss("duplicate answer in serialized log");
+      }
+      answers[idx] = label;
+      per_object[i].emplace_back(annotator, label);
+      ++total;
+    }
+  }
+  answers_ = std::move(answers);
+  per_object_ = std::move(per_object);
+  total_answers_ = total;
+  return Status::Ok();
+}
+
 std::vector<int> AnswerLog::LabelHistogram(int object,
                                            int num_classes) const {
   CROWDRL_CHECK(num_classes >= 2);

@@ -5,6 +5,9 @@
 #include <utility>
 #include <vector>
 
+#include "io/serializer.h"
+#include "util/status.h"
+
 namespace crowdrl::crowd {
 
 /// \brief The labelling-history matrix S (Section III-B): entry (i, j) is
@@ -36,6 +39,14 @@ class AnswerLog {
 
   /// Votes per class for one object.
   std::vector<int> LabelHistogram(int object, int num_classes) const;
+
+  /// Checkpointable surface: the per-object recording order (the grid and
+  /// counters are rebuilt from it). LoadState requires the restored-into
+  /// log to have the same shape (InvalidArgument otherwise) and rejects
+  /// out-of-range annotators, negative labels, and duplicate pairs with
+  /// DataLoss — corrupt bytes never crash.
+  void SaveState(io::Writer* writer) const;
+  Status LoadState(io::Reader* reader);
 
  private:
   size_t Index(int object, int annotator) const;

@@ -30,4 +30,26 @@ Status Budget::Spend(double amount) {
   return Status::Ok();
 }
 
+void Budget::SaveState(io::Writer* writer) const {
+  CROWDRL_CHECK(writer != nullptr);
+  writer->WriteDouble(total_);
+  writer->WriteDouble(spent_);
+}
+
+Status Budget::LoadState(io::Reader* reader) {
+  CROWDRL_CHECK(reader != nullptr);
+  double total = 0.0;
+  double spent = 0.0;
+  CROWDRL_RETURN_IF_ERROR(reader->ReadDouble(&total));
+  CROWDRL_RETURN_IF_ERROR(reader->ReadDouble(&spent));
+  if (total != total_) {
+    return Status::InvalidArgument("budget total mismatch on restore");
+  }
+  if (!(spent >= 0.0) || spent > total + kSlack) {
+    return Status::DataLoss("serialized budget spend outside [0, total]");
+  }
+  spent_ = spent;
+  return Status::Ok();
+}
+
 }  // namespace crowdrl::crowd

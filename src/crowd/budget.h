@@ -1,6 +1,7 @@
 #ifndef CROWDRL_CROWD_BUDGET_H_
 #define CROWDRL_CROWD_BUDGET_H_
 
+#include "io/serializer.h"
 #include "util/status.h"
 
 namespace crowdrl::crowd {
@@ -21,6 +22,11 @@ class Budget {
   /// Debits `amount`; returns OutOfBudget (and debits nothing) if the
   /// remaining budget does not cover it. Negative amounts are rejected.
   Status Spend(double amount);
+
+  /// Checkpointable surface: total (validated against this ledger's total
+  /// on restore — InvalidArgument on mismatch) and the exact spent bits.
+  void SaveState(io::Writer* writer) const;
+  Status LoadState(io::Reader* reader);
 
  private:
   double total_;

@@ -90,6 +90,29 @@ Status ConfusionMatrix::Validate() const {
   return Status::Ok();
 }
 
+void ConfusionMatrix::SaveState(io::Writer* writer) const {
+  CROWDRL_CHECK(writer != nullptr);
+  probs_.SaveState(writer);
+}
+
+Status ConfusionMatrix::LoadState(io::Reader* reader) {
+  CROWDRL_CHECK(reader != nullptr);
+  Matrix probs;
+  CROWDRL_RETURN_IF_ERROR(probs.LoadState(reader));
+  if (probs.rows() != probs_.rows() || probs.cols() != probs_.cols()) {
+    return Status::InvalidArgument(
+        "confusion-matrix class count mismatch on restore");
+  }
+  Matrix previous = std::move(probs_);
+  probs_ = std::move(probs);
+  Status valid = Validate();
+  if (!valid.ok()) {
+    probs_ = std::move(previous);
+    return Status::DataLoss("serialized confusion matrix is not row-stochastic");
+  }
+  return Status::Ok();
+}
+
 void ConfusionMatrix::NormalizeRows() {
   for (size_t r = 0; r < probs_.rows(); ++r) {
     double sum = 0.0;

@@ -54,6 +54,12 @@ class ConfusionMatrix {
   /// Re-normalizes every row to sum to one (call after external edits).
   void NormalizeRows();
 
+  /// Checkpointable surface: the probability matrix, bit-exact. LoadState
+  /// requires the same |C| (InvalidArgument otherwise) and runs Validate()
+  /// on the loaded entries, returning DataLoss for non-stochastic rows.
+  void SaveState(io::Writer* writer) const;
+  Status LoadState(io::Reader* reader);
+
  private:
   Matrix probs_;
 };

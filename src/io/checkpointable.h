@@ -1,0 +1,50 @@
+#ifndef CROWDRL_IO_CHECKPOINTABLE_H_
+#define CROWDRL_IO_CHECKPOINTABLE_H_
+
+#include <concepts>
+
+#include "io/serializer.h"
+#include "util/status.h"
+
+namespace crowdrl::io {
+
+/// \brief The serialization surface every persistable component
+/// implements.
+///
+/// A `Checkpointable` type writes its complete resumable state with
+/// `SaveState(Writer*)` (infallible — the writer is an in-memory buffer)
+/// and restores it with `LoadState(Reader*)`, which returns a `Status`
+/// so corrupt or mismatched payloads are rejected instead of crashing.
+///
+/// Contract:
+///  - Round-tripping must be *bit-exact*: after `LoadState` the object
+///    behaves identically to the one that called `SaveState`, including
+///    any internal RNG streams (this is what makes kill/resume runs
+///    reproduce the uninterrupted run bit-for-bit).
+///  - `LoadState` restores into an object constructed with the *same
+///    configuration* as the saved one; structural parameters that come
+///    from the constructor (shapes, capacities, hyper-parameters) are
+///    validated against the payload and a mismatch yields
+///    `InvalidArgument`.
+///  - `LoadState` must never CHECK-fail or read out of bounds on
+///    attacker-controlled bytes; framing errors yield `DataLoss`.
+///
+/// `crowdrl::Rng` lives below this library in the dependency order, so it
+/// participates through `Rng::SaveStateString()` /
+/// `Rng::LoadStateString()` instead (callers embed the string via
+/// `Writer::WriteString`); everything else — `Matrix`, `nn::Mlp`, the
+/// optimizers, `rl::QNetwork` / `ReplayBuffer` / `DqnAgent`,
+/// `crowd::AnswerLog` / `Budget` / `ConfusionMatrix`,
+/// `classifier::MlpClassifier`, `core::LabelState` and
+/// `core::Environment` — satisfies the concept directly (statically
+/// asserted in tests/io/snapshot_test.cc).
+template <typename T>
+concept Checkpointable = requires(const T& saved, T& restored, Writer* w,
+                                  Reader* r) {
+  { saved.SaveState(w) } -> std::same_as<void>;
+  { restored.LoadState(r) } -> std::same_as<Status>;
+};
+
+}  // namespace crowdrl::io
+
+#endif  // CROWDRL_IO_CHECKPOINTABLE_H_

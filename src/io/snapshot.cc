@@ -1,0 +1,252 @@
+#include "io/snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace crowdrl::io {
+
+namespace fs = std::filesystem;
+
+Writer* SnapshotBuilder::AddSection(const std::string& name) {
+  for (const auto& [existing, writer] : sections_) {
+    CROWDRL_CHECK(existing != name)
+        << "duplicate snapshot section " << name;
+  }
+  sections_.emplace_back(name, std::make_unique<Writer>());
+  return sections_.back().second.get();
+}
+
+std::string SnapshotBuilder::Serialize() const {
+  Writer header;
+  std::string out(kSnapshotMagic, sizeof(kSnapshotMagic));
+  header.WriteU32(kSnapshotFormatVersion);
+  header.WriteU32(static_cast<uint32_t>(sections_.size()));
+  out += header.bytes();
+  for (const auto& [name, writer] : sections_) {
+    Writer frame;
+    frame.WriteU32(static_cast<uint32_t>(name.size()));
+    out += frame.bytes();
+    out += name;
+    Writer length;
+    length.WriteU64(writer->size());
+    out += length.bytes();
+    out += writer->bytes();
+  }
+  uint32_t crc = Crc32(out.data(), out.size());
+  Writer trailer;
+  trailer.WriteU32(crc);
+  out += trailer.bytes();
+  return out;
+}
+
+Status SnapshotBuilder::WriteFile(const std::string& path) const {
+  std::string bytes = Serialize();
+  fs::path target(path);
+  std::error_code ec;
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);  // Best-effort.
+  }
+  fs::path tmp = target;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal(
+          StringPrintf("cannot open %s for writing", tmp.c_str()));
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      return Status::Internal(
+          StringPrintf("short write to %s", tmp.c_str()));
+    }
+  }
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Status::Internal(StringPrintf("rename %s -> %s failed",
+                                         tmp.c_str(), target.c_str()));
+  }
+  return Status::Ok();
+}
+
+Status Snapshot::Parse(std::string bytes, Snapshot* out) {
+  CROWDRL_CHECK(out != nullptr);
+  constexpr size_t kHeaderSize = sizeof(kSnapshotMagic) + 4 + 4;
+  if (bytes.size() < kHeaderSize + 4) {
+    return Status::DataLoss("snapshot too short to hold header + trailer");
+  }
+  if (std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) !=
+      0) {
+    return Status::InvalidArgument("not a CrowdRL snapshot (bad magic)");
+  }
+  // CRC first: a bit flip anywhere (including in section lengths) is
+  // reported as corruption rather than as a confusing framing error.
+  uint32_t stored_crc = 0;
+  {
+    Reader trailer(std::string_view(bytes).substr(bytes.size() - 4));
+    CROWDRL_RETURN_IF_ERROR(trailer.ReadU32(&stored_crc));
+  }
+  uint32_t actual_crc = Crc32(bytes.data(), bytes.size() - 4);
+  if (stored_crc != actual_crc) {
+    return Status::DataLoss(StringPrintf(
+        "snapshot CRC mismatch (stored %08x, computed %08x)", stored_crc,
+        actual_crc));
+  }
+
+  Reader reader(
+      std::string_view(bytes).substr(sizeof(kSnapshotMagic),
+                                     bytes.size() - sizeof(kSnapshotMagic) -
+                                         4));
+  uint32_t version = 0;
+  CROWDRL_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (version != kSnapshotFormatVersion) {
+    return Status::InvalidArgument(StringPrintf(
+        "unsupported snapshot format version %u (expected %u)", version,
+        kSnapshotFormatVersion));
+  }
+  uint32_t count = 0;
+  CROWDRL_RETURN_IF_ERROR(reader.ReadU32(&count));
+
+  std::vector<SectionSpan> sections;
+  size_t cursor = kHeaderSize;
+  for (uint32_t s = 0; s < count; ++s) {
+    uint32_t name_len = 0;
+    CROWDRL_RETURN_IF_ERROR(reader.ReadU32(&name_len));
+    cursor += 4;
+    if (reader.remaining() < name_len) {
+      return Status::DataLoss("truncated snapshot: section name");
+    }
+    std::string name(bytes.data() + cursor, name_len);
+    CROWDRL_RETURN_IF_ERROR(reader.Skip(name_len, "section name"));
+    cursor += name_len;
+    uint64_t payload_len = 0;
+    CROWDRL_RETURN_IF_ERROR(reader.ReadU64(&payload_len));
+    cursor += 8;
+    if (reader.remaining() < payload_len) {
+      return Status::DataLoss(
+          StringPrintf("truncated snapshot: section %s payload",
+                       name.c_str()));
+    }
+    sections.push_back(
+        {std::move(name), cursor, static_cast<size_t>(payload_len)});
+    CROWDRL_RETURN_IF_ERROR(
+        reader.Skip(static_cast<size_t>(payload_len), "section payload"));
+    cursor += static_cast<size_t>(payload_len);
+  }
+  CROWDRL_RETURN_IF_ERROR(reader.ExpectEnd());
+
+  out->bytes_ = std::move(bytes);
+  out->sections_ = std::move(sections);
+  return Status::Ok();
+}
+
+Status Snapshot::ReadFile(const std::string& path, Snapshot* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound(
+        StringPrintf("cannot open snapshot %s", path.c_str()));
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return Status::Internal(
+        StringPrintf("read error on snapshot %s", path.c_str()));
+  }
+  return Parse(std::move(bytes), out);
+}
+
+bool Snapshot::HasSection(const std::string& name) const {
+  for (const SectionSpan& section : sections_) {
+    if (section.name == name) return true;
+  }
+  return false;
+}
+
+Status Snapshot::OpenSection(const std::string& name, Reader* reader) const {
+  CROWDRL_CHECK(reader != nullptr);
+  for (const SectionSpan& section : sections_) {
+    if (section.name == name) {
+      *reader = Reader(
+          std::string_view(bytes_).substr(section.offset, section.length));
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound(
+      StringPrintf("snapshot has no section named %s", name.c_str()));
+}
+
+std::vector<std::string> Snapshot::SectionNames() const {
+  std::vector<std::string> names;
+  names.reserve(sections_.size());
+  for (const SectionSpan& section : sections_) names.push_back(section.name);
+  return names;
+}
+
+std::string CheckpointFileName(size_t iteration) {
+  return StringPrintf("ckpt-%012zu.ckpt", iteration);
+}
+
+namespace {
+
+std::vector<fs::path> ListCheckpoints(const std::string& dir) {
+  std::vector<fs::path> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt-", 0) == 0 &&
+        name.size() > 10 &&  // "ckpt-" + digits + ".ckpt"
+        name.compare(name.size() - 5, 5, ".ckpt") == 0) {
+      found.push_back(entry.path());
+    }
+  }
+  // Zero-padded iteration numbers: filename order == iteration order.
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+}  // namespace
+
+Status WriteCheckpointRotating(const SnapshotBuilder& builder,
+                               const std::string& dir, size_t iteration,
+                               size_t keep_last, std::string* path_out) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("empty checkpoint directory");
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  fs::path target = fs::path(dir) / CheckpointFileName(iteration);
+  CROWDRL_RETURN_IF_ERROR(builder.WriteFile(target.string()));
+  if (path_out != nullptr) *path_out = target.string();
+  if (keep_last > 0) {
+    std::vector<fs::path> existing = ListCheckpoints(dir);
+    if (existing.size() > keep_last) {
+      for (size_t i = 0; i + keep_last < existing.size(); ++i) {
+        fs::remove(existing[i], ec);  // Best-effort cleanup.
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status FindLatestCheckpoint(const std::string& dir, std::string* path_out) {
+  CROWDRL_CHECK(path_out != nullptr);
+  if (dir.empty()) {
+    return Status::InvalidArgument("empty checkpoint directory");
+  }
+  std::vector<fs::path> existing = ListCheckpoints(dir);
+  if (existing.empty()) {
+    return Status::NotFound(
+        StringPrintf("no checkpoints under %s", dir.c_str()));
+  }
+  *path_out = existing.back().string();
+  return Status::Ok();
+}
+
+}  // namespace crowdrl::io

@@ -1,0 +1,107 @@
+#ifndef CROWDRL_IO_SNAPSHOT_H_
+#define CROWDRL_IO_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/serializer.h"
+#include "util/status.h"
+
+namespace crowdrl::io {
+
+/// Snapshot container format (all integers little-endian):
+///
+///   | bytes | field                                    |
+///   |-------|------------------------------------------|
+///   | 8     | magic "CRWDSNAP"                         |
+///   | 4     | format version (u32, currently 1)        |
+///   | 4     | section count (u32)                      |
+///   | ...   | sections, each:                          |
+///   |       |   u32 name length + name bytes           |
+///   |       |   u64 payload length + payload bytes     |
+///   | 4     | CRC32 over every preceding byte          |
+///
+/// A truncated file, a flipped bit, or trailing garbage all fail the
+/// parse with `Status::DataLoss`; a foreign file fails the magic check
+/// with `InvalidArgument`, and a newer format version is rejected with
+/// `InvalidArgument` rather than misread.
+inline constexpr char kSnapshotMagic[8] = {'C', 'R', 'W', 'D',
+                                           'S', 'N', 'A', 'P'};
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// \brief Accumulates named sections and serializes them into the
+/// container format, optionally straight to disk via an atomic
+/// write-then-rename.
+class SnapshotBuilder {
+ public:
+  /// Starts a new section and returns its payload writer (owned by the
+  /// builder, valid until the builder is destroyed). Section names must
+  /// be unique within one snapshot.
+  Writer* AddSection(const std::string& name);
+
+  /// Serializes magic + version + sections + CRC32 trailer.
+  std::string Serialize() const;
+
+  /// Writes atomically: the bytes go to `path + ".tmp"` first and the tmp
+  /// file is renamed over `path` only after a successful write, so a
+  /// crash mid-write can never leave a half-written file at `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::unique_ptr<Writer>>> sections_;
+};
+
+/// \brief A parsed snapshot: owns the raw bytes and exposes per-section
+/// readers.
+class Snapshot {
+ public:
+  /// Parses (and takes ownership of) `bytes`; validates magic, version,
+  /// section framing, and the CRC32 trailer.
+  static Status Parse(std::string bytes, Snapshot* out);
+
+  /// Reads and parses a snapshot file.
+  static Status ReadFile(const std::string& path, Snapshot* out);
+
+  bool HasSection(const std::string& name) const;
+
+  /// Positions `reader` over the section payload; NotFound for a missing
+  /// section name.
+  Status OpenSection(const std::string& name, Reader* reader) const;
+
+  std::vector<std::string> SectionNames() const;
+
+ private:
+  struct SectionSpan {
+    std::string name;
+    size_t offset = 0;
+    size_t length = 0;
+  };
+
+  std::string bytes_;
+  std::vector<SectionSpan> sections_;
+};
+
+/// Checkpoint-directory conventions: files are named
+/// `ckpt-<iteration, zero-padded>.ckpt` so lexicographic order equals
+/// iteration order.
+std::string CheckpointFileName(size_t iteration);
+
+/// Atomically writes the snapshot as `dir/ckpt-<iteration>.ckpt`
+/// (creating `dir` if needed), then deletes the oldest checkpoints beyond
+/// `keep_last` (0 keeps everything). Returns the written path via
+/// `path_out` when non-null.
+Status WriteCheckpointRotating(const SnapshotBuilder& builder,
+                               const std::string& dir, size_t iteration,
+                               size_t keep_last,
+                               std::string* path_out = nullptr);
+
+/// Finds the newest `ckpt-*.ckpt` in `dir`; NotFound when the directory
+/// is missing or holds no checkpoints.
+Status FindLatestCheckpoint(const std::string& dir, std::string* path_out);
+
+}  // namespace crowdrl::io
+
+#endif  // CROWDRL_IO_SNAPSHOT_H_

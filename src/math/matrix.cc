@@ -114,4 +114,28 @@ double Matrix::MaxAbs() const {
   return best;
 }
 
+void Matrix::SaveState(io::Writer* writer) const {
+  CROWDRL_CHECK(writer != nullptr);
+  writer->WriteSize(rows_);
+  writer->WriteSize(cols_);
+  writer->WriteDoubleVector(data_);
+}
+
+Status Matrix::LoadState(io::Reader* reader) {
+  CROWDRL_CHECK(reader != nullptr);
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<double> data;
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&rows));
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&cols));
+  CROWDRL_RETURN_IF_ERROR(reader->ReadDoubleVector(&data));
+  if (data.size() != rows * cols) {
+    return Status::DataLoss("matrix element count does not match shape");
+  }
+  rows_ = rows;
+  cols_ = cols;
+  data_ = std::move(data);
+  return Status::Ok();
+}
+
 }  // namespace crowdrl

@@ -4,8 +4,10 @@
 #include <cstddef>
 #include <vector>
 
+#include "io/serializer.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace crowdrl {
 
@@ -103,6 +105,12 @@ class Matrix {
   bool SameShape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
+
+  /// Checkpointable surface: shape + raw element bits (bit-exact
+  /// round-trip). LoadState accepts any shape — callers that require a
+  /// fixed shape validate after loading.
+  void SaveState(io::Writer* writer) const;
+  Status LoadState(io::Reader* reader);
 
  private:
   size_t rows_;

@@ -173,6 +173,51 @@ void Mlp::SetFlatParameters(const std::vector<double>& flat) {
   }
 }
 
+void Mlp::SaveState(io::Writer* writer) const {
+  CROWDRL_CHECK(writer != nullptr);
+  writer->WriteSize(sizes_.size());
+  for (size_t s : sizes_) writer->WriteSize(s);
+  for (const Layer& layer : layers_) {
+    writer->WriteU8(static_cast<uint8_t>(layer.activation));
+    layer.weight.SaveState(writer);
+    writer->WriteDoubleVector(layer.bias);
+  }
+}
+
+Status Mlp::LoadState(io::Reader* reader) {
+  CROWDRL_CHECK(reader != nullptr);
+  size_t num_sizes = 0;
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&num_sizes));
+  if (num_sizes != sizes_.size()) {
+    return Status::InvalidArgument("MLP depth mismatch on restore");
+  }
+  for (size_t i = 0; i < num_sizes; ++i) {
+    size_t s = 0;
+    CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&s));
+    if (s != sizes_[i]) {
+      return Status::InvalidArgument("MLP layer width mismatch on restore");
+    }
+  }
+  for (Layer& layer : layers_) {
+    uint8_t act = 0;
+    CROWDRL_RETURN_IF_ERROR(reader->ReadU8(&act));
+    if (static_cast<Activation>(act) != layer.activation) {
+      return Status::InvalidArgument("MLP activation mismatch on restore");
+    }
+    Matrix weight;
+    std::vector<double> bias;
+    CROWDRL_RETURN_IF_ERROR(weight.LoadState(reader));
+    CROWDRL_RETURN_IF_ERROR(reader->ReadDoubleVector(&bias));
+    if (!weight.SameShape(layer.weight) || bias.size() != layer.bias.size()) {
+      return Status::DataLoss("MLP parameter shape mismatch on restore");
+    }
+    layer.weight = std::move(weight);
+    layer.bias = std::move(bias);
+  }
+  ZeroGrad();
+  return Status::Ok();
+}
+
 void Mlp::BlendFrom(const Mlp& other, double tau) {
   CROWDRL_CHECK(sizes_ == other.sizes_);
   CROWDRL_CHECK(tau >= 0.0 && tau <= 1.0);

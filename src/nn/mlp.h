@@ -78,6 +78,13 @@ class Mlp {
   /// Requires identical architecture.
   void BlendFrom(const Mlp& other, double tau);
 
+  /// Checkpointable surface: architecture (validated on load — the
+  /// restored-into network must have been built with the same layer
+  /// sizes and activations) plus every weight and bias, bit-exact.
+  /// Gradients and forward caches are transient and reset by LoadState.
+  void SaveState(io::Writer* writer) const;
+  Status LoadState(io::Reader* reader);
+
  private:
   struct Layer {
     Matrix weight;  // out x in

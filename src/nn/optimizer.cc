@@ -22,6 +22,37 @@ void Optimizer::Step(Mlp* net) {
   net->ZeroGrad();
 }
 
+void Optimizer::SaveState(io::Writer* writer) const {
+  CROWDRL_CHECK(writer != nullptr);
+  writer->WriteSize(bound_size_);
+}
+
+Status Optimizer::LoadState(io::Reader* reader) {
+  CROWDRL_CHECK(reader != nullptr);
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&bound_size_));
+  return Status::Ok();
+}
+
+void Optimizer::SaveBuffers(io::Writer* writer,
+                            const std::vector<std::vector<double>>& buffers) {
+  writer->WriteSize(buffers.size());
+  for (const std::vector<double>& buffer : buffers) {
+    writer->WriteDoubleVector(buffer);
+  }
+}
+
+Status Optimizer::LoadBuffers(io::Reader* reader,
+                              std::vector<std::vector<double>>* buffers) {
+  size_t count = 0;
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&count));
+  std::vector<std::vector<double>> loaded(count);
+  for (std::vector<double>& buffer : loaded) {
+    CROWDRL_RETURN_IF_ERROR(reader->ReadDoubleVector(&buffer));
+  }
+  *buffers = std::move(loaded);
+  return Status::Ok();
+}
+
 Sgd::Sgd(double learning_rate, double momentum, double weight_decay)
     : learning_rate_(learning_rate),
       momentum_(momentum),
@@ -50,6 +81,16 @@ void Sgd::ApplyUpdate(std::vector<ParamView>* views) {
   }
 }
 
+void Sgd::SaveState(io::Writer* writer) const {
+  Optimizer::SaveState(writer);
+  SaveBuffers(writer, velocity_);
+}
+
+Status Sgd::LoadState(io::Reader* reader) {
+  CROWDRL_RETURN_IF_ERROR(Optimizer::LoadState(reader));
+  return LoadBuffers(reader, &velocity_);
+}
+
 Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon,
            double weight_decay)
     : learning_rate_(learning_rate),
@@ -61,6 +102,20 @@ Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon,
   CROWDRL_CHECK(beta1 >= 0.0 && beta1 < 1.0);
   CROWDRL_CHECK(beta2 >= 0.0 && beta2 < 1.0);
   CROWDRL_CHECK(epsilon > 0.0);
+}
+
+void Adam::SaveState(io::Writer* writer) const {
+  Optimizer::SaveState(writer);
+  writer->WriteSize(step_);
+  SaveBuffers(writer, m_);
+  SaveBuffers(writer, v_);
+}
+
+Status Adam::LoadState(io::Reader* reader) {
+  CROWDRL_RETURN_IF_ERROR(Optimizer::LoadState(reader));
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&step_));
+  CROWDRL_RETURN_IF_ERROR(LoadBuffers(reader, &m_));
+  return LoadBuffers(reader, &v_);
 }
 
 void Adam::ApplyUpdate(std::vector<ParamView>* views) {

@@ -21,8 +21,20 @@ class Optimizer {
   /// zeroes them.
   void Step(Mlp* net);
 
+  /// Checkpointable surface: the bound parameter count plus all moment
+  /// buffers (and the step counter for Adam), bit-exact. Restore into an
+  /// optimizer constructed with the same hyperparameters; hyperparameters
+  /// themselves are config, not state, and are not serialized.
+  virtual void SaveState(io::Writer* writer) const;
+  virtual Status LoadState(io::Reader* reader);
+
  protected:
   virtual void ApplyUpdate(std::vector<ParamView>* views) = 0;
+
+  static void SaveBuffers(io::Writer* writer,
+                          const std::vector<std::vector<double>>& buffers);
+  static Status LoadBuffers(io::Reader* reader,
+                            std::vector<std::vector<double>>* buffers);
 
   size_t bound_size_ = 0;
 };
@@ -32,6 +44,9 @@ class Sgd : public Optimizer {
  public:
   explicit Sgd(double learning_rate, double momentum = 0.0,
                double weight_decay = 0.0);
+
+  void SaveState(io::Writer* writer) const override;
+  Status LoadState(io::Reader* reader) override;
 
  protected:
   void ApplyUpdate(std::vector<ParamView>* views) override;
@@ -49,6 +64,9 @@ class Adam : public Optimizer {
   explicit Adam(double learning_rate, double beta1 = 0.9,
                 double beta2 = 0.999, double epsilon = 1e-8,
                 double weight_decay = 0.0);
+
+  void SaveState(io::Writer* writer) const override;
+  Status LoadState(io::Reader* reader) override;
 
  protected:
   void ApplyUpdate(std::vector<ParamView>* views) override;

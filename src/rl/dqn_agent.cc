@@ -226,6 +226,48 @@ std::vector<Assignment> DqnAgent::SelectBatch(
   return assignments;
 }
 
+void DqnAgent::SaveState(io::Writer* writer) const {
+  CROWDRL_CHECK(writer != nullptr);
+  q_network_.SaveState(writer);
+  replay_.SaveState(writer);
+  writer->WriteString(rng_.SaveStateString());
+  writer->WriteDouble(epsilon_);
+  writer->WriteSize(episode_objects_);
+  writer->WriteSize(episode_annotators_);
+  writer->WriteIntVector(selection_counts_);
+  writer->WriteSize(total_selections_);
+  writer->WriteSize(pending_.size());
+  for (const std::vector<double>& features : pending_) {
+    writer->WriteDoubleVector(features);
+  }
+}
+
+Status DqnAgent::LoadState(io::Reader* reader) {
+  CROWDRL_CHECK(reader != nullptr);
+  CROWDRL_RETURN_IF_ERROR(q_network_.LoadState(reader));
+  CROWDRL_RETURN_IF_ERROR(replay_.LoadState(reader));
+  std::string rng_state;
+  CROWDRL_RETURN_IF_ERROR(reader->ReadString(&rng_state));
+  CROWDRL_RETURN_IF_ERROR(rng_.LoadStateString(rng_state));
+  CROWDRL_RETURN_IF_ERROR(reader->ReadDouble(&epsilon_));
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&episode_objects_));
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&episode_annotators_));
+  CROWDRL_RETURN_IF_ERROR(reader->ReadIntVector(&selection_counts_));
+  if (selection_counts_.size() != episode_objects_ * episode_annotators_) {
+    return Status::DataLoss(
+        "UCB selection counts do not match the episode shape");
+  }
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&total_selections_));
+  size_t num_pending = 0;
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&num_pending));
+  std::vector<std::vector<double>> pending(num_pending);
+  for (std::vector<double>& features : pending) {
+    CROWDRL_RETURN_IF_ERROR(reader->ReadDoubleVector(&features));
+  }
+  pending_ = std::move(pending);
+  return Status::Ok();
+}
+
 void DqnAgent::Observe(double reward, const StateView& next_view,
                        const std::vector<bool>& annotator_affordable,
                        bool terminal) {

@@ -126,6 +126,13 @@ class DqnAgent {
   double current_epsilon() const { return epsilon_; }
   Rng* rng() { return &rng_; }
 
+  /// Checkpointable surface: Q-networks, replay contents, the agent's RNG
+  /// stream, exploration state (epsilon, UCB counts), episode shape, and
+  /// pending transitions — everything needed to resume mid-episode
+  /// bit-identically. Restore into an agent built with the same options.
+  void SaveState(io::Writer* writer) const;
+  Status LoadState(io::Reader* reader);
+
  private:
   /// Enumerates valid pairs and fills features (one candidate per row).
   std::vector<Action> EnumerateCandidates(

@@ -89,6 +89,23 @@ void QNetwork::SyncTargetIfDue() {
   }
 }
 
+void QNetwork::SaveState(io::Writer* writer) const {
+  CROWDRL_CHECK(writer != nullptr);
+  online_.SaveState(writer);
+  target_.SaveState(writer);
+  optimizer_.SaveState(writer);
+  writer->WriteSize(train_steps_);
+}
+
+Status QNetwork::LoadState(io::Reader* reader) {
+  CROWDRL_CHECK(reader != nullptr);
+  CROWDRL_RETURN_IF_ERROR(online_.LoadState(reader));
+  CROWDRL_RETURN_IF_ERROR(target_.LoadState(reader));
+  CROWDRL_RETURN_IF_ERROR(optimizer_.LoadState(reader));
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&train_steps_));
+  return Status::Ok();
+}
+
 std::vector<double> QNetwork::FlatParameters() const {
   return online_.FlatParameters();
 }

@@ -67,6 +67,12 @@ class QNetwork {
   std::vector<double> FlatParameters() const;
   void SetFlatParameters(const std::vector<double>& params);
 
+  /// Checkpointable surface: online and target networks, optimizer
+  /// moments, and the train-step counter, bit-exact. Restore into a
+  /// QNetwork constructed with the same options.
+  void SaveState(io::Writer* writer) const;
+  Status LoadState(io::Reader* reader);
+
  private:
   void SyncTargetIfDue();
 

@@ -41,4 +41,47 @@ void ReplayBuffer::Clear() {
   next_ = 0;
 }
 
+void ReplayBuffer::SaveState(io::Writer* writer) const {
+  CROWDRL_CHECK(writer != nullptr);
+  writer->WriteSize(capacity_);
+  writer->WriteSize(next_);
+  writer->WriteSize(buffer_.size());
+  for (const Transition& t : buffer_) {
+    writer->WriteDoubleVector(t.features);
+    writer->WriteDouble(t.reward);
+    writer->WriteDouble(t.next_max_q);
+    writer->WriteBool(t.terminal);
+  }
+}
+
+Status ReplayBuffer::LoadState(io::Reader* reader) {
+  CROWDRL_CHECK(reader != nullptr);
+  size_t capacity = 0;
+  size_t next = 0;
+  size_t count = 0;
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&capacity));
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&next));
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&count));
+  if (capacity != capacity_) {
+    return Status::InvalidArgument("replay-buffer capacity mismatch on restore");
+  }
+  if (count > capacity) {
+    return Status::DataLoss("replay buffer larger than its capacity");
+  }
+  // The cursor is unused until the buffer fills, then must point inside it.
+  if (count < capacity ? next != 0 : next >= capacity) {
+    return Status::DataLoss("replay-buffer cursor outside stored contents");
+  }
+  std::vector<Transition> loaded(count);
+  for (Transition& t : loaded) {
+    CROWDRL_RETURN_IF_ERROR(reader->ReadDoubleVector(&t.features));
+    CROWDRL_RETURN_IF_ERROR(reader->ReadDouble(&t.reward));
+    CROWDRL_RETURN_IF_ERROR(reader->ReadDouble(&t.next_max_q));
+    CROWDRL_RETURN_IF_ERROR(reader->ReadBool(&t.terminal));
+  }
+  buffer_ = std::move(loaded);
+  next_ = next;
+  return Status::Ok();
+}
+
 }  // namespace crowdrl::rl

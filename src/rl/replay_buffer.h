@@ -4,7 +4,9 @@
 #include <cstddef>
 #include <vector>
 
+#include "io/serializer.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace crowdrl::rl {
 
@@ -40,6 +42,13 @@ class ReplayBuffer {
   std::vector<const Transition*> Sample(size_t batch, Rng* rng) const;
 
   void Clear();
+
+  /// Checkpointable surface: every stored transition plus the ring
+  /// cursor, bit-exact. LoadState requires the restored-into buffer to
+  /// have the same capacity (InvalidArgument otherwise) and rejects a
+  /// cursor outside the stored contents (DataLoss).
+  void SaveState(io::Writer* writer) const;
+  Status LoadState(io::Reader* reader);
 
  private:
   size_t capacity_;

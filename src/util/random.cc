@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
 
 namespace crowdrl {
 
@@ -45,9 +46,29 @@ std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
   return pool;
 }
 
+std::string Rng::SaveStateString() const {
+  std::ostringstream out;
+  out << seed_ << ' ' << engine_;
+  return out.str();
+}
+
+Status Rng::LoadStateString(const std::string& state) {
+  std::istringstream in(state);
+  uint64_t seed = 0;
+  std::mt19937_64 engine;
+  in >> seed >> engine;
+  if (in.fail()) {
+    return Status::DataLoss("unparseable Rng state");
+  }
+  seed_ = seed;
+  engine_ = engine;
+  return Status::Ok();
+}
+
 Rng Rng::Fork(uint64_t tag) const {
   // SplitMix64-style mixing of (seed, tag) so child streams are
-  // decorrelated from the parent and from each other.
+  // decorrelated from the parent and from each other. Deliberately
+  // engine-independent: see the restore guarantee in the header.
   uint64_t z = seed_ + 0x9E3779B97F4A7C15ULL * (tag + 1);
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;

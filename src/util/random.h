@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace crowdrl {
 
@@ -71,7 +73,22 @@ class Rng {
 
   /// Derives an independent child generator. Children with different tags
   /// (or from different parents) produce decorrelated streams.
+  ///
+  /// Restore guarantee (relied on by the checkpoint subsystem): forking is
+  /// a *pure function of (seed(), tag)* — it never reads or advances the
+  /// parent's engine stream. A parent restored via `LoadStateString`
+  /// therefore yields bit-identical children for the same tags, no matter
+  /// how many draws the parent made before or after the snapshot, and
+  /// `Fork` itself never perturbs the parent's resumed stream. Any future
+  /// derivation path must preserve this property (see random_test.cc).
   Rng Fork(uint64_t tag) const;
+
+  /// Serializes the complete sampling state — the construction seed plus
+  /// the current mt19937_64 stream position/state — as text. Restoring it
+  /// with `LoadStateString` continues the stream exactly where it left
+  /// off *and* reproduces `Fork` children (which derive from the seed).
+  std::string SaveStateString() const;
+  Status LoadStateString(const std::string& state);
 
   uint64_t seed() const { return seed_; }
 

@@ -18,6 +18,10 @@ const char* CodeName(Status::Code code) {
       return "FAILED_PRECONDITION";
     case Status::Code::kInternal:
       return "INTERNAL";
+    case Status::Code::kDataLoss:
+      return "DATA_LOSS";
+    case Status::Code::kInterrupted:
+      return "INTERRUPTED";
   }
   return "UNKNOWN";
 }

@@ -20,6 +20,8 @@ class Status {
     kOutOfBudget,
     kFailedPrecondition,
     kInternal,
+    kDataLoss,     ///< Corrupt or truncated persistent data (snapshots).
+    kInterrupted,  ///< A run stopped early on purpose (simulated crash).
   };
 
   Status() : code_(Code::kOk) {}
@@ -45,6 +47,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(Code::kDataLoss, std::move(msg));
+  }
+  static Status Interrupted(std::string msg) {
+    return Status(Code::kInterrupted, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -60,6 +68,8 @@ class Status {
     return code_ == Code::kFailedPrecondition;
   }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsDataLoss() const { return code_ == Code::kDataLoss; }
+  bool IsInterrupted() const { return code_ == Code::kInterrupted; }
 
  private:
   Status(Code code, std::string msg)

@@ -1,0 +1,255 @@
+// Property test for the checkpoint & resume subsystem: a run killed at
+// iteration t and resumed from its newest checkpoint must finish
+// bit-identically to the uninterrupted run — same labels, budget spent,
+// iteration count, human answers, per-annotator qualities, and EM
+// log-likelihood. Corrupt or mismatched checkpoints must be rejected with
+// a descriptive Status, never a crash.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/crowdrl.h"
+#include "io/snapshot.h"
+
+namespace crowdrl::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr double kBudget = 500.0;
+constexpr uint64_t kSeed = 9;
+
+struct Workload {
+  data::Dataset dataset;
+  std::vector<crowd::Annotator> pool;
+
+  Workload() {
+    data::GaussianMixtureOptions options;
+    options.num_objects = 150;
+    options.view = {10, 2.6, 0.5};
+    options.seed = 3;
+    dataset = data::MakeGaussianMixture(options);
+    crowd::PoolOptions pool_options;
+    pool_options.num_workers = 3;
+    pool_options.num_experts = 2;
+    pool_options.seed = 4;
+    pool = crowd::MakePool(pool_options);
+  }
+};
+
+const Workload& SharedWorkload() {
+  static const Workload* workload = new Workload();
+  return *workload;
+}
+
+// The uninterrupted run every interrupted+resumed run must reproduce.
+const LabellingResult& Reference() {
+  static const LabellingResult* reference = [] {
+    auto* result = new LabellingResult();
+    const Workload& w = SharedWorkload();
+    CrowdRlFramework framework((CrowdRlConfig()));
+    Status status = framework.Run(w.dataset, w.pool, kBudget, kSeed, result);
+    CROWDRL_CHECK(status.ok()) << status.ToString();
+    return result;
+  }();
+  return *reference;
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir =
+      ::testing::TempDir() + "crowdrl_resume_test_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+CrowdRlConfig CheckpointingConfig(const std::string& dir,
+                                  size_t halt_after) {
+  CrowdRlConfig config;
+  config.checkpoint_dir = dir;
+  config.checkpoint_every_n_iterations = 1;
+  config.halt_after_iterations = halt_after;
+  return config;
+}
+
+// Runs with checkpoints + a simulated crash after `halt_after`
+// iterations; returns the directory holding the checkpoints.
+std::string CrashAt(size_t halt_after, const std::string& dir_name) {
+  const Workload& w = SharedWorkload();
+  std::string dir = FreshDir(dir_name);
+  CrowdRlFramework framework(CheckpointingConfig(dir, halt_after));
+  LabellingResult ignored;
+  Status status = framework.Run(w.dataset, w.pool, kBudget, kSeed, &ignored);
+  EXPECT_TRUE(status.IsInterrupted()) << status.ToString();
+  return dir;
+}
+
+void ExpectBitIdentical(const LabellingResult& resumed) {
+  const LabellingResult& reference = Reference();
+  EXPECT_EQ(resumed.labels, reference.labels);
+  EXPECT_EQ(resumed.sources, reference.sources);
+  EXPECT_EQ(resumed.budget_spent, reference.budget_spent);
+  EXPECT_EQ(resumed.iterations, reference.iterations);
+  EXPECT_EQ(resumed.human_answers, reference.human_answers);
+  EXPECT_EQ(resumed.final_annotator_qualities,
+            reference.final_annotator_qualities);
+  EXPECT_EQ(resumed.final_log_likelihood, reference.final_log_likelihood);
+}
+
+class ResumeCutTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ResumeCutTest, ResumeReproducesUninterruptedRunBitForBit) {
+  const size_t cut = GetParam();
+  // Make sure the cut lands strictly mid-run.
+  ASSERT_GT(Reference().iterations, cut);
+
+  const Workload& w = SharedWorkload();
+  std::string dir =
+      CrashAt(cut, "cut" + std::to_string(cut));
+
+  CrowdRlConfig config = CheckpointingConfig(dir, /*halt_after=*/0);
+  config.resume = true;
+  CrowdRlFramework framework(config);
+  LabellingResult resumed;
+  ASSERT_TRUE(
+      framework.Run(w.dataset, w.pool, kBudget, kSeed, &resumed).ok());
+  ExpectBitIdentical(resumed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, ResumeCutTest, ::testing::Values(1, 2, 4));
+
+TEST(CheckpointResumeTest, ExplicitSaveAndLoadCheckpoint) {
+  const Workload& w = SharedWorkload();
+  std::string dir = FreshDir("explicit");
+  std::string path = dir + "/manual.ckpt";
+  {
+    // Pause (no periodic checkpoints) and save explicitly.
+    CrowdRlConfig config;
+    config.halt_after_iterations = 2;
+    CrowdRlFramework framework(config);
+    LabellingResult ignored;
+    ASSERT_TRUE(framework.Run(w.dataset, w.pool, kBudget, kSeed, &ignored)
+                    .IsInterrupted());
+    ASSERT_TRUE(framework.SaveCheckpoint(path).ok());
+  }
+  CrowdRlFramework framework((CrowdRlConfig()));
+  ASSERT_TRUE(framework.LoadCheckpoint(path).ok());
+  LabellingResult resumed;
+  ASSERT_TRUE(
+      framework.Run(w.dataset, w.pool, kBudget, kSeed, &resumed).ok());
+  ExpectBitIdentical(resumed);
+}
+
+TEST(CheckpointResumeTest, SaveCheckpointWithoutPausedRunFails) {
+  CrowdRlFramework framework((CrowdRlConfig()));
+  EXPECT_TRUE(framework
+                  .SaveCheckpoint(FreshDir("no_run") + "/x.ckpt")
+                  .IsFailedPrecondition());
+}
+
+TEST(CheckpointResumeTest, ResumeWithEmptyDirRunsFresh) {
+  // resume=true with no checkpoint present is not an error — a first run
+  // under a restart-on-failure supervisor starts from scratch.
+  const Workload& w = SharedWorkload();
+  CrowdRlConfig config = CheckpointingConfig(FreshDir("empty"), 0);
+  config.checkpoint_every_n_iterations = 0;
+  config.resume = true;
+  CrowdRlFramework framework(config);
+  LabellingResult result;
+  ASSERT_TRUE(
+      framework.Run(w.dataset, w.pool, kBudget, kSeed, &result).ok());
+  ExpectBitIdentical(result);
+}
+
+TEST(CheckpointResumeTest, RotationKeepsLastK) {
+  std::string dir = CrashAt(5, "rotation");
+  size_t count = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".ckpt") ++count;
+  }
+  // CrowdRlConfig::checkpoint_keep_last defaults to 3.
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(CheckpointResumeTest, MismatchedRunIsRejected) {
+  const Workload& w = SharedWorkload();
+  std::string dir = CrashAt(2, "mismatch");
+  CrowdRlConfig config = CheckpointingConfig(dir, 0);
+  config.resume = true;
+  {
+    // Same workload, different seed: the checkpoint belongs to another
+    // random stream and silently diverging would be worse than failing.
+    CrowdRlFramework framework(config);
+    LabellingResult result;
+    EXPECT_TRUE(
+        framework.Run(w.dataset, w.pool, kBudget, kSeed + 1, &result)
+            .IsInvalidArgument());
+  }
+  {
+    // Different budget.
+    CrowdRlFramework framework(config);
+    LabellingResult result;
+    EXPECT_TRUE(
+        framework.Run(w.dataset, w.pool, kBudget + 1.0, kSeed, &result)
+            .IsInvalidArgument());
+  }
+}
+
+class CorruptionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    std::string dir = CrashAt(2, "corruption");
+    std::string path;
+    ASSERT_TRUE(io::FindLatestCheckpoint(dir, &path).ok());
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    bytes_ = new std::string((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+    scratch_ = new std::string(FreshDir("corruption_scratch"));
+    fs::create_directories(*scratch_);
+  }
+
+  static Status LoadBytes(const std::string& bytes,
+                          const std::string& name) {
+    std::string path = *scratch_ + "/" + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    CrowdRlFramework framework((CrowdRlConfig()));
+    return framework.LoadCheckpoint(path);
+  }
+
+  static std::string* bytes_;
+  static std::string* scratch_;
+};
+
+std::string* CorruptionTest::bytes_ = nullptr;
+std::string* CorruptionTest::scratch_ = nullptr;
+
+TEST_F(CorruptionTest, PristineCheckpointLoads) {
+  EXPECT_TRUE(LoadBytes(*bytes_, "pristine.ckpt").ok());
+}
+
+TEST_F(CorruptionTest, TruncatedCheckpointIsDataLoss) {
+  EXPECT_TRUE(LoadBytes(bytes_->substr(0, bytes_->size() / 2),
+                        "truncated.ckpt")
+                  .IsDataLoss());
+}
+
+TEST_F(CorruptionTest, BitFlipIsDataLoss) {
+  std::string corrupt = *bytes_;
+  corrupt[corrupt.size() / 2] ^= 0x01;
+  EXPECT_TRUE(LoadBytes(corrupt, "bitflip.ckpt").IsDataLoss());
+}
+
+TEST_F(CorruptionTest, ForeignFileIsInvalidArgument) {
+  std::string corrupt = *bytes_;
+  corrupt[0] = 'Z';  // Break the magic.
+  EXPECT_TRUE(LoadBytes(corrupt, "foreign.ckpt").IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace crowdrl::core

@@ -93,6 +93,28 @@ TEST(CrowdRlTest, ZeroBudgetStillLabelsEverything) {
             f.dataset.num_objects());
 }
 
+TEST(CrowdRlTest, TinyBudgetFallsBackForUndecidedObjects) {
+  // A budget that affords only the bootstrap answers: the run must still
+  // finalize every object, using kFallback for whatever inference and the
+  // classifier never decided, and every decided label must come from
+  // exactly one of the three real sources.
+  RunFixture f;
+  CrowdRlFramework framework(FastConfig());
+  LabellingResult result;
+  ASSERT_TRUE(framework.Run(f.dataset, f.pool, 30.0, 1, &result).ok());
+  EXPECT_EQ(result.CountBySource(LabelSource::kNone), 0u);
+  EXPECT_GT(result.CountBySource(LabelSource::kFallback), 0u);
+  EXPECT_EQ(result.CountBySource(LabelSource::kInference) +
+                result.CountBySource(LabelSource::kClassifier) +
+                result.CountBySource(LabelSource::kFallback),
+            f.dataset.num_objects());
+  // Fallback labels are still valid class ids.
+  for (size_t i = 0; i < result.labels.size(); ++i) {
+    EXPECT_GE(result.labels[i], 0);
+    EXPECT_LT(result.labels[i], 2);
+  }
+}
+
 TEST(CrowdRlTest, InvalidInputsRejected) {
   RunFixture f;
   CrowdRlFramework framework;

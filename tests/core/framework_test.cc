@@ -66,6 +66,91 @@ TEST(LabelStateTest, ExportToResult) {
   EXPECT_EQ(result.CountBySource(LabelSource::kFallback), 0u);
 }
 
+TEST(LabellingResultTest, CountBySourceCountsEverySource) {
+  LabellingResult result;
+  result.labels = {0, 1, 0, 1, 0};
+  result.sources = {LabelSource::kInference, LabelSource::kClassifier,
+                    LabelSource::kInference, LabelSource::kFallback,
+                    LabelSource::kNone};
+  EXPECT_EQ(result.CountBySource(LabelSource::kInference), 2u);
+  EXPECT_EQ(result.CountBySource(LabelSource::kClassifier), 1u);
+  EXPECT_EQ(result.CountBySource(LabelSource::kFallback), 1u);
+  EXPECT_EQ(result.CountBySource(LabelSource::kNone), 1u);
+  // The four sources partition the objects.
+  EXPECT_EQ(result.CountBySource(LabelSource::kInference) +
+                result.CountBySource(LabelSource::kClassifier) +
+                result.CountBySource(LabelSource::kFallback) +
+                result.CountBySource(LabelSource::kNone),
+            result.labels.size());
+}
+
+TEST(LabellingResultTest, CountBySourceOnEmptyResultIsZero) {
+  LabellingResult result;
+  EXPECT_EQ(result.CountBySource(LabelSource::kInference), 0u);
+  EXPECT_EQ(result.CountBySource(LabelSource::kNone), 0u);
+}
+
+TEST(LabelStateTest, SaveLoadRoundTrip) {
+  LabelState state(4, 3);
+  state.SetLabel(0, 2, LabelSource::kInference);
+  state.SetLabel(2, 0, LabelSource::kClassifier);
+  state.SetLabel(3, 1, LabelSource::kFallback);
+
+  io::Writer writer;
+  state.SaveState(&writer);
+
+  LabelState restored(4, 3);
+  io::Reader reader(writer.bytes());
+  ASSERT_TRUE(restored.LoadState(&reader).ok());
+  EXPECT_TRUE(reader.ExpectEnd().ok());
+  EXPECT_EQ(restored.num_labelled(), 3u);
+  for (int object = 0; object < 4; ++object) {
+    EXPECT_EQ(restored.label(object), state.label(object));
+    EXPECT_EQ(restored.source(object), state.source(object));
+    EXPECT_EQ(restored.IsLabelled(object), state.IsLabelled(object));
+  }
+  EXPECT_EQ(restored.UnlabelledObjects(), (std::vector<int>{1}));
+}
+
+TEST(LabelStateTest, LoadRejectsShapeMismatch) {
+  LabelState state(3, 2);
+  io::Writer writer;
+  state.SaveState(&writer);
+  {
+    LabelState wrong_size(4, 2);
+    io::Reader reader(writer.bytes());
+    EXPECT_TRUE(wrong_size.LoadState(&reader).IsInvalidArgument());
+  }
+  {
+    LabelState wrong_classes(3, 5);
+    io::Reader reader(writer.bytes());
+    EXPECT_TRUE(wrong_classes.LoadState(&reader).IsInvalidArgument());
+  }
+}
+
+TEST(LabelStateTest, LoadRejectsCorruptPayload) {
+  LabelState state(2, 2);
+  state.SetLabel(0, 1, LabelSource::kInference);
+  io::Writer writer;
+  state.SaveState(&writer);
+
+  {
+    // Truncation.
+    LabelState restored(2, 2);
+    io::Reader reader(
+        std::string_view(writer.bytes()).substr(0, writer.size() - 1));
+    EXPECT_TRUE(restored.LoadState(&reader).IsDataLoss());
+  }
+  {
+    // Unknown source enum value.
+    std::string corrupt = writer.bytes();
+    corrupt[corrupt.size() - 2] = 17;  // Source byte of object 0.
+    LabelState restored(2, 2);
+    io::Reader reader(corrupt);
+    EXPECT_TRUE(restored.LoadState(&reader).IsDataLoss());
+  }
+}
+
 TEST(LabelStateDeathTest, InvalidLabelAborts) {
   LabelState state(2, 2);
   EXPECT_DEATH(state.SetLabel(0, 2, LabelSource::kInference), "");

@@ -1,0 +1,242 @@
+#include "io/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "classifier/mlp_classifier.h"
+#include "core/environment.h"
+#include "core/framework.h"
+#include "crowd/answer_log.h"
+#include "crowd/budget.h"
+#include "crowd/confusion_matrix.h"
+#include "io/checkpointable.h"
+#include "math/matrix.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "rl/dqn_agent.h"
+#include "rl/q_network.h"
+#include "rl/replay_buffer.h"
+#include "util/random.h"
+
+namespace crowdrl::io {
+namespace {
+
+// The serialization surface is a concept, not a base class; assert here
+// that every persistable component actually satisfies it, so a signature
+// drift is a compile error in this test rather than a template error at a
+// distant call site.
+static_assert(Checkpointable<Matrix>);
+static_assert(Checkpointable<nn::Mlp>);
+static_assert(Checkpointable<nn::Sgd>);
+static_assert(Checkpointable<nn::Adam>);
+static_assert(Checkpointable<rl::ReplayBuffer>);
+static_assert(Checkpointable<rl::QNetwork>);
+static_assert(Checkpointable<rl::DqnAgent>);
+static_assert(Checkpointable<crowd::AnswerLog>);
+static_assert(Checkpointable<crowd::Budget>);
+static_assert(Checkpointable<crowd::ConfusionMatrix>);
+static_assert(Checkpointable<classifier::MlpClassifier>);
+static_assert(Checkpointable<core::LabelState>);
+static_assert(Checkpointable<core::Environment>);
+// Rng deliberately is not Checkpointable (it lives below crowdrl_io);
+// it round-trips through SaveStateString/LoadStateString instead.
+static_assert(!Checkpointable<Rng>);
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "crowdrl_snapshot_test_" + name;
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = TempPath(name);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+SnapshotBuilder MakeTwoSectionBuilder() {
+  SnapshotBuilder builder;
+  Writer* alpha = builder.AddSection("alpha");
+  alpha->WriteU32(7);
+  alpha->WriteDouble(2.5);
+  Writer* beta = builder.AddSection("beta");
+  beta->WriteString("payload");
+  return builder;
+}
+
+void ExpectTwoSectionContent(const Snapshot& snapshot) {
+  EXPECT_EQ(snapshot.SectionNames(),
+            (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_TRUE(snapshot.HasSection("alpha"));
+  EXPECT_FALSE(snapshot.HasSection("gamma"));
+
+  Reader reader;
+  ASSERT_TRUE(snapshot.OpenSection("alpha", &reader).ok());
+  uint32_t u = 0;
+  double d = 0.0;
+  ASSERT_TRUE(reader.ReadU32(&u).ok());
+  ASSERT_TRUE(reader.ReadDouble(&d).ok());
+  EXPECT_TRUE(reader.ExpectEnd().ok());
+  EXPECT_EQ(u, 7u);
+  EXPECT_EQ(d, 2.5);
+
+  ASSERT_TRUE(snapshot.OpenSection("beta", &reader).ok());
+  std::string s;
+  ASSERT_TRUE(reader.ReadString(&s).ok());
+  EXPECT_TRUE(reader.ExpectEnd().ok());
+  EXPECT_EQ(s, "payload");
+
+  EXPECT_TRUE(snapshot.OpenSection("gamma", &reader).IsNotFound());
+}
+
+TEST(SnapshotTest, SerializeParseRoundTrip) {
+  std::string bytes = MakeTwoSectionBuilder().Serialize();
+  Snapshot snapshot;
+  ASSERT_TRUE(Snapshot::Parse(std::move(bytes), &snapshot).ok());
+  ExpectTwoSectionContent(snapshot);
+}
+
+TEST(SnapshotTest, EmptySnapshotRoundTrips) {
+  SnapshotBuilder builder;
+  Snapshot snapshot;
+  ASSERT_TRUE(Snapshot::Parse(builder.Serialize(), &snapshot).ok());
+  EXPECT_TRUE(snapshot.SectionNames().empty());
+}
+
+TEST(SnapshotTest, WriteFileReadFileRoundTrip) {
+  std::string path = TempPath("roundtrip.ckpt");
+  ASSERT_TRUE(MakeTwoSectionBuilder().WriteFile(path).ok());
+  Snapshot snapshot;
+  ASSERT_TRUE(Snapshot::ReadFile(path, &snapshot).ok());
+  ExpectTwoSectionContent(snapshot);
+}
+
+TEST(SnapshotTest, MissingFileIsNotFound) {
+  Snapshot snapshot;
+  EXPECT_TRUE(
+      Snapshot::ReadFile(TempPath("does_not_exist.ckpt"), &snapshot)
+          .IsNotFound());
+}
+
+TEST(SnapshotTest, BadMagicIsInvalidArgument) {
+  std::string bytes = MakeTwoSectionBuilder().Serialize();
+  bytes[0] = 'X';
+  Snapshot snapshot;
+  EXPECT_TRUE(
+      Snapshot::Parse(std::move(bytes), &snapshot).IsInvalidArgument());
+}
+
+TEST(SnapshotTest, EveryBitFlipIsDetected) {
+  // Flip one bit in a spread of positions past the magic: header fields,
+  // section framing, payload bytes, and the CRC trailer itself. All must
+  // be rejected (DataLoss for body corruption; the corrupted-CRC case is
+  // also a mismatch).
+  const std::string pristine = MakeTwoSectionBuilder().Serialize();
+  for (size_t pos = 8; pos < pristine.size(); pos += 3) {
+    std::string bytes = pristine;
+    bytes[pos] = static_cast<char>(bytes[pos] ^ 0x10);
+    Snapshot snapshot;
+    Status status = Snapshot::Parse(std::move(bytes), &snapshot);
+    EXPECT_TRUE(status.IsDataLoss())
+        << "bit flip at byte " << pos << " got: " << status.ToString();
+  }
+}
+
+TEST(SnapshotTest, TruncationIsDataLoss) {
+  const std::string pristine = MakeTwoSectionBuilder().Serialize();
+  for (size_t keep : {pristine.size() - 1, pristine.size() / 2, size_t{0}}) {
+    Snapshot snapshot;
+    EXPECT_TRUE(Snapshot::Parse(pristine.substr(0, keep), &snapshot)
+                    .IsDataLoss())
+        << "truncated to " << keep << " bytes";
+  }
+}
+
+TEST(SnapshotTest, TrailingGarbageIsDataLoss) {
+  std::string bytes = MakeTwoSectionBuilder().Serialize();
+  bytes += "extra";
+  Snapshot snapshot;
+  EXPECT_TRUE(Snapshot::Parse(std::move(bytes), &snapshot).IsDataLoss());
+}
+
+TEST(SnapshotTest, NewerFormatVersionIsRejected) {
+  std::string bytes = MakeTwoSectionBuilder().Serialize();
+  // Patch the version field (bytes 8..11, little-endian) to a future
+  // version, then re-fix the CRC trailer so only the version is wrong.
+  uint32_t future = kSnapshotFormatVersion + 1;
+  for (int i = 0; i < 4; ++i) {
+    bytes[8 + i] = static_cast<char>((future >> (8 * i)) & 0xFF);
+  }
+  uint32_t crc = Crc32(bytes.data(), bytes.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    bytes[bytes.size() - 4 + i] =
+        static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  Snapshot snapshot;
+  Status status = Snapshot::Parse(std::move(bytes), &snapshot);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
+TEST(CheckpointDirTest, FileNamesSortByIteration) {
+  EXPECT_EQ(CheckpointFileName(7), "ckpt-000000000007.ckpt");
+  EXPECT_LT(CheckpointFileName(9), CheckpointFileName(10));
+  EXPECT_LT(CheckpointFileName(99), CheckpointFileName(100));
+}
+
+TEST(CheckpointDirTest, RotationKeepsNewestK) {
+  std::string dir = FreshDir("rotation");
+  for (size_t t = 1; t <= 5; ++t) {
+    SnapshotBuilder builder;
+    builder.AddSection("meta")->WriteSize(t);
+    ASSERT_TRUE(WriteCheckpointRotating(builder, dir, t, 2).ok());
+  }
+  std::string latest;
+  ASSERT_TRUE(FindLatestCheckpoint(dir, &latest).ok());
+  EXPECT_NE(latest.find(CheckpointFileName(5)), std::string::npos);
+
+  // Only the newest two survive, and the oldest survivor is iteration 4.
+  Snapshot snapshot;
+  EXPECT_TRUE(
+      Snapshot::ReadFile(dir + "/" + CheckpointFileName(3), &snapshot)
+          .IsNotFound());
+  EXPECT_TRUE(
+      Snapshot::ReadFile(dir + "/" + CheckpointFileName(4), &snapshot)
+          .ok());
+}
+
+TEST(CheckpointDirTest, KeepLastZeroKeepsEverything) {
+  std::string dir = FreshDir("keep_all");
+  for (size_t t = 1; t <= 4; ++t) {
+    SnapshotBuilder builder;
+    builder.AddSection("meta")->WriteSize(t);
+    ASSERT_TRUE(WriteCheckpointRotating(builder, dir, t, 0).ok());
+  }
+  Snapshot snapshot;
+  for (size_t t = 1; t <= 4; ++t) {
+    EXPECT_TRUE(
+        Snapshot::ReadFile(dir + "/" + CheckpointFileName(t), &snapshot)
+            .ok())
+        << "iteration " << t;
+  }
+}
+
+TEST(CheckpointDirTest, FindLatestOnMissingOrEmptyDirIsNotFound) {
+  std::string latest;
+  EXPECT_TRUE(
+      FindLatestCheckpoint(TempPath("never_created"), &latest).IsNotFound());
+  EXPECT_TRUE(FindLatestCheckpoint("", &latest).IsInvalidArgument());
+}
+
+TEST(CheckpointDirTest, AtomicWriteLeavesNoTmpFile) {
+  std::string path = TempPath("atomic.ckpt");
+  ASSERT_TRUE(MakeTwoSectionBuilder().WriteFile(path).ok());
+  Snapshot snapshot;
+  EXPECT_TRUE(Snapshot::ReadFile(path, &snapshot).ok());
+  EXPECT_TRUE(
+      Snapshot::ReadFile(path + ".tmp", &snapshot).IsNotFound());
+}
+
+}  // namespace
+}  // namespace crowdrl::io
