@@ -75,7 +75,7 @@ Status MlpClassifier::Train(const Matrix& features, const Matrix& soft_labels,
         t.SetRow(b, soft_labels.RowVector(static_cast<size_t>(row)));
         w[b] = sample_weights[static_cast<size_t>(row)];
       }
-      Matrix logits = net.Forward(x);
+      const Matrix& logits = net.Forward(x);
       Matrix grad;
       nn::WeightedSoftmaxCrossEntropyLoss(logits, t, w, &grad);
       net.Backward(grad);
@@ -102,7 +102,7 @@ Matrix MlpClassifier::PredictProbsBatch(const Matrix& features) const {
     return Matrix(features.rows(), static_cast<size_t>(num_classes_),
                   1.0 / static_cast<double>(num_classes_));
   }
-  Matrix logits = net_->Infer(features);
+  const Matrix& logits = net_->Infer(features);
   Matrix out(logits.rows(), logits.cols());
   for (size_t r = 0; r < logits.rows(); ++r) {
     out.SetRow(r, Softmax(logits.RowVector(r)));

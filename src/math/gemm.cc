@@ -1,0 +1,316 @@
+#include "math/gemm.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace crowdrl::gemm {
+
+namespace {
+
+// Tile shapes, chosen so the working set of the inner loops sits in L1/L2:
+//  * NN kernel: 4 output-row slices of kTileJ doubles (16 KB) plus one
+//    b-row slice per t step; the b panel (kTileK x kTileJ) cycles in L2.
+//  * TN kernel: a kTnTileI x kTnTileJ output tile (32 KB) stays resident
+//    across the whole k sweep while one a/b row pair streams per t step.
+constexpr size_t kTileJ = 512;
+constexpr size_t kTileK = 512;
+constexpr size_t kTnTileI = 16;
+constexpr size_t kTnTileJ = 256;
+
+// Output rows per threaded chunk (and per serial epilogue block).
+constexpr size_t kRowGrain = 64;
+
+// Below this many multiply-adds the tiled/dispatched path costs more than
+// it saves; a plain inline loop (same per-element order) is used instead.
+constexpr size_t kSmallGemmFlops = size_t{1} << 18;
+
+// ---------------------------------------------------------------------------
+// SIMD micro-kernels.
+//
+// The axpy bodies are stamped out once per ISA tier with GCC target
+// attributes and selected once at runtime. Each tier performs the identical
+// IEEE mul-then-add per element (vectorization is across independent output
+// elements only), so every tier produces the same bits. fp-contract is
+// forced off in the tiers whose ISA includes FMA — a fused multiply-add
+// rounds once instead of twice and would change results.
+// ---------------------------------------------------------------------------
+
+// out rows o0..o3 accumulate v0..v3 times the shared b row over [j0, j1).
+#define CROWDRL_AXPY4_BODY                        \
+  for (size_t j = j0; j < j1; ++j) {              \
+    const double x = br[j];                       \
+    o0[j] += v0 * x;                              \
+    o1[j] += v1 * x;                              \
+    o2[j] += v2 * x;                              \
+    o3[j] += v3 * x;                              \
+  }
+
+#define CROWDRL_AXPY1_BODY \
+  for (size_t j = j0; j < j1; ++j) o[j] += v * br[j];
+
+using Axpy4Fn = void (*)(const double* br, size_t j0, size_t j1, double v0,
+                         double v1, double v2, double v3, double* o0,
+                         double* o1, double* o2, double* o3);
+using Axpy1Fn = void (*)(const double* br, size_t j0, size_t j1, double v,
+                         double* o);
+
+void Axpy4Portable(const double* br, size_t j0, size_t j1, double v0,
+                   double v1, double v2, double v3, double* o0, double* o1,
+                   double* o2, double* o3) {
+  CROWDRL_AXPY4_BODY
+}
+
+void Axpy1Portable(const double* br, size_t j0, size_t j1, double v,
+                   double* o) {
+  CROWDRL_AXPY1_BODY
+}
+
+#if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__)
+#define CROWDRL_GEMM_X86_DISPATCH 1
+
+// Plain AVX2 (no FMA in the target set, so no contraction is possible).
+__attribute__((target("avx2"))) void Axpy4Avx2(
+    const double* br, size_t j0, size_t j1, double v0, double v1, double v2,
+    double v3, double* o0, double* o1, double* o2, double* o3) {
+  CROWDRL_AXPY4_BODY
+}
+
+__attribute__((target("avx2"))) void Axpy1Avx2(const double* br, size_t j0,
+                                               size_t j1, double v,
+                                               double* o) {
+  CROWDRL_AXPY1_BODY
+}
+
+// AVX-512F implies FMA instructions, so contraction must be disabled
+// explicitly to keep the two-rounding mul+add semantics.
+__attribute__((target("avx512f"), optimize("fp-contract=off"))) void
+Axpy4Avx512(const double* br, size_t j0, size_t j1, double v0, double v1,
+            double v2, double v3, double* o0, double* o1, double* o2,
+            double* o3) {
+  CROWDRL_AXPY4_BODY
+}
+
+__attribute__((target("avx512f"), optimize("fp-contract=off"))) void
+Axpy1Avx512(const double* br, size_t j0, size_t j1, double v, double* o) {
+  CROWDRL_AXPY1_BODY
+}
+#endif  // x86-64 GCC
+
+#undef CROWDRL_AXPY4_BODY
+#undef CROWDRL_AXPY1_BODY
+
+struct Kernels {
+  Axpy4Fn axpy4;
+  Axpy1Fn axpy1;
+  const char* tier;
+};
+
+Kernels SelectKernels() {
+#ifdef CROWDRL_GEMM_X86_DISPATCH
+  if (__builtin_cpu_supports("avx512f")) {
+    return {Axpy4Avx512, Axpy1Avx512, "avx512"};
+  }
+  if (__builtin_cpu_supports("avx2")) {
+    return {Axpy4Avx2, Axpy1Avx2, "avx2"};
+  }
+#endif
+  return {Axpy4Portable, Axpy1Portable, "portable"};
+}
+
+const Kernels& ActiveKernels() {
+  static const Kernels kernels = SelectKernels();
+  return kernels;
+}
+
+// Zeroes `out` at the requested shape, reusing the allocation when possible.
+void ResizeZero(Matrix* out, size_t rows, size_t cols) {
+  if (out->rows() != rows || out->cols() != cols) {
+    *out = Matrix(rows, cols);
+  } else {
+    out->Fill(0.0);
+  }
+}
+
+// Plain i-k-j accumulation for small products, where tiling and the
+// function-pointer dispatch cost more than they save. Identical
+// per-element order to the blocked path.
+void NnRowsSmall(const Matrix& a, const Matrix& b, Matrix* out, size_t r0,
+                 size_t r1) {
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  for (size_t i = r0; i < r1; ++i) {
+    const double* a_row = a.Row(i);
+    double* out_row = out->Row(i);
+    for (size_t t = 0; t < k; ++t) {
+      const double v = a_row[t];
+      const double* b_row = b.Row(t);
+      for (size_t j = 0; j < n; ++j) out_row[j] += v * b_row[j];
+    }
+  }
+}
+
+// C[r0..r1) = A[r0..r1) · B, blocked over j tiles and k panels with 4-row
+// register blocking. Each element's k terms are consumed in ascending
+// order (k panels ascend; within a panel t ascends; one accumulator —
+// the out element itself — per element).
+void NnRows(const Matrix& a, const Matrix& b, Matrix* out, size_t r0,
+            size_t r1) {
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  if ((r1 - r0) * n * k < kSmallGemmFlops) {
+    NnRowsSmall(a, b, out, r0, r1);
+    return;
+  }
+  const Kernels& ker = ActiveKernels();
+  for (size_t j0 = 0; j0 < n; j0 += kTileJ) {
+    const size_t j1 = std::min(j0 + kTileJ, n);
+    for (size_t k0 = 0; k0 < k; k0 += kTileK) {
+      const size_t k1 = std::min(k0 + kTileK, k);
+      size_t i = r0;
+      for (; i + 4 <= r1; i += 4) {
+        const double* a0 = a.Row(i);
+        const double* a1 = a.Row(i + 1);
+        const double* a2 = a.Row(i + 2);
+        const double* a3 = a.Row(i + 3);
+        double* o0 = out->Row(i);
+        double* o1 = out->Row(i + 1);
+        double* o2 = out->Row(i + 2);
+        double* o3 = out->Row(i + 3);
+        for (size_t t = k0; t < k1; ++t) {
+          ker.axpy4(b.Row(t), j0, j1, a0[t], a1[t], a2[t], a3[t], o0, o1, o2,
+                    o3);
+        }
+      }
+      for (; i < r1; ++i) {
+        const double* a_row = a.Row(i);
+        double* out_row = out->Row(i);
+        for (size_t t = k0; t < k1; ++t) {
+          ker.axpy1(b.Row(t), j0, j1, a_row[t], out_row);
+        }
+      }
+    }
+  }
+}
+
+// C[r0..r1) rows of Aᵀ·B: for each output tile the full k range is swept
+// with t ascending, accumulating rank-1 updates — so per-element order is
+// ascending-k here too, matching what the naive loop over a materialized
+// Aᵀ would produce.
+void TnRows(const Matrix& a, const Matrix& b, Matrix* out, size_t r0,
+            size_t r1) {
+  const size_t k = a.rows();
+  const size_t n = b.cols();
+  const Kernels& ker = ActiveKernels();
+  for (size_t i0 = r0; i0 < r1; i0 += kTnTileI) {
+    const size_t i1 = std::min(i0 + kTnTileI, r1);
+    for (size_t j0 = 0; j0 < n; j0 += kTnTileJ) {
+      const size_t j1 = std::min(j0 + kTnTileJ, n);
+      for (size_t t = 0; t < k; ++t) {
+        const double* a_row = a.Row(t);
+        const double* b_row = b.Row(t);
+        size_t i = i0;
+        for (; i + 4 <= i1; i += 4) {
+          ker.axpy4(b_row, j0, j1, a_row[i], a_row[i + 1], a_row[i + 2],
+                    a_row[i + 3], out->Row(i), out->Row(i + 1),
+                    out->Row(i + 2), out->Row(i + 3));
+        }
+        for (; i < i1; ++i) {
+          ker.axpy1(b_row, j0, j1, a_row[i], out->Row(i));
+        }
+      }
+    }
+  }
+}
+
+// Runs `body(r0, r1)` over [0, rows) in kRowGrain chunks — on the pool when
+// one is supplied and the range is worth splitting, serially otherwise.
+// Chunks write disjoint rows, so threading never changes results.
+void RunRowChunks(ThreadPool* pool, size_t rows,
+                  const std::function<void(size_t, size_t)>& body) {
+  if (pool != nullptr && rows > kRowGrain) {
+    pool->ParallelFor(0, rows, kRowGrain, body);
+    return;
+  }
+  for (size_t r0 = 0; r0 < rows; r0 += kRowGrain) {
+    body(r0, std::min(r0 + kRowGrain, rows));
+  }
+}
+
+}  // namespace
+
+void TransposeInto(const Matrix& m, Matrix* out) {
+  CROWDRL_CHECK(out != nullptr);
+  CROWDRL_DCHECK(out != &m);
+  if (out->rows() != m.cols() || out->cols() != m.rows()) {
+    *out = Matrix(m.cols(), m.rows());
+  }
+  const size_t rows = m.rows();
+  const size_t cols = m.cols();
+  for (size_t r = 0; r < rows; ++r) {
+    const double* src = m.Row(r);
+    double* dst = out->data().data() + r;
+    for (size_t c = 0; c < cols; ++c) dst[c * rows] = src[c];
+  }
+}
+
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out,
+                ThreadPool* pool) {
+  CROWDRL_CHECK(out != nullptr);
+  CROWDRL_CHECK(a.cols() == b.rows())
+      << "matmul shape mismatch: " << a.cols() << " vs " << b.rows();
+  CROWDRL_DCHECK(out != &a && out != &b);
+  ResizeZero(out, a.rows(), b.cols());
+  RunRowChunks(pool, a.rows(),
+               [&](size_t r0, size_t r1) { NnRows(a, b, out, r0, r1); });
+}
+
+void MatMulNTInto(const Matrix& a, const Matrix& b, Matrix* out,
+                  ThreadPool* pool, const RowEpilogue& epilogue,
+                  Matrix* bt_scratch) {
+  CROWDRL_CHECK(out != nullptr);
+  CROWDRL_CHECK(a.cols() == b.cols())
+      << "matmul shape mismatch (NT): " << a.cols() << " vs " << b.cols();
+  CROWDRL_DCHECK(out != &a && out != &b && bt_scratch != &a &&
+                 bt_scratch != &b && bt_scratch != out);
+  thread_local Matrix local_bt;
+  Matrix* bt = bt_scratch != nullptr ? bt_scratch : &local_bt;
+  TransposeInto(b, bt);
+  ResizeZero(out, a.rows(), b.rows());
+  RunRowChunks(pool, a.rows(), [&](size_t r0, size_t r1) {
+    NnRows(a, *bt, out, r0, r1);
+    if (epilogue) epilogue(r0, r1);
+  });
+}
+
+void MatMulTNInto(const Matrix& a, const Matrix& b, Matrix* out,
+                  ThreadPool* pool) {
+  CROWDRL_CHECK(out != nullptr);
+  CROWDRL_CHECK(a.rows() == b.rows())
+      << "matmul shape mismatch (TN): " << a.rows() << " vs " << b.rows();
+  CROWDRL_DCHECK(out != &a && out != &b);
+  ResizeZero(out, a.cols(), b.cols());
+  const size_t work = a.cols() * b.cols() * a.rows();
+  if (work < kSmallGemmFlops) {
+    TnRows(a, b, out, 0, a.cols());
+    return;
+  }
+  RunRowChunks(pool, a.cols(),
+               [&](size_t r0, size_t r1) { TnRows(a, b, out, r0, r1); });
+}
+
+Matrix MatMulNT(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  MatMulNTInto(a, b, &out);
+  return out;
+}
+
+Matrix MatMulTN(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  MatMulTNInto(a, b, &out);
+  return out;
+}
+
+const char* SimdTierName() { return ActiveKernels().tier; }
+
+}  // namespace crowdrl::gemm

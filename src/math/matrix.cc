@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "math/gemm.h"
+
 namespace crowdrl {
 
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
@@ -64,20 +66,8 @@ void Matrix::Scale(double alpha) {
 }
 
 Matrix Matrix::MatMul(const Matrix& other) const {
-  CROWDRL_CHECK(cols_ == other.rows_)
-      << "matmul shape mismatch: " << cols_ << " vs " << other.rows_;
-  Matrix out(rows_, other.cols_);
-  // i-k-j loop order keeps the inner loop contiguous in both inputs.
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a_row = Row(i);
-    double* out_row = out.Row(i);
-    for (size_t k = 0; k < cols_; ++k) {
-      double a = a_row[k];
-      if (a == 0.0) continue;
-      const double* b_row = other.Row(k);
-      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
-    }
-  }
+  Matrix out;
+  gemm::MatMulInto(*this, other, &out);
   return out;
 }
 

@@ -14,9 +14,12 @@ namespace crowdrl {
 /// \brief Dense row-major matrix of doubles.
 ///
 /// The numeric workhorse behind the neural-network library, the confusion
-/// matrices, and the labelling-history state. Sized for the paper's scale
-/// (thousands of objects, tens of annotators, feature dims up to ~1.6k), so
-/// plain loops are sufficient; no BLAS dependency.
+/// matrices, and the labelling-history state. Storage and element access
+/// live here; dense products are served by the cache-blocked, SIMD-dispatched
+/// kernels in `math/gemm.h` (`MatMul` delegates to `gemm::MatMulInto`;
+/// transpose-aware and out-parameter variants live there too). Still no
+/// external BLAS dependency — the kernel layer is self-contained and keeps
+/// results bit-identical to the historical naive loops.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}

@@ -22,17 +22,26 @@ const char* ActivationName(Activation act) {
 
 void ApplyActivation(Activation act, Matrix* values) {
   CROWDRL_CHECK(values != nullptr);
+  ApplyActivationRows(act, values, 0, values->rows());
+}
+
+void ApplyActivationRows(Activation act, Matrix* values, size_t row_begin,
+                         size_t row_end) {
+  CROWDRL_CHECK(values != nullptr);
+  CROWDRL_DCHECK(row_begin <= row_end && row_end <= values->rows());
+  double* p = values->data().data() + row_begin * values->cols();
+  double* const end = values->data().data() + row_end * values->cols();
   switch (act) {
     case Activation::kIdentity:
       return;
     case Activation::kRelu:
-      for (double& v : values->data()) v = v > 0.0 ? v : 0.0;
+      for (; p != end; ++p) *p = *p > 0.0 ? *p : 0.0;
       return;
     case Activation::kSigmoid:
-      for (double& v : values->data()) v = 1.0 / (1.0 + std::exp(-v));
+      for (; p != end; ++p) *p = 1.0 / (1.0 + std::exp(-*p));
       return;
     case Activation::kTanh:
-      for (double& v : values->data()) v = std::tanh(v);
+      for (; p != end; ++p) *p = std::tanh(*p);
       return;
   }
 }

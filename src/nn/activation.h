@@ -18,6 +18,13 @@ const char* ActivationName(Activation act);
 /// Applies the activation element-wise, in place.
 void ApplyActivation(Activation act, Matrix* values);
 
+/// Applies the activation to rows [row_begin, row_end) only. This is the
+/// primitive the MLP fuses into the GEMM row epilogue (each block of output
+/// rows is activated while still cache-hot); `ApplyActivation` is the
+/// whole-matrix special case and routes through the same arithmetic.
+void ApplyActivationRows(Activation act, Matrix* values, size_t row_begin,
+                         size_t row_end);
+
 /// Multiplies `grad` in place by the activation derivative, evaluated from
 /// the *post-activation* values (all supported activations admit this).
 void ApplyActivationGrad(Activation act, const Matrix& post, Matrix* grad);

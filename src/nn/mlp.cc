@@ -1,19 +1,28 @@
 #include "nn/mlp.h"
 
-#include <algorithm>
 #include <cmath>
 
+#include "math/gemm.h"
 #include "util/logging.h"
 
 namespace crowdrl::nn {
 
 namespace {
 
-/// Rows per parallel inference chunk. Small enough to balance load across
-/// workers for the candidate batches the DQN produces (hundreds to tens of
-/// thousands of rows), large enough that each chunk amortizes its matmul
-/// setup.
-constexpr size_t kInferChunkRows = 64;
+/// Fused per-row-block tail of a linear layer: bias add + activation,
+/// applied while the block is still cache-hot inside the GEMM. Blocks are
+/// disjoint row ranges, so this is safe under kernel row-threading.
+gemm::RowEpilogue BiasActivationEpilogue(const std::vector<double>& bias,
+                                         Activation act, Matrix* out) {
+  return [&bias, act, out](size_t row_begin, size_t row_end) {
+    const size_t cols = out->cols();
+    for (size_t r = row_begin; r < row_end; ++r) {
+      double* row = out->Row(r);
+      for (size_t c = 0; c < cols; ++c) row[c] += bias[c];
+    }
+    ApplyActivationRows(act, out, row_begin, row_end);
+  };
+}
 
 }  // namespace
 
@@ -25,6 +34,7 @@ Mlp::Mlp(const std::vector<size_t>& sizes,
   CROWDRL_CHECK(rng != nullptr);
   for (size_t size : sizes) CROWDRL_CHECK(size > 0);
   layers_.resize(sizes.size() - 1);
+  wt_scratch_.resize(layers_.size());
   for (size_t l = 0; l < layers_.size(); ++l) {
     Layer& layer = layers_[l];
     size_t in = sizes[l];
@@ -41,88 +51,92 @@ Mlp::Mlp(const std::vector<size_t>& sizes,
   }
 }
 
-Matrix Mlp::Forward(const Matrix& batch) {
+const Matrix& Mlp::Forward(const Matrix& batch, ThreadPool* pool) {
   CROWDRL_CHECK(batch.cols() == input_size());
-  Matrix current = batch;
-  for (Layer& layer : layers_) {
-    layer.input = current;
-    Matrix pre = current.MatMul(layer.weight.Transposed());
-    for (size_t r = 0; r < pre.rows(); ++r) {
-      double* row = pre.Row(r);
-      for (size_t c = 0; c < pre.cols(); ++c) row[c] += layer.bias[c];
-    }
-    ApplyActivation(layer.activation, &pre);
-    layer.output = pre;
-    current = std::move(pre);
+  forward_input_ = &batch;
+  const Matrix* current = &batch;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    Layer& layer = layers_[l];
+    gemm::MatMulNTInto(
+        *current, layer.weight, &layer.output, pool,
+        BiasActivationEpilogue(layer.bias, layer.activation, &layer.output),
+        &wt_scratch_[l]);
+    current = &layer.output;
   }
-  return current;
+  return layers_.back().output;
 }
 
-Matrix Mlp::Infer(const Matrix& batch) const {
-  CROWDRL_CHECK(batch.cols() == input_size());
-  Matrix current = batch;
-  for (const Layer& layer : layers_) {
-    Matrix pre = current.MatMul(layer.weight.Transposed());
-    for (size_t r = 0; r < pre.rows(); ++r) {
-      double* row = pre.Row(r);
-      for (size_t c = 0; c < pre.cols(); ++c) row[c] += layer.bias[c];
-    }
-    ApplyActivation(layer.activation, &pre);
-    current = std::move(pre);
-  }
-  return current;
+const Matrix& Mlp::Infer(const Matrix& batch) const {
+  return Infer(batch, nullptr);
 }
 
-Matrix Mlp::Infer(const Matrix& batch, ThreadPool* pool) const {
+const Matrix& Mlp::Infer(const Matrix& batch, ThreadPool* pool) const {
   CROWDRL_CHECK(batch.cols() == input_size());
-  if (pool == nullptr || batch.rows() <= kInferChunkRows) {
-    return Infer(batch);
+  const Matrix* current = &batch;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    Matrix* out = &infer_buf_[l % 2];
+    gemm::MatMulNTInto(
+        *current, layer.weight, out, pool,
+        BiasActivationEpilogue(layer.bias, layer.activation, out),
+        &wt_scratch_[l]);
+    current = out;
   }
-  Matrix out(batch.rows(), output_size());
-  pool->ParallelFor(
-      0, batch.rows(), kInferChunkRows, [&](size_t row_begin, size_t row_end) {
-        Matrix chunk(row_end - row_begin, batch.cols());
-        for (size_t r = row_begin; r < row_end; ++r) {
-          std::copy(batch.Row(r), batch.Row(r) + batch.cols(),
-                    chunk.Row(r - row_begin));
-        }
-        Matrix result = Infer(chunk);
-        for (size_t r = row_begin; r < row_end; ++r) {
-          std::copy(result.Row(r - row_begin),
-                    result.Row(r - row_begin) + result.cols(), out.Row(r));
-        }
-      });
-  return out;
+  return *current;
 }
 
 std::vector<double> Mlp::Infer(const std::vector<double>& input) const {
+  CROWDRL_CHECK(input.size() == input_size());
+  // Function-local buffers only (the kernel's transpose scratch is
+  // per-thread), keeping this overload safe for concurrent callers.
+  Matrix bufs[2];
   Matrix batch(1, input.size());
   batch.SetRow(0, input);
-  Matrix out = Infer(batch);
-  return out.RowVector(0);
+  const Matrix* current = &batch;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    Matrix* out = &bufs[l % 2];
+    gemm::MatMulNTInto(
+        *current, layer.weight, out, nullptr,
+        BiasActivationEpilogue(layer.bias, layer.activation, out));
+    current = out;
+  }
+  return current->RowVector(0);
 }
 
-Matrix Mlp::Backward(const Matrix& grad_output) {
+void Mlp::Backward(const Matrix& grad_output, Matrix* input_grad,
+                   ThreadPool* pool) {
   CROWDRL_CHECK(!layers_.empty());
+  CROWDRL_CHECK(forward_input_ != nullptr)
+      << "Backward called with no preceding Forward";
   CROWDRL_CHECK(grad_output.rows() == layers_.back().output.rows() &&
                 grad_output.cols() == layers_.back().output.cols())
       << "Backward called with mismatched gradient shape (did Forward run?)";
-  Matrix grad = grad_output;
+  layers_.back().grad_scratch = grad_output;
   for (size_t l = layers_.size(); l > 0; --l) {
     Layer& layer = layers_[l - 1];
+    Matrix& grad = layer.grad_scratch;
     // Through the activation.
     ApplyActivationGrad(layer.activation, layer.output, &grad);
     // Parameter gradients: dW += grad^T * input, db += column sums of grad.
-    Matrix dw = grad.Transposed().MatMul(layer.input);
-    layer.weight_grad.Add(dw);
+    // dW is staged in a scratch and folded in with a single Add, preserving
+    // the historical accumulate-once semantics bit for bit.
+    const Matrix& input = l > 1 ? layers_[l - 2].output : *forward_input_;
+    gemm::MatMulTNInto(grad, input, &layer.dw_scratch, pool);
+    layer.weight_grad.Add(layer.dw_scratch);
     for (size_t r = 0; r < grad.rows(); ++r) {
       const double* row = grad.Row(r);
       for (size_t c = 0; c < grad.cols(); ++c) layer.bias_grad[c] += row[c];
     }
-    // Input gradient: grad * W.
-    grad = grad.MatMul(layer.weight);
+    // Input gradient: grad * W. For layer 0 the input is the data batch —
+    // nothing below it trains, so the GEMM is skipped unless requested.
+    if (l > 1) {
+      gemm::MatMulInto(grad, layer.weight, &layers_[l - 2].grad_scratch,
+                       pool);
+    } else if (input_grad != nullptr) {
+      gemm::MatMulInto(grad, layer.weight, input_grad, pool);
+    }
   }
-  return grad;
 }
 
 void Mlp::ZeroGrad() {
@@ -214,6 +228,7 @@ Status Mlp::LoadState(io::Reader* reader) {
     layer.weight = std::move(weight);
     layer.bias = std::move(bias);
   }
+  forward_input_ = nullptr;
   ZeroGrad();
   return Status::Ok();
 }

@@ -24,6 +24,13 @@ struct ParamView {
 /// classifier phi ("a fully connected neural network with a sigmoid output
 /// layer", Section VI-A4) and the Deep Q-Network of the Agent (Section IV).
 /// Batches are matrices with one sample per row.
+///
+/// All dense products go through the blocked kernels in `math/gemm.h` with
+/// persistent per-layer scratch, so steady-state Forward/Infer/Backward
+/// calls perform no allocations and never materialize `Transposed()`
+/// weights. Results are bit-identical to the historical naive-loop
+/// implementation (see the accumulation-order guarantee in gemm.h), at any
+/// thread count.
 class Mlp {
  public:
   /// `sizes` lists layer widths, input first: {in, h1, ..., out}.
@@ -42,24 +49,38 @@ class Mlp {
   size_t num_layers() const { return layers_.size(); }
 
   /// Forward pass that caches per-layer values for a subsequent Backward.
-  Matrix Forward(const Matrix& batch);
+  /// Returns a reference to the internal output cache, valid until the next
+  /// Forward/Infer/LoadState on this network. The batch is captured by
+  /// reference and must outlive any Backward that follows. A pool, if
+  /// given, row-tiles the layer GEMMs (bit-identical to serial).
+  const Matrix& Forward(const Matrix& batch, ThreadPool* pool = nullptr);
 
-  /// Stateless forward (no caches touched); safe on a const network.
-  Matrix Infer(const Matrix& batch) const;
+  /// Stateless forward: training caches are untouched, so a Forward/Backward
+  /// pair is not disturbed by interleaved Infer calls. Writes into mutable
+  /// internal buffers — concurrent Infer calls on the *same* instance are
+  /// not safe; use the pool overload (which threads internally) or the
+  /// single-sample overload (which is fully re-entrant).
+  const Matrix& Infer(const Matrix& batch) const;
 
-  /// Row-chunked stateless forward on a thread pool. Every output row is an
-  /// independent dot-product chain, so the result is bit-identical to the
+  /// Row-tiled stateless forward on a thread pool. Each output row is
+  /// written by exactly one worker, so the result is bit-identical to the
   /// serial Infer at any thread count. `pool == nullptr` falls back to the
   /// serial path.
-  Matrix Infer(const Matrix& batch, ThreadPool* pool) const;
+  const Matrix& Infer(const Matrix& batch, ThreadPool* pool) const;
 
-  /// Single-sample stateless forward.
+  /// Single-sample stateless forward. Uses only function-local (and
+  /// per-thread kernel) buffers, so it is safe to call concurrently from
+  /// multiple threads on one network.
   std::vector<double> Infer(const std::vector<double>& input) const;
 
   /// Accumulates parameter gradients given dLoss/dOutput for the batch
-  /// passed to the latest Forward. Returns dLoss/dInput (rarely needed, but
-  /// exercised by the gradient-check tests).
-  Matrix Backward(const Matrix& grad_output);
+  /// passed to the latest Forward. The gradient w.r.t. that batch is only
+  /// computed when `input_grad` is non-null (no trainable parameters sit
+  /// below the input, so the default skips the largest GEMM of the
+  /// backward pass). A pool, if given, row-tiles the GEMMs
+  /// (bit-identical to serial).
+  void Backward(const Matrix& grad_output, Matrix* input_grad = nullptr,
+                ThreadPool* pool = nullptr);
 
   /// Clears accumulated gradients.
   void ZeroGrad();
@@ -92,13 +113,23 @@ class Mlp {
     Matrix weight_grad;
     std::vector<double> bias_grad;
     Activation activation;
-    // Forward caches.
-    Matrix input;
-    Matrix output;  // post-activation
+    // Transient buffers, persistent across calls so the steady state is
+    // allocation-free. Not checkpointed.
+    Matrix output;        // post-activation forward cache
+    Matrix grad_scratch;  // dLoss/d(this layer's output), mutated in place
+    Matrix dw_scratch;    // grad^T * input, staged before one Add
   };
 
   std::vector<size_t> sizes_;
   std::vector<Layer> layers_;
+  // Batch passed to the latest Forward; layer 0's backward input. Cleared
+  // by LoadState.
+  const Matrix* forward_input_ = nullptr;
+  // Per-layer weight-transpose packing buffers for the NT kernels; mutable
+  // because Infer is logically const.
+  mutable std::vector<Matrix> wt_scratch_;
+  // Ping-pong activation buffers for the batched Infer paths.
+  mutable Matrix infer_buf_[2];
 };
 
 }  // namespace crowdrl::nn

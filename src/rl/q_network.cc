@@ -43,7 +43,7 @@ double QNetwork::Predict(const std::vector<double>& features) const {
 }
 
 std::vector<double> QNetwork::PredictBatch(const Matrix& features) const {
-  Matrix out = online_.Infer(features, pool_.get());
+  const Matrix& out = online_.Infer(features, pool_.get());
   std::vector<double> q(out.rows());
   for (size_t r = 0; r < out.rows(); ++r) q[r] = out.At(r, 0);
   return q;
@@ -51,7 +51,7 @@ std::vector<double> QNetwork::PredictBatch(const Matrix& features) const {
 
 std::vector<double> QNetwork::TargetPredictBatch(
     const Matrix& features) const {
-  Matrix out = target_.Infer(features, pool_.get());
+  const Matrix& out = target_.Infer(features, pool_.get());
   std::vector<double> q(out.rows());
   for (size_t r = 0; r < out.rows(); ++r) q[r] = out.At(r, 0);
   return q;
@@ -69,10 +69,10 @@ double QNetwork::TrainBatch(const std::vector<const Transition*>& batch) {
     if (!t.terminal) target += options_.gamma * t.next_max_q;
     y.At(i, 0) = target;
   }
-  Matrix pred = online_.Forward(x);
+  const Matrix& pred = online_.Forward(x, pool_.get());
   Matrix grad;
   double loss = nn::MseLoss(pred, y, &grad);
-  online_.Backward(grad);
+  online_.Backward(grad, /*input_grad=*/nullptr, pool_.get());
   optimizer_.Step(&online_);
   ++train_steps_;
   SyncTargetIfDue();

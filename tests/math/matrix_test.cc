@@ -1,5 +1,7 @@
 #include "math/matrix.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "util/random.h"
@@ -66,6 +68,16 @@ TEST(MatrixTest, MatMulIdentityIsNoop) {
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]);
   }
+}
+
+TEST(MatrixTest, MatMulPropagatesNanThroughZeroCoefficients) {
+  // The historical inner loop skipped zero coefficients, silently turning
+  // 0 * NaN into 0; the kernel-backed product follows IEEE semantics.
+  Matrix a = Matrix::FromRows({{0.0, 2.0}});
+  Matrix b = Matrix::FromRows({{std::nan(""), 5.0}, {1.0, 1.0}});
+  Matrix out = a.MatMul(b);
+  EXPECT_TRUE(std::isnan(out.At(0, 0)));
+  EXPECT_DOUBLE_EQ(out.At(0, 1), 2.0);
 }
 
 TEST(MatrixDeathTest, MatMulShapeMismatchAborts) {

@@ -8,6 +8,7 @@
 
 #include "classifier/mlp_classifier.h"
 #include "inference/joint_inference.h"
+#include "math/gemm.h"
 #include "nn/mlp.h"
 #include "rl/dqn_agent.h"
 #include "tests/testing/sim_helpers.h"
@@ -116,6 +117,40 @@ TEST(ParallelScoringTest, MlpInferOnPoolMatchesSerialBitwise) {
   Matrix fallback = mlp.Infer(batch, nullptr);
   for (size_t i = 0; i < serial.size(); ++i) {
     ASSERT_EQ(fallback.data()[i], serial.data()[i]);
+  }
+}
+
+// The same invariant, pushed all the way down to the GEMM kernels the MLP
+// paths are built on (tests/math/gemm_test.cc sweeps more shapes; this
+// pins the layer the RL hot path actually exercises: Q-scoring-sized
+// activations against a weight matrix, all three layout variants).
+TEST(ParallelScoringTest, GemmKernelsOnPoolMatchSerialBitwise) {
+  Rng rng(23);
+  Matrix acts(360, 48);
+  Matrix weights(32, 48);
+  acts.FillUniform(&rng, -2.0, 2.0);
+  weights.FillUniform(&rng, -1.0, 1.0);
+
+  Matrix nt_serial, tn_serial, nn_serial;
+  gemm::MatMulNTInto(acts, weights, &nt_serial);
+  gemm::MatMulTNInto(nt_serial, acts, &tn_serial);
+  gemm::MatMulInto(nt_serial, weights, &nn_serial);
+
+  for (size_t threads : {2, 4}) {
+    ThreadPool pool(threads);
+    Matrix nt, tn, nn;
+    gemm::MatMulNTInto(acts, weights, &nt, &pool);
+    gemm::MatMulTNInto(nt_serial, acts, &tn, &pool);
+    gemm::MatMulInto(nt_serial, weights, &nn, &pool);
+    for (size_t i = 0; i < nt_serial.size(); ++i) {
+      ASSERT_EQ(nt.data()[i], nt_serial.data()[i]) << "NT " << i;
+    }
+    for (size_t i = 0; i < tn_serial.size(); ++i) {
+      ASSERT_EQ(tn.data()[i], tn_serial.data()[i]) << "TN " << i;
+    }
+    for (size_t i = 0; i < nn_serial.size(); ++i) {
+      ASSERT_EQ(nn.data()[i], nn_serial.data()[i]) << "NN " << i;
+    }
   }
 }
 
