@@ -5,13 +5,21 @@
 // Besides the google-benchmark suite, this binary emits BENCH_kernels.json:
 // a before/after comparison of the blocked GEMM kernels against the seed
 // (pre-kernel) implementation at the paper's MLP scale, with bit-identity
-// verified. Extra flags (stripped before google-benchmark sees them):
-//   --kernels_batch=N   largest batch in the report sweep (default 4096)
-//   --kernels_json=PATH output path (default BENCH_kernels.json)
+// verified. It also emits BENCH_scoring.json: a per-iteration breakdown of
+// the candidate-scoring loop (featurize / Q forward / top-k) comparing the
+// seed featurizer against the incremental ScoreCache engine, with the
+// exact path's bit-identity verified every iteration.
+// Extra flags (stripped before google-benchmark sees them):
+//   --kernels_batch=N     largest batch in the kernel sweep (default 4096)
+//   --kernels_json=PATH   kernel report path (default BENCH_kernels.json)
+//   --scoring_objects=N   scoring-grid objects (default 2048, x40 annotators)
+//   --scoring_json=PATH   scoring report path (default BENCH_scoring.json)
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,9 +32,13 @@
 #include "inference/joint_inference.h"
 #include "inference/majority_vote.h"
 #include "inference/pm.h"
+#include "crowd/answer_log.h"
 #include "math/gemm.h"
+#include "math/vector_ops.h"
 #include "nn/mlp.h"
 #include "rl/dqn_agent.h"
+#include "rl/q_network.h"
+#include "rl/score_cache.h"
 #include "tests/testing/reference_gemm.h"
 #include "tests/testing/sim_helpers.h"
 
@@ -569,13 +581,436 @@ void WriteKernelReport(size_t max_batch, const std::string& path) {
   std::printf("wrote %s\n", path.c_str());
 }
 
+// ---- BENCH_scoring.json: seed vs incremental scoring engine -------------
+
+// The pre-ScoreCache featurizer, transcribed from the seed rl/state.cc and
+// crowd/answer_log.cc (per-call histogram / fraction / probability-row
+// allocations and all), so the "seed" timings reflect what the repo
+// actually shipped before the incremental engine.
+std::vector<int> SeedLabelHistogram(const crowd::AnswerLog& log, int object,
+                                    int num_classes) {
+  std::vector<int> histogram(static_cast<size_t>(num_classes), 0);
+  for (const auto& [annotator, label] : log.AnswersFor(object)) {
+    (void)annotator;
+    ++histogram[static_cast<size_t>(label)];
+  }
+  return histogram;
+}
+
+void SeedFeaturize(const rl::StateView& view, int object, int annotator,
+                   std::vector<double>* out) {
+  out->assign(rl::StateFeaturizer::kFeatureDim, 0.0);
+  size_t num_annotators = view.answers->num_annotators();
+  double log_c = std::log(static_cast<double>(view.num_classes));
+
+  std::vector<int> hist =
+      SeedLabelHistogram(*view.answers, object, view.num_classes);
+  int answer_count = 0;
+  int top_votes = 0;
+  for (int v : hist) {
+    answer_count += v;
+    top_votes = std::max(top_votes, v);
+  }
+  double answer_entropy = 0.0;
+  if (answer_count > 0) {
+    std::vector<double> frac(hist.size());
+    for (size_t i = 0; i < hist.size(); ++i) {
+      frac[i] = static_cast<double>(hist[i]) /
+                static_cast<double>(answer_count);
+    }
+    answer_entropy = Entropy(frac) / log_c;
+  }
+  double agreement = answer_count > 0
+                         ? static_cast<double>(top_votes) /
+                               static_cast<double>(answer_count)
+                         : 0.0;
+
+  double cls_margin = 0.0;
+  double cls_entropy = 1.0;
+  if (view.class_probs != nullptr) {
+    std::vector<double> probs =
+        view.class_probs->RowVector(static_cast<size_t>(object));
+    cls_margin = TopTwoGap(probs);
+    cls_entropy = Entropy(probs) / log_c;
+  }
+
+  size_t j = static_cast<size_t>(annotator);
+  double cost = (*view.annotator_costs)[j];
+  double max_cost = view.max_cost > 0.0 ? view.max_cost : 1.0;
+  double norm_cost = cost / max_cost;
+  double quality = (*view.annotator_qualities)[j];
+  double quality_per_cost = quality / (norm_cost + 0.1);
+  double is_expert =
+      view.annotator_is_expert != nullptr && (*view.annotator_is_expert)[j]
+          ? 1.0
+          : 0.0;
+
+  (*out)[0] = 1.0;
+  (*out)[1] = static_cast<double>(answer_count) /
+              static_cast<double>(num_annotators);
+  (*out)[2] = answer_entropy;
+  (*out)[3] = agreement;
+  (*out)[4] = cls_margin;
+  (*out)[5] = cls_entropy;
+  (*out)[6] = quality;
+  (*out)[7] = norm_cost;
+  (*out)[8] = quality_per_cost / 10.0;
+  (*out)[9] = is_expert;
+  (*out)[10] = view.budget_fraction_remaining;
+  (*out)[11] = view.fraction_labelled;
+}
+
+uint64_t OrderedDoubleBits(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return (bits & (uint64_t{1} << 63)) ? ~bits : bits | (uint64_t{1} << 63);
+}
+
+uint64_t UlpDistance(double a, double b) {
+  uint64_t ua = OrderedDoubleBits(a);
+  uint64_t ub = OrderedDoubleBits(b);
+  return ua > ub ? ua - ub : ub - ua;
+}
+
+// A paper-scale labelling run in steady state: every Mutate() applies one
+// loop iteration's worth of state change — a handful of fresh answers, a
+// class-probability refresh for every object (the inference step reruns
+// each iteration), re-estimated annotator qualities, and decayed progress
+// counters. Both scorers then featurize the same state, so the comparison
+// is dirty-sync against full recompute, not first-build against rebuild.
+struct ScoringScenario {
+  size_t n, m;
+  int num_classes;
+  crowd::AnswerLog answers;
+  std::vector<double> costs, qualities;
+  std::vector<bool> is_expert, labelled;
+  Matrix class_probs;
+  size_t probs_version = 1;
+  double budget_fraction = 0.9;
+  double fraction_labelled = 0.0;
+  std::vector<int> answers_per_object;
+  size_t touch_cursor;
+  Rng rng{4242};
+
+  ScoringScenario(size_t objects, size_t annotators, int classes)
+      : n(objects),
+        m(annotators),
+        num_classes(classes),
+        answers(objects, annotators),
+        class_probs(objects, static_cast<size_t>(classes)),
+        answers_per_object(objects, 0),
+        touch_cursor(objects / 4) {
+    for (size_t j = 0; j < m; ++j) {
+      is_expert.push_back(j % 8 == 7);
+      costs.push_back(is_expert[j] ? 10.0 : 1.0);
+      qualities.push_back(0.5 + 0.4 * rng.Uniform());
+    }
+    labelled.assign(n, false);
+    // A quarter of the objects already carry one to three answers.
+    for (size_t i = 0; i < n / 4; ++i) {
+      int count = 1 + static_cast<int>(i % 3);
+      for (int a = 0; a < count; ++a) {
+        answers.Record(static_cast<int>(i), a, rng.UniformInt(num_classes));
+      }
+      answers_per_object[i] = count;
+    }
+    RefreshProbs();
+  }
+
+  void RefreshProbs() {
+    for (size_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      double* row = class_probs.Row(i);
+      for (int c = 0; c < num_classes; ++c) {
+        row[c] = 0.05 + rng.Uniform();
+        sum += row[c];
+      }
+      for (int c = 0; c < num_classes; ++c) row[c] /= sum;
+    }
+    ++probs_version;
+  }
+
+  void Mutate() {
+    for (int picks = 0; picks < 8; ++picks) {
+      size_t object = touch_cursor;
+      touch_cursor = (touch_cursor + 1) % n;
+      int next = answers_per_object[object];
+      if (next >= static_cast<int>(m)) continue;
+      answers.Record(static_cast<int>(object), next,
+                     rng.UniformInt(num_classes));
+      ++answers_per_object[object];
+    }
+    for (size_t j = 0; j < m; ++j) {
+      qualities[j] = std::min(0.95, std::max(0.05, qualities[j] +
+                                                       rng.Uniform(-0.01,
+                                                                   0.01)));
+    }
+    RefreshProbs();
+    budget_fraction *= 0.997;
+    fraction_labelled = std::min(0.9, fraction_labelled + 0.002);
+  }
+
+  rl::StateView View() const {
+    rl::StateView view;
+    view.answers = &answers;
+    view.num_classes = num_classes;
+    view.annotator_costs = &costs;
+    view.annotator_qualities = &qualities;
+    view.annotator_is_expert = &is_expert;
+    view.labelled = &labelled;
+    view.class_probs = &class_probs;
+    view.class_probs_version = probs_version;
+    view.budget_fraction_remaining = budget_fraction;
+    view.fraction_labelled = fraction_labelled;
+    view.max_cost = 10.0;
+    return view;
+  }
+};
+
+struct StageTimes {
+  double featurize_seed = 1e300, featurize_cached = 1e300;
+  double forward_seed = 1e300, forward_cached = 1e300;
+  double forward_factorized = 1e300;
+  double topk_seed = 1e300, topk_cached = 1e300;
+};
+
+void WriteScoringReport(size_t objects, const std::string& path) {
+  const size_t kAnnotators = 40;
+  const int kClasses = 8;
+  const int kIterations = 4;
+  const int kTopK = 3;
+  const int kObjectsToPick = 8;
+  using Clock = std::chrono::steady_clock;
+  auto secs = [](Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+
+  ScoringScenario sc(objects, kAnnotators, kClasses);
+  const size_t pairs = sc.n * sc.m;
+  std::printf("== scoring report (%zu objects x %zu annotators, %d classes, "
+              "%zu pairs) ==\n",
+              sc.n, sc.m, kClasses, pairs);
+
+  // Every (object, annotator) pair is a candidate: nothing is labelled yet,
+  // which matches the early-run grids where scoring cost peaks. The UCB
+  // exploration bonus is identical in both paths and excluded.
+  std::vector<rl::Action> actions(pairs);
+  {
+    size_t idx = 0;
+    for (size_t i = 0; i < sc.n; ++i) {
+      for (size_t j = 0; j < sc.m; ++j) {
+        actions[idx++] = rl::Action{static_cast<int>(i),
+                                    static_cast<int>(j)};
+      }
+    }
+  }
+
+  Matrix seed_features(pairs, rl::StateFeaturizer::kFeatureDim);
+  Matrix cached_features(pairs, rl::StateFeaturizer::kFeatureDim);
+  rl::ScoreCache cache;
+  rl::QNetwork q{rl::QNetworkOptions()};
+  cache.Sync(sc.View());  // First build is a full rebuild; untimed.
+
+  StageTimes best;
+  bool features_biteq = true;
+  bool scores_biteq = true;
+  bool topk_biteq = true;
+  uint64_t max_ulps = 0;
+  double max_abs_diff = 0.0;
+
+  for (int iter = 0; iter < kIterations; ++iter) {
+    sc.Mutate();
+    const rl::StateView view = sc.View();
+
+    // Stage 1: featurize every candidate pair. Seed path recomputes each
+    // row from scratch; cached path dirty-syncs the block store and
+    // assembles rows from it.
+    auto t0 = Clock::now();
+    {
+      std::vector<double> row;
+      size_t idx = 0;
+      for (size_t i = 0; i < sc.n; ++i) {
+        for (size_t j = 0; j < sc.m; ++j) {
+          SeedFeaturize(view, static_cast<int>(i), static_cast<int>(j),
+                        &row);
+          std::memcpy(seed_features.Row(idx++), row.data(),
+                      row.size() * sizeof(double));
+        }
+      }
+    }
+    best.featurize_seed = std::min(best.featurize_seed, secs(t0));
+
+    t0 = Clock::now();
+    {
+      cache.Sync(view);
+      size_t idx = 0;
+      for (size_t i = 0; i < sc.n; ++i) {
+        for (size_t j = 0; j < sc.m; ++j) {
+          cache.AssembleRowInto(static_cast<int>(i), static_cast<int>(j),
+                                cached_features.Row(idx++));
+        }
+      }
+    }
+    best.featurize_cached = std::min(best.featurize_cached, secs(t0));
+    features_biteq =
+        features_biteq &&
+        std::memcmp(seed_features.data().data(),
+                    cached_features.data().data(),
+                    seed_features.size() * sizeof(double)) == 0;
+
+    // Stage 2: the Q forward pass. Identical work on the exact path (the
+    // cache changes how features are produced, not how they are scored);
+    // both sides are timed on their own feature matrix.
+    t0 = Clock::now();
+    std::vector<double> seed_scores = q.PredictBatch(seed_features);
+    best.forward_seed = std::min(best.forward_seed, secs(t0));
+
+    t0 = Clock::now();
+    std::vector<double> cached_scores = q.PredictBatch(cached_features);
+    best.forward_cached = std::min(best.forward_cached, secs(t0));
+    scores_biteq = scores_biteq &&
+                   std::memcmp(seed_scores.data(), cached_scores.data(),
+                               seed_scores.size() * sizeof(double)) == 0;
+
+    // The gated factorized head: same network, block-decomposed first
+    // layer. Not bit-identical by design (accumulation order changes), so
+    // it is tracked in ULPs instead.
+    rl::FeatureBlocks blocks;
+    blocks.object_blocks = &cache.object_blocks();
+    blocks.annotator_blocks = &cache.annotator_blocks();
+    blocks.global_block = cache.global_block();
+    blocks.object_version = cache.object_blocks_version();
+    blocks.annotator_version = cache.annotator_blocks_version();
+    t0 = Clock::now();
+    std::vector<double> fact_scores =
+        q.PredictBatchFactorized(blocks, actions, false);
+    best.forward_factorized = std::min(best.forward_factorized, secs(t0));
+    for (size_t i = 0; i < fact_scores.size(); ++i) {
+      max_ulps = std::max(max_ulps,
+                          UlpDistance(cached_scores[i], fact_scores[i]));
+      max_abs_diff = std::max(max_abs_diff,
+                              std::abs(cached_scores[i] - fact_scores[i]));
+    }
+
+    // Stage 3: top-k-sum selection over the scored grid.
+    rl::ScoredCandidates seed_cand, cached_cand;
+    seed_cand.actions = actions;
+    seed_cand.scores = std::move(seed_scores);
+    cached_cand.actions = actions;
+    cached_cand.scores = std::move(cached_scores);
+    std::vector<size_t> seed_chosen, cached_chosen;
+    t0 = Clock::now();
+    std::vector<rl::Assignment> seed_asg = rl::PickTopKSumAssignments(
+        seed_cand, kTopK, kObjectsToPick, sc.n, &seed_chosen);
+    best.topk_seed = std::min(best.topk_seed, secs(t0));
+    t0 = Clock::now();
+    std::vector<rl::Assignment> cached_asg = rl::PickTopKSumAssignments(
+        cached_cand, kTopK, kObjectsToPick, sc.n, &cached_chosen);
+    best.topk_cached = std::min(best.topk_cached, secs(t0));
+    topk_biteq = topk_biteq && seed_chosen == cached_chosen &&
+                 seed_asg.size() == cached_asg.size();
+    for (size_t i = 0; topk_biteq && i < seed_asg.size(); ++i) {
+      topk_biteq = seed_asg[i].object == cached_asg[i].object &&
+                   seed_asg[i].annotators == cached_asg[i].annotators;
+    }
+  }
+
+  struct StageRow {
+    const char* stage;
+    double seed_ms, cached_ms;
+    bool bit_identical;
+  };
+  const StageRow rows[] = {
+      {"featurize", best.featurize_seed * 1e3, best.featurize_cached * 1e3,
+       features_biteq},
+      {"q_forward", best.forward_seed * 1e3, best.forward_cached * 1e3,
+       scores_biteq},
+      {"topk", best.topk_seed * 1e3, best.topk_cached * 1e3, topk_biteq},
+  };
+  for (const StageRow& r : rows) {
+    std::printf("  %-10s seed %8.3f ms  cached %8.3f ms  %5.2fx  biteq=%d\n",
+                r.stage, r.seed_ms, r.cached_ms, r.seed_ms / r.cached_ms,
+                r.bit_identical);
+  }
+  // The scoring engine is what this PR replaces: per-iteration candidate
+  // featurization. The composite also counts the (unchanged) Q forward and
+  // top-k, so it is forward-bound and its speedup is necessarily modest.
+  double engine_speedup = best.featurize_seed / best.featurize_cached;
+  double iter_seed =
+      best.featurize_seed + best.forward_seed + best.topk_seed;
+  double iter_cached =
+      best.featurize_cached + best.forward_cached + best.topk_cached;
+  double iter_fact =
+      best.featurize_cached + best.forward_factorized + best.topk_cached;
+  bool all_biteq = features_biteq && scores_biteq && topk_biteq;
+  std::printf("  scoring engine (featurize): %.2fx  biteq=%d\n",
+              engine_speedup, features_biteq);
+  std::printf("  per-iteration exact: seed %.3f ms  cached %.3f ms  %.2fx  "
+              "biteq=%d\n",
+              iter_seed * 1e3, iter_cached * 1e3, iter_seed / iter_cached,
+              all_biteq);
+  std::printf("  per-iteration factorized: %.3f ms  %.2fx  max_ulps=%llu\n",
+              iter_fact * 1e3, iter_seed / iter_fact,
+              static_cast<unsigned long long>(max_ulps));
+
+  std::FILE* json = std::fopen(path.c_str(), "w");
+  CROWDRL_CHECK(json != nullptr) << "cannot write " << path;
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"scoring\",\n"
+               "  \"simd_tier\": \"%s\",\n"
+               "  \"dims\": {\"objects\": %zu, \"annotators\": %zu, "
+               "\"classes\": %d, \"pairs\": %zu, \"feature_dim\": %zu},\n"
+               "  \"stages\": [\n",
+               gemm::SimdTierName(), sc.n, sc.m, kClasses, pairs,
+               static_cast<size_t>(rl::StateFeaturizer::kFeatureDim));
+  const size_t num_rows = sizeof(rows) / sizeof(rows[0]);
+  for (size_t i = 0; i < num_rows; ++i) {
+    const StageRow& r = rows[i];
+    std::fprintf(json,
+                 "    {\"stage\": \"%s\", \"seed_ms\": %.4f, "
+                 "\"cached_ms\": %.4f, \"speedup\": %.3f, "
+                 "\"bit_identical\": %s}%s\n",
+                 r.stage, r.seed_ms, r.cached_ms, r.seed_ms / r.cached_ms,
+                 r.bit_identical ? "true" : "false",
+                 i + 1 < num_rows ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n"
+               "  \"scoring_engine\": {\"seed_ms\": %.4f, "
+               "\"cached_ms\": %.4f, \"speedup\": %.3f, "
+               "\"bit_identical\": %s},\n",
+               best.featurize_seed * 1e3, best.featurize_cached * 1e3,
+               engine_speedup, features_biteq ? "true" : "false");
+  std::fprintf(json,
+               "  \"per_iteration_exact\": {\"seed_ms\": %.4f, "
+               "\"cached_ms\": %.4f, \"speedup\": %.3f, "
+               "\"bit_identical\": %s},\n",
+               iter_seed * 1e3, iter_cached * 1e3, iter_seed / iter_cached,
+               all_biteq ? "true" : "false");
+  std::fprintf(json,
+               "  \"factorized_q_head\": {\"exact_forward_ms\": %.4f, "
+               "\"factorized_forward_ms\": %.4f, \"forward_speedup\": %.3f, "
+               "\"per_iteration_ms\": %.4f, \"per_iteration_speedup\": "
+               "%.3f, \"max_ulps\": %llu, \"max_abs_diff\": %.3e}\n"
+               "}\n",
+               best.forward_cached * 1e3, best.forward_factorized * 1e3,
+               best.forward_cached / best.forward_factorized,
+               iter_fact * 1e3, iter_seed / iter_fact,
+               static_cast<unsigned long long>(max_ulps), max_abs_diff);
+  std::fclose(json);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 }  // namespace crowdrl
 
 int main(int argc, char** argv) {
   size_t kernels_batch = 4096;
   std::string kernels_json = "BENCH_kernels.json";
-  // Strip the kernel-report flags before google-benchmark parses argv.
+  size_t scoring_objects = 2048;
+  std::string scoring_json = "BENCH_scoring.json";
+  // Strip the report flags before google-benchmark parses argv.
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--kernels_batch=", 16) == 0) {
@@ -583,6 +1018,11 @@ int main(int argc, char** argv) {
       CROWDRL_CHECK(kernels_batch > 0);
     } else if (std::strncmp(argv[i], "--kernels_json=", 15) == 0) {
       kernels_json = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--scoring_objects=", 18) == 0) {
+      scoring_objects = static_cast<size_t>(std::atoll(argv[i] + 18));
+      CROWDRL_CHECK(scoring_objects >= 64);
+    } else if (std::strncmp(argv[i], "--scoring_json=", 15) == 0) {
+      scoring_json = argv[i] + 15;
     } else {
       argv[kept++] = argv[i];
     }
@@ -593,5 +1033,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   crowdrl::WriteKernelReport(kernels_batch, kernels_json);
+  crowdrl::WriteScoringReport(scoring_objects, scoring_json);
   return 0;
 }

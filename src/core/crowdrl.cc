@@ -207,6 +207,11 @@ struct CrowdRlFramework::RunState {
   /// restore when have_probs says it was valid.
   Matrix class_probs;
   bool have_probs = false;
+  /// Bumped every time class_probs is refreshed; plumbed into the
+  /// StateView so the agent's ScoreCache only recomputes the classifier
+  /// feature columns when phi's beliefs actually changed. Not serialized
+  /// (a version mismatch after restore just means one extra refresh).
+  size_t class_probs_version = 0;
   double last_log_likelihood = 0.0;
 
   // Loop progress.
@@ -315,6 +320,7 @@ Status CrowdRlFramework::ApplyRestore(const io::Snapshot& snapshot,
   // class_probs is a pure function of the restored phi.
   if (rs->have_probs) {
     rs->class_probs = rs->phi.PredictProbsBatch(rs->env.dataset().features);
+    ++rs->class_probs_version;
   }
   return Status::Ok();
 }
@@ -425,6 +431,7 @@ Status CrowdRlFramework::Run(const data::Dataset& dataset,
     }
     rs.class_probs = rs.phi.PredictProbsBatch(dataset.features);
     rs.have_probs = rs.phi.is_trained();
+    ++rs.class_probs_version;
     return Status::Ok();
   };
 
@@ -436,6 +443,8 @@ Status CrowdRlFramework::Run(const data::Dataset& dataset,
     view.annotator_qualities = &rs.qualities;
     view.annotator_is_expert = &rs.is_expert;
     view.class_probs = rs.have_probs ? &rs.class_probs : nullptr;
+    view.class_probs_version =
+        rs.have_probs ? rs.class_probs_version : 0;
     view.labelled = &rs.state.labelled_mask();
     view.budget_fraction_remaining =
         budget > 0.0 ? rs.env.budget().remaining() / budget : 0.0;

@@ -40,6 +40,10 @@ class Environment {
   Status RequestAnswer(int object, int annotator);
 
   const crowd::AnswerLog& answers() const { return answers_; }
+  /// Monotone revision of the answer log: bumps once per recorded answer.
+  /// Incremental consumers remember the revision they last synced at and
+  /// ask answers().TouchedSince(rev) for exactly the objects that changed.
+  size_t answers_revision() const { return answers_.revision(); }
   const crowd::Budget& budget() const { return budget_; }
   size_t human_answers() const { return human_answers_; }
 

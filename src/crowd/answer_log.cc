@@ -1,5 +1,7 @@
 #include "crowd/answer_log.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace crowdrl::crowd {
@@ -8,7 +10,8 @@ AnswerLog::AnswerLog(size_t num_objects, size_t num_annotators)
     : num_objects_(num_objects),
       num_annotators_(num_annotators),
       answers_(num_objects * num_annotators, kNoAnswer),
-      per_object_(num_objects) {
+      entries_(num_objects * num_annotators, {0, 0}),
+      counts_(num_objects, 0) {
   CROWDRL_CHECK(num_objects > 0 && num_annotators > 0);
 }
 
@@ -21,6 +24,20 @@ size_t AnswerLog::Index(int object, int annotator) const {
          static_cast<size_t>(annotator);
 }
 
+void AnswerLog::GrowHistograms(int num_classes) {
+  CROWDRL_CHECK(num_classes > hist_classes_);
+  std::vector<int> wider(num_objects_ * static_cast<size_t>(num_classes), 0);
+  for (size_t i = 0; i < num_objects_; ++i) {
+    for (int c = 0; c < hist_classes_; ++c) {
+      wider[i * static_cast<size_t>(num_classes) + static_cast<size_t>(c)] =
+          histograms_[i * static_cast<size_t>(hist_classes_) +
+                      static_cast<size_t>(c)];
+    }
+  }
+  histograms_ = std::move(wider);
+  hist_classes_ = num_classes;
+}
+
 void AnswerLog::Record(int object, int annotator, int label) {
   CROWDRL_CHECK(label >= 0);
   size_t idx = Index(object, annotator);
@@ -28,7 +45,14 @@ void AnswerLog::Record(int object, int annotator, int label) {
       << "duplicate answer for object " << object << " by annotator "
       << annotator;
   answers_[idx] = label;
-  per_object_[static_cast<size_t>(object)].emplace_back(annotator, label);
+  size_t i = static_cast<size_t>(object);
+  entries_[i * num_annotators_ + static_cast<size_t>(counts_[i])] = {
+      annotator, label};
+  ++counts_[i];
+  if (label >= hist_classes_) GrowHistograms(label + 1);
+  ++histograms_[i * static_cast<size_t>(hist_classes_) +
+                static_cast<size_t>(label)];
+  touch_log_.push_back(object);
   ++total_answers_;
 }
 
@@ -43,21 +67,30 @@ int AnswerLog::Answer(int object, int annotator) const {
 int AnswerLog::AnswerCount(int object) const {
   CROWDRL_DCHECK(object >= 0 &&
                  static_cast<size_t>(object) < num_objects_);
-  return static_cast<int>(per_object_[static_cast<size_t>(object)].size());
+  return counts_[static_cast<size_t>(object)];
 }
 
-const std::vector<std::pair<int, int>>& AnswerLog::AnswersFor(
-    int object) const {
+AnswerSpan AnswerLog::AnswersFor(int object) const {
   CROWDRL_DCHECK(object >= 0 &&
                  static_cast<size_t>(object) < num_objects_);
-  return per_object_[static_cast<size_t>(object)];
+  size_t i = static_cast<size_t>(object);
+  return AnswerSpan(entries_.data() + i * num_annotators_,
+                    static_cast<size_t>(counts_[i]));
+}
+
+IntSpan AnswerLog::TouchedSince(size_t revision) const {
+  CROWDRL_CHECK(revision <= total_answers_)
+      << "revision " << revision << " is ahead of this log ("
+      << total_answers_ << " answers)";
+  return IntSpan(touch_log_.data() + revision, total_answers_ - revision);
 }
 
 void AnswerLog::SaveState(io::Writer* writer) const {
   CROWDRL_CHECK(writer != nullptr);
   writer->WriteSize(num_objects_);
   writer->WriteSize(num_annotators_);
-  for (const auto& answers : per_object_) {
+  for (size_t i = 0; i < num_objects_; ++i) {
+    AnswerSpan answers = AnswersFor(static_cast<int>(i));
     writer->WriteSize(answers.size());
     for (const auto& [annotator, label] : answers) {
       writer->WriteI32(annotator);
@@ -79,7 +112,11 @@ Status AnswerLog::LoadState(io::Reader* reader) {
   // same range and no-duplicate invariants Record enforces — but returning
   // DataLoss instead of aborting, since the bytes come from disk.
   std::vector<int> answers(num_objects * num_annotators, kNoAnswer);
-  std::vector<std::vector<std::pair<int, int>>> per_object(num_objects);
+  std::vector<std::pair<int, int>> entries(num_objects * num_annotators,
+                                           {0, 0});
+  std::vector<int> counts(num_objects, 0);
+  std::vector<int> touch_log;
+  int max_label = -1;
   size_t total = 0;
   for (size_t i = 0; i < num_objects; ++i) {
     size_t count = 0;
@@ -87,7 +124,6 @@ Status AnswerLog::LoadState(io::Reader* reader) {
     if (count > num_annotators) {
       return Status::DataLoss("object has more answers than annotators");
     }
-    per_object[i].reserve(count);
     for (size_t a = 0; a < count; ++a) {
       int32_t annotator = 0;
       int32_t label = 0;
@@ -104,26 +140,56 @@ Status AnswerLog::LoadState(io::Reader* reader) {
         return Status::DataLoss("duplicate answer in serialized log");
       }
       answers[idx] = label;
-      per_object[i].emplace_back(annotator, label);
+      entries[i * num_annotators + a] = {annotator, label};
+      max_label = std::max(max_label, static_cast<int>(label));
+      touch_log.push_back(static_cast<int>(i));
       ++total;
     }
+    counts[i] = static_cast<int>(count);
   }
   answers_ = std::move(answers);
-  per_object_ = std::move(per_object);
+  entries_ = std::move(entries);
+  counts_ = std::move(counts);
+  touch_log_ = std::move(touch_log);
   total_answers_ = total;
+  hist_classes_ = 0;
+  histograms_.clear();
+  if (max_label >= 0) {
+    GrowHistograms(max_label + 1);
+    for (size_t i = 0; i < num_objects_; ++i) {
+      for (const auto& [annotator, label] : AnswersFor(static_cast<int>(i))) {
+        ++histograms_[i * static_cast<size_t>(hist_classes_) +
+                      static_cast<size_t>(label)];
+      }
+    }
+  }
   return Status::Ok();
 }
 
 std::vector<int> AnswerLog::LabelHistogram(int object,
                                            int num_classes) const {
-  CROWDRL_CHECK(num_classes >= 2);
-  std::vector<int> histogram(static_cast<size_t>(num_classes), 0);
-  for (const auto& [annotator, label] : AnswersFor(object)) {
-    CROWDRL_CHECK(label < num_classes)
-        << "answer " << label << " outside class range";
-    ++histogram[static_cast<size_t>(label)];
-  }
+  std::vector<int> histogram;
+  LabelHistogramInto(object, num_classes, &histogram);
   return histogram;
+}
+
+void AnswerLog::LabelHistogramInto(int object, int num_classes,
+                                   std::vector<int>* out) const {
+  CROWDRL_CHECK(num_classes >= 2);
+  CROWDRL_DCHECK(out != nullptr);
+  CROWDRL_DCHECK(object >= 0 &&
+                 static_cast<size_t>(object) < num_objects_);
+  size_t i = static_cast<size_t>(object);
+  out->assign(static_cast<size_t>(num_classes), 0);
+  int copy = std::min(num_classes, hist_classes_);
+  const int* row = histograms_.data() + i * static_cast<size_t>(hist_classes_);
+  for (int c = 0; c < copy; ++c) (*out)[static_cast<size_t>(c)] = row[c];
+  // Same contract as the historical scan: an answer outside [0, num_classes)
+  // is a programming error.
+  for (int c = num_classes; c < hist_classes_; ++c) {
+    CROWDRL_CHECK(row[c] == 0)
+        << "answer " << c << " outside class range";
+  }
 }
 
 }  // namespace crowdrl::crowd

@@ -10,9 +10,59 @@
 
 namespace crowdrl::crowd {
 
+/// Read-only view of one object's (annotator, label) pairs in recording
+/// order. Points into the AnswerLog's contiguous per-object span; valid
+/// until the next Record/LoadState on that log.
+class AnswerSpan {
+ public:
+  using value_type = std::pair<int, int>;
+  using const_iterator = const value_type*;
+
+  AnswerSpan() = default;
+  AnswerSpan(const value_type* data, size_t size)
+      : data_(data), size_(size) {}
+
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const value_type& operator[](size_t i) const { return data_[i]; }
+
+ private:
+  const value_type* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Read-only view over a run of object ids (see AnswerLog::TouchedSince).
+class IntSpan {
+ public:
+  IntSpan() = default;
+  IntSpan(const int* data, size_t size) : data_(data), size_(size) {}
+
+  const int* begin() const { return data_; }
+  const int* end() const { return data_ + size_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int operator[](size_t i) const { return data_[i]; }
+
+ private:
+  const int* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 /// \brief The labelling-history matrix S (Section III-B): entry (i, j) is
 /// annotator j's answer for object i, or kNoAnswer if w_j has not labelled
 /// o_i yet. This is the first component of the RL state.
+///
+/// Storage is indexed for the scoring hot path: besides the dense grid,
+/// answers live in a CSR-style fixed-stride store (each object owns the
+/// contiguous span [i * num_annotators, i * num_annotators + count_i), so
+/// `AnswersFor` is a pointer view, never an allocation), per-object label
+/// histograms are maintained incrementally on `Record` (so
+/// `LabelHistogramInto` is a copy, not a scan), and an append-only touch
+/// log records which object each answer landed on — incremental consumers
+/// (rl::ScoreCache) remember the `revision()` they last synced at and ask
+/// `TouchedSince` for exactly the objects that changed.
 class AnswerLog {
  public:
   static constexpr int kNoAnswer = -1;
@@ -22,6 +72,18 @@ class AnswerLog {
   size_t num_objects() const { return num_objects_; }
   size_t num_annotators() const { return num_annotators_; }
   size_t total_answers() const { return total_answers_; }
+
+  /// Monotone change counter: bumps by one per Record. Equal revisions on
+  /// the same log imply identical contents (answers are append-only).
+  size_t revision() const { return total_answers_; }
+
+  /// Object ids touched by every Record since `revision` (one entry per
+  /// answer, possibly with repeats). `revision` must be a value previously
+  /// returned by revision(). The view is invalidated by Record/LoadState.
+  /// After LoadState the touch order is per-object, not the original
+  /// global recording order — callers using this for dirty tracking must
+  /// resync from revision 0 after a restore (they get the same set).
+  IntSpan TouchedSince(size_t revision) const;
 
   /// Records annotator `annotator`'s answer `label` for object `object`.
   /// Re-answering the same pair is a programming error (the paper forbids
@@ -35,10 +97,16 @@ class AnswerLog {
   int AnswerCount(int object) const;
 
   /// All (annotator, label) pairs for one object, in recording order.
-  const std::vector<std::pair<int, int>>& AnswersFor(int object) const;
+  AnswerSpan AnswersFor(int object) const;
 
   /// Votes per class for one object.
   std::vector<int> LabelHistogram(int object, int num_classes) const;
+
+  /// Allocation-free LabelHistogram: writes the votes into `out` (resized
+  /// to num_classes; no allocation once capacity suffices). Served from the
+  /// incrementally maintained histogram index, bit-identical to the scan.
+  void LabelHistogramInto(int object, int num_classes,
+                          std::vector<int>* out) const;
 
   /// Checkpointable surface: the per-object recording order (the grid and
   /// counters are rebuilt from it). LoadState requires the restored-into
@@ -51,10 +119,26 @@ class AnswerLog {
  private:
   size_t Index(int object, int annotator) const;
 
+  /// Widens the histogram index to at least `num_classes` columns
+  /// (preserving counts). Called from Record when a label outgrows it.
+  void GrowHistograms(int num_classes);
+
   size_t num_objects_;
   size_t num_annotators_;
   std::vector<int> answers_;  // Row-major |O| x |W|, kNoAnswer-filled.
-  std::vector<std::vector<std::pair<int, int>>> per_object_;
+  /// CSR-style fixed-stride store: object i's answers occupy
+  /// entries_[i * num_annotators_ .. + counts_[i]) in recording order.
+  /// (An object can hold at most num_annotators_ answers, so the stride is
+  /// exact and appends never shift other objects' spans.)
+  std::vector<std::pair<int, int>> entries_;
+  std::vector<int> counts_;  // Answers per object.
+  /// Per-object label histograms, |O| x hist_classes_ row-major, updated
+  /// in O(1) per Record (plus rare widenings when a label exceeds the
+  /// current class count).
+  std::vector<int> histograms_;
+  int hist_classes_ = 0;
+  /// touch_log_[r] = object that received answer number r.
+  std::vector<int> touch_log_;
   size_t total_answers_ = 0;
 };
 

@@ -42,10 +42,13 @@ void EStep(const InferenceInput& input,
   auto e_step_range = [&](size_t row_begin, size_t row_end) {
     std::vector<double> log_post(c);  // Per-chunk scratch.
     for (size_t row = row_begin; row < row_end; ++row) {
+      // One span binding per row, shared by the prior scan and every truth
+      // hypothesis below.
+      const crowd::AnswerSpan answers =
+          input.answers->AnswersFor(input.objects[row]);
       bool use_prior = options.classifier_prior_on_unanimous;
       if (!use_prior) {
         // Prior only for split votes (or no votes at all).
-        const auto& answers = input.answers->AnswersFor(input.objects[row]);
         for (size_t a = 1; a < answers.size(); ++a) {
           if (answers[a].second != answers[0].second) {
             use_prior = true;
@@ -61,8 +64,7 @@ void EStep(const InferenceInput& input,
                       std::log(std::max(class_probs.At(row, truth),
                                         kLogFloor))
                 : 0.0;
-        for (const auto& [annotator, label] :
-             input.answers->AnswersFor(input.objects[row])) {
+        for (const auto& [annotator, label] : answers) {
           lp += std::log(std::max(
               confusions[static_cast<size_t>(annotator)].At(
                   static_cast<int>(truth), label),

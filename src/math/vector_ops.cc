@@ -50,8 +50,13 @@ std::vector<double> Softmax(const std::vector<double>& logits) {
 }
 
 double Entropy(const std::vector<double>& probs) {
+  return Entropy(probs.data(), probs.size());
+}
+
+double Entropy(const double* probs, size_t n) {
   double h = 0.0;
-  for (double p : probs) {
+  for (size_t i = 0; i < n; ++i) {
+    double p = probs[i];
     if (p > 0.0) h -= p * std::log(p);
   }
   return h;
@@ -78,10 +83,15 @@ void Clip(std::vector<double>* v, double lo, double hi) {
 }
 
 double TopTwoGap(const std::vector<double>& v) {
-  CROWDRL_CHECK(v.size() >= 2);
+  return TopTwoGap(v.data(), v.size());
+}
+
+double TopTwoGap(const double* v, size_t n) {
+  CROWDRL_CHECK(n >= 2);
   double best = -std::numeric_limits<double>::infinity();
   double second = best;
-  for (double x : v) {
+  for (size_t i = 0; i < n; ++i) {
+    double x = v[i];
     if (x > best) {
       second = best;
       best = x;

@@ -25,6 +25,10 @@ std::vector<double> Softmax(const std::vector<double>& logits);
 /// contribute zero.
 double Entropy(const std::vector<double>& probs);
 
+/// Pointer-span Entropy with the same element order (bit-identical to the
+/// vector overload); lets hot paths read matrix rows without copying.
+double Entropy(const double* probs, size_t n);
+
 /// Scales a non-negative vector to sum to 1 in place. If the sum is zero,
 /// produces the uniform distribution.
 void NormalizeL1(std::vector<double>* v);
@@ -35,6 +39,9 @@ void Clip(std::vector<double>* v, double lo, double hi);
 /// Gap between the largest and second-largest entries. Requires size >= 2.
 /// This is the paper's enrichment ambiguity test |phi_cj - phi_ck|.
 double TopTwoGap(const std::vector<double>& v);
+
+/// Pointer-span TopTwoGap (bit-identical to the vector overload).
+double TopTwoGap(const double* v, size_t n);
 
 }  // namespace crowdrl
 

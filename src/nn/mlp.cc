@@ -71,9 +71,15 @@ const Matrix& Mlp::Infer(const Matrix& batch) const {
 }
 
 const Matrix& Mlp::Infer(const Matrix& batch, ThreadPool* pool) const {
-  CROWDRL_CHECK(batch.cols() == input_size());
-  const Matrix* current = &batch;
-  for (size_t l = 0; l < layers_.size(); ++l) {
+  return InferFrom(0, batch, pool);
+}
+
+const Matrix& Mlp::InferFrom(size_t first_layer, const Matrix& acts,
+                             ThreadPool* pool) const {
+  CROWDRL_CHECK(first_layer < layers_.size());
+  CROWDRL_CHECK(acts.cols() == sizes_[first_layer]);
+  const Matrix* current = &acts;
+  for (size_t l = first_layer; l < layers_.size(); ++l) {
     const Layer& layer = layers_[l];
     Matrix* out = &infer_buf_[l % 2];
     gemm::MatMulNTInto(

@@ -68,6 +68,25 @@ class Mlp {
   /// serial path.
   const Matrix& Infer(const Matrix& batch, ThreadPool* pool) const;
 
+  /// Stateless forward that starts at layer `first_layer`, treating `acts`
+  /// as that layer's input batch (i.e. the previous layer's post-activation
+  /// output). InferFrom(0, batch, pool) is exactly Infer(batch, pool) — the
+  /// batched Infer overloads delegate here. Callers that compute the first
+  /// layer themselves (QNetwork's factorized head) resume with
+  /// first_layer = 1.
+  const Matrix& InferFrom(size_t first_layer, const Matrix& acts,
+                          ThreadPool* pool = nullptr) const;
+
+  /// Read-only parameter access for layer `l`, for callers that compute a
+  /// layer's product from factorized inputs (QNetwork's factorized head).
+  const Matrix& layer_weight(size_t l) const { return layers_[l].weight; }
+  const std::vector<double>& layer_bias(size_t l) const {
+    return layers_[l].bias;
+  }
+  Activation layer_activation(size_t l) const {
+    return layers_[l].activation;
+  }
+
   /// Single-sample stateless forward. Uses only function-local (and
   /// per-thread kernel) buffers, so it is safe to call concurrently from
   /// multiple threads on one network.

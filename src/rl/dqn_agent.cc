@@ -31,6 +31,8 @@ DqnAgent::DqnAgent(DqnAgentOptions options)
   CROWDRL_CHECK(options.epsilon_decay > 0.0 && options.epsilon_decay <= 1.0);
   CROWDRL_CHECK(options.max_bootstrap_candidates > 0);
   CROWDRL_CHECK(options.threads >= 1);
+  CROWDRL_CHECK(!options.factorized_q_head || options.incremental)
+      << "the factorized Q head reads the incremental score cache";
   if (options.threads > 1) {
     pool_ = std::make_shared<ThreadPool>(options.threads);
   }
@@ -44,6 +46,22 @@ void DqnAgent::BeginEpisode(size_t num_objects, size_t num_annotators) {
   total_selections_ = 0;
   pending_.clear();
   epsilon_ = options_.epsilon;
+  score_cache_.Invalidate();
+}
+
+bool DqnAgent::UseFactorizedHead() const {
+  return options_.factorized_q_head && options_.incremental &&
+         options_.feature_mask.empty();
+}
+
+FeatureBlocks DqnAgent::CacheBlocks() const {
+  FeatureBlocks blocks;
+  blocks.object_blocks = &score_cache_.object_blocks();
+  blocks.annotator_blocks = &score_cache_.annotator_blocks();
+  blocks.global_block = score_cache_.global_block();
+  blocks.object_version = score_cache_.object_blocks_version();
+  blocks.annotator_version = score_cache_.annotator_blocks_version();
+  return blocks;
 }
 
 size_t DqnAgent::PairIndex(int object, int annotator) const {
@@ -93,22 +111,35 @@ std::vector<Action> DqnAgent::EnumerateCandidates(
     valid = std::move(sampled);
   }
 
+  if (options_.incremental) {
+    // Serial: recomputes only the blocks dirtied since the last Sync. The
+    // parallel assembly below then only reads the cache.
+    score_cache_.Sync(view);
+  }
+  if (!options_.feature_mask.empty()) {
+    CROWDRL_CHECK(options_.feature_mask.size() == StateFeaturizer::kFeatureDim);
+  }
+
   *features = Matrix(valid.size(), StateFeaturizer::kFeatureDim);
   // Each feature row depends only on its own candidate, so chunks write
   // disjoint rows and the parallel result is bit-identical to the serial
   // one at every thread count.
   auto featurize_range = [&](size_t idx_begin, size_t idx_end) {
-    std::vector<double> row;  // Per-chunk scratch.
+    StateFeaturizer::Scratch scratch;  // Per-chunk, reused across rows.
     for (size_t idx = idx_begin; idx < idx_end; ++idx) {
-      featurizer_.Featurize(view, valid[idx].object, valid[idx].annotator,
-                            &row);
+      double* row = features->Row(idx);
+      if (options_.incremental) {
+        score_cache_.AssembleRowInto(valid[idx].object, valid[idx].annotator,
+                                     row);
+      } else {
+        featurizer_.Featurize(view, valid[idx].object, valid[idx].annotator,
+                              &scratch, row);
+      }
       if (!options_.feature_mask.empty()) {
-        CROWDRL_CHECK(options_.feature_mask.size() == row.size());
-        for (size_t f = 0; f < row.size(); ++f) {
+        for (size_t f = 0; f < StateFeaturizer::kFeatureDim; ++f) {
           if (!options_.feature_mask[f]) row[f] = 0.0;
         }
       }
-      features->SetRow(idx, row);
     }
   };
   if (pool_ != nullptr) {
@@ -137,7 +168,10 @@ ScoredCandidates DqnAgent::Score(
     out.scores.resize(out.actions.size());
     for (double& s : out.scores) s = rng_.Uniform();
   } else {
-    out.scores = q_network_.PredictBatch(out.features);
+    out.scores = UseFactorizedHead()
+                     ? q_network_.PredictBatchFactorized(
+                           CacheBlocks(), out.actions, /*use_target=*/false)
+                     : q_network_.PredictBatch(out.features);
     if (options_.exploration == ExplorationMode::kUcb) {
       double log_term =
           2.0 * std::log(static_cast<double>(total_selections_) + 1.0);
@@ -265,6 +299,10 @@ Status DqnAgent::LoadState(io::Reader* reader) {
     CROWDRL_RETURN_IF_ERROR(reader->ReadDoubleVector(&features));
   }
   pending_ = std::move(pending);
+  // The score cache is not serialized: its blocks are pure functions of
+  // the StateView, so dropping it here and letting the next Sync rebuild
+  // reproduces the same bits on the restored run.
+  score_cache_.Invalidate();
   return Status::Ok();
 }
 
@@ -289,12 +327,18 @@ void DqnAgent::ObservePerPair(const std::vector<double>& rewards,
         EnumerateCandidates(next_view, annotator_affordable,
                             options_.max_bootstrap_candidates, &features);
     if (!candidates.empty()) {
+      bool factorized = UseFactorizedHead();
       std::vector<double> target_q =
-          q_network_.TargetPredictBatch(features);
+          factorized ? q_network_.PredictBatchFactorized(
+                           CacheBlocks(), candidates, /*use_target=*/true)
+                     : q_network_.TargetPredictBatch(features);
       if (options_.q.double_dqn) {
         // Double DQN: pick the action with the online network, evaluate
         // it with the target network.
-        std::vector<double> online_q = q_network_.PredictBatch(features);
+        std::vector<double> online_q =
+            factorized ? q_network_.PredictBatchFactorized(
+                             CacheBlocks(), candidates, /*use_target=*/false)
+                       : q_network_.PredictBatch(features);
         size_t best = 0;
         for (size_t i = 1; i < online_q.size(); ++i) {
           if (online_q[i] > online_q[best]) best = i;

@@ -7,6 +7,7 @@
 #include "rl/action.h"
 #include "rl/q_network.h"
 #include "rl/replay_buffer.h"
+#include "rl/score_cache.h"
 #include "rl/state.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -53,6 +54,20 @@ struct DqnAgentOptions {
   /// count. Q-network inference threads are configured separately via
   /// `q.threads`.
   int threads = 1;
+  /// Incremental candidate scoring: feature rows are assembled from the
+  /// per-object / per-annotator blocks kept in a ScoreCache (only dirty
+  /// blocks recompute between iterations) instead of being featurized from
+  /// scratch per pair. Bit-identical to the naive path — both are built
+  /// from the same StateFeaturizer block helpers — so it is on by default;
+  /// off reproduces the original full-grid featurization for A/B testing.
+  bool incremental = true;
+  /// Factorized first-layer Q head: W*x decomposed over the cached blocks
+  /// with per-object / per-annotator partial products reused across
+  /// iterations (QNetwork::PredictBatchFactorized). Changes the
+  /// floating-point accumulation order, so Q values are only ULP-close to
+  /// the exact path — default off; requires `incremental` and is ignored
+  /// (exact path) when feature_mask is non-empty.
+  bool factorized_q_head = false;
   uint64_t seed = 23;
 };
 
@@ -146,10 +161,19 @@ class DqnAgent {
   /// shape, so a wider view would silently read out of bounds.
   void CheckViewMatchesEpisode(const StateView& view) const;
 
+  /// True when this Score/Observe should route Q prediction through the
+  /// factorized head (option on, cache in use, no feature mask).
+  bool UseFactorizedHead() const;
+  FeatureBlocks CacheBlocks() const;
+
   DqnAgentOptions options_;
   QNetwork q_network_;
   ReplayBuffer replay_;
   StateFeaturizer featurizer_;
+  /// Block cache for incremental featurization; rebuilt (never
+  /// checkpointed) after BeginEpisode/LoadState — blocks are pure
+  /// functions of the StateView, so the rebuild is bit-identical.
+  ScoreCache score_cache_;
   Rng rng_;
   double epsilon_;
   /// Featurization pool, null when options_.threads <= 1 (serial).

@@ -1,6 +1,8 @@
 #include "rl/q_network.h"
 
+#include "math/gemm.h"
 #include "nn/loss.h"
+#include "rl/state.h"
 #include "util/logging.h"
 
 namespace crowdrl::rl {
@@ -74,6 +76,7 @@ double QNetwork::TrainBatch(const std::vector<const Transition*>& batch) {
   double loss = nn::MseLoss(pred, y, &grad);
   online_.Backward(grad, /*input_grad=*/nullptr, pool_.get());
   optimizer_.Step(&online_);
+  ++params_version_;
   ++train_steps_;
   SyncTargetIfDue();
   return loss;
@@ -82,10 +85,12 @@ double QNetwork::TrainBatch(const std::vector<const Transition*>& batch) {
 void QNetwork::SyncTargetIfDue() {
   if (options_.soft_tau > 0.0) {
     target_.BlendFrom(online_, options_.soft_tau);
+    ++target_params_version_;
     return;
   }
   if (train_steps_ % options_.target_sync_period == 0) {
     target_ = online_;
+    ++target_params_version_;
   }
 }
 
@@ -103,6 +108,8 @@ Status QNetwork::LoadState(io::Reader* reader) {
   CROWDRL_RETURN_IF_ERROR(target_.LoadState(reader));
   CROWDRL_RETURN_IF_ERROR(optimizer_.LoadState(reader));
   CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&train_steps_));
+  ++params_version_;
+  ++target_params_version_;
   return Status::Ok();
 }
 
@@ -113,6 +120,99 @@ std::vector<double> QNetwork::FlatParameters() const {
 void QNetwork::SetFlatParameters(const std::vector<double>& params) {
   online_.SetFlatParameters(params);
   target_ = online_;
+  ++params_version_;
+  ++target_params_version_;
+}
+
+void QNetwork::RefreshFactorizedCache(const nn::Mlp& net,
+                                      const FeatureBlocks& blocks,
+                                      size_t params_version,
+                                      FactorizedCache* cache) {
+  const Matrix& w = net.layer_weight(0);
+  size_t h1 = w.rows();
+  bool params_stale = !cache->valid || cache->params_version != params_version;
+  if (params_stale) {
+    // Re-slice the first-layer weight into its object / annotator columns.
+    cache->w_object = Matrix(h1, StateFeaturizer::kObjectBlockDim);
+    cache->w_annotator = Matrix(h1, StateFeaturizer::kAnnotatorBlockDim);
+    for (size_t h = 0; h < h1; ++h) {
+      const double* w_row = w.Row(h);
+      double* wo_row = cache->w_object.Row(h);
+      for (size_t t = 0; t < StateFeaturizer::kObjectBlockDim; ++t) {
+        wo_row[t] = w_row[StateFeaturizer::kObjectBlockOffset + t];
+      }
+      double* wa_row = cache->w_annotator.Row(h);
+      for (size_t t = 0; t < StateFeaturizer::kAnnotatorBlockDim; ++t) {
+        wa_row[t] = w_row[StateFeaturizer::kAnnotatorBlockOffset + t];
+      }
+    }
+  }
+  if (params_stale || cache->object_version != blocks.object_version) {
+    gemm::MatMulNTInto(*blocks.object_blocks, cache->w_object,
+                       &cache->object_partials, pool_.get());
+    cache->object_version = blocks.object_version;
+  }
+  if (params_stale || cache->annotator_version != blocks.annotator_version) {
+    gemm::MatMulNTInto(*blocks.annotator_blocks, cache->w_annotator,
+                       &cache->annotator_partials, pool_.get());
+    cache->annotator_version = blocks.annotator_version;
+  }
+  cache->params_version = params_version;
+  cache->valid = true;
+}
+
+std::vector<double> QNetwork::PredictBatchFactorized(
+    const FeatureBlocks& blocks, const std::vector<Action>& pairs,
+    bool use_target) {
+  CROWDRL_CHECK(options_.feature_dim == StateFeaturizer::kFeatureDim)
+      << "the factorized head assumes the StateFeaturizer feature layout";
+  CROWDRL_CHECK(blocks.object_blocks != nullptr &&
+                blocks.annotator_blocks != nullptr &&
+                blocks.global_block != nullptr);
+  const nn::Mlp& net = use_target ? target_ : online_;
+  FactorizedCache& cache =
+      use_target ? factorized_target_ : factorized_online_;
+  size_t params_version =
+      use_target ? target_params_version_ : params_version_;
+  RefreshFactorizedCache(net, blocks, params_version, &cache);
+
+  const Matrix& w = net.layer_weight(0);
+  const std::vector<double>& bias = net.layer_bias(0);
+  size_t h1 = w.rows();
+  const double* g = blocks.global_block;
+
+  // Global partial: W_g * g + b, shared by every pair this call. The
+  // global feature columns are {0, 10, 11} (see StateFeaturizer).
+  std::vector<double> global_partial(h1);
+  for (size_t h = 0; h < h1; ++h) {
+    const double* w_row = w.Row(h);
+    global_partial[h] =
+        w_row[0] * g[0] + w_row[10] * g[1] + w_row[11] * g[2] + bias[h];
+  }
+
+  if (factorized_acts_.rows() != pairs.size() ||
+      factorized_acts_.cols() != h1) {
+    factorized_acts_ = Matrix(pairs.size(), h1);
+  }
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const double* object_row = cache.object_partials.Row(
+        static_cast<size_t>(pairs[p].object));
+    const double* annotator_row = cache.annotator_partials.Row(
+        static_cast<size_t>(pairs[p].annotator));
+    double* acts_row = factorized_acts_.Row(p);
+    for (size_t h = 0; h < h1; ++h) {
+      acts_row[h] = global_partial[h] + object_row[h] + annotator_row[h];
+    }
+  }
+  nn::ApplyActivationRows(net.layer_activation(0), &factorized_acts_, 0,
+                          factorized_acts_.rows());
+
+  const Matrix& out = net.num_layers() > 1
+                          ? net.InferFrom(1, factorized_acts_, pool_.get())
+                          : factorized_acts_;
+  std::vector<double> q(out.rows());
+  for (size_t r = 0; r < out.rows(); ++r) q[r] = out.At(r, 0);
+  return q;
 }
 
 }  // namespace crowdrl::rl

@@ -7,10 +7,23 @@
 #include "math/matrix.h"
 #include "nn/mlp.h"
 #include "nn/optimizer.h"
+#include "rl/action.h"
 #include "rl/replay_buffer.h"
 #include "util/thread_pool.h"
 
 namespace crowdrl::rl {
+
+/// Cached feature blocks handed to the factorized Q head (ScoreCache's
+/// accessors produce exactly this shape). The version counters key the
+/// network's per-object / per-annotator partial-product caches: equal
+/// versions mean the block matrices are unchanged since the last call.
+struct FeatureBlocks {
+  const Matrix* object_blocks = nullptr;     // n x kObjectBlockDim.
+  const Matrix* annotator_blocks = nullptr;  // m x kAnnotatorBlockDim.
+  const double* global_block = nullptr;      // kGlobalBlockDim values.
+  size_t object_version = 0;
+  size_t annotator_version = 0;
+};
 
 /// Hyper-parameters of the Deep Q-Network.
 struct QNetworkOptions {
@@ -57,6 +70,21 @@ class QNetwork {
   /// Target-network Q values for a batch.
   std::vector<double> TargetPredictBatch(const Matrix& features) const;
 
+  /// Q values for `pairs` from cached feature blocks, decomposing the
+  /// first-layer GEMM as W*x = W_g*g + W_o*o_i + W_a*a_j with the
+  /// per-object and per-annotator partial products cached across calls
+  /// (invalidated by the blocks' version counters and by parameter
+  /// updates). Requires the StateFeaturizer feature layout
+  /// (feature_dim == StateFeaturizer::kFeatureDim).
+  ///
+  /// NOT bit-identical to PredictBatch: regrouping the first-layer sum
+  /// changes the floating-point accumulation order, so results agree only
+  /// to within a few ULPs (see DESIGN.md "Numerics & kernels"). Callers
+  /// must opt in (DqnAgentOptions::factorized_q_head, default off).
+  std::vector<double> PredictBatchFactorized(const FeatureBlocks& blocks,
+                                             const std::vector<Action>& pairs,
+                                             bool use_target);
+
   /// One SGD step on a replay minibatch; returns the TD loss.
   double TrainBatch(const std::vector<const Transition*>& batch);
 
@@ -74,7 +102,23 @@ class QNetwork {
   Status LoadState(io::Reader* reader);
 
  private:
+  /// Cached first-layer partial products for one network (online or
+  /// target), keyed by the block versions and the network's parameter
+  /// version.
+  struct FactorizedCache {
+    Matrix object_partials;     // n x h1: object_blocks * W_o^T.
+    Matrix annotator_partials;  // m x h1: annotator_blocks * W_a^T.
+    Matrix w_object;            // h1 x kObjectBlockDim column slice of W.
+    Matrix w_annotator;         // h1 x kAnnotatorBlockDim column slice.
+    size_t object_version = 0;
+    size_t annotator_version = 0;
+    size_t params_version = 0;
+    bool valid = false;
+  };
+
   void SyncTargetIfDue();
+  void RefreshFactorizedCache(const nn::Mlp& net, const FeatureBlocks& blocks,
+                              size_t params_version, FactorizedCache* cache);
 
   QNetworkOptions options_;
   nn::Mlp online_;
@@ -84,6 +128,15 @@ class QNetwork {
   /// Inference pool, null when options_.threads <= 1 (serial). Shared so
   /// the network stays copyable; copies score on the same workers.
   std::shared_ptr<ThreadPool> pool_;
+
+  /// Parameter-change counters keying the factorized caches: bumped on
+  /// every mutation of the corresponding network's weights.
+  size_t params_version_ = 1;
+  size_t target_params_version_ = 1;
+  FactorizedCache factorized_online_;
+  FactorizedCache factorized_target_;
+  /// Pre-activation scratch for the factorized first layer.
+  Matrix factorized_acts_;
 };
 
 }  // namespace crowdrl::rl

@@ -1,5 +1,6 @@
 #include "rl/state.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "math/vector_ops.h"
@@ -7,22 +8,15 @@
 
 namespace crowdrl::rl {
 
-void StateFeaturizer::Featurize(const StateView& view, int object,
-                                int annotator,
-                                std::vector<double>* out) const {
-  CROWDRL_DCHECK(out != nullptr);
-  CROWDRL_DCHECK(view.answers != nullptr);
-  CROWDRL_DCHECK(view.annotator_costs != nullptr);
-  CROWDRL_DCHECK(view.annotator_qualities != nullptr);
-  CROWDRL_DCHECK(view.num_classes >= 2);
-  out->assign(kFeatureDim, 0.0);
-
+void StateFeaturizer::ComputeObjectHistoryBlock(const StateView& view,
+                                                int object, Scratch* scratch,
+                                                double* out) {
+  CROWDRL_DCHECK(scratch != nullptr && out != nullptr);
   size_t num_annotators = view.answers->num_annotators();
   double log_c = std::log(static_cast<double>(view.num_classes));
 
-  // Object-side features.
-  std::vector<int> hist =
-      view.answers->LabelHistogram(object, view.num_classes);
+  view.answers->LabelHistogramInto(object, view.num_classes, &scratch->hist);
+  const std::vector<int>& hist = scratch->hist;
   int answer_count = 0;
   int top_votes = 0;
   for (int v : hist) {
@@ -31,28 +25,44 @@ void StateFeaturizer::Featurize(const StateView& view, int object,
   }
   double answer_entropy = 0.0;
   if (answer_count > 0) {
-    std::vector<double> frac(hist.size());
+    scratch->frac.resize(hist.size());
+    std::vector<double>& frac = scratch->frac;
     for (size_t i = 0; i < hist.size(); ++i) {
       frac[i] = static_cast<double>(hist[i]) /
                 static_cast<double>(answer_count);
     }
-    answer_entropy = Entropy(frac) / log_c;
+    answer_entropy = Entropy(frac.data(), frac.size()) / log_c;
   }
   double agreement =
       answer_count > 0 ? static_cast<double>(top_votes) /
                              static_cast<double>(answer_count)
                        : 0.0;
 
+  out[0] = static_cast<double>(answer_count) /
+           static_cast<double>(num_annotators);
+  out[1] = answer_entropy;
+  out[2] = agreement;
+}
+
+void StateFeaturizer::ComputeObjectClassifierBlock(const StateView& view,
+                                                   int object, double* out) {
+  CROWDRL_DCHECK(out != nullptr);
   double cls_margin = 0.0;
   double cls_entropy = 1.0;  // Max uncertainty before phi exists.
   if (view.class_probs != nullptr) {
-    std::vector<double> probs =
-        view.class_probs->RowVector(static_cast<size_t>(object));
-    cls_margin = TopTwoGap(probs);
-    cls_entropy = Entropy(probs) / log_c;
+    double log_c = std::log(static_cast<double>(view.num_classes));
+    const double* probs = view.class_probs->Row(static_cast<size_t>(object));
+    size_t n = view.class_probs->cols();
+    cls_margin = TopTwoGap(probs, n);
+    cls_entropy = Entropy(probs, n) / log_c;
   }
+  out[0] = cls_margin;
+  out[1] = cls_entropy;
+}
 
-  // Annotator-side features.
+void StateFeaturizer::ComputeAnnotatorBlock(const StateView& view,
+                                            int annotator, double* out) {
+  CROWDRL_DCHECK(out != nullptr);
   size_t j = static_cast<size_t>(annotator);
   double cost = (*view.annotator_costs)[j];
   double max_cost = view.max_cost > 0.0 ? view.max_cost : 1.0;
@@ -63,20 +73,60 @@ void StateFeaturizer::Featurize(const StateView& view, int object,
       view.annotator_is_expert != nullptr && (*view.annotator_is_expert)[j]
           ? 1.0
           : 0.0;
+  out[0] = quality;
+  out[1] = norm_cost;
+  out[2] = quality_per_cost / 10.0;  // Keep in roughly [0, 1].
+  out[3] = is_expert;
+}
 
-  (*out)[0] = 1.0;  // Bias.
-  (*out)[1] = static_cast<double>(answer_count) /
-              static_cast<double>(num_annotators);
-  (*out)[2] = answer_entropy;
-  (*out)[3] = agreement;
-  (*out)[4] = cls_margin;
-  (*out)[5] = cls_entropy;
-  (*out)[6] = quality;
-  (*out)[7] = norm_cost;
-  (*out)[8] = quality_per_cost / 10.0;  // Keep in roughly [0, 1].
-  (*out)[9] = is_expert;
-  (*out)[10] = view.budget_fraction_remaining;
-  (*out)[11] = view.fraction_labelled;
+void StateFeaturizer::ComputeGlobalBlock(const StateView& view, double* out) {
+  CROWDRL_DCHECK(out != nullptr);
+  out[0] = 1.0;  // Bias.
+  out[1] = view.budget_fraction_remaining;
+  out[2] = view.fraction_labelled;
+}
+
+void StateFeaturizer::AssembleRow(const double* object_block,
+                                  const double* annotator_block,
+                                  const double* global_block, double* row) {
+  row[0] = global_block[0];
+  for (size_t i = 0; i < kObjectBlockDim; ++i) {
+    row[kObjectBlockOffset + i] = object_block[i];
+  }
+  for (size_t i = 0; i < kAnnotatorBlockDim; ++i) {
+    row[kAnnotatorBlockOffset + i] = annotator_block[i];
+  }
+  row[10] = global_block[1];
+  row[11] = global_block[2];
+}
+
+void StateFeaturizer::Featurize(const StateView& view, int object,
+                                int annotator, Scratch* scratch,
+                                double* out) const {
+  CROWDRL_DCHECK(out != nullptr);
+  CROWDRL_DCHECK(view.answers != nullptr);
+  CROWDRL_DCHECK(view.annotator_costs != nullptr);
+  CROWDRL_DCHECK(view.annotator_qualities != nullptr);
+  CROWDRL_DCHECK(view.num_classes >= 2);
+
+  double object_block[kObjectBlockDim];
+  double annotator_block[kAnnotatorBlockDim];
+  double global_block[kGlobalBlockDim];
+  ComputeObjectHistoryBlock(view, object, scratch, object_block);
+  ComputeObjectClassifierBlock(view, object,
+                               object_block + kObjectHistoryDim);
+  ComputeAnnotatorBlock(view, annotator, annotator_block);
+  ComputeGlobalBlock(view, global_block);
+  AssembleRow(object_block, annotator_block, global_block, out);
+}
+
+void StateFeaturizer::Featurize(const StateView& view, int object,
+                                int annotator,
+                                std::vector<double>* out) const {
+  CROWDRL_DCHECK(out != nullptr);
+  out->resize(kFeatureDim);
+  Scratch scratch;
+  Featurize(view, object, annotator, &scratch, out->data());
 }
 
 }  // namespace crowdrl::rl

@@ -22,6 +22,11 @@ struct StateView {
   /// phi's class probabilities per object (all objects); null before the
   /// classifier has been trained.
   const Matrix* class_probs = nullptr;
+  /// Change counter for class_probs: producers bump it whenever the matrix
+  /// contents are refreshed. 0 means "unversioned" — incremental consumers
+  /// (ScoreCache) then conservatively recompute the classifier-derived
+  /// feature columns on every sync, which is slower but still exact.
+  size_t class_probs_version = 0;
   /// Objects whose truth has already been decided (by inference or by
   /// enrichment); the agent must never select them again (Q = -inf).
   const std::vector<bool>* labelled = nullptr;
@@ -41,9 +46,69 @@ struct StateView {
 /// about it, the annotator's estimated quality and cost, and the global
 /// budget/progress — and the DQN scores pairs independently, keeping
 /// action scoring O(|O||W|) per iteration.
+///
+/// The 12 columns factor into three independent blocks, which is what makes
+/// incremental scoring (ScoreCache) possible:
+///
+///   global     columns {0, 10, 11}: bias, budget fraction, frac labelled
+///   object     columns [1..5]:      answer count, answer entropy,
+///                                   agreement, cls margin, cls entropy
+///   annotator  columns [6..9]:      quality, norm cost, quality/cost,
+///                                   expert bit
+///
+/// The object block further splits into a history part (columns 1..3,
+/// dirty when the object receives an answer) and a classifier part
+/// (columns 4..5, dirty when class_probs is refreshed). Every block is
+/// computed by exactly one static helper below; Featurize and ScoreCache
+/// both call those helpers, so cached rows are bit-identical to
+/// from-scratch rows by construction.
 class StateFeaturizer {
  public:
   static constexpr size_t kFeatureDim = 12;
+
+  // Block geometry (column layout documented above).
+  static constexpr size_t kObjectBlockDim = 5;
+  static constexpr size_t kObjectHistoryDim = 3;  // First part of the block.
+  static constexpr size_t kAnnotatorBlockDim = 4;
+  static constexpr size_t kGlobalBlockDim = 3;
+  static constexpr size_t kObjectBlockOffset = 1;
+  static constexpr size_t kAnnotatorBlockOffset = 6;
+
+  /// Caller-provided scratch for allocation-free featurization. Reused
+  /// across calls; buffers keep their capacity.
+  struct Scratch {
+    std::vector<int> hist;
+    std::vector<double> frac;
+  };
+
+  /// Columns 1..3 of the row: normalized answer count, answer entropy,
+  /// agreement. Dirty when the object receives an answer.
+  static void ComputeObjectHistoryBlock(const StateView& view, int object,
+                                        Scratch* scratch, double* out);
+
+  /// Columns 4..5 of the row: classifier margin and entropy. Dirty when
+  /// class_probs is refreshed.
+  static void ComputeObjectClassifierBlock(const StateView& view, int object,
+                                           double* out);
+
+  /// Columns 6..9 of the row: quality, normalized cost, quality-per-cost,
+  /// expert bit. Dirty when annotator statistics or max_cost change.
+  static void ComputeAnnotatorBlock(const StateView& view, int annotator,
+                                    double* out);
+
+  /// Columns {0, 10, 11} of the row: bias, budget fraction remaining,
+  /// fraction labelled. Changes every iteration; only 3 doubles.
+  static void ComputeGlobalBlock(const StateView& view, double* out);
+
+  /// Scatters the three blocks into one kFeatureDim row (pure copies).
+  static void AssembleRow(const double* object_block,
+                          const double* annotator_block,
+                          const double* global_block, double* row);
+
+  /// Writes the feature vector for (object, annotator) into the
+  /// kFeatureDim-wide `out` row without allocating (scratch is reused).
+  void Featurize(const StateView& view, int object, int annotator,
+                 Scratch* scratch, double* out) const;
 
   /// Writes the feature vector for (object, annotator) into `out`
   /// (resized to kFeatureDim).

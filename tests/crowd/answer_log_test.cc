@@ -1,6 +1,10 @@
 #include "crowd/answer_log.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "io/serializer.h"
 
 namespace crowdrl::crowd {
 namespace {
@@ -38,6 +42,92 @@ TEST(AnswerLogTest, LabelHistogram) {
   EXPECT_EQ(hist[0], 1);
   EXPECT_EQ(hist[1], 2);
   EXPECT_EQ(log.LabelHistogram(1, 2), (std::vector<int>{0, 0}));
+}
+
+TEST(AnswerLogTest, RevisionBumpsOncePerRecord) {
+  AnswerLog log(3, 2);
+  EXPECT_EQ(log.revision(), 0u);
+  log.Record(0, 0, 1);
+  EXPECT_EQ(log.revision(), 1u);
+  log.Record(2, 1, 0);
+  log.Record(0, 1, 1);
+  EXPECT_EQ(log.revision(), 3u);
+}
+
+TEST(AnswerLogTest, TouchedSinceReportsObjectsPerAnswer) {
+  AnswerLog log(4, 3);
+  log.Record(1, 0, 0);
+  size_t rev = log.revision();
+  EXPECT_TRUE(log.TouchedSince(rev).empty());
+  log.Record(3, 1, 1);
+  log.Record(1, 1, 0);
+  log.Record(3, 2, 1);
+  IntSpan touched = log.TouchedSince(rev);
+  ASSERT_EQ(touched.size(), 3u);
+  EXPECT_EQ(touched[0], 3);
+  EXPECT_EQ(touched[1], 1);
+  EXPECT_EQ(touched[2], 3);  // Repeats are kept: one entry per answer.
+  // From revision 0 the full history is visible.
+  EXPECT_EQ(log.TouchedSince(0).size(), 4u);
+}
+
+TEST(AnswerLogTest, LabelHistogramIntoReusesBufferAndMatches) {
+  AnswerLog log(2, 4);
+  log.Record(0, 0, 2);
+  log.Record(0, 1, 2);
+  log.Record(0, 3, 0);
+  std::vector<int> hist;
+  log.LabelHistogramInto(0, 3, &hist);
+  EXPECT_EQ(hist, (std::vector<int>{1, 0, 2}));
+  EXPECT_EQ(hist, log.LabelHistogram(0, 3));
+  // Wider class count than any recorded label: zero-filled tail.
+  log.LabelHistogramInto(0, 5, &hist);
+  EXPECT_EQ(hist, (std::vector<int>{1, 0, 2, 0, 0}));
+  log.LabelHistogramInto(1, 3, &hist);
+  EXPECT_EQ(hist, (std::vector<int>{0, 0, 0}));
+}
+
+TEST(AnswerLogTest, AnswersForIsStableAcrossRecordsToOtherObjects) {
+  AnswerLog log(3, 4);
+  log.Record(1, 2, 0);
+  AnswerSpan before = log.AnswersFor(1);
+  const auto* data = before.begin();
+  // Appends to other objects (and to object 1 itself) never move the span.
+  log.Record(0, 0, 1);
+  log.Record(2, 3, 1);
+  log.Record(1, 0, 1);
+  AnswerSpan after = log.AnswersFor(1);
+  EXPECT_EQ(after.begin(), data);
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(after[0], (std::pair<int, int>{2, 0}));
+  EXPECT_EQ(after[1], (std::pair<int, int>{0, 1}));
+}
+
+TEST(AnswerLogTest, SaveLoadRebuildsIndexes) {
+  AnswerLog log(3, 3);
+  log.Record(0, 1, 2);
+  log.Record(2, 0, 0);
+  log.Record(0, 2, 2);
+  io::Writer writer;
+  log.SaveState(&writer);
+
+  AnswerLog restored(3, 3);
+  io::Reader reader(writer.bytes());
+  ASSERT_TRUE(restored.LoadState(&reader).ok());
+  EXPECT_EQ(restored.revision(), 3u);
+  EXPECT_EQ(restored.Answer(0, 1), 2);
+  EXPECT_EQ(restored.Answer(2, 0), 0);
+  ASSERT_EQ(restored.AnswersFor(0).size(), 2u);
+  EXPECT_EQ(restored.AnswersFor(0)[0], (std::pair<int, int>{1, 2}));
+  EXPECT_EQ(restored.LabelHistogram(0, 3), (std::vector<int>{0, 0, 2}));
+  EXPECT_EQ(restored.LabelHistogram(2, 3), (std::vector<int>{1, 0, 0}));
+  // The touch log is rebuilt per object; the full set is recoverable from
+  // revision 0 (consumers resync from 0 after a restore).
+  EXPECT_EQ(restored.TouchedSince(0).size(), 3u);
+  // Appending after a restore keeps every index coherent.
+  restored.Record(0, 0, 1);
+  EXPECT_EQ(restored.LabelHistogram(0, 3), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(restored.revision(), 4u);
 }
 
 TEST(AnswerLogDeathTest, DuplicateRecordAborts) {

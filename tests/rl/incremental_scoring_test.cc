@@ -1,0 +1,421 @@
+// The incremental scoring engine's contract (ScoreCache + DqnAgent):
+//  - the cached path is bit-identical to the naive featurize-every-pair
+//    path — features, Q scores, and selected assignments — at every
+//    iteration of a randomized run, including across checkpoint/resume;
+//  - dirty tracking refreshes exactly the blocks whose inputs changed;
+//  - the factorized Q head (opt-in) agrees with the exact forward to
+//    within a small ULP bound.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/serializer.h"
+#include "rl/dqn_agent.h"
+#include "rl/score_cache.h"
+#include "util/random.h"
+
+namespace crowdrl::rl {
+namespace {
+
+constexpr size_t kObjects = 64;
+constexpr size_t kAnnotators = 8;
+constexpr int kClasses = 4;
+
+/// A mutable workload the tests drive through answer arrivals, quality /
+/// classifier refreshes, labelling progress, and budget decay — the events
+/// that dirty ScoreCache blocks in a real run.
+struct Scenario {
+  crowd::AnswerLog answers{kObjects, kAnnotators};
+  std::vector<double> costs;
+  std::vector<double> qualities;
+  std::vector<bool> is_expert;
+  std::vector<bool> labelled;
+  std::vector<bool> affordable;
+  Matrix class_probs{kObjects, static_cast<size_t>(kClasses)};
+  size_t probs_version = 0;
+  bool have_probs = false;
+  double budget_fraction = 1.0;
+  double fraction_labelled = 0.0;
+  Rng rng{4211};
+
+  Scenario() {
+    for (size_t j = 0; j < kAnnotators; ++j) {
+      bool expert = j + 1 == kAnnotators;
+      costs.push_back(expert ? 8.0 : 1.0 + 0.25 * static_cast<double>(j));
+      qualities.push_back(0.55 + 0.04 * static_cast<double>(j));
+      is_expert.push_back(expert);
+      affordable.push_back(true);
+    }
+    labelled.assign(kObjects, false);
+  }
+
+  void RefreshProbs() {
+    for (size_t i = 0; i < kObjects; ++i) {
+      double sum = 0.0;
+      double* row = class_probs.Row(i);
+      for (int c = 0; c < kClasses; ++c) {
+        row[c] = 0.05 + rng.Uniform();
+        sum += row[c];
+      }
+      for (int c = 0; c < kClasses; ++c) row[c] /= sum;
+    }
+    ++probs_version;
+    have_probs = true;
+  }
+
+  StateView View(bool versioned = true) const {
+    StateView view;
+    view.answers = &answers;
+    view.num_classes = kClasses;
+    view.annotator_costs = &costs;
+    view.annotator_qualities = &qualities;
+    view.annotator_is_expert = &is_expert;
+    view.class_probs = have_probs ? &class_probs : nullptr;
+    view.class_probs_version = have_probs && versioned ? probs_version : 0;
+    view.labelled = &labelled;
+    view.budget_fraction_remaining = budget_fraction;
+    view.fraction_labelled = fraction_labelled;
+    view.max_cost = 8.0;
+    return view;
+  }
+};
+
+DqnAgentOptions MakeOptions(bool incremental) {
+  DqnAgentOptions options;
+  options.seed = 29;
+  options.q.seed = 31;
+  options.incremental = incremental;
+  options.min_replay_before_training = 16;
+  options.train_batch = 8;
+  options.train_steps_per_observe = 2;
+  return options;
+}
+
+void ExpectScoredBitIdentical(const ScoredCandidates& got,
+                              const ScoredCandidates& want, int iteration) {
+  ASSERT_EQ(got.actions.size(), want.actions.size()) << "iter " << iteration;
+  for (size_t i = 0; i < got.actions.size(); ++i) {
+    ASSERT_EQ(got.actions[i].object, want.actions[i].object)
+        << "iter " << iteration << " candidate " << i;
+    ASSERT_EQ(got.actions[i].annotator, want.actions[i].annotator)
+        << "iter " << iteration << " candidate " << i;
+    ASSERT_EQ(got.scores[i], want.scores[i])
+        << "iter " << iteration << " candidate " << i;
+  }
+  ASSERT_EQ(got.features.rows(), want.features.rows());
+  ASSERT_EQ(got.features.cols(), want.features.cols());
+  for (size_t i = 0; i < got.features.size(); ++i) {
+    ASSERT_EQ(got.features.data()[i], want.features.data()[i])
+        << "iter " << iteration << " feature element " << i;
+  }
+}
+
+DqnAgent RoundTrip(const DqnAgent& agent, DqnAgentOptions options) {
+  io::Writer writer;
+  agent.SaveState(&writer);
+  DqnAgent fresh(std::move(options));
+  io::Reader reader(writer.bytes());
+  EXPECT_TRUE(fresh.LoadState(&reader).ok());
+  return fresh;
+}
+
+// Satellite property test: a randomized run (random k, inference-style
+// refreshes, budget exhaustion, checkpoint/resume mid-run) in which the
+// cached scorer's features, Q scores, and chosen assignments must be
+// bit-identical to the from-scratch naive scorer at every iteration.
+TEST(IncrementalScoringTest, CachedAgentMatchesNaiveOverRandomizedRun) {
+  Scenario s;
+  DqnAgent naive(MakeOptions(/*incremental=*/false));
+  DqnAgent cached(MakeOptions(/*incremental=*/true));
+  naive.BeginEpisode(kObjects, kAnnotators);
+  cached.BeginEpisode(kObjects, kAnnotators);
+
+  for (int iter = 0; iter < 24; ++iter) {
+    // Inference-style refresh: new classifier beliefs and a quality nudge.
+    if (iter % 3 == 1) {
+      s.RefreshProbs();
+      s.qualities[static_cast<size_t>(s.rng.UniformInt(
+          static_cast<int>(kAnnotators)))] = s.rng.Uniform(0.3, 0.95);
+    }
+    // Labelling progress.
+    if (iter % 4 == 2) {
+      size_t i = static_cast<size_t>(
+          s.rng.UniformInt(static_cast<int>(kObjects)));
+      if (!s.labelled[i]) {
+        s.labelled[i] = true;
+        s.fraction_labelled += 1.0 / static_cast<double>(kObjects);
+      }
+    }
+    // Budget decay, down to exhaustion of the expensive annotators.
+    s.budget_fraction = std::max(0.0, s.budget_fraction - 0.04);
+    if (iter == 15) s.affordable[kAnnotators - 1] = false;
+    if (iter == 19) s.affordable[0] = false;
+
+    // Every 5th iteration presents the view unversioned, exercising the
+    // conservative always-refresh classifier path.
+    StateView view = s.View(/*versioned=*/iter % 5 != 0);
+    int k = 1 + s.rng.UniformInt(2);
+    int picks = 1 + s.rng.UniformInt(3);
+
+    ScoredCandidates from_naive = naive.Score(view, s.affordable);
+    ScoredCandidates from_cached = cached.Score(view, s.affordable);
+    ExpectScoredBitIdentical(from_cached, from_naive, iter);
+
+    std::vector<size_t> chosen_naive;
+    std::vector<size_t> chosen_cached;
+    std::vector<Assignment> assign_naive = PickTopKSumAssignments(
+        from_naive, k, picks, kObjects, &chosen_naive);
+    std::vector<Assignment> assign_cached = PickTopKSumAssignments(
+        from_cached, k, picks, kObjects, &chosen_cached);
+    ASSERT_EQ(chosen_naive, chosen_cached) << "iter " << iter;
+    ASSERT_EQ(assign_naive.size(), assign_cached.size());
+    for (size_t a = 0; a < assign_naive.size(); ++a) {
+      ASSERT_EQ(assign_naive[a].object, assign_cached[a].object);
+      ASSERT_EQ(assign_naive[a].annotators, assign_cached[a].annotators);
+    }
+    naive.Commit(from_naive, chosen_naive);
+    cached.Commit(from_cached, chosen_cached);
+
+    // Execute the (identical) assignments against the shared log.
+    for (const Assignment& assignment : assign_naive) {
+      for (int j : assignment.annotators) {
+        s.answers.Record(assignment.object, j, s.rng.UniformInt(kClasses));
+      }
+    }
+
+    double reward = s.rng.Uniform();
+    StateView next = s.View(/*versioned=*/iter % 5 != 0);
+    naive.Observe(reward, next, s.affordable, /*terminal=*/false);
+    cached.Observe(reward, next, s.affordable, /*terminal=*/false);
+
+    // Mid-run checkpoint into fresh agents: the cached agent's ScoreCache
+    // is not serialized and must rebuild to the same bits.
+    if (iter == 11) {
+      naive = RoundTrip(naive, MakeOptions(false));
+      cached = RoundTrip(cached, MakeOptions(true));
+    }
+  }
+}
+
+TEST(ScoreCacheTest, AssembledRowsMatchFeaturizerBitwise) {
+  Scenario s;
+  s.RefreshProbs();
+  s.answers.Record(0, 1, 2);
+  s.answers.Record(0, 3, 2);
+  s.answers.Record(5, 0, 1);
+  StateView view = s.View();
+
+  ScoreCache cache;
+  cache.Sync(view);
+  StateFeaturizer featurizer;
+  std::vector<double> want;
+  double got[StateFeaturizer::kFeatureDim];
+  for (size_t i = 0; i < kObjects; ++i) {
+    for (size_t j = 0; j < kAnnotators; ++j) {
+      featurizer.Featurize(view, static_cast<int>(i), static_cast<int>(j),
+                           &want);
+      cache.AssembleRowInto(static_cast<int>(i), static_cast<int>(j), got);
+      for (size_t f = 0; f < StateFeaturizer::kFeatureDim; ++f) {
+        ASSERT_EQ(got[f], want[f]) << "pair (" << i << ", " << j
+                                   << ") feature " << f;
+      }
+    }
+  }
+}
+
+TEST(ScoreCacheTest, DirtyTrackingRefreshesOnlyChangedBlocks) {
+  Scenario s;
+  s.RefreshProbs();
+  ScoreCache cache;
+  cache.Sync(s.View());
+  EXPECT_TRUE(cache.last_sync_stats().full_rebuild);
+
+  // Unchanged view: nothing recomputes.
+  cache.Sync(s.View());
+  EXPECT_FALSE(cache.last_sync_stats().full_rebuild);
+  EXPECT_EQ(cache.last_sync_stats().history_refreshes, 0u);
+  EXPECT_EQ(cache.last_sync_stats().classifier_refreshes, 0u);
+  EXPECT_EQ(cache.last_sync_stats().annotator_refreshes, 0u);
+
+  // Answers dirty exactly the touched objects (deduplicated).
+  size_t object_version = cache.object_blocks_version();
+  s.answers.Record(3, 0, 1);
+  s.answers.Record(3, 1, 2);
+  s.answers.Record(7, 0, 0);
+  cache.Sync(s.View());
+  EXPECT_EQ(cache.last_sync_stats().history_refreshes, 2u);
+  EXPECT_EQ(cache.last_sync_stats().annotator_refreshes, 0u);
+  EXPECT_GT(cache.object_blocks_version(), object_version);
+
+  // A quality change dirties exactly that annotator.
+  size_t annotator_version = cache.annotator_blocks_version();
+  s.qualities[2] = 0.7;
+  cache.Sync(s.View());
+  EXPECT_EQ(cache.last_sync_stats().annotator_refreshes, 1u);
+  EXPECT_EQ(cache.last_sync_stats().history_refreshes, 0u);
+  EXPECT_GT(cache.annotator_blocks_version(), annotator_version);
+
+  // A class_probs refresh dirties every object's classifier columns.
+  s.RefreshProbs();
+  cache.Sync(s.View());
+  EXPECT_EQ(cache.last_sync_stats().classifier_refreshes, kObjects);
+
+  // An unversioned view refreshes the classifier columns on every Sync.
+  cache.Sync(s.View(/*versioned=*/false));
+  EXPECT_EQ(cache.last_sync_stats().classifier_refreshes, kObjects);
+}
+
+uint64_t OrderedBits(double x) {
+  uint64_t u = 0;
+  std::memcpy(&u, &x, sizeof(u));
+  return (u & 0x8000000000000000ULL) ? ~u : (u | 0x8000000000000000ULL);
+}
+
+uint64_t UlpDistance(double a, double b) {
+  uint64_t ua = OrderedBits(a);
+  uint64_t ub = OrderedBits(b);
+  return ua > ub ? ua - ub : ub - ua;
+}
+
+// Regrouping the first-layer sum changes the accumulation order, so the
+// factorized head is pinned to ULP-level (not bitwise) agreement; see
+// DESIGN.md "Numerics & kernels".
+constexpr uint64_t kFactorizedUlpBound = 512;
+constexpr double kFactorizedAbsBound = 1e-9;
+
+void ExpectUlpClose(const std::vector<double>& got,
+                    const std::vector<double>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(UlpDistance(got[i], want[i]) <= kFactorizedUlpBound ||
+                std::fabs(got[i] - want[i]) <= kFactorizedAbsBound)
+        << what << " value " << i << ": " << got[i] << " vs " << want[i];
+  }
+}
+
+TEST(FactorizedQHeadTest, MatchesExactForwardWithinUlps) {
+  Scenario s;
+  s.RefreshProbs();
+  s.answers.Record(0, 1, 2);
+  s.answers.Record(4, 0, 1);
+  StateView view = s.View();
+
+  ScoreCache cache;
+  cache.Sync(view);
+  std::vector<Action> pairs;
+  for (size_t i = 0; i < kObjects; ++i) {
+    for (size_t j = 0; j < kAnnotators; ++j) {
+      pairs.push_back({static_cast<int>(i), static_cast<int>(j)});
+    }
+  }
+  Matrix features(pairs.size(), StateFeaturizer::kFeatureDim);
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    cache.AssembleRowInto(pairs[p].object, pairs[p].annotator,
+                          features.Row(p));
+  }
+  FeatureBlocks blocks;
+  blocks.object_blocks = &cache.object_blocks();
+  blocks.annotator_blocks = &cache.annotator_blocks();
+  blocks.global_block = cache.global_block();
+  blocks.object_version = cache.object_blocks_version();
+  blocks.annotator_version = cache.annotator_blocks_version();
+
+  QNetworkOptions q_options;
+  q_options.seed = 77;
+  QNetwork net(q_options);
+  ExpectUlpClose(net.PredictBatchFactorized(blocks, pairs, false),
+                 net.PredictBatch(features), "online");
+  ExpectUlpClose(net.PredictBatchFactorized(blocks, pairs, true),
+                 net.TargetPredictBatch(features), "target");
+  // Second call serves from the cached partials — must be unchanged.
+  ExpectUlpClose(net.PredictBatchFactorized(blocks, pairs, false),
+                 net.PredictBatch(features), "cached partials");
+
+  // Parameter updates must invalidate the cached partials.
+  Rng rng(5);
+  std::vector<Transition> transitions;
+  for (int t = 0; t < 8; ++t) {
+    Transition tr;
+    tr.features = features.RowVector(static_cast<size_t>(t));
+    tr.reward = rng.Uniform();
+    tr.next_max_q = rng.Uniform();
+    tr.terminal = false;
+    transitions.push_back(std::move(tr));
+  }
+  std::vector<const Transition*> batch;
+  for (const Transition& tr : transitions) batch.push_back(&tr);
+  for (int step = 0; step < 30; ++step) net.TrainBatch(batch);
+  ExpectUlpClose(net.PredictBatchFactorized(blocks, pairs, false),
+                 net.PredictBatch(features), "after training");
+  ExpectUlpClose(net.PredictBatchFactorized(blocks, pairs, true),
+                 net.TargetPredictBatch(features), "target after sync");
+
+  // Block updates (new answers, new qualities) must refresh the partials.
+  s.answers.Record(9, 2, 3);
+  s.qualities[1] = 0.9;
+  cache.Sync(s.View());
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    cache.AssembleRowInto(pairs[p].object, pairs[p].annotator,
+                          features.Row(p));
+  }
+  blocks.object_version = cache.object_blocks_version();
+  blocks.annotator_version = cache.annotator_blocks_version();
+  ExpectUlpClose(net.PredictBatchFactorized(blocks, pairs, false),
+                 net.PredictBatch(features), "after block refresh");
+}
+
+// The factorized agent must fall back to the exact path when a feature
+// mask is set (masked rows cannot be block-decomposed), reproducing the
+// exact agent's scores bitwise.
+TEST(FactorizedQHeadTest, FeatureMaskFallsBackToExactPath) {
+  Scenario s;
+  s.RefreshProbs();
+  std::vector<bool> mask(StateFeaturizer::kFeatureDim, true);
+  mask[4] = false;
+  mask[5] = false;
+
+  DqnAgentOptions exact_options = MakeOptions(/*incremental=*/true);
+  exact_options.feature_mask = mask;
+  DqnAgentOptions fact_options = exact_options;
+  fact_options.factorized_q_head = true;
+
+  DqnAgent exact(exact_options);
+  DqnAgent factorized(fact_options);
+  exact.BeginEpisode(kObjects, kAnnotators);
+  factorized.BeginEpisode(kObjects, kAnnotators);
+  ScoredCandidates want = exact.Score(s.View(), s.affordable);
+  ScoredCandidates got = factorized.Score(s.View(), s.affordable);
+  ASSERT_EQ(got.scores.size(), want.scores.size());
+  for (size_t i = 0; i < got.scores.size(); ++i) {
+    ASSERT_EQ(got.scores[i], want.scores[i]);  // Bitwise.
+  }
+}
+
+TEST(FactorizedQHeadTest, AgentSelectsValidAssignments) {
+  Scenario s;
+  s.RefreshProbs();
+  DqnAgentOptions options = MakeOptions(/*incremental=*/true);
+  options.factorized_q_head = true;
+  DqnAgent agent(options);
+  agent.BeginEpisode(kObjects, kAnnotators);
+  for (int iter = 0; iter < 4; ++iter) {
+    std::vector<Assignment> assignments =
+        agent.SelectBatch(s.View(), /*k=*/2, /*num_objects_to_pick=*/3,
+                          s.affordable);
+    ASSERT_FALSE(assignments.empty());
+    for (const Assignment& assignment : assignments) {
+      for (int j : assignment.annotators) {
+        s.answers.Record(assignment.object, j, s.rng.UniformInt(kClasses));
+      }
+    }
+    agent.Observe(s.rng.Uniform(), s.View(), s.affordable,
+                  /*terminal=*/false);
+  }
+}
+
+}  // namespace
+}  // namespace crowdrl::rl

@@ -59,18 +59,34 @@ struct WideFixture {
     return view;
   }
 
-  DqnAgent MakeAgent(int threads) const {
+  DqnAgent MakeAgent(int threads, bool incremental = true) const {
     DqnAgentOptions options;
     options.exploration = ExplorationMode::kUcb;
     options.seed = 13;
     options.q.seed = 17;
     options.threads = threads;
     options.q.threads = threads;
+    options.incremental = incremental;
     DqnAgent agent(options);
     agent.BeginEpisode(kObjects, kAnnotators);
     return agent;
   }
 };
+
+void ExpectScoredBitIdentical(const ScoredCandidates& got,
+                              const ScoredCandidates& baseline) {
+  ASSERT_EQ(got.actions.size(), baseline.actions.size());
+  for (size_t i = 0; i < got.actions.size(); ++i) {
+    EXPECT_EQ(got.actions[i].object, baseline.actions[i].object);
+    EXPECT_EQ(got.actions[i].annotator, baseline.actions[i].annotator);
+    EXPECT_EQ(got.scores[i], baseline.scores[i]) << "candidate " << i;
+  }
+  ASSERT_EQ(got.features.rows(), baseline.features.rows());
+  ASSERT_EQ(got.features.cols(), baseline.features.cols());
+  for (size_t i = 0; i < got.features.size(); ++i) {
+    EXPECT_EQ(got.features.data()[i], baseline.features.data()[i]);
+  }
+}
 
 TEST(ParallelScoringTest, ScoreIsBitIdenticalAcrossThreadCounts) {
   WideFixture f;
@@ -81,17 +97,38 @@ TEST(ParallelScoringTest, ScoreIsBitIdenticalAcrossThreadCounts) {
   for (int threads : {2, 4}) {
     DqnAgent agent = f.MakeAgent(threads);
     ScoredCandidates got = agent.Score(f.View(), f.affordable);
-    ASSERT_EQ(got.actions.size(), baseline.actions.size());
-    for (size_t i = 0; i < got.actions.size(); ++i) {
-      EXPECT_EQ(got.actions[i].object, baseline.actions[i].object);
-      EXPECT_EQ(got.actions[i].annotator, baseline.actions[i].annotator);
-      EXPECT_EQ(got.scores[i], baseline.scores[i]) << "candidate " << i;
-    }
-    ASSERT_EQ(got.features.rows(), baseline.features.rows());
-    ASSERT_EQ(got.features.cols(), baseline.features.cols());
-    for (size_t i = 0; i < got.features.size(); ++i) {
-      EXPECT_EQ(got.features.data()[i], baseline.features.data()[i]);
-    }
+    ExpectScoredBitIdentical(got, baseline);
+  }
+}
+
+// The incremental (ScoreCache) engine must reproduce the naive
+// featurize-every-pair path bit for bit, at every thread count — including
+// on a second Score after the state changed (exercising the dirty-block
+// resync rather than the first full rebuild).
+TEST(ParallelScoringTest, CachedScoringMatchesNaiveAcrossThreadCounts) {
+  WideFixture f;
+  DqnAgent naive = f.MakeAgent(1, /*incremental=*/false);
+  ScoredCandidates baseline = naive.Score(f.View(), f.affordable);
+
+  std::vector<DqnAgent> cached;
+  for (int threads : {1, 2, 4}) {
+    cached.push_back(f.MakeAgent(threads, /*incremental=*/true));
+    ScoredCandidates got = cached.back().Score(f.View(), f.affordable);
+    ExpectScoredBitIdentical(got, baseline);
+  }
+
+  // Dirty a few blocks: new answers, a quality update, progress counters.
+  f.answers.Record(2, 3, 1);
+  f.answers.Record(0, 2, 0);
+  f.qualities[4] = 0.9;
+  StateView view = f.View();
+  view.budget_fraction_remaining = 0.6;
+  view.fraction_labelled = 0.25;
+
+  ScoredCandidates baseline2 = naive.Score(view, f.affordable);
+  for (DqnAgent& agent : cached) {
+    ScoredCandidates got = agent.Score(view, f.affordable);
+    ExpectScoredBitIdentical(got, baseline2);
   }
 }
 
