@@ -12,6 +12,7 @@
 #include "baselines/oba.h"
 #include "core/crowdrl.h"
 #include "data/workloads.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace crowdrl::bench {
@@ -25,7 +26,7 @@ constexpr double kFashionBudget = 160000.0;
   std::fprintf(stderr,
                "usage: %s [--scale=F] [--seeds=N] [--seed=S] [--full] "
                "[--threads=T] [--checkpoint-dir=D] [--checkpoint-every=N] "
-               "[--resume]\n"
+               "[--resume] [--obs] [--metrics_out=PATH] [--trace_out=PATH]\n"
                "  --scale=F    fraction of the paper's dataset size/budget "
                "(default 0.25)\n"
                "  --seeds=N    seeds per cell, metrics averaged (default 1)\n"
@@ -36,7 +37,12 @@ constexpr double kFashionBudget = 160000.0;
                "  --checkpoint-dir=D    rotating CrowdRL checkpoints in D\n"
                "  --checkpoint-every=N  checkpoint every N iterations\n"
                "  --resume              resume CrowdRL from the newest "
-               "checkpoint in D\n",
+               "checkpoint in D\n"
+               "  --obs                 enable runtime metrics hooks\n"
+               "  --metrics_out=PATH    per-iteration CrowdRL metrics JSONL "
+               "(implies --obs)\n"
+               "  --trace_out=PATH      Chrome trace-event JSON of the "
+               "CrowdRL run (implies --obs)\n",
                argv0);
   std::exit(2);
 }
@@ -79,12 +85,28 @@ BenchConfig ParseArgs(int argc, char** argv) {
           static_cast<size_t>(std::atoll(arg + 19));
     } else if (std::strcmp(arg, "--resume") == 0) {
       config.resume = true;
+    } else if (std::strcmp(arg, "--obs") == 0) {
+      config.obs = true;
+    } else if (std::strncmp(arg, "--metrics_out=", 14) == 0) {
+      config.metrics_out = arg + 14;
+      if (config.metrics_out.empty()) Usage(argv[0]);
+      config.obs = true;
+    } else if (std::strncmp(arg, "--trace_out=", 12) == 0) {
+      config.trace_out = arg + 12;
+      if (config.trace_out.empty()) Usage(argv[0]);
+      config.obs = true;
     } else if (std::strcmp(arg, "--full") == 0) {
       config.full = true;
       config.scale = 1.0;
     } else {
       Usage(argv[0]);
     }
+  }
+  // Global enable so the hooks cover every bench stage (pretraining,
+  // baselines, thread sweeps), not just the CrowdRL framework run.
+  if (config.obs) {
+    obs::SetEnabled(true);
+    if (!config.trace_out.empty()) obs::SetTracing(true);
   }
   return config;
 }
@@ -183,6 +205,10 @@ std::vector<std::unique_ptr<core::LabellingFramework>> MakeAllFrameworks(
     crowdrl_config.checkpoint_dir = config->checkpoint_dir;
     crowdrl_config.checkpoint_every_n_iterations = config->checkpoint_every;
     crowdrl_config.resume = config->resume;
+    crowdrl_config.obs.enabled = config->obs;
+    crowdrl_config.obs.tracing = !config->trace_out.empty();
+    crowdrl_config.obs.metrics_jsonl_path = config->metrics_out;
+    crowdrl_config.obs.trace_json_path = config->trace_out;
   }
   frameworks.push_back(
       std::make_unique<core::CrowdRlFramework>(std::move(crowdrl_config)));

@@ -33,11 +33,20 @@ struct BenchConfig {
   size_t checkpoint_every = 0;
   /// Resume the CrowdRL run from the newest checkpoint in checkpoint_dir.
   bool resume = false;
+  /// Observability (DESIGN.md §10): --obs enables the metrics hooks
+  /// process-wide (so non-framework bench stages are covered too);
+  /// --metrics_out makes the CrowdRL entry append one metrics record per
+  /// labelling iteration; --trace_out additionally records trace spans
+  /// and exports Chrome trace-event JSON at the end of the CrowdRL run.
+  bool obs = false;
+  std::string metrics_out;
+  std::string trace_out;
 };
 
 /// Parses --scale=F --seeds=N --full --seed=S --threads=T
-/// --checkpoint-dir=D --checkpoint-every=N --resume; unknown flags abort
-/// with a usage message.
+/// --checkpoint-dir=D --checkpoint-every=N --resume --obs
+/// --metrics_out=PATH --trace_out=PATH; unknown flags abort with a usage
+/// message.
 BenchConfig ParseArgs(int argc, char** argv);
 
 /// One evaluation workload: dataset + pool + budget.

@@ -178,7 +178,11 @@ int main(int argc, char** argv) {
     for (double r : ratios) header.push_back(crowdrl::FormatDouble(r, 1));
     crowdrl::Table table(header);
 
-    auto frameworks = crowdrl::bench::MakeAllFrameworks(pretrained);
+    // Passing the config threads the observability flags (and checkpoint
+    // flags) into the CrowdRL entry: with --metrics_out/--trace_out each
+    // CrowdRL cell rewrites the artifacts, so the files left on disk
+    // describe the last cell run.
+    auto frameworks = crowdrl::bench::MakeAllFrameworks(pretrained, &config);
     for (auto& framework : frameworks) {
       std::vector<double> precisions;
       for (double ratio : ratios) {

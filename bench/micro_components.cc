@@ -9,11 +9,17 @@
 // the candidate-scoring loop (featurize / Q forward / top-k) comparing the
 // seed featurizer against the incremental ScoreCache engine, with the
 // exact path's bit-identity verified every iteration.
+// It also emits BENCH_obs.json: the per-op cost of the observability
+// hooks (counter increment, histogram record, trace-span enter/exit) with
+// metrics enabled vs disabled, net of an empty-loop baseline that stands
+// in for the compiled-out (-DCROWDRL_OBS_BUILD=0) build, where the hooks
+// expand to nothing.
 // Extra flags (stripped before google-benchmark sees them):
 //   --kernels_batch=N     largest batch in the kernel sweep (default 4096)
 //   --kernels_json=PATH   kernel report path (default BENCH_kernels.json)
 //   --scoring_objects=N   scoring-grid objects (default 2048, x40 annotators)
 //   --scoring_json=PATH   scoring report path (default BENCH_scoring.json)
+//   --obs_overhead_json=PATH  obs report path (default BENCH_obs.json)
 
 #include <benchmark/benchmark.h>
 
@@ -36,6 +42,8 @@
 #include "math/gemm.h"
 #include "math/vector_ops.h"
 #include "nn/mlp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rl/dqn_agent.h"
 #include "rl/q_network.h"
 #include "rl/score_cache.h"
@@ -1002,6 +1010,153 @@ void WriteScoringReport(size_t objects, const std::string& path) {
   std::printf("wrote %s\n", path.c_str());
 }
 
+// ---- BENCH_obs.json: observability hook overhead ------------------------
+
+// ns per op, best over `reps` timed passes of `iters` calls each. The
+// loop body must not be removable: every measured op either mutates an
+// atomic or is pinned with DoNotOptimize.
+template <typename Fn>
+double NsPerOp(size_t iters, int reps, Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  fn(iters / 16 + 1);  // Warm the branch predictors and caches.
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = Clock::now();
+    fn(iters);
+    double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    best = std::min(best, s * 1e9 / static_cast<double>(iters));
+  }
+  return best;
+}
+
+struct ObsOpRow {
+  const char* op;
+  double enabled_ns;   // Net of the empty-loop baseline.
+  double disabled_ns;  // Net of the empty-loop baseline.
+};
+
+// Measures the three hook kinds with metrics (and, for spans, tracing)
+// globally enabled and disabled. The "compiled-out" row of the report is
+// the empty-loop baseline itself: with -DCROWDRL_OBS_BUILD=0 every hook
+// expands to nothing, so its cost *is* the loop floor, and the net figure
+// is zero by construction.
+void WriteObsReport(const std::string& path) {
+  const bool prior_enabled = obs::Enabled();
+  const bool prior_tracing = obs::TracingEnabled();
+
+  obs::Counter* counter = obs::MetricsRegistry::Get().GetCounter(
+      "crowdrl.bench.obs_overhead_counter");
+  obs::Histogram* histogram = obs::MetricsRegistry::Get().GetHistogram(
+      "crowdrl.bench.obs_overhead_histogram",
+      {1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0});
+
+  const int kReps = 5;
+  const size_t kFastIters = size_t{1} << 22;
+  // An enabled span takes two steady_clock reads plus a buffer append;
+  // keep reps under the recorder's per-thread cap and clear between them.
+  const size_t kSpanIters = size_t{1} << 18;
+
+  auto baseline_loop = [](size_t n) {
+    for (size_t i = 0; i < n; ++i) benchmark::DoNotOptimize(i);
+  };
+  auto counter_loop = [counter](size_t n) {
+    for (size_t i = 0; i < n; ++i) counter->Inc();
+    benchmark::DoNotOptimize(counter->value());
+  };
+  auto histogram_loop = [histogram](size_t n) {
+    // Varying values keep the bucket scan honest (1-4 bound compares).
+    for (size_t i = 0; i < n; ++i) {
+      histogram->Record(static_cast<double>(i & 127));
+    }
+    benchmark::DoNotOptimize(histogram->sum());
+  };
+  auto span_loop = [](size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      CROWDRL_TRACE_SPAN("bench.obs_overhead");
+      benchmark::DoNotOptimize(i);
+    }
+  };
+
+  const double baseline_ns = NsPerOp(kFastIters, kReps, baseline_loop);
+  auto net = [baseline_ns](double raw) {
+    return std::max(0.0, raw - baseline_ns);
+  };
+
+  obs::SetEnabled(false);
+  obs::SetTracing(false);
+  CROWDRL_CHECK(!obs::Enabled());
+  const double counter_off = NsPerOp(kFastIters, kReps, counter_loop);
+  const double histogram_off = NsPerOp(kFastIters, kReps, histogram_loop);
+  const double span_off = NsPerOp(kFastIters, kReps, span_loop);
+
+  obs::SetEnabled(true);
+  obs::SetTracing(true);
+  const double counter_on = NsPerOp(kFastIters, kReps, counter_loop);
+  const double histogram_on = NsPerOp(kFastIters, kReps, histogram_loop);
+  obs::TraceRecorder::Get().Clear();
+  const double span_on = NsPerOp(kSpanIters, kReps, [&](size_t n) {
+    obs::TraceRecorder::Get().Clear();  // Stay under the buffer cap.
+    span_loop(n);
+  });
+  obs::TraceRecorder::Get().Clear();
+
+  obs::SetEnabled(prior_enabled);
+  obs::SetTracing(prior_tracing);
+
+  const ObsOpRow rows[] = {
+      {"counter_inc", net(counter_on), net(counter_off)},
+      {"histogram_record", net(histogram_on), net(histogram_off)},
+      {"span_enter_exit", net(span_on), net(span_off)},
+  };
+  // DESIGN.md §10 budget: enabled counter increments stay under 25 ns and
+  // every disabled hook under 1 ns (both net of the loop floor).
+  const double kEnabledCounterBudgetNs = 25.0;
+  const double kDisabledBudgetNs = 1.0;
+  bool within_budget = rows[0].enabled_ns <= kEnabledCounterBudgetNs;
+  for (const ObsOpRow& r : rows) {
+    within_budget = within_budget && r.disabled_ns <= kDisabledBudgetNs;
+  }
+
+  std::printf("== obs overhead report (baseline loop %.3f ns/op) ==\n",
+              baseline_ns);
+  for (const ObsOpRow& r : rows) {
+    std::printf("  %-16s enabled %8.3f ns/op  disabled %8.3f ns/op  "
+                "compiled-out 0.000\n",
+                r.op, r.enabled_ns, r.disabled_ns);
+  }
+  std::printf("  within budget (counter<=%.0fns enabled, <=%.0fns "
+              "disabled): %s\n",
+              kEnabledCounterBudgetNs, kDisabledBudgetNs,
+              within_budget ? "yes" : "NO");
+
+  std::FILE* json = std::fopen(path.c_str(), "w");
+  CROWDRL_CHECK(json != nullptr) << "cannot write " << path;
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"obs_overhead\",\n"
+               "  \"baseline_loop_ns\": %.4f,\n"
+               "  \"ops\": [\n",
+               baseline_ns);
+  const size_t num_rows = sizeof(rows) / sizeof(rows[0]);
+  for (size_t i = 0; i < num_rows; ++i) {
+    const ObsOpRow& r = rows[i];
+    std::fprintf(json,
+                 "    {\"op\": \"%s\", \"enabled_ns\": %.4f, "
+                 "\"disabled_ns\": %.4f, \"compiled_out_ns\": 0.0}%s\n",
+                 r.op, r.enabled_ns, r.disabled_ns,
+                 i + 1 < num_rows ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n"
+               "  \"budget\": {\"counter_inc_enabled_max_ns\": %.1f, "
+               "\"disabled_max_ns\": %.1f, \"within_budget\": %s}\n"
+               "}\n",
+               kEnabledCounterBudgetNs, kDisabledBudgetNs,
+               within_budget ? "true" : "false");
+  std::fclose(json);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 }  // namespace crowdrl
 
@@ -1010,6 +1165,7 @@ int main(int argc, char** argv) {
   std::string kernels_json = "BENCH_kernels.json";
   size_t scoring_objects = 2048;
   std::string scoring_json = "BENCH_scoring.json";
+  std::string obs_json = "BENCH_obs.json";
   // Strip the report flags before google-benchmark parses argv.
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
@@ -1023,6 +1179,8 @@ int main(int argc, char** argv) {
       CROWDRL_CHECK(scoring_objects >= 64);
     } else if (std::strncmp(argv[i], "--scoring_json=", 15) == 0) {
       scoring_json = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--obs_overhead_json=", 20) == 0) {
+      obs_json = argv[i] + 20;
     } else {
       argv[kept++] = argv[i];
     }
@@ -1034,5 +1192,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   crowdrl::WriteKernelReport(kernels_batch, kernels_json);
   crowdrl::WriteScoringReport(scoring_objects, scoring_json);
+  crowdrl::WriteObsReport(obs_json);
   return 0;
 }

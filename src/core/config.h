@@ -10,6 +10,7 @@
 #include "core/reward.h"
 #include "inference/joint_inference.h"
 #include "inference/pm.h"
+#include "obs/metrics.h"
 #include "rl/dqn_agent.h"
 
 namespace crowdrl::core {
@@ -107,6 +108,17 @@ struct CrowdRlConfig {
   /// interrupted framework keeps its in-progress run state so a checkpoint
   /// written at the halt point can be resumed.
   size_t halt_after_iterations = 0;
+
+  /// --- Observability (DESIGN.md §10) ---
+  /// Run applies these at start (enable-only: it never silences hooks
+  /// another component turned on process-wide). With `obs.enabled` and a
+  /// non-empty `obs.metrics_jsonl_path`, one metrics record is appended
+  /// per labelling iteration; with `obs.tracing` and a non-empty
+  /// `obs.trace_json_path`, the recorded spans are exported as Chrome
+  /// trace-event JSON when the run ends (or halts). Instrumentation never
+  /// touches RNG or numeric state: an instrumented run is bit-identical
+  /// to a disabled one.
+  obs::ObsOptions obs;
 };
 
 }  // namespace crowdrl::core

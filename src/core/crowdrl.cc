@@ -9,6 +9,8 @@
 #include "inference/joint_inference.h"
 #include "inference/pm.h"
 #include "math/vector_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rl/dqn_agent.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -16,6 +18,39 @@
 namespace crowdrl::core {
 
 namespace {
+
+/// Run-loop metrics (Algorithm 1 stage counters plus the inference
+/// gauges). Fetched once per Run; registration at Run start guarantees
+/// every per-iteration JSONL record carries these keys.
+struct FrameworkMetrics {
+  obs::Counter* iterations;
+  obs::Counter* objects_selected;
+  obs::Counter* assignments_executed;
+  obs::Counter* enrichment_labels;
+  obs::Counter* em_iterations;
+  obs::Gauge* log_likelihood;
+  obs::Gauge* budget_remaining;
+
+  FrameworkMetrics() {
+    auto& registry = obs::MetricsRegistry::Get();
+    iterations = registry.GetCounter("crowdrl.framework.iterations");
+    objects_selected =
+        registry.GetCounter("crowdrl.framework.objects_selected");
+    assignments_executed =
+        registry.GetCounter("crowdrl.framework.assignments_executed");
+    enrichment_labels =
+        registry.GetCounter("crowdrl.framework.enrichment_labels");
+    em_iterations = registry.GetCounter("crowdrl.framework.em_iterations");
+    log_likelihood = registry.GetGauge("crowdrl.framework.log_likelihood");
+    budget_remaining =
+        registry.GetGauge("crowdrl.framework.budget_remaining");
+  }
+};
+
+FrameworkMetrics& FwMetrics() {
+  static FrameworkMetrics* const metrics = new FrameworkMetrics();
+  return *metrics;
+}
 
 // Groups candidate indices by object id; returns (object, indices) pairs.
 std::vector<std::pair<int, std::vector<size_t>>> GroupByObject(
@@ -360,6 +395,31 @@ Status CrowdRlFramework::Run(const data::Dataset& dataset,
     return Status::InvalidArgument("k and batch_objects must be positive");
   }
 
+  // Observability: enable-only (never clobbers a process-wide enable done
+  // elsewhere, e.g. by a bench harness instrumenting non-framework
+  // stages). Everything below only reads clocks and bumps atomics, so
+  // instrumented runs stay bit-identical to disabled ones.
+  obs::ApplyOptions(config_.obs);
+  FrameworkMetrics& fw = FwMetrics();
+  obs::MetricsJsonlWriter metrics_writer;
+  if (obs::Enabled() && !config_.obs.metrics_jsonl_path.empty()) {
+    if (!metrics_writer.Open(config_.obs.metrics_jsonl_path)) {
+      CROWDRL_LOG(Warning) << "cannot open metrics sink "
+                           << config_.obs.metrics_jsonl_path
+                           << "; per-iteration metrics disabled";
+    }
+  }
+  auto export_trace = [&]() {
+    if (config_.obs.trace_json_path.empty() || !obs::TracingEnabled()) {
+      return;
+    }
+    if (!obs::TraceRecorder::Get().WriteChromeTrace(
+            config_.obs.trace_json_path)) {
+      CROWDRL_LOG(Warning) << "cannot write trace "
+                           << config_.obs.trace_json_path;
+    }
+  };
+
   // Fresh deterministic setup; a pending checkpoint is applied on top.
   run_state_ = std::make_unique<RunState>(config_, dataset, pool, budget,
                                           seed);
@@ -398,6 +458,7 @@ Status CrowdRlFramework::Run(const data::Dataset& dataset,
   // model retrains it internally, the PM ablation trains it on the hard
   // labels afterwards per Algorithm 1 line 5).
   auto run_inference = [&]() -> Status {
+    CROWDRL_TRACE_SPAN("framework.inference");
     std::vector<int> objects = rs.env.AnsweredObjects();
     if (objects.empty()) return Status::Ok();
     inference::InferenceInput input;
@@ -419,6 +480,8 @@ Status CrowdRlFramework::Run(const data::Dataset& dataset,
     }
     rs.qualities = inferred.qualities;
     rs.last_log_likelihood = inferred.log_likelihood;
+    fw.em_iterations->Inc(static_cast<uint64_t>(inferred.iterations));
+    fw.log_likelihood->Set(inferred.log_likelihood);
     if (config_.use_pm_inference) {
       Matrix train_x(objects.size(), dataset.feature_dim());
       Matrix train_y(objects.size(), static_cast<size_t>(num_classes));
@@ -471,6 +534,7 @@ Status CrowdRlFramework::Run(const data::Dataset& dataset,
   // --- Bootstrap: label an alpha fraction with k annotators each. ---
   // Skipped when a restored checkpoint already carries its outcome.
   if (!rs.bootstrapped) {
+    CROWDRL_TRACE_SPAN("framework.bootstrap");
     size_t bootstrap_count = static_cast<size_t>(
         std::llround(config_.alpha * static_cast<double>(n)));
     bootstrap_count = std::clamp<size_t>(bootstrap_count, 1, n);
@@ -502,9 +566,15 @@ Status CrowdRlFramework::Run(const data::Dataset& dataset,
   // order; the shared lambda * r_phi term is added next iteration once
   // the enrichment effect is observable.
   for (size_t t = rs.next_t; t < config_.max_iterations; ++t) {
+    CROWDRL_TRACE_SPAN("framework.iteration");
     size_t unlabelled_before = n - rs.state.num_labelled();
-    size_t enriched = EnrichLabelledSet(rs.phi, dataset.features,
-                                        config_.enrichment, &rs.state);
+    size_t enriched;
+    {
+      CROWDRL_TRACE_SPAN("framework.enrich");
+      enriched = EnrichLabelledSet(rs.phi, dataset.features,
+                                   config_.enrichment, &rs.state);
+    }
+    fw.enrichment_labels->Inc(enriched);
 
     std::vector<bool> affordable = rs.env.AffordableAnnotators();
     rl::StateView view = make_view();
@@ -550,27 +620,33 @@ Status CrowdRlFramework::Run(const data::Dataset& dataset,
     }
     if (terminal) break;
     ++rs.iterations;
+    fw.iterations->Inc();
 
     // Task selection + assignment (joint policy, or the M1/M2 ablations).
     std::vector<rl::Assignment> assignments;
-    if (!config_.random_task_selection && !config_.random_task_assignment) {
-      assignments = rs.agent.SelectBatch(view, config_.k,
-                                         rs.batch_objects, affordable);
-    } else {
-      rl::ScoredCandidates candidates = rs.agent.Score(view, affordable);
-      std::vector<size_t> chosen;
-      if (config_.random_task_selection) {
-        assignments = PickRandomObjects(
-            candidates, config_.k, rs.batch_objects, n,
-            /*random_annotators=*/config_.random_task_assignment, &rs.local,
-            &chosen);
+    {
+      CROWDRL_TRACE_SPAN("framework.select_assign");
+      if (!config_.random_task_selection &&
+          !config_.random_task_assignment) {
+        assignments = rs.agent.SelectBatch(view, config_.k,
+                                           rs.batch_objects, affordable);
       } else {
-        assignments = PickTopObjectsRandomAnnotators(
-            candidates, config_.k, rs.batch_objects, n, &rs.local,
-            &chosen);
+        rl::ScoredCandidates candidates = rs.agent.Score(view, affordable);
+        std::vector<size_t> chosen;
+        if (config_.random_task_selection) {
+          assignments = PickRandomObjects(
+              candidates, config_.k, rs.batch_objects, n,
+              /*random_annotators=*/config_.random_task_assignment,
+              &rs.local, &chosen);
+        } else {
+          assignments = PickTopObjectsRandomAnnotators(
+              candidates, config_.k, rs.batch_objects, n, &rs.local,
+              &chosen);
+        }
+        rs.agent.Commit(candidates, chosen);
       }
-      rs.agent.Commit(candidates, chosen);
     }
+    fw.objects_selected->Inc(assignments.size());
     if (assignments.empty()) break;
 
     // Execute in Commit order, tracking which pairs actually got paid.
@@ -582,14 +658,18 @@ Status CrowdRlFramework::Run(const data::Dataset& dataset,
     }
     std::vector<bool> executed(pairs.size(), false);
     bool stop_executing = false;
-    for (size_t p = 0; p < pairs.size() && !stop_executing; ++p) {
-      Status s = rs.env.RequestAnswer(pairs[p].first, pairs[p].second);
-      if (s.IsOutOfBudget()) {
-        stop_executing = true;
-        break;
+    {
+      CROWDRL_TRACE_SPAN("framework.execute");
+      for (size_t p = 0; p < pairs.size() && !stop_executing; ++p) {
+        Status s = rs.env.RequestAnswer(pairs[p].first, pairs[p].second);
+        if (s.IsOutOfBudget()) {
+          stop_executing = true;
+          break;
+        }
+        CROWDRL_RETURN_IF_ERROR(s);
+        executed[p] = true;
+        fw.assignments_executed->Inc();
       }
-      CROWDRL_RETURN_IF_ERROR(s);
-      executed[p] = true;
     }
 
     CROWDRL_RETURN_IF_ERROR(run_inference());
@@ -610,11 +690,17 @@ Status CrowdRlFramework::Run(const data::Dataset& dataset,
     // End of iteration t: everything live is inside rs, so this is the
     // consistent cut point for periodic checkpoints and simulated crashes.
     rs.next_t = t + 1;
+    fw.budget_remaining->Set(rs.env.budget().remaining());
+    if (metrics_writer.is_open()) {
+      metrics_writer.WriteRecord(rs.iterations,
+                                 obs::MetricsRegistry::Get().Snapshot());
+    }
     CROWDRL_RETURN_IF_ERROR(maybe_checkpoint());
     if (config_.halt_after_iterations > 0 &&
         rs.iterations >= config_.halt_after_iterations) {
       // run_state_ stays alive so SaveCheckpoint can snapshot the halt
       // point; the next Run constructs a fresh RunState regardless.
+      export_trace();
       return Status::Interrupted(StringPrintf(
           "halted after %zu labelling iterations as configured",
           rs.iterations));
@@ -661,6 +747,7 @@ Status CrowdRlFramework::Run(const data::Dataset& dataset,
   result->final_log_likelihood = rs.last_log_likelihood;
   last_q_parameters_ = rs.agent.q_network().FlatParameters();
   run_state_.reset();
+  export_trace();
   return Status::Ok();
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "math/vector_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace crowdrl::inference {
@@ -123,6 +125,7 @@ JointInference::JointInference(JointInferenceOptions options)
 Status JointInference::Infer(const InferenceInput& input,
                              InferenceResult* result) {
   CROWDRL_CHECK(result != nullptr);
+  CROWDRL_TRACE_SPAN("joint.infer");
   CROWDRL_RETURN_IF_ERROR(ValidateInput(input));
   CROWDRL_RETURN_IF_ERROR(RequireClassifierInputs(input));
 
@@ -143,31 +146,43 @@ Status JointInference::Infer(const InferenceInput& input,
   double log_likelihood = 0.0;
   int iteration = 0;
   for (; iteration < options_.em.max_iterations; ++iteration) {
-    // M-step over annotator expertises, with expert bounding.
-    confusions = EstimateConfusions(input, posteriors,
-                                    options_.em.smoothing);
-    if (input.annotator_types != nullptr) {
-      BoundExpertQuality(*input.annotator_types, options_.expert_epsilon,
-                         options_.expert_floor_slack, &confusions);
+    Matrix class_probs;
+    {
+      CROWDRL_TRACE_SPAN("joint.m_step");
+      static obs::Counter* const m_steps =
+          obs::MetricsRegistry::Get().GetCounter("crowdrl.inference.m_steps");
+      m_steps->Inc();
+      // M-step over annotator expertises, with expert bounding.
+      confusions = EstimateConfusions(input, posteriors,
+                                      options_.em.smoothing);
+      if (input.annotator_types != nullptr) {
+        BoundExpertQuality(*input.annotator_types, options_.expert_epsilon,
+                           options_.expert_floor_slack, &confusions);
+      }
+      // M-step over Theta: retrain phi on the current posteriors. Skipped
+      // at iteration 0: at that point `posteriors` is exactly what the
+      // classifier was just seeded with (or, warm-started, the beliefs it
+      // deliberately keeps), so a retrain would only burn epochs on
+      // identical targets.
+      if (iteration > 0 &&
+          iteration % options_.classifier_retrain_period == 0) {
+        CROWDRL_RETURN_IF_ERROR(
+            input.classifier->Train(target_features, posteriors, {}));
+      }
+      class_probs = input.classifier->PredictProbsBatch(target_features);
     }
-    // M-step over Theta: retrain phi on the current posteriors. Skipped at
-    // iteration 0: at that point `posteriors` is exactly what the
-    // classifier was just seeded with (or, warm-started, the beliefs it
-    // deliberately keeps), so a retrain would only burn epochs on
-    // identical targets.
-    if (iteration > 0 &&
-        iteration % options_.classifier_retrain_period == 0) {
-      CROWDRL_RETURN_IF_ERROR(
-          input.classifier->Train(target_features, posteriors, {}));
-    }
-    Matrix class_probs =
-        input.classifier->PredictProbsBatch(target_features);
 
     // E-step: q(y_i = c) proportional to p(c | phi) * prod_j Pi^j(c, y_ij).
     Matrix next(n, c);
     std::vector<double> row_lse;
-    EStep(input, confusions, class_probs, options_, pool_.get(), &next,
-          &row_lse);
+    {
+      CROWDRL_TRACE_SPAN("joint.e_step");
+      static obs::Counter* const e_steps =
+          obs::MetricsRegistry::Get().GetCounter("crowdrl.inference.e_steps");
+      e_steps->Inc();
+      EStep(input, confusions, class_probs, options_, pool_.get(), &next,
+            &row_lse);
+    }
     log_likelihood = 0.0;
     for (double lse : row_lse) log_likelihood += lse;
     double max_change = 0.0;
@@ -194,6 +209,7 @@ Status JointInference::Infer(const InferenceInput& input,
   // final fit below), so the reported value matches the returned
   // confusions/posteriors instead of the pre-M-step ones.
   {
+    CROWDRL_TRACE_SPAN("joint.e_step");
     Matrix final_probs =
         input.classifier->PredictProbsBatch(target_features);
     Matrix unused(n, c);

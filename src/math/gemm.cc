@@ -2,11 +2,48 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace crowdrl::gemm {
 
 namespace {
+
+// Per-variant flop-count histograms (2*m*k*n per call), registered
+// eagerly so metrics snapshots always carry the gemm keys. Recording is
+// one bounds scan + two relaxed atomics per GEMM call — noise next to
+// even the smallest kernel — and no spans here: these entry points are
+// far too hot for clock reads per call.
+struct GemmMetrics {
+  obs::Counter* calls;
+  obs::Histogram* nn_flops;
+  obs::Histogram* nt_flops;
+  obs::Histogram* tn_flops;
+
+  GemmMetrics() {
+    auto& registry = obs::MetricsRegistry::Get();
+    const std::vector<double> flop_bounds = {1e4, 1e5, 1e6, 1e7, 1e8, 1e9};
+    calls = registry.GetCounter("crowdrl.gemm.calls");
+    nn_flops = registry.GetHistogram("crowdrl.gemm.nn.flops", flop_bounds);
+    nt_flops = registry.GetHistogram("crowdrl.gemm.nt.flops", flop_bounds);
+    tn_flops = registry.GetHistogram("crowdrl.gemm.tn.flops", flop_bounds);
+  }
+};
+
+GemmMetrics& Metrics() {
+  static GemmMetrics* const metrics = new GemmMetrics();
+  return *metrics;
+}
+
+[[maybe_unused]] const GemmMetrics& g_eager_gemm_metrics = Metrics();
+
+inline void RecordGemmCall(obs::Histogram* flops, size_t m, size_t k,
+                           size_t n) {
+  if (!obs::Enabled()) return;
+  Metrics().calls->Inc();
+  flops->Record(2.0 * static_cast<double>(m) * static_cast<double>(k) *
+                static_cast<double>(n));
+}
 
 // Tile shapes, chosen so the working set of the inner loops sits in L1/L2:
 //  * NN kernel: 4 output-row slices of kTileJ doubles (16 KB) plus one
@@ -260,6 +297,7 @@ void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out,
   CROWDRL_CHECK(a.cols() == b.rows())
       << "matmul shape mismatch: " << a.cols() << " vs " << b.rows();
   CROWDRL_DCHECK(out != &a && out != &b);
+  RecordGemmCall(Metrics().nn_flops, a.rows(), a.cols(), b.cols());
   ResizeZero(out, a.rows(), b.cols());
   RunRowChunks(pool, a.rows(),
                [&](size_t r0, size_t r1) { NnRows(a, b, out, r0, r1); });
@@ -273,6 +311,7 @@ void MatMulNTInto(const Matrix& a, const Matrix& b, Matrix* out,
       << "matmul shape mismatch (NT): " << a.cols() << " vs " << b.cols();
   CROWDRL_DCHECK(out != &a && out != &b && bt_scratch != &a &&
                  bt_scratch != &b && bt_scratch != out);
+  RecordGemmCall(Metrics().nt_flops, a.rows(), a.cols(), b.rows());
   thread_local Matrix local_bt;
   Matrix* bt = bt_scratch != nullptr ? bt_scratch : &local_bt;
   TransposeInto(b, bt);
@@ -289,6 +328,7 @@ void MatMulTNInto(const Matrix& a, const Matrix& b, Matrix* out,
   CROWDRL_CHECK(a.rows() == b.rows())
       << "matmul shape mismatch (TN): " << a.rows() << " vs " << b.rows();
   CROWDRL_DCHECK(out != &a && out != &b);
+  RecordGemmCall(Metrics().tn_flops, a.cols(), a.rows(), b.cols());
   ResizeZero(out, a.cols(), b.cols());
   const size_t work = a.cols() * b.cols() * a.rows();
   if (work < kSmallGemmFlops) {

@@ -1,0 +1,257 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace crowdrl::obs {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_tracing{false};
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void SetTracing(bool tracing) {
+  internal::g_tracing.store(tracing, std::memory_order_relaxed);
+}
+
+void ApplyOptions(const ObsOptions& options) {
+  if (options.enabled) SetEnabled(true);
+  if (options.tracing) SetTracing(true);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {}
+
+std::vector<uint64_t> Histogram::counts() const {
+  std::vector<uint64_t> out(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+uint64_t Histogram::total_count() const {
+  uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// JSON has no Inf/NaN literals; map them to null so the file stays
+// parseable by any consumer.
+void AppendJsonDouble(double v, std::string* out) {
+  if (!std::isfinite(v)) {
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+void AppendJsonUint(uint64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out;
+  out.reserve(256 + 64 * (counters.size() + gauges.size()) +
+              256 * histograms.size());
+  out += "{\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i) out.push_back(',');
+    AppendJsonString(counters[i].name, &out);
+    out.push_back(':');
+    AppendJsonUint(counters[i].value, &out);
+  }
+  out += "},\"gauges\":{";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i) out.push_back(',');
+    AppendJsonString(gauges[i].name, &out);
+    out.push_back(':');
+    AppendJsonDouble(gauges[i].value, &out);
+  }
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSample& h = histograms[i];
+    if (i) out.push_back(',');
+    AppendJsonString(h.name, &out);
+    out += ":{\"bounds\":[";
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b) out.push_back(',');
+      AppendJsonDouble(h.bounds[b], &out);
+    }
+    out += "],\"counts\":[";
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      if (b) out.push_back(',');
+      AppendJsonUint(h.counts[b], &out);
+    }
+    out += "],\"sum\":";
+    AppendJsonDouble(h.sum, &out);
+    out += ",\"count\":";
+    AppendJsonUint(h.total_count, &out);
+    out.push_back('}');
+  }
+  out += "}}";
+  return out;
+}
+
+// std::map keeps snapshots name-sorted; unique_ptr keeps metric addresses
+// stable across rehashing-free inserts, which is what lets call sites
+// cache raw pointers forever.
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  // Leaked intentionally: metrics can be touched from static destructors
+  // and detached threads, so the registry must outlive everything.
+  static Impl* const impl = new Impl();
+  return *impl;
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  auto& slot = im.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  auto& slot = im.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  auto& slot = im.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  MetricsSnapshot snap;
+  snap.counters.reserve(im.counters.size());
+  for (const auto& [name, c] : im.counters) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(im.gauges.size());
+  for (const auto& [name, g] : im.gauges) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(im.histograms.size());
+  for (const auto& [name, h] : im.histograms) {
+    HistogramSample sample;
+    sample.name = name;
+    sample.bounds = h->bounds();
+    sample.counts = h->counts();
+    sample.sum = h->sum();
+    sample.total_count = 0;
+    for (uint64_t c : sample.counts) sample.total_count += c;
+    snap.histograms.push_back(std::move(sample));
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  for (auto& [name, c] : im.counters) c->Reset();
+  for (auto& [name, g] : im.gauges) g->Reset();
+  for (auto& [name, h] : im.histograms) h->Reset();
+}
+
+MetricsJsonlWriter::~MetricsJsonlWriter() { Close(); }
+
+bool MetricsJsonlWriter::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "w");
+  return file_ != nullptr;
+}
+
+void MetricsJsonlWriter::WriteRecord(size_t iteration,
+                                     const MetricsSnapshot& snapshot) {
+  if (!file_) return;
+  std::string line = "{\"iteration\":";
+  AppendJsonUint(iteration, &line);
+  std::string body = snapshot.ToJson();
+  // Splice the snapshot's fields into the record object.
+  line.push_back(',');
+  line.append(body, 1, body.size() - 1);  // Drop the snapshot's leading '{'.
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+}
+
+void MetricsJsonlWriter::Close() {
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace crowdrl::obs

@@ -1,0 +1,260 @@
+#ifndef CROWDRL_OBS_METRICS_H_
+#define CROWDRL_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+/// \file
+/// \brief Process-wide runtime metrics: monotonic counters, gauges, and
+/// fixed-bucket histograms behind a thread-safe registry.
+///
+/// Design constraints (see DESIGN.md §10):
+///
+///  * **Lock-free hot path.** Incrementing a counter, setting a gauge, or
+///    recording a histogram sample is a relaxed atomic op on a stable
+///    pointer — no locks, no allocation. The registry mutex is taken only
+///    at registration and snapshot time.
+///  * **Near-zero when disabled.** Every mutation first checks the global
+///    enabled flag (one relaxed atomic load + predictable branch, well
+///    under a nanosecond); `-DCROWDRL_OBS_BUILD=0` additionally compiles
+///    every hook down to nothing.
+///  * **No perturbation.** Instrumentation reads clocks and bumps atomics;
+///    it never touches an RNG stream or any numeric state, so instrumented
+///    runs stay bit-identical to uninstrumented ones (enforced by the
+///    checkpoint-resume and parallel-scoring determinism tests).
+///
+/// This library sits *below* `crowdrl_util` in the dependency order (the
+/// ThreadPool itself is instrumented), so it depends on nothing but the
+/// standard library. Metric names follow `crowdrl.<subsystem>.<name>`.
+
+/// Compile-time kill switch: build with -DCROWDRL_OBS_BUILD=0 to compile
+/// every metrics/trace hook to nothing (the "compiled-out" row of
+/// BENCH_obs.json).
+#ifndef CROWDRL_OBS_BUILD
+#define CROWDRL_OBS_BUILD 1
+#endif
+
+namespace crowdrl::obs {
+
+/// Observability knobs threaded through CrowdRlConfig and the bench flags.
+struct ObsOptions {
+  /// Master switch. False (the default) keeps every hook a ~sub-ns no-op.
+  bool enabled = false;
+  /// Record RAII trace spans into the process-wide TraceRecorder.
+  /// Meaningful only with `enabled`.
+  bool tracing = false;
+  /// When non-empty, CrowdRlFramework::Run appends one MetricsSnapshot
+  /// JSON record per labelling iteration to this file.
+  std::string metrics_jsonl_path;
+  /// When non-empty (and tracing), CrowdRlFramework::Run exports the
+  /// accumulated spans as Chrome trace-event JSON at the end of the run.
+  std::string trace_json_path;
+};
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+extern std::atomic<bool> g_tracing;
+}  // namespace internal
+
+/// True when metrics hooks are live. The single branch every hot-path
+/// mutation pays.
+inline bool Enabled() {
+#if CROWDRL_OBS_BUILD
+  return internal::g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+/// True when trace spans are being recorded (requires Enabled()).
+inline bool TracingEnabled() {
+#if CROWDRL_OBS_BUILD
+  return internal::g_tracing.load(std::memory_order_relaxed) &&
+         internal::g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+void SetEnabled(bool enabled);
+void SetTracing(bool tracing);
+
+/// Turns hooks ON as requested by `options`. Never turns them off: a
+/// framework constructed with default (disabled) options must not silence
+/// observability another component enabled process-wide.
+void ApplyOptions(const ObsOptions& options);
+
+/// Monotonic steady-clock nanoseconds (the time base of spans and the
+/// ThreadPool wait/run histograms).
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// \brief Monotonic counter. Increments wrap modulo 2^64 (unsigned
+/// arithmetic), which a snapshot consumer diffing successive values
+/// handles transparently.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) {
+#if CROWDRL_OBS_BUILD
+    if (!Enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-write-wins double gauge.
+class Gauge {
+ public:
+  void Set(double value) {
+#if CROWDRL_OBS_BUILD
+    if (!Enabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed-bucket histogram with inclusive upper bounds
+/// (Prometheus-style `le` semantics): a sample lands in the first bucket
+/// whose bound is >= the value; samples above every bound land in the
+/// implicit overflow bucket. Bounds are fixed at registration.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Record(double value) {
+#if CROWDRL_OBS_BUILD
+    if (!Enabled()) return;
+    size_t b = 0;
+    while (b < bounds_.size() && value > bounds_[b]) ++b;
+    counts_[b].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, bounds().size() + 1 entries (last = overflow).
+  std::vector<uint64_t> counts() const;
+  uint64_t total_count() const;
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;  // Ascending; immutable after construction.
+  std::vector<std::atomic<uint64_t>> counts_;
+  std::atomic<double> sum_{0.0};
+};
+
+struct CounterSample {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;  // bounds.size() + 1 (overflow last).
+  double sum = 0.0;
+  uint64_t total_count = 0;
+};
+
+/// A point-in-time copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// One JSON object (no trailing newline):
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{"bounds":[...],
+  /// "counts":[...],"sum":S,"count":N}}}. Non-finite gauge values are
+  /// emitted as null (JSON has no Inf/NaN).
+  std::string ToJson() const;
+};
+
+/// \brief Process-wide metric store. Registration is idempotent and
+/// returns stable pointers that live for the rest of the process, so call
+/// sites cache them in function-local statics:
+///
+///     static obs::Counter* const c =
+///         obs::MetricsRegistry::Get().GetCounter("crowdrl.gemm.calls");
+///     c->Inc();
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  /// Finds or creates. The returned pointer is never invalidated.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` must be ascending; applies only on first registration (a
+  /// later call with different bounds returns the existing histogram).
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every value (names and bucket layouts stay registered).
+  /// For tests and run isolation; not meant for the hot path.
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// \brief Line-per-record sink for MetricsSnapshots (the `--metrics_out`
+/// run_metrics.jsonl file): {"iteration":N,<snapshot fields>}\n.
+class MetricsJsonlWriter {
+ public:
+  MetricsJsonlWriter() = default;
+  ~MetricsJsonlWriter();
+
+  MetricsJsonlWriter(const MetricsJsonlWriter&) = delete;
+  MetricsJsonlWriter& operator=(const MetricsJsonlWriter&) = delete;
+
+  /// Truncates and opens `path`. Returns false (with the file left
+  /// closed) on I/O failure.
+  bool Open(const std::string& path);
+  bool is_open() const { return file_ != nullptr; }
+
+  void WriteRecord(size_t iteration, const MetricsSnapshot& snapshot);
+  void Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace crowdrl::obs
+
+#endif  // CROWDRL_OBS_METRICS_H_

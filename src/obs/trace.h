@@ -1,0 +1,99 @@
+#ifndef CROWDRL_OBS_TRACE_H_
+#define CROWDRL_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+/// \file
+/// \brief RAII scoped trace spans recorded per thread and exported as
+/// Chrome trace-event JSON (loadable in ui.perfetto.dev or
+/// chrome://tracing).
+///
+/// Usage at a call site:
+///
+///     void JointInference::EStep(...) {
+///       CROWDRL_TRACE_SPAN("joint.e_step");
+///       ...
+///     }
+///
+/// Each span becomes one complete ("ph":"X") event with the thread it ran
+/// on. Recording appends to a per-thread buffer under that buffer's own
+/// mutex (uncontended in steady state — only the exporter ever takes it
+/// cross-thread), so threads never serialize against each other. When
+/// tracing is off the span constructor is a single relaxed load; with
+/// CROWDRL_OBS_BUILD=0 the macro expands to nothing.
+
+namespace crowdrl::obs {
+
+/// \brief Process-wide span store. Buffers are capped (see kMaxEvents in
+/// trace.cc); events past the cap are counted as dropped, never resized —
+/// the recorder must not allocate unboundedly inside a long run.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Get();
+
+  /// Records a complete span on the calling thread. `name` must be a
+  /// string literal (or otherwise outlive the recorder) — only the
+  /// pointer is stored.
+  void RecordComplete(const char* name, uint64_t start_ns, uint64_t dur_ns);
+
+  /// Writes {"traceEvents":[...]} with ts/dur in microseconds. Returns
+  /// false on I/O failure. Safe to call while other threads record (their
+  /// later events simply miss this export).
+  bool WriteChromeTrace(const std::string& path) const;
+
+  /// Drops all recorded events (buffers stay allocated to their threads).
+  void Clear();
+
+  /// Events recorded across all thread buffers (excludes dropped).
+  size_t event_count() const;
+  /// Events discarded because a thread buffer hit its cap.
+  uint64_t dropped_count() const;
+
+ private:
+  TraceRecorder() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// \brief RAII span: measures construction→destruction and records it as
+/// a complete event if tracing was enabled at construction.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(TracingEnabled() ? name : nullptr),
+        start_ns_(name_ ? NowNs() : 0) {}
+
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      TraceRecorder::Get().RecordComplete(name_, start_ns_,
+                                          NowNs() - start_ns_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;  // nullptr ⇒ tracing was off at entry; do nothing.
+  uint64_t start_ns_;
+};
+
+}  // namespace crowdrl::obs
+
+#if CROWDRL_OBS_BUILD
+#define CROWDRL_TRACE_SPAN_CAT2(a, b) a##b
+#define CROWDRL_TRACE_SPAN_CAT(a, b) CROWDRL_TRACE_SPAN_CAT2(a, b)
+/// Opens a span covering the rest of the enclosing scope.
+#define CROWDRL_TRACE_SPAN(name)                                     \
+  ::crowdrl::obs::TraceSpan CROWDRL_TRACE_SPAN_CAT(crowdrl_span_at_, \
+                                                   __LINE__)(name)
+#else
+#define CROWDRL_TRACE_SPAN(name) \
+  do {                           \
+  } while (false)
+#endif
+
+#endif  // CROWDRL_OBS_TRACE_H_

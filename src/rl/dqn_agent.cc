@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/topk.h"
 
@@ -15,6 +17,45 @@ namespace {
 /// on the paper-scale candidate counts (thousands), keeping load balanced
 /// without drowning in dispatch overhead.
 constexpr size_t kFeaturizeGrain = 128;
+
+/// Surfaces one Sync's refresh stats plus the cache's running hit rate
+/// into the metrics registry (the ScoreCache tracks these internally but
+/// nothing exported them before). `consulted` is the number of cached
+/// blocks this Sync consulted (2 * num_objects + num_annotators).
+void RecordSyncMetrics(const ScoreCache& cache, size_t consulted) {
+  if (!obs::Enabled()) return;
+  auto& registry = obs::MetricsRegistry::Get();
+  static obs::Counter* const syncs =
+      registry.GetCounter("crowdrl.scorecache.syncs");
+  static obs::Counter* const full_rebuilds =
+      registry.GetCounter("crowdrl.scorecache.full_rebuilds");
+  static obs::Counter* const objects_dirtied =
+      registry.GetCounter("crowdrl.scorecache.objects_dirtied");
+  static obs::Counter* const block_hits =
+      registry.GetCounter("crowdrl.scorecache.block_hits");
+  static obs::Counter* const block_misses =
+      registry.GetCounter("crowdrl.scorecache.block_misses");
+  static obs::Gauge* const hit_rate =
+      registry.GetGauge("crowdrl.scorecache.hit_rate");
+
+  // The cumulative stats reset on Invalidate (BeginEpisode/LoadState);
+  // the registry counters are monotonic. Replaying the per-sync delta
+  // keeps them monotonic while the hit-rate gauge tracks the cache's own
+  // running ratio for the current episode.
+  const ScoreCache::SyncStats& sync = cache.last_sync_stats();
+  size_t misses = sync.history_refreshes + sync.classifier_refreshes +
+                  sync.annotator_refreshes;
+  const ScoreCache::CumulativeStats& cum = cache.cumulative_stats();
+  syncs->Inc();
+  if (sync.full_rebuild) full_rebuilds->Inc();
+  objects_dirtied->Inc(sync.history_refreshes);
+  block_misses->Inc(misses);
+  block_hits->Inc(misses <= consulted ? consulted - misses : 0);
+  if (cum.block_hits + cum.block_misses > 0) {
+    hit_rate->Set(static_cast<double>(cum.block_hits) /
+                  static_cast<double>(cum.block_hits + cum.block_misses));
+  }
+}
 
 }  // namespace
 
@@ -114,12 +155,15 @@ std::vector<Action> DqnAgent::EnumerateCandidates(
   if (options_.incremental) {
     // Serial: recomputes only the blocks dirtied since the last Sync. The
     // parallel assembly below then only reads the cache.
+    CROWDRL_TRACE_SPAN("scorecache.sync");
     score_cache_.Sync(view);
+    RecordSyncMetrics(score_cache_, 2 * num_objects + num_annotators);
   }
   if (!options_.feature_mask.empty()) {
     CROWDRL_CHECK(options_.feature_mask.size() == StateFeaturizer::kFeatureDim);
   }
 
+  CROWDRL_TRACE_SPAN("agent.featurize");
   *features = Matrix(valid.size(), StateFeaturizer::kFeatureDim);
   // Each feature row depends only on its own candidate, so chunks write
   // disjoint rows and the parallel result is bit-identical to the serial
@@ -168,6 +212,7 @@ ScoredCandidates DqnAgent::Score(
     out.scores.resize(out.actions.size());
     for (double& s : out.scores) s = rng_.Uniform();
   } else {
+    CROWDRL_TRACE_SPAN("agent.q_forward");
     out.scores = UseFactorizedHead()
                      ? q_network_.PredictBatchFactorized(
                            CacheBlocks(), out.actions, /*use_target=*/false)
@@ -254,8 +299,12 @@ std::vector<Assignment> DqnAgent::SelectBatch(
     const std::vector<bool>& annotator_affordable) {
   ScoredCandidates candidates = Score(view, annotator_affordable);
   std::vector<size_t> chosen;
-  std::vector<Assignment> assignments = PickTopKSumAssignments(
-      candidates, k, num_objects_to_pick, episode_objects_, &chosen);
+  std::vector<Assignment> assignments;
+  {
+    CROWDRL_TRACE_SPAN("agent.topk");
+    assignments = PickTopKSumAssignments(candidates, k, num_objects_to_pick,
+                                         episode_objects_, &chosen);
+  }
   Commit(candidates, chosen);
   return assignments;
 }

@@ -140,6 +140,9 @@ class DqnAgent {
   size_t pending_transitions() const { return pending_.size(); }
   double current_epsilon() const { return epsilon_; }
   Rng* rng() { return &rng_; }
+  /// The incremental-scoring block cache (stats inspection; meaningful
+  /// only when options.incremental is on).
+  const ScoreCache& score_cache() const { return score_cache_; }
 
   /// Checkpointable surface: Q-networks, replay contents, the agent's RNG
   /// stream, exploration state (epsilon, UCB counts), episode shape, and

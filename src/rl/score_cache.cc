@@ -4,7 +4,26 @@
 
 namespace crowdrl::rl {
 
-void ScoreCache::Invalidate() { valid_ = false; }
+void ScoreCache::Invalidate() {
+  valid_ = false;
+  cumulative_stats_ = CumulativeStats{};
+}
+
+// Folds last_sync_stats_ into the running totals. Every Sync consults
+// 2*n + m blocks; the refreshed ones are misses, the rest hits.
+void ScoreCache::AccumulateSync() {
+  ++cumulative_stats_.syncs;
+  if (last_sync_stats_.full_rebuild) ++cumulative_stats_.full_rebuilds;
+  cumulative_stats_.objects_dirtied += last_sync_stats_.history_refreshes;
+  size_t misses = last_sync_stats_.history_refreshes +
+                  last_sync_stats_.classifier_refreshes +
+                  last_sync_stats_.annotator_refreshes;
+  size_t consulted = 2 * num_objects_ + num_annotators_;
+  CROWDRL_DCHECK(misses <= consulted);
+  cumulative_stats_.blocks_rebuilt += misses;
+  cumulative_stats_.block_misses += misses;
+  cumulative_stats_.block_hits += consulted - misses;
+}
 
 bool ScoreCache::NeedsFullRebuild(const StateView& view) const {
   if (!valid_) return true;
@@ -79,6 +98,7 @@ void ScoreCache::Sync(const StateView& view) {
   if (NeedsFullRebuild(view)) {
     RebuildAll(view);
     StateFeaturizer::ComputeGlobalBlock(view, global_block_);
+    AccumulateSync();
     return;
   }
 
@@ -146,6 +166,7 @@ void ScoreCache::Sync(const StateView& view) {
 
   // Global block: 3 values, patched in place every Sync.
   StateFeaturizer::ComputeGlobalBlock(view, global_block_);
+  AccumulateSync();
 }
 
 void ScoreCache::AssembleRowInto(int object, int annotator,

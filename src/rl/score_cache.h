@@ -52,6 +52,21 @@ class ScoreCache {
     size_t annotator_refreshes = 0;  // Annotators recomputed.
   };
 
+  /// Running totals across Syncs since the last Invalidate. A "block" is
+  /// one cached unit consulted per Sync — an object history part, an
+  /// object classifier part, or an annotator block (the 3-value global
+  /// block is unconditionally repatched and not counted). A block that
+  /// had to be recomputed is a miss; one served as-is is a hit, so
+  /// hits + misses == syncs * (2 * num_objects + num_annotators).
+  struct CumulativeStats {
+    size_t syncs = 0;
+    size_t full_rebuilds = 0;
+    size_t objects_dirtied = 0;  // History refreshes (answer-touched objects).
+    size_t blocks_rebuilt = 0;   // All misses (== block_misses).
+    size_t block_hits = 0;
+    size_t block_misses = 0;
+  };
+
   ScoreCache() = default;
 
   /// Drops all cached state; the next Sync rebuilds every block.
@@ -84,6 +99,10 @@ class ScoreCache {
 
   const SyncStats& last_sync_stats() const { return last_sync_stats_; }
 
+  /// Totals since the last Invalidate (which LoadState/BeginEpisode
+  /// trigger, so stats never leak across episodes or restores).
+  const CumulativeStats& cumulative_stats() const { return cumulative_stats_; }
+
  private:
   bool NeedsFullRebuild(const StateView& view) const;
   void RebuildAll(const StateView& view);
@@ -114,8 +133,11 @@ class ScoreCache {
   std::vector<size_t> touch_stamp_;
   size_t sync_counter_ = 0;
 
+  void AccumulateSync();
+
   StateFeaturizer::Scratch scratch_;
   SyncStats last_sync_stats_;
+  CumulativeStats cumulative_stats_;
 };
 
 }  // namespace crowdrl::rl

@@ -3,7 +3,41 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.h"
+
 namespace crowdrl {
+
+namespace {
+
+// Registered eagerly (not lazily at first dispatch) so every metrics
+// snapshot contains the threadpool keys even before the pool runs a job.
+struct PoolMetrics {
+  obs::Counter* dispatches;
+  obs::Gauge* queue_depth;
+  obs::Histogram* wait_us;
+  obs::Histogram* run_us;
+
+  PoolMetrics() {
+    auto& registry = obs::MetricsRegistry::Get();
+    const std::vector<double> us_bounds = {1.0,    10.0,    100.0,
+                                           1000.0, 10000.0, 100000.0};
+    dispatches = registry.GetCounter("crowdrl.threadpool.dispatches");
+    queue_depth = registry.GetGauge("crowdrl.threadpool.queue_depth");
+    wait_us =
+        registry.GetHistogram("crowdrl.threadpool.task_wait_us", us_bounds);
+    run_us =
+        registry.GetHistogram("crowdrl.threadpool.task_run_us", us_bounds);
+  }
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* const metrics = new PoolMetrics();
+  return *metrics;
+}
+
+[[maybe_unused]] const PoolMetrics& g_eager_pool_metrics = Metrics();
+
+}  // namespace
 
 ThreadPool::ThreadPool(int threads) {
   int spawn = std::max(0, threads - 1);
@@ -36,12 +70,33 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   // count or scheduling; workers claim chunks from a shared counter.
   size_t num_chunks = (count + grain - 1) / grain;
   std::atomic<size_t> next_chunk{0};
+
+  // Instrumentation only reads the clock and bumps atomics — it cannot
+  // change which chunk runs where or what fn computes, so the
+  // determinism contract above is untouched. The enabled check is
+  // hoisted out of the chunk loop.
+  const bool observed = obs::Enabled();
+  const uint64_t dispatch_ns = observed ? obs::NowNs() : 0;
+  if (observed) {
+    Metrics().dispatches->Inc();
+    Metrics().queue_depth->Set(static_cast<double>(num_chunks));
+  }
+
   std::function<void()> job = [&] {
     while (true) {
       size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) return;
       size_t chunk_begin = begin + c * grain;
-      fn(chunk_begin, std::min(end, chunk_begin + grain));
+      if (observed) {
+        uint64_t start_ns = obs::NowNs();
+        Metrics().wait_us->Record(
+            static_cast<double>(start_ns - dispatch_ns) / 1000.0);
+        fn(chunk_begin, std::min(end, chunk_begin + grain));
+        Metrics().run_us->Record(
+            static_cast<double>(obs::NowNs() - start_ns) / 1000.0);
+      } else {
+        fn(chunk_begin, std::min(end, chunk_begin + grain));
+      }
     }
   };
 
@@ -60,6 +115,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return acked_ == workers_.size(); });
   job_ = nullptr;
+  if (observed) Metrics().queue_depth->Set(0.0);
 }
 
 void ThreadPool::WorkerLoop() {

@@ -9,11 +9,16 @@
 
 #include <filesystem>
 #include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/crowdrl.h"
 #include "io/snapshot.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tests/testing/mini_json.h"
 
 namespace crowdrl::core {
 namespace {
@@ -120,6 +125,90 @@ TEST_P(ResumeCutTest, ResumeReproducesUninterruptedRunBitForBit) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Cuts, ResumeCutTest, ::testing::Values(1, 2, 4));
+
+// The observability contract (DESIGN.md §10): a fully instrumented run —
+// metrics, tracing, JSONL sink, trace export — produces bit-identical
+// results to an uninstrumented one, and its per-iteration JSONL and
+// Chrome trace artifacts are well-formed with the key series populated.
+TEST(ObservabilityTest, InstrumentedRunIsBitIdenticalAndArtifactsParse) {
+  // Force the reference to be computed with hooks off before enabling.
+  const LabellingResult& reference = Reference();
+  const Workload& w = SharedWorkload();
+  std::string dir = FreshDir("obs");
+  fs::create_directories(dir);
+  std::string metrics_path = dir + "/run_metrics.jsonl";
+  std::string trace_path = dir + "/trace.json";
+
+  CrowdRlConfig config;
+  config.obs.enabled = true;
+  config.obs.tracing = true;
+  config.obs.metrics_jsonl_path = metrics_path;
+  config.obs.trace_json_path = trace_path;
+  CrowdRlFramework framework(config);
+  LabellingResult observed;
+  Status status = framework.Run(w.dataset, w.pool, kBudget, kSeed, &observed);
+  obs::SetTracing(false);
+  obs::SetEnabled(false);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ExpectBitIdentical(observed);
+
+  // One parseable record per labelling iteration, ending at the final
+  // iteration count, with the acceptance series present: framework
+  // counters, the ScoreCache hit-rate, and the ThreadPool queue depth.
+  std::ifstream in(metrics_path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  size_t records = 0;
+  crowdrl::testing::JsonValue last;
+  while (std::getline(in, line)) {
+    ++records;
+    crowdrl::testing::JsonValue record;
+    ASSERT_TRUE(crowdrl::testing::MiniJsonParser::Parse(line, &record))
+        << "record " << records << ": " << line;
+    EXPECT_EQ(record["iteration"].number, static_cast<double>(records));
+    last = std::move(record);
+  }
+  ASSERT_GT(records, 0u);
+  // A record is written at the end of every completed iteration; the very
+  // last counted iteration may end the loop early (nothing left to
+  // assign) without completing, so allow one less record than the total.
+  EXPECT_GE(records + 1, reference.iterations);
+  EXPECT_LE(records, reference.iterations);
+  EXPECT_GE(last["counters"]["crowdrl.framework.iterations"].number,
+            static_cast<double>(records));
+  EXPECT_GT(last["counters"]["crowdrl.framework.objects_selected"].number,
+            0.0);
+  EXPECT_GT(
+      last["counters"]["crowdrl.framework.assignments_executed"].number,
+      0.0);
+  EXPECT_GT(last["counters"]["crowdrl.framework.em_iterations"].number,
+            0.0);
+  EXPECT_GT(last["counters"]["crowdrl.scorecache.syncs"].number, 0.0);
+  EXPECT_TRUE(last["gauges"].Has("crowdrl.scorecache.hit_rate"));
+  EXPECT_TRUE(last["gauges"].Has("crowdrl.threadpool.queue_depth"));
+  EXPECT_TRUE(last["gauges"].Has("crowdrl.framework.log_likelihood"));
+  EXPECT_TRUE(last["histograms"].Has("crowdrl.threadpool.task_run_us"));
+
+  // The exported trace parses and carries the run-loop spans.
+  std::ifstream trace_in(trace_path);
+  ASSERT_TRUE(trace_in.good());
+  std::ostringstream trace_text;
+  trace_text << trace_in.rdbuf();
+  crowdrl::testing::JsonValue trace;
+  ASSERT_TRUE(
+      crowdrl::testing::MiniJsonParser::Parse(trace_text.str(), &trace));
+  ASSERT_TRUE(trace.Has("traceEvents"));
+  ASSERT_GT(trace["traceEvents"].array.size(), 0u);
+  std::set<std::string> span_names;
+  for (const auto& event : trace["traceEvents"].array) {
+    span_names.insert(event["name"].str);
+  }
+  EXPECT_TRUE(span_names.count("framework.iteration"));
+  EXPECT_TRUE(span_names.count("framework.inference"));
+  EXPECT_TRUE(span_names.count("joint.e_step"));
+  EXPECT_TRUE(span_names.count("scorecache.sync"));
+  obs::TraceRecorder::Get().Clear();
+}
 
 TEST(CheckpointResumeTest, ExplicitSaveAndLoadCheckpoint) {
   const Workload& w = SharedWorkload();

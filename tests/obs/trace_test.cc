@@ -1,0 +1,154 @@
+// TraceRecorder tests: span recording, the tracing gate, the per-thread
+// buffer cap, and — the export contract — that the Chrome trace-event
+// JSON is well-formed (parsed in-test) with the fields Perfetto needs.
+
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "tests/testing/mini_json.h"
+
+namespace crowdrl::obs {
+namespace {
+
+using crowdrl::testing::JsonValue;
+using crowdrl::testing::MiniJsonParser;
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    SetTracing(true);
+    TraceRecorder::Get().Clear();
+  }
+  void TearDown() override {
+    TraceRecorder::Get().Clear();
+    SetTracing(false);
+    SetEnabled(false);
+  }
+};
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST_F(TraceTest, ScopedSpansRecordCompleteEvents) {
+  EXPECT_EQ(TraceRecorder::Get().event_count(), 0u);
+  {
+    CROWDRL_TRACE_SPAN("test.outer");
+    { CROWDRL_TRACE_SPAN("test.inner"); }
+  }
+  EXPECT_EQ(TraceRecorder::Get().event_count(), 2u);
+  TraceRecorder::Get().Clear();
+  EXPECT_EQ(TraceRecorder::Get().event_count(), 0u);
+}
+
+TEST_F(TraceTest, SpansAreNoOpsWhenTracingDisabled) {
+  SetTracing(false);
+  { CROWDRL_TRACE_SPAN("test.gated"); }
+  SetEnabled(false);
+  SetTracing(true);  // Tracing requires the master switch too.
+  { CROWDRL_TRACE_SPAN("test.gated"); }
+  EXPECT_EQ(TraceRecorder::Get().event_count(), 0u);
+}
+
+TEST_F(TraceTest, ExportedChromeTraceParsesAndCarriesPerfettoFields) {
+  {
+    CROWDRL_TRACE_SPAN("test.export \"quoted\"\\name");
+    { CROWDRL_TRACE_SPAN("test.child"); }
+  }
+  std::thread other([] { CROWDRL_TRACE_SPAN("test.other_thread"); });
+  other.join();
+
+  std::string path = ::testing::TempDir() + "crowdrl_obs_trace_test.json";
+  ASSERT_TRUE(TraceRecorder::Get().WriteChromeTrace(path));
+
+  JsonValue root;
+  ASSERT_TRUE(MiniJsonParser::Parse(ReadFile(path), &root));
+  ASSERT_TRUE(root.is_object());
+  ASSERT_TRUE(root.Has("traceEvents"));
+  const JsonValue& events = root["traceEvents"];
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.array.size(), 3u);
+
+  std::set<std::string> names;
+  std::set<double> tids;
+  for (const JsonValue& event : events.array) {
+    ASSERT_TRUE(event.is_object());
+    EXPECT_TRUE(event["name"].is_string());
+    EXPECT_EQ(event["ph"].str, "X");  // Complete events.
+    EXPECT_TRUE(event["ts"].is_number());
+    EXPECT_TRUE(event["dur"].is_number());
+    EXPECT_GE(event["dur"].number, 0.0);
+    EXPECT_TRUE(event["pid"].is_number());
+    EXPECT_TRUE(event["tid"].is_number());
+    names.insert(event["name"].str);
+    tids.insert(event["tid"].number);
+  }
+  EXPECT_TRUE(names.count("test.child"));
+  EXPECT_TRUE(names.count("test.other_thread"));
+  // The quoted/backslashed name survived JSON escaping (the parser
+  // unescapes it back).
+  EXPECT_TRUE(names.count("test.export \"quoted\"\\name"));
+  // Two distinct threads recorded, two distinct tids exported.
+  EXPECT_EQ(tids.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, NestedSpansOrderedParentAfterChildByEndTime) {
+  // The exporter flushes per-thread buffers in recording order: the inner
+  // span (which closes first) precedes the outer. Both cover overlapping
+  // time ranges — outer.ts <= inner.ts and outer end >= inner end.
+  {
+    CROWDRL_TRACE_SPAN("test.parent");
+    { CROWDRL_TRACE_SPAN("test.kid"); }
+  }
+  std::string path = ::testing::TempDir() + "crowdrl_obs_trace_nest.json";
+  ASSERT_TRUE(TraceRecorder::Get().WriteChromeTrace(path));
+  JsonValue root;
+  ASSERT_TRUE(MiniJsonParser::Parse(ReadFile(path), &root));
+  const auto& events = root["traceEvents"].array;
+  ASSERT_EQ(events.size(), 2u);
+  const JsonValue& kid = events[0];
+  const JsonValue& parent = events[1];
+  EXPECT_EQ(kid["name"].str, "test.kid");
+  EXPECT_EQ(parent["name"].str, "test.parent");
+  EXPECT_LE(parent["ts"].number, kid["ts"].number);
+  EXPECT_GE(parent["ts"].number + parent["dur"].number,
+            kid["ts"].number + kid["dur"].number);
+}
+
+TEST_F(TraceTest, BufferCapDropsExcessEventsAndCountsThem) {
+  TraceRecorder& recorder = TraceRecorder::Get();
+  // Fill this thread's buffer to its cap (1M events; bounded loop in case
+  // the cap ever grows) and verify overflow is counted, not stored.
+  const size_t kSafetyLimit = (size_t{1} << 20) + 8;
+  size_t recorded = 0;
+  while (recorder.dropped_count() == 0 && recorded < kSafetyLimit) {
+    recorder.RecordComplete("test.flood", 0, 1);
+    ++recorded;
+  }
+  ASSERT_GT(recorder.dropped_count(), 0u);
+  EXPECT_EQ(recorder.event_count(), recorded - recorder.dropped_count());
+  recorder.RecordComplete("test.flood", 0, 1);
+  EXPECT_EQ(recorder.dropped_count(), 2u);
+  // Clear frees the events and re-arms the cap.
+  recorder.Clear();
+  EXPECT_EQ(recorder.event_count(), 0u);
+  recorder.RecordComplete("test.after_clear", 0, 1);
+  EXPECT_EQ(recorder.event_count(), 1u);
+}
+
+}  // namespace
+}  // namespace crowdrl::obs

@@ -269,6 +269,67 @@ TEST(ScoreCacheTest, DirtyTrackingRefreshesOnlyChangedBlocks) {
   EXPECT_EQ(cache.last_sync_stats().classifier_refreshes, kObjects);
 }
 
+// Satellite: the cumulative sync statistics behind the
+// crowdrl.scorecache.* metrics — totals accumulate across Syncs, hits and
+// misses partition the consulted blocks exactly, and the counters reset
+// on Invalidate (and therefore across BeginEpisode / LoadState).
+TEST(ScoreCacheTest, CumulativeStatsAccumulateAndPartitionExactly) {
+  Scenario s;
+  s.RefreshProbs();
+  ScoreCache cache;
+  EXPECT_EQ(cache.cumulative_stats().syncs, 0u);
+
+  cache.Sync(s.View());       // Full rebuild.
+  cache.Sync(s.View());       // Clean: all hits.
+  s.answers.Record(3, 0, 1);  // Dirties one object's history part.
+  s.answers.Record(6, 1, 2);  // And another.
+  s.qualities[2] = 0.8;       // Dirties one annotator block.
+  cache.Sync(s.View());
+
+  const ScoreCache::CumulativeStats& stats = cache.cumulative_stats();
+  EXPECT_EQ(stats.syncs, 3u);
+  EXPECT_EQ(stats.full_rebuilds, 1u);
+  EXPECT_EQ(stats.objects_dirtied, kObjects + 2);
+  const size_t consulted_per_sync = 2 * kObjects + kAnnotators;
+  EXPECT_EQ(stats.block_hits + stats.block_misses,
+            stats.syncs * consulted_per_sync);
+  // Sync 1 misses everything, sync 2 nothing, sync 3 exactly 2 history
+  // parts + 1 annotator block.
+  EXPECT_EQ(stats.block_misses, consulted_per_sync + 3);
+  EXPECT_EQ(stats.blocks_rebuilt, stats.block_misses);
+
+  cache.Invalidate();
+  EXPECT_EQ(cache.cumulative_stats().syncs, 0u);
+  EXPECT_EQ(cache.cumulative_stats().block_hits, 0u);
+  EXPECT_EQ(cache.cumulative_stats().block_misses, 0u);
+  EXPECT_EQ(cache.cumulative_stats().objects_dirtied, 0u);
+  EXPECT_EQ(cache.cumulative_stats().full_rebuilds, 0u);
+}
+
+TEST(IncrementalScoringTest, CumulativeStatsResetAcrossEpisodeAndRestore) {
+  Scenario s;
+  s.RefreshProbs();
+  DqnAgent agent(MakeOptions(/*incremental=*/true));
+  agent.BeginEpisode(kObjects, kAnnotators);
+  agent.Score(s.View(), s.affordable);
+  s.answers.Record(1, 0, 2);
+  agent.Score(s.View(), s.affordable);
+  ASSERT_EQ(agent.score_cache().cumulative_stats().syncs, 2u);
+  ASSERT_GT(agent.score_cache().cumulative_stats().block_hits, 0u);
+
+  // A new episode must not inherit the previous episode's totals.
+  agent.BeginEpisode(kObjects, kAnnotators);
+  EXPECT_EQ(agent.score_cache().cumulative_stats().syncs, 0u);
+  EXPECT_EQ(agent.score_cache().cumulative_stats().block_hits, 0u);
+
+  // Neither must an agent restored from a checkpoint.
+  agent.Score(s.View(), s.affordable);
+  ASSERT_EQ(agent.score_cache().cumulative_stats().syncs, 1u);
+  DqnAgent restored = RoundTrip(agent, MakeOptions(/*incremental=*/true));
+  EXPECT_EQ(restored.score_cache().cumulative_stats().syncs, 0u);
+  EXPECT_EQ(restored.score_cache().cumulative_stats().block_misses, 0u);
+}
+
 uint64_t OrderedBits(double x) {
   uint64_t u = 0;
   std::memcpy(&u, &x, sizeof(u));

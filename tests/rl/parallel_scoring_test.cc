@@ -10,6 +10,8 @@
 #include "inference/joint_inference.h"
 #include "math/gemm.h"
 #include "nn/mlp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rl/dqn_agent.h"
 #include "tests/testing/sim_helpers.h"
 #include "util/thread_pool.h"
@@ -130,6 +132,41 @@ TEST(ParallelScoringTest, CachedScoringMatchesNaiveAcrossThreadCounts) {
     ScoredCandidates got = agent.Score(view, f.affordable);
     ExpectScoredBitIdentical(got, baseline2);
   }
+}
+
+// The observability hooks in the scoring hot path (featurize / q_forward /
+// top-k spans, ScoreCache counters, ThreadPool histograms, GEMM
+// histograms) only read clocks and bump atomics: scoring with metrics and
+// tracing fully enabled must stay bit-identical to the uninstrumented
+// baseline, on first build and on dirty resync, at every thread count.
+TEST(ParallelScoringTest, ScoreIsBitIdenticalWithObservabilityEnabled) {
+  WideFixture f;
+  DqnAgent serial = f.MakeAgent(1);
+  ScoredCandidates baseline = serial.Score(f.View(), f.affordable);
+
+  obs::SetEnabled(true);
+  obs::SetTracing(true);
+  for (int threads : {1, 4}) {
+    DqnAgent agent = f.MakeAgent(threads);
+    ScoredCandidates got = agent.Score(f.View(), f.affordable);
+    ExpectScoredBitIdentical(got, baseline);
+  }
+  // The hooks actually fired: the instrumented Syncs were counted and the
+  // scoring spans recorded.
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Get().Snapshot();
+  uint64_t syncs = 0;
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name == "crowdrl.scorecache.syncs") syncs = counter.value;
+  }
+  EXPECT_GE(syncs, 2u);
+  EXPECT_GT(obs::TraceRecorder::Get().event_count(), 0u);
+  obs::TraceRecorder::Get().Clear();
+  obs::SetTracing(false);
+  obs::SetEnabled(false);
+
+  // And back off: disabled again reproduces the same bits.
+  DqnAgent after = f.MakeAgent(2);
+  ExpectScoredBitIdentical(after.Score(f.View(), f.affordable), baseline);
 }
 
 TEST(ParallelScoringTest, MlpInferOnPoolMatchesSerialBitwise) {

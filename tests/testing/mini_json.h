@@ -1,0 +1,246 @@
+#ifndef CROWDRL_TESTS_TESTING_MINI_JSON_H_
+#define CROWDRL_TESTS_TESTING_MINI_JSON_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file
+/// \brief A tiny recursive-descent JSON parser for tests that need to
+/// assert exported artifacts (run_metrics.jsonl records, Chrome trace
+/// JSON, bench reports) are well-formed and carry the expected keys.
+/// Strict enough for the purpose: rejects trailing garbage, unterminated
+/// strings/containers, and bad literals. Not a production parser — no
+/// \uXXXX decoding (escapes are validated and kept verbatim) and numbers
+/// go through strtod.
+
+namespace crowdrl::testing {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  bool Has(const std::string& key) const {
+    return type == Type::kObject && object.count(key) > 0;
+  }
+  /// Object member access; dies (via .at) on a missing key or non-object,
+  /// which in a test is the failure we want loudly.
+  const JsonValue& operator[](const std::string& key) const {
+    return object.at(key);
+  }
+};
+
+class MiniJsonParser {
+ public:
+  /// Parses exactly one JSON value spanning the whole input (leading and
+  /// trailing whitespace allowed). Returns false on any syntax error.
+  static bool Parse(const std::string& text, JsonValue* out) {
+    MiniJsonParser parser(text);
+    if (!parser.ParseValue(out)) return false;
+    parser.SkipWhitespace();
+    return parser.pos_ == text.size();
+  }
+
+ private:
+  explicit MiniJsonParser(const std::string& text) : text_(text) {}
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseLiteral(const char* literal) {
+    size_t len = std::string(literal).size();
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(
+                      static_cast<unsigned char>(text_[pos_ + i]))) {
+                return false;
+              }
+            }
+            out->append("\\u").append(text_, pos_, 4);  // Kept verbatim.
+            pos_ += 4;
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // Unterminated.
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    size_t digits = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) return false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++digits;
+      }
+      if (digits == 0) return false;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      digits = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++digits;
+      }
+      if (digits == 0) return false;
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                              nullptr);
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->type = JsonValue::Type::kObject;
+      SkipWhitespace();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        SkipWhitespace();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        if (!Consume(':')) return false;
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->object[key] = std::move(value);
+        SkipWhitespace();
+        if (pos_ >= text_.size()) return false;
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->type = JsonValue::Type::kArray;
+      SkipWhitespace();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->array.push_back(std::move(value));
+        SkipWhitespace();
+        if (pos_ >= text_.size()) return false;
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't') {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      return ParseLiteral("true");
+    }
+    if (c == 'f') {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = false;
+      return ParseLiteral("false");
+    }
+    if (c == 'n') {
+      out->type = JsonValue::Type::kNull;
+      return ParseLiteral("null");
+    }
+    return ParseNumber(out);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace crowdrl::testing
+
+#endif  // CROWDRL_TESTS_TESTING_MINI_JSON_H_

@@ -1,5 +1,9 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace crowdrl {
@@ -40,6 +44,43 @@ TEST(LoggingTest, MessagesBelowThresholdAreDropped) {
   CROWDRL_LOG(Info) << "hidden";
   std::string out = ::testing::internal::GetCapturedStderr();
   EXPECT_EQ(out.find("hidden"), std::string::npos);
+}
+
+// The level lives in a std::atomic<LogLevel>: concurrent SetLogLevel /
+// GetLogLevel / threshold checks are data-race-free (TSan-clean) and a
+// reader only ever observes a value some writer actually stored.
+TEST(LoggingTest, LevelIsSafeToReadAndWriteConcurrently) {
+  LogLevelGuard guard;
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 4;
+  constexpr int kOpsPerThread = 20000;
+  const LogLevel levels[] = {LogLevel::kDebug, LogLevel::kInfo,
+                             LogLevel::kWarning, LogLevel::kError};
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&levels, w] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        SetLogLevel(levels[(i + w) % 4]);
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&bad] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        LogLevel level = GetLogLevel();
+        if (level < LogLevel::kDebug || level > LogLevel::kError) {
+          bad.store(true, std::memory_order_relaxed);
+        }
+        // The threshold check CROWDRL_LOG performs, racing the writers.
+        if (LogLevel::kDebug < level) continue;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(bad.load());
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
 }
 
 TEST(LoggingDeathTest, CheckFailureAbortsWithMessage) {
