@@ -738,7 +738,26 @@ struct ScoringScenario {
     ++probs_version;
   }
 
-  void Mutate() {
+  // Steady-state inference step: only the objects that received fresh
+  // answers get their beliefs updated, and only a little — the regime of
+  // a converging run, and the one the shortlist pruner's drift bounds are
+  // built for (a wholesale re-roll is legitimate drift too, it just
+  // forces full rescoring every iteration).
+  void NudgeProbsFor(const std::vector<size_t>& touched) {
+    for (size_t i : touched) {
+      double sum = 0.0;
+      double* row = class_probs.Row(i);
+      for (int c = 0; c < num_classes; ++c) {
+        row[c] = std::max(0.01, row[c] + 0.01 * rng.Uniform(-1.0, 1.0));
+        sum += row[c];
+      }
+      for (int c = 0; c < num_classes; ++c) row[c] /= sum;
+    }
+    ++probs_version;
+  }
+
+  void Mutate(bool steady = false) {
+    std::vector<size_t> touched;
     for (int picks = 0; picks < 8; ++picks) {
       size_t object = touch_cursor;
       touch_cursor = (touch_cursor + 1) % n;
@@ -747,16 +766,30 @@ struct ScoringScenario {
       answers.Record(static_cast<int>(object), next,
                      rng.UniformInt(num_classes));
       ++answers_per_object[object];
+      touched.push_back(object);
     }
-    for (size_t j = 0; j < m; ++j) {
-      qualities[j] = std::min(0.95, std::max(0.05, qualities[j] +
-                                                       rng.Uniform(-0.01,
-                                                                   0.01)));
+    if (steady) {
+      // Quality re-estimates are periodic and small in steady state.
+      if (++steady_ticks % 4 == 0) {
+        for (size_t j = 0; j < m; ++j) {
+          qualities[j] = std::min(
+              0.95, std::max(0.05, qualities[j] + rng.Uniform(-0.002,
+                                                              0.002)));
+        }
+      }
+      NudgeProbsFor(touched);
+    } else {
+      for (size_t j = 0; j < m; ++j) {
+        qualities[j] = std::min(0.95, std::max(0.05, qualities[j] +
+                                                         rng.Uniform(-0.01,
+                                                                     0.01)));
+      }
+      RefreshProbs();
     }
-    RefreshProbs();
     budget_fraction *= 0.997;
     fraction_labelled = std::min(0.9, fraction_labelled + 0.002);
   }
+  size_t steady_ticks = 0;
 
   rl::StateView View() const {
     rl::StateView view;
@@ -923,6 +956,78 @@ void WriteScoringReport(size_t objects, const std::string& path) {
     }
   }
 
+  // ---- Shortlist-pruned end-to-end selection --------------------------
+  // Two agents drive the same steady-drift run: the PR 4 production path
+  // (incremental cache, exact forward over every pair, no pruning) and
+  // the new default (factorized head + shortlist pruning). Timed on
+  // SelectBatch end to end; the selected assignments must be identical
+  // every iteration — the pruned path's exactness gate falls back to full
+  // scoring whenever it cannot prove that.
+  const int kPrunedIters = 10;
+  const int kPrunedWarmup = 3;  // Pruner warmup (2 full passes) + 1.
+  double best_base = 1e300;
+  double best_pruned = 1e300;
+  bool assignments_identical = true;
+  ScoringScenario drift(objects, kAnnotators, kClasses);
+  rl::DqnAgentOptions base_options;
+  base_options.prune = false;
+  base_options.factorized_q_head = false;
+  rl::DqnAgentOptions pruned_options;  // Production defaults.
+  rl::DqnAgent base_agent(base_options);
+  rl::DqnAgent pruned_agent(pruned_options);
+  base_agent.BeginEpisode(drift.n, drift.m);
+  pruned_agent.BeginEpisode(drift.n, drift.m);
+  std::vector<bool> affordable(drift.m, true);
+  for (int iter = 0; iter < kPrunedIters; ++iter) {
+    drift.Mutate(/*steady=*/true);
+    const rl::StateView view = drift.View();
+    auto t0 = Clock::now();
+    std::vector<rl::Assignment> base_asg =
+        base_agent.SelectBatch(view, kTopK, kObjectsToPick, affordable);
+    double base_s = secs(t0);
+    t0 = Clock::now();
+    std::vector<rl::Assignment> pruned_asg =
+        pruned_agent.SelectBatch(view, kTopK, kObjectsToPick, affordable);
+    double pruned_s = secs(t0);
+    if (iter >= kPrunedWarmup) {
+      best_base = std::min(best_base, base_s);
+      best_pruned = std::min(best_pruned, pruned_s);
+    }
+    assignments_identical =
+        assignments_identical && base_asg.size() == pruned_asg.size();
+    for (size_t i = 0;
+         assignments_identical && i < base_asg.size(); ++i) {
+      assignments_identical =
+          base_asg[i].object == pruned_asg[i].object &&
+          base_asg[i].annotators == pruned_asg[i].annotators;
+    }
+    // The world answers the selected assignments; the next iteration's
+    // Mutate folds them into the drifting beliefs. Like the stage rows
+    // above, the network itself is held fixed — this row isolates the
+    // per-iteration scoring cost, not the training schedule.
+    for (const rl::Assignment& assignment : base_asg) {
+      for (int j : assignment.annotators) {
+        if (drift.answers_per_object[assignment.object] >=
+            static_cast<int>(drift.m)) {
+          break;
+        }
+        drift.answers.Record(assignment.object, j,
+                             drift.rng.UniformInt(kClasses));
+        ++drift.answers_per_object[assignment.object];
+      }
+    }
+  }
+  const rl::ShortlistPruner::Stats& prune_stats =
+      pruned_agent.shortlist_pruner().stats();
+  double pruned_speedup = best_base / best_pruned;
+  std::printf("  pruned selection: base %.3f ms  pruned %.3f ms  %.2fx  "
+              "identical=%d  (pruned_iters=%zu gate_fallbacks=%zu "
+              "exact_rows=%zu bounded_rows=%zu)\n",
+              best_base * 1e3, best_pruned * 1e3, pruned_speedup,
+              assignments_identical, prune_stats.pruned_iterations,
+              prune_stats.gate_fallbacks, prune_stats.exact_rows,
+              prune_stats.bounded_rows);
+
   struct StageRow {
     const char* stage;
     double seed_ms, cached_ms;
@@ -1000,12 +1105,24 @@ void WriteScoringReport(size_t objects, const std::string& path) {
                "  \"factorized_q_head\": {\"exact_forward_ms\": %.4f, "
                "\"factorized_forward_ms\": %.4f, \"forward_speedup\": %.3f, "
                "\"per_iteration_ms\": %.4f, \"per_iteration_speedup\": "
-               "%.3f, \"max_ulps\": %llu, \"max_abs_diff\": %.3e}\n"
-               "}\n",
+               "%.3f, \"max_ulps\": %llu, \"max_abs_diff\": %.3e},\n",
                best.forward_cached * 1e3, best.forward_factorized * 1e3,
                best.forward_cached / best.forward_factorized,
                iter_fact * 1e3, iter_seed / iter_fact,
                static_cast<unsigned long long>(max_ulps), max_abs_diff);
+  std::fprintf(json,
+               "  \"pruned_selection\": {\"baseline_ms\": %.4f, "
+               "\"pruned_ms\": %.4f, \"speedup\": %.3f, "
+               "\"assignments_identical\": %s, "
+               "\"pruned_iterations\": %zu, \"full_iterations\": %zu, "
+               "\"gate_fallbacks\": %zu, \"precheck_fallbacks\": %zu, "
+               "\"exact_rows\": %zu, \"bounded_rows\": %zu}\n"
+               "}\n",
+               best_base * 1e3, best_pruned * 1e3, pruned_speedup,
+               assignments_identical ? "true" : "false",
+               prune_stats.pruned_iterations, prune_stats.full_iterations,
+               prune_stats.gate_fallbacks, prune_stats.precheck_fallbacks,
+               prune_stats.exact_rows, prune_stats.bounded_rows);
   std::fclose(json);
   std::printf("wrote %s\n", path.c_str());
 }

@@ -1,5 +1,6 @@
 #include "nn/mlp.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "math/gemm.h"
@@ -23,6 +24,11 @@ gemm::RowEpilogue BiasActivationEpilogue(const std::vector<double>& bias,
     ApplyActivationRows(act, out, row_begin, row_end);
   };
 }
+
+// Rows per block in the loop-fused InferInto path. Large enough that the
+// per-layer GEMMs amortize their setup, small enough that a block's whole
+// activation chain (block x widest-layer doubles) stays cache-resident.
+constexpr size_t kInferBlockRows = 256;
 
 }  // namespace
 
@@ -89,6 +95,55 @@ const Matrix& Mlp::InferFrom(size_t first_layer, const Matrix& acts,
     current = out;
   }
   return *current;
+}
+
+void Mlp::InferInto(const Matrix& batch, ThreadPool* pool,
+                    Matrix* out) const {
+  CROWDRL_CHECK(out != nullptr);
+  CROWDRL_CHECK(batch.cols() == input_size());
+  CROWDRL_DCHECK(out != &batch);
+  const size_t rows = batch.rows();
+  const size_t out_cols = output_size();
+  if (out->rows() != rows || out->cols() != out_cols) {
+    *out = Matrix(rows, out_cols);
+  }
+  auto block_body = [&](size_t r0, size_t r1) {
+    // All scratch is per-thread: the block's input copy and ping-pong
+    // activations live in thread_local matrices, and the kernels' weight-
+    // transpose packing uses its own thread_local buffer (bt_scratch
+    // nullptr) instead of the shared wt_scratch_.
+    thread_local Matrix block_in;
+    thread_local Matrix bufs[2];
+    const size_t n = r1 - r0;
+    const size_t in_cols = batch.cols();
+    if (block_in.rows() != n || block_in.cols() != in_cols) {
+      block_in = Matrix(n, in_cols);
+    }
+    for (size_t r = 0; r < n; ++r) {
+      const double* src = batch.Row(r0 + r);
+      std::copy(src, src + in_cols, block_in.Row(r));
+    }
+    const Matrix* current = &block_in;
+    for (size_t l = 0; l < layers_.size(); ++l) {
+      const Layer& layer = layers_[l];
+      Matrix* o = &bufs[l % 2];
+      gemm::MatMulNTInto(
+          *current, layer.weight, o, nullptr,
+          BiasActivationEpilogue(layer.bias, layer.activation, o));
+      current = o;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      const double* src = current->Row(r);
+      std::copy(src, src + out_cols, out->Row(r0 + r));
+    }
+  };
+  if (pool != nullptr && rows > kInferBlockRows) {
+    pool->ParallelFor(0, rows, kInferBlockRows, block_body);
+  } else {
+    for (size_t r0 = 0; r0 < rows; r0 += kInferBlockRows) {
+      block_body(r0, std::min(r0 + kInferBlockRows, rows));
+    }
+  }
 }
 
 std::vector<double> Mlp::Infer(const std::vector<double>& input) const {

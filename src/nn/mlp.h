@@ -68,6 +68,19 @@ class Mlp {
   /// serial path.
   const Matrix& Infer(const Matrix& batch, ThreadPool* pool) const;
 
+  /// Loop-fused stateless forward into a caller-owned output. The batch is
+  /// processed in fixed-size row blocks, each block running through every
+  /// layer before the next block starts, so intermediate activations stay
+  /// block-sized (cache-resident) instead of batch-sized. At scoring batch
+  /// shapes the layer-by-layer Infer is memory-bandwidth-bound on the full
+  /// hidden-activation matrices; this path removes that traffic and is
+  /// what lets the threaded forward actually scale. Per-element arithmetic
+  /// order is unchanged (each output element still consumes its k terms
+  /// ascending, see gemm.h), so results are bit-identical to Infer at any
+  /// thread count and any block size. All scratch is per-thread, so blocks
+  /// run concurrently on a pool; `pool == nullptr` runs blocks serially.
+  void InferInto(const Matrix& batch, ThreadPool* pool, Matrix* out) const;
+
   /// Stateless forward that starts at layer `first_layer`, treating `acts`
   /// as that layer's input batch (i.e. the previous layer's post-activation
   /// output). InferFrom(0, batch, pool) is exactly Infer(batch, pool) — the

@@ -13,16 +13,53 @@ namespace crowdrl::rl {
 
 namespace {
 
-/// Candidates per parallel featurization chunk: ~a dozen chunks per worker
-/// on the paper-scale candidate counts (thousands), keeping load balanced
-/// without drowning in dispatch overhead.
+/// Minimum candidates per parallel featurization chunk. The actual grain
+/// adapts upward to candidates / (lanes * kFeaturizeChunksPerLane): the
+/// threadpool task_wait_us/task_run_us histograms showed that at the big
+/// scoring batches (tens of thousands of rows) a fixed small grain makes
+/// per-chunk run time comparable to dispatch wake-up latency, which is
+/// why row-tiling barely paid. A handful of chunks per lane amortizes the
+/// dispatch while still load balancing; every row depends only on its own
+/// pair, so grain never changes results.
 constexpr size_t kFeaturizeGrain = 128;
+constexpr size_t kFeaturizeChunksPerLane = 4;
 
-/// Surfaces one Sync's refresh stats plus the cache's running hit rate
-/// into the metrics registry (the ScoreCache tracks these internally but
-/// nothing exported them before). `consulted` is the number of cached
-/// blocks this Sync consulted (2 * num_objects + num_annotators).
-void RecordSyncMetrics(const ScoreCache& cache, size_t consulted) {
+/// Absolute slack required between per-object top-k sums before the
+/// pruned selection trusts their ordering. Sums are accumulated in heap
+/// order, which can differ between the pruned and the full pass, so two
+/// sums closer than a few ULPs could legitimately compare differently
+/// there; anything inside this band falls back to full scoring. Far above
+/// any reachable reordering error (~1e-15 at these magnitudes), far below
+/// meaningful score differences.
+constexpr double kSumGateBand = 1e-9;
+
+/// Shortlist-expansion rounds before a gate failure falls back to full
+/// scoring. One round usually suffices: the first gate run names the
+/// contender objects, whose unscored candidates are a tiny exact batch;
+/// the second round exists for the rare case where expansion shuffles the
+/// provisional winners and a new contender appears.
+constexpr int kPruneExpandRounds = 2;
+
+/// Surfaces the cache's refresh accounting into the metrics registry by
+/// replaying the deltas of its own CumulativeStats since the previous
+/// export (`seen`, owned by the agent). The cache accounts a full rebuild
+/// as 2n+m misses and 0 hits, so hit/miss deltas stay self-consistent —
+/// the old fixed `consulted = 2n+m` formula credited a rebuild with hits
+/// it never served and a `misses <= consulted` clamp hid the overflow.
+/// The registry counters stay monotonic across Invalidate (which zeroes
+/// the cache totals): a regression of the totals just resets `seen`.
+void RecordSyncMetrics(const ScoreCache& cache,
+                       ScoreCache::CumulativeStats* seen) {
+  const ScoreCache::CumulativeStats& cum = cache.cumulative_stats();
+  if (cum.syncs < seen->syncs) *seen = ScoreCache::CumulativeStats{};
+  const ScoreCache::CumulativeStats delta{
+      cum.syncs - seen->syncs,
+      cum.full_rebuilds - seen->full_rebuilds,
+      cum.objects_dirtied - seen->objects_dirtied,
+      cum.blocks_rebuilt - seen->blocks_rebuilt,
+      cum.block_hits - seen->block_hits,
+      cum.block_misses - seen->block_misses};
+  *seen = cum;
   if (!obs::Enabled()) return;
   auto& registry = obs::MetricsRegistry::Get();
   static obs::Counter* const syncs =
@@ -37,24 +74,187 @@ void RecordSyncMetrics(const ScoreCache& cache, size_t consulted) {
       registry.GetCounter("crowdrl.scorecache.block_misses");
   static obs::Gauge* const hit_rate =
       registry.GetGauge("crowdrl.scorecache.hit_rate");
-
-  // The cumulative stats reset on Invalidate (BeginEpisode/LoadState);
-  // the registry counters are monotonic. Replaying the per-sync delta
-  // keeps them monotonic while the hit-rate gauge tracks the cache's own
-  // running ratio for the current episode.
-  const ScoreCache::SyncStats& sync = cache.last_sync_stats();
-  size_t misses = sync.history_refreshes + sync.classifier_refreshes +
-                  sync.annotator_refreshes;
-  const ScoreCache::CumulativeStats& cum = cache.cumulative_stats();
-  syncs->Inc();
-  if (sync.full_rebuild) full_rebuilds->Inc();
-  objects_dirtied->Inc(sync.history_refreshes);
-  block_misses->Inc(misses);
-  block_hits->Inc(misses <= consulted ? consulted - misses : 0);
+  syncs->Inc(delta.syncs);
+  full_rebuilds->Inc(delta.full_rebuilds);
+  objects_dirtied->Inc(delta.objects_dirtied);
+  block_misses->Inc(delta.block_misses);
+  block_hits->Inc(delta.block_hits);
   if (cum.block_hits + cum.block_misses > 0) {
     hit_rate->Set(static_cast<double>(cum.block_hits) /
                   static_cast<double>(cum.block_hits + cum.block_misses));
   }
+}
+
+void RecordPruneMetrics(const ShortlistPruner& pruner,
+                        ShortlistPruner::Stats* seen_stats, size_t num_pairs,
+                        size_t exact_rows) {
+  const ShortlistPruner::Stats& cur = pruner.stats();
+  const ShortlistPruner::Stats seen = *seen_stats;
+  *seen_stats = cur;
+  if (!obs::Enabled()) return;
+  auto& registry = obs::MetricsRegistry::Get();
+  static obs::Counter* const pruned =
+      registry.GetCounter("crowdrl.prune.pruned_iterations");
+  static obs::Counter* const full =
+      registry.GetCounter("crowdrl.prune.full_iterations");
+  static obs::Counter* const gate_fallbacks =
+      registry.GetCounter("crowdrl.prune.gate_fallbacks");
+  static obs::Counter* const precheck_fallbacks =
+      registry.GetCounter("crowdrl.prune.precheck_fallbacks");
+  static obs::Counter* const exact =
+      registry.GetCounter("crowdrl.prune.exact_rows");
+  static obs::Counter* const bounded =
+      registry.GetCounter("crowdrl.prune.bounded_rows");
+  static obs::Gauge* const fraction =
+      registry.GetGauge("crowdrl.prune.exact_fraction");
+  // Counters replay the pruner's own running stats as deltas.
+  pruned->Inc(cur.pruned_iterations >= seen.pruned_iterations
+                  ? cur.pruned_iterations - seen.pruned_iterations
+                  : 0);
+  full->Inc(cur.full_iterations >= seen.full_iterations
+                ? cur.full_iterations - seen.full_iterations
+                : 0);
+  gate_fallbacks->Inc(cur.gate_fallbacks >= seen.gate_fallbacks
+                          ? cur.gate_fallbacks - seen.gate_fallbacks
+                          : 0);
+  precheck_fallbacks->Inc(
+      cur.precheck_fallbacks >= seen.precheck_fallbacks
+          ? cur.precheck_fallbacks - seen.precheck_fallbacks
+          : 0);
+  exact->Inc(cur.exact_rows >= seen.exact_rows
+                 ? cur.exact_rows - seen.exact_rows
+                 : 0);
+  bounded->Inc(cur.bounded_rows >= seen.bounded_rows
+                   ? cur.bounded_rows - seen.bounded_rows
+                   : 0);
+  if (num_pairs > 0) {
+    fraction->Set(static_cast<double>(exact_rows) /
+                  static_cast<double>(num_pairs));
+  }
+}
+
+/// Outcome of one gated pruned selection attempt.
+struct GatedSelection {
+  bool sound = false;
+  std::vector<Assignment> assignments;
+  /// Chosen candidates in Commit order (the full path's chosen_indices
+  /// order), as actions — the pruned path has no dense candidate matrix
+  /// to index into.
+  std::vector<Action> chosen_actions;
+  /// The contenders: provisionally chosen objects plus every object whose
+  /// (upper-bounded) sum crowds the selection cutoff. When the gates
+  /// fail, exactly these objects' unscored candidates need exact scores
+  /// for the selection to become provable — the caller expands the
+  /// shortlist to them and retries before falling back to full scoring.
+  std::vector<int> suspect_objects;
+};
+
+/// Replays PickTopKSumAssignments over merged exact/upper-bound scores and
+/// verifies, after the fact, that the selection is provably what full
+/// exact scoring would have produced:
+///  * every chosen entry is exact (a shortlisted pair);
+///  * per chosen object, the smallest chosen score strictly exceeds every
+///    upper bound among the object's non-shortlisted candidates (so no
+///    unscored pair could enter its top-k), and the chosen scores are
+///    pairwise distinct (an exact tie could be ordered differently by the
+///    full pass's heap);
+///  * the chosen objects' top-k sums are separated from each other and
+///    from every non-chosen object's (upper-bounded) sum by kSumGateBand.
+/// Any violation returns sound = false and the caller falls back — the
+/// bounds themselves are never trusted for correctness.
+GatedSelection GatedPickTopKSum(const std::vector<Action>& candidates,
+                                const std::vector<double>& scores,
+                                const std::vector<uint8_t>& is_exact,
+                                const std::vector<double>& ub, int k,
+                                int num_objects_to_pick,
+                                size_t num_objects_total) {
+  GatedSelection result;
+  if (candidates.empty()) {
+    result.sound = true;
+    return result;
+  }
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+
+  // Identical structure to PickTopKSumAssignments: per-object top-k over
+  // the merged scores, tracking each object's loosest unscored bound.
+  std::vector<int> object_slot(num_objects_total, -1);
+  std::vector<TopK<size_t>> per_object;
+  std::vector<int> object_ids;
+  std::vector<double> max_ub_unscored;
+  for (size_t idx = 0; idx < candidates.size(); ++idx) {
+    int object = candidates[idx].object;
+    CROWDRL_CHECK(object >= 0 &&
+                  static_cast<size_t>(object) < num_objects_total);
+    int slot = object_slot[static_cast<size_t>(object)];
+    if (slot < 0) {
+      slot = static_cast<int>(per_object.size());
+      object_slot[static_cast<size_t>(object)] = slot;
+      per_object.emplace_back(static_cast<size_t>(k));
+      object_ids.push_back(object);
+      max_ub_unscored.push_back(neg_inf);
+    }
+    per_object[static_cast<size_t>(slot)].Push(scores[idx], idx);
+    if (!is_exact[idx]) {
+      max_ub_unscored[static_cast<size_t>(slot)] =
+          std::max(max_ub_unscored[static_cast<size_t>(slot)], ub[idx]);
+    }
+  }
+
+  std::vector<double> sums(per_object.size());
+  TopK<size_t> best_objects(static_cast<size_t>(num_objects_to_pick));
+  for (size_t slot = 0; slot < per_object.size(); ++slot) {
+    sums[slot] = per_object[slot].ScoreSum();
+    best_objects.Push(sums[slot], slot);
+  }
+  std::vector<std::pair<double, size_t>> best =
+      best_objects.TakeSortedDescending();
+
+  std::vector<uint8_t> chosen_slot(per_object.size(), 0);
+  for (const auto& entry : best) chosen_slot[entry.second] = 1;
+  const double min_chosen_sum = best.back().first;
+  // Contenders, for shortlist expansion on gate failure: the chosen
+  // objects plus anything whose (inflated) sum reaches the cutoff band.
+  for (const auto& entry : best) {
+    result.suspect_objects.push_back(object_ids[entry.second]);
+  }
+  for (size_t slot = 0; slot < per_object.size(); ++slot) {
+    if (chosen_slot[slot]) continue;
+    if (min_chosen_sum - sums[slot] <= kSumGateBand) {
+      result.suspect_objects.push_back(object_ids[slot]);
+    }
+  }
+
+  // Sum-separation gate: chosen sums pairwise, and the weakest chosen sum
+  // against every non-chosen object's (possibly inflated) sum.
+  for (size_t i = 1; i < best.size(); ++i) {
+    if (best[i - 1].first - best[i].first <= kSumGateBand) return result;
+  }
+  for (size_t slot = 0; slot < per_object.size(); ++slot) {
+    if (chosen_slot[slot]) continue;
+    if (min_chosen_sum - sums[slot] <= kSumGateBand) return result;
+  }
+
+  for (auto& scored_slot : best) {
+    size_t slot = scored_slot.second;
+    std::vector<std::pair<double, size_t>> entries =
+        per_object[slot].TakeSortedDescending();
+    Assignment assignment;
+    assignment.object = object_ids[slot];
+    for (size_t e = 0; e < entries.size(); ++e) {
+      size_t idx = entries[e].second;
+      if (!is_exact[idx]) return result;                       // UB chosen.
+      if (e > 0 && entries[e - 1].first == entries[e].first) { // Exact tie.
+        return result;
+      }
+      assignment.annotators.push_back(candidates[idx].annotator);
+      result.chosen_actions.push_back(candidates[idx]);
+    }
+    // No unscored candidate of this object may reach its top-k.
+    if (!(entries.back().first > max_ub_unscored[slot])) return result;
+    result.assignments.push_back(std::move(assignment));
+  }
+  result.sound = true;
+  return result;
 }
 
 }  // namespace
@@ -72,8 +272,12 @@ DqnAgent::DqnAgent(DqnAgentOptions options)
   CROWDRL_CHECK(options.epsilon_decay > 0.0 && options.epsilon_decay <= 1.0);
   CROWDRL_CHECK(options.max_bootstrap_candidates > 0);
   CROWDRL_CHECK(options.threads >= 1);
-  CROWDRL_CHECK(!options.factorized_q_head || options.incremental)
-      << "the factorized Q head reads the incremental score cache";
+  CROWDRL_CHECK(options.prune_margin >= 0.0);
+  ShortlistOptions prune_options;
+  prune_options.shortlist = options.prune_shortlist;
+  prune_options.margin = options.prune_margin;
+  prune_options.warmup = options.prune_warmup;
+  pruner_ = ShortlistPruner(prune_options);
   if (options.threads > 1) {
     pool_ = std::make_shared<ThreadPool>(options.threads);
   }
@@ -88,6 +292,17 @@ void DqnAgent::BeginEpisode(size_t num_objects, size_t num_annotators) {
   pending_.clear();
   epsilon_ = options_.epsilon;
   score_cache_.Invalidate();
+  pruner_.Reset(num_objects, num_annotators);
+  sync_metrics_seen_ = ScoreCache::CumulativeStats{};
+}
+
+bool DqnAgent::PruneEligible() const {
+  // Epsilon-greedy consumes RNG inside Score, so a pruned iteration would
+  // desynchronize the stream against the full path; the other modes score
+  // deterministically and the pruned/full choice is then unobservable.
+  return options_.prune && options_.incremental &&
+         options_.feature_mask.empty() &&
+         options_.exploration != ExplorationMode::kEpsilonGreedy;
 }
 
 bool DqnAgent::UseFactorizedHead() const {
@@ -124,7 +339,6 @@ void DqnAgent::CheckViewMatchesEpisode(const StateView& view) const {
 std::vector<Action> DqnAgent::EnumerateCandidates(
     const StateView& view, const std::vector<bool>& annotator_affordable,
     size_t max_pairs, Matrix* features) {
-  CROWDRL_CHECK(features != nullptr);
   CROWDRL_CHECK(view.answers != nullptr && view.labelled != nullptr);
   size_t num_objects = view.answers->num_objects();
   size_t num_annotators = view.answers->num_annotators();
@@ -157,10 +371,15 @@ std::vector<Action> DqnAgent::EnumerateCandidates(
     // parallel assembly below then only reads the cache.
     CROWDRL_TRACE_SPAN("scorecache.sync");
     score_cache_.Sync(view);
-    RecordSyncMetrics(score_cache_, 2 * num_objects + num_annotators);
+    RecordSyncMetrics(score_cache_, &sync_metrics_seen_);
   }
   if (!options_.feature_mask.empty()) {
     CROWDRL_CHECK(options_.feature_mask.size() == StateFeaturizer::kFeatureDim);
+  }
+  if (features == nullptr) {
+    // Caller never reads dense rows (factorized bootstrap, pruned
+    // selection): enumeration and the Sync above are all it needs.
+    return valid;
   }
 
   CROWDRL_TRACE_SPAN("agent.featurize");
@@ -187,10 +406,14 @@ std::vector<Action> DqnAgent::EnumerateCandidates(
     }
   };
   if (pool_ != nullptr) {
-    pool_->ParallelFor(0, valid.size(), kFeaturizeGrain, featurize_range);
+    const size_t lanes = static_cast<size_t>(pool_->num_threads());
+    const size_t grain = std::max(
+        kFeaturizeGrain, valid.size() / (lanes * kFeaturizeChunksPerLane));
+    pool_->ParallelFor(0, valid.size(), grain, featurize_range);
   } else {
     featurize_range(0, valid.size());
   }
+  rows_featurized_ += valid.size();
   return valid;
 }
 
@@ -297,6 +520,10 @@ std::vector<Assignment> PickTopKSumAssignments(
 std::vector<Assignment> DqnAgent::SelectBatch(
     const StateView& view, int k, int num_objects_to_pick,
     const std::vector<bool>& annotator_affordable) {
+  if (PruneEligible()) {
+    return SelectBatchPruned(view, k, num_objects_to_pick,
+                             annotator_affordable);
+  }
   ScoredCandidates candidates = Score(view, annotator_affordable);
   std::vector<size_t> chosen;
   std::vector<Assignment> assignments;
@@ -306,6 +533,239 @@ std::vector<Assignment> DqnAgent::SelectBatch(
                                          episode_objects_, &chosen);
   }
   Commit(candidates, chosen);
+  return assignments;
+}
+
+std::vector<double> DqnAgent::ExactQ(const std::vector<Action>& pairs) {
+  CROWDRL_TRACE_SPAN("agent.q_forward");
+  if (UseFactorizedHead()) {
+    return q_network_.PredictBatchFactorized(CacheBlocks(), pairs,
+                                             /*use_target=*/false);
+  }
+  Matrix features(pairs.size(), StateFeaturizer::kFeatureDim);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    score_cache_.AssembleRowInto(pairs[i].object, pairs[i].annotator,
+                                 features.Row(i));
+  }
+  rows_featurized_ += pairs.size();
+  return q_network_.PredictBatch(features);
+}
+
+std::vector<Assignment> DqnAgent::SelectBatchPruned(
+    const StateView& view, int k, int num_objects_to_pick,
+    const std::vector<bool>& annotator_affordable) {
+  CROWDRL_CHECK(episode_objects_ > 0)
+      << "BeginEpisode must be called before SelectBatch";
+  CheckViewMatchesEpisode(view);
+  // Enumerate + Sync only: the pruned path reads the cached blocks
+  // directly and assembles dense rows just for the pairs it commits.
+  std::vector<Action> valid =
+      EnumerateCandidates(view, annotator_affordable,
+                          std::numeric_limits<size_t>::max(), nullptr);
+  if (valid.empty()) return {};
+  pruner_.BeginIteration(score_cache_);
+
+  // Exact exploration bonus from current counts (closed form, never
+  // stale); identical expression to Score's so a pruned pair's exact
+  // score reproduces the full path bit for bit.
+  std::vector<double> bonus(valid.size(), 0.0);
+  if (options_.exploration == ExplorationMode::kUcb) {
+    double log_term =
+        2.0 * std::log(static_cast<double>(total_selections_) + 1.0);
+    for (size_t idx = 0; idx < valid.size(); ++idx) {
+      const Action& a = valid[idx];
+      int n = selection_counts_[PairIndex(a.object, a.annotator)];
+      bonus[idx] = options_.ucb_c *
+                   std::sqrt(log_term / (static_cast<double>(n) + 1.0));
+    }
+  }
+  const size_t train_steps = q_network_.train_steps();
+
+  if (pruner_.Ready()) {
+    std::vector<double> ub;
+    size_t must_score = 0;
+    {
+      CROWDRL_TRACE_SPAN("agent.prune_bounds");
+      must_score = pruner_.UpperBounds(score_cache_, train_steps, valid,
+                                       bonus, &ub);
+    }
+    const size_t shortlist_size =
+        pruner_.ShortlistSize(valid.size(), must_score);
+    if (shortlist_size < valid.size()) {
+      // Global top-M by upper bound (must-score pairs carry +inf, so they
+      // are always admitted). Ascending candidate order afterwards keeps
+      // the exact pass deterministic.
+      std::vector<uint32_t> shortlist;
+      {
+        CROWDRL_TRACE_SPAN("agent.prune_shortlist");
+        TopK<uint32_t> top(shortlist_size);
+        for (size_t idx = 0; idx < valid.size(); ++idx) {
+          top.Push(ub[idx], static_cast<uint32_t>(idx));
+        }
+        std::vector<std::pair<double, uint32_t>> entries =
+            top.TakeSortedDescending();
+        shortlist.reserve(entries.size());
+        for (const auto& entry : entries) shortlist.push_back(entry.second);
+        std::sort(shortlist.begin(), shortlist.end());
+      }
+
+      std::vector<Action> shortlist_actions;
+      std::vector<double> shortlist_ub;
+      std::vector<double> shortlist_bonus;
+      shortlist_actions.reserve(shortlist.size());
+      shortlist_ub.reserve(shortlist.size());
+      shortlist_bonus.reserve(shortlist.size());
+      for (uint32_t idx : shortlist) {
+        shortlist_actions.push_back(valid[idx]);
+        shortlist_ub.push_back(ub[idx]);
+        shortlist_bonus.push_back(bonus[idx]);
+      }
+      std::vector<double> shortlist_q = ExactQ(shortlist_actions);
+      size_t violations = pruner_.RecordExact(
+          score_cache_, train_steps, shortlist_actions, shortlist_q,
+          &shortlist_ub, &shortlist_bonus, /*full_pass=*/false);
+      if (violations == 0) {
+        // Merged score vector: exact (+ bonus) on the shortlist, upper
+        // bounds elsewhere.
+        std::vector<double> merged = ub;
+        std::vector<uint8_t> is_exact(valid.size(), 0);
+        for (size_t s = 0; s < shortlist.size(); ++s) {
+          merged[shortlist[s]] = shortlist_q[s] + shortlist_bonus[s];
+          is_exact[shortlist[s]] = 1;
+        }
+        size_t exact_count = shortlist.size();
+        GatedSelection selection;
+        for (int round = 0; round <= kPruneExpandRounds; ++round) {
+          {
+            CROWDRL_TRACE_SPAN("agent.topk");
+            selection = GatedPickTopKSum(valid, merged, is_exact, ub, k,
+                                         num_objects_to_pick,
+                                         episode_objects_);
+          }
+          if (selection.sound || round == kPruneExpandRounds) break;
+          // Targeted expansion: the gate failed, but only the suspect
+          // objects' unscored candidates stand between this selection and
+          // a proof — exact-score just those (a handful of objects, so a
+          // tiny batch) and retry before giving up on the iteration.
+          std::vector<uint8_t> suspect(episode_objects_, 0);
+          for (int object : selection.suspect_objects) {
+            suspect[static_cast<size_t>(object)] = 1;
+          }
+          std::vector<Action> expand_actions;
+          std::vector<double> expand_ub;
+          std::vector<double> expand_bonus;
+          std::vector<size_t> expand_idx;
+          for (size_t idx = 0; idx < valid.size(); ++idx) {
+            if (is_exact[idx] ||
+                !suspect[static_cast<size_t>(valid[idx].object)]) {
+              continue;
+            }
+            expand_idx.push_back(idx);
+            expand_actions.push_back(valid[idx]);
+            expand_ub.push_back(ub[idx]);
+            expand_bonus.push_back(bonus[idx]);
+          }
+          // Nothing to expand (the failure was an exact tie or an exact
+          // sum collision) or the suspects cover so much of the grid that
+          // full scoring is the honest answer.
+          if (expand_idx.empty() || expand_idx.size() > valid.size() / 4) {
+            break;
+          }
+          std::vector<double> expand_q = ExactQ(expand_actions);
+          if (pruner_.RecordExact(score_cache_, train_steps, expand_actions,
+                                  expand_q, &expand_ub, &expand_bonus,
+                                  /*full_pass=*/false) > 0) {
+            violations = 1;
+            break;
+          }
+          for (size_t e = 0; e < expand_idx.size(); ++e) {
+            merged[expand_idx[e]] = expand_q[e] + expand_bonus[e];
+            is_exact[expand_idx[e]] = 1;
+          }
+          exact_count += expand_idx.size();
+        }
+        if (violations > 0) {
+          pruner_.NotePrecheckFallback();
+        } else if (selection.sound) {
+          if (options_.prune_audit) {
+            // Verification only: rescore everything exactly and demand
+            // the identical selection, ordering included. Must not
+            // perturb the run (Score is RNG-neutral outside
+            // epsilon-greedy and nothing below records into the pruner).
+            ScoredCandidates full = Score(view, annotator_affordable);
+            std::vector<size_t> full_chosen;
+            std::vector<Assignment> full_assignments =
+                PickTopKSumAssignments(full, k, num_objects_to_pick,
+                                       episode_objects_, &full_chosen);
+            CROWDRL_CHECK(full_assignments.size() ==
+                          selection.assignments.size())
+                << "pruned selection audit: assignment count diverged";
+            for (size_t i = 0; i < full_assignments.size(); ++i) {
+              CROWDRL_CHECK(full_assignments[i].object ==
+                                selection.assignments[i].object &&
+                            full_assignments[i].annotators ==
+                                selection.assignments[i].annotators)
+                  << "pruned selection audit: assignment " << i
+                  << " diverged on object "
+                  << full_assignments[i].object;
+            }
+            CROWDRL_CHECK(full_chosen.size() ==
+                          selection.chosen_actions.size());
+            for (size_t i = 0; i < full_chosen.size(); ++i) {
+              const Action& a = full.actions[full_chosen[i]];
+              CROWDRL_CHECK(a.object ==
+                                selection.chosen_actions[i].object &&
+                            a.annotator ==
+                                selection.chosen_actions[i].annotator)
+                  << "pruned selection audit: commit order diverged at "
+                  << i;
+            }
+          }
+          // Commit: identical bookkeeping (and identical feature bits —
+          // AssembleRowInto is a pure copy of the same cached blocks the
+          // full path's features matrix is built from).
+          for (const Action& action : selection.chosen_actions) {
+            std::vector<double> row(StateFeaturizer::kFeatureDim);
+            score_cache_.AssembleRowInto(action.object, action.annotator,
+                                         row.data());
+            pending_.push_back(std::move(row));
+            ++selection_counts_[PairIndex(action.object, action.annotator)];
+            ++total_selections_;
+          }
+          pruner_.NotePrunedSuccess(exact_count,
+                                    valid.size() - exact_count);
+          RecordPruneMetrics(pruner_, &prune_metrics_seen_, valid.size(),
+                             exact_count);
+          return selection.assignments;
+        } else {
+          pruner_.NoteGateFallback();
+        }
+      } else {
+        pruner_.NotePrecheckFallback();
+      }
+    }
+  }
+
+  // Full exact pass: warmup, too-small grids, or a gate/precheck
+  // fallback. Seeds/refreshes the stale table for the next iteration.
+  ScoredCandidates candidates = Score(view, annotator_affordable);
+  std::vector<double> raw(candidates.scores.size());
+  for (size_t idx = 0; idx < raw.size(); ++idx) {
+    raw[idx] = candidates.scores[idx] - bonus[idx];
+  }
+  pruner_.RecordExact(score_cache_, train_steps, candidates.actions, raw,
+                      /*prior_ub=*/nullptr, /*bonus=*/nullptr,
+                      /*full_pass=*/true);
+  std::vector<size_t> chosen;
+  std::vector<Assignment> assignments;
+  {
+    CROWDRL_TRACE_SPAN("agent.topk");
+    assignments = PickTopKSumAssignments(candidates, k, num_objects_to_pick,
+                                         episode_objects_, &chosen);
+  }
+  Commit(candidates, chosen);
+  RecordPruneMetrics(pruner_, &prune_metrics_seen_, valid.size(),
+                     valid.size());
   return assignments;
 }
 
@@ -350,8 +810,13 @@ Status DqnAgent::LoadState(io::Reader* reader) {
   pending_ = std::move(pending);
   // The score cache is not serialized: its blocks are pure functions of
   // the StateView, so dropping it here and letting the next Sync rebuild
-  // reproduces the same bits on the restored run.
+  // reproduces the same bits on the restored run. The pruner's stale
+  // table likewise restarts from its warmup full passes (see shortlist.h
+  // for why that keeps restores bit-identical), and the metrics snapshot
+  // resets with the cache's cumulative stats.
   score_cache_.Invalidate();
+  pruner_.Reset(episode_objects_, episode_annotators_);
+  sync_metrics_seen_ = ScoreCache::CumulativeStats{};
   return Status::Ok();
 }
 
@@ -371,12 +836,15 @@ void DqnAgent::ObservePerPair(const std::vector<double>& rewards,
   CheckViewMatchesEpisode(next_view);
   double next_max_q = 0.0;
   if (!terminal) {
+    // The factorized bootstrap reads the cached blocks directly, so the
+    // dense per-row assembly would be pure waste: skip it (the Sync
+    // inside EnumerateCandidates still runs either way).
+    bool factorized = UseFactorizedHead();
     Matrix features;
-    std::vector<Action> candidates =
-        EnumerateCandidates(next_view, annotator_affordable,
-                            options_.max_bootstrap_candidates, &features);
+    std::vector<Action> candidates = EnumerateCandidates(
+        next_view, annotator_affordable, options_.max_bootstrap_candidates,
+        factorized ? nullptr : &features);
     if (!candidates.empty()) {
-      bool factorized = UseFactorizedHead();
       std::vector<double> target_q =
           factorized ? q_network_.PredictBatchFactorized(
                            CacheBlocks(), candidates, /*use_target=*/true)

@@ -8,6 +8,7 @@
 #include "rl/q_network.h"
 #include "rl/replay_buffer.h"
 #include "rl/score_cache.h"
+#include "rl/shortlist.h"
 #include "rl/state.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -65,9 +66,34 @@ struct DqnAgentOptions {
   /// with per-object / per-annotator partial products reused across
   /// iterations (QNetwork::PredictBatchFactorized). Changes the
   /// floating-point accumulation order, so Q values are only ULP-close to
-  /// the exact path — default off; requires `incremental` and is ignored
-  /// (exact path) when feature_mask is non-empty.
-  bool factorized_q_head = false;
+  /// the exact path — on by default (the production scoring path); ignored
+  /// (exact path) when `incremental` is off or feature_mask is non-empty.
+  /// Tests that compare scores bitwise against from-scratch featurization
+  /// turn it off explicitly.
+  bool factorized_q_head = true;
+  /// Shortlist-pruned selection: SelectBatch scores only a shortlist of
+  /// candidates chosen by cheap per-pair upper bounds (stale exact Q +
+  /// ScoreCache drift slack + the closed-form exploration bonus, see
+  /// ShortlistPruner) and verifies with a strict selection gate that the
+  /// non-scored remainder could not have altered the chosen assignments;
+  /// any gate failure falls back to exact full scoring, so selections are
+  /// always identical to the unpruned path. Requires `incremental`, an
+  /// empty feature_mask, and a non-epsilon-greedy exploration mode
+  /// (otherwise SelectBatch silently runs the full path). Public Score()
+  /// always scores every pair regardless.
+  bool prune = true;
+  /// Shortlist size; 0 = auto (num_pairs / 16, floor 256, adaptively
+  /// doubled after gate fallbacks).
+  size_t prune_shortlist = 0;
+  /// Additive slack on every upper bound.
+  double prune_margin = 1e-6;
+  /// Full-scoring SelectBatch iterations per episode before pruning
+  /// engages (seeds the stale-Q table and drift sensitivities).
+  size_t prune_warmup = 2;
+  /// Audit mode: every pruned selection additionally runs the full exact
+  /// path and CHECK-fails unless both produced identical assignments (for
+  /// tests and benchmark gating; doubles scoring cost).
+  bool prune_audit = false;
   uint64_t seed = 23;
 };
 
@@ -143,6 +169,13 @@ class DqnAgent {
   /// The incremental-scoring block cache (stats inspection; meaningful
   /// only when options.incremental is on).
   const ScoreCache& score_cache() const { return score_cache_; }
+  /// Shortlist-pruning state (stats inspection; meaningful only when
+  /// options.prune is on and SelectBatch drives the agent).
+  const ShortlistPruner& shortlist_pruner() const { return pruner_; }
+  /// Total candidate feature rows assembled/featurized so far (diagnostic
+  /// counter; not checkpointed). The factorized bootstrap path must not
+  /// advance this — see ObservePerPair.
+  uint64_t rows_featurized() const { return rows_featurized_; }
 
   /// Checkpointable surface: Q-networks, replay contents, the agent's RNG
   /// stream, exploration state (epsilon, UCB counts), episode shape, and
@@ -153,9 +186,26 @@ class DqnAgent {
 
  private:
   /// Enumerates valid pairs and fills features (one candidate per row).
+  /// `features` may be null for callers that never read dense rows (the
+  /// factorized bootstrap, the pruned selection path): enumeration and
+  /// the cache Sync still run, per-row assembly is skipped entirely.
   std::vector<Action> EnumerateCandidates(
       const StateView& view, const std::vector<bool>& annotator_affordable,
       size_t max_pairs, Matrix* features);
+
+  /// True when SelectBatch may use the shortlist-pruned path.
+  bool PruneEligible() const;
+
+  /// The shortlist-pruned SelectBatch: upper-bound all pairs, exact-score
+  /// a shortlist, run the gated selection, fall back to full scoring on
+  /// any gate failure. Selections are identical to the unpruned path.
+  std::vector<Assignment> SelectBatchPruned(
+      const StateView& view, int k, int num_objects_to_pick,
+      const std::vector<bool>& annotator_affordable);
+
+  /// Exact Q forward over a subset of candidate pairs (factorized head
+  /// when enabled, dense assembly + PredictBatch otherwise).
+  std::vector<double> ExactQ(const std::vector<Action>& pairs);
 
   size_t PairIndex(int object, int annotator) const;
 
@@ -177,6 +227,16 @@ class DqnAgent {
   /// checkpointed) after BeginEpisode/LoadState — blocks are pure
   /// functions of the StateView, so the rebuild is bit-identical.
   ScoreCache score_cache_;
+  /// Stale-Q table and upper bounds for shortlist pruning; reset (never
+  /// checkpointed) by BeginEpisode/LoadState — the warmup full passes
+  /// reseed it, and gated pruned iterations select exactly what full
+  /// scoring selects, so restores stay bit-identical.
+  ShortlistPruner pruner_;
+  /// Snapshot of the cache's cumulative stats at the last metrics export,
+  /// so sync metrics are derived from the cache's own deltas.
+  ScoreCache::CumulativeStats sync_metrics_seen_;
+  /// Same pattern for the pruner's stats.
+  ShortlistPruner::Stats prune_metrics_seen_;
   Rng rng_;
   double epsilon_;
   /// Featurization pool, null when options_.threads <= 1 (serial).
@@ -187,6 +247,7 @@ class DqnAgent {
   std::vector<int> selection_counts_;  // Per (object, annotator) pair.
   size_t total_selections_ = 0;
   std::vector<std::vector<double>> pending_;  // Executed pairs' features.
+  uint64_t rows_featurized_ = 0;  // Diagnostic; bumped serially post-dispatch.
 };
 
 /// Greedy joint policy over scored candidates: per-object top-k by score,

@@ -1,5 +1,7 @@
 #include "rl/q_network.h"
 
+#include <algorithm>
+
 #include "math/gemm.h"
 #include "nn/loss.h"
 #include "rl/state.h"
@@ -45,17 +47,20 @@ double QNetwork::Predict(const std::vector<double>& features) const {
 }
 
 std::vector<double> QNetwork::PredictBatch(const Matrix& features) const {
-  const Matrix& out = online_.Infer(features, pool_.get());
-  std::vector<double> q(out.rows());
-  for (size_t r = 0; r < out.rows(); ++r) q[r] = out.At(r, 0);
+  // Loop-fused block inference: the layer-by-layer Infer materializes
+  // batch x h1 activations, which is memory-bandwidth-bound at scoring
+  // batch sizes and defeats row-threading. Bit-identical (see InferInto).
+  online_.InferInto(features, pool_.get(), &predict_out_);
+  std::vector<double> q(predict_out_.rows());
+  for (size_t r = 0; r < predict_out_.rows(); ++r) q[r] = predict_out_.At(r, 0);
   return q;
 }
 
 std::vector<double> QNetwork::TargetPredictBatch(
     const Matrix& features) const {
-  const Matrix& out = target_.Infer(features, pool_.get());
-  std::vector<double> q(out.rows());
-  for (size_t r = 0; r < out.rows(); ++r) q[r] = out.At(r, 0);
+  target_.InferInto(features, pool_.get(), &predict_out_);
+  std::vector<double> q(predict_out_.rows());
+  for (size_t r = 0; r < predict_out_.rows(); ++r) q[r] = predict_out_.At(r, 0);
   return q;
 }
 
@@ -190,28 +195,59 @@ std::vector<double> QNetwork::PredictBatchFactorized(
         w_row[0] * g[0] + w_row[10] * g[1] + w_row[11] * g[2] + bias[h];
   }
 
-  if (factorized_acts_.rows() != pairs.size() ||
-      factorized_acts_.cols() != h1) {
-    factorized_acts_ = Matrix(pairs.size(), h1);
-  }
-  for (size_t p = 0; p < pairs.size(); ++p) {
-    const double* object_row = cache.object_partials.Row(
-        static_cast<size_t>(pairs[p].object));
-    const double* annotator_row = cache.annotator_partials.Row(
-        static_cast<size_t>(pairs[p].annotator));
-    double* acts_row = factorized_acts_.Row(p);
-    for (size_t h = 0; h < h1; ++h) {
-      acts_row[h] = global_partial[h] + object_row[h] + annotator_row[h];
+  // Loop-fused over row blocks, like Mlp::InferInto: each block assembles
+  // its first-layer activations from the cached partials and runs the
+  // remaining layers before the next block starts, so no batch-sized
+  // activation matrix is ever materialized. Block boundaries are fixed by
+  // kFactorizedBlockRows (never by thread count) and every per-element
+  // accumulation order matches the unblocked formulation, so results are
+  // bit-identical at any thread count.
+  constexpr size_t kFactorizedBlockRows = 256;
+  const size_t num_pairs = pairs.size();
+  std::vector<double> q(num_pairs);
+  auto block_body = [&](size_t p0, size_t p1) {
+    thread_local Matrix acts;
+    thread_local Matrix bufs[2];
+    const size_t n = p1 - p0;
+    if (acts.rows() != n || acts.cols() != h1) acts = Matrix(n, h1);
+    for (size_t p = p0; p < p1; ++p) {
+      const double* object_row = cache.object_partials.Row(
+          static_cast<size_t>(pairs[p].object));
+      const double* annotator_row = cache.annotator_partials.Row(
+          static_cast<size_t>(pairs[p].annotator));
+      double* acts_row = acts.Row(p - p0);
+      for (size_t h = 0; h < h1; ++h) {
+        acts_row[h] = global_partial[h] + object_row[h] + annotator_row[h];
+      }
+    }
+    nn::ApplyActivationRows(net.layer_activation(0), &acts, 0, n);
+    const Matrix* current = &acts;
+    for (size_t l = 1; l < net.num_layers(); ++l) {
+      const std::vector<double>& layer_bias = net.layer_bias(l);
+      const nn::Activation act = net.layer_activation(l);
+      Matrix* o = &bufs[l % 2];
+      gemm::MatMulNTInto(*current, net.layer_weight(l), o, nullptr,
+                         [&layer_bias, act, o](size_t r0, size_t r1) {
+                           const size_t cols = o->cols();
+                           for (size_t r = r0; r < r1; ++r) {
+                             double* row = o->Row(r);
+                             for (size_t c = 0; c < cols; ++c) {
+                               row[c] += layer_bias[c];
+                             }
+                           }
+                           nn::ApplyActivationRows(act, o, r0, r1);
+                         });
+      current = o;
+    }
+    for (size_t p = p0; p < p1; ++p) q[p] = current->At(p - p0, 0);
+  };
+  if (pool_ != nullptr && num_pairs > kFactorizedBlockRows) {
+    pool_->ParallelFor(0, num_pairs, kFactorizedBlockRows, block_body);
+  } else {
+    for (size_t p0 = 0; p0 < num_pairs; p0 += kFactorizedBlockRows) {
+      block_body(p0, std::min(p0 + kFactorizedBlockRows, num_pairs));
     }
   }
-  nn::ApplyActivationRows(net.layer_activation(0), &factorized_acts_, 0,
-                          factorized_acts_.rows());
-
-  const Matrix& out = net.num_layers() > 1
-                          ? net.InferFrom(1, factorized_acts_, pool_.get())
-                          : factorized_acts_;
-  std::vector<double> q(out.rows());
-  for (size_t r = 0; r < out.rows(); ++r) q[r] = out.At(r, 0);
   return q;
 }
 

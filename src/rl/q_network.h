@@ -135,8 +135,10 @@ class QNetwork {
   size_t target_params_version_ = 1;
   FactorizedCache factorized_online_;
   FactorizedCache factorized_target_;
-  /// Pre-activation scratch for the factorized first layer.
-  Matrix factorized_acts_;
+  /// Output scratch for the batched predict paths (InferInto target),
+  /// persistent so steady-state calls stay allocation-free; mutable
+  /// because prediction is logically const.
+  mutable Matrix predict_out_;
 };
 
 }  // namespace crowdrl::rl

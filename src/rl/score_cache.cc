@@ -1,8 +1,25 @@
 #include "rl/score_cache.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/logging.h"
 
 namespace crowdrl::rl {
+
+namespace {
+
+// Max-abs element change between a block's old and new values; what the
+// drift accumulators integrate at each refresh.
+double MaxAbsDelta(const double* before, const double* after, size_t n) {
+  double d = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    d = std::max(d, std::abs(after[t] - before[t]));
+  }
+  return d;
+}
+
+}  // namespace
 
 void ScoreCache::Invalidate() {
   valid_ = false;
@@ -50,6 +67,10 @@ void ScoreCache::RebuildAll(const StateView& view) {
       Matrix(num_annotators_, StateFeaturizer::kAnnotatorBlockDim);
   touch_stamp_.assign(num_objects_, 0);
   sync_counter_ = 0;
+  object_drift_.assign(num_objects_, 0.0);
+  annotator_drift_.assign(num_annotators_, 0.0);
+  global_drift_ = 0.0;
+  ++rebuild_epoch_;
 
   for (size_t i = 0; i < num_objects_; ++i) {
     double* block = object_blocks_.Row(i);
@@ -113,8 +134,14 @@ void ScoreCache::Sync(const StateView& view) {
       size_t i = static_cast<size_t>(object);
       if (touch_stamp_[i] == sync_counter_) continue;  // Already refreshed.
       touch_stamp_[i] = sync_counter_;
+      double before[StateFeaturizer::kObjectHistoryDim];
+      std::copy(object_blocks_.Row(i),
+                object_blocks_.Row(i) + StateFeaturizer::kObjectHistoryDim,
+                before);
       StateFeaturizer::ComputeObjectHistoryBlock(view, object, &scratch_,
                                                  object_blocks_.Row(i));
+      object_drift_[i] += MaxAbsDelta(before, object_blocks_.Row(i),
+                                      StateFeaturizer::kObjectHistoryDim);
       ++last_sync_stats_.history_refreshes;
     }
     object_blocks_changed = true;
@@ -128,10 +155,15 @@ void ScoreCache::Sync(const StateView& view) {
                           view.class_probs_version != class_probs_version_ ||
                           view.class_probs_version == 0;
   if (classifier_dirty) {
+    constexpr size_t kClsDim =
+        StateFeaturizer::kObjectBlockDim - StateFeaturizer::kObjectHistoryDim;
     for (size_t i = 0; i < num_objects_; ++i) {
-      StateFeaturizer::ComputeObjectClassifierBlock(
-          view, static_cast<int>(i),
-          object_blocks_.Row(i) + StateFeaturizer::kObjectHistoryDim);
+      double* cls = object_blocks_.Row(i) + StateFeaturizer::kObjectHistoryDim;
+      double before[kClsDim];
+      std::copy(cls, cls + kClsDim, before);
+      StateFeaturizer::ComputeObjectClassifierBlock(view, static_cast<int>(i),
+                                                    cls);
+      object_drift_[i] += MaxAbsDelta(before, cls, kClsDim);
     }
     last_sync_stats_.classifier_refreshes = num_objects_;
     class_probs_ = view.class_probs;
@@ -151,8 +183,14 @@ void ScoreCache::Sync(const StateView& view) {
                  (*view.annotator_costs)[j] != snap_costs_[j] ||
                  expert != snap_is_expert_[j];
     if (!dirty) continue;
+    double before[StateFeaturizer::kAnnotatorBlockDim];
+    std::copy(annotator_blocks_.Row(j),
+              annotator_blocks_.Row(j) + StateFeaturizer::kAnnotatorBlockDim,
+              before);
     StateFeaturizer::ComputeAnnotatorBlock(view, static_cast<int>(j),
                                            annotator_blocks_.Row(j));
+    annotator_drift_[j] += MaxAbsDelta(before, annotator_blocks_.Row(j),
+                                       StateFeaturizer::kAnnotatorBlockDim);
     snap_qualities_[j] = (*view.annotator_qualities)[j];
     snap_costs_[j] = (*view.annotator_costs)[j];
     snap_is_expert_[j] = expert;
@@ -165,7 +203,12 @@ void ScoreCache::Sync(const StateView& view) {
   if (annotator_blocks_changed) ++annotator_blocks_version_;
 
   // Global block: 3 values, patched in place every Sync.
+  double global_before[StateFeaturizer::kGlobalBlockDim];
+  std::copy(global_block_, global_block_ + StateFeaturizer::kGlobalBlockDim,
+            global_before);
   StateFeaturizer::ComputeGlobalBlock(view, global_block_);
+  global_drift_ += MaxAbsDelta(global_before, global_block_,
+                               StateFeaturizer::kGlobalBlockDim);
   AccumulateSync();
 }
 

@@ -97,6 +97,26 @@ class ScoreCache {
   size_t object_blocks_version() const { return object_blocks_version_; }
   size_t annotator_blocks_version() const { return annotator_blocks_version_; }
 
+  /// Monotone drift accumulators, the staleness signal for shortlist
+  /// pruning (ShortlistPruner). Every time a block is refreshed with
+  /// different values, the max-abs element change is added to that
+  /// block's accumulator; a pruner that snapshotted the accumulator when
+  /// it last scored a pair exactly can bound how much the pair's features
+  /// have moved since as (current accumulator - snapshot). Reset to zero
+  /// by a full rebuild — consumers must drop their snapshots whenever
+  /// rebuild_epoch() changes.
+  const std::vector<double>& object_drift() const { return object_drift_; }
+  const std::vector<double>& annotator_drift() const {
+    return annotator_drift_;
+  }
+  double global_drift() const { return global_drift_; }
+
+  /// Monotone count of full rebuilds over the cache's whole lifetime —
+  /// unlike cumulative_stats().full_rebuilds it is NOT reset by
+  /// Invalidate, so a change always means the drift accumulators
+  /// restarted from zero since the consumer last looked.
+  size_t rebuild_epoch() const { return rebuild_epoch_; }
+
   const SyncStats& last_sync_stats() const { return last_sync_stats_; }
 
   /// Totals since the last Invalidate (which LoadState/BeginEpisode
@@ -128,6 +148,12 @@ class ScoreCache {
   double global_block_[StateFeaturizer::kGlobalBlockDim] = {0.0, 0.0, 0.0};
   size_t object_blocks_version_ = 0;
   size_t annotator_blocks_version_ = 0;
+
+  // Per-block cumulative max-abs value drift since the last full rebuild.
+  std::vector<double> object_drift_;
+  std::vector<double> annotator_drift_;
+  double global_drift_ = 0.0;
+  size_t rebuild_epoch_ = 0;  // Lifetime rebuilds; survives Invalidate.
 
   // Dedupe stamp for objects touched multiple times between syncs.
   std::vector<size_t> touch_stamp_;

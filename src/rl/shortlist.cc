@@ -1,0 +1,188 @@
+#include "rl/shortlist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace crowdrl::rl {
+
+namespace {
+
+// Auto shortlist sizing: 1/16th of the grid, floored so tiny grids are
+// simply scored in full (pruning only pays once the grid dwarfs the
+// shortlist).
+constexpr size_t kAutoShortlistDivisor = 16;
+constexpr size_t kAutoShortlistFloor = 256;
+
+// Per-iteration decay of the drift sensitivities; slow enough that a
+// calibrated sensitivity survives hundreds of iterations, fast enough
+// that an early outlier does not pin the bounds loose forever.
+constexpr double kSensitivityDecay = 0.995;
+
+// Feature drift below this is treated as zero when attributing an
+// observed |dQ| to drift vs. training.
+constexpr double kDriftEps = 1e-12;
+
+// Cap on the shortlist boost multiplier after repeated gate fallbacks.
+constexpr size_t kMaxBoost = 64;
+constexpr size_t kBoostDecayStreak = 8;
+
+}  // namespace
+
+ShortlistPruner::ShortlistPruner(const ShortlistOptions& options)
+    : options_(options) {
+  CROWDRL_CHECK(options.margin >= 0.0);
+}
+
+void ShortlistPruner::Reset(size_t num_objects, size_t num_annotators) {
+  num_objects_ = num_objects;
+  num_annotators_ = num_annotators;
+  const size_t pairs = num_objects * num_annotators;
+  stale_q_.assign(pairs, 0.0);
+  snap_obj_.assign(pairs, 0.0);
+  snap_ann_.assign(pairs, 0.0);
+  snap_glob_.assign(pairs, 0.0);
+  stale_step_.assign(pairs, 0);
+  valid_.assign(pairs, 0);
+  full_passes_ = 0;
+  epoch_seen_ = false;
+}
+
+void ShortlistPruner::BeginIteration(const ScoreCache& cache) {
+  const size_t rebuilds = cache.rebuild_epoch();
+  if (!epoch_seen_ || rebuilds != seen_full_rebuilds_) {
+    // The drift accumulators reset on a full rebuild, so every snapshot
+    // in the table now measures against the wrong origin: drop them all.
+    std::fill(valid_.begin(), valid_.end(), uint8_t{0});
+    seen_full_rebuilds_ = rebuilds;
+    epoch_seen_ = true;
+  }
+  alpha_ *= kSensitivityDecay;
+  beta_ *= kSensitivityDecay;
+}
+
+size_t ShortlistPruner::ShortlistSize(size_t num_pairs,
+                                      size_t must_score) const {
+  size_t base = options_.shortlist;
+  if (base == 0) {
+    base = std::max(kAutoShortlistFloor, num_pairs / kAutoShortlistDivisor);
+  }
+  base *= boost_;
+  return std::min(num_pairs, base + must_score);
+}
+
+size_t ShortlistPruner::UpperBounds(const ScoreCache& cache,
+                                    size_t train_steps,
+                                    const std::vector<Action>& pairs,
+                                    const std::vector<double>& bonus,
+                                    std::vector<double>* ub) const {
+  CROWDRL_CHECK(ub != nullptr);
+  CROWDRL_CHECK(bonus.size() == pairs.size());
+  ub->resize(pairs.size());
+  const std::vector<double>& obj_drift = cache.object_drift();
+  const std::vector<double>& ann_drift = cache.annotator_drift();
+  const double glob_drift = cache.global_drift();
+  size_t must_score = 0;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const size_t o = static_cast<size_t>(pairs[i].object);
+    const size_t a = static_cast<size_t>(pairs[i].annotator);
+    const size_t p = o * num_annotators_ + a;
+    if (!valid_[p]) {
+      (*ub)[i] = std::numeric_limits<double>::infinity();
+      ++must_score;
+      continue;
+    }
+    const double drift = (obj_drift[o] - snap_obj_[p]) +
+                         (ann_drift[a] - snap_ann_[p]) +
+                         (glob_drift - snap_glob_[p]);
+    const double ticks =
+        static_cast<double>(train_steps - stale_step_[p]);
+    (*ub)[i] = stale_q_[p] + alpha_ * drift + beta_ * ticks +
+               options_.margin + bonus[i];
+  }
+  return must_score;
+}
+
+size_t ShortlistPruner::RecordExact(const ScoreCache& cache,
+                                    size_t train_steps,
+                                    const std::vector<Action>& pairs,
+                                    const std::vector<double>& raw_q,
+                                    const std::vector<double>* prior_ub,
+                                    const std::vector<double>* bonus,
+                                    bool full_pass) {
+  CROWDRL_CHECK(raw_q.size() == pairs.size());
+  CROWDRL_CHECK((prior_ub == nullptr) == (bonus == nullptr));
+  const std::vector<double>& obj_drift = cache.object_drift();
+  const std::vector<double>& ann_drift = cache.annotator_drift();
+  const double glob_drift = cache.global_drift();
+  size_t violations = 0;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const size_t o = static_cast<size_t>(pairs[i].object);
+    const size_t a = static_cast<size_t>(pairs[i].annotator);
+    const size_t p = o * num_annotators_ + a;
+    if (valid_[p]) {
+      // Adapt the sensitivities from this rescore: the slack we budgeted
+      // must have covered the move we actually observed (with 2x
+      // headroom), whatever direction it took.
+      const double dq = std::abs(raw_q[i] - stale_q_[p]);
+      const double drift = (obj_drift[o] - snap_obj_[p]) +
+                           (ann_drift[a] - snap_ann_[p]) +
+                           (glob_drift - snap_glob_[p]);
+      const double ticks =
+          static_cast<double>(train_steps - stale_step_[p]);
+      if (dq > alpha_ * drift + beta_ * ticks) {
+        const bool has_drift = drift > kDriftEps;
+        const bool has_ticks = ticks > 0.0;
+        if (has_drift && has_ticks) {
+          alpha_ = std::max(alpha_, dq / drift);
+          beta_ = std::max(beta_, dq / ticks);
+        } else if (has_drift) {
+          alpha_ = std::max(alpha_, 2.0 * dq / drift);
+        } else if (has_ticks) {
+          beta_ = std::max(beta_, 2.0 * dq / ticks);
+        }
+      }
+      if (prior_ub != nullptr &&
+          raw_q[i] + (*bonus)[i] > (*prior_ub)[i]) {
+        ++violations;
+      }
+    }
+    stale_q_[p] = raw_q[i];
+    snap_obj_[p] = obj_drift[o];
+    snap_ann_[p] = ann_drift[a];
+    snap_glob_[p] = glob_drift;
+    stale_step_[p] = static_cast<uint32_t>(train_steps);
+    valid_[p] = 1;
+  }
+  if (full_pass) {
+    ++full_passes_;
+    ++stats_.full_iterations;
+  }
+  return violations;
+}
+
+void ShortlistPruner::NotePrunedSuccess(size_t exact_rows,
+                                        size_t bounded_rows) {
+  ++stats_.pruned_iterations;
+  stats_.exact_rows += exact_rows;
+  stats_.bounded_rows += bounded_rows;
+  if (++success_streak_ >= kBoostDecayStreak) {
+    success_streak_ = 0;
+    boost_ = std::max<size_t>(1, boost_ / 2);
+  }
+}
+
+void ShortlistPruner::NoteGateFallback() {
+  ++stats_.gate_fallbacks;
+  success_streak_ = 0;
+  boost_ = std::min(kMaxBoost, boost_ * 2);
+}
+
+void ShortlistPruner::NotePrecheckFallback() {
+  ++stats_.precheck_fallbacks;
+  success_streak_ = 0;
+}
+
+}  // namespace crowdrl::rl

@@ -1,0 +1,153 @@
+#ifndef CROWDRL_RL_SHORTLIST_H_
+#define CROWDRL_RL_SHORTLIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rl/action.h"
+#include "rl/score_cache.h"
+
+namespace crowdrl::rl {
+
+/// Knobs of the shortlist-pruned scoring stage (DqnAgentOptions::prune_*).
+struct ShortlistOptions {
+  /// Shortlist size sent to the exact Q forward. 0 = auto:
+  /// clamp(num_pairs / 16, 256, num_pairs), scaled up after gate
+  /// fallbacks. Pairs with no usable stale entry are must-score and are
+  /// added on top of this size.
+  size_t shortlist = 0;
+  /// Additive slack on every upper bound. Larger margins make gate
+  /// fallbacks rarer at the cost of a slightly larger effective shortlist
+  /// pressure on the gates.
+  double margin = 1e-6;
+  /// Full-scoring selection iterations (per episode) before pruning is
+  /// attempted; these seed the stale-Q table and the drift sensitivities.
+  size_t warmup = 2;
+};
+
+/// \brief Per-pair stale-Q table and score upper bounds for shortlist
+/// pruning of the |O| x |W| candidate grid.
+///
+/// The selection structure (per-object top-k by score, then objects by
+/// top-k sums) only ever needs exact scores near the top of the score
+/// distribution. This table keeps, for every (object, annotator) pair,
+/// the last exactly-computed raw Q value together with snapshots of the
+/// ScoreCache drift accumulators and the train-step counter taken at that
+/// moment. An upper bound on the pair's current score is then
+///
+///   UB = stale_q + alpha * (outstanding object + annotator + global
+///        feature drift) + beta * train_steps_since + margin + bonus
+///
+/// where `bonus` is the exploration bonus computed exactly from current
+/// selection counts (closed form, never stale), and alpha / beta are
+/// observed drift sensitivities: running maxima of |dQ| per unit feature
+/// drift and |dQ| per train step, measured every time a pair is rescored,
+/// doubled for headroom and decayed slowly. The bounds are heuristic —
+/// exactness is NOT assumed from them; the caller's selection gate
+/// verifies after the fact that no non-shortlisted pair could have
+/// altered the selection, and falls back to full scoring otherwise (see
+/// DESIGN.md "Candidate pruning").
+///
+/// The table is invalidated wholesale whenever the ScoreCache full-
+/// rebuilds (its drift accumulators reset, so the snapshots no longer
+/// measure anything) and is deliberately NOT checkpointed: after a
+/// restore the warmup full passes rerun, and because gated pruned
+/// iterations select exactly what full scoring selects, the resumed run
+/// reproduces the uninterrupted run's assignments bit for bit.
+///
+/// Not thread-safe; owned and driven by one DqnAgent.
+class ShortlistPruner {
+ public:
+  struct Stats {
+    size_t pruned_iterations = 0;  ///< Gated shortlist selections served.
+    size_t full_iterations = 0;    ///< Warmup + fallback full scorings.
+    size_t gate_fallbacks = 0;     ///< Selection gate rejected the shortlist.
+    size_t precheck_fallbacks = 0; ///< A rescored pair exceeded its bound.
+    size_t exact_rows = 0;         ///< Rows sent to the exact Q forward.
+    size_t bounded_rows = 0;       ///< Rows served by upper bounds alone.
+  };
+
+  ShortlistPruner() = default;
+  explicit ShortlistPruner(const ShortlistOptions& options);
+
+  /// Drops every stale entry and resizes the table for a workload shape.
+  /// Learned sensitivities (alpha / beta) survive — they are properties
+  /// of the model / featurization scale, not of one episode.
+  void Reset(size_t num_objects, size_t num_annotators);
+
+  /// Call once per selection iteration before reading bounds: invalidates
+  /// the table when the cache full-rebuilt since the last iteration and
+  /// applies the slow sensitivity decay.
+  void BeginIteration(const ScoreCache& cache);
+
+  /// True once the warmup full passes have run for this episode.
+  bool Ready() const { return full_passes_ >= options_.warmup; }
+
+  /// Shortlist size for a grid of `num_pairs` candidates of which
+  /// `must_score` have no usable stale entry.
+  size_t ShortlistSize(size_t num_pairs, size_t must_score) const;
+
+  /// Fills `ub[i]` with the score upper bound of `pairs[i]` (+infinity
+  /// when the pair has no valid stale entry). `bonus[i]` is the pair's
+  /// exact exploration bonus. Returns the number of +infinity entries.
+  size_t UpperBounds(const ScoreCache& cache, size_t train_steps,
+                     const std::vector<Action>& pairs,
+                     const std::vector<double>& bonus,
+                     std::vector<double>* ub) const;
+
+  /// Records exact raw Q values (exploration bonus excluded) for `pairs`,
+  /// snapshotting the drift accumulators and train step. When `prior_ub`
+  /// is non-null (same indexing as `pairs`, with `bonus`), each rescored
+  /// pair is prechecked against the bound it was admitted under and the
+  /// sensitivities adapt to any observed under-estimate. Returns the
+  /// number of pairs whose exact score exceeded their prior bound — a
+  /// non-zero return means the bounds were unsound this iteration and the
+  /// caller must fall back to full scoring.
+  size_t RecordExact(const ScoreCache& cache, size_t train_steps,
+                     const std::vector<Action>& pairs,
+                     const std::vector<double>& raw_q,
+                     const std::vector<double>* prior_ub,
+                     const std::vector<double>* bonus, bool full_pass);
+
+  /// Outcome notes, driving the adaptive shortlist boost and stats.
+  void NotePrunedSuccess(size_t exact_rows, size_t bounded_rows);
+  void NoteGateFallback();
+  void NotePrecheckFallback();
+
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+  size_t boost() const { return boost_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  ShortlistOptions options_;
+
+  size_t num_objects_ = 0;
+  size_t num_annotators_ = 0;
+  // Pair-indexed (object * num_annotators_ + annotator) stale table.
+  std::vector<double> stale_q_;
+  std::vector<double> snap_obj_;   // object_drift()[i] at record time.
+  std::vector<double> snap_ann_;   // annotator_drift()[j] at record time.
+  std::vector<double> snap_glob_;  // global_drift() at record time.
+  std::vector<uint32_t> stale_step_;
+  std::vector<uint8_t> valid_;
+
+  // Drift sensitivities (running maxima with 2x headroom, decayed).
+  double alpha_ = 1.0;
+  double beta_ = 0.0;
+  // Shortlist-size multiplier: doubled on gate fallback, halved after a
+  // streak of gated successes.
+  size_t boost_ = 1;
+  size_t success_streak_ = 0;
+
+  size_t full_passes_ = 0;
+  size_t seen_full_rebuilds_ = 0;  // Last seen ScoreCache::rebuild_epoch().
+  bool epoch_seen_ = false;
+
+  Stats stats_;
+};
+
+}  // namespace crowdrl::rl
+
+#endif  // CROWDRL_RL_SHORTLIST_H_

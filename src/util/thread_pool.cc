@@ -37,6 +37,13 @@ PoolMetrics& Metrics() {
 
 [[maybe_unused]] const PoolMetrics& g_eager_pool_metrics = Metrics();
 
+// Pool whose ParallelFor the current thread is executing a chunk of, if
+// any. Lets a nested dispatch on the same pool detect itself and run
+// inline instead of clobbering the in-flight `job_`/`generation_` state
+// (which deadlocked: the outer job's workers would never be re-woken and
+// the nested caller would wait on acks that never arrive).
+thread_local const ThreadPool* tls_active_pool = nullptr;
+
 }  // namespace
 
 ThreadPool::ThreadPool(int threads) {
@@ -61,7 +68,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   if (end <= begin) return;
   if (grain == 0) grain = 1;
   size_t count = end - begin;
-  if (workers_.empty() || count <= grain) {
+  if (workers_.empty() || count <= grain || tls_active_pool == this) {
     fn(begin, end);
     return;
   }
@@ -83,9 +90,11 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   }
 
   std::function<void()> job = [&] {
+    const ThreadPool* prev_pool = tls_active_pool;
+    tls_active_pool = this;
     while (true) {
       size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
-      if (c >= num_chunks) return;
+      if (c >= num_chunks) break;
       size_t chunk_begin = begin + c * grain;
       if (observed) {
         uint64_t start_ns = obs::NowNs();
@@ -98,6 +107,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
         fn(chunk_begin, std::min(end, chunk_begin + grain));
       }
     }
+    tls_active_pool = prev_pool;
   };
 
   {

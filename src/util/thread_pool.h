@@ -32,8 +32,13 @@ namespace crowdrl {
 ///    so a pool of `threads` gives `threads`-way concurrency with
 ///    `threads - 1` spawned std::threads.
 ///
-/// ParallelFor is not reentrant: the loop body must not call back into the
-/// same pool (callers own disjoint pools precisely to keep this simple).
+/// Nested dispatch: a loop body that calls ParallelFor back into the SAME
+/// pool is detected (thread-local in-pool flag) and the nested call runs
+/// its whole range inline on the calling lane — the workers are already
+/// busy with the outer loop, so handing the nested job to them could only
+/// deadlock, which is exactly what the pre-flag implementation did
+/// (overwriting `job_`/`generation_` mid-dispatch). Nesting across two
+/// *different* pools dispatches normally.
 class ThreadPool {
  public:
   /// Spawns `threads - 1` workers (none when `threads <= 1`); the calling

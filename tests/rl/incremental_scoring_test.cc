@@ -9,11 +9,13 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "io/serializer.h"
+#include "obs/metrics.h"
 #include "rl/dqn_agent.h"
 #include "rl/score_cache.h"
 #include "util/random.h"
@@ -92,6 +94,10 @@ DqnAgentOptions MakeOptions(bool incremental) {
   options.min_replay_before_training = 16;
   options.train_batch = 8;
   options.train_steps_per_observe = 2;
+  // Most tests here compare the cached path bitwise against from-scratch
+  // featurization; the factorized head (only ULP-close) is opted back in
+  // by the FactorizedQHeadTest suite.
+  options.factorized_q_head = false;
   return options;
 }
 
@@ -475,6 +481,214 @@ TEST(FactorizedQHeadTest, AgentSelectsValidAssignments) {
     }
     agent.Observe(s.rng.Uniform(), s.View(), s.affordable,
                   /*terminal=*/false);
+  }
+}
+
+// Satellite pin: the factorized bootstrap must not assemble dense feature
+// rows — PredictBatchFactorized never reads them, so ObservePerPair skips
+// the per-row assembly entirely (the cache Sync still runs).
+TEST(FactorizedQHeadTest, BootstrapSkipsDenseAssembly) {
+  for (bool factorized : {true, false}) {
+    Scenario s;
+    s.RefreshProbs();
+    DqnAgentOptions options = MakeOptions(/*incremental=*/true);
+    options.factorized_q_head = factorized;
+    options.prune = false;
+    DqnAgent agent(options);
+    agent.BeginEpisode(kObjects, kAnnotators);
+    std::vector<Assignment> assignments = agent.SelectBatch(
+        s.View(), /*k=*/2, /*num_objects_to_pick=*/3, s.affordable);
+    ASSERT_FALSE(assignments.empty());
+    for (const Assignment& assignment : assignments) {
+      for (int j : assignment.annotators) {
+        s.answers.Record(assignment.object, j, s.rng.UniformInt(kClasses));
+      }
+    }
+    uint64_t before = agent.rows_featurized();
+    agent.Observe(0.5, s.View(), s.affordable, /*terminal=*/false);
+    uint64_t delta = agent.rows_featurized() - before;
+    if (factorized) {
+      EXPECT_EQ(delta, 0u) << "factorized bootstrap assembled dense rows";
+    } else {
+      EXPECT_GT(delta, 0u) << "exact bootstrap must featurize candidates";
+    }
+  }
+}
+
+uint64_t CounterValue(const obs::MetricsSnapshot& snapshot,
+                      const std::string& name) {
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name == name) return counter.value;
+  }
+  return 0;
+}
+
+// Satellite pin for the RecordSyncMetrics rewrite: the exported hit/miss
+// counters must follow the cache's own CumulativeStats — a full rebuild is
+// 2n+m misses and zero hits (the old code credited every sync, rebuilds
+// included, with `consulted = 2n+m` and clamped the overflow away).
+TEST(IncrementalScoringTest, SyncMetricsMatchCacheCumulativeStats) {
+  Scenario s;
+  s.RefreshProbs();
+  DqnAgent agent(MakeOptions(/*incremental=*/true));
+  agent.BeginEpisode(kObjects, kAnnotators);
+
+  obs::SetEnabled(true);
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Get().Snapshot();
+  agent.Score(s.View(), s.affordable);  // Full rebuild.
+  s.answers.Record(3, 1, 2);
+  agent.Score(s.View(), s.affordable);  // Incremental: one object dirty.
+  s.qualities[2] = 0.8;
+  agent.Score(s.View(), s.affordable);  // Incremental: one annotator dirty.
+  obs::MetricsSnapshot after = obs::MetricsRegistry::Get().Snapshot();
+  obs::SetEnabled(false);
+
+  const ScoreCache::CumulativeStats& cum =
+      agent.score_cache().cumulative_stats();
+  constexpr size_t kConsultedPerSync = 2 * kObjects + kAnnotators;
+  // The cache's own accounting is self-consistent across rebuild +
+  // incremental syncs...
+  ASSERT_EQ(cum.syncs, 3u);
+  ASSERT_EQ(cum.full_rebuilds, 1u);
+  EXPECT_EQ(cum.block_hits + cum.block_misses,
+            cum.syncs * kConsultedPerSync);
+  // ...the rebuild contributed zero hits, so hits stay strictly below the
+  // two incremental syncs' consultation budget...
+  EXPECT_LE(cum.block_hits, 2 * kConsultedPerSync);
+  EXPECT_GT(cum.block_hits, 0u);
+  // ...and the exported counter deltas equal the cache totals exactly
+  // (this agent is the only one scoring while obs is on).
+  EXPECT_EQ(CounterValue(after, "crowdrl.scorecache.syncs") -
+                CounterValue(before, "crowdrl.scorecache.syncs"),
+            cum.syncs);
+  EXPECT_EQ(CounterValue(after, "crowdrl.scorecache.block_hits") -
+                CounterValue(before, "crowdrl.scorecache.block_hits"),
+            cum.block_hits);
+  EXPECT_EQ(CounterValue(after, "crowdrl.scorecache.block_misses") -
+                CounterValue(before, "crowdrl.scorecache.block_misses"),
+            cum.block_misses);
+  EXPECT_EQ(CounterValue(after, "crowdrl.scorecache.full_rebuilds") -
+                CounterValue(before, "crowdrl.scorecache.full_rebuilds"),
+            cum.full_rebuilds);
+}
+
+void TrainNet(QNetwork* net, const Matrix& features, int steps, Rng* rng) {
+  std::vector<Transition> transitions;
+  for (int t = 0; t < 8; ++t) {
+    Transition tr;
+    tr.features = features.RowVector(static_cast<size_t>(t));
+    tr.reward = rng->Uniform();
+    tr.next_max_q = rng->Uniform();
+    tr.terminal = false;
+    transitions.push_back(std::move(tr));
+  }
+  std::vector<const Transition*> batch;
+  for (const Transition& tr : transitions) batch.push_back(&tr);
+  for (int step = 0; step < steps; ++step) net->TrainBatch(batch);
+}
+
+// Satellite coverage: the factorized partial-product caches must be
+// recomputed after every way the underlying parameters can change —
+// LoadState, SetFlatParameters, and both target-sync flavours (periodic
+// hard sync and per-step soft tau) — staying in ULP lockstep with the
+// exact forward throughout.
+TEST(FactorizedQHeadTest, RecomputesPartialsAfterParameterEvents) {
+  Scenario s;
+  s.RefreshProbs();
+  s.answers.Record(1, 2, 0);
+  StateView view = s.View();
+
+  ScoreCache cache;
+  cache.Sync(view);
+  std::vector<Action> pairs;
+  for (size_t i = 0; i < kObjects; ++i) {
+    for (size_t j = 0; j < kAnnotators; ++j) {
+      pairs.push_back({static_cast<int>(i), static_cast<int>(j)});
+    }
+  }
+  Matrix features(pairs.size(), StateFeaturizer::kFeatureDim);
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    cache.AssembleRowInto(pairs[p].object, pairs[p].annotator,
+                          features.Row(p));
+  }
+  FeatureBlocks blocks;
+  blocks.object_blocks = &cache.object_blocks();
+  blocks.annotator_blocks = &cache.annotator_blocks();
+  blocks.global_block = cache.global_block();
+  blocks.object_version = cache.object_blocks_version();
+  blocks.annotator_version = cache.annotator_blocks_version();
+  Rng rng(97);
+
+  // Periodic hard target sync: warm the caches, then train exactly up to
+  // the sync boundary — the target partials must follow the swap.
+  {
+    QNetworkOptions q_options;
+    q_options.seed = 41;
+    q_options.target_sync_period = 4;
+    QNetwork net(q_options);
+    ExpectUlpClose(net.PredictBatchFactorized(blocks, pairs, true),
+                   net.TargetPredictBatch(features), "warm target");
+    TrainNet(&net, features, 4, &rng);
+    ExpectUlpClose(net.PredictBatchFactorized(blocks, pairs, true),
+                   net.TargetPredictBatch(features),
+                   "target after periodic sync");
+    ExpectUlpClose(net.PredictBatchFactorized(blocks, pairs, false),
+                   net.PredictBatch(features), "online after training");
+  }
+
+  // Soft-tau sync: the target moves a little on every train step.
+  {
+    QNetworkOptions q_options;
+    q_options.seed = 43;
+    q_options.soft_tau = 0.25;
+    QNetwork net(q_options);
+    ExpectUlpClose(net.PredictBatchFactorized(blocks, pairs, true),
+                   net.TargetPredictBatch(features), "warm soft target");
+    TrainNet(&net, features, 1, &rng);
+    ExpectUlpClose(net.PredictBatchFactorized(blocks, pairs, true),
+                   net.TargetPredictBatch(features),
+                   "target after soft-tau step");
+  }
+
+  // SetFlatParameters (cross-training transfer) rewrites the online net
+  // and resets the target; both cached partials are stale afterwards.
+  {
+    QNetworkOptions q_options;
+    q_options.seed = 47;
+    QNetwork net(q_options);
+    ExpectUlpClose(net.PredictBatchFactorized(blocks, pairs, false),
+                   net.PredictBatch(features), "warm before transfer");
+    std::vector<double> params = net.FlatParameters();
+    for (double& p : params) p += 1e-3;
+    net.SetFlatParameters(params);
+    ExpectUlpClose(net.PredictBatchFactorized(blocks, pairs, false),
+                   net.PredictBatch(features), "online after transfer");
+    ExpectUlpClose(net.PredictBatchFactorized(blocks, pairs, true),
+                   net.TargetPredictBatch(features), "target after transfer");
+  }
+
+  // LoadState replaces every parameter of an already-warm network.
+  {
+    QNetworkOptions q_options;
+    q_options.seed = 53;
+    QNetwork source(q_options);
+    TrainNet(&source, features, 7, &rng);
+    QNetworkOptions sink_options = q_options;
+    sink_options.seed = 59;  // Different init: params genuinely change.
+    QNetwork sink(sink_options);
+    ExpectUlpClose(sink.PredictBatchFactorized(blocks, pairs, false),
+                   sink.PredictBatch(features), "warm before restore");
+    io::Writer writer;
+    source.SaveState(&writer);
+    io::Reader reader(writer.bytes());
+    ASSERT_TRUE(sink.LoadState(&reader).ok());
+    ExpectUlpClose(sink.PredictBatchFactorized(blocks, pairs, false),
+                   sink.PredictBatch(features), "online after restore");
+    ExpectUlpClose(sink.PredictBatchFactorized(blocks, pairs, true),
+                   sink.TargetPredictBatch(features), "target after restore");
+    // And the restored factorized forward agrees with the source's.
+    ExpectUlpClose(sink.PredictBatchFactorized(blocks, pairs, false),
+                   source.PredictBatch(features), "restore vs source");
   }
 }
 

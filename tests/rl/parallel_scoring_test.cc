@@ -69,6 +69,9 @@ struct WideFixture {
     options.threads = threads;
     options.q.threads = threads;
     options.incremental = incremental;
+    // This suite compares scores bitwise against from-scratch
+    // featurization; the factorized head is only ULP-close.
+    options.factorized_q_head = false;
     DqnAgent agent(options);
     agent.BeginEpisode(kObjects, kAnnotators);
     return agent;

@@ -1,0 +1,378 @@
+// Shortlist-pruned selection (ShortlistPruner + DqnAgent::SelectBatch):
+//  - the pruned path must select exactly what full scoring selects, at
+//    every iteration of a randomized run, including across
+//    checkpoint/resume (the exactness gate falls back on any ambiguity);
+//  - the pruner's bookkeeping: warmup, table invalidation on cache
+//    rebuild, bound soundness adaptation, boost dynamics;
+//  - the ScoreCache drift accumulators the bounds are built from.
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/serializer.h"
+#include "rl/dqn_agent.h"
+#include "rl/score_cache.h"
+#include "rl/shortlist.h"
+#include "util/random.h"
+
+namespace crowdrl::rl {
+namespace {
+
+constexpr size_t kObjects = 40;
+constexpr size_t kAnnotators = 10;
+constexpr int kClasses = 3;
+
+/// A drifting workload: answers arrive, classifier beliefs get nudged (not
+/// re-rolled — steady drift is the regime pruning is built for), qualities
+/// creep, progress counters advance.
+struct Scenario {
+  crowd::AnswerLog answers{kObjects, kAnnotators};
+  std::vector<double> costs;
+  std::vector<double> qualities;
+  std::vector<bool> is_expert;
+  std::vector<bool> labelled;
+  std::vector<bool> affordable;
+  Matrix class_probs{kObjects, static_cast<size_t>(kClasses)};
+  size_t probs_version = 0;
+  double budget_fraction = 1.0;
+  double fraction_labelled = 0.0;
+  Rng rng{907};
+
+  Scenario() {
+    for (size_t j = 0; j < kAnnotators; ++j) {
+      bool expert = j + 1 == kAnnotators;
+      costs.push_back(expert ? 6.0 : 1.0 + 0.2 * static_cast<double>(j));
+      qualities.push_back(0.55 + 0.03 * static_cast<double>(j));
+      is_expert.push_back(expert);
+      affordable.push_back(true);
+    }
+    labelled.assign(kObjects, false);
+    for (size_t i = 0; i < kObjects; ++i) {
+      double sum = 0.0;
+      double* row = class_probs.Row(i);
+      for (int c = 0; c < kClasses; ++c) {
+        row[c] = 0.1 + rng.Uniform();
+        sum += row[c];
+      }
+      for (int c = 0; c < kClasses; ++c) row[c] /= sum;
+    }
+    probs_version = 1;
+  }
+
+  void NudgeProbs() {
+    for (size_t i = 0; i < kObjects; ++i) {
+      double sum = 0.0;
+      double* row = class_probs.Row(i);
+      for (int c = 0; c < kClasses; ++c) {
+        row[c] = std::max(0.01, row[c] + 0.02 * (rng.Uniform() - 0.5));
+        sum += row[c];
+      }
+      for (int c = 0; c < kClasses; ++c) row[c] /= sum;
+    }
+    ++probs_version;
+  }
+
+  StateView View() const {
+    StateView view;
+    view.answers = &answers;
+    view.num_classes = kClasses;
+    view.annotator_costs = &costs;
+    view.annotator_qualities = &qualities;
+    view.annotator_is_expert = &is_expert;
+    view.class_probs = &class_probs;
+    view.class_probs_version = probs_version;
+    view.labelled = &labelled;
+    view.budget_fraction_remaining = budget_fraction;
+    view.fraction_labelled = fraction_labelled;
+    view.max_cost = 6.0;
+    return view;
+  }
+};
+
+DqnAgentOptions MakeOptions(bool prune) {
+  DqnAgentOptions options;
+  options.seed = 61;
+  options.q.seed = 67;
+  options.prune = prune;
+  // Small grid: force pruning to engage by shrinking the shortlist well
+  // below the pair count (the auto floor of 256 would score everything).
+  options.prune_shortlist = 48;
+  options.min_replay_before_training = 16;
+  options.train_batch = 8;
+  options.train_steps_per_observe = 2;
+  return options;
+}
+
+DqnAgent RoundTrip(const DqnAgent& agent, DqnAgentOptions options) {
+  io::Writer writer;
+  agent.SaveState(&writer);
+  DqnAgent fresh(std::move(options));
+  io::Reader reader(writer.bytes());
+  EXPECT_TRUE(fresh.LoadState(&reader).ok());
+  return fresh;
+}
+
+void ExpectSameAssignments(const std::vector<Assignment>& got,
+                           const std::vector<Assignment>& want, int iter) {
+  ASSERT_EQ(got.size(), want.size()) << "iter " << iter;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].object, want[i].object) << "iter " << iter;
+    ASSERT_EQ(got[i].annotators, want[i].annotators)
+        << "iter " << iter << " object " << got[i].object;
+  }
+}
+
+// Tentpole property: a pruned agent (with audit mode double-checking every
+// gated selection internally) must produce the same assignments as an
+// unpruned twin at every iteration of a drifting run, including across a
+// mid-run checkpoint/restore (the pruner is not serialized; its warmup
+// reruns).
+TEST(ShortlistPruningTest, AuditedPrunedRunMatchesFullScoringExactly) {
+  Scenario s;
+  DqnAgentOptions pruned_options = MakeOptions(/*prune=*/true);
+  pruned_options.prune_audit = true;
+  DqnAgent pruned(pruned_options);
+  DqnAgent full(MakeOptions(/*prune=*/false));
+  pruned.BeginEpisode(kObjects, kAnnotators);
+  full.BeginEpisode(kObjects, kAnnotators);
+
+  for (int iter = 0; iter < 20; ++iter) {
+    if (iter % 2 == 1) s.NudgeProbs();
+    if (iter % 5 == 4) {
+      s.qualities[s.rng.UniformInt(static_cast<int>(kAnnotators))] += 0.01;
+    }
+    s.budget_fraction = std::max(0.0, s.budget_fraction - 0.02);
+
+    std::vector<Assignment> got = pruned.SelectBatch(
+        s.View(), /*k=*/2, /*num_objects_to_pick=*/4, s.affordable);
+    std::vector<Assignment> want = full.SelectBatch(
+        s.View(), /*k=*/2, /*num_objects_to_pick=*/4, s.affordable);
+    ExpectSameAssignments(got, want, iter);
+
+    for (const Assignment& assignment : want) {
+      for (int j : assignment.annotators) {
+        s.answers.Record(assignment.object, j, s.rng.UniformInt(kClasses));
+      }
+    }
+    s.fraction_labelled =
+        std::min(1.0, s.fraction_labelled + 0.01);
+    double reward = s.rng.Uniform();
+    pruned.Observe(reward, s.View(), s.affordable, /*terminal=*/false);
+    full.Observe(reward, s.View(), s.affordable, /*terminal=*/false);
+
+    if (iter == 9) {
+      pruned = RoundTrip(pruned, pruned_options);
+      full = RoundTrip(full, MakeOptions(/*prune=*/false));
+    }
+  }
+  // Pruning actually engaged (this is not a vacuous all-fallback run) and
+  // bounded rows were genuinely skipped.
+  const ShortlistPruner::Stats& stats = pruned.shortlist_pruner().stats();
+  EXPECT_GT(stats.pruned_iterations, 0u);
+  EXPECT_GT(stats.bounded_rows, 0u);
+  EXPECT_GT(stats.full_iterations, 0u);  // Warmups ran (twice: restore).
+}
+
+// Epsilon-greedy consumes RNG inside Score, so the pruned path must stand
+// down entirely (a shortlist pass would desync the exploration stream).
+TEST(ShortlistPruningTest, EpsilonGreedyAlwaysRunsFullPath) {
+  Scenario s;
+  DqnAgentOptions options = MakeOptions(/*prune=*/true);
+  options.exploration = ExplorationMode::kEpsilonGreedy;
+  DqnAgent agent(options);
+  agent.BeginEpisode(kObjects, kAnnotators);
+  for (int iter = 0; iter < 4; ++iter) {
+    agent.SelectBatch(s.View(), /*k=*/2, /*num_objects_to_pick=*/3,
+                      s.affordable);
+  }
+  const ShortlistPruner::Stats& stats = agent.shortlist_pruner().stats();
+  EXPECT_EQ(stats.pruned_iterations, 0u);
+  EXPECT_EQ(stats.full_iterations, 0u);  // Never even consulted.
+}
+
+TEST(ShortlistPrunerTest, WarmupAndInvalidationLifecycle) {
+  Scenario s;
+  ScoreCache cache;
+  cache.Sync(s.View());
+
+  ShortlistOptions options;
+  options.warmup = 2;
+  ShortlistPruner pruner(options);
+  pruner.Reset(kObjects, kAnnotators);
+  EXPECT_FALSE(pruner.Ready());
+
+  std::vector<Action> pairs;
+  for (size_t i = 0; i < kObjects; ++i) {
+    for (size_t j = 0; j < kAnnotators; ++j) {
+      pairs.push_back({static_cast<int>(i), static_cast<int>(j)});
+    }
+  }
+  std::vector<double> raw_q(pairs.size(), 0.0);
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    raw_q[p] = 0.001 * static_cast<double>(p);
+  }
+  std::vector<double> bonus(pairs.size(), 0.0);
+
+  pruner.BeginIteration(cache);
+  pruner.RecordExact(cache, /*train_steps=*/0, pairs, raw_q, nullptr,
+                     nullptr, /*full_pass=*/true);
+  EXPECT_FALSE(pruner.Ready());
+  pruner.BeginIteration(cache);
+  pruner.RecordExact(cache, /*train_steps=*/0, pairs, raw_q, nullptr,
+                     nullptr, /*full_pass=*/true);
+  EXPECT_TRUE(pruner.Ready());
+
+  // With zero drift and zero elapsed train steps, every bound collapses
+  // to stale_q + margin and none is infinite.
+  std::vector<double> ub;
+  EXPECT_EQ(pruner.UpperBounds(cache, /*train_steps=*/0, pairs, bonus, &ub),
+            0u);
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    EXPECT_GE(ub[p], raw_q[p]);
+    EXPECT_LE(ub[p], raw_q[p] + options.margin + 1e-15);
+  }
+
+  // A cache full rebuild resets the drift accumulators, so the next
+  // BeginIteration must drop every stale entry: all bounds go infinite.
+  cache.Invalidate();
+  cache.Sync(s.View());
+  ASSERT_EQ(cache.cumulative_stats().full_rebuilds, 1u);
+  pruner.BeginIteration(cache);
+  EXPECT_EQ(pruner.UpperBounds(cache, /*train_steps=*/0, pairs, bonus, &ub),
+            pairs.size());
+  for (double b : ub) {
+    EXPECT_TRUE(std::isinf(b));
+  }
+}
+
+TEST(ShortlistPrunerTest, SensitivityAdaptsToObservedMoves) {
+  Scenario s;
+  ScoreCache cache;
+  cache.Sync(s.View());
+  ShortlistPruner pruner{ShortlistOptions{}};
+  pruner.Reset(kObjects, kAnnotators);
+
+  std::vector<Action> pairs = {{0, 0}};
+  pruner.BeginIteration(cache);
+  pruner.RecordExact(cache, /*train_steps=*/0, pairs, {1.0}, nullptr,
+                     nullptr, /*full_pass=*/true);
+
+  // Q moved by 0.5 with no drift and 10 elapsed train steps: the bound
+  // can only blame training, so beta must grow to at least 2*0.5/10.
+  double beta_before = pruner.beta();
+  pruner.BeginIteration(cache);
+  pruner.RecordExact(cache, /*train_steps=*/10, pairs, {1.5}, nullptr,
+                     nullptr, /*full_pass=*/true);
+  EXPECT_GE(pruner.beta(), 2.0 * 0.5 / 10.0);
+  EXPECT_GE(pruner.beta(), beta_before);
+
+  // The adapted bound now covers a same-sized move.
+  std::vector<double> ub;
+  pruner.UpperBounds(cache, /*train_steps=*/20, pairs, {0.0}, &ub);
+  EXPECT_GE(ub[0], 1.5 + 0.5);
+}
+
+TEST(ShortlistPrunerTest, BoundViolationIsReportedAndBoostReacts) {
+  Scenario s;
+  ScoreCache cache;
+  cache.Sync(s.View());
+  ShortlistPruner pruner{ShortlistOptions{}};
+  pruner.Reset(kObjects, kAnnotators);
+  std::vector<Action> pairs = {{0, 0}};
+  pruner.BeginIteration(cache);
+  pruner.RecordExact(cache, /*train_steps=*/0, pairs, {1.0}, nullptr,
+                     nullptr, /*full_pass=*/true);
+
+  // Claim the pair was admitted under a bound of 1.0 but rescored to 2.0:
+  // that is a precheck violation the caller must fall back on.
+  std::vector<double> prior_ub = {1.0};
+  std::vector<double> bonus = {0.0};
+  pruner.BeginIteration(cache);
+  EXPECT_EQ(pruner.RecordExact(cache, /*train_steps=*/1, pairs, {2.0},
+                               &prior_ub, &bonus, /*full_pass=*/false),
+            1u);
+
+  // Boost dynamics: doubles on gate fallback (capped), halves back only
+  // after a streak of successes.
+  EXPECT_EQ(pruner.boost(), 1u);
+  pruner.NoteGateFallback();
+  EXPECT_EQ(pruner.boost(), 2u);
+  pruner.NoteGateFallback();
+  EXPECT_EQ(pruner.boost(), 4u);
+  for (int i = 0; i < 7; ++i) pruner.NotePrunedSuccess(1, 1);
+  EXPECT_EQ(pruner.boost(), 4u);  // Streak not reached yet.
+  pruner.NotePrunedSuccess(1, 1);
+  EXPECT_EQ(pruner.boost(), 2u);
+  EXPECT_EQ(pruner.stats().gate_fallbacks, 2u);
+  EXPECT_EQ(pruner.stats().pruned_iterations, 8u);
+}
+
+TEST(ShortlistPrunerTest, ShortlistSizeHonoursFloorBoostAndMustScore) {
+  ShortlistOptions options;  // Auto sizing.
+  ShortlistPruner pruner(options);
+  pruner.Reset(kObjects, kAnnotators);
+  // Auto: max(256, pairs/16), clamped to the pair count.
+  EXPECT_EQ(pruner.ShortlistSize(10000, 0), std::max<size_t>(256, 625));
+  EXPECT_EQ(pruner.ShortlistSize(300, 0), 256u);  // Floor, below the grid.
+  EXPECT_EQ(pruner.ShortlistSize(200, 0), 200u);  // Clamped to the grid.
+  EXPECT_EQ(pruner.ShortlistSize(10000, 40), 665u);  // Must-score on top.
+
+  ShortlistOptions fixed;
+  fixed.shortlist = 64;
+  ShortlistPruner small(fixed);
+  small.Reset(kObjects, kAnnotators);
+  EXPECT_EQ(small.ShortlistSize(10000, 0), 64u);
+  small.NoteGateFallback();
+  EXPECT_EQ(small.ShortlistSize(10000, 0), 128u);  // Boost doubles it.
+}
+
+TEST(ScoreCacheDriftTest, AccumulatorsTrackBlockRefreshes) {
+  Scenario s;
+  ScoreCache cache;
+  cache.Sync(s.View());
+  // Fresh rebuild: all drift zero.
+  for (double d : cache.object_drift()) EXPECT_EQ(d, 0.0);
+  for (double d : cache.annotator_drift()) EXPECT_EQ(d, 0.0);
+  EXPECT_EQ(cache.global_drift(), 0.0);
+
+  // One answered object: its history block refreshes, its drift grows,
+  // everyone else's stays put.
+  s.answers.Record(7, 3, 1);
+  cache.Sync(s.View());
+  EXPECT_GT(cache.object_drift()[7], 0.0);
+  for (size_t i = 0; i < kObjects; ++i) {
+    if (i != 7) EXPECT_EQ(cache.object_drift()[i], 0.0) << "object " << i;
+  }
+
+  // A quality change refreshes exactly that annotator's block.
+  s.qualities[2] += 0.05;
+  cache.Sync(s.View());
+  EXPECT_GT(cache.annotator_drift()[2], 0.0);
+  for (size_t j = 0; j < kAnnotators; ++j) {
+    if (j != 2) EXPECT_EQ(cache.annotator_drift()[j], 0.0);
+  }
+
+  // Progress counters move the global block.
+  s.fraction_labelled = 0.25;
+  cache.Sync(s.View());
+  EXPECT_GT(cache.global_drift(), 0.0);
+
+  // Drift is monotone under further changes...
+  double obj7 = cache.object_drift()[7];
+  s.answers.Record(7, 4, 2);
+  cache.Sync(s.View());
+  EXPECT_GE(cache.object_drift()[7], obj7);
+
+  // ...and resets wholesale on a full rebuild.
+  cache.Invalidate();
+  cache.Sync(s.View());
+  for (double d : cache.object_drift()) EXPECT_EQ(d, 0.0);
+  for (double d : cache.annotator_drift()) EXPECT_EQ(d, 0.0);
+  EXPECT_EQ(cache.global_drift(), 0.0);
+}
+
+}  // namespace
+}  // namespace crowdrl::rl

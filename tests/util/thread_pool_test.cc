@@ -95,6 +95,62 @@ TEST(ThreadPoolTest, PerChunkReductionMatchesSerialSum) {
   EXPECT_EQ(parallel_sum, serial_sum);  // Bitwise, not approximate.
 }
 
+TEST(ThreadPoolTest, NestedParallelForOnSamePoolRunsSeriallyWithoutDeadlock) {
+  // Regression: a nested ParallelFor on the same pool used to overwrite
+  // job_/generation_ mid-dispatch and deadlock. It must now run the nested
+  // range inline on the calling lane, covering every index exactly once.
+  ThreadPool pool(4);
+  constexpr size_t kOuter = 64;
+  constexpr size_t kInner = 32;
+  std::vector<std::atomic<int>> visits(kOuter * kInner);
+  for (auto& v : visits) v.store(0);
+  pool.ParallelFor(0, kOuter, 4, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      pool.ParallelFor(0, kInner, 4, [&](size_t jb, size_t je) {
+        // The nested call must stay on this lane: the outer workers are
+        // all busy, so handing it to them could only hang.
+        for (size_t j = jb; j < je; ++j) ++visits[i * kInner + j];
+      });
+    }
+  });
+  for (size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NestedCallOnDifferentPoolStillDispatches) {
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::vector<std::atomic<int>> visits(200);
+  for (auto& v : visits) v.store(0);
+  outer.ParallelFor(0, 2, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      inner.ParallelFor(i * 100, (i + 1) * 100, 5, [&](size_t jb, size_t je) {
+        for (size_t j = jb; j < je; ++j) ++visits[j];
+      });
+    }
+  });
+  for (size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPoolTest, DispatchAfterNestedInlineRunStillWorks) {
+  // The in-pool flag must be restored when an outer dispatch finishes so
+  // later top-level ParallelFor calls go wide again.
+  ThreadPool pool(3);
+  pool.ParallelFor(0, 8, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      pool.ParallelFor(0, 4, 1, [&](size_t, size_t) {});
+    }
+  });
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(0, 100, 3, [&](size_t begin, size_t end) {
+    count += end - begin;
+  });
+  EXPECT_EQ(count.load(), 100u);
+}
+
 TEST(ThreadPoolTest, BackToBackDispatchesReuseWorkers) {
   ThreadPool pool(4);
   for (int round = 0; round < 50; ++round) {
