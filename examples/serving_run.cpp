@@ -1,0 +1,149 @@
+// Event-driven labelling with the serve-mode scheduler: two campaigns
+// multiplexed over one LabellingService, annotator clients on their own
+// threads connecting / answering / dropping off, and truth inference
+// running asynchronously on the background worker while selection keeps
+// serving. Contrast with quickstart.cpp, which runs the same Algorithm 1
+// as one synchronous batch loop.
+//
+//   ./build/examples/serving_run [objects] [budget]
+//
+// DESIGN.md §12 documents the architecture: the AnswerIngest queue, the
+// sequence-ordered commit (why arrival order cannot change the result),
+// the copy-on-write truth-inference snapshot and its revision barrier,
+// and the campaign scheduler.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "crowd/annotator.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "serve/service.h"
+
+namespace {
+
+using crowdrl::serve::Campaign;
+using crowdrl::serve::CampaignOptions;
+using crowdrl::serve::LabellingService;
+using crowdrl::serve::ServiceOptions;
+using crowdrl::serve::WorkItem;
+
+struct CampaignWorkload {
+  crowdrl::data::Dataset dataset;
+  std::vector<crowdrl::crowd::Annotator> pool;
+};
+
+CampaignWorkload MakeWorkload(size_t objects, uint64_t seed) {
+  CampaignWorkload w;
+  crowdrl::data::GaussianMixtureOptions options;
+  options.num_objects = objects;
+  options.view = {10, 2.6, 0.5};
+  options.seed = seed;
+  w.dataset = crowdrl::data::MakeGaussianMixture(options);
+  crowdrl::crowd::PoolOptions pool_options;
+  pool_options.num_workers = 4;
+  pool_options.num_experts = 1;
+  pool_options.seed = seed + 1;
+  w.pool = crowdrl::crowd::MakePool(pool_options);
+  return w;
+}
+
+int Run(int argc, char** argv) {
+  size_t objects = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 200;
+  double budget = argc > 2 ? std::atof(argv[2]) : 700.0;
+
+  CampaignWorkload first = MakeWorkload(objects, 3);
+  CampaignWorkload second = MakeWorkload(objects / 2, 17);
+
+  // One service = one scheduler pump + one background truth-inference
+  // worker + (here) a 2-thread selection pool shared by both campaigns.
+  ServiceOptions service_options;
+  service_options.shared_threads = 2;
+  LabellingService service(service_options);
+
+  CampaignOptions options;
+  options.name = "products";
+  options.synchronous_inference = false;  // EM off the serving path.
+  Campaign* products =
+      service.AddCampaign(options, &first.dataset, &first.pool, budget, 11);
+  options.name = "reviews";
+  Campaign* reviews = service.AddCampaign(options, &second.dataset,
+                                          &second.pool, budget / 2, 29);
+  if (!service.StartAll().ok()) {
+    std::fprintf(stderr, "service failed to start\n");
+    return 1;
+  }
+  products->sessions().ConnectAll();
+  reviews->sessions().ConnectAll();
+
+  // Simulated annotator clients: each polls for work, "thinks" for a
+  // random while, reports the answer back — and annotator 0 of the first
+  // campaign periodically drops its connection with work still queued,
+  // which the scheduler absorbs by abandoning the undelivered items.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (Campaign* campaign : {products, reviews}) {
+    const size_t pool_size =
+        campaign == products ? first.pool.size() : second.pool.size();
+    for (int j = 0; j < static_cast<int>(pool_size); ++j) {
+      clients.emplace_back([&stop, campaign, j] {
+        std::mt19937 rng(static_cast<unsigned>(j) + 1);
+        std::uniform_int_distribution<int> think_us(50, 500);
+        while (!stop.load(std::memory_order_acquire)) {
+          std::optional<WorkItem> item = campaign->sessions().RequestWork(j);
+          if (item.has_value()) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(think_us(rng)));
+            campaign->ingest().Push(*item);
+          } else {
+            std::this_thread::yield();
+          }
+        }
+      });
+    }
+  }
+  clients.emplace_back([&stop, products] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      products->sessions().Disconnect(0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      products->sessions().Connect(0);
+    }
+  });
+
+  if (!service.RunUntilComplete().ok()) {
+    std::fprintf(stderr, "a campaign failed\n");
+    return 1;
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : clients) t.join();
+
+  struct Row {
+    const char* name;
+    Campaign* campaign;
+    const CampaignWorkload* w;
+  };
+  for (const Row& row : {Row{"products", products, &first},
+                         Row{"reviews", reviews, &second}}) {
+    const crowdrl::core::LabellingResult& result = row.campaign->result();
+    crowdrl::eval::Metrics metrics = crowdrl::eval::ComputeMetrics(
+        row.w->dataset.truths, result.labels, row.w->dataset.num_classes);
+    std::printf(
+        "%-9s accuracy %.3f  answers %zu  rounds %zu  ti_swaps %zu  "
+        "abandoned %zu  budget %.1f\n",
+        row.name, metrics.accuracy, row.campaign->answers_committed(),
+        row.campaign->rounds_completed(), row.campaign->ti_swaps(),
+        row.campaign->abandoned_items(), result.budget_spent);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

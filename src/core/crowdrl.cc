@@ -1,261 +1,14 @@
 #include "core/crowdrl.h"
 
-#include <algorithm>
-#include <cmath>
 #include <utility>
 
-#include "classifier/mlp_classifier.h"
-#include "core/environment.h"
-#include "inference/joint_inference.h"
-#include "inference/pm.h"
-#include "math/vector_ops.h"
+#include "core/run_state.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "rl/dqn_agent.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace crowdrl::core {
-
-namespace {
-
-/// Run-loop metrics (Algorithm 1 stage counters plus the inference
-/// gauges). Fetched once per Run; registration at Run start guarantees
-/// every per-iteration JSONL record carries these keys.
-struct FrameworkMetrics {
-  obs::Counter* iterations;
-  obs::Counter* objects_selected;
-  obs::Counter* assignments_executed;
-  obs::Counter* enrichment_labels;
-  obs::Counter* em_iterations;
-  obs::Gauge* log_likelihood;
-  obs::Gauge* budget_remaining;
-
-  FrameworkMetrics() {
-    auto& registry = obs::MetricsRegistry::Get();
-    iterations = registry.GetCounter("crowdrl.framework.iterations");
-    objects_selected =
-        registry.GetCounter("crowdrl.framework.objects_selected");
-    assignments_executed =
-        registry.GetCounter("crowdrl.framework.assignments_executed");
-    enrichment_labels =
-        registry.GetCounter("crowdrl.framework.enrichment_labels");
-    em_iterations = registry.GetCounter("crowdrl.framework.em_iterations");
-    log_likelihood = registry.GetGauge("crowdrl.framework.log_likelihood");
-    budget_remaining =
-        registry.GetGauge("crowdrl.framework.budget_remaining");
-  }
-};
-
-FrameworkMetrics& FwMetrics() {
-  static FrameworkMetrics* const metrics = new FrameworkMetrics();
-  return *metrics;
-}
-
-// Groups candidate indices by object id; returns (object, indices) pairs.
-std::vector<std::pair<int, std::vector<size_t>>> GroupByObject(
-    const rl::ScoredCandidates& candidates, size_t num_objects) {
-  std::vector<int> slot(num_objects, -1);
-  std::vector<std::pair<int, std::vector<size_t>>> groups;
-  for (size_t idx = 0; idx < candidates.actions.size(); ++idx) {
-    int object = candidates.actions[idx].object;
-    int s = slot[static_cast<size_t>(object)];
-    if (s < 0) {
-      s = static_cast<int>(groups.size());
-      slot[static_cast<size_t>(object)] = s;
-      groups.emplace_back(object, std::vector<size_t>());
-    }
-    groups[static_cast<size_t>(s)].second.push_back(idx);
-  }
-  return groups;
-}
-
-// Takes the k best-scoring candidate indices of one group.
-std::vector<size_t> TopKOfGroup(const rl::ScoredCandidates& candidates,
-                                const std::vector<size_t>& group, int k) {
-  std::vector<size_t> sorted = group;
-  std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
-    return candidates.scores[a] > candidates.scores[b];
-  });
-  if (sorted.size() > static_cast<size_t>(k)) {
-    sorted.resize(static_cast<size_t>(k));
-  }
-  return sorted;
-}
-
-// Takes k random candidate indices of one group.
-std::vector<size_t> RandomKOfGroup(const std::vector<size_t>& group, int k,
-                                   Rng* rng) {
-  std::vector<int> picks = rng->SampleWithoutReplacement(
-      static_cast<int>(group.size()),
-      std::min<int>(k, static_cast<int>(group.size())));
-  std::vector<size_t> out;
-  out.reserve(picks.size());
-  for (int p : picks) out.push_back(group[static_cast<size_t>(p)]);
-  return out;
-}
-
-std::vector<rl::Assignment> BuildAssignments(
-    const rl::ScoredCandidates& candidates,
-    const std::vector<std::pair<int, std::vector<size_t>>>& groups,
-    const std::vector<size_t>& group_order, int batch, int k,
-    bool random_annotators, Rng* rng, std::vector<size_t>* chosen) {
-  std::vector<rl::Assignment> assignments;
-  for (size_t rank = 0;
-       rank < group_order.size() &&
-       assignments.size() < static_cast<size_t>(batch);
-       ++rank) {
-    const auto& [object, indices] = groups[group_order[rank]];
-    std::vector<size_t> picked =
-        random_annotators ? RandomKOfGroup(indices, k, rng)
-                          : TopKOfGroup(candidates, indices, k);
-    rl::Assignment assignment;
-    assignment.object = object;
-    for (size_t idx : picked) {
-      assignment.annotators.push_back(candidates.actions[idx].annotator);
-      chosen->push_back(idx);
-    }
-    assignments.push_back(std::move(assignment));
-  }
-  return assignments;
-}
-
-// M1 (and M1+M2): objects chosen uniformly at random.
-std::vector<rl::Assignment> PickRandomObjects(
-    const rl::ScoredCandidates& candidates, int k, int batch,
-    size_t num_objects, bool random_annotators, Rng* rng,
-    std::vector<size_t>* chosen) {
-  auto groups = GroupByObject(candidates, num_objects);
-  if (groups.empty()) return {};
-  std::vector<size_t> order(groups.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  rng->Shuffle(&order);
-  return BuildAssignments(candidates, groups, order, batch, k,
-                          random_annotators, rng, chosen);
-}
-
-// M2: objects chosen by the learned top-k-sum criterion, annotators random.
-std::vector<rl::Assignment> PickTopObjectsRandomAnnotators(
-    const rl::ScoredCandidates& candidates, int k, int batch,
-    size_t num_objects, Rng* rng, std::vector<size_t>* chosen) {
-  auto groups = GroupByObject(candidates, num_objects);
-  if (groups.empty()) return {};
-  std::vector<std::pair<double, size_t>> sums;
-  sums.reserve(groups.size());
-  for (size_t g = 0; g < groups.size(); ++g) {
-    double sum = 0.0;
-    for (size_t idx : TopKOfGroup(candidates, groups[g].second, k)) {
-      sum += candidates.scores[idx];
-    }
-    sums.emplace_back(sum, g);
-  }
-  std::sort(sums.begin(), sums.end(),
-            [](const auto& a, const auto& b) { return a.first > b.first; });
-  std::vector<size_t> order;
-  order.reserve(sums.size());
-  for (const auto& [sum, g] : sums) order.push_back(g);
-  return BuildAssignments(candidates, groups, order, batch, k,
-                          /*random_annotators=*/true, rng, chosen);
-}
-
-// Objects selected per iteration: the configured value, or the |O|-scaled
-// default.
-int ResolveBatchObjects(const CrowdRlConfig& config, size_t n) {
-  if (config.batch_objects != 0) return config.batch_objects;
-  return std::clamp(static_cast<int>(n) / 32, 4, 12);
-}
-
-classifier::MlpClassifierOptions MakeClassifierOptions(
-    const CrowdRlConfig& config, uint64_t seed) {
-  classifier::MlpClassifierOptions options = config.classifier;
-  options.seed = seed;
-  return options;
-}
-
-rl::DqnAgentOptions MakeAgentOptions(const CrowdRlConfig& config,
-                                     uint64_t seed) {
-  rl::DqnAgentOptions options = config.agent;
-  options.seed = seed;
-  options.q.feature_dim = rl::StateFeaturizer::kFeatureDim;
-  return options;
-}
-
-}  // namespace
-
-/// Every mutable piece of one labelling run. Construction reproduces the
-/// deterministic setup (seed forks, agent episode, priors); checkpoints
-/// are applied on top of a freshly constructed RunState, which is why a
-/// resumed run must be launched with identical inputs.
-struct CrowdRlFramework::RunState {
-  RunState(const CrowdRlConfig& config, const data::Dataset& dataset,
-           const std::vector<crowd::Annotator>& pool, double budget_in,
-           uint64_t seed_in)
-      : n(dataset.num_objects()),
-        num_classes(dataset.num_classes),
-        num_annotators(pool.size()),
-        budget(budget_in),
-        seed(seed_in),
-        batch_objects(ResolveBatchObjects(config, n)),
-        env(&dataset, &pool, budget_in, Rng(seed_in).Fork(1).seed()),
-        state(n, num_classes),
-        phi(dataset.feature_dim(), num_classes,
-            MakeClassifierOptions(config, Rng(seed_in).Fork(2).seed())),
-        agent(MakeAgentOptions(config, Rng(seed_in).Fork(3).seed())),
-        joint(config.joint),
-        pm(config.pm),
-        local(Rng(seed_in).Fork(4)) {
-    agent.BeginEpisode(n, num_annotators);
-    if (!config.pretrained_q_params.empty()) {
-      agent.q_network().SetFlatParameters(config.pretrained_q_params);
-    }
-    types.reserve(num_annotators);
-    is_expert.reserve(num_annotators);
-    for (const crowd::Annotator& a : pool) {
-      types.push_back(a.type());
-      is_expert.push_back(a.is_expert());
-    }
-    // Zero-knowledge prior quality tr(uniform)/|C| = 1/|C|.
-    qualities.assign(num_annotators, 1.0 / static_cast<double>(num_classes));
-  }
-
-  // Run identity, validated against a checkpoint's meta on restore.
-  size_t n;
-  int num_classes;
-  size_t num_annotators;
-  double budget;
-  uint64_t seed;
-  int batch_objects;
-
-  Environment env;
-  LabelState state;
-  classifier::MlpClassifier phi;
-  rl::DqnAgent agent;
-  inference::JointInference joint;
-  inference::PmInference pm;
-  Rng local;
-
-  std::vector<crowd::AnnotatorType> types;
-  std::vector<bool> is_expert;
-  std::vector<double> qualities;
-  /// phi's class posteriors over all objects. Not serialized: it is a
-  /// deterministic function of the restored phi and is recomputed on
-  /// restore when have_probs says it was valid.
-  Matrix class_probs;
-  bool have_probs = false;
-  /// Bumped every time class_probs is refreshed; plumbed into the
-  /// StateView so the agent's ScoreCache only recomputes the classifier
-  /// feature columns when phi's beliefs actually changed. Not serialized
-  /// (a version mismatch after restore just means one extra refresh).
-  size_t class_probs_version = 0;
-  double last_log_likelihood = 0.0;
-
-  // Loop progress.
-  bool bootstrapped = false;
-  size_t next_t = 0;
-  size_t iterations = 0;
-  std::vector<double> pending_pair_rewards;
-  bool has_pending = false;
-};
 
 CrowdRlFramework::CrowdRlFramework(CrowdRlConfig config)
     : config_(std::move(config)) {
@@ -269,97 +22,6 @@ CrowdRlFramework::~CrowdRlFramework() = default;
 
 const char* CrowdRlFramework::name() const { return name_.c_str(); }
 
-void CrowdRlFramework::BuildSnapshot(io::SnapshotBuilder* builder) const {
-  CROWDRL_CHECK(builder != nullptr && run_state_ != nullptr);
-  const RunState& rs = *run_state_;
-  io::Writer* meta = builder->AddSection("meta");
-  meta->WriteSize(rs.n);
-  meta->WriteI32(rs.num_classes);
-  meta->WriteSize(rs.num_annotators);
-  meta->WriteDouble(rs.budget);
-  meta->WriteU64(rs.seed);
-  meta->WriteBool(rs.bootstrapped);
-  meta->WriteSize(rs.next_t);
-  meta->WriteSize(rs.iterations);
-  meta->WriteBool(rs.has_pending);
-  meta->WriteDoubleVector(rs.pending_pair_rewards);
-  meta->WriteBool(rs.have_probs);
-  meta->WriteDouble(rs.last_log_likelihood);
-  meta->WriteDoubleVector(rs.qualities);
-  rs.env.SaveState(builder->AddSection("env"));
-  rs.state.SaveState(builder->AddSection("labels"));
-  rs.phi.SaveState(builder->AddSection("phi"));
-  rs.agent.SaveState(builder->AddSection("agent"));
-  builder->AddSection("rng")->WriteString(rs.local.SaveStateString());
-}
-
-Status CrowdRlFramework::ApplyRestore(const io::Snapshot& snapshot,
-                                      RunState* rs) const {
-  CROWDRL_CHECK(rs != nullptr);
-  io::Reader meta;
-  CROWDRL_RETURN_IF_ERROR(snapshot.OpenSection("meta", &meta));
-  size_t n = 0;
-  int32_t num_classes = 0;
-  size_t num_annotators = 0;
-  double budget = 0.0;
-  uint64_t seed = 0;
-  CROWDRL_RETURN_IF_ERROR(meta.ReadSize(&n));
-  CROWDRL_RETURN_IF_ERROR(meta.ReadI32(&num_classes));
-  CROWDRL_RETURN_IF_ERROR(meta.ReadSize(&num_annotators));
-  CROWDRL_RETURN_IF_ERROR(meta.ReadDouble(&budget));
-  CROWDRL_RETURN_IF_ERROR(meta.ReadU64(&seed));
-  if (n != rs->n || num_classes != rs->num_classes ||
-      num_annotators != rs->num_annotators || budget != rs->budget ||
-      seed != rs->seed) {
-    return Status::InvalidArgument(StringPrintf(
-        "checkpoint was taken from a different run (checkpoint: %zu objects, "
-        "%d classes, %zu annotators, budget %.3f, seed %llu; this run: %zu, "
-        "%d, %zu, %.3f, %llu)",
-        n, static_cast<int>(num_classes), num_annotators, budget,
-        static_cast<unsigned long long>(seed), rs->n, rs->num_classes,
-        rs->num_annotators, rs->budget,
-        static_cast<unsigned long long>(rs->seed)));
-  }
-  CROWDRL_RETURN_IF_ERROR(meta.ReadBool(&rs->bootstrapped));
-  CROWDRL_RETURN_IF_ERROR(meta.ReadSize(&rs->next_t));
-  CROWDRL_RETURN_IF_ERROR(meta.ReadSize(&rs->iterations));
-  CROWDRL_RETURN_IF_ERROR(meta.ReadBool(&rs->has_pending));
-  CROWDRL_RETURN_IF_ERROR(meta.ReadDoubleVector(&rs->pending_pair_rewards));
-  CROWDRL_RETURN_IF_ERROR(meta.ReadBool(&rs->have_probs));
-  CROWDRL_RETURN_IF_ERROR(meta.ReadDouble(&rs->last_log_likelihood));
-  CROWDRL_RETURN_IF_ERROR(meta.ReadDoubleVector(&rs->qualities));
-  if (rs->qualities.size() != rs->num_annotators) {
-    return Status::DataLoss("quality vector does not match the pool size");
-  }
-  CROWDRL_RETURN_IF_ERROR(meta.ExpectEnd());
-
-  io::Reader section;
-  CROWDRL_RETURN_IF_ERROR(snapshot.OpenSection("env", &section));
-  CROWDRL_RETURN_IF_ERROR(rs->env.LoadState(&section));
-  CROWDRL_RETURN_IF_ERROR(section.ExpectEnd());
-  CROWDRL_RETURN_IF_ERROR(snapshot.OpenSection("labels", &section));
-  CROWDRL_RETURN_IF_ERROR(rs->state.LoadState(&section));
-  CROWDRL_RETURN_IF_ERROR(section.ExpectEnd());
-  CROWDRL_RETURN_IF_ERROR(snapshot.OpenSection("phi", &section));
-  CROWDRL_RETURN_IF_ERROR(rs->phi.LoadState(&section));
-  CROWDRL_RETURN_IF_ERROR(section.ExpectEnd());
-  CROWDRL_RETURN_IF_ERROR(snapshot.OpenSection("agent", &section));
-  CROWDRL_RETURN_IF_ERROR(rs->agent.LoadState(&section));
-  CROWDRL_RETURN_IF_ERROR(section.ExpectEnd());
-  CROWDRL_RETURN_IF_ERROR(snapshot.OpenSection("rng", &section));
-  std::string rng_state;
-  CROWDRL_RETURN_IF_ERROR(section.ReadString(&rng_state));
-  CROWDRL_RETURN_IF_ERROR(rs->local.LoadStateString(rng_state));
-  CROWDRL_RETURN_IF_ERROR(section.ExpectEnd());
-
-  // class_probs is a pure function of the restored phi.
-  if (rs->have_probs) {
-    rs->class_probs = rs->phi.PredictProbsBatch(rs->env.dataset().features);
-    ++rs->class_probs_version;
-  }
-  return Status::Ok();
-}
-
 Status CrowdRlFramework::SaveCheckpoint(const std::string& path) const {
   if (run_state_ == nullptr) {
     return Status::FailedPrecondition(
@@ -367,7 +29,7 @@ Status CrowdRlFramework::SaveCheckpoint(const std::string& path) const {
         "Run returned Interrupted)");
   }
   io::SnapshotBuilder builder;
-  BuildSnapshot(&builder);
+  run_state_->BuildSnapshot(&builder);
   return builder.WriteFile(path);
 }
 
@@ -383,24 +45,14 @@ Status CrowdRlFramework::Run(const data::Dataset& dataset,
                              double budget, uint64_t seed,
                              LabellingResult* result) {
   CROWDRL_CHECK(result != nullptr);
-  if (pool.empty()) return Status::InvalidArgument("empty annotator pool");
-  if (dataset.num_objects() == 0) {
-    return Status::InvalidArgument("empty dataset");
-  }
-  if (budget < 0.0) return Status::InvalidArgument("negative budget");
-  if (config_.alpha <= 0.0 || config_.alpha > 1.0) {
-    return Status::InvalidArgument("alpha must be in (0, 1]");
-  }
-  if (config_.k <= 0 || config_.batch_objects < 0) {
-    return Status::InvalidArgument("k and batch_objects must be positive");
-  }
+  CROWDRL_RETURN_IF_ERROR(
+      ValidateRunInputs(config_, dataset, pool, budget));
 
   // Observability: enable-only (never clobbers a process-wide enable done
   // elsewhere, e.g. by a bench harness instrumenting non-framework
   // stages). Everything below only reads clocks and bumps atomics, so
   // instrumented runs stay bit-identical to disabled ones.
   obs::ApplyOptions(config_.obs);
-  FrameworkMetrics& fw = FwMetrics();
   obs::MetricsJsonlWriter metrics_writer;
   if (obs::Enabled() && !config_.obs.metrics_jsonl_path.empty()) {
     if (!metrics_writer.Open(config_.obs.metrics_jsonl_path)) {
@@ -421,281 +73,59 @@ Status CrowdRlFramework::Run(const data::Dataset& dataset,
   };
 
   // Fresh deterministic setup; a pending checkpoint is applied on top.
-  run_state_ = std::make_unique<RunState>(config_, dataset, pool, budget,
-                                          seed);
+  run_state_ =
+      std::make_unique<RunState>(&config_, &dataset, &pool, budget, seed);
   RunState& rs = *run_state_;
-  size_t n = rs.n;
-  size_t num_annotators = rs.num_annotators;
-  int num_classes = rs.num_classes;
 
-  if (pending_restore_ == nullptr && config_.resume &&
-      !config_.checkpoint_dir.empty()) {
-    std::string latest;
-    Status found = io::FindLatestCheckpoint(config_.checkpoint_dir, &latest);
-    if (found.ok()) {
-      auto snapshot = std::make_unique<io::Snapshot>();
-      Status read = io::Snapshot::ReadFile(latest, snapshot.get());
-      if (!read.ok()) {
-        run_state_.reset();
-        return read;
-      }
-      pending_restore_ = std::move(snapshot);
-    } else if (!found.IsNotFound()) {
+  if (pending_restore_ == nullptr) {
+    Status resumed = MaybeResumeFromCheckpointDir(&rs);
+    if (!resumed.ok()) {
       run_state_.reset();
-      return found;
+      return resumed;
     }
-  }
-  if (pending_restore_ != nullptr) {
+  } else {
     std::unique_ptr<io::Snapshot> snapshot = std::move(pending_restore_);
-    Status restored = ApplyRestore(*snapshot, &rs);
+    Status restored = rs.ApplyRestore(*snapshot);
     if (!restored.ok()) {
       run_state_.reset();
       return restored;
     }
   }
 
-  // Truth inference over every answered object; retrains phi (the joint
-  // model retrains it internally, the PM ablation trains it on the hard
-  // labels afterwards per Algorithm 1 line 5).
-  auto run_inference = [&]() -> Status {
-    CROWDRL_TRACE_SPAN("framework.inference");
-    std::vector<int> objects = rs.env.AnsweredObjects();
-    if (objects.empty()) return Status::Ok();
-    inference::InferenceInput input;
-    input.answers = &rs.env.answers();
-    input.num_classes = num_classes;
-    input.objects = objects;
-    input.features = &dataset.features;
-    input.annotator_types = &rs.types;
-    inference::InferenceResult inferred;
-    if (config_.use_pm_inference) {
-      CROWDRL_RETURN_IF_ERROR(rs.pm.Infer(input, &inferred));
-    } else {
-      input.classifier = &rs.phi;
-      CROWDRL_RETURN_IF_ERROR(rs.joint.Infer(input, &inferred));
-    }
-    for (size_t row = 0; row < objects.size(); ++row) {
-      rs.state.SetLabel(objects[row], inferred.labels[row],
-                        LabelSource::kInference);
-    }
-    rs.qualities = inferred.qualities;
-    rs.last_log_likelihood = inferred.log_likelihood;
-    fw.em_iterations->Inc(static_cast<uint64_t>(inferred.iterations));
-    fw.log_likelihood->Set(inferred.log_likelihood);
-    if (config_.use_pm_inference) {
-      Matrix train_x(objects.size(), dataset.feature_dim());
-      Matrix train_y(objects.size(), static_cast<size_t>(num_classes));
-      for (size_t row = 0; row < objects.size(); ++row) {
-        train_x.SetRow(row, dataset.features.RowVector(
-                                static_cast<size_t>(objects[row])));
-        train_y.At(row, static_cast<size_t>(inferred.labels[row])) = 1.0;
-      }
-      CROWDRL_RETURN_IF_ERROR(rs.phi.Train(train_x, train_y, {}));
-    }
-    rs.class_probs = rs.phi.PredictProbsBatch(dataset.features);
-    rs.have_probs = rs.phi.is_trained();
-    ++rs.class_probs_version;
-    return Status::Ok();
-  };
-
-  auto make_view = [&]() {
-    rl::StateView view;
-    view.answers = &rs.env.answers();
-    view.num_classes = num_classes;
-    view.annotator_costs = &rs.env.costs();
-    view.annotator_qualities = &rs.qualities;
-    view.annotator_is_expert = &rs.is_expert;
-    view.class_probs = rs.have_probs ? &rs.class_probs : nullptr;
-    view.class_probs_version =
-        rs.have_probs ? rs.class_probs_version : 0;
-    view.labelled = &rs.state.labelled_mask();
-    view.budget_fraction_remaining =
-        budget > 0.0 ? rs.env.budget().remaining() / budget : 0.0;
-    view.fraction_labelled = rs.state.fraction_labelled();
-    view.max_cost = rs.env.max_cost();
-    return view;
-  };
-
-  // Writes a rotating checkpoint when periodic checkpointing is on and
-  // due at the current iteration count.
-  auto maybe_checkpoint = [&]() -> Status {
-    if (config_.checkpoint_dir.empty() ||
-        config_.checkpoint_every_n_iterations == 0 ||
-        rs.iterations % config_.checkpoint_every_n_iterations != 0) {
-      return Status::Ok();
-    }
-    io::SnapshotBuilder builder;
-    BuildSnapshot(&builder);
-    return io::WriteCheckpointRotating(builder, config_.checkpoint_dir,
-                                       rs.iterations,
-                                       config_.checkpoint_keep_last);
-  };
-
-  // --- Bootstrap: label an alpha fraction with k annotators each. ---
-  // Skipped when a restored checkpoint already carries its outcome.
-  if (!rs.bootstrapped) {
-    CROWDRL_TRACE_SPAN("framework.bootstrap");
-    size_t bootstrap_count = static_cast<size_t>(
-        std::llround(config_.alpha * static_cast<double>(n)));
-    bootstrap_count = std::clamp<size_t>(bootstrap_count, 1, n);
-    std::vector<int> bootstrap = rs.local.SampleWithoutReplacement(
-        static_cast<int>(n), static_cast<int>(bootstrap_count));
-    for (int object : bootstrap) {
-      std::vector<int> ids(static_cast<int>(num_annotators));
-      for (size_t j = 0; j < num_annotators; ++j) {
-        ids[j] = static_cast<int>(j);
-      }
-      rs.local.Shuffle(&ids);
-      int asked = 0;
-      for (int j : ids) {
-        if (asked >= config_.k) break;
-        Status s = rs.env.RequestAnswer(object, j);
-        if (s.IsOutOfBudget()) continue;  // Try a cheaper annotator.
-        CROWDRL_RETURN_IF_ERROR(s);
-        ++asked;
-      }
-      if (asked == 0) break;  // Budget exhausted mid-bootstrap.
-    }
-    CROWDRL_RETURN_IF_ERROR(run_inference());
-    rs.bootstrapped = true;
-  }
+  CROWDRL_RETURN_IF_ERROR(rs.Bootstrap());
 
   // --- Main labelling loop (Algorithm 1). ---
-  // rs.pending_pair_rewards carries the per-pair reward components
-  // (mu * agreement + eta * cost) for the last executed batch, in Commit
-  // order; the shared lambda * r_phi term is added next iteration once
-  // the enrichment effect is observable.
-  for (size_t t = rs.next_t; t < config_.max_iterations; ++t) {
-    CROWDRL_TRACE_SPAN("framework.iteration");
-    size_t unlabelled_before = n - rs.state.num_labelled();
-    size_t enriched;
-    {
-      CROWDRL_TRACE_SPAN("framework.enrich");
-      enriched = EnrichLabelledSet(rs.phi, dataset.features,
-                                   config_.enrichment, &rs.state);
-    }
-    fw.enrichment_labels->Inc(enriched);
+  // Each round plans (enrich, observe the delayed reward, select), then
+  // executes the planned pairs strictly in Commit order — the environment
+  // samples answers from one RNG stream, so commit order is the
+  // determinism contract — and finishes with truth inference and the
+  // per-pair reward components for next round's observation.
+  for (;;) {
+    IterationPlan plan;
+    rs.PlanIteration(/*connected=*/nullptr, /*observe_pending=*/true,
+                     &plan);
+    if (plan.stop) break;
 
-    std::vector<bool> affordable = rs.env.AffordableAnnotators();
-    rl::StateView view = make_view();
-    bool terminal = rs.state.AllLabelled() || !rs.env.AnyAffordable();
-    if (terminal && rs.state.AllLabelled() && rs.env.AnyAffordable() &&
-        config_.refine_with_leftover_budget && rs.have_probs) {
-      // Refinement: reopen the labelled objects phi is least sure about
-      // and spend the leftover budget on additional human answers for
-      // them (existing answers are kept; inference re-aggregates).
-      std::vector<std::pair<double, int>> reopenable;
-      for (size_t i = 0; i < n; ++i) {
-        int object = static_cast<int>(i);
-        bool has_valid_pair = false;
-        for (size_t j = 0; j < num_annotators; ++j) {
-          if (affordable[j] &&
-              !rs.env.answers().HasAnswer(object, static_cast<int>(j))) {
-            has_valid_pair = true;
-            break;
-          }
-        }
-        if (!has_valid_pair) continue;
-        reopenable.emplace_back(TopTwoGap(rs.class_probs.RowVector(i)),
-                                object);
-      }
-      std::sort(reopenable.begin(), reopenable.end());
-      size_t reopen = std::min<size_t>(
-          reopenable.size(), static_cast<size_t>(config_.refine_batch));
-      for (size_t r = 0; r < reopen; ++r) {
-        rs.state.ClearLabel(reopenable[r].second);
-      }
-      if (reopen > 0) terminal = false;
-    }
-    if (rs.has_pending) {
-      // The shared r_phi term becomes observable only now: it counts the
-      // enrichment enabled by the classifier the action caused to be
-      // retrained.
-      double shared = SharedEnrichmentReward(config_.reward, enriched,
-                                             unlabelled_before);
-      std::vector<double> rewards = rs.pending_pair_rewards;
-      for (double& r : rewards) r += shared;
-      rs.agent.ObservePerPair(rewards, view, affordable, terminal);
-      rs.has_pending = false;
-    }
-    if (terminal) break;
-    ++rs.iterations;
-    fw.iterations->Inc();
-
-    // Task selection + assignment (joint policy, or the M1/M2 ablations).
-    std::vector<rl::Assignment> assignments;
-    {
-      CROWDRL_TRACE_SPAN("framework.select_assign");
-      if (!config_.random_task_selection &&
-          !config_.random_task_assignment) {
-        assignments = rs.agent.SelectBatch(view, config_.k,
-                                           rs.batch_objects, affordable);
-      } else {
-        rl::ScoredCandidates candidates = rs.agent.Score(view, affordable);
-        std::vector<size_t> chosen;
-        if (config_.random_task_selection) {
-          assignments = PickRandomObjects(
-              candidates, config_.k, rs.batch_objects, n,
-              /*random_annotators=*/config_.random_task_assignment,
-              &rs.local, &chosen);
-        } else {
-          assignments = PickTopObjectsRandomAnnotators(
-              candidates, config_.k, rs.batch_objects, n, &rs.local,
-              &chosen);
-        }
-        rs.agent.Commit(candidates, chosen);
-      }
-    }
-    fw.objects_selected->Inc(assignments.size());
-    if (assignments.empty()) break;
-
-    // Execute in Commit order, tracking which pairs actually got paid.
-    std::vector<std::pair<int, int>> pairs;  // (object, annotator).
-    for (const rl::Assignment& assignment : assignments) {
-      for (int annotator : assignment.annotators) {
-        pairs.emplace_back(assignment.object, annotator);
-      }
-    }
-    std::vector<bool> executed(pairs.size(), false);
-    bool stop_executing = false;
+    std::vector<bool> executed(plan.pairs.size(), false);
     {
       CROWDRL_TRACE_SPAN("framework.execute");
-      for (size_t p = 0; p < pairs.size() && !stop_executing; ++p) {
-        Status s = rs.env.RequestAnswer(pairs[p].first, pairs[p].second);
-        if (s.IsOutOfBudget()) {
-          stop_executing = true;
-          break;
-        }
-        CROWDRL_RETURN_IF_ERROR(s);
-        executed[p] = true;
-        fw.assignments_executed->Inc();
+      bool stop_executing = false;
+      for (size_t p = 0; p < plan.pairs.size() && !stop_executing; ++p) {
+        bool ok = false;
+        CROWDRL_RETURN_IF_ERROR(
+            rs.ExecutePair(plan.pairs[p].first, plan.pairs[p].second, &ok,
+                           &stop_executing));
+        executed[p] = ok;
       }
     }
 
-    CROWDRL_RETURN_IF_ERROR(run_inference());
+    CROWDRL_RETURN_IF_ERROR(rs.FinishIteration(plan, executed));
 
-    // Per-pair reward components, now that the inferred truths are known.
-    rs.pending_pair_rewards.assign(pairs.size(), 0.0);
-    for (size_t p = 0; p < pairs.size(); ++p) {
-      if (!executed[p]) continue;  // Never paid: no signal.
-      auto [object, annotator] = pairs[p];
-      bool agreed = rs.env.answers().Answer(object, annotator) ==
-                    rs.state.label(object);
-      rs.pending_pair_rewards[p] = PairReward(
-          config_.reward, agreed,
-          rs.env.costs()[static_cast<size_t>(annotator)], rs.env.max_cost());
-    }
-    rs.has_pending = true;
-
-    // End of iteration t: everything live is inside rs, so this is the
-    // consistent cut point for periodic checkpoints and simulated crashes.
-    rs.next_t = t + 1;
-    fw.budget_remaining->Set(rs.env.budget().remaining());
     if (metrics_writer.is_open()) {
       metrics_writer.WriteRecord(rs.iterations,
                                  obs::MetricsRegistry::Get().Snapshot());
     }
-    CROWDRL_RETURN_IF_ERROR(maybe_checkpoint());
+    CROWDRL_RETURN_IF_ERROR(rs.MaybeCheckpoint());
     if (config_.halt_after_iterations > 0 &&
         rs.iterations >= config_.halt_after_iterations) {
       // run_state_ stays alive so SaveCheckpoint can snapshot the halt
@@ -706,46 +136,11 @@ Status CrowdRlFramework::Run(const data::Dataset& dataset,
           rs.iterations));
     }
   }
-  if (rs.has_pending) {
-    // Loop left via the iteration cap or an empty candidate set.
-    rs.agent.ObservePerPair(rs.pending_pair_rewards, make_view(),
-                            rs.env.AffordableAnnotators(), /*terminal=*/true);
-    rs.has_pending = false;
-  }
+  rs.ObserveFinalPending();
 
-  // --- Finalize: every object must carry a label. ---
-  // Classifier-sourced labels are re-rated with the *final* phi: it has
-  // been retrained by every joint-inference round since those objects
-  // were first enriched, so its current prediction strictly dominates the
-  // snapshot that enriched them.
-  if (rs.phi.is_trained()) {
-    Matrix final_probs = rs.phi.PredictProbsBatch(dataset.features);
-    for (size_t i = 0; i < n; ++i) {
-      int object = static_cast<int>(i);
-      if (rs.state.IsLabelled(object) &&
-          rs.state.source(object) == LabelSource::kClassifier) {
-        rs.state.SetLabel(object,
-                          static_cast<int>(Argmax(final_probs.RowVector(i))),
-                          LabelSource::kClassifier);
-      }
-    }
-  }
-  for (int object : rs.state.UnlabelledObjects()) {
-    int label = 0;
-    if (rs.phi.is_trained()) {
-      label = static_cast<int>(Argmax(rs.phi.PredictProbs(
-          dataset.features.RowVector(static_cast<size_t>(object)))));
-    }
-    rs.state.SetLabel(object, label, LabelSource::kFallback);
-  }
-
-  rs.state.ExportTo(result);
-  result->budget_spent = rs.env.budget().spent();
-  result->iterations = rs.iterations;
-  result->human_answers = rs.env.human_answers();
-  result->final_annotator_qualities = rs.qualities;
-  result->final_log_likelihood = rs.last_log_likelihood;
+  CROWDRL_RETURN_IF_ERROR(rs.Finalize(result));
   last_q_parameters_ = rs.agent.q_network().FlatParameters();
+  last_assignment_log_ = std::move(rs.assignment_log);
   run_state_.reset();
   export_trace();
   return Status::Ok();

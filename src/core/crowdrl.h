@@ -7,6 +7,7 @@
 
 #include "core/config.h"
 #include "core/framework.h"
+#include "core/run_state.h"
 #include "io/snapshot.h"
 
 namespace crowdrl::core {
@@ -63,18 +64,18 @@ class CrowdRlFramework : public LabellingFramework {
     return last_q_parameters_;
   }
 
+  /// Every (object, annotator) execution attempt of the latest completed
+  /// Run, in order (empty before the first run). The determinism bridge
+  /// test compares this against a service campaign's log.
+  const std::vector<AssignmentRecord>& last_assignment_log() const {
+    return last_assignment_log_;
+  }
+
  private:
-  /// All mutable state of one labelling run, hoisted out of Run so it can
-  /// be snapshotted mid-loop and survive an Interrupted return. Defined in
-  /// crowdrl.cc.
-  struct RunState;
-
-  void BuildSnapshot(io::SnapshotBuilder* builder) const;
-  Status ApplyRestore(const io::Snapshot& snapshot, RunState* rs) const;
-
   CrowdRlConfig config_;
   std::string name_;
   std::vector<double> last_q_parameters_;
+  std::vector<AssignmentRecord> last_assignment_log_;
   /// Alive between an Interrupted Run and the next Run (or destruction).
   std::unique_ptr<RunState> run_state_;
   /// Set by LoadCheckpoint (or config_.resume); consumed by the next Run.

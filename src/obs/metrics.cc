@@ -247,6 +247,10 @@ void MetricsJsonlWriter::WriteRecord(size_t iteration,
   std::fflush(file_);
 }
 
+void MetricsJsonlWriter::Flush() {
+  if (file_) std::fflush(file_);
+}
+
 void MetricsJsonlWriter::Close() {
   if (file_) {
     std::fclose(file_);

@@ -249,6 +249,10 @@ class MetricsJsonlWriter {
   bool is_open() const { return file_ != nullptr; }
 
   void WriteRecord(size_t iteration, const MetricsSnapshot& snapshot);
+  /// Pushes buffered records to the OS. The labelling service flushes on
+  /// campaign completion and on graceful shutdown so a killed process
+  /// keeps every record up to its last finished round.
+  void Flush();
   void Close();
 
  private:

@@ -278,7 +278,9 @@ DqnAgent::DqnAgent(DqnAgentOptions options)
   prune_options.margin = options.prune_margin;
   prune_options.warmup = options.prune_warmup;
   pruner_ = ShortlistPruner(prune_options);
-  if (options.threads > 1) {
+  if (options.shared_pool != nullptr) {
+    pool_ = options.shared_pool;
+  } else if (options.threads > 1) {
     pool_ = std::make_shared<ThreadPool>(options.threads);
   }
 }
@@ -833,6 +835,18 @@ void DqnAgent::ObservePerPair(const std::vector<double>& rewards,
                               bool terminal) {
   CROWDRL_CHECK(rewards.size() == pending_.size())
       << "need one reward per pending pair";
+  ObserveOldestPairs(pending_.size(), rewards, next_view,
+                     annotator_affordable, terminal);
+}
+
+void DqnAgent::ObserveOldestPairs(
+    size_t count, const std::vector<double>& rewards,
+    const StateView& next_view,
+    const std::vector<bool>& annotator_affordable, bool terminal) {
+  CROWDRL_CHECK(count <= pending_.size())
+      << "cannot observe more pairs than are pending";
+  CROWDRL_CHECK(rewards.size() == count)
+      << "need one reward per observed pair";
   CheckViewMatchesEpisode(next_view);
   double next_max_q = 0.0;
   if (!terminal) {
@@ -866,16 +880,24 @@ void DqnAgent::ObservePerPair(const std::vector<double>& rewards,
       }
     }
   }
-  for (size_t i = 0; i < pending_.size(); ++i) {
+  for (size_t i = 0; i < count; ++i) {
     replay_.Add(Transition{std::move(pending_[i]), rewards[i], next_max_q,
                            terminal});
   }
-  pending_.clear();
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<ptrdiff_t>(count));
 
   if (replay_.size() < options_.min_replay_before_training) return;
   for (int step = 0; step < options_.train_steps_per_observe; ++step) {
     q_network_.TrainBatch(replay_.Sample(options_.train_batch, &rng_));
   }
+}
+
+void DqnAgent::NoteAnnotatorDisconnected(int annotator) {
+  if (episode_annotators_ == 0) return;  // No episode yet.
+  CROWDRL_CHECK(annotator >= 0 &&
+                static_cast<size_t>(annotator) < episode_annotators_);
+  pruner_.EvictAnnotator(annotator);
 }
 
 }  // namespace crowdrl::rl

@@ -55,6 +55,13 @@ struct DqnAgentOptions {
   /// count. Q-network inference threads are configured separately via
   /// `q.threads`.
   int threads = 1;
+  /// Externally owned featurization pool; takes precedence over `threads`
+  /// when set. The labelling service hands every campaign's agent the same
+  /// shared pool — safe because exactly one scheduler pump thread drives
+  /// the agents (ThreadPool external dispatch is single-owner, see
+  /// util/thread_pool.h), and bit-identical to a private pool because
+  /// every parallel stage is bit-identical at any thread count.
+  std::shared_ptr<ThreadPool> shared_pool;
   /// Incremental candidate scoring: feature rows are assembled from the
   /// per-object / per-annotator blocks kept in a ScoreCache (only dirty
   /// blocks recompute between iterations) instead of being featurized from
@@ -159,6 +166,24 @@ class DqnAgent {
                       const StateView& next_view,
                       const std::vector<bool>& annotator_affordable,
                       bool terminal);
+
+  /// Like ObservePerPair but completes only the `count` oldest pending
+  /// transitions (the head of the Commit-order FIFO), leaving newer ones
+  /// pending. The labelling service's asynchronous-inference mode selects
+  /// ahead while truth inference runs on a snapshot, so at observation
+  /// time the pending list can hold several batches; each is observed
+  /// against the view current when its reward became known.
+  void ObserveOldestPairs(size_t count, const std::vector<double>& rewards,
+                          const StateView& next_view,
+                          const std::vector<bool>& annotator_affordable,
+                          bool terminal);
+
+  /// An annotator left the pool mid-episode: evict its shortlist-pruner
+  /// entries so the auto shortlist size tracks the live pair count
+  /// (stale +inf bounds would otherwise keep the grid artificially
+  /// large). Scoring stays exact either way — selection simply never
+  /// enumerates a disconnected annotator's pairs.
+  void NoteAnnotatorDisconnected(int annotator);
 
   QNetwork& q_network() { return q_network_; }
   const QNetwork& q_network() const { return q_network_; }

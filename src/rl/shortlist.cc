@@ -63,6 +63,16 @@ void ShortlistPruner::BeginIteration(const ScoreCache& cache) {
   beta_ *= kSensitivityDecay;
 }
 
+void ShortlistPruner::EvictAnnotator(int annotator) {
+  if (num_annotators_ == 0) return;  // Reset has not sized the table yet.
+  CROWDRL_CHECK(annotator >= 0 &&
+                static_cast<size_t>(annotator) < num_annotators_);
+  const size_t j = static_cast<size_t>(annotator);
+  for (size_t o = 0; o < num_objects_; ++o) {
+    valid_[o * num_annotators_ + j] = 0;
+  }
+}
+
 size_t ShortlistPruner::ShortlistSize(size_t num_pairs,
                                       size_t must_score) const {
   size_t base = options_.shortlist;

@@ -81,6 +81,14 @@ class ShortlistPruner {
   /// applies the slow sensitivity decay.
   void BeginIteration(const ScoreCache& cache);
 
+  /// Evicts every stale entry of one annotator's column. Called when an
+  /// annotator disconnects mid-run: its pairs leave the candidate grid
+  /// entirely (not merely going +inf), so the auto shortlist size keeps
+  /// tracking the live pair count, and a later reconnect starts from
+  /// must-score entries instead of bounds snapshotted against a pool that
+  /// no longer exists.
+  void EvictAnnotator(int annotator);
+
   /// True once the warmup full passes have run for this episode.
   bool Ready() const { return full_passes_ >= options_.warmup; }
 

@@ -1,0 +1,121 @@
+#include "serve/annotator_session.h"
+
+#include "util/logging.h"
+
+namespace crowdrl::serve {
+
+AnnotatorSessionRegistry::AnnotatorSessionRegistry(size_t num_annotators,
+                                                   EventHub* hub)
+    : connected_(num_annotators, 0),
+      inbox_(num_annotators),
+      hub_(hub) {
+  CROWDRL_CHECK(num_annotators > 0);
+}
+
+void AnnotatorSessionRegistry::Connect(int annotator) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CROWDRL_CHECK(annotator >= 0 &&
+                  static_cast<size_t>(annotator) < connected_.size());
+    connected_[static_cast<size_t>(annotator)] = 1;
+  }
+  if (hub_ != nullptr) hub_->Notify();
+}
+
+void AnnotatorSessionRegistry::Disconnect(int annotator) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CROWDRL_CHECK(annotator >= 0 &&
+                  static_cast<size_t>(annotator) < connected_.size());
+    const size_t j = static_cast<size_t>(annotator);
+    if (!connected_[j]) return;
+    connected_[j] = 0;
+    disconnect_events_.push_back(annotator);
+    for (const WorkItem& item : inbox_[j]) {
+      abandoned_seqs_.push_back(item.seq);
+    }
+    inbox_[j].clear();
+  }
+  if (hub_ != nullptr) hub_->Notify();
+}
+
+void AnnotatorSessionRegistry::ConnectAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint8_t& c : connected_) c = 1;
+}
+
+bool AnnotatorSessionRegistry::connected(int annotator) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CROWDRL_CHECK(annotator >= 0 &&
+                static_cast<size_t>(annotator) < connected_.size());
+  return connected_[static_cast<size_t>(annotator)] != 0;
+}
+
+std::vector<bool> AnnotatorSessionRegistry::ConnectedMask() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<bool> mask(connected_.size());
+  for (size_t j = 0; j < connected_.size(); ++j) {
+    mask[j] = connected_[j] != 0;
+  }
+  return mask;
+}
+
+size_t AnnotatorSessionRegistry::num_connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t count = 0;
+  for (uint8_t c : connected_) count += c;
+  return count;
+}
+
+void AnnotatorSessionRegistry::Dispatch(const WorkItem& item) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CROWDRL_CHECK(item.annotator >= 0 &&
+                  static_cast<size_t>(item.annotator) < inbox_.size());
+    const size_t j = static_cast<size_t>(item.annotator);
+    if (!connected_[j]) {
+      // Disconnect raced the dispatch; hand the seq straight back.
+      abandoned_seqs_.push_back(item.seq);
+    } else {
+      inbox_[j].push_back(item);
+    }
+  }
+  if (hub_ != nullptr) hub_->Notify();
+}
+
+std::optional<WorkItem> AnnotatorSessionRegistry::RequestWork(int annotator) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CROWDRL_CHECK(annotator >= 0 &&
+                static_cast<size_t>(annotator) < inbox_.size());
+  const size_t j = static_cast<size_t>(annotator);
+  if (!connected_[j] || inbox_[j].empty()) return std::nullopt;
+  WorkItem item = inbox_[j].front();
+  inbox_[j].pop_front();
+  return item;
+}
+
+std::vector<uint64_t> AnnotatorSessionRegistry::TakeAbandonedSeqs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> out;
+  out.swap(abandoned_seqs_);
+  return out;
+}
+
+std::vector<int> AnnotatorSessionRegistry::TakeDisconnectEvents() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  out.swap(disconnect_events_);
+  return out;
+}
+
+void AnnotatorSessionRegistry::CancelAllQueued() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::deque<WorkItem>& inbox : inbox_) {
+    for (const WorkItem& item : inbox) {
+      abandoned_seqs_.push_back(item.seq);
+    }
+    inbox.clear();
+  }
+}
+
+}  // namespace crowdrl::serve

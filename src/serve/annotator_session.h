@@ -1,0 +1,84 @@
+#ifndef CROWDRL_SERVE_ANNOTATOR_SESSION_H_
+#define CROWDRL_SERVE_ANNOTATOR_SESSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serve/answer_ingest.h"
+
+namespace crowdrl::serve {
+
+/// One dispatched annotation task, sitting in an annotator's inbox until
+/// the annotator requests work. Same shape as CompletedAnswer — the
+/// driver echoes it back through the ingest queue when done.
+using WorkItem = CompletedAnswer;
+
+/// \brief Connection registry and per-annotator work inboxes.
+///
+/// Annotators are simulated clients on their own threads: they Connect,
+/// poll RequestWork when idle, eventually push the finished item into the
+/// campaign's AnswerIngestQueue, and may Disconnect at any moment. The
+/// pump reads ConnectedMask() to restrict selection to the live pool and
+/// Dispatch()es planned work into inboxes.
+///
+/// Disconnecting abandons the inbox: the dropped seqs surface through
+/// TakeAbandonedSeqs() so the pump can resolve them in its reorder
+/// buffer, and the annotator id surfaces through TakeDisconnectEvents()
+/// so the pump can evict the agent's shortlist entries
+/// (DqnAgent::NoteAnnotatorDisconnected) — the agent is not thread-safe,
+/// so the registry only records events and the pump applies them.
+///
+/// Thread-safe; every method takes the one registry mutex.
+class AnnotatorSessionRegistry {
+ public:
+  AnnotatorSessionRegistry(size_t num_annotators, EventHub* hub = nullptr);
+
+  void Connect(int annotator);
+  void Disconnect(int annotator);
+  void ConnectAll();
+
+  bool connected(int annotator) const;
+  std::vector<bool> ConnectedMask() const;
+  size_t num_connected() const;
+
+  /// Pump side: queue a planned task for its annotator. A task dispatched
+  /// to an annotator that disconnected since planning is abandoned on the
+  /// spot (its seq surfaces via TakeAbandonedSeqs), so plans never block
+  /// on a gone annotator.
+  void Dispatch(const WorkItem& item);
+
+  /// Driver side: next queued task for this annotator, if any. Returns
+  /// nullopt when the inbox is empty or the annotator is not connected.
+  std::optional<WorkItem> RequestWork(int annotator);
+
+  /// Pump side: seqs dropped by disconnects or CancelAllQueued since the
+  /// last call.
+  std::vector<uint64_t> TakeAbandonedSeqs();
+
+  /// Pump side: annotator ids that disconnected since the last call (in
+  /// disconnect order, duplicates possible across reconnect cycles).
+  std::vector<int> TakeDisconnectEvents();
+
+  /// Pump side: drops every queued (undelivered) item — used when the
+  /// budget ran out mid-round and the remaining work is moot, and by
+  /// graceful shutdown. Delivered items still in an annotator's hands are
+  /// not recalled; their completions are dropped by the reorder buffer if
+  /// the round already resolved them.
+  void CancelAllQueued();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<uint8_t> connected_;
+  std::vector<std::deque<WorkItem>> inbox_;
+  std::vector<uint64_t> abandoned_seqs_;
+  std::vector<int> disconnect_events_;
+  EventHub* hub_;
+};
+
+}  // namespace crowdrl::serve
+
+#endif  // CROWDRL_SERVE_ANNOTATOR_SESSION_H_

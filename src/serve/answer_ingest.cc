@@ -1,0 +1,56 @@
+#include "serve/answer_ingest.h"
+
+#include "util/logging.h"
+
+namespace crowdrl::serve {
+
+void SequenceReorderBuffer::BeginRange(uint64_t first_seq, size_t count) {
+  CROWDRL_CHECK(remaining() == 0)
+      << "previous round's sequence range not fully drained";
+  first_seq_ = first_seq;
+  popped_ = 0;
+  slots_.assign(count, Slot::kOutstanding);
+  answers_.assign(count, CompletedAnswer());
+}
+
+bool SequenceReorderBuffer::Offer(const CompletedAnswer& answer) {
+  if (answer.seq < first_seq_ || answer.seq - first_seq_ >= slots_.size()) {
+    return false;
+  }
+  const size_t i = static_cast<size_t>(answer.seq - first_seq_);
+  if (slots_[i] != Slot::kOutstanding) return false;
+  slots_[i] = Slot::kCompleted;
+  answers_[i] = answer;
+  return true;
+}
+
+void SequenceReorderBuffer::Abandon(uint64_t seq) {
+  if (seq < first_seq_ || seq - first_seq_ >= slots_.size()) return;
+  const size_t i = static_cast<size_t>(seq - first_seq_);
+  if (slots_[i] != Slot::kOutstanding) return;
+  slots_[i] = Slot::kAbandoned;
+}
+
+bool SequenceReorderBuffer::PopReady(CompletedAnswer* out, bool* abandoned) {
+  CROWDRL_CHECK(out != nullptr && abandoned != nullptr);
+  if (popped_ >= slots_.size()) return false;
+  const Slot slot = slots_[popped_];
+  if (slot == Slot::kOutstanding) return false;
+  *abandoned = slot == Slot::kAbandoned;
+  *out = answers_[popped_];
+  out->seq = first_seq_ + popped_;  // Abandoned slots never stored one.
+  ++popped_;
+  return true;
+}
+
+std::vector<uint64_t> SequenceReorderBuffer::UnresolvedSeqs() const {
+  std::vector<uint64_t> out;
+  for (size_t i = popped_; i < slots_.size(); ++i) {
+    if (slots_[i] == Slot::kOutstanding) {
+      out.push_back(first_seq_ + static_cast<uint64_t>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace crowdrl::serve

@@ -1,0 +1,142 @@
+#ifndef CROWDRL_SERVE_ANSWER_INGEST_H_
+#define CROWDRL_SERVE_ANSWER_INGEST_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace crowdrl::serve {
+
+/// \brief Wake-up channel between annotator driver threads and the
+/// scheduler pump.
+///
+/// Producers Notify() after pushing work/answers; the pump WaitFor()s when
+/// a whole pass over its campaigns made no progress. Level-triggered: a
+/// Notify that races ahead of the wait is not lost.
+class EventHub {
+ public:
+  void Notify() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      signalled_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until notified or `micros` elapsed; consumes the signal.
+  void WaitFor(int64_t micros) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, std::chrono::microseconds(micros),
+                 [this] { return signalled_; });
+    signalled_ = false;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool signalled_ = false;
+};
+
+/// One finished annotation task, as reported by an annotator session.
+/// Deliberately carries no label: answer *sampling* happens inside
+/// Environment::RequestAnswer from the environment's single RNG stream,
+/// so the actual ask is deferred to commit time — that is what makes the
+/// committed run bit-identical to the batch loop no matter what order
+/// answers arrive in.
+struct CompletedAnswer {
+  uint64_t seq = 0;  ///< Global dispatch sequence number of the task.
+  int object = 0;
+  int annotator = 0;
+  uint64_t dispatch_ns = 0;  ///< obs::NowNs() at dispatch, for latency.
+};
+
+/// \brief MPSC arrival buffer: any number of annotator driver threads
+/// push completed answers; the single campaign pump drains them.
+///
+/// Arrival order is whatever the threads raced to; ordering is restored
+/// downstream by SequenceReorderBuffer. This is the only lock annotator
+/// completions ever take.
+class AnswerIngestQueue {
+ public:
+  explicit AnswerIngestQueue(EventHub* hub = nullptr) : hub_(hub) {}
+
+  void Push(const CompletedAnswer& answer) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      buffer_.push_back(answer);
+    }
+    if (hub_ != nullptr) hub_->Notify();
+  }
+
+  /// Takes everything pushed so far (pump side).
+  std::vector<CompletedAnswer> Drain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<CompletedAnswer> out;
+    out.swap(buffer_);
+    return out;
+  }
+
+  /// Instantaneous depth (metrics only; racy by nature).
+  size_t ApproxDepth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return buffer_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<CompletedAnswer> buffer_;
+  EventHub* hub_;
+};
+
+/// \brief Single-threaded reorder buffer for one scheduling round's
+/// contiguous sequence range.
+///
+/// Completions and abandons land in any order; PopReady yields them
+/// strictly ascending from the range start, stalling at the first still-
+/// outstanding slot. The pump commits popped completions into the
+/// environment immediately, so the commit order — and therefore the
+/// AnswerLog and every RNG draw — is independent of arrival order.
+class SequenceReorderBuffer {
+ public:
+  /// Starts a new range [first_seq, first_seq + count). Any previous
+  /// range must be fully drained (CHECKed).
+  void BeginRange(uint64_t first_seq, size_t count);
+
+  /// Files an arrived completion. Returns false (ignored) when the seq is
+  /// outside the current range or its slot was already resolved — late
+  /// echoes of cancelled work are dropped here.
+  bool Offer(const CompletedAnswer& answer);
+
+  /// Marks a seq as abandoned (annotator disconnected, work cancelled).
+  /// Idempotent; ignored for already-completed slots.
+  void Abandon(uint64_t seq);
+
+  /// Pops the next in-order slot if it has resolved. `*abandoned` tells
+  /// the two outcomes apart; `*out` is meaningful only for completions.
+  bool PopReady(CompletedAnswer* out, bool* abandoned);
+
+  /// Seqs of the current range not yet resolved (neither offered nor
+  /// abandoned), in ascending order. Used by graceful shutdown to abandon
+  /// work still out with drivers.
+  std::vector<uint64_t> UnresolvedSeqs() const;
+
+  /// Slots not yet popped (0 = range fully drained).
+  size_t remaining() const { return slots_.size() - popped_; }
+  bool active() const { return remaining() > 0; }
+  uint64_t first_seq() const { return first_seq_; }
+
+ private:
+  enum class Slot : uint8_t { kOutstanding, kCompleted, kAbandoned };
+
+  uint64_t first_seq_ = 0;
+  size_t popped_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<CompletedAnswer> answers_;
+};
+
+}  // namespace crowdrl::serve
+
+#endif  // CROWDRL_SERVE_ANSWER_INGEST_H_

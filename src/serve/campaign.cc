@@ -1,0 +1,475 @@
+#include "serve/campaign.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/reward.h"
+#include "util/logging.h"
+
+namespace crowdrl::serve {
+
+namespace {
+
+std::string MetricName(const std::string& campaign, const char* suffix) {
+  return "crowdrl.serve." + campaign + "." + suffix;
+}
+
+// Assignment-latency histogram buckets, microseconds.
+const std::vector<double> kLatencyBoundsUs = {
+    50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+    25000.0, 50000.0, 100000.0, 250000.0, 1000000.0};
+
+}  // namespace
+
+Campaign::Campaign(CampaignOptions options, const data::Dataset* dataset,
+                   const std::vector<crowd::Annotator>* pool, double budget,
+                   uint64_t seed, EventHub* hub, InferenceWorker* ti_worker)
+    : options_(std::move(options)),
+      dataset_(dataset),
+      pool_(pool),
+      budget_(budget),
+      seed_(seed),
+      hub_(hub),
+      ti_worker_(ti_worker),
+      ingest_(hub),
+      sessions_(pool->size(), hub) {
+  CROWDRL_CHECK(dataset != nullptr && pool != nullptr && hub != nullptr);
+  CROWDRL_CHECK(options_.synchronous_inference || ti_worker != nullptr)
+      << "asynchronous inference needs an InferenceWorker";
+  auto& registry = obs::MetricsRegistry::Get();
+  const std::string& name = options_.name;
+  metric_answers_ = registry.GetCounter(MetricName(name, "answers"));
+  metric_rounds_ = registry.GetCounter(MetricName(name, "rounds"));
+  metric_abandoned_ = registry.GetCounter(MetricName(name, "abandoned"));
+  metric_ti_swaps_ = registry.GetCounter(MetricName(name, "ti_swaps"));
+  metric_queue_depth_ = registry.GetGauge(MetricName(name, "queue_depth"));
+  metric_ti_stall_us_ =
+      registry.GetGauge(MetricName(name, "ti_stall_us"));
+  metric_latency_us_ = registry.GetHistogram(
+      MetricName(name, "assignment_latency_us"), kLatencyBoundsUs);
+}
+
+Campaign::~Campaign() {
+  if (ti_inflight_) ti_future_.wait();
+}
+
+Status Campaign::Start() {
+  CROWDRL_CHECK(state_ == State::kNew) << "campaign already started";
+  CROWDRL_RETURN_IF_ERROR(
+      core::ValidateRunInputs(options_.config, *dataset_, *pool_, budget_));
+  obs::ApplyOptions(options_.config.obs);
+  if (obs::Enabled() && !options_.config.obs.metrics_jsonl_path.empty()) {
+    if (!metrics_writer_.Open(options_.config.obs.metrics_jsonl_path)) {
+      CROWDRL_LOG(Warning) << "cannot open metrics sink "
+                           << options_.config.obs.metrics_jsonl_path
+                           << "; per-round metrics disabled";
+    }
+  }
+  rs_ = std::make_unique<core::RunState>(&options_.config, dataset_, pool_,
+                                         budget_, seed_);
+  CROWDRL_RETURN_IF_ERROR(core::MaybeResumeFromCheckpointDir(rs_.get()));
+  // The bootstrap phase (an alpha fraction labelled by k annotators each)
+  // runs synchronously: it models the offline warm-up before the service
+  // opens, not live traffic.
+  CROWDRL_RETURN_IF_ERROR(rs_->Bootstrap());
+  applied_revision_ = rs_->env.answers_revision();
+  snapshot_revision_ = applied_revision_;
+  state_ = State::kServing;
+  return Status::Ok();
+}
+
+void Campaign::Fail(Status status) {
+  CROWDRL_LOG(Warning) << "campaign " << options_.name
+                       << " failed: " << status.ToString();
+  status_ = std::move(status);
+  state_ = State::kFailed;
+  metrics_writer_.Flush();
+  hub_->Notify();
+}
+
+bool Campaign::PumpStep() {
+  if (state_ != State::kServing) return false;
+  bool progress = ProcessSessionEvents();
+  progress |= CommitArrivals();
+  if (state_ != State::kServing) return progress;
+  if (!options_.synchronous_inference) {
+    progress |= MaybeApplyInference();
+    if (state_ != State::kServing) return progress;
+  }
+  if (round_active_ && reorder_.remaining() == 0) {
+    FinishRound();
+    progress = true;
+  }
+  if (state_ != State::kServing) return progress;
+  if (!round_active_) progress |= MaybePlanRound();
+  metric_queue_depth_->Set(static_cast<double>(ingest_.ApproxDepth()));
+  return progress;
+}
+
+bool Campaign::ProcessSessionEvents() {
+  bool progress = false;
+  for (int annotator : sessions_.TakeDisconnectEvents()) {
+    // Shortlist staleness fix: a disconnected annotator's pruner column
+    // is evicted, not left +inf, so the auto shortlist size tracks the
+    // live pair count. The agent is pump-thread-only, which is why the
+    // registry records events instead of calling it directly.
+    rs_->agent.NoteAnnotatorDisconnected(annotator);
+    progress = true;
+  }
+  for (uint64_t seq : sessions_.TakeAbandonedSeqs()) {
+    reorder_.Abandon(seq);
+    ++abandoned_items_;
+    metric_abandoned_->Inc();
+    progress = true;
+  }
+  return progress;
+}
+
+bool Campaign::CommitArrivals() {
+  bool progress = false;
+  for (const CompletedAnswer& answer : ingest_.Drain()) {
+    // Out-of-range / already-resolved seqs are late echoes of cancelled
+    // work; dropping them here is what makes cancellation safe.
+    if (reorder_.Offer(answer)) progress = true;
+  }
+  if (!round_active_) return progress;
+  CompletedAnswer answer;
+  bool abandoned = false;
+  while (reorder_.PopReady(&answer, &abandoned)) {
+    progress = true;
+    const size_t p = static_cast<size_t>(answer.seq - reorder_.first_seq());
+    CROWDRL_CHECK(p < plan_.pairs.size());
+    if (abandoned || stop_executing_) {
+      executed_[p] = false;
+      continue;
+    }
+    bool ok = false;
+    bool out_of_budget = false;
+    Status s = rs_->ExecutePair(plan_.pairs[p].first, plan_.pairs[p].second,
+                                &ok, &out_of_budget);
+    if (!s.ok()) {
+      Fail(std::move(s));
+      return true;
+    }
+    executed_[p] = ok;
+    if (out_of_budget) {
+      // The budget refused this pair; the rest of the round is moot.
+      // Undelivered work is cancelled (seqs come back as abandoned);
+      // in-flight completions still arrive and are skipped above.
+      stop_executing_ = true;
+      sessions_.CancelAllQueued();
+      for (uint64_t seq : sessions_.TakeAbandonedSeqs()) {
+        reorder_.Abandon(seq);
+        ++abandoned_items_;
+        metric_abandoned_->Inc();
+      }
+      continue;
+    }
+    ++answers_committed_;
+    metric_answers_->Inc();
+    const uint64_t now = obs::NowNs();
+    const double latency_us =
+        static_cast<double>(now - answer.dispatch_ns) / 1000.0;
+    commit_latencies_us_.push_back(latency_us);
+    metric_latency_us_->Record(latency_us);
+  }
+  return progress;
+}
+
+void Campaign::FinishRound() {
+  CROWDRL_CHECK(round_active_);
+  round_active_ = false;
+  if (options_.synchronous_inference) {
+    Status s = rs_->FinishIteration(plan_, executed_);
+    if (!s.ok()) {
+      Fail(std::move(s));
+      return;
+    }
+  } else {
+    rs_->AdvanceIteration(plan_, executed_);
+    PendingRound round;
+    round.plan = std::move(plan_);
+    round.executed = std::move(executed_);
+    round.completed_revision = rs_->env.answers_revision();
+    unobserved_.push_back(std::move(round));
+    MaybeStartInference();
+  }
+  ++rounds_completed_;
+  metric_rounds_->Inc();
+  WriteMetricsRecord();
+  Status s = rs_->MaybeCheckpoint();
+  if (!s.ok()) {
+    Fail(std::move(s));
+    return;
+  }
+}
+
+void Campaign::WriteMetricsRecord() {
+  if (!metrics_writer_.is_open()) return;
+  metrics_writer_.WriteRecord(rs_->iterations,
+                              obs::MetricsRegistry::Get().Snapshot());
+}
+
+void Campaign::MaybeStartInference() {
+  if (ti_inflight_) return;
+  if (rs_->env.answers_revision() <= snapshot_revision_) {
+    return;  // Nothing new to infer over.
+  }
+  ti_job_ = std::make_unique<core::TruthInferenceJob>();
+  rs_->SnapshotInference(ti_job_.get());
+  snapshot_revision_ = ti_job_->base_revision;
+  ti_done_ = std::make_shared<std::atomic<bool>>(false);
+  core::TruthInferenceJob* job = ti_job_.get();
+  std::shared_ptr<std::atomic<bool>> done = ti_done_;
+  EventHub* hub = hub_;
+  ti_inflight_ = true;
+  ti_future_ = ti_worker_->Submit([job, done, hub] {
+    core::RunState::ExecuteInferenceJob(job);
+    done->store(true, std::memory_order_release);
+    hub->Notify();
+  });
+}
+
+bool Campaign::MaybeApplyInference() {
+  if (!ti_inflight_ || !ti_done_->load(std::memory_order_acquire)) {
+    return false;
+  }
+  ti_future_.get();
+  ti_inflight_ = false;
+  Status s = rs_->ApplyInference(ti_job_.get());
+  if (!s.ok()) {
+    Fail(std::move(s));
+    return true;
+  }
+  // The revision barrier: selection from here on sees the new labels,
+  // qualities, and phi posteriors as one consistent world (the bumped
+  // class_probs_version makes the agent's ScoreCache refresh its
+  // classifier-derived feature columns on the next Sync).
+  applied_revision_ = ti_job_->base_revision;
+  ti_job_.reset();
+  ++ti_swaps_;
+  metric_ti_swaps_->Inc();
+  ObserveReadyRounds();
+  MaybeStartInference();
+  return true;
+}
+
+void Campaign::ObserveReadyRounds() {
+  while (!unobserved_.empty()) {
+    PendingRound& round = unobserved_.front();
+    if (!round.has_shared) break;
+    if (applied_revision_ < round.completed_revision) break;
+    std::vector<double> rewards =
+        rs_->ComputePairRewards(round.plan.pairs, round.executed);
+    for (double& r : rewards) r += round.shared;
+    std::vector<bool> affordable = rs_->env.AffordableAnnotators();
+    std::vector<bool> mask = sessions_.ConnectedMask();
+    for (size_t j = 0; j < affordable.size(); ++j) {
+      affordable[j] = affordable[j] && mask[j];
+    }
+    rs_->agent.ObserveOldestPairs(round.plan.pairs.size(), rewards,
+                                  rs_->MakeView(), affordable,
+                                  /*terminal=*/false);
+    unobserved_.pop_front();
+  }
+}
+
+void Campaign::WaitAndApplyInference() {
+  if (!ti_inflight_) return;
+  ti_future_.wait();
+  MaybeApplyInference();
+}
+
+bool Campaign::MaybePlanRound() {
+  CROWDRL_CHECK(!round_active_);
+  std::vector<bool> mask = sessions_.ConnectedMask();
+  if (!rs_->state.AllLabelled() && rs_->env.AnyAffordable()) {
+    // Planning against an empty (or fully unaffordable) connected pool
+    // would read as "no candidates" and wrongly end the campaign; wait
+    // for a reconnect instead. Never triggers with a never-disconnecting
+    // pool, so the bridge path is unaffected.
+    std::vector<bool> affordable = rs_->env.AffordableAnnotators();
+    bool any_live = false;
+    for (size_t j = 0; j < affordable.size(); ++j) {
+      if (affordable[j] && mask[j]) {
+        any_live = true;
+        break;
+      }
+    }
+    if (!any_live) return false;
+  }
+  if (!options_.synchronous_inference &&
+      unobserved_.size() >= options_.max_unobserved_rounds &&
+      ti_inflight_) {
+    // Selection has run far enough ahead of truth inference; stall until
+    // the next swap. The stall clock feeds the bench's TI-swap stall
+    // metric.
+    if (stall_started_ns_ == 0) stall_started_ns_ = obs::NowNs();
+    return false;
+  }
+  if (stall_started_ns_ != 0) {
+    const uint64_t stalled = obs::NowNs() - stall_started_ns_;
+    ti_stall_ns_ += stalled;
+    metric_ti_stall_us_->Set(static_cast<double>(ti_stall_ns_) / 1000.0);
+    stall_started_ns_ = 0;
+  }
+
+  core::IterationPlan plan;
+  rs_->PlanIteration(&mask, /*observe_pending=*/true, &plan);
+  if (plan.ran && !unobserved_.empty() && !unobserved_.back().has_shared) {
+    // This plan's enrichment reveals the previous round's shared r_phi
+    // term (the batch loop's one-iteration reward delay).
+    unobserved_.back().shared = core::SharedEnrichmentReward(
+        options_.config.reward, plan.enriched, plan.unlabelled_before);
+    unobserved_.back().has_shared = true;
+    ObserveReadyRounds();
+  }
+  if (plan.stop) {
+    FinishCampaign(plan);
+    return true;
+  }
+
+  plan_ = std::move(plan);
+  executed_.assign(plan_.pairs.size(), false);
+  stop_executing_ = false;
+  reorder_.BeginRange(next_seq_, plan_.pairs.size());
+  const uint64_t now = obs::NowNs();
+  for (size_t p = 0; p < plan_.pairs.size(); ++p) {
+    WorkItem item;
+    item.seq = next_seq_ + static_cast<uint64_t>(p);
+    item.object = plan_.pairs[p].first;
+    item.annotator = plan_.pairs[p].second;
+    item.dispatch_ns = now;
+    sessions_.Dispatch(item);
+  }
+  next_seq_ += static_cast<uint64_t>(plan_.pairs.size());
+  round_active_ = true;
+  return true;
+}
+
+void Campaign::FinishCampaign(const core::IterationPlan& terminal_plan) {
+  if (!options_.synchronous_inference) {
+    // Settle asynchronous inference before the terminal observations:
+    // wait out an in-flight snapshot job, then bring the labels fully up
+    // to date with one synchronous round if answers arrived after that
+    // snapshot.
+    WaitAndApplyInference();
+    if (state_ != State::kServing) return;
+    if (rs_->env.answers_revision() > applied_revision_) {
+      Status s = rs_->RunInferenceSync();
+      if (!s.ok()) {
+        Fail(std::move(s));
+        return;
+      }
+      applied_revision_ = rs_->env.answers_revision();
+      ObserveReadyRounds();
+    }
+    // Remaining rounds (newest may have no shared term when the terminal
+    // plan stopped on the iteration cap): observed FIFO, the last one
+    // terminal — mirroring the batch loop's final observation.
+    while (!unobserved_.empty()) {
+      PendingRound& round = unobserved_.front();
+      std::vector<double> rewards =
+          rs_->ComputePairRewards(round.plan.pairs, round.executed);
+      if (round.has_shared) {
+        for (double& r : rewards) r += round.shared;
+      }
+      rs_->agent.ObserveOldestPairs(
+          round.plan.pairs.size(), rewards, rs_->MakeView(),
+          rs_->env.AffordableAnnotators(),
+          /*terminal=*/unobserved_.size() == 1);
+      unobserved_.pop_front();
+    }
+  }
+  rs_->ObserveFinalPending();
+  Status s = rs_->Finalize(&result_);
+  if (!s.ok()) {
+    Fail(std::move(s));
+    return;
+  }
+  // Flush-on-completion: the metrics sink ends exactly at the final
+  // round even if the process dies before the service shuts down.
+  WriteMetricsRecord();
+  metrics_writer_.Flush();
+  state_ = State::kComplete;
+  hub_->Notify();
+}
+
+Status Campaign::Drain() {
+  if (state_ != State::kServing) return Status::Ok();
+  // Flush everything that already arrived, then abandon what is still
+  // out: queued inbox items and in-flight work are dropped (their late
+  // completions, if any, bounce off the resolved reorder slots).
+  ProcessSessionEvents();
+  CommitArrivals();
+  if (state_ != State::kServing) return status_;
+  if (round_active_) {
+    sessions_.CancelAllQueued();
+    ProcessSessionEvents();
+    for (uint64_t seq : reorder_.UnresolvedSeqs()) {
+      reorder_.Abandon(seq);
+      ++abandoned_items_;
+      metric_abandoned_->Inc();
+    }
+    CommitArrivals();
+    if (state_ != State::kServing) return status_;
+    CROWDRL_CHECK(reorder_.remaining() == 0);
+    FinishRound();
+    if (state_ != State::kServing) return status_;
+  }
+  if (!options_.synchronous_inference) {
+    // Align the async backlog back to the batch-compatible checkpoint
+    // form: all but the newest round observed now (their shared terms
+    // are known), the newest folded into RunState::pending_pair_rewards
+    // so a resumed run observes it exactly like an interrupted batch run
+    // would.
+    WaitAndApplyInference();
+    if (state_ != State::kServing) return status_;
+    if (rs_->env.answers_revision() > applied_revision_) {
+      Status s = rs_->RunInferenceSync();
+      if (!s.ok()) {
+        Fail(s);
+        return s;
+      }
+      applied_revision_ = rs_->env.answers_revision();
+      ObserveReadyRounds();
+    }
+    while (unobserved_.size() > 1) {
+      PendingRound& round = unobserved_.front();
+      std::vector<double> rewards =
+          rs_->ComputePairRewards(round.plan.pairs, round.executed);
+      if (round.has_shared) {
+        for (double& r : rewards) r += round.shared;
+      }
+      rs_->agent.ObserveOldestPairs(round.plan.pairs.size(), rewards,
+                                    rs_->MakeView(),
+                                    rs_->env.AffordableAnnotators(),
+                                    /*terminal=*/false);
+      unobserved_.pop_front();
+    }
+    if (!unobserved_.empty()) {
+      PendingRound& round = unobserved_.front();
+      rs_->pending_pair_rewards =
+          rs_->ComputePairRewards(round.plan.pairs, round.executed);
+      rs_->has_pending = true;
+      unobserved_.pop_front();
+    }
+  }
+  Status s = rs_->WriteCheckpointNow();
+  if (!s.ok()) {
+    Fail(s);
+    return s;
+  }
+  metrics_writer_.Flush();
+  metrics_writer_.Close();
+  state_ = State::kStopped;
+  hub_->Notify();
+  return Status::Ok();
+}
+
+const std::vector<core::AssignmentRecord>& Campaign::assignment_log() const {
+  CROWDRL_CHECK(rs_ != nullptr) << "campaign was never started";
+  return rs_->assignment_log;
+}
+
+}  // namespace crowdrl::serve

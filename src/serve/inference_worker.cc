@@ -1,0 +1,49 @@
+#include "serve/inference_worker.h"
+
+#include <utility>
+
+namespace crowdrl::serve {
+
+std::future<void> InferenceWorker::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    if (!started_) {
+      started_ = true;
+      thread_ = std::thread([this] { Loop(); });
+    }
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void InferenceWorker::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_one();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+  stopping_ = false;
+}
+
+void InferenceWorker::Loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace crowdrl::serve

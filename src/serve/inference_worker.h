@@ -1,0 +1,56 @@
+#ifndef CROWDRL_SERVE_INFERENCE_WORKER_H_
+#define CROWDRL_SERVE_INFERENCE_WORKER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+
+namespace crowdrl::serve {
+
+/// \brief One background thread running truth-inference jobs serially.
+///
+/// Asynchronous TI is an EM round over a copy-on-write snapshot
+/// (core::TruthInferenceJob); the worker only ever touches the job it was
+/// handed, so no locks are shared with the campaigns it serves. One
+/// worker serves every campaign of a LabellingService — TI is the long
+/// pole and the campaigns' jobs are independent, so a simple FIFO keeps
+/// the pump responsive without a second thread pool. Jobs must not
+/// dispatch on shared ThreadPools (see util/thread_pool.h); snapshot jobs
+/// force single-threaded EM for exactly that reason.
+///
+/// The thread starts lazily on the first Submit and joins in Stop() /
+/// the destructor after finishing everything queued.
+class InferenceWorker {
+ public:
+  InferenceWorker() = default;
+  ~InferenceWorker() { Stop(); }
+
+  InferenceWorker(const InferenceWorker&) = delete;
+  InferenceWorker& operator=(const InferenceWorker&) = delete;
+
+  /// Enqueues `fn` for the worker thread. The returned future resolves
+  /// when the job finished; campaigns typically poll their own done flag
+  /// (set inside `fn`) and use the future only for a blocking wait at
+  /// terminal / shutdown.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Drains the queue and joins the thread. Idempotent.
+  void Stop();
+
+ private:
+  void Loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::thread thread_;
+  bool started_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace crowdrl::serve
+
+#endif  // CROWDRL_SERVE_INFERENCE_WORKER_H_

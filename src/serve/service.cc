@@ -1,0 +1,82 @@
+#include "serve/service.h"
+
+#include <utility>
+
+namespace crowdrl::serve {
+
+LabellingService::LabellingService(ServiceOptions options)
+    : options_(options) {
+  if (options_.shared_threads > 1) {
+    shared_pool_ = std::make_shared<ThreadPool>(options_.shared_threads);
+  }
+}
+
+LabellingService::~LabellingService() { Shutdown(); }
+
+Campaign* LabellingService::AddCampaign(
+    CampaignOptions options, const data::Dataset* dataset,
+    const std::vector<crowd::Annotator>* pool, double budget, uint64_t seed) {
+  if (shared_pool_ != nullptr) {
+    options.config.agent.shared_pool = shared_pool_;
+  }
+  campaigns_.push_back(std::make_unique<Campaign>(
+      std::move(options), dataset, pool, budget, seed, &hub_, &ti_worker_));
+  return campaigns_.back().get();
+}
+
+Status LabellingService::StartAll() {
+  Status first = Status::Ok();
+  for (auto& campaign : campaigns_) {
+    if (campaign->state() != Campaign::State::kNew) continue;
+    Status status = campaign->Start();
+    if (!status.ok() && first.ok()) first = status;
+  }
+  return first;
+}
+
+bool LabellingService::PumpOnce() {
+  bool progress = false;
+  for (auto& campaign : campaigns_) {
+    if (campaign->done() || campaign->state() == Campaign::State::kNew) {
+      continue;
+    }
+    if (campaign->PumpStep()) progress = true;
+  }
+  return progress;
+}
+
+Status LabellingService::RunUntilComplete() {
+  for (;;) {
+    const bool progress = PumpOnce();
+    bool all_done = true;
+    for (auto& campaign : campaigns_) {
+      if (!campaign->done()) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) break;
+    if (!progress) hub_.WaitFor(options_.idle_wait_micros);
+  }
+  for (auto& campaign : campaigns_) {
+    if (campaign->state() == Campaign::State::kFailed) {
+      return campaign->status();
+    }
+  }
+  return Status::Ok();
+}
+
+Status LabellingService::Shutdown() {
+  if (shut_down_) return Status::Ok();
+  shut_down_ = true;
+  Status first = Status::Ok();
+  for (auto& campaign : campaigns_) {
+    if (campaign->state() != Campaign::State::kServing) continue;
+    Status status = campaign->Drain();
+    if (!status.ok() && first.ok()) first = status;
+  }
+  ti_worker_.Stop();
+  return first;
+}
+
+}  // namespace crowdrl::serve

@@ -1,0 +1,89 @@
+#ifndef CROWDRL_SERVE_SERVICE_H_
+#define CROWDRL_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/answer_ingest.h"
+#include "serve/campaign.h"
+#include "serve/inference_worker.h"
+#include "util/thread_pool.h"
+
+namespace crowdrl::serve {
+
+struct ServiceOptions {
+  /// Size of the selection ThreadPool shared by every campaign's agent
+  /// (<= 1: each agent keeps its own per-config pool / serial path). The
+  /// scheduler pumps campaigns sequentially on one thread, so a single
+  /// shared pool is safe despite ThreadPool's single-owner dispatch rule.
+  int shared_threads = 1;
+  /// How long an idle scheduler pass sleeps on the event hub before
+  /// re-polling (annotator pushes and finished TI jobs wake it earlier).
+  int64_t idle_wait_micros = 2000;
+};
+
+/// \brief Multi-campaign labelling scheduler (the serve-mode entry point).
+///
+/// Owns the shared infrastructure — one EventHub for wake-ups, one
+/// InferenceWorker for background truth inference, optionally one
+/// selection ThreadPool — and multiplexes any number of campaigns over
+/// them with a round-robin pump. Each pass gives every live campaign one
+/// PumpStep(); when a full pass makes no progress the pump parks on the
+/// hub until an annotator pushes an answer, a session connects or
+/// disconnects, or a background inference finishes.
+///
+/// Threading contract: AddCampaign / StartAll / PumpOnce /
+/// RunUntilComplete / Shutdown are pump-thread-only. Annotator drivers
+/// call Campaign::sessions().RequestWork() and
+/// Campaign::ingest().Push() from their own threads.
+class LabellingService {
+ public:
+  explicit LabellingService(ServiceOptions options = {});
+  ~LabellingService();
+
+  LabellingService(const LabellingService&) = delete;
+  LabellingService& operator=(const LabellingService&) = delete;
+
+  /// Registers a campaign (kNew; call StartAll — or Start() on the
+  /// returned campaign — before pumping). When the service owns a shared
+  /// selection pool it is injected into the campaign's agent config. The
+  /// returned pointer stays valid for the service's lifetime.
+  Campaign* AddCampaign(CampaignOptions options, const data::Dataset* dataset,
+                        const std::vector<crowd::Annotator>* pool,
+                        double budget, uint64_t seed);
+
+  /// Starts every kNew campaign. Returns the first failure (remaining
+  /// campaigns still start; a failed campaign reports done()).
+  Status StartAll();
+
+  /// One scheduler pass over all live campaigns; true if any progressed.
+  bool PumpOnce();
+
+  /// Pumps until every campaign reports done(), sleeping on the event hub
+  /// between idle passes. Returns the first failed campaign's status.
+  Status RunUntilComplete();
+
+  /// Drains every still-serving campaign (final checkpoint + metrics
+  /// flush) and stops the inference worker. Idempotent; also run by the
+  /// destructor.
+  Status Shutdown();
+
+  EventHub& hub() { return hub_; }
+  size_t num_campaigns() const { return campaigns_.size(); }
+  Campaign& campaign(size_t i) { return *campaigns_[i]; }
+
+ private:
+  ServiceOptions options_;
+  EventHub hub_;
+  // Declared before campaigns_: campaigns are destroyed first (they wait
+  // on in-flight TI futures), then the worker thread joins.
+  InferenceWorker ti_worker_;
+  std::shared_ptr<ThreadPool> shared_pool_;
+  std::vector<std::unique_ptr<Campaign>> campaigns_;
+  bool shut_down_ = false;
+};
+
+}  // namespace crowdrl::serve
+
+#endif  // CROWDRL_SERVE_SERVICE_H_

@@ -6,6 +6,7 @@
 // a descriptive Status, never a crash.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -65,8 +66,11 @@ const LabellingResult& Reference() {
 }
 
 std::string FreshDir(const std::string& name) {
-  std::string dir =
-      ::testing::TempDir() + "crowdrl_resume_test_" + name;
+  // Suffix with the pid: ctest runs each test of this binary as its own
+  // process, and parallel siblings racing remove_all on a shared path
+  // can yank a directory out from under another process's checkpoint.
+  std::string dir = ::testing::TempDir() + "crowdrl_resume_test_" + name +
+                    "_" + std::to_string(::getpid());
   fs::remove_all(dir);
   return dir;
 }

@@ -248,6 +248,61 @@ TEST(ShortlistPrunerTest, WarmupAndInvalidationLifecycle) {
   }
 }
 
+// The session-churn lifecycle (labelling service): when an annotator
+// disconnects its column is evicted — those pairs come back as must-score
+// (+inf bound) instead of carrying bounds snapshotted against a pool that
+// no longer exists — and every other column is untouched.
+TEST(ShortlistPrunerTest, EvictAnnotatorDropsOnlyThatColumn) {
+  Scenario s;
+  ScoreCache cache;
+  cache.Sync(s.View());
+
+  ShortlistOptions options;
+  options.warmup = 1;
+  ShortlistPruner pruner(options);
+  pruner.Reset(kObjects, kAnnotators);
+
+  std::vector<Action> pairs;
+  for (size_t i = 0; i < kObjects; ++i) {
+    for (size_t j = 0; j < kAnnotators; ++j) {
+      pairs.push_back({static_cast<int>(i), static_cast<int>(j)});
+    }
+  }
+  std::vector<double> raw_q(pairs.size(), 0.0);
+  std::vector<double> bonus(pairs.size(), 0.0);
+  pruner.BeginIteration(cache);
+  pruner.RecordExact(cache, /*train_steps=*/0, pairs, raw_q, nullptr,
+                     nullptr, /*full_pass=*/true);
+  ASSERT_TRUE(pruner.Ready());
+
+  std::vector<double> ub;
+  ASSERT_EQ(pruner.UpperBounds(cache, /*train_steps=*/0, pairs, bonus, &ub),
+            0u);
+
+  constexpr int kGone = 3;
+  pruner.EvictAnnotator(kGone);
+  EXPECT_EQ(pruner.UpperBounds(cache, /*train_steps=*/0, pairs, bonus, &ub),
+            kObjects);
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    if (pairs[p].annotator == kGone) {
+      EXPECT_TRUE(std::isinf(ub[p]));
+    } else {
+      EXPECT_FALSE(std::isinf(ub[p]));
+    }
+  }
+
+  // Re-recording after a reconnect restores the column.
+  pruner.BeginIteration(cache);
+  pruner.RecordExact(cache, /*train_steps=*/0, pairs, raw_q, nullptr,
+                     nullptr, /*full_pass=*/true);
+  EXPECT_EQ(pruner.UpperBounds(cache, /*train_steps=*/0, pairs, bonus, &ub),
+            0u);
+
+  // Evicting before the table is sized (fresh episode) is a safe no-op.
+  ShortlistPruner unsized;
+  unsized.EvictAnnotator(0);
+}
+
 TEST(ShortlistPrunerTest, SensitivityAdaptsToObservedMoves) {
   Scenario s;
   ScoreCache cache;

@@ -1,0 +1,135 @@
+// Unit tests for the annotator connection registry: inbox dispatch and
+// delivery, the disconnect lifecycle (abandoned seqs + disconnect events
+// surfacing to the pump), and queued-work cancellation.
+
+#include "serve/annotator_session.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+namespace crowdrl::serve {
+namespace {
+
+WorkItem Item(uint64_t seq, int annotator, int object = 0) {
+  WorkItem item;
+  item.seq = seq;
+  item.annotator = annotator;
+  item.object = object;
+  return item;
+}
+
+TEST(AnnotatorSessionTest, ConnectDisconnectLifecycle) {
+  AnnotatorSessionRegistry registry(3);
+  EXPECT_EQ(registry.num_connected(), 0u);
+  EXPECT_FALSE(registry.connected(0));
+
+  registry.Connect(1);
+  EXPECT_TRUE(registry.connected(1));
+  EXPECT_EQ(registry.num_connected(), 1u);
+  std::vector<bool> mask = registry.ConnectedMask();
+  ASSERT_EQ(mask.size(), 3u);
+  EXPECT_FALSE(mask[0]);
+  EXPECT_TRUE(mask[1]);
+
+  registry.ConnectAll();
+  EXPECT_EQ(registry.num_connected(), 3u);
+
+  registry.Disconnect(1);
+  EXPECT_FALSE(registry.connected(1));
+  std::vector<int> events = registry.TakeDisconnectEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], 1);
+  EXPECT_TRUE(registry.TakeDisconnectEvents().empty());  // Consumed.
+}
+
+TEST(AnnotatorSessionTest, DispatchAndRequestWorkAreFifoPerAnnotator) {
+  AnnotatorSessionRegistry registry(2);
+  registry.ConnectAll();
+  registry.Dispatch(Item(0, /*annotator=*/0, /*object=*/10));
+  registry.Dispatch(Item(1, /*annotator=*/1, /*object=*/11));
+  registry.Dispatch(Item(2, /*annotator=*/0, /*object=*/12));
+
+  std::optional<WorkItem> a = registry.RequestWork(0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->seq, 0u);
+  EXPECT_EQ(a->object, 10);
+  std::optional<WorkItem> b = registry.RequestWork(0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->seq, 2u);
+  EXPECT_FALSE(registry.RequestWork(0).has_value());  // Inbox empty.
+
+  std::optional<WorkItem> c = registry.RequestWork(1);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->seq, 1u);
+}
+
+TEST(AnnotatorSessionTest, DisconnectAbandonsTheInboxButNotDeliveredWork) {
+  AnnotatorSessionRegistry registry(2);
+  registry.ConnectAll();
+  registry.Dispatch(Item(0, /*annotator=*/0));
+  registry.Dispatch(Item(1, /*annotator=*/0));
+
+  // Item 0 was delivered before the disconnect: the driver keeps it and
+  // is expected to push its completion; only the undelivered item 1 is
+  // abandoned.
+  std::optional<WorkItem> delivered = registry.RequestWork(0);
+  ASSERT_TRUE(delivered.has_value());
+  registry.Disconnect(0);
+
+  std::vector<uint64_t> abandoned = registry.TakeAbandonedSeqs();
+  ASSERT_EQ(abandoned.size(), 1u);
+  EXPECT_EQ(abandoned[0], 1u);
+  EXPECT_TRUE(registry.TakeAbandonedSeqs().empty());  // Consumed.
+
+  // A disconnected annotator gets no work.
+  EXPECT_FALSE(registry.RequestWork(0).has_value());
+}
+
+TEST(AnnotatorSessionTest, DispatchToDisconnectedAbandonsOnTheSpot) {
+  AnnotatorSessionRegistry registry(2);
+  registry.Connect(1);
+  registry.Dispatch(Item(7, /*annotator=*/0));  // 0 never connected.
+  std::vector<uint64_t> abandoned = registry.TakeAbandonedSeqs();
+  ASSERT_EQ(abandoned.size(), 1u);
+  EXPECT_EQ(abandoned[0], 7u);
+}
+
+TEST(AnnotatorSessionTest, ReconnectStartsWithAnEmptyInbox) {
+  AnnotatorSessionRegistry registry(1);
+  registry.Connect(0);
+  registry.Dispatch(Item(0, 0));
+  registry.Disconnect(0);
+  registry.TakeAbandonedSeqs();
+  registry.Connect(0);
+  EXPECT_TRUE(registry.connected(0));
+  EXPECT_FALSE(registry.RequestWork(0).has_value());
+  // Two disconnect cycles produce two events.
+  registry.Disconnect(0);
+  std::vector<int> events = registry.TakeDisconnectEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], 0);
+  EXPECT_EQ(events[1], 0);
+}
+
+TEST(AnnotatorSessionTest, CancelAllQueuedAbandonsEveryInbox) {
+  AnnotatorSessionRegistry registry(3);
+  registry.ConnectAll();
+  registry.Dispatch(Item(0, 0));
+  registry.Dispatch(Item(1, 1));
+  registry.Dispatch(Item(2, 2));
+  ASSERT_TRUE(registry.RequestWork(1).has_value());  // 1 is in flight.
+  registry.CancelAllQueued();
+  std::vector<uint64_t> abandoned = registry.TakeAbandonedSeqs();
+  std::sort(abandoned.begin(), abandoned.end());
+  ASSERT_EQ(abandoned.size(), 2u);
+  EXPECT_EQ(abandoned[0], 0u);
+  EXPECT_EQ(abandoned[1], 2u);
+  // Annotators stay connected; only their queues were dropped.
+  EXPECT_EQ(registry.num_connected(), 3u);
+}
+
+}  // namespace
+}  // namespace crowdrl::serve

@@ -1,0 +1,182 @@
+// Unit tests for the serve-side arrival plumbing: the EventHub wake-up
+// channel, the MPSC AnswerIngestQueue, and the SequenceReorderBuffer that
+// turns any arrival order back into the deterministic commit order.
+
+#include "serve/answer_ingest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace crowdrl::serve {
+namespace {
+
+CompletedAnswer Answer(uint64_t seq, int object = 0, int annotator = 0) {
+  CompletedAnswer a;
+  a.seq = seq;
+  a.object = object;
+  a.annotator = annotator;
+  return a;
+}
+
+TEST(EventHubTest, NotifyBeforeWaitIsNotLost) {
+  EventHub hub;
+  hub.Notify();
+  // Level-triggered: returns immediately instead of sleeping the full
+  // timeout (generous bound keeps this robust on loaded machines).
+  const auto start = std::chrono::steady_clock::now();
+  hub.WaitFor(2'000'000);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(1));
+}
+
+TEST(EventHubTest, WaitConsumesTheSignal) {
+  EventHub hub;
+  hub.Notify();
+  hub.WaitFor(0);
+  // Second wait has nothing to consume; it should time out (quickly).
+  const auto start = std::chrono::steady_clock::now();
+  hub.WaitFor(1000);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::microseconds(500));
+}
+
+TEST(AnswerIngestQueueTest, DrainTakesEverythingInFifoOrder) {
+  AnswerIngestQueue queue;
+  queue.Push(Answer(3));
+  queue.Push(Answer(1));
+  queue.Push(Answer(2));
+  EXPECT_EQ(queue.ApproxDepth(), 3u);
+  std::vector<CompletedAnswer> drained = queue.Drain();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0].seq, 3u);
+  EXPECT_EQ(drained[1].seq, 1u);
+  EXPECT_EQ(drained[2].seq, 2u);
+  EXPECT_EQ(queue.ApproxDepth(), 0u);
+  EXPECT_TRUE(queue.Drain().empty());
+}
+
+TEST(AnswerIngestQueueTest, ConcurrentProducersLoseNothing) {
+  EventHub hub;
+  AnswerIngestQueue queue(&hub);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 500;
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&queue, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        queue.Push(Answer(static_cast<uint64_t>(t) * kPerThread + i));
+      }
+    });
+  }
+  std::vector<CompletedAnswer> all;
+  while (all.size() < kThreads * kPerThread) {
+    for (const CompletedAnswer& a : queue.Drain()) all.push_back(a);
+    hub.WaitFor(100);
+  }
+  for (std::thread& t : producers) t.join();
+  std::vector<uint64_t> seqs;
+  seqs.reserve(all.size());
+  for (const CompletedAnswer& a : all) seqs.push_back(a.seq);
+  std::sort(seqs.begin(), seqs.end());
+  for (uint64_t i = 0; i < kThreads * kPerThread; ++i) {
+    EXPECT_EQ(seqs[i], i);
+  }
+}
+
+TEST(SequenceReorderBufferTest, PopsInSequenceOrderWhateverTheArrivalOrder) {
+  SequenceReorderBuffer buffer;
+  buffer.BeginRange(10, 3);
+  EXPECT_TRUE(buffer.active());
+
+  CompletedAnswer out;
+  bool abandoned = false;
+  EXPECT_TRUE(buffer.Offer(Answer(12, /*object=*/7)));
+  // Head (seq 10) still outstanding: nothing pops yet.
+  EXPECT_FALSE(buffer.PopReady(&out, &abandoned));
+
+  EXPECT_TRUE(buffer.Offer(Answer(10, /*object=*/5)));
+  ASSERT_TRUE(buffer.PopReady(&out, &abandoned));
+  EXPECT_FALSE(abandoned);
+  EXPECT_EQ(out.seq, 10u);
+  EXPECT_EQ(out.object, 5);
+  EXPECT_FALSE(buffer.PopReady(&out, &abandoned));  // Seq 11 outstanding.
+
+  EXPECT_TRUE(buffer.Offer(Answer(11, /*object=*/6)));
+  ASSERT_TRUE(buffer.PopReady(&out, &abandoned));
+  EXPECT_EQ(out.seq, 11u);
+  ASSERT_TRUE(buffer.PopReady(&out, &abandoned));
+  EXPECT_EQ(out.seq, 12u);
+  EXPECT_EQ(out.object, 7);
+  EXPECT_EQ(buffer.remaining(), 0u);
+  EXPECT_FALSE(buffer.active());
+}
+
+TEST(SequenceReorderBufferTest, AbandonedSlotsPopAsAbandoned) {
+  SequenceReorderBuffer buffer;
+  buffer.BeginRange(0, 3);
+  buffer.Abandon(1);
+  EXPECT_TRUE(buffer.Offer(Answer(0)));
+  EXPECT_TRUE(buffer.Offer(Answer(2)));
+
+  CompletedAnswer out;
+  bool abandoned = false;
+  ASSERT_TRUE(buffer.PopReady(&out, &abandoned));
+  EXPECT_FALSE(abandoned);
+  EXPECT_EQ(out.seq, 0u);
+  ASSERT_TRUE(buffer.PopReady(&out, &abandoned));
+  EXPECT_TRUE(abandoned);
+  EXPECT_EQ(out.seq, 1u);
+  ASSERT_TRUE(buffer.PopReady(&out, &abandoned));
+  EXPECT_FALSE(abandoned);
+  EXPECT_EQ(out.seq, 2u);
+}
+
+TEST(SequenceReorderBufferTest, LateEchoesAndForeignSeqsAreDropped) {
+  SequenceReorderBuffer buffer;
+  buffer.BeginRange(5, 2);
+  EXPECT_FALSE(buffer.Offer(Answer(4)));   // Below the range.
+  EXPECT_FALSE(buffer.Offer(Answer(7)));   // Above the range.
+  EXPECT_TRUE(buffer.Offer(Answer(5)));
+  EXPECT_FALSE(buffer.Offer(Answer(5)));   // Duplicate completion.
+  buffer.Abandon(6);
+  EXPECT_FALSE(buffer.Offer(Answer(6)));   // Echo of cancelled work.
+  buffer.Abandon(5);                       // Ignored: already completed.
+
+  CompletedAnswer out;
+  bool abandoned = false;
+  ASSERT_TRUE(buffer.PopReady(&out, &abandoned));
+  EXPECT_FALSE(abandoned);
+  ASSERT_TRUE(buffer.PopReady(&out, &abandoned));
+  EXPECT_TRUE(abandoned);
+}
+
+TEST(SequenceReorderBufferTest, UnresolvedSeqsListsOutstandingOnly) {
+  SequenceReorderBuffer buffer;
+  buffer.BeginRange(100, 4);
+  EXPECT_TRUE(buffer.Offer(Answer(101)));
+  buffer.Abandon(103);
+  std::vector<uint64_t> unresolved = buffer.UnresolvedSeqs();
+  ASSERT_EQ(unresolved.size(), 2u);
+  EXPECT_EQ(unresolved[0], 100u);
+  EXPECT_EQ(unresolved[1], 102u);
+}
+
+TEST(SequenceReorderBufferTest, RangeCanRestartAfterDraining) {
+  SequenceReorderBuffer buffer;
+  buffer.BeginRange(0, 1);
+  EXPECT_TRUE(buffer.Offer(Answer(0)));
+  CompletedAnswer out;
+  bool abandoned = false;
+  ASSERT_TRUE(buffer.PopReady(&out, &abandoned));
+  buffer.BeginRange(1, 2);
+  EXPECT_EQ(buffer.first_seq(), 1u);
+  EXPECT_EQ(buffer.remaining(), 2u);
+  EXPECT_FALSE(buffer.Offer(Answer(0)));  // Previous round's seq.
+}
+
+}  // namespace
+}  // namespace crowdrl::serve

@@ -1,0 +1,195 @@
+// The determinism bridge: a single-campaign labelling service with a
+// never-disconnecting annotator pool and synchronous truth inference must
+// reproduce the batch CrowdRlFramework::Run bit-for-bit — same labels,
+// sources, budget, iteration count, qualities, EM log-likelihood, and the
+// same (object, annotator, executed) assignment log in the same order —
+// no matter what order the answers arrive in and at every thread count.
+//
+// This is the lockstep-twin pattern of tests/rl/shortlist_test.cc lifted
+// to the whole service: answer sampling happens inside
+// Environment::RequestAnswer at commit time, and the pump commits in
+// sequence order, so arrival order is provably irrelevant.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/crowdrl.h"
+#include "serve/service.h"
+
+namespace crowdrl::serve {
+namespace {
+
+constexpr double kBudget = 500.0;
+constexpr uint64_t kSeed = 11;
+
+struct Workload {
+  data::Dataset dataset;
+  std::vector<crowd::Annotator> pool;
+
+  explicit Workload(size_t objects = 150, uint64_t seed = 3) {
+    data::GaussianMixtureOptions options;
+    options.num_objects = objects;
+    options.view = {10, 2.6, 0.5};
+    options.seed = seed;
+    dataset = data::MakeGaussianMixture(options);
+    crowd::PoolOptions pool_options;
+    pool_options.num_workers = 3;
+    pool_options.num_experts = 2;
+    pool_options.seed = seed + 1;
+    pool = crowd::MakePool(pool_options);
+  }
+};
+
+core::CrowdRlConfig TestConfig(int agent_threads) {
+  core::CrowdRlConfig config;
+  config.max_iterations = 200;
+  config.agent.threads = agent_threads;
+  return config;
+}
+
+struct RunOutcome {
+  core::LabellingResult result;
+  std::vector<core::AssignmentRecord> log;
+};
+
+RunOutcome RunBatch(const Workload& w, int agent_threads) {
+  core::CrowdRlFramework framework(TestConfig(agent_threads));
+  RunOutcome out;
+  EXPECT_TRUE(
+      framework.Run(w.dataset, w.pool, kBudget, kSeed, &out.result).ok());
+  out.log = framework.last_assignment_log();
+  return out;
+}
+
+enum class ServeOrder { kInOrder, kReversed, kThreadedJitter };
+
+// Drives a single synchronous-TI campaign to completion, serving every
+// annotator inbox according to `order`:
+//   kInOrder         — completions pushed in dispatch order;
+//   kReversed        — each pass's completions pushed newest-first, so
+//                      every round arrives maximally out of order;
+//   kThreadedJitter  — one real driver thread per annotator with random
+//                      think time, racing the pump through the MPSC queue.
+RunOutcome RunServe(const Workload& w, int agent_threads, ServeOrder order) {
+  LabellingService service;
+  CampaignOptions options;
+  options.name = "bridge";
+  options.config = TestConfig(agent_threads);
+  options.synchronous_inference = true;
+  Campaign* campaign = service.AddCampaign(options, &w.dataset, &w.pool,
+                                           kBudget, kSeed);
+  EXPECT_TRUE(service.StartAll().ok());
+  campaign->sessions().ConnectAll();
+
+  if (order == ServeOrder::kThreadedJitter) {
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> drivers;
+    drivers.reserve(w.pool.size());
+    for (int j = 0; j < static_cast<int>(w.pool.size()); ++j) {
+      drivers.emplace_back([&, j] {
+        std::mt19937 rng(static_cast<unsigned>(j) + 1);
+        std::uniform_int_distribution<int> think_us(0, 200);
+        while (!stop.load(std::memory_order_acquire)) {
+          std::optional<WorkItem> item = campaign->sessions().RequestWork(j);
+          if (item.has_value()) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(think_us(rng)));
+            campaign->ingest().Push(*item);
+          } else {
+            std::this_thread::yield();
+          }
+        }
+      });
+    }
+    EXPECT_TRUE(service.RunUntilComplete().ok());
+    stop.store(true, std::memory_order_release);
+    for (std::thread& t : drivers) t.join();
+  } else {
+    size_t idle_passes = 0;
+    while (!campaign->done()) {
+      bool progress = service.PumpOnce();
+      std::vector<WorkItem> batch;
+      for (int j = 0; j < static_cast<int>(w.pool.size()); ++j) {
+        while (std::optional<WorkItem> item =
+                   campaign->sessions().RequestWork(j)) {
+          batch.push_back(*item);
+        }
+      }
+      if (order == ServeOrder::kReversed) {
+        for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+          campaign->ingest().Push(*it);
+        }
+      } else {
+        for (const WorkItem& item : batch) campaign->ingest().Push(item);
+      }
+      idle_passes = (progress || !batch.empty()) ? 0 : idle_passes + 1;
+      if (idle_passes >= 10000u) {
+        ADD_FAILURE() << "service pump wedged";
+        break;
+      }
+    }
+  }
+
+  EXPECT_EQ(campaign->state(), Campaign::State::kComplete)
+      << campaign->status().ToString();
+  EXPECT_GT(campaign->answers_committed(), 0u);
+  // Bootstrap answers are bought before the service opens, so the live
+  // commit count is a strict subset of the run's human answers.
+  EXPECT_LE(campaign->answers_committed(), campaign->result().human_answers);
+  return RunOutcome{campaign->result(), campaign->assignment_log()};
+}
+
+void ExpectBitIdentical(const RunOutcome& serve, const RunOutcome& batch) {
+  EXPECT_EQ(serve.result.labels, batch.result.labels);
+  EXPECT_EQ(serve.result.sources, batch.result.sources);
+  EXPECT_EQ(serve.result.budget_spent, batch.result.budget_spent);
+  EXPECT_EQ(serve.result.iterations, batch.result.iterations);
+  EXPECT_EQ(serve.result.human_answers, batch.result.human_answers);
+  EXPECT_EQ(serve.result.final_annotator_qualities,
+            batch.result.final_annotator_qualities);
+  EXPECT_EQ(serve.result.final_log_likelihood,
+            batch.result.final_log_likelihood);
+  EXPECT_EQ(serve.log, batch.log);
+}
+
+TEST(ServeBridgeTest, InOrderArrivalsMatchBatchSingleThread) {
+  Workload w;
+  ExpectBitIdentical(RunServe(w, /*agent_threads=*/1, ServeOrder::kInOrder),
+                     RunBatch(w, /*agent_threads=*/1));
+}
+
+TEST(ServeBridgeTest, ReversedArrivalsMatchBatchSingleThread) {
+  Workload w;
+  ExpectBitIdentical(RunServe(w, /*agent_threads=*/1, ServeOrder::kReversed),
+                     RunBatch(w, /*agent_threads=*/1));
+}
+
+TEST(ServeBridgeTest, InOrderArrivalsMatchBatchEightThreads) {
+  Workload w;
+  ExpectBitIdentical(RunServe(w, /*agent_threads=*/8, ServeOrder::kInOrder),
+                     RunBatch(w, /*agent_threads=*/8));
+}
+
+TEST(ServeBridgeTest, ThreadedDriversMatchBatch) {
+  Workload w;
+  ExpectBitIdentical(
+      RunServe(w, /*agent_threads=*/1, ServeOrder::kThreadedJitter),
+      RunBatch(w, /*agent_threads=*/1));
+}
+
+// Thread-count invariance composes through the service: the same serve
+// run at 1 and 8 agent threads agrees bit-for-bit (ThreadPool chunks
+// write disjoint outputs; reductions are serial).
+TEST(ServeBridgeTest, ServeItselfIsThreadCountInvariant) {
+  Workload w;
+  ExpectBitIdentical(RunServe(w, /*agent_threads=*/8, ServeOrder::kReversed),
+                     RunServe(w, /*agent_threads=*/1, ServeOrder::kInOrder));
+}
+
+}  // namespace
+}  // namespace crowdrl::serve

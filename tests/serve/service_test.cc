@@ -1,0 +1,373 @@
+// End-to-end tests of the LabellingService scheduler: multi-campaign
+// multiplexing over a shared selection pool, asynchronous truth
+// inference, annotator churn (disconnect / reconnect with work in
+// flight), graceful drain into the batch checkpoint-resume path, and the
+// flush-on-completion metrics contract.
+
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/crowdrl.h"
+
+namespace crowdrl::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr double kBudget = 500.0;
+
+struct Workload {
+  data::Dataset dataset;
+  std::vector<crowd::Annotator> pool;
+
+  explicit Workload(size_t objects = 150, uint64_t seed = 3) {
+    data::GaussianMixtureOptions options;
+    options.num_objects = objects;
+    options.view = {10, 2.6, 0.5};
+    options.seed = seed;
+    dataset = data::MakeGaussianMixture(options);
+    crowd::PoolOptions pool_options;
+    pool_options.num_workers = 3;
+    pool_options.num_experts = 2;
+    pool_options.seed = seed + 1;
+    pool = crowd::MakePool(pool_options);
+  }
+};
+
+core::CrowdRlConfig TestConfig() {
+  core::CrowdRlConfig config;
+  config.max_iterations = 200;
+  return config;
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "crowdrl_serve_test_" + name +
+                    "_" + std::to_string(::getpid());
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// Spawns one driver thread per annotator of `campaign` that polls
+// RequestWork and echoes completions into the ingest queue until `stop`.
+std::vector<std::thread> StartDrivers(Campaign* campaign, size_t pool_size,
+                                      std::atomic<bool>* stop) {
+  std::vector<std::thread> drivers;
+  drivers.reserve(pool_size);
+  for (int j = 0; j < static_cast<int>(pool_size); ++j) {
+    drivers.emplace_back([campaign, stop, j] {
+      while (!stop->load(std::memory_order_acquire)) {
+        std::optional<WorkItem> item = campaign->sessions().RequestWork(j);
+        if (item.has_value()) {
+          campaign->ingest().Push(*item);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  return drivers;
+}
+
+void ExpectCompleteAndLabelled(const Campaign& campaign,
+                               const Workload& w) {
+  ASSERT_EQ(campaign.state(), Campaign::State::kComplete)
+      << campaign.status().ToString();
+  const core::LabellingResult& result = campaign.result();
+  ASSERT_EQ(result.labels.size(), w.dataset.num_objects());
+  for (size_t i = 0; i < result.labels.size(); ++i) {
+    EXPECT_GE(result.labels[i], 0);
+    EXPECT_NE(result.sources[i], core::LabelSource::kNone);
+  }
+  EXPECT_GT(result.human_answers, 0u);
+  EXPECT_LE(result.budget_spent, kBudget + 1e-9);
+}
+
+// Two campaigns over a shared 4-thread selection pool, driven by real
+// annotator threads. Each must finish bit-identical to its own batch run
+// at threads=1: the scheduler interleaving, the shared pool, and arrival
+// races are all invisible to the result.
+TEST(LabellingServiceTest, MultiCampaignSharedPoolMatchesBatch) {
+  Workload wa(150, 3);
+  Workload wb(120, 17);
+
+  core::LabellingResult batch_a, batch_b;
+  std::vector<core::AssignmentRecord> log_a, log_b;
+  {
+    core::CrowdRlFramework framework(TestConfig());
+    ASSERT_TRUE(framework.Run(wa.dataset, wa.pool, kBudget, 11, &batch_a).ok());
+    log_a = framework.last_assignment_log();
+  }
+  {
+    core::CrowdRlFramework framework(TestConfig());
+    ASSERT_TRUE(framework.Run(wb.dataset, wb.pool, kBudget, 29, &batch_b).ok());
+    log_b = framework.last_assignment_log();
+  }
+
+  ServiceOptions service_options;
+  service_options.shared_threads = 4;
+  LabellingService service(service_options);
+  CampaignOptions options_a;
+  options_a.name = "alpha";
+  options_a.config = TestConfig();
+  CampaignOptions options_b;
+  options_b.name = "beta";
+  options_b.config = TestConfig();
+  Campaign* a =
+      service.AddCampaign(options_a, &wa.dataset, &wa.pool, kBudget, 11);
+  Campaign* b =
+      service.AddCampaign(options_b, &wb.dataset, &wb.pool, kBudget, 29);
+  ASSERT_TRUE(service.StartAll().ok());
+  a->sessions().ConnectAll();
+  b->sessions().ConnectAll();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> drivers = StartDrivers(a, wa.pool.size(), &stop);
+  for (std::thread& t : StartDrivers(b, wb.pool.size(), &stop)) {
+    drivers.push_back(std::move(t));
+  }
+  ASSERT_TRUE(service.RunUntilComplete().ok());
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : drivers) t.join();
+
+  ExpectCompleteAndLabelled(*a, wa);
+  ExpectCompleteAndLabelled(*b, wb);
+  EXPECT_EQ(a->result().labels, batch_a.labels);
+  EXPECT_EQ(a->result().budget_spent, batch_a.budget_spent);
+  EXPECT_EQ(a->result().final_log_likelihood, batch_a.final_log_likelihood);
+  EXPECT_EQ(a->assignment_log(), log_a);
+  EXPECT_EQ(b->result().labels, batch_b.labels);
+  EXPECT_EQ(b->result().budget_spent, batch_b.budget_spent);
+  EXPECT_EQ(b->result().final_log_likelihood, batch_b.final_log_likelihood);
+  EXPECT_EQ(b->assignment_log(), log_b);
+}
+
+// Asynchronous truth inference: EM runs on background snapshots while the
+// pump keeps serving; the campaign still terminates with every object
+// labelled and at least one revision swap applied.
+TEST(LabellingServiceTest, AsyncInferenceCampaignCompletes) {
+  Workload w;
+  LabellingService service;
+  CampaignOptions options;
+  options.name = "async";
+  options.config = TestConfig();
+  options.synchronous_inference = false;
+  options.max_unobserved_rounds = 2;
+  Campaign* campaign =
+      service.AddCampaign(options, &w.dataset, &w.pool, kBudget, 7);
+  ASSERT_TRUE(service.StartAll().ok());
+  campaign->sessions().ConnectAll();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> drivers =
+      StartDrivers(campaign, w.pool.size(), &stop);
+  ASSERT_TRUE(service.RunUntilComplete().ok());
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : drivers) t.join();
+
+  ExpectCompleteAndLabelled(*campaign, w);
+  EXPECT_GT(campaign->rounds_completed(), 0u);
+  EXPECT_GE(campaign->ti_swaps(), 1u);
+}
+
+// Annotator churn with work in flight: the first rounds are dispatched
+// and then every annotator disconnects, abandoning the undelivered
+// inboxes; the pool reconnects and the campaign still runs to completion.
+TEST(LabellingServiceTest, ChurnAbandonsInFlightWorkAndRecovers) {
+  Workload w;
+  LabellingService service;
+  CampaignOptions options;
+  options.name = "churn";
+  options.config = TestConfig();
+  Campaign* campaign =
+      service.AddCampaign(options, &w.dataset, &w.pool, kBudget, 5);
+  ASSERT_TRUE(service.StartAll().ok());
+  campaign->sessions().ConnectAll();
+
+  size_t idle_passes = 0;
+  size_t total_passes = 0;
+  while (!campaign->done()) {
+    ASSERT_LT(++total_passes, 500000u) << "service pump wedged";
+    bool progress = service.PumpOnce();
+    bool served = false;
+    if (campaign->rounds_completed() < 3) {
+      // Churn phase: right after each dispatch, every session vanishes
+      // with its inbox undelivered and reconnects empty. The pump
+      // completes these rounds from abandons alone (nothing executed)
+      // and evicts the gone annotators' shortlist entries.
+      for (int j = 0; j < static_cast<int>(w.pool.size()); ++j) {
+        campaign->sessions().Disconnect(j);
+      }
+      campaign->sessions().ConnectAll();
+      served = true;  // Churn is itself the progress; total_passes guards.
+    } else {
+      for (int j = 0; j < static_cast<int>(w.pool.size()); ++j) {
+        while (std::optional<WorkItem> item =
+                   campaign->sessions().RequestWork(j)) {
+          campaign->ingest().Push(*item);
+          served = true;
+        }
+      }
+    }
+    idle_passes = (progress || served) ? 0 : idle_passes + 1;
+    if (idle_passes >= 10000u) {
+      ADD_FAILURE() << "service pump wedged";
+      break;
+    }
+  }
+
+  ExpectCompleteAndLabelled(*campaign, w);
+  EXPECT_GT(campaign->abandoned_items(), 0u);
+}
+
+// Graceful drain: Shutdown() mid-run finishes the open round from what
+// arrived, writes a final checkpoint, and a batch framework with
+// config.resume picks the run up and completes it.
+TEST(LabellingServiceTest, DrainedCampaignResumesThroughBatchCheckpoint) {
+  Workload w;
+  std::string dir = FreshDir("drain");
+  core::CrowdRlConfig config = TestConfig();
+  config.checkpoint_dir = dir;
+
+  {
+    LabellingService service;
+    CampaignOptions options;
+    options.name = "drain";
+    options.config = config;
+    Campaign* campaign =
+        service.AddCampaign(options, &w.dataset, &w.pool, kBudget, 13);
+    ASSERT_TRUE(service.StartAll().ok());
+    campaign->sessions().ConnectAll();
+
+    size_t idle_passes = 0;
+    while (campaign->rounds_completed() < 2 && !campaign->done()) {
+      bool progress = service.PumpOnce();
+      bool served = false;
+      for (int j = 0; j < static_cast<int>(w.pool.size()); ++j) {
+        while (std::optional<WorkItem> item =
+                   campaign->sessions().RequestWork(j)) {
+          campaign->ingest().Push(*item);
+          served = true;
+        }
+      }
+      idle_passes = (progress || served) ? 0 : idle_passes + 1;
+      ASSERT_LT(idle_passes, 10000u) << "service pump wedged";
+    }
+    ASSERT_FALSE(campaign->done());
+    ASSERT_TRUE(service.Shutdown().ok());
+    EXPECT_EQ(campaign->state(), Campaign::State::kStopped);
+  }
+
+  bool have_checkpoint = false;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    have_checkpoint = true;
+    break;
+  }
+  EXPECT_TRUE(have_checkpoint) << "drain did not write a checkpoint";
+
+  config.resume = true;
+  core::CrowdRlFramework framework(config);
+  core::LabellingResult result;
+  ASSERT_TRUE(framework.Run(w.dataset, w.pool, kBudget, 13, &result).ok());
+  ASSERT_EQ(result.labels.size(), w.dataset.num_objects());
+  for (size_t i = 0; i < result.labels.size(); ++i) {
+    EXPECT_NE(result.sources[i], core::LabelSource::kNone);
+  }
+  fs::remove_all(dir);
+}
+
+// Same drain contract for an asynchronous-inference campaign: the
+// unobserved-round backlog is aligned back to the batch-compatible
+// pending-reward form before the checkpoint is written.
+TEST(LabellingServiceTest, AsyncDrainedCampaignResumesThroughBatch) {
+  Workload w;
+  std::string dir = FreshDir("async_drain");
+  core::CrowdRlConfig config = TestConfig();
+  config.checkpoint_dir = dir;
+
+  {
+    LabellingService service;
+    CampaignOptions options;
+    options.name = "async_drain";
+    options.config = config;
+    options.synchronous_inference = false;
+    Campaign* campaign =
+        service.AddCampaign(options, &w.dataset, &w.pool, kBudget, 19);
+    ASSERT_TRUE(service.StartAll().ok());
+    campaign->sessions().ConnectAll();
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> drivers =
+        StartDrivers(campaign, w.pool.size(), &stop);
+    // Let a few rounds through, then shut down mid-run.
+    size_t waits = 0;
+    while (campaign->rounds_completed() < 3 && !campaign->done()) {
+      if (!service.PumpOnce()) service.hub().WaitFor(500);
+      ASSERT_LT(++waits, 200000u) << "service pump wedged";
+    }
+    stop.store(true, std::memory_order_release);
+    for (std::thread& t : drivers) t.join();
+    ASSERT_TRUE(service.Shutdown().ok());
+    EXPECT_TRUE(campaign->done());
+  }
+
+  config.resume = true;
+  core::CrowdRlFramework framework(config);
+  core::LabellingResult result;
+  ASSERT_TRUE(framework.Run(w.dataset, w.pool, kBudget, 19, &result).ok());
+  ASSERT_EQ(result.labels.size(), w.dataset.num_objects());
+  fs::remove_all(dir);
+}
+
+// Flush-on-completion: the per-round metrics JSONL ends exactly at the
+// final round, with the per-campaign serve counters present.
+TEST(LabellingServiceTest, MetricsSinkFlushedOnCompletion) {
+  Workload w;
+  std::string dir = FreshDir("metrics");
+  std::string metrics_path = dir + "/serve_metrics.jsonl";
+  core::CrowdRlConfig config = TestConfig();
+  config.obs.enabled = true;
+  config.obs.metrics_jsonl_path = metrics_path;
+
+  LabellingService service;
+  CampaignOptions options;
+  options.name = "metered";
+  options.config = config;
+  Campaign* campaign =
+      service.AddCampaign(options, &w.dataset, &w.pool, kBudget, 23);
+  ASSERT_TRUE(service.StartAll().ok());
+  campaign->sessions().ConnectAll();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> drivers =
+      StartDrivers(campaign, w.pool.size(), &stop);
+  ASSERT_TRUE(service.RunUntilComplete().ok());
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : drivers) t.join();
+  ExpectCompleteAndLabelled(*campaign, w);
+
+  std::ifstream in(metrics_path);
+  ASSERT_TRUE(in.good()) << "metrics sink was not written";
+  std::stringstream contents;
+  contents << in.rdbuf();
+  std::string text = contents.str();
+  EXPECT_FALSE(text.empty());
+  EXPECT_NE(text.find("crowdrl.serve.metered.answers"), std::string::npos);
+  EXPECT_NE(text.find("crowdrl.serve.metered.rounds"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace crowdrl::serve
