@@ -1,5 +1,7 @@
 #include "bench/bench_common.h"
 
+#include <sys/resource.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -42,7 +44,9 @@ constexpr double kFashionBudget = 160000.0;
                "  --metrics_out=PATH    per-iteration CrowdRL metrics JSONL "
                "(implies --obs)\n"
                "  --trace_out=PATH      Chrome trace-event JSON of the "
-               "CrowdRL run (implies --obs)\n",
+               "CrowdRL run (implies --obs)\n"
+               "  --objects=N           override every dataset variant's "
+               "object count (0 = paper size x scale)\n",
                argv0);
   std::exit(2);
 }
@@ -95,6 +99,8 @@ BenchConfig ParseArgs(int argc, char** argv) {
       config.trace_out = arg + 12;
       if (config.trace_out.empty()) Usage(argv[0]);
       config.obs = true;
+    } else if (std::strncmp(arg, "--objects=", 10) == 0) {
+      config.objects_override = static_cast<size_t>(std::atoll(arg + 10));
     } else if (std::strcmp(arg, "--full") == 0) {
       config.full = true;
       config.scale = 1.0;
@@ -122,6 +128,9 @@ data::Dataset MakeDatasetVariant(const std::string& name,
     size_t paper_size = base == "S12" ? 2344 : 1898;
     options.num_objects = static_cast<size_t>(std::llround(
         scale * static_cast<double>(paper_size)));
+    if (config.objects_override > 0) {
+      options.num_objects = config.objects_override;
+    }
     return base == "S12" ? data::MakeSpeech12(options)
                          : data::MakeSpeech3(options);
   }
@@ -134,6 +143,10 @@ data::Dataset MakeDatasetVariant(const std::string& name,
     // Fashion is 14x larger than the speech sets; an extra 10x reduction
     // keeps the default bench interactive. --full restores 32,398.
     options.num_objects = std::max<size_t>(options.num_objects, 200);
+  }
+  if (config.objects_override > 0) {
+    options.full_scale = false;
+    options.num_objects = config.objects_override;
   }
   return data::MakeFashion(options);
 }
@@ -229,6 +242,40 @@ eval::ExperimentOutcome RunCell(core::LabellingFramework* framework,
   CROWDRL_CHECK(status.ok())
       << framework->name() << " failed: " << status.ToString();
   return outcome;
+}
+
+namespace {
+
+// Parses "<Field>:   <kb> kB" out of /proc/self/status; 0 when missing.
+size_t ProcStatusKb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  size_t kb = 0;
+  char line[256];
+  size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 &&
+        line[field_len] == ':') {
+      kb = static_cast<size_t>(std::atoll(line + field_len + 1));
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+size_t CurrentRssKb() { return ProcStatusKb("VmRSS"); }
+
+size_t PeakRssKb() {
+  size_t kb = ProcStatusKb("VmHWM");
+  if (kb > 0) return kb;
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    return static_cast<size_t>(usage.ru_maxrss);  // KiB on Linux.
+  }
+  return 0;
 }
 
 void PrintBanner(const std::string& figure, const BenchConfig& config) {

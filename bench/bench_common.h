@@ -41,6 +41,10 @@ struct BenchConfig {
   bool obs = false;
   std::string metrics_out;
   std::string trace_out;
+  /// Overrides the object count of every dataset variant (0 = use the
+  /// paper size scaled by --scale). Lets the serve bench and the scale
+  /// smoke grow campaigns beyond the paper datasets.
+  size_t objects_override = 0;
 };
 
 /// Parses --scale=F --seeds=N --full --seed=S --threads=T
@@ -100,6 +104,14 @@ eval::ExperimentOutcome RunCell(core::LabellingFramework* framework,
 
 /// Prints the standard bench banner (figure id, scale, seeds).
 void PrintBanner(const std::string& figure, const BenchConfig& config);
+
+/// Resident-set size of this process right now, in KiB (Linux
+/// /proc/self/status VmRSS; 0 when unreadable).
+size_t CurrentRssKb();
+
+/// Lifetime peak resident-set size, in KiB (VmHWM, falling back to
+/// getrusage ru_maxrss; 0 when neither is available).
+size_t PeakRssKb();
 
 }  // namespace crowdrl::bench
 

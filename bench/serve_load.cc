@@ -14,6 +14,8 @@
 //   --churn_period_ms=P  disconnect one annotator every P ms (0 = off,
 //                        default 25)
 //   --shared_threads=T   shared selection pool size      (default 2)
+//   --objects=N          override objects per campaign   (0 = dataset
+//                        default, default 0)
 //   --json=PATH          output report                   (default
 //                        BENCH_serve.json)
 
@@ -49,6 +51,7 @@ struct ServeBenchConfig {
   double mean_latency_us = 300.0;
   int churn_period_ms = 25;
   int shared_threads = 2;
+  size_t objects = 0;  // 0 keeps each dataset variant's own size.
   std::string json = "BENCH_serve.json";
 };
 
@@ -72,6 +75,8 @@ ServeBenchConfig ParseServeArgs(int argc, char** argv) {
       config.churn_period_ms = std::atoi(v);
     } else if (const char* v = value("--shared_threads=")) {
       config.shared_threads = std::atoi(v);
+    } else if (const char* v = value("--objects=")) {
+      config.objects = static_cast<size_t>(std::atoll(v));
     } else if (const char* v = value("--json=")) {
       config.json = v;
     } else {
@@ -79,7 +84,7 @@ ServeBenchConfig ParseServeArgs(int argc, char** argv) {
                    "usage: serve_load [--campaigns=N] [--scale=F] "
                    "[--annotators=M] [--mean_latency_us=U] "
                    "[--churn_period_ms=P] [--shared_threads=T] "
-                   "[--json=PATH]\n");
+                   "[--objects=N] [--json=PATH]\n");
       std::exit(2);
     }
   }
@@ -104,6 +109,7 @@ int main(int argc, char** argv) {
 
   BenchConfig bench_config;
   bench_config.scale = serve_config.scale;
+  bench_config.objects_override = serve_config.objects;
 
   // Alternate the two speech workloads across campaigns so the scheduler
   // multiplexes genuinely different datasets / budgets.
@@ -185,6 +191,26 @@ int main(int argc, char** argv) {
     }
   }
 
+  // RSS sampler: polls process residency while campaigns run and books
+  // the peak against every campaign still live at the sample. Residency
+  // is process-wide, so a campaign's figure reads as "peak footprint
+  // while this campaign was active", not an exclusive attribution.
+  std::vector<std::atomic<size_t>> campaign_peak_rss_kb(campaigns.size());
+  for (auto& peak : campaign_peak_rss_kb) peak.store(0);
+  std::thread rss_sampler([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const size_t rss = crowdrl::bench::CurrentRssKb();
+      for (size_t c = 0; c < campaigns.size(); ++c) {
+        if (campaigns[c]->done()) continue;
+        size_t prev = campaign_peak_rss_kb[c].load();
+        while (prev < rss &&
+               !campaign_peak_rss_kb[c].compare_exchange_weak(prev, rss)) {
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
   const auto wall_start = std::chrono::steady_clock::now();
   CROWDRL_CHECK(service.RunUntilComplete().ok());
   const double wall_seconds =
@@ -192,7 +218,9 @@ int main(int argc, char** argv) {
                                     wall_start)
           .count();
   stop.store(true, std::memory_order_release);
+  rss_sampler.join();
   for (std::thread& t : threads) t.join();
+  const size_t peak_rss_kb = crowdrl::bench::PeakRssKb();
 
   std::FILE* out = std::fopen(serve_config.json.c_str(), "w");
   CROWDRL_CHECK(out != nullptr) << "cannot open " << serve_config.json;
@@ -200,10 +228,12 @@ int main(int argc, char** argv) {
   std::fprintf(out,
                "  \"config\": {\"campaigns\": %d, \"scale\": %g, "
                "\"annotators\": %d, \"mean_latency_us\": %g, "
-               "\"churn_period_ms\": %d, \"shared_threads\": %d},\n",
+               "\"churn_period_ms\": %d, \"shared_threads\": %d, "
+               "\"objects\": %zu},\n",
                serve_config.campaigns, serve_config.scale,
                serve_config.annotators, serve_config.mean_latency_us,
-               serve_config.churn_period_ms, serve_config.shared_threads);
+               serve_config.churn_period_ms, serve_config.shared_threads,
+               serve_config.objects);
   std::fprintf(out, "  \"wall_seconds\": %.3f,\n", wall_seconds);
 
   size_t total_answers = 0;
@@ -220,14 +250,15 @@ int main(int argc, char** argv) {
         "\"answers_per_sec\": %.1f, \"assignment_latency_p50_us\": %.1f, "
         "\"assignment_latency_p99_us\": %.1f, \"ti_swaps\": %zu, "
         "\"ti_stall_ms\": %.3f, \"abandoned\": %zu, "
-        "\"budget_spent\": %.2f, \"iterations\": %zu}%s\n",
+        "\"budget_spent\": %.2f, \"iterations\": %zu, "
+        "\"peak_rss_kb\": %zu}%s\n",
         setups[c].name.c_str(), campaign->answers_committed(),
         campaign->rounds_completed(),
         static_cast<double>(campaign->answers_committed()) / wall_seconds,
         p50, p99, campaign->ti_swaps(),
         static_cast<double>(campaign->ti_stall_ns()) / 1e6,
         campaign->abandoned_items(), campaign->result().budget_spent,
-        campaign->result().iterations,
+        campaign->result().iterations, campaign_peak_rss_kb[c].load(),
         c + 1 < campaigns.size() ? "," : "");
     std::printf(
         "%-22s answers %6zu  rounds %4zu  p50 %8.1fus  p99 %8.1fus  "
@@ -238,6 +269,7 @@ int main(int argc, char** argv) {
         campaign->abandoned_items());
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"peak_rss_kb\": %zu,\n", peak_rss_kb);
   std::fprintf(out, "  \"total_answers_per_sec\": %.1f\n",
                static_cast<double>(total_answers) / wall_seconds);
   std::fprintf(out, "}\n");

@@ -2,80 +2,115 @@
 
 #include <algorithm>
 
-#include "util/logging.h"
-
 namespace crowdrl::crowd {
 
-AnswerLog::AnswerLog(size_t num_objects, size_t num_annotators)
+AnswerLog::AnswerLog(size_t num_objects, size_t num_annotators,
+                     size_t shard_objects)
     : num_objects_(num_objects),
       num_annotators_(num_annotators),
-      answers_(num_objects * num_annotators, kNoAnswer),
-      entries_(num_objects * num_annotators, {0, 0}),
-      counts_(num_objects, 0) {
-  CROWDRL_CHECK(num_objects > 0 && num_annotators > 0);
+      shard_objects_(shard_objects),
+      shards_((num_objects + shard_objects - 1) / shard_objects) {
+  CROWDRL_CHECK(num_objects > 0 && num_annotators > 0 && shard_objects > 0);
 }
 
-size_t AnswerLog::Index(int object, int annotator) const {
-  CROWDRL_DCHECK(object >= 0 &&
-                 static_cast<size_t>(object) < num_objects_);
-  CROWDRL_DCHECK(annotator >= 0 &&
-                 static_cast<size_t>(annotator) < num_annotators_);
-  return static_cast<size_t>(object) * num_annotators_ +
-         static_cast<size_t>(annotator);
-}
-
-void AnswerLog::GrowHistograms(int num_classes) {
-  CROWDRL_CHECK(num_classes > hist_classes_);
-  std::vector<int> wider(num_objects_ * static_cast<size_t>(num_classes), 0);
-  for (size_t i = 0; i < num_objects_; ++i) {
-    for (int c = 0; c < hist_classes_; ++c) {
-      wider[i * static_cast<size_t>(num_classes) + static_cast<size_t>(c)] =
-          histograms_[i * static_cast<size_t>(hist_classes_) +
-                      static_cast<size_t>(c)];
+AnswerLog::AnswerLog(const AnswerLog& other)
+    : num_objects_(other.num_objects_),
+      num_annotators_(other.num_annotators_),
+      shard_objects_(other.shard_objects_),
+      shards_(other.shards_.size()),
+      hist_classes_(other.hist_classes_),
+      touch_log_(other.touch_log_),
+      total_answers_(other.total_answers_) {
+  for (size_t s = 0; s < other.shards_.size(); ++s) {
+    const Shard* src = other.shards_[s].get();
+    if (src == nullptr) continue;
+    auto shard = std::make_unique<Shard>(src->rows.size());
+    shard->answers = src->answers;
+    for (size_t r = 0; r < src->rows.size(); ++r) {
+      if (src->rows[r] != nullptr) {
+        shard->rows[r] = std::make_unique<ObjectRow>(*src->rows[r]);
+      }
     }
+    shards_[s] = std::move(shard);
   }
-  histograms_ = std::move(wider);
-  hist_classes_ = num_classes;
+}
+
+AnswerLog& AnswerLog::operator=(const AnswerLog& other) {
+  if (this != &other) *this = AnswerLog(other);
+  return *this;
+}
+
+std::pair<size_t, size_t> AnswerLog::ShardRange(size_t shard) const {
+  CROWDRL_CHECK(shard < shards_.size());
+  const size_t begin = shard * shard_objects_;
+  return {begin, std::min(begin + shard_objects_, num_objects_)};
+}
+
+bool AnswerLog::ShardEmpty(size_t shard) const {
+  return ShardAnswerCount(shard) == 0;
+}
+
+size_t AnswerLog::ShardAnswerCount(size_t shard) const {
+  CROWDRL_CHECK(shard < shards_.size());
+  const Shard* s = shards_[shard].get();
+  return s == nullptr ? 0 : s->answers;
+}
+
+AnswerLog::ObjectRow* AnswerLog::MutableRow(int object) {
+  const size_t i = static_cast<size_t>(object);
+  std::unique_ptr<Shard>& shard = shards_[i / shard_objects_];
+  if (shard == nullptr) {
+    const auto [begin, end] = ShardRange(i / shard_objects_);
+    shard = std::make_unique<Shard>(end - begin);
+  }
+  std::unique_ptr<ObjectRow>& row = shard->rows[i % shard_objects_];
+  if (row == nullptr) row = std::make_unique<ObjectRow>(num_annotators_);
+  return row.get();
 }
 
 void AnswerLog::Record(int object, int annotator, int label) {
   CROWDRL_CHECK(label >= 0);
-  size_t idx = Index(object, annotator);
-  CROWDRL_CHECK(answers_[idx] == kNoAnswer)
+  CROWDRL_CHECK(object >= 0 && static_cast<size_t>(object) < num_objects_);
+  CROWDRL_CHECK(annotator >= 0 &&
+                static_cast<size_t>(annotator) < num_annotators_);
+  ObjectRow* row = MutableRow(object);
+  int& cell = row->grid[static_cast<size_t>(annotator)];
+  CROWDRL_CHECK(cell == kNoAnswer)
       << "duplicate answer for object " << object << " by annotator "
       << annotator;
-  answers_[idx] = label;
-  size_t i = static_cast<size_t>(object);
-  entries_[i * num_annotators_ + static_cast<size_t>(counts_[i])] = {
-      annotator, label};
-  ++counts_[i];
-  if (label >= hist_classes_) GrowHistograms(label + 1);
-  ++histograms_[i * static_cast<size_t>(hist_classes_) +
-                static_cast<size_t>(label)];
+  cell = label;
+  row->entries.emplace_back(annotator, label);
+  if (label >= hist_classes_) hist_classes_ = label + 1;
+  if (static_cast<int>(row->hist.size()) <= label) {
+    row->hist.resize(static_cast<size_t>(label) + 1, 0);
+  }
+  ++row->hist[static_cast<size_t>(label)];
+  ++shards_[static_cast<size_t>(object) / shard_objects_]->answers;
   touch_log_.push_back(object);
   ++total_answers_;
 }
 
-bool AnswerLog::HasAnswer(int object, int annotator) const {
-  return answers_[Index(object, annotator)] != kNoAnswer;
-}
-
-int AnswerLog::Answer(int object, int annotator) const {
-  return answers_[Index(object, annotator)];
-}
-
-int AnswerLog::AnswerCount(int object) const {
-  CROWDRL_DCHECK(object >= 0 &&
-                 static_cast<size_t>(object) < num_objects_);
-  return counts_[static_cast<size_t>(object)];
-}
-
-AnswerSpan AnswerLog::AnswersFor(int object) const {
-  CROWDRL_DCHECK(object >= 0 &&
-                 static_cast<size_t>(object) < num_objects_);
-  size_t i = static_cast<size_t>(object);
-  return AnswerSpan(entries_.data() + i * num_annotators_,
-                    static_cast<size_t>(counts_[i]));
+Status AnswerLog::Apply(size_t object, int annotator, int label) {
+  if (annotator < 0 || static_cast<size_t>(annotator) >= num_annotators_) {
+    return Status::DataLoss("answer-log annotator out of range");
+  }
+  if (label < 0) {
+    return Status::DataLoss("answer-log label is negative");
+  }
+  ObjectRow* row = MutableRow(static_cast<int>(object));
+  int& cell = row->grid[static_cast<size_t>(annotator)];
+  if (cell != kNoAnswer) {
+    return Status::DataLoss("duplicate answer in serialized log");
+  }
+  cell = label;
+  row->entries.emplace_back(annotator, label);
+  if (label >= hist_classes_) hist_classes_ = label + 1;
+  if (static_cast<int>(row->hist.size()) <= label) {
+    row->hist.resize(static_cast<size_t>(label) + 1, 0);
+  }
+  ++row->hist[static_cast<size_t>(label)];
+  ++shards_[object / shard_objects_]->answers;
+  return Status::Ok();
 }
 
 IntSpan AnswerLog::TouchedSince(size_t revision) const {
@@ -108,16 +143,11 @@ Status AnswerLog::LoadState(io::Reader* reader) {
   if (num_objects != num_objects_ || num_annotators != num_annotators_) {
     return Status::InvalidArgument("answer-log shape mismatch on restore");
   }
-  // Rebuild the grid by replaying the per-object recording order, with the
-  // same range and no-duplicate invariants Record enforces — but returning
-  // DataLoss instead of aborting, since the bytes come from disk.
-  std::vector<int> answers(num_objects * num_annotators, kNoAnswer);
-  std::vector<std::pair<int, int>> entries(num_objects * num_annotators,
-                                           {0, 0});
-  std::vector<int> counts(num_objects, 0);
-  std::vector<int> touch_log;
-  int max_label = -1;
-  size_t total = 0;
+  // Rebuild into a fresh log by replaying the per-object recording order,
+  // with the same range and no-duplicate invariants Record enforces — but
+  // returning DataLoss instead of aborting, since the bytes come from
+  // disk. *this is only replaced once the whole payload validated.
+  AnswerLog fresh(num_objects_, num_annotators_, shard_objects_);
   for (size_t i = 0; i < num_objects; ++i) {
     size_t count = 0;
     CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&count));
@@ -129,40 +159,100 @@ Status AnswerLog::LoadState(io::Reader* reader) {
       int32_t label = 0;
       CROWDRL_RETURN_IF_ERROR(reader->ReadI32(&annotator));
       CROWDRL_RETURN_IF_ERROR(reader->ReadI32(&label));
-      if (annotator < 0 || static_cast<size_t>(annotator) >= num_annotators) {
+      CROWDRL_RETURN_IF_ERROR(fresh.Apply(i, annotator, label));
+      fresh.touch_log_.push_back(static_cast<int>(i));
+      ++fresh.total_answers_;
+    }
+  }
+  *this = std::move(fresh);
+  return Status::Ok();
+}
+
+void AnswerLog::SaveShardState(size_t shard, io::Writer* writer) const {
+  CROWDRL_CHECK(writer != nullptr);
+  const auto [begin, end] = ShardRange(shard);
+  writer->WriteSize(begin);
+  writer->WriteSize(end);
+  for (size_t i = begin; i < end; ++i) {
+    AnswerSpan answers = AnswersFor(static_cast<int>(i));
+    writer->WriteSize(answers.size());
+    for (const auto& [annotator, label] : answers) {
+      writer->WriteI32(annotator);
+      writer->WriteI32(label);
+    }
+  }
+}
+
+Status AnswerLog::LoadShardState(io::Reader* reader) {
+  CROWDRL_CHECK(reader != nullptr);
+  size_t begin = 0;
+  size_t end = 0;
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&begin));
+  CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&end));
+  if (begin >= end || end > num_objects_) {
+    return Status::DataLoss("answer-log shard range is invalid");
+  }
+  const size_t shard_index = begin / shard_objects_;
+  if (ShardRange(shard_index) != std::make_pair(begin, end)) {
+    return Status::InvalidArgument(
+        "answer-log shard range does not match this log's shard geometry");
+  }
+  if (ShardAnswerCount(shard_index) > 0) {
+    return Status::InvalidArgument(
+        "answer-log shard range already holds answers");
+  }
+  // Build the shard off to the side so a corrupt payload leaves the log
+  // untouched, then install it in one move.
+  auto shard = std::make_unique<Shard>(end - begin);
+  int max_label = -1;
+  for (size_t i = begin; i < end; ++i) {
+    size_t count = 0;
+    CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&count));
+    if (count > num_annotators_) {
+      return Status::DataLoss("object has more answers than annotators");
+    }
+    if (count == 0) continue;
+    auto row = std::make_unique<ObjectRow>(num_annotators_);
+    for (size_t a = 0; a < count; ++a) {
+      int32_t annotator = 0;
+      int32_t label = 0;
+      CROWDRL_RETURN_IF_ERROR(reader->ReadI32(&annotator));
+      CROWDRL_RETURN_IF_ERROR(reader->ReadI32(&label));
+      if (annotator < 0 ||
+          static_cast<size_t>(annotator) >= num_annotators_) {
         return Status::DataLoss("answer-log annotator out of range");
       }
       if (label < 0) {
         return Status::DataLoss("answer-log label is negative");
       }
-      size_t idx = i * num_annotators + static_cast<size_t>(annotator);
-      if (answers[idx] != kNoAnswer) {
+      int& cell = row->grid[static_cast<size_t>(annotator)];
+      if (cell != kNoAnswer) {
         return Status::DataLoss("duplicate answer in serialized log");
       }
-      answers[idx] = label;
-      entries[i * num_annotators + a] = {annotator, label};
+      cell = label;
+      row->entries.emplace_back(annotator, label);
       max_label = std::max(max_label, static_cast<int>(label));
-      touch_log.push_back(static_cast<int>(i));
-      ++total;
     }
-    counts[i] = static_cast<int>(count);
-  }
-  answers_ = std::move(answers);
-  entries_ = std::move(entries);
-  counts_ = std::move(counts);
-  touch_log_ = std::move(touch_log);
-  total_answers_ = total;
-  hist_classes_ = 0;
-  histograms_.clear();
-  if (max_label >= 0) {
-    GrowHistograms(max_label + 1);
-    for (size_t i = 0; i < num_objects_; ++i) {
-      for (const auto& [annotator, label] : AnswersFor(static_cast<int>(i))) {
-        ++histograms_[i * static_cast<size_t>(hist_classes_) +
-                      static_cast<size_t>(label)];
+    for (const auto& [annotator, label] : row->entries) {
+      (void)annotator;
+      if (static_cast<int>(row->hist.size()) <= label) {
+        row->hist.resize(static_cast<size_t>(label) + 1, 0);
       }
+      ++row->hist[static_cast<size_t>(label)];
+    }
+    shard->answers += row->entries.size();
+    shard->rows[i - begin] = std::move(row);
+  }
+  hist_classes_ = std::max(hist_classes_, max_label + 1);
+  for (size_t i = begin; i < end; ++i) {
+    const std::unique_ptr<ObjectRow>& row = shard->rows[i - begin];
+    if (row == nullptr) continue;
+    for (size_t a = 0; a < row->entries.size(); ++a) {
+      touch_log_.push_back(static_cast<int>(i));
     }
   }
+  total_answers_ += shard->answers;
+  shards_[shard_index] = std::move(shard);
   return Status::Ok();
 }
 
@@ -177,17 +267,18 @@ void AnswerLog::LabelHistogramInto(int object, int num_classes,
                                    std::vector<int>* out) const {
   CROWDRL_CHECK(num_classes >= 2);
   CROWDRL_DCHECK(out != nullptr);
-  CROWDRL_DCHECK(object >= 0 &&
-                 static_cast<size_t>(object) < num_objects_);
-  size_t i = static_cast<size_t>(object);
   out->assign(static_cast<size_t>(num_classes), 0);
-  int copy = std::min(num_classes, hist_classes_);
-  const int* row = histograms_.data() + i * static_cast<size_t>(hist_classes_);
-  for (int c = 0; c < copy; ++c) (*out)[static_cast<size_t>(c)] = row[c];
+  const ObjectRow* row = Row(object);
+  if (row == nullptr) return;
+  const int row_classes = static_cast<int>(row->hist.size());
+  const int copy = std::min(num_classes, row_classes);
+  for (int c = 0; c < copy; ++c) {
+    (*out)[static_cast<size_t>(c)] = row->hist[static_cast<size_t>(c)];
+  }
   // Same contract as the historical scan: an answer outside [0, num_classes)
   // is a programming error.
-  for (int c = num_classes; c < hist_classes_; ++c) {
-    CROWDRL_CHECK(row[c] == 0)
+  for (int c = num_classes; c < row_classes; ++c) {
+    CROWDRL_CHECK(row->hist[static_cast<size_t>(c)] == 0)
         << "answer " << c << " outside class range";
   }
 }

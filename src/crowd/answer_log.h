@@ -2,10 +2,12 @@
 #define CROWDRL_CROWD_ANSWER_LOG_H_
 
 #include <cstddef>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "io/serializer.h"
+#include "util/logging.h"
 #include "util/status.h"
 
 namespace crowdrl::crowd {
@@ -54,20 +56,38 @@ class IntSpan {
 /// annotator j's answer for object i, or kNoAnswer if w_j has not labelled
 /// o_i yet. This is the first component of the RL state.
 ///
-/// Storage is indexed for the scoring hot path: besides the dense grid,
-/// answers live in a CSR-style fixed-stride store (each object owns the
-/// contiguous span [i * num_annotators, i * num_annotators + count_i), so
-/// `AnswersFor` is a pointer view, never an allocation), per-object label
-/// histograms are maintained incrementally on `Record` (so
-/// `LabelHistogramInto` is a copy, not a scan), and an append-only touch
-/// log records which object each answer landed on — incremental consumers
-/// (rl::ScoreCache) remember the `revision()` they last synced at and ask
-/// `TouchedSince` for exactly the objects that changed.
+/// Storage is sharded by object range so memory scales with *touched*
+/// objects, not |O| x |W|: objects live in fixed-range shards
+/// (`shard_objects` per shard) that are allocated on first Record into the
+/// range, and each touched object owns an ObjectRow holding its dense
+/// answer row (O(1) HasAnswer/Answer), its (annotator, label) entries in
+/// recording order (`AnswersFor` is a pointer view, never an allocation)
+/// and an incrementally maintained label histogram (`LabelHistogramInto`
+/// is a copy, not a scan). Objects that were never answered cost nothing
+/// beyond a null pointer, so a million-object campaign whose answers touch
+/// a few ranges stays small. An append-only touch log records which object
+/// each answer landed on — incremental consumers (rl::ScoreCache) remember
+/// the `revision()` they last synced at and ask `TouchedSince` for exactly
+/// the objects that changed.
+///
+/// The shard layout is also the checkpoint streaming unit: besides the
+/// seed-format SaveState, `SaveShardState`/`LoadShardState` serialize one
+/// object range at a time so huge logs can be checkpointed section by
+/// section without a monolithic buffer (see io::SnapshotStreamWriter).
 class AnswerLog {
  public:
   static constexpr int kNoAnswer = -1;
+  static constexpr size_t kDefaultShardObjects = 1024;
 
-  AnswerLog(size_t num_objects, size_t num_annotators);
+  AnswerLog(size_t num_objects, size_t num_annotators,
+            size_t shard_objects = kDefaultShardObjects);
+
+  /// Deep copy (the serve-mode truth-inference snapshot copies the log;
+  /// only allocated shards/rows are cloned).
+  AnswerLog(const AnswerLog& other);
+  AnswerLog& operator=(const AnswerLog& other);
+  AnswerLog(AnswerLog&&) = default;
+  AnswerLog& operator=(AnswerLog&&) = default;
 
   size_t num_objects() const { return num_objects_; }
   size_t num_annotators() const { return num_annotators_; }
@@ -90,14 +110,33 @@ class AnswerLog {
   /// duplicate labelling via Q = -inf masking).
   void Record(int object, int annotator, int label);
 
-  bool HasAnswer(int object, int annotator) const;
-  int Answer(int object, int annotator) const;
+  bool HasAnswer(int object, int annotator) const {
+    const ObjectRow* row = Row(object);
+    return row != nullptr &&
+           row->grid[static_cast<size_t>(annotator)] != kNoAnswer;
+  }
+
+  int Answer(int object, int annotator) const {
+    const ObjectRow* row = Row(object);
+    CROWDRL_DCHECK(annotator >= 0 &&
+                   static_cast<size_t>(annotator) < num_annotators_);
+    return row == nullptr ? kNoAnswer
+                          : row->grid[static_cast<size_t>(annotator)];
+  }
 
   /// Number of answers collected for one object.
-  int AnswerCount(int object) const;
+  int AnswerCount(int object) const {
+    const ObjectRow* row = Row(object);
+    return row == nullptr ? 0 : static_cast<int>(row->entries.size());
+  }
 
   /// All (annotator, label) pairs for one object, in recording order.
-  AnswerSpan AnswersFor(int object) const;
+  AnswerSpan AnswersFor(int object) const {
+    const ObjectRow* row = Row(object);
+    return row == nullptr ? AnswerSpan()
+                          : AnswerSpan(row->entries.data(),
+                                       row->entries.size());
+  }
 
   /// Votes per class for one object.
   std::vector<int> LabelHistogram(int object, int num_classes) const;
@@ -108,6 +147,17 @@ class AnswerLog {
   void LabelHistogramInto(int object, int num_classes,
                           std::vector<int>* out) const;
 
+  /// Shard geometry: shard s covers objects [s*shard_objects,
+  /// min((s+1)*shard_objects, num_objects)).
+  size_t shard_objects() const { return shard_objects_; }
+  size_t num_shards() const { return shards_.size(); }
+  std::pair<size_t, size_t> ShardRange(size_t shard) const;
+  /// True when no object in the shard has any answer (such shards hold no
+  /// storage and need no checkpoint section).
+  bool ShardEmpty(size_t shard) const;
+  /// Answers recorded into one shard's object range.
+  size_t ShardAnswerCount(size_t shard) const;
+
   /// Checkpointable surface: the per-object recording order (the grid and
   /// counters are rebuilt from it). LoadState requires the restored-into
   /// log to have the same shape (InvalidArgument otherwise) and rejects
@@ -116,26 +166,51 @@ class AnswerLog {
   void SaveState(io::Writer* writer) const;
   Status LoadState(io::Reader* reader);
 
- private:
-  size_t Index(int object, int annotator) const;
+  /// Streaming checkpoint surface: one shard's object range as a
+  /// self-describing section (range bounds + per-object recording order).
+  /// LoadShardState applies a shard payload into this log — the target
+  /// range must not hold any answers yet (restore into a fresh log, any
+  /// shard order), and the same validation as LoadState applies. Restores
+  /// assembled from the full set of non-empty shards are equivalent to
+  /// LoadState of the monolithic payload (the touch log is per-object
+  /// order in both, see TouchedSince).
+  void SaveShardState(size_t shard, io::Writer* writer) const;
+  Status LoadShardState(io::Reader* reader);
 
-  /// Widens the histogram index to at least `num_classes` columns
-  /// (preserving counts). Called from Record when a label outgrows it.
-  void GrowHistograms(int num_classes);
+ private:
+  /// Storage for one answered object; allocated on its first Record.
+  struct ObjectRow {
+    explicit ObjectRow(size_t num_annotators)
+        : grid(num_annotators, kNoAnswer) {}
+    std::vector<int> grid;  // Dense answer row, kNoAnswer-filled.
+    std::vector<std::pair<int, int>> entries;  // Recording order.
+    std::vector<int> hist;  // Votes per class, grown lazily per row.
+  };
+  /// One fixed object range; allocated on the first Record into it.
+  struct Shard {
+    explicit Shard(size_t range_objects) : rows(range_objects) {}
+    std::vector<std::unique_ptr<ObjectRow>> rows;
+    size_t answers = 0;
+  };
+
+  const ObjectRow* Row(int object) const {
+    CROWDRL_DCHECK(object >= 0 &&
+                   static_cast<size_t>(object) < num_objects_);
+    const size_t i = static_cast<size_t>(object);
+    const Shard* shard = shards_[i / shard_objects_].get();
+    return shard == nullptr ? nullptr
+                            : shard->rows[i % shard_objects_].get();
+  }
+  ObjectRow* MutableRow(int object);
+
+  /// Record without touching touch_log_/total_answers_, returning DataLoss
+  /// instead of aborting on invalid input (shared by the restore paths).
+  Status Apply(size_t object, int annotator, int label);
 
   size_t num_objects_;
   size_t num_annotators_;
-  std::vector<int> answers_;  // Row-major |O| x |W|, kNoAnswer-filled.
-  /// CSR-style fixed-stride store: object i's answers occupy
-  /// entries_[i * num_annotators_ .. + counts_[i]) in recording order.
-  /// (An object can hold at most num_annotators_ answers, so the stride is
-  /// exact and appends never shift other objects' spans.)
-  std::vector<std::pair<int, int>> entries_;
-  std::vector<int> counts_;  // Answers per object.
-  /// Per-object label histograms, |O| x hist_classes_ row-major, updated
-  /// in O(1) per Record (plus rare widenings when a label exceeds the
-  /// current class count).
-  std::vector<int> histograms_;
+  size_t shard_objects_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   int hist_classes_ = 0;
   /// touch_log_[r] = object that received answer number r.
   std::vector<int> touch_log_;

@@ -45,7 +45,43 @@ std::string SnapshotBuilder::Serialize() const {
 }
 
 Status SnapshotBuilder::WriteFile(const std::string& path) const {
-  std::string bytes = Serialize();
+  // Streams section-by-section: the sections already live in their
+  // writers, so no concatenated copy of the whole snapshot is ever built
+  // (Serialize() would double peak memory exactly when the state is
+  // biggest).
+  SnapshotStreamWriter stream;
+  CROWDRL_RETURN_IF_ERROR(stream.Open(path, sections_.size()));
+  for (const auto& [name, writer] : sections_) {
+    CROWDRL_RETURN_IF_ERROR(stream.AppendSection(name, *writer));
+  }
+  return stream.Close();
+}
+
+SnapshotStreamWriter::~SnapshotStreamWriter() { Abandon(); }
+
+void SnapshotStreamWriter::Abandon() {
+  if (!open_) return;
+  out_.close();
+  std::error_code ec;
+  fs::remove(tmp_path_, ec);  // Best-effort: never leave a stray tmp.
+  open_ = false;
+}
+
+Status SnapshotStreamWriter::WriteRaw(const char* data, size_t size) {
+  out_.write(data, static_cast<std::streamsize>(size));
+  if (!out_) {
+    Status status = Status::Internal(
+        StringPrintf("short write to %s", tmp_path_.c_str()));
+    Abandon();
+    return status;
+  }
+  crc_ = Crc32(data, size, crc_);
+  return Status::Ok();
+}
+
+Status SnapshotStreamWriter::Open(const std::string& path,
+                                  size_t section_count) {
+  CROWDRL_CHECK(!open_) << "SnapshotStreamWriter already open";
   fs::path target(path);
   std::error_code ec;
   if (target.has_parent_path()) {
@@ -53,26 +89,258 @@ Status SnapshotBuilder::WriteFile(const std::string& path) const {
   }
   fs::path tmp = target;
   tmp += ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::Internal(
-          StringPrintf("cannot open %s for writing", tmp.c_str()));
-    }
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) {
-      return Status::Internal(
-          StringPrintf("short write to %s", tmp.c_str()));
-    }
+  path_ = target.string();
+  tmp_path_ = tmp.string();
+  out_.open(tmp_path_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    return Status::Internal(
+        StringPrintf("cannot open %s for writing", tmp_path_.c_str()));
   }
-  fs::rename(tmp, target, ec);
+  open_ = true;
+  declared_sections_ = section_count;
+  appended_sections_ = 0;
+  section_names_.clear();
+  crc_ = 0;
+
+  CROWDRL_RETURN_IF_ERROR(WriteRaw(kSnapshotMagic, sizeof(kSnapshotMagic)));
+  Writer header;
+  header.WriteU32(kSnapshotFormatVersion);
+  header.WriteU32(static_cast<uint32_t>(section_count));
+  return WriteRaw(header.bytes().data(), header.bytes().size());
+}
+
+Status SnapshotStreamWriter::AppendSection(const std::string& name,
+                                           const Writer& payload) {
+  CROWDRL_CHECK(open_) << "AppendSection on a closed SnapshotStreamWriter";
+  CROWDRL_CHECK(appended_sections_ < declared_sections_)
+      << "more sections appended than declared to Open()";
+  for (const std::string& existing : section_names_) {
+    CROWDRL_CHECK(existing != name)
+        << "duplicate snapshot section " << name;
+  }
+  section_names_.push_back(name);
+  Writer frame;
+  frame.WriteU32(static_cast<uint32_t>(name.size()));
+  CROWDRL_RETURN_IF_ERROR(WriteRaw(frame.bytes().data(),
+                                   frame.bytes().size()));
+  CROWDRL_RETURN_IF_ERROR(WriteRaw(name.data(), name.size()));
+  Writer length;
+  length.WriteU64(payload.size());
+  CROWDRL_RETURN_IF_ERROR(WriteRaw(length.bytes().data(),
+                                   length.bytes().size()));
+  CROWDRL_RETURN_IF_ERROR(WriteRaw(payload.bytes().data(), payload.size()));
+  ++appended_sections_;
+  return Status::Ok();
+}
+
+Status SnapshotStreamWriter::Close() {
+  CROWDRL_CHECK(open_) << "Close on a closed SnapshotStreamWriter";
+  CROWDRL_CHECK(appended_sections_ == declared_sections_)
+      << "declared " << declared_sections_ << " sections but appended "
+      << appended_sections_;
+  Writer trailer;
+  trailer.WriteU32(crc_);
+  CROWDRL_RETURN_IF_ERROR(WriteRaw(trailer.bytes().data(),
+                                   trailer.bytes().size()));
+  out_.flush();
+  if (!out_) {
+    Status status = Status::Internal(
+        StringPrintf("flush of %s failed", tmp_path_.c_str()));
+    Abandon();
+    return status;
+  }
+  out_.close();
+  open_ = false;
+  std::error_code ec;
+  fs::rename(tmp_path_, path_, ec);
   if (ec) {
-    fs::remove(tmp, ec);
+    fs::remove(tmp_path_, ec);
     return Status::Internal(StringPrintf("rename %s -> %s failed",
-                                         tmp.c_str(), target.c_str()));
+                                         tmp_path_.c_str(), path_.c_str()));
   }
   return Status::Ok();
+}
+
+namespace {
+
+/// Chunked CRC over `[0, limit)` of an open stream; never holds more than
+/// one chunk.
+Status StreamingCrc(std::ifstream* in, size_t limit, const std::string& path,
+                    uint32_t* crc_out) {
+  constexpr size_t kChunk = size_t{1} << 16;
+  std::vector<char> buffer(kChunk);
+  uint32_t crc = 0;
+  size_t done = 0;
+  in->seekg(0);
+  while (done < limit) {
+    const size_t take = std::min(kChunk, limit - done);
+    in->read(buffer.data(), static_cast<std::streamsize>(take));
+    if (static_cast<size_t>(in->gcount()) != take) {
+      return Status::DataLoss(
+          StringPrintf("snapshot %s shrank while reading", path.c_str()));
+    }
+    crc = Crc32(buffer.data(), take, crc);
+    done += take;
+  }
+  *crc_out = crc;
+  return Status::Ok();
+}
+
+/// Reads exactly `size` bytes at the stream's position.
+Status ReadExact(std::ifstream* in, char* data, size_t size,
+                 const std::string& path, const char* what) {
+  in->read(data, static_cast<std::streamsize>(size));
+  if (static_cast<size_t>(in->gcount()) != size) {
+    return Status::DataLoss(
+        StringPrintf("truncated snapshot %s: %s", path.c_str(), what));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SnapshotStreamReader::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound(
+        StringPrintf("cannot open snapshot %s", path.c_str()));
+  }
+  std::error_code ec;
+  const uintmax_t raw_size = fs::file_size(path, ec);
+  if (ec) {
+    return Status::Internal(
+        StringPrintf("cannot stat snapshot %s", path.c_str()));
+  }
+  const size_t size = static_cast<size_t>(raw_size);
+  constexpr size_t kHeaderSize = sizeof(kSnapshotMagic) + 4 + 4;
+  if (size < kHeaderSize + 4) {
+    return Status::DataLoss("snapshot too short to hold header + trailer");
+  }
+
+  // CRC first, one chunk at a time — same reporting contract as
+  // Snapshot::Parse, constant memory.
+  uint32_t actual_crc = 0;
+  CROWDRL_RETURN_IF_ERROR(StreamingCrc(&in, size - 4, path, &actual_crc));
+  char trailer[4];
+  CROWDRL_RETURN_IF_ERROR(ReadExact(&in, trailer, 4, path, "CRC trailer"));
+  uint32_t stored_crc = 0;
+  {
+    Reader reader(std::string_view(trailer, 4));
+    CROWDRL_RETURN_IF_ERROR(reader.ReadU32(&stored_crc));
+  }
+  if (stored_crc != actual_crc) {
+    return Status::DataLoss(StringPrintf(
+        "snapshot CRC mismatch (stored %08x, computed %08x)", stored_crc,
+        actual_crc));
+  }
+
+  // Framing pass: hop the section frames, seeking over payloads.
+  in.clear();
+  in.seekg(0);
+  char header[kHeaderSize];
+  CROWDRL_RETURN_IF_ERROR(ReadExact(&in, header, kHeaderSize, path,
+                                    "header"));
+  if (std::memcmp(header, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::InvalidArgument("not a CrowdRL snapshot (bad magic)");
+  }
+  uint32_t version = 0;
+  uint32_t count = 0;
+  {
+    Reader reader(std::string_view(header + sizeof(kSnapshotMagic), 8));
+    CROWDRL_RETURN_IF_ERROR(reader.ReadU32(&version));
+    CROWDRL_RETURN_IF_ERROR(reader.ReadU32(&count));
+  }
+  if (version != kSnapshotFormatVersion) {
+    return Status::InvalidArgument(StringPrintf(
+        "unsupported snapshot format version %u (expected %u)", version,
+        kSnapshotFormatVersion));
+  }
+
+  std::vector<SectionSpan> sections;
+  size_t cursor = kHeaderSize;
+  const size_t end = size - 4;  // Where the trailer starts.
+  for (uint32_t s = 0; s < count; ++s) {
+    char name_len_bytes[4];
+    if (cursor + 4 > end) {
+      return Status::DataLoss("truncated snapshot: section name");
+    }
+    CROWDRL_RETURN_IF_ERROR(ReadExact(&in, name_len_bytes, 4, path,
+                                      "section name length"));
+    uint32_t name_len = 0;
+    {
+      Reader reader(std::string_view(name_len_bytes, 4));
+      CROWDRL_RETURN_IF_ERROR(reader.ReadU32(&name_len));
+    }
+    cursor += 4;
+    if (cursor + name_len + 8 > end) {
+      return Status::DataLoss("truncated snapshot: section name");
+    }
+    std::string name(name_len, '\0');
+    CROWDRL_RETURN_IF_ERROR(ReadExact(&in, name.data(), name_len, path,
+                                      "section name"));
+    cursor += name_len;
+    char payload_len_bytes[8];
+    CROWDRL_RETURN_IF_ERROR(ReadExact(&in, payload_len_bytes, 8, path,
+                                      "section payload length"));
+    uint64_t payload_len = 0;
+    {
+      Reader reader(std::string_view(payload_len_bytes, 8));
+      CROWDRL_RETURN_IF_ERROR(reader.ReadU64(&payload_len));
+    }
+    cursor += 8;
+    if (payload_len > end - cursor) {
+      return Status::DataLoss(
+          StringPrintf("truncated snapshot: section %s payload",
+                       name.c_str()));
+    }
+    sections.push_back(
+        {std::move(name), cursor, static_cast<size_t>(payload_len)});
+    cursor += static_cast<size_t>(payload_len);
+    in.seekg(static_cast<std::streamoff>(cursor));
+  }
+  if (cursor != end) {
+    return Status::DataLoss("snapshot has trailing bytes after sections");
+  }
+
+  path_ = path;
+  sections_ = std::move(sections);
+  return Status::Ok();
+}
+
+bool SnapshotStreamReader::HasSection(const std::string& name) const {
+  for (const SectionSpan& section : sections_) {
+    if (section.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> SnapshotStreamReader::SectionNames() const {
+  std::vector<std::string> names;
+  names.reserve(sections_.size());
+  for (const SectionSpan& section : sections_) names.push_back(section.name);
+  return names;
+}
+
+Status SnapshotStreamReader::ReadSection(const std::string& name,
+                                         std::string* buffer,
+                                         Reader* reader) const {
+  CROWDRL_CHECK(buffer != nullptr && reader != nullptr);
+  for (const SectionSpan& section : sections_) {
+    if (section.name != name) continue;
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) {
+      return Status::NotFound(
+          StringPrintf("cannot reopen snapshot %s", path_.c_str()));
+    }
+    in.seekg(static_cast<std::streamoff>(section.offset));
+    buffer->assign(section.length, '\0');
+    CROWDRL_RETURN_IF_ERROR(ReadExact(&in, buffer->data(), section.length,
+                                      path_, "section payload"));
+    *reader = Reader(*buffer);
+    return Status::Ok();
+  }
+  return Status::NotFound(
+      StringPrintf("snapshot has no section named %s", name.c_str()));
 }
 
 Status Snapshot::Parse(std::string bytes, Snapshot* out) {

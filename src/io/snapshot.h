@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -52,6 +53,88 @@ class SnapshotBuilder {
 
  private:
   std::vector<std::pair<std::string, std::unique_ptr<Writer>>> sections_;
+};
+
+/// \brief Streams a snapshot to disk one section at a time, in the exact
+/// container format above: for the same sections in the same order the
+/// file is byte-identical to SnapshotBuilder::Serialize(). Only one
+/// section's payload is ever resident — checkpointing a million-object
+/// run appends each state shard as its own section and frees it before
+/// building the next, so peak memory tracks the largest shard, never the
+/// full state. The CRC trailer is maintained incrementally.
+///
+/// Same atomicity as SnapshotBuilder::WriteFile: bytes go to
+/// `path + ".tmp"` and the tmp is renamed over `path` only from a
+/// successful Close(); an abandoned writer removes its tmp file.
+class SnapshotStreamWriter {
+ public:
+  SnapshotStreamWriter() = default;
+  ~SnapshotStreamWriter();
+  SnapshotStreamWriter(const SnapshotStreamWriter&) = delete;
+  SnapshotStreamWriter& operator=(const SnapshotStreamWriter&) = delete;
+
+  /// Opens `path + ".tmp"` (creating parent directories) and writes the
+  /// container header. The section count must be declared up front — the
+  /// header precedes the sections on disk and the CRC covers it, so it
+  /// cannot be patched after the fact.
+  Status Open(const std::string& path, size_t section_count);
+
+  /// Appends one section frame (name + length-prefixed payload). The
+  /// payload writer can be destroyed as soon as this returns. Section
+  /// names must be unique; exactly `section_count` sections must be
+  /// appended before Close().
+  Status AppendSection(const std::string& name, const Writer& payload);
+
+  /// Writes the CRC trailer, flushes, and atomically renames the tmp
+  /// file over the target path.
+  Status Close();
+
+ private:
+  Status WriteRaw(const char* data, size_t size);
+  void Abandon();  // Closes and removes the tmp file.
+
+  std::string path_;
+  std::string tmp_path_;
+  std::ofstream out_;
+  bool open_ = false;
+  size_t declared_sections_ = 0;
+  size_t appended_sections_ = 0;
+  std::vector<std::string> section_names_;
+  uint32_t crc_ = 0;
+};
+
+/// \brief Random-access reader over a snapshot file that never loads the
+/// whole file: Open() verifies the CRC trailer and indexes the section
+/// frames in one chunked pass, then ReadSection() loads exactly one
+/// section's payload. The peer of SnapshotStreamWriter (and compatible
+/// with files written by SnapshotBuilder — same format); restoring a
+/// sharded checkpoint pulls one shard section at a time, so peak memory
+/// again tracks the largest section.
+class SnapshotStreamReader {
+ public:
+  /// Validates magic, version, section framing, and the CRC32 trailer
+  /// (computed in fixed-size chunks), recording section offsets. The file
+  /// must stay in place and unmodified while sections are read.
+  Status Open(const std::string& path);
+
+  bool HasSection(const std::string& name) const;
+  std::vector<std::string> SectionNames() const;
+
+  /// Loads one section's payload into `buffer` and positions `reader`
+  /// over it (the reader borrows `buffer`, which must outlive it).
+  /// NotFound for a missing section name.
+  Status ReadSection(const std::string& name, std::string* buffer,
+                     Reader* reader) const;
+
+ private:
+  struct SectionSpan {
+    std::string name;
+    size_t offset = 0;
+    size_t length = 0;
+  };
+
+  std::string path_;
+  std::vector<SectionSpan> sections_;
 };
 
 /// \brief A parsed snapshot: owns the raw bytes and exposes per-section

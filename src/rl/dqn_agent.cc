@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -39,6 +40,18 @@ constexpr double kSumGateBand = 1e-9;
 /// the second round exists for the rare case where expansion shuffles the
 /// provisional winners and a new contender appears.
 constexpr int kPruneExpandRounds = 2;
+
+/// Descent rounds of the hierarchical path before it resorts to exact
+/// scoring of every live bucket. Each round expands the buckets the gate
+/// named as suspects, so a handful of rounds covers any realistic
+/// contention; the cap only bounds pathological drift.
+constexpr int kHierMaxRounds = 4;
+
+/// Floor on the hierarchical exact-scoring budget per round (scaled by
+/// the pruner's adaptive boost and by the selection size). Far below any
+/// grid the hierarchy engages on, far above the handful of pairs a
+/// selection actually commits.
+constexpr size_t kHierTargetPairsFloor = 4096;
 
 /// Surfaces the cache's refresh accounting into the metrics registry by
 /// replaying the deltas of its own CumulativeStats since the previous
@@ -147,6 +160,11 @@ struct GatedSelection {
   /// for the selection to become provable — the caller expands the
   /// shortlist to them and retries before falling back to full scoring.
   std::vector<int> suspect_objects;
+  /// Weakest chosen object's top-k sum (the selection cutoff) — the
+  /// hierarchical caller separates it from the unexpanded buckets' sum
+  /// bounds. Meaningful whenever at least one object was rankable, even
+  /// when a later gate returned sound = false.
+  double min_chosen_sum = -std::numeric_limits<double>::infinity();
 };
 
 /// Replays PickTopKSumAssignments over merged exact/upper-bound scores and
@@ -212,6 +230,7 @@ GatedSelection GatedPickTopKSum(const std::vector<Action>& candidates,
   std::vector<uint8_t> chosen_slot(per_object.size(), 0);
   for (const auto& entry : best) chosen_slot[entry.second] = 1;
   const double min_chosen_sum = best.back().first;
+  result.min_chosen_sum = min_chosen_sum;
   // Contenders, for shortlist expansion on gate failure: the chosen
   // objects plus anything whose (inflated) sum reaches the cutoff band.
   for (const auto& entry : best) {
@@ -289,13 +308,22 @@ void DqnAgent::BeginEpisode(size_t num_objects, size_t num_annotators) {
   CROWDRL_CHECK(num_objects > 0 && num_annotators > 0);
   episode_objects_ = num_objects;
   episode_annotators_ = num_annotators;
-  selection_counts_.assign(num_objects * num_annotators, 0);
+  selection_counts_.Reset(num_objects, num_annotators);
   total_selections_ = 0;
   pending_.clear();
   epsilon_ = options_.epsilon;
   score_cache_.Invalidate();
   pruner_.Reset(num_objects, num_annotators);
   sync_metrics_seen_ = ScoreCache::CumulativeStats{};
+  score_cache_.ConfigureObjectBuckets(HierEngaged() ? options_.hier_object_bucket
+                                                    : 0);
+  if (HierEngaged()) {
+    HierarchyOptions hier_options;
+    hier_options.object_bucket = options_.hier_object_bucket;
+    hier_options.annotator_group = options_.hier_annotator_group;
+    hierarchy_.Reset(num_objects, num_annotators, hier_options);
+  }
+  hier_stats_ = HierStats{};
 }
 
 bool DqnAgent::PruneEligible() const {
@@ -307,9 +335,17 @@ bool DqnAgent::PruneEligible() const {
          options_.exploration != ExplorationMode::kEpsilonGreedy;
 }
 
+bool DqnAgent::HierEngaged() const {
+  return options_.hier && PruneEligible() && episode_objects_ > 0 &&
+         episode_objects_ * episode_annotators_ >= options_.hier_min_pairs;
+}
+
 bool DqnAgent::UseFactorizedHead() const {
+  // The factorized head keeps O(|O| x hidden) per-object partials
+  // resident — exactly what the hierarchical scale path must avoid, and
+  // its shortlists are small enough that dense assembly wins anyway.
   return options_.factorized_q_head && options_.incremental &&
-         options_.feature_mask.empty();
+         options_.feature_mask.empty() && !HierEngaged();
 }
 
 FeatureBlocks DqnAgent::CacheBlocks() const {
@@ -320,11 +356,6 @@ FeatureBlocks DqnAgent::CacheBlocks() const {
   blocks.object_version = score_cache_.object_blocks_version();
   blocks.annotator_version = score_cache_.annotator_blocks_version();
   return blocks;
-}
-
-size_t DqnAgent::PairIndex(int object, int annotator) const {
-  return static_cast<size_t>(object) * episode_annotators_ +
-         static_cast<size_t>(annotator);
 }
 
 void DqnAgent::CheckViewMatchesEpisode(const StateView& view) const {
@@ -447,7 +478,7 @@ ScoredCandidates DqnAgent::Score(
           2.0 * std::log(static_cast<double>(total_selections_) + 1.0);
       for (size_t idx = 0; idx < out.actions.size(); ++idx) {
         const Action& a = out.actions[idx];
-        int n = selection_counts_[PairIndex(a.object, a.annotator)];
+        int n = selection_counts_.Get(a.object, a.annotator);
         out.scores[idx] +=
             options_.ucb_c *
             std::sqrt(log_term / (static_cast<double>(n) + 1.0));
@@ -467,7 +498,7 @@ void DqnAgent::Commit(const ScoredCandidates& candidates,
     CROWDRL_CHECK(idx < candidates.actions.size());
     const Action& action = candidates.actions[idx];
     pending_.push_back(candidates.features.RowVector(idx));
-    ++selection_counts_[PairIndex(action.object, action.annotator)];
+    selection_counts_.Increment(action.object, action.annotator);
     ++total_selections_;
   }
 }
@@ -522,6 +553,10 @@ std::vector<Assignment> PickTopKSumAssignments(
 std::vector<Assignment> DqnAgent::SelectBatch(
     const StateView& view, int k, int num_objects_to_pick,
     const std::vector<bool>& annotator_affordable) {
+  if (HierEngaged()) {
+    return SelectBatchHierarchical(view, k, num_objects_to_pick,
+                                   annotator_affordable);
+  }
   if (PruneEligible()) {
     return SelectBatchPruned(view, k, num_objects_to_pick,
                              annotator_affordable);
@@ -576,7 +611,7 @@ std::vector<Assignment> DqnAgent::SelectBatchPruned(
         2.0 * std::log(static_cast<double>(total_selections_) + 1.0);
     for (size_t idx = 0; idx < valid.size(); ++idx) {
       const Action& a = valid[idx];
-      int n = selection_counts_[PairIndex(a.object, a.annotator)];
+      int n = selection_counts_.Get(a.object, a.annotator);
       bonus[idx] = options_.ucb_c *
                    std::sqrt(log_term / (static_cast<double>(n) + 1.0));
     }
@@ -600,14 +635,18 @@ std::vector<Assignment> DqnAgent::SelectBatchPruned(
       std::vector<uint32_t> shortlist;
       {
         CROWDRL_TRACE_SPAN("agent.prune_shortlist");
-        TopK<uint32_t> top(shortlist_size);
+        // Reused scratch: Reset keeps the heap and sort buffers' capacity
+        // across iterations, so the per-iteration cut allocates nothing
+        // once warm.
+        shortlist_topk_.Reset(shortlist_size);
         for (size_t idx = 0; idx < valid.size(); ++idx) {
-          top.Push(ub[idx], static_cast<uint32_t>(idx));
+          shortlist_topk_.Push(ub[idx], static_cast<uint32_t>(idx));
         }
-        std::vector<std::pair<double, uint32_t>> entries =
-            top.TakeSortedDescending();
-        shortlist.reserve(entries.size());
-        for (const auto& entry : entries) shortlist.push_back(entry.second);
+        shortlist_topk_.TakeSortedDescendingInto(&shortlist_scratch_);
+        shortlist.reserve(shortlist_scratch_.size());
+        for (const auto& entry : shortlist_scratch_) {
+          shortlist.push_back(entry.second);
+        }
         std::sort(shortlist.begin(), shortlist.end());
       }
 
@@ -731,7 +770,7 @@ std::vector<Assignment> DqnAgent::SelectBatchPruned(
             score_cache_.AssembleRowInto(action.object, action.annotator,
                                          row.data());
             pending_.push_back(std::move(row));
-            ++selection_counts_[PairIndex(action.object, action.annotator)];
+            selection_counts_.Increment(action.object, action.annotator);
             ++total_selections_;
           }
           pruner_.NotePrunedSuccess(exact_count,
@@ -771,6 +810,541 @@ std::vector<Assignment> DqnAgent::SelectBatchPruned(
   return assignments;
 }
 
+std::vector<Assignment> DqnAgent::SelectBatchHierarchical(
+    const StateView& view, int k, int num_objects_to_pick,
+    const std::vector<bool>& annotator_affordable) {
+  CROWDRL_CHECK(episode_objects_ > 0)
+      << "BeginEpisode must be called before SelectBatch";
+  CROWDRL_CHECK(k > 0 && num_objects_to_pick > 0);
+  CheckViewMatchesEpisode(view);
+  CROWDRL_CHECK(view.labelled != nullptr);
+  CROWDRL_CHECK(annotator_affordable.size() == episode_annotators_);
+
+  // Sync the cache and the bucket aggregates without ever touching the
+  // pair grid — the whole point of this path.
+  {
+    CROWDRL_TRACE_SPAN("scorecache.sync");
+    score_cache_.Sync(view);
+    RecordSyncMetrics(score_cache_, &sync_metrics_seen_);
+  }
+  score_cache_.RefreshBucketBoxes();
+  pruner_.BeginIteration(score_cache_);
+  hierarchy_.BeginIteration(score_cache_, *view.labelled,
+                            annotator_affordable);
+  const size_t train_steps = q_network_.train_steps();
+  ++hier_stats_.iterations;
+
+  const size_t num_buckets = hierarchy_.num_buckets();
+  size_t live_buckets = 0;
+  size_t live_unlabelled = 0;
+  for (size_t b = 0; b < num_buckets; ++b) {
+    if (hierarchy_.BucketLive(b)) {
+      ++live_buckets;
+      live_unlabelled += hierarchy_.bucket_unlabelled(b);
+    }
+  }
+  hier_stats_.live_buckets += live_buckets;
+  if (live_buckets == 0) return {};
+
+  // Refresh every live tile whose representative record is stale, in one
+  // exact batch — afterwards every live tile's bound is finite.
+  {
+    std::vector<std::pair<size_t, size_t>> stale_tiles;
+    std::vector<Action> stale_reps;
+    hierarchy_.CollectStaleReps(score_cache_, train_steps, &stale_tiles,
+                                &stale_reps);
+    if (!stale_tiles.empty()) {
+      CROWDRL_TRACE_SPAN("agent.hier_reps");
+      std::vector<double> rep_q = ExactQ(stale_reps);
+      for (size_t i = 0; i < stale_tiles.size(); ++i) {
+        hierarchy_.RecordRep(stale_tiles[i].first, stale_tiles[i].second,
+                             rep_q[i], score_cache_, train_steps, &pruner_);
+      }
+      hier_stats_.rep_refreshes += stale_tiles.size();
+    }
+  }
+
+  // Exploration-bonus terms: per-pair bonuses are exact (closed form from
+  // current counts); tile bounds charge the grid-wide maximum, reached at
+  // selection count zero.
+  const bool ucb = options_.exploration == ExplorationMode::kUcb;
+  const double log_term =
+      ucb ? 2.0 * std::log(static_cast<double>(total_selections_) + 1.0)
+          : 0.0;
+  const double bonus_max = ucb ? options_.ucb_c * std::sqrt(log_term) : 0.0;
+
+  const size_t target_pairs =
+      std::max(kHierTargetPairsFloor,
+               static_cast<size_t>(k) *
+                   static_cast<size_t>(num_objects_to_pick) * 8) *
+      pruner_.boost();
+
+  std::vector<uint8_t> expanded(num_buckets, 0);
+  // Exact raw-Q memo for this iteration (no training between rounds, so
+  // scores stay valid and re-expanded pairs are never re-forwarded).
+  std::unordered_map<uint64_t, double> exact_memo;
+  const auto pair_key = [m = episode_annotators_](const Action& a) {
+    return static_cast<uint64_t>(a.object) * m +
+           static_cast<uint64_t>(a.annotator);
+  };
+
+  // Enumerates the expanded buckets' valid pairs in bucket-index order —
+  // i.e. ascending (object, annotator), the exact order the full path
+  // enumerates in. An object's candidates all live in one bucket, so each
+  // per-object top-k sees the identical push sequence as full scoring and
+  // heap tie-breaks cannot diverge.
+  std::vector<Action> pairs;
+  std::vector<double> bonus;
+  const auto enumerate_expanded = [&]() {
+    pairs.clear();
+    for (size_t b = 0; b < num_buckets; ++b) {
+      if (!expanded[b]) continue;
+      const auto [obegin, oend] = hierarchy_.BucketRange(b);
+      for (size_t i = obegin; i < oend; ++i) {
+        if ((*view.labelled)[i]) continue;
+        for (size_t j = 0; j < episode_annotators_; ++j) {
+          if (!annotator_affordable[j]) continue;
+          if (view.answers->HasAnswer(static_cast<int>(i),
+                                      static_cast<int>(j))) {
+            continue;
+          }
+          pairs.push_back({static_cast<int>(i), static_cast<int>(j)});
+        }
+      }
+    }
+    bonus.assign(pairs.size(), 0.0);
+    if (ucb) {
+      for (size_t idx = 0; idx < pairs.size(); ++idx) {
+        const Action& a = pairs[idx];
+        int n = selection_counts_.Get(a.object, a.annotator);
+        bonus[idx] = options_.ucb_c *
+                     std::sqrt(log_term / (static_cast<double>(n) + 1.0));
+      }
+    }
+  };
+
+  std::vector<double> bound(num_buckets);
+  std::vector<double> ub;
+  std::vector<double> merged;
+  std::vector<uint8_t> is_exact;
+  bool give_up = false;
+  bool descended = false;
+  // Counts bound-adaptation and expansion retries; in-bucket resolution
+  // rounds are excluded (they are strictly monotone in exact pairs and
+  // cannot loop, so they never justify the full fallback).
+  int round = 0;
+
+  while (!give_up) {
+    ++hier_stats_.rounds;
+    // Bucket bounds under the current (possibly just-adapted) alpha/beta.
+    for (size_t b = 0; b < num_buckets; ++b) {
+      bound[b] = hierarchy_.BucketLive(b)
+                     ? hierarchy_.BucketBound(b, score_cache_, pruner_,
+                                              train_steps, bonus_max)
+                     : -std::numeric_limits<double>::infinity();
+    }
+
+    if (!descended) {
+      descended = true;
+      // Initial descent: expand highest-bound buckets until the set can
+      // cover the requested objects and the exact-scoring target.
+      std::vector<size_t> order;
+      order.reserve(live_buckets);
+      for (size_t b = 0; b < num_buckets; ++b) {
+        if (hierarchy_.BucketLive(b)) order.push_back(b);
+      }
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (bound[a] != bound[b]) return bound[a] > bound[b];
+        return a < b;
+      });
+      size_t num_affordable = 0;
+      for (bool a : annotator_affordable) num_affordable += a ? 1 : 0;
+      const size_t objects_needed = std::min(
+          static_cast<size_t>(num_objects_to_pick), live_unlabelled);
+      size_t covered_objects = 0;
+      size_t covered_pairs = 0;  // Upper estimate; exact count comes below.
+      for (size_t b : order) {
+        expanded[b] = 1;
+        covered_objects += hierarchy_.bucket_unlabelled(b);
+        covered_pairs += hierarchy_.bucket_unlabelled(b) * num_affordable;
+        if (covered_objects >= objects_needed &&
+            covered_pairs >= target_pairs) {
+          break;
+        }
+      }
+    }
+
+    enumerate_expanded();
+    if (pairs.empty()) {
+      // Expanded buckets hold no valid pair (all answered or nothing
+      // affordable). If unexpanded live buckets remain they may still
+      // hold some: resolve exactly.
+      bool unexpanded_live = false;
+      for (size_t b = 0; b < num_buckets; ++b) {
+        if (hierarchy_.BucketLive(b) && !expanded[b]) unexpanded_live = true;
+      }
+      if (!unexpanded_live) return {};
+      break;  // Full fallback.
+    }
+
+    // Per-pair upper bound: the tile-derived bound with the pair's exact
+    // bonus, tightened by the pair's own stale entry when one exists.
+    ub.resize(pairs.size());
+    size_t exact_count = 0;
+    is_exact.assign(pairs.size(), 0);
+    merged.resize(pairs.size());
+    {
+      CROWDRL_TRACE_SPAN("agent.prune_bounds");
+      for (size_t idx = 0; idx < pairs.size(); ++idx) {
+        const Action& a = pairs[idx];
+        const double tile_ub = hierarchy_.TileBound(
+            hierarchy_.BucketOf(a.object), hierarchy_.GroupOf(a.annotator),
+            score_cache_, pruner_, train_steps, bonus[idx]);
+        const double pair_ub = pruner_.PairUpperBound(
+            score_cache_, train_steps, a.object, a.annotator, bonus[idx]);
+        ub[idx] = std::min(tile_ub, pair_ub);
+        auto it = exact_memo.find(pair_key(a));
+        if (it != exact_memo.end()) {
+          is_exact[idx] = 1;
+          merged[idx] = it->second + bonus[idx];
+          ++exact_count;
+        } else {
+          merged[idx] = ub[idx];
+        }
+      }
+    }
+
+    // Shortlist the highest-bounded unscored pairs and score them exactly.
+    std::vector<uint32_t> shortlist;
+    {
+      CROWDRL_TRACE_SPAN("agent.prune_shortlist");
+      shortlist_topk_.Reset(target_pairs);
+      for (size_t idx = 0; idx < pairs.size(); ++idx) {
+        if (!is_exact[idx]) {
+          shortlist_topk_.Push(ub[idx], static_cast<uint32_t>(idx));
+        }
+      }
+      shortlist_topk_.TakeSortedDescendingInto(&shortlist_scratch_);
+      shortlist.reserve(shortlist_scratch_.size());
+      for (const auto& entry : shortlist_scratch_) {
+        shortlist.push_back(entry.second);
+      }
+      std::sort(shortlist.begin(), shortlist.end());
+    }
+    size_t violations = 0;
+    if (!shortlist.empty()) {
+      std::vector<Action> shortlist_actions;
+      shortlist_actions.reserve(shortlist.size());
+      for (uint32_t idx : shortlist) shortlist_actions.push_back(pairs[idx]);
+      std::vector<double> shortlist_q = ExactQ(shortlist_actions);
+      hier_stats_.scored_pairs += shortlist_actions.size();
+      for (size_t s = 0; s < shortlist.size(); ++s) {
+        const uint32_t idx = shortlist[s];
+        const Action& a = pairs[idx];
+        if (shortlist_q[s] + bonus[idx] > ub[idx]) {
+          // The bound this pair was admitted under was unsound: replay
+          // the move against its tile record so alpha/beta absorb it,
+          // then re-descend under the adapted bounds.
+          ++violations;
+          hierarchy_.ObserveTileViolation(
+              hierarchy_.BucketOf(a.object), hierarchy_.GroupOf(a.annotator),
+              shortlist_q[s], score_cache_, train_steps, &pruner_);
+        }
+        exact_memo.emplace(pair_key(a), shortlist_q[s]);
+        merged[idx] = shortlist_q[s] + bonus[idx];
+        is_exact[idx] = 1;
+      }
+      exact_count += shortlist.size();
+      // Seeds the flat per-pair table too (RecordExact's own adaptation
+      // covers pairs that already had entries).
+      pruner_.RecordExact(score_cache_, train_steps, shortlist_actions,
+                          shortlist_q, /*prior_ub=*/nullptr,
+                          /*bonus=*/nullptr, /*full_pass=*/false);
+    }
+    if (violations > 0) {
+      pruner_.NotePrecheckFallback();
+      if (round >= kHierMaxRounds) break;  // Full fallback.
+      ++round;
+      continue;
+    }
+
+    GatedSelection selection;
+    {
+      CROWDRL_TRACE_SPAN("agent.topk");
+      selection = GatedPickTopKSum(pairs, merged, is_exact, ub, k,
+                                   num_objects_to_pick, episode_objects_);
+    }
+
+    // Hierarchy-level gates over the unexpanded remainder: every live
+    // unexpanded bucket's best top-k sum — k times its pair bound when
+    // positive, the bound itself otherwise (j <= k negative terms sum to
+    // at most one of them) — must sit clearly below the selection cutoff,
+    // and the selection must not be starved of objects the remainder
+    // could still provide.
+    std::vector<size_t> sum_offenders;
+    bool starved = false;
+    if (selection.sound) {
+      bool unexpanded_live = false;
+      for (size_t b = 0; b < num_buckets; ++b) {
+        if (!hierarchy_.BucketLive(b) || expanded[b]) continue;
+        unexpanded_live = true;
+        const double sum_bound =
+            bound[b] >= 0.0 ? static_cast<double>(k) * bound[b] : bound[b];
+        if (selection.min_chosen_sum - sum_bound <= kSumGateBand) {
+          sum_offenders.push_back(b);
+        }
+      }
+      starved = unexpanded_live &&
+                selection.assignments.size() <
+                    static_cast<size_t>(num_objects_to_pick);
+    }
+
+    if (selection.sound && sum_offenders.empty() && !starved) {
+      if (options_.prune_audit) {
+        // Verification only (feasible sizes): full exact scoring must
+        // reproduce the selection, ordering included.
+        ScoredCandidates full = Score(view, annotator_affordable);
+        std::vector<size_t> full_chosen;
+        std::vector<Assignment> full_assignments =
+            PickTopKSumAssignments(full, k, num_objects_to_pick,
+                                   episode_objects_, &full_chosen);
+        CROWDRL_CHECK(full_assignments.size() ==
+                      selection.assignments.size())
+            << "hierarchical selection audit: assignment count diverged";
+        for (size_t i = 0; i < full_assignments.size(); ++i) {
+          CROWDRL_CHECK(full_assignments[i].object ==
+                            selection.assignments[i].object &&
+                        full_assignments[i].annotators ==
+                            selection.assignments[i].annotators)
+              << "hierarchical selection audit: assignment " << i
+              << " diverged on object " << full_assignments[i].object;
+        }
+        CROWDRL_CHECK(full_chosen.size() == selection.chosen_actions.size());
+        for (size_t i = 0; i < full_chosen.size(); ++i) {
+          const Action& a = full.actions[full_chosen[i]];
+          CROWDRL_CHECK(a.object == selection.chosen_actions[i].object &&
+                        a.annotator == selection.chosen_actions[i].annotator)
+              << "hierarchical selection audit: commit order diverged at "
+              << i;
+        }
+      }
+      for (const Action& action : selection.chosen_actions) {
+        std::vector<double> row(StateFeaturizer::kFeatureDim);
+        score_cache_.AssembleRowInto(action.object, action.annotator,
+                                     row.data());
+        pending_.push_back(std::move(row));
+        selection_counts_.Increment(action.object, action.annotator);
+        ++total_selections_;
+      }
+      pruner_.NotePrunedSuccess(exact_count, pairs.size() - exact_count);
+      ++hier_stats_.gated_iterations;
+      hier_stats_.enumerated_pairs += pairs.size();
+      for (size_t b = 0; b < num_buckets; ++b) {
+        hier_stats_.expanded_buckets += expanded[b] ? 1 : 0;
+      }
+      RecordPruneMetrics(pruner_, &prune_metrics_seen_, pairs.size(),
+                         exact_count);
+      return selection.assignments;
+    }
+
+    // Gate failure: expand exactly the buckets that stand between this
+    // selection and a proof, then retry. No growth (or starvation, or
+    // round exhaustion) means the remainder must be resolved exactly.
+    bool grew = false;
+    if (!starved) {
+      for (int object : selection.suspect_objects) {
+        const size_t b = hierarchy_.BucketOf(object);
+        if (!expanded[b]) {
+          expanded[b] = 1;
+          grew = true;
+        }
+      }
+      for (size_t b : sum_offenders) {
+        if (!expanded[b]) {
+          expanded[b] = 1;
+          grew = true;
+        }
+      }
+    }
+    if (!starved && !grew && exact_count < pairs.size()) {
+      // The offending pairs already sit inside the expanded set — the
+      // tiling has nothing left to expand; the remainder of the expanded
+      // set is merely bounded, not resolved (early iterations, before
+      // the per-pair stale table can discriminate inside a bucket).
+      // Resolve the expanded set exactly and re-run the gate: per-bucket
+      // resolution, never the global fallback. Strictly monotone —
+      // exact_count only grows — so this cannot loop.
+      std::vector<Action> rest;
+      rest.reserve(pairs.size() - exact_count);
+      for (size_t idx = 0; idx < pairs.size(); ++idx) {
+        if (!is_exact[idx]) rest.push_back(pairs[idx]);
+      }
+      std::vector<double> rest_q = ExactQ(rest);
+      hier_stats_.scored_pairs += rest.size();
+      for (size_t i = 0; i < rest.size(); ++i) {
+        exact_memo.emplace(pair_key(rest[i]), rest_q[i]);
+      }
+      pruner_.RecordExact(score_cache_, train_steps, rest, rest_q,
+                          /*prior_ub=*/nullptr, /*bonus=*/nullptr,
+                          /*full_pass=*/false);
+      continue;
+    }
+    // A true gate fallback (expansion or give-up), not an in-bucket
+    // resolution: let the pruner grow its shortlist boost.
+    pruner_.NoteGateFallback();
+    give_up = starved || !grew || round >= kHierMaxRounds;
+    ++round;
+  }
+
+  // Full fallback: exact-score every valid pair of every live bucket —
+  // the flat full pass, reached through the hierarchy's enumeration. The
+  // candidate list and scores are identical to Score()'s, so selections
+  // (and heap tie-breaks) match the unpruned path exactly.
+  ++hier_stats_.full_fallbacks;
+  for (size_t b = 0; b < num_buckets; ++b) {
+    if (hierarchy_.BucketLive(b)) expanded[b] = 1;
+  }
+  enumerate_expanded();
+  if (pairs.empty()) return {};
+  std::vector<Action> unscored;
+  for (const Action& a : pairs) {
+    if (exact_memo.find(pair_key(a)) == exact_memo.end()) {
+      unscored.push_back(a);
+    }
+  }
+  if (!unscored.empty()) {
+    std::vector<double> q = ExactQ(unscored);
+    hier_stats_.scored_pairs += unscored.size();
+    for (size_t i = 0; i < unscored.size(); ++i) {
+      exact_memo.emplace(pair_key(unscored[i]), q[i]);
+    }
+  }
+  ScoredCandidates candidates;
+  candidates.actions = pairs;
+  candidates.scores.resize(pairs.size());
+  std::vector<double> raw(pairs.size());
+  for (size_t idx = 0; idx < pairs.size(); ++idx) {
+    raw[idx] = exact_memo.at(pair_key(pairs[idx]));
+    candidates.scores[idx] = raw[idx] + bonus[idx];
+  }
+  pruner_.RecordExact(score_cache_, train_steps, pairs, raw,
+                      /*prior_ub=*/nullptr, /*bonus=*/nullptr,
+                      /*full_pass=*/true);
+  hier_stats_.enumerated_pairs += pairs.size();
+  for (size_t b = 0; b < num_buckets; ++b) {
+    hier_stats_.expanded_buckets += expanded[b] ? 1 : 0;
+  }
+  std::vector<size_t> chosen;
+  std::vector<Assignment> assignments;
+  {
+    CROWDRL_TRACE_SPAN("agent.topk");
+    assignments = PickTopKSumAssignments(candidates, k, num_objects_to_pick,
+                                         episode_objects_, &chosen);
+  }
+  for (size_t idx : chosen) {
+    const Action& action = candidates.actions[idx];
+    std::vector<double> row(StateFeaturizer::kFeatureDim);
+    score_cache_.AssembleRowInto(action.object, action.annotator, row.data());
+    pending_.push_back(std::move(row));
+    selection_counts_.Increment(action.object, action.annotator);
+    ++total_selections_;
+  }
+  RecordPruneMetrics(pruner_, &prune_metrics_seen_, pairs.size(),
+                     pairs.size());
+  return assignments;
+}
+
+std::vector<Action> DqnAgent::EnumerateBootstrapSublinear(
+    const StateView& view, const std::vector<bool>& annotator_affordable,
+    size_t max_pairs, Matrix* features) {
+  CROWDRL_CHECK(view.answers != nullptr && view.labelled != nullptr);
+  const size_t num_objects = view.answers->num_objects();
+  const size_t num_annotators = view.answers->num_annotators();
+  CROWDRL_CHECK(annotator_affordable.size() == num_annotators);
+  CROWDRL_CHECK(options_.incremental);
+
+  size_t num_affordable = 0;
+  for (bool a : annotator_affordable) num_affordable += a ? 1 : 0;
+
+  // Valid-pair count and per-object first ranks in O(|O| + answers): an
+  // unlabelled object's valid pairs are the affordable annotators minus
+  // its affordable answers.
+  std::vector<std::pair<int, uint64_t>> first_rank;
+  uint64_t count = 0;
+  for (size_t i = 0; i < num_objects; ++i) {
+    if ((*view.labelled)[i]) continue;
+    size_t overlap = 0;
+    for (const auto& entry : view.answers->AnswersFor(static_cast<int>(i))) {
+      if (annotator_affordable[static_cast<size_t>(entry.first)]) ++overlap;
+    }
+    const uint64_t valid_here = num_affordable - overlap;
+    if (valid_here == 0) continue;
+    first_rank.emplace_back(static_cast<int>(i), count);
+    count += valid_here;
+  }
+
+  {
+    CROWDRL_TRACE_SPAN("scorecache.sync");
+    score_cache_.Sync(view);
+    RecordSyncMetrics(score_cache_, &sync_metrics_seen_);
+  }
+
+  std::vector<Action> valid;
+  if (count <= max_pairs) {
+    // Below the cap this reproduces EnumerateCandidates' list exactly:
+    // ascending (object, annotator), no RNG.
+    valid.reserve(count);
+    for (const auto& entry : first_rank) {
+      const int object = entry.first;
+      for (size_t j = 0; j < num_annotators; ++j) {
+        if (!annotator_affordable[j]) continue;
+        if (view.answers->HasAnswer(object, static_cast<int>(j))) continue;
+        valid.push_back({object, static_cast<int>(j)});
+      }
+    }
+  } else {
+    std::vector<uint64_t> ranks =
+        rng_.SampleRanksWithoutReplacement(count, max_pairs);
+    valid.reserve(ranks.size());
+    for (uint64_t rank : ranks) {
+      auto it = std::upper_bound(
+          first_rank.begin(), first_rank.end(), rank,
+          [](uint64_t r, const std::pair<int, uint64_t>& e) {
+            return r < e.second;
+          });
+      CROWDRL_CHECK(it != first_rank.begin());
+      --it;
+      const int object = it->first;
+      uint64_t remaining = rank - it->second;
+      int annotator = -1;
+      for (size_t j = 0; j < num_annotators; ++j) {
+        if (!annotator_affordable[j] ||
+            view.answers->HasAnswer(object, static_cast<int>(j))) {
+          continue;
+        }
+        if (remaining == 0) {
+          annotator = static_cast<int>(j);
+          break;
+        }
+        --remaining;
+      }
+      CROWDRL_CHECK(annotator >= 0);
+      valid.push_back({object, annotator});
+    }
+  }
+
+  if (features != nullptr) {
+    CROWDRL_TRACE_SPAN("agent.featurize");
+    *features = Matrix(valid.size(), StateFeaturizer::kFeatureDim);
+    for (size_t idx = 0; idx < valid.size(); ++idx) {
+      score_cache_.AssembleRowInto(valid[idx].object, valid[idx].annotator,
+                                   features->Row(idx));
+    }
+    rows_featurized_ += valid.size();
+  }
+  return valid;
+}
+
 void DqnAgent::SaveState(io::Writer* writer) const {
   CROWDRL_CHECK(writer != nullptr);
   q_network_.SaveState(writer);
@@ -779,7 +1353,7 @@ void DqnAgent::SaveState(io::Writer* writer) const {
   writer->WriteDouble(epsilon_);
   writer->WriteSize(episode_objects_);
   writer->WriteSize(episode_annotators_);
-  writer->WriteIntVector(selection_counts_);
+  selection_counts_.SaveState(writer);
   writer->WriteSize(total_selections_);
   writer->WriteSize(pending_.size());
   for (const std::vector<double>& features : pending_) {
@@ -797,11 +1371,8 @@ Status DqnAgent::LoadState(io::Reader* reader) {
   CROWDRL_RETURN_IF_ERROR(reader->ReadDouble(&epsilon_));
   CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&episode_objects_));
   CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&episode_annotators_));
-  CROWDRL_RETURN_IF_ERROR(reader->ReadIntVector(&selection_counts_));
-  if (selection_counts_.size() != episode_objects_ * episode_annotators_) {
-    return Status::DataLoss(
-        "UCB selection counts do not match the episode shape");
-  }
+  CROWDRL_RETURN_IF_ERROR(selection_counts_.LoadState(
+      reader, episode_objects_, episode_annotators_));
   CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&total_selections_));
   size_t num_pending = 0;
   CROWDRL_RETURN_IF_ERROR(reader->ReadSize(&num_pending));
@@ -819,6 +1390,14 @@ Status DqnAgent::LoadState(io::Reader* reader) {
   score_cache_.Invalidate();
   pruner_.Reset(episode_objects_, episode_annotators_);
   sync_metrics_seen_ = ScoreCache::CumulativeStats{};
+  score_cache_.ConfigureObjectBuckets(HierEngaged() ? options_.hier_object_bucket
+                                                    : 0);
+  if (HierEngaged()) {
+    HierarchyOptions hier_options;
+    hier_options.object_bucket = options_.hier_object_bucket;
+    hier_options.annotator_group = options_.hier_annotator_group;
+    hierarchy_.Reset(episode_objects_, episode_annotators_, hier_options);
+  }
   return Status::Ok();
 }
 
@@ -855,9 +1434,18 @@ void DqnAgent::ObserveOldestPairs(
     // inside EnumerateCandidates still runs either way).
     bool factorized = UseFactorizedHead();
     Matrix features;
-    std::vector<Action> candidates = EnumerateCandidates(
-        next_view, annotator_affordable, options_.max_bootstrap_candidates,
-        factorized ? nullptr : &features);
+    // At hierarchical scale the dense enumerate-then-subsample bootstrap
+    // would walk the full pair grid; the sublinear variant counts valid
+    // pairs per object and rank-samples without materializing them. Below
+    // the cap it produces the identical candidate list with no RNG drawn.
+    std::vector<Action> candidates =
+        HierEngaged()
+            ? EnumerateBootstrapSublinear(next_view, annotator_affordable,
+                                          options_.max_bootstrap_candidates,
+                                          factorized ? nullptr : &features)
+            : EnumerateCandidates(next_view, annotator_affordable,
+                                  options_.max_bootstrap_candidates,
+                                  factorized ? nullptr : &features);
     if (!candidates.empty()) {
       std::vector<double> target_q =
           factorized ? q_network_.PredictBatchFactorized(

@@ -2,9 +2,12 @@
 #define CROWDRL_RL_DQN_AGENT_H_
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "rl/action.h"
+#include "rl/hierarchy.h"
+#include "rl/pair_shards.h"
 #include "rl/q_network.h"
 #include "rl/replay_buffer.h"
 #include "rl/score_cache.h"
@@ -12,6 +15,7 @@
 #include "rl/state.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
+#include "util/topk.h"
 
 namespace crowdrl::rl {
 
@@ -101,6 +105,27 @@ struct DqnAgentOptions {
   /// path and CHECK-fails unless both produced identical assignments (for
   /// tests and benchmark gating; doubles scoring cost).
   bool prune_audit = false;
+  /// Hierarchical candidate generation: on grids of at least
+  /// `hier_min_pairs` pairs, SelectBatch descends a bucket x group tiling
+  /// (BucketHierarchy) and only enumerates + bounds the buckets whose
+  /// tile-derived upper bound can still beat the provisional selection,
+  /// instead of touching every valid pair. The same selection gate as the
+  /// flat pruned path (extended with per-bucket sum bounds over the
+  /// unexpanded remainder) proves each served selection identical to full
+  /// exact scoring; a failed gate expands the suspect buckets and
+  /// retries, falling back to exact scoring of every live bucket as the
+  /// last resort. Requires the same eligibility as `prune`. While
+  /// engaged, the factorized Q head is bypassed (its per-object partial
+  /// cache is O(|O| x hidden) — exactly the resident state this path
+  /// exists to avoid) so Q values come from the dense exact forward.
+  bool hier = true;
+  /// Minimum |O| x |W| grid size before the hierarchy engages; below it
+  /// the flat shortlist path wins. The default keeps every existing
+  /// small-grid workload on the flat path.
+  size_t hier_min_pairs = size_t{1} << 22;
+  /// Objects per bucket / annotators per group of the tiling.
+  size_t hier_object_bucket = 1024;
+  size_t hier_annotator_group = 128;
   uint64_t seed = 23;
 };
 
@@ -197,6 +222,25 @@ class DqnAgent {
   /// Shortlist-pruning state (stats inspection; meaningful only when
   /// options.prune is on and SelectBatch drives the agent).
   const ShortlistPruner& shortlist_pruner() const { return pruner_; }
+
+  /// Hierarchical-selection counters (bench/scale_stress reports the
+  /// scored-candidate sub-linearity and expanded-bucket fraction from
+  /// these). Not checkpointed.
+  struct HierStats {
+    size_t iterations = 0;        ///< Hierarchical selections attempted.
+    size_t gated_iterations = 0;  ///< Served by the gated sub-linear path.
+    size_t full_fallbacks = 0;    ///< Every-live-bucket exact fallbacks.
+    size_t rounds = 0;            ///< Descent rounds across iterations.
+    size_t scored_pairs = 0;      ///< Exact Q rows spent on selection.
+    size_t enumerated_pairs = 0;  ///< Valid pairs materialized.
+    size_t rep_refreshes = 0;     ///< Tile representative rescorings.
+    size_t expanded_buckets = 0;  ///< Final expansion set sizes, summed.
+    size_t live_buckets = 0;      ///< Live buckets seen, summed.
+  };
+  const HierStats& hier_stats() const { return hier_stats_; }
+  /// True when SelectBatch routes through the hierarchical generator for
+  /// the current episode shape.
+  bool HierEngaged() const;
   /// Total candidate feature rows assembled/featurized so far (diagnostic
   /// counter; not checkpointed). The factorized bootstrap path must not
   /// advance this — see ObservePerPair.
@@ -228,11 +272,26 @@ class DqnAgent {
       const StateView& view, int k, int num_objects_to_pick,
       const std::vector<bool>& annotator_affordable);
 
+  /// The hierarchical SelectBatch (options.hier): coarse-to-fine descent
+  /// over the bucket x group tiling; enumerates only expanded buckets.
+  /// Selections are identical to the unpruned path (gate-proven).
+  std::vector<Assignment> SelectBatchHierarchical(
+      const StateView& view, int k, int num_objects_to_pick,
+      const std::vector<bool>& annotator_affordable);
+
+  /// Bootstrap candidate enumeration that never materializes the full
+  /// valid-pair list: counts valid pairs in O(|O| + answers + |W|) and
+  /// maps sampled ranks back to pairs when the count exceeds `max_pairs`.
+  /// Below the cap it reproduces EnumerateCandidates' list (same order,
+  /// no RNG) exactly; above it the rank sampler consumes the stream
+  /// differently, which only the hierarchical scale path ever does.
+  std::vector<Action> EnumerateBootstrapSublinear(
+      const StateView& view, const std::vector<bool>& annotator_affordable,
+      size_t max_pairs, Matrix* features);
+
   /// Exact Q forward over a subset of candidate pairs (factorized head
   /// when enabled, dense assembly + PredictBatch otherwise).
   std::vector<double> ExactQ(const std::vector<Action>& pairs);
-
-  size_t PairIndex(int object, int annotator) const;
 
   /// Aborts unless the view's answer log matches the BeginEpisode shape:
   /// selection_counts_ is indexed by (object, annotator) pairs of that
@@ -257,6 +316,10 @@ class DqnAgent {
   /// reseed it, and gated pruned iterations select exactly what full
   /// scoring selects, so restores stay bit-identical.
   ShortlistPruner pruner_;
+  /// Bucket x group tiling for hierarchical selection; reset (never
+  /// checkpointed) by BeginEpisode/LoadState for the same reason.
+  BucketHierarchy hierarchy_;
+  HierStats hier_stats_;
   /// Snapshot of the cache's cumulative stats at the last metrics export,
   /// so sync metrics are derived from the cache's own deltas.
   ScoreCache::CumulativeStats sync_metrics_seen_;
@@ -269,8 +332,15 @@ class DqnAgent {
 
   size_t episode_objects_ = 0;
   size_t episode_annotators_ = 0;
-  std::vector<int> selection_counts_;  // Per (object, annotator) pair.
+  /// Per-pair UCB visitation counts, sharded by object range so a
+  /// million-object episode only pays for the ranges selection touches.
+  PairCounts selection_counts_;
   size_t total_selections_ = 0;
+  /// Reusable scratch for the shortlist top-M cut (SelectBatchPruned runs
+  /// it every gated iteration; per-call heap allocation showed up on the
+  /// selection hot path).
+  TopK<uint32_t> shortlist_topk_;
+  std::vector<std::pair<double, uint32_t>> shortlist_scratch_;
   std::vector<std::vector<double>> pending_;  // Executed pairs' features.
   uint64_t rows_featurized_ = 0;  // Diagnostic; bumped serially post-dispatch.
 };

@@ -71,6 +71,7 @@ void ScoreCache::RebuildAll(const StateView& view) {
   annotator_drift_.assign(num_annotators_, 0.0);
   global_drift_ = 0.0;
   ++rebuild_epoch_;
+  ResizeBuckets();
 
   for (size_t i = 0; i < num_objects_; ++i) {
     double* block = object_blocks_.Row(i);
@@ -142,6 +143,7 @@ void ScoreCache::Sync(const StateView& view) {
                                                  object_blocks_.Row(i));
       object_drift_[i] += MaxAbsDelta(before, object_blocks_.Row(i),
                                       StateFeaturizer::kObjectHistoryDim);
+      MarkBucketDirty(i);
       ++last_sync_stats_.history_refreshes;
     }
     object_blocks_changed = true;
@@ -168,6 +170,7 @@ void ScoreCache::Sync(const StateView& view) {
     last_sync_stats_.classifier_refreshes = num_objects_;
     class_probs_ = view.class_probs;
     class_probs_version_ = view.class_probs_version;
+    MarkAllBucketsDirty();
     object_blocks_changed = true;
   }
 
@@ -210,6 +213,50 @@ void ScoreCache::Sync(const StateView& view) {
   global_drift_ += MaxAbsDelta(global_before, global_block_,
                                StateFeaturizer::kGlobalBlockDim);
   AccumulateSync();
+}
+
+void ScoreCache::ConfigureObjectBuckets(size_t objects_per_bucket) {
+  bucket_stride_ = objects_per_bucket;
+  ResizeBuckets();
+}
+
+void ScoreCache::ResizeBuckets() {
+  if (bucket_stride_ == 0 || num_objects_ == 0) {
+    bucket_width_.clear();
+    bucket_dirty_.clear();
+    return;
+  }
+  const size_t buckets =
+      (num_objects_ + bucket_stride_ - 1) / bucket_stride_;
+  bucket_width_.assign(buckets, 0.0);
+  bucket_dirty_.assign(buckets, 1);
+}
+
+void ScoreCache::RefreshBucketBoxes() {
+  if (bucket_stride_ == 0) return;
+  CROWDRL_CHECK(valid_) << "RefreshBucketBoxes requires a prior Sync";
+  constexpr size_t kDim = StateFeaturizer::kObjectBlockDim;
+  for (size_t b = 0; b < bucket_width_.size(); ++b) {
+    if (!bucket_dirty_[b]) continue;
+    bucket_dirty_[b] = 0;
+    const size_t begin = b * bucket_stride_;
+    const size_t end = std::min(begin + bucket_stride_, num_objects_);
+    double lo[kDim];
+    double hi[kDim];
+    std::copy(object_blocks_.Row(begin), object_blocks_.Row(begin) + kDim,
+              lo);
+    std::copy(lo, lo + kDim, hi);
+    for (size_t i = begin + 1; i < end; ++i) {
+      const double* row = object_blocks_.Row(i);
+      for (size_t d = 0; d < kDim; ++d) {
+        lo[d] = std::min(lo[d], row[d]);
+        hi[d] = std::max(hi[d], row[d]);
+      }
+    }
+    double width = 0.0;
+    for (size_t d = 0; d < kDim; ++d) width = std::max(width, hi[d] - lo[d]);
+    bucket_width_[b] = width;
+  }
 }
 
 void ScoreCache::AssembleRowInto(int object, int annotator,

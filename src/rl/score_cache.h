@@ -2,6 +2,7 @@
 #define CROWDRL_RL_SCORE_CACHE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "math/matrix.h"
@@ -117,6 +118,29 @@ class ScoreCache {
   /// restarted from zero since the consumer last looked.
   size_t rebuild_epoch() const { return rebuild_epoch_; }
 
+  /// Object-bucket aggregates for the hierarchical candidate generator:
+  /// bucket b covers objects [b * stride, (b+1) * stride). When enabled,
+  /// Sync tracks which buckets' object blocks changed and
+  /// RefreshBucketBoxes recomputes just those buckets' value boxes. The
+  /// bucket width — max over block dimensions of (max - min) within the
+  /// bucket — is the max-abs-metric diameter of the bucket's object
+  /// blocks, i.e. the radius term a tile bound charges against the
+  /// pruner's alpha sensitivity (see rl::BucketHierarchy). Stride 0 (the
+  /// default) disables the aggregates entirely.
+  void ConfigureObjectBuckets(size_t objects_per_bucket);
+  size_t object_bucket_stride() const { return bucket_stride_; }
+  size_t num_object_buckets() const { return bucket_width_.size(); }
+
+  /// Recomputes the boxes of buckets dirtied since the last call. Call
+  /// after Sync, before reading ObjectBucketWidth.
+  void RefreshBucketBoxes();
+
+  /// Max-abs diameter of bucket `bucket`'s object blocks, as of the last
+  /// RefreshBucketBoxes.
+  double ObjectBucketWidth(size_t bucket) const {
+    return bucket_width_[bucket];
+  }
+
   const SyncStats& last_sync_stats() const { return last_sync_stats_; }
 
   /// Totals since the last Invalidate (which LoadState/BeginEpisode
@@ -158,6 +182,23 @@ class ScoreCache {
   // Dedupe stamp for objects touched multiple times between syncs.
   std::vector<size_t> touch_stamp_;
   size_t sync_counter_ = 0;
+
+  // Object-bucket aggregates (0 stride = disabled).
+  size_t bucket_stride_ = 0;
+  std::vector<double> bucket_width_;
+  std::vector<uint8_t> bucket_dirty_;
+
+  void MarkBucketDirty(size_t object) {
+    if (bucket_stride_ != 0 && !bucket_dirty_.empty()) {
+      bucket_dirty_[object / bucket_stride_] = 1;
+    }
+  }
+  void MarkAllBucketsDirty() {
+    if (bucket_stride_ != 0) {
+      bucket_dirty_.assign(bucket_dirty_.size(), 1);
+    }
+  }
+  void ResizeBuckets();
 
   void AccumulateSync();
 

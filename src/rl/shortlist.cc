@@ -37,15 +37,7 @@ ShortlistPruner::ShortlistPruner(const ShortlistOptions& options)
 }
 
 void ShortlistPruner::Reset(size_t num_objects, size_t num_annotators) {
-  num_objects_ = num_objects;
-  num_annotators_ = num_annotators;
-  const size_t pairs = num_objects * num_annotators;
-  stale_q_.assign(pairs, 0.0);
-  snap_obj_.assign(pairs, 0.0);
-  snap_ann_.assign(pairs, 0.0);
-  snap_glob_.assign(pairs, 0.0);
-  stale_step_.assign(pairs, 0);
-  valid_.assign(pairs, 0);
+  table_.Reset(num_objects, num_annotators);
   full_passes_ = 0;
   epoch_seen_ = false;
 }
@@ -54,8 +46,10 @@ void ShortlistPruner::BeginIteration(const ScoreCache& cache) {
   const size_t rebuilds = cache.rebuild_epoch();
   if (!epoch_seen_ || rebuilds != seen_full_rebuilds_) {
     // The drift accumulators reset on a full rebuild, so every snapshot
-    // in the table now measures against the wrong origin: drop them all.
-    std::fill(valid_.begin(), valid_.end(), uint8_t{0});
+    // in the table now measures against the wrong origin: drop them all
+    // (the shards deallocate; ranges re-materialize on their next
+    // rescore).
+    table_.Clear();
     seen_full_rebuilds_ = rebuilds;
     epoch_seen_ = true;
   }
@@ -64,13 +58,17 @@ void ShortlistPruner::BeginIteration(const ScoreCache& cache) {
 }
 
 void ShortlistPruner::EvictAnnotator(int annotator) {
-  if (num_annotators_ == 0) return;  // Reset has not sized the table yet.
+  if (table_.num_annotators() == 0) return;  // Reset has not run yet.
   CROWDRL_CHECK(annotator >= 0 &&
-                static_cast<size_t>(annotator) < num_annotators_);
+                static_cast<size_t>(annotator) < table_.num_annotators());
   const size_t j = static_cast<size_t>(annotator);
-  for (size_t o = 0; o < num_objects_; ++o) {
-    valid_[o * num_annotators_ + j] = 0;
-  }
+  const size_t stride = table_.num_annotators();
+  table_.ForEachAllocated([&](size_t shard, TableShard& data) {
+    const auto [begin, end] = table_.ShardRange(shard);
+    for (size_t o = 0; o < end - begin; ++o) {
+      data.valid[o * stride + j] = 0;
+    }
+  });
 }
 
 size_t ShortlistPruner::ShortlistSize(size_t num_pairs,
@@ -95,24 +93,72 @@ size_t ShortlistPruner::UpperBounds(const ScoreCache& cache,
   const std::vector<double>& ann_drift = cache.annotator_drift();
   const double glob_drift = cache.global_drift();
   size_t must_score = 0;
+  // Pairs arrive in ascending object order, so consecutive lookups almost
+  // always hit the same shard: cache the last resolution.
+  size_t cached_shard = std::numeric_limits<size_t>::max();
+  const TableShard* data = nullptr;
   for (size_t i = 0; i < pairs.size(); ++i) {
     const size_t o = static_cast<size_t>(pairs[i].object);
     const size_t a = static_cast<size_t>(pairs[i].annotator);
-    const size_t p = o * num_annotators_ + a;
-    if (!valid_[p]) {
+    const size_t shard = table_.ShardIndexOf(o);
+    if (shard != cached_shard) {
+      cached_shard = shard;
+      data = table_.GetShard(shard);
+    }
+    const size_t p = table_.OffsetOf(o, a);
+    if (data == nullptr || !data->valid[p]) {
       (*ub)[i] = std::numeric_limits<double>::infinity();
       ++must_score;
       continue;
     }
-    const double drift = (obj_drift[o] - snap_obj_[p]) +
-                         (ann_drift[a] - snap_ann_[p]) +
-                         (glob_drift - snap_glob_[p]);
+    const double drift = (obj_drift[o] - data->snap_obj[p]) +
+                         (ann_drift[a] - data->snap_ann[p]) +
+                         (glob_drift - data->snap_glob[p]);
     const double ticks =
-        static_cast<double>(train_steps - stale_step_[p]);
-    (*ub)[i] = stale_q_[p] + alpha_ * drift + beta_ * ticks +
+        static_cast<double>(train_steps - data->stale_step[p]);
+    (*ub)[i] = data->stale_q[p] + alpha_ * drift + beta_ * ticks +
                options_.margin + bonus[i];
   }
   return must_score;
+}
+
+double ShortlistPruner::PairUpperBound(const ScoreCache& cache,
+                                       size_t train_steps, int object,
+                                       int annotator, double bonus) const {
+  const size_t o = static_cast<size_t>(object);
+  const size_t a = static_cast<size_t>(annotator);
+  const TableShard* data = table_.Get(o);
+  const size_t p = table_.OffsetOf(o, a);
+  if (data == nullptr || !data->valid[p]) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double drift = (cache.object_drift()[o] - data->snap_obj[p]) +
+                       (cache.annotator_drift()[a] - data->snap_ann[p]) +
+                       (cache.global_drift() - data->snap_glob[p]);
+  const double ticks = static_cast<double>(train_steps - data->stale_step[p]);
+  return data->stale_q[p] + alpha_ * drift + beta_ * ticks +
+         options_.margin + bonus;
+}
+
+bool ShortlistPruner::HasEntry(int object, int annotator) const {
+  const TableShard* data = table_.Get(static_cast<size_t>(object));
+  return data != nullptr &&
+         data->valid[table_.OffsetOf(static_cast<size_t>(object),
+                                     static_cast<size_t>(annotator))] != 0;
+}
+
+void ShortlistPruner::ObserveMove(double dq, double drift, double ticks) {
+  if (dq <= alpha_ * drift + beta_ * ticks) return;
+  const bool has_drift = drift > kDriftEps;
+  const bool has_ticks = ticks > 0.0;
+  if (has_drift && has_ticks) {
+    alpha_ = std::max(alpha_, dq / drift);
+    beta_ = std::max(beta_, dq / ticks);
+  } else if (has_drift) {
+    alpha_ = std::max(alpha_, 2.0 * dq / drift);
+  } else if (has_ticks) {
+    beta_ = std::max(beta_, 2.0 * dq / ticks);
+  }
 }
 
 size_t ShortlistPruner::RecordExact(const ScoreCache& cache,
@@ -128,43 +174,39 @@ size_t ShortlistPruner::RecordExact(const ScoreCache& cache,
   const std::vector<double>& ann_drift = cache.annotator_drift();
   const double glob_drift = cache.global_drift();
   size_t violations = 0;
+  size_t cached_shard = std::numeric_limits<size_t>::max();
+  TableShard* data = nullptr;
   for (size_t i = 0; i < pairs.size(); ++i) {
     const size_t o = static_cast<size_t>(pairs[i].object);
     const size_t a = static_cast<size_t>(pairs[i].annotator);
-    const size_t p = o * num_annotators_ + a;
-    if (valid_[p]) {
+    const size_t shard = table_.ShardIndexOf(o);
+    if (shard != cached_shard || data == nullptr) {
+      cached_shard = shard;
+      data = table_.GetOrCreate(o);
+    }
+    const size_t p = table_.OffsetOf(o, a);
+    if (data->valid[p]) {
       // Adapt the sensitivities from this rescore: the slack we budgeted
       // must have covered the move we actually observed (with 2x
       // headroom), whatever direction it took.
-      const double dq = std::abs(raw_q[i] - stale_q_[p]);
-      const double drift = (obj_drift[o] - snap_obj_[p]) +
-                           (ann_drift[a] - snap_ann_[p]) +
-                           (glob_drift - snap_glob_[p]);
+      const double dq = std::abs(raw_q[i] - data->stale_q[p]);
+      const double drift = (obj_drift[o] - data->snap_obj[p]) +
+                           (ann_drift[a] - data->snap_ann[p]) +
+                           (glob_drift - data->snap_glob[p]);
       const double ticks =
-          static_cast<double>(train_steps - stale_step_[p]);
-      if (dq > alpha_ * drift + beta_ * ticks) {
-        const bool has_drift = drift > kDriftEps;
-        const bool has_ticks = ticks > 0.0;
-        if (has_drift && has_ticks) {
-          alpha_ = std::max(alpha_, dq / drift);
-          beta_ = std::max(beta_, dq / ticks);
-        } else if (has_drift) {
-          alpha_ = std::max(alpha_, 2.0 * dq / drift);
-        } else if (has_ticks) {
-          beta_ = std::max(beta_, 2.0 * dq / ticks);
-        }
-      }
+          static_cast<double>(train_steps - data->stale_step[p]);
+      ObserveMove(dq, drift, ticks);
       if (prior_ub != nullptr &&
           raw_q[i] + (*bonus)[i] > (*prior_ub)[i]) {
         ++violations;
       }
     }
-    stale_q_[p] = raw_q[i];
-    snap_obj_[p] = obj_drift[o];
-    snap_ann_[p] = ann_drift[a];
-    snap_glob_[p] = glob_drift;
-    stale_step_[p] = static_cast<uint32_t>(train_steps);
-    valid_[p] = 1;
+    data->stale_q[p] = raw_q[i];
+    data->snap_obj[p] = obj_drift[o];
+    data->snap_ann[p] = ann_drift[a];
+    data->snap_glob[p] = glob_drift;
+    data->stale_step[p] = static_cast<uint32_t>(train_steps);
+    data->valid[p] = 1;
   }
   if (full_pass) {
     ++full_passes_;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "rl/action.h"
+#include "rl/pair_shards.h"
 #include "rl/score_cache.h"
 
 namespace crowdrl::rl {
@@ -48,6 +49,12 @@ struct ShortlistOptions {
 /// verifies after the fact that no non-shortlisted pair could have
 /// altered the selection, and falls back to full scoring otherwise (see
 /// DESIGN.md "Candidate pruning").
+///
+/// Storage is sharded by object range (rl::PairShardMap): a range's
+/// entries materialize the first time one of its pairs is rescored, so a
+/// million-object episode whose hierarchical selection only ever expands
+/// a few ranges keeps the table proportional to those ranges instead of
+/// the full grid.
 ///
 /// The table is invalidated wholesale whenever the ScoreCache full-
 /// rebuilds (its drift accumulators reset, so the snapshots no longer
@@ -104,6 +111,15 @@ class ShortlistPruner {
                      const std::vector<double>& bonus,
                      std::vector<double>* ub) const;
 
+  /// Single-pair form of UpperBounds (the hierarchical generator tightens
+  /// a tile-derived bound with the pair's own stale entry when one
+  /// exists). +infinity when the pair has no valid entry.
+  double PairUpperBound(const ScoreCache& cache, size_t train_steps,
+                        int object, int annotator, double bonus) const;
+
+  /// True when (object, annotator) holds a valid stale entry.
+  bool HasEntry(int object, int annotator) const;
+
   /// Records exact raw Q values (exploration bonus excluded) for `pairs`,
   /// snapshotting the drift accumulators and train step. When `prior_ub`
   /// is non-null (same indexing as `pairs`, with `bonus`), each rescored
@@ -118,6 +134,15 @@ class ShortlistPruner {
                      const std::vector<double>* prior_ub,
                      const std::vector<double>* bonus, bool full_pass);
 
+  /// Feeds one externally observed exact-rescore move into the
+  /// sensitivity adaptation (the same max-update rule RecordExact
+  /// applies). Callers that maintain their own stale anchors — the
+  /// hierarchical tile representatives — report |dq| = |Q_new - Q_stale|
+  /// against the feature drift and train-step delta the anchor aged
+  /// through, so a drifting network loosens the shared bounds no matter
+  /// which layer observed the move first.
+  void ObserveMove(double dq, double drift, double ticks);
+
   /// Outcome notes, driving the adaptive shortlist boost and stats.
   void NotePrunedSuccess(size_t exact_rows, size_t bounded_rows);
   void NoteGateFallback();
@@ -125,21 +150,33 @@ class ShortlistPruner {
 
   double alpha() const { return alpha_; }
   double beta() const { return beta_; }
+  double margin() const { return options_.margin; }
   size_t boost() const { return boost_; }
+  size_t allocated_shards() const { return table_.allocated_shards(); }
   const Stats& stats() const { return stats_; }
 
  private:
+  /// One object range's stale entries; allocated on first rescore into
+  /// the range (see PairShardMap).
+  struct TableShard {
+    explicit TableShard(size_t pairs)
+        : stale_q(pairs, 0.0),
+          snap_obj(pairs, 0.0),
+          snap_ann(pairs, 0.0),
+          snap_glob(pairs, 0.0),
+          stale_step(pairs, 0),
+          valid(pairs, 0) {}
+    std::vector<double> stale_q;
+    std::vector<double> snap_obj;   // object_drift()[i] at record time.
+    std::vector<double> snap_ann;   // annotator_drift()[j] at record time.
+    std::vector<double> snap_glob;  // global_drift() at record time.
+    std::vector<uint32_t> stale_step;
+    std::vector<uint8_t> valid;
+  };
+
   ShortlistOptions options_;
 
-  size_t num_objects_ = 0;
-  size_t num_annotators_ = 0;
-  // Pair-indexed (object * num_annotators_ + annotator) stale table.
-  std::vector<double> stale_q_;
-  std::vector<double> snap_obj_;   // object_drift()[i] at record time.
-  std::vector<double> snap_ann_;   // annotator_drift()[j] at record time.
-  std::vector<double> snap_glob_;  // global_drift() at record time.
-  std::vector<uint32_t> stale_step_;
-  std::vector<uint8_t> valid_;
+  PairShardMap<TableShard> table_;
 
   // Drift sensitivities (running maxima with 2x headroom, decayed).
   double alpha_ = 1.0;

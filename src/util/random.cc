@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <sstream>
+#include <unordered_set>
 
 namespace crowdrl {
 
@@ -44,6 +45,27 @@ std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
   }
   pool.resize(static_cast<size_t>(k));
   return pool;
+}
+
+std::vector<uint64_t> Rng::SampleRanksWithoutReplacement(uint64_t n,
+                                                         uint64_t k) {
+  CROWDRL_CHECK(k <= n);
+  std::vector<uint64_t> out;
+  out.reserve(static_cast<size_t>(k));
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(k));
+  // Floyd: drawing from prefixes of growing length gives each rank equal
+  // inclusion probability while touching only k values.
+  for (uint64_t i = n - k; i < n; ++i) {
+    uint64_t j = std::uniform_int_distribution<uint64_t>(0, i)(engine_);
+    if (seen.insert(j).second) {
+      out.push_back(j);
+    } else {
+      seen.insert(i);
+      out.push_back(i);
+    }
+  }
+  return out;
 }
 
 std::string Rng::SaveStateString() const {

@@ -71,6 +71,14 @@ class Rng {
   /// k distinct indices drawn uniformly from [0, n). Requires 0 <= k <= n.
   std::vector<int> SampleWithoutReplacement(int n, int k);
 
+  /// k distinct ranks drawn uniformly from [0, n) without materializing
+  /// the population (Floyd's algorithm, O(k) memory) — for sampling from
+  /// huge implicit sets, e.g. the valid pairs of a million-object
+  /// candidate grid. Consumes the stream differently from
+  /// SampleWithoutReplacement, so the two are not interchangeable where
+  /// bit-reproducibility against existing runs matters.
+  std::vector<uint64_t> SampleRanksWithoutReplacement(uint64_t n, uint64_t k);
+
   /// Derives an independent child generator. Children with different tags
   /// (or from different parents) produce decorrelated streams.
   ///

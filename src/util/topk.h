@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <iterator>
 #include <utility>
 #include <vector>
 
@@ -19,6 +20,20 @@ template <typename T>
 class TopK {
  public:
   explicit TopK(size_t k) : k_(k) { CROWDRL_CHECK(k > 0); }
+
+  /// Scratch form: default-construct once, Reset(k) per use. The heap
+  /// buffer is retained across Resets, so steady-state selections allocate
+  /// nothing (see Reset/TakeSortedDescendingInto).
+  TopK() : k_(1) {}
+
+  /// Rebinds the selector to a fresh size-k selection, keeping the
+  /// already-grown heap capacity. Pair with TakeSortedDescendingInto to
+  /// make repeated top-k passes allocation-free.
+  void Reset(size_t k) {
+    CROWDRL_CHECK(k > 0);
+    k_ = k;
+    heap_.clear();
+  }
 
   /// Offers one candidate; kept iff it beats the current k-th best.
   void Push(double score, T item) {
@@ -53,10 +68,21 @@ class TopK {
   std::vector<std::pair<double, T>> TakeSortedDescending() {
     std::vector<std::pair<double, T>> out = std::move(heap_);
     heap_.clear();
-    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
-      return a.first > b.first;
-    });
+    std::sort(out.begin(), out.end(), GreaterScore);
     return out;
+  }
+
+  /// Caller-buffer form of TakeSortedDescending: moves the retained items
+  /// into `out` (overwritten; its capacity is reused) and keeps this
+  /// selector's heap buffer for the next Reset. Same ordering as
+  /// TakeSortedDescending.
+  void TakeSortedDescendingInto(std::vector<std::pair<double, T>>* out) {
+    CROWDRL_DCHECK(out != nullptr);
+    out->clear();
+    out->insert(out->end(), std::make_move_iterator(heap_.begin()),
+                std::make_move_iterator(heap_.end()));
+    heap_.clear();
+    std::sort(out->begin(), out->end(), GreaterScore);
   }
 
  private:

@@ -1,5 +1,8 @@
 #include "crowd/answer_log.h"
 
+#include <map>
+#include <random>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -92,12 +95,16 @@ TEST(AnswerLogTest, AnswersForIsStableAcrossRecordsToOtherObjects) {
   log.Record(1, 2, 0);
   AnswerSpan before = log.AnswersFor(1);
   const auto* data = before.begin();
-  // Appends to other objects (and to object 1 itself) never move the span.
+  // Appends to *other* objects never move the span: rows are sharded and
+  // each object owns its storage.
   log.Record(0, 0, 1);
   log.Record(2, 3, 1);
+  EXPECT_EQ(log.AnswersFor(1).begin(), data);
+  // An append to object 1 itself may relocate its entries (the documented
+  // contract: spans are valid until the next Record); re-fetching sees the
+  // full recording order.
   log.Record(1, 0, 1);
   AnswerSpan after = log.AnswersFor(1);
-  EXPECT_EQ(after.begin(), data);
   ASSERT_EQ(after.size(), 2u);
   EXPECT_EQ(after[0], (std::pair<int, int>{2, 0}));
   EXPECT_EQ(after[1], (std::pair<int, int>{0, 1}));
@@ -145,6 +152,167 @@ TEST(AnswerLogDeathTest, HistogramRejectsOutOfRangeLabel) {
   AnswerLog log(1, 1);
   log.Record(0, 0, 5);
   EXPECT_DEATH(log.LabelHistogram(0, 2), "outside class range");
+}
+
+TEST(AnswerLogShardTest, GeometryCoversAllObjects) {
+  AnswerLog log(10, 3, /*shard_objects=*/4);
+  EXPECT_EQ(log.shard_objects(), 4u);
+  ASSERT_EQ(log.num_shards(), 3u);
+  EXPECT_EQ(log.ShardRange(0), (std::pair<size_t, size_t>{0, 4}));
+  EXPECT_EQ(log.ShardRange(1), (std::pair<size_t, size_t>{4, 8}));
+  EXPECT_EQ(log.ShardRange(2), (std::pair<size_t, size_t>{8, 10}));
+  EXPECT_TRUE(log.ShardEmpty(0));
+  log.Record(5, 1, 0);
+  EXPECT_TRUE(log.ShardEmpty(0));
+  EXPECT_FALSE(log.ShardEmpty(1));
+  EXPECT_EQ(log.ShardAnswerCount(1), 1u);
+}
+
+TEST(AnswerLogShardTest, ShardSectionsRoundTripInAnyOrder) {
+  AnswerLog log(11, 4, /*shard_objects=*/3);
+  log.Record(0, 1, 2);
+  log.Record(10, 3, 0);
+  log.Record(10, 0, 1);
+  log.Record(4, 2, 1);
+  log.Record(0, 0, 2);
+
+  // Serialize each non-empty shard on its own; shard 2 (objects 6..8) has
+  // no answers and is skipped — exactly what a streaming checkpoint does.
+  std::vector<io::Writer> sections(log.num_shards());
+  std::vector<size_t> non_empty;
+  for (size_t s = 0; s < log.num_shards(); ++s) {
+    if (log.ShardEmpty(s)) continue;
+    log.SaveShardState(s, &sections[s]);
+    non_empty.push_back(s);
+  }
+  ASSERT_EQ(non_empty, (std::vector<size_t>{0, 1, 3}));
+
+  // Restore in reverse shard order into a fresh log.
+  AnswerLog restored(11, 4, /*shard_objects=*/3);
+  for (auto it = non_empty.rbegin(); it != non_empty.rend(); ++it) {
+    io::Reader reader(sections[*it].bytes());
+    ASSERT_TRUE(restored.LoadShardState(&reader).ok());
+  }
+  EXPECT_EQ(restored.total_answers(), log.total_answers());
+  // The assembled log is byte-identical to a monolithic save of the
+  // original (shard order cannot matter: SaveState walks objects in id
+  // order).
+  io::Writer whole_original;
+  io::Writer whole_restored;
+  log.SaveState(&whole_original);
+  restored.SaveState(&whole_restored);
+  EXPECT_EQ(whole_original.bytes(), whole_restored.bytes());
+  EXPECT_EQ(restored.LabelHistogram(10, 3), (std::vector<int>{1, 1, 0}));
+}
+
+TEST(AnswerLogShardTest, LoadShardRejectsPopulatedOrMismatchedRange) {
+  AnswerLog log(8, 2, /*shard_objects=*/4);
+  log.Record(1, 0, 1);
+  io::Writer section;
+  log.SaveShardState(0, &section);
+
+  // Loading into a range that already holds answers is refused.
+  io::Reader reader(section.bytes());
+  Status status = log.LoadShardState(&reader);
+  EXPECT_FALSE(status.ok());
+
+  // A log with different shard geometry refuses the section outright.
+  AnswerLog other_geometry(8, 2, /*shard_objects=*/3);
+  io::Reader reader2(section.bytes());
+  EXPECT_FALSE(other_geometry.LoadShardState(&reader2).ok());
+
+  // Matching geometry and an empty range accepts it.
+  AnswerLog fresh(8, 2, /*shard_objects=*/4);
+  io::Reader reader3(section.bytes());
+  ASSERT_TRUE(fresh.LoadShardState(&reader3).ok());
+  EXPECT_EQ(fresh.Answer(1, 0), 1);
+}
+
+// Property test: interleaved appends across distant object ids keep every
+// index (AnswersFor order, dense grid, histograms, counts, touch log)
+// consistent with a naive shadow log, including after a SaveState/
+// LoadState round trip. Object ids span a large sparse range so shard
+// allocation is exercised on far-apart ranges.
+TEST(AnswerLogPropertyTest, SparseInterleavedAppendsMatchNaiveShadow) {
+  constexpr size_t kObjects = 200000;
+  constexpr size_t kAnnotators = 7;
+  constexpr int kClasses = 4;
+  constexpr int kAnswers = 3000;
+  AnswerLog log(kObjects, kAnnotators);
+
+  struct Naive {
+    std::vector<std::pair<int, int>> entries;
+    std::vector<int> grid = std::vector<int>(kAnnotators,
+                                             AnswerLog::kNoAnswer);
+  };
+  std::map<int, Naive> shadow;
+  std::mt19937 rng(20260808);
+  // Hop between distant ids: stride through the space with a large
+  // coprime step plus jitter, so consecutive appends land in different
+  // shards and revisit earlier shards later.
+  size_t cursor = 12345;
+  int recorded = 0;
+  while (recorded < kAnswers) {
+    cursor = (cursor + 61813) % kObjects;
+    const int object = static_cast<int>(cursor);
+    const int annotator = static_cast<int>(rng() % kAnnotators);
+    Naive& naive = shadow[object];
+    if (naive.grid[static_cast<size_t>(annotator)] != AnswerLog::kNoAnswer) {
+      continue;
+    }
+    const int label = static_cast<int>(rng() % kClasses);
+    log.Record(object, annotator, label);
+    naive.grid[static_cast<size_t>(annotator)] = label;
+    naive.entries.emplace_back(annotator, label);
+    ++recorded;
+  }
+  ASSERT_EQ(log.total_answers(), static_cast<size_t>(kAnswers));
+
+  auto check_against_shadow = [&](const AnswerLog& got) {
+    for (const auto& [object, naive] : shadow) {
+      ASSERT_EQ(got.AnswerCount(object),
+                static_cast<int>(naive.entries.size()));
+      AnswerSpan span = got.AnswersFor(object);
+      ASSERT_EQ(span.size(), naive.entries.size());
+      std::vector<int> hist(kClasses, 0);
+      for (size_t e = 0; e < span.size(); ++e) {
+        ASSERT_EQ(span[e], naive.entries[e]);
+        ++hist[static_cast<size_t>(span[e].second)];
+      }
+      EXPECT_EQ(got.LabelHistogram(object, kClasses), hist);
+      for (size_t j = 0; j < kAnnotators; ++j) {
+        EXPECT_EQ(got.Answer(object, static_cast<int>(j)), naive.grid[j]);
+      }
+    }
+    // A sample of never-touched objects reads as empty.
+    for (int probe : {1, 999, 54321, static_cast<int>(kObjects) - 1}) {
+      if (shadow.count(probe)) continue;
+      EXPECT_EQ(got.AnswerCount(probe), 0);
+      EXPECT_TRUE(got.AnswersFor(probe).empty());
+      EXPECT_FALSE(got.HasAnswer(probe, 0));
+    }
+  };
+  check_against_shadow(log);
+
+  // Memory scales with touched ranges: far fewer shards materialize than
+  // answers were recorded against a dense layout.
+  size_t populated = 0;
+  for (size_t s = 0; s < log.num_shards(); ++s) {
+    populated += log.ShardEmpty(s) ? 0 : 1;
+  }
+  EXPECT_GT(populated, 1u);
+  EXPECT_LE(populated, log.num_shards());
+
+  io::Writer writer;
+  log.SaveState(&writer);
+  AnswerLog restored(kObjects, kAnnotators);
+  io::Reader reader(writer.bytes());
+  ASSERT_TRUE(restored.LoadState(&reader).ok());
+  check_against_shadow(restored);
+  EXPECT_EQ(restored.TouchedSince(0).size(), log.TouchedSince(0).size());
+  io::Writer rewritten;
+  restored.SaveState(&rewritten);
+  EXPECT_EQ(rewritten.bytes(), writer.bytes());
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -177,6 +178,169 @@ TEST(SnapshotTest, NewerFormatVersionIsRejected) {
   Snapshot snapshot;
   Status status = Snapshot::Parse(std::move(bytes), &snapshot);
   EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
+TEST(SnapshotStreamTest, StreamedFileIsByteIdenticalToSerialize) {
+  std::string path = TempPath("streamed.ckpt");
+  SnapshotStreamWriter stream;
+  ASSERT_TRUE(stream.Open(path, 2).ok());
+  {
+    Writer alpha;
+    alpha.WriteU32(7);
+    alpha.WriteDouble(2.5);
+    ASSERT_TRUE(stream.AppendSection("alpha", alpha).ok());
+  }  // Payload freed before the next section is even built.
+  {
+    Writer beta;
+    beta.WriteString("payload");
+    ASSERT_TRUE(stream.AppendSection("beta", beta).ok());
+  }
+  ASSERT_TRUE(stream.Close().ok());
+
+  std::ifstream in(path, std::ios::binary);
+  std::string streamed((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(streamed, MakeTwoSectionBuilder().Serialize());
+}
+
+TEST(SnapshotStreamTest, StreamReaderReadsBuilderFiles) {
+  std::string path = TempPath("stream_read.ckpt");
+  ASSERT_TRUE(MakeTwoSectionBuilder().WriteFile(path).ok());
+
+  SnapshotStreamReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  EXPECT_EQ(reader.SectionNames(),
+            (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_TRUE(reader.HasSection("alpha"));
+  EXPECT_FALSE(reader.HasSection("gamma"));
+
+  std::string buffer;
+  Reader section;
+  ASSERT_TRUE(reader.ReadSection("alpha", &buffer, &section).ok());
+  uint32_t u = 0;
+  double d = 0.0;
+  ASSERT_TRUE(section.ReadU32(&u).ok());
+  ASSERT_TRUE(section.ReadDouble(&d).ok());
+  EXPECT_TRUE(section.ExpectEnd().ok());
+  EXPECT_EQ(u, 7u);
+  EXPECT_EQ(d, 2.5);
+
+  ASSERT_TRUE(reader.ReadSection("beta", &buffer, &section).ok());
+  std::string s;
+  ASSERT_TRUE(section.ReadString(&s).ok());
+  EXPECT_EQ(s, "payload");
+
+  EXPECT_TRUE(reader.ReadSection("gamma", &buffer, &section).IsNotFound());
+}
+
+TEST(SnapshotStreamTest, StreamReaderRejectsCorruptionAndTruncation) {
+  std::string path = TempPath("stream_corrupt.ckpt");
+  const std::string pristine = MakeTwoSectionBuilder().Serialize();
+
+  auto write_bytes = [&](const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+
+  SnapshotStreamReader reader;
+  EXPECT_TRUE(reader.Open(TempPath("stream_missing.ckpt")).IsNotFound());
+
+  std::string flipped = pristine;
+  flipped[pristine.size() / 2] =
+      static_cast<char>(flipped[pristine.size() / 2] ^ 0x10);
+  write_bytes(flipped);
+  EXPECT_TRUE(reader.Open(path).IsDataLoss());
+
+  write_bytes(pristine.substr(0, pristine.size() / 2));
+  EXPECT_TRUE(reader.Open(path).IsDataLoss());
+
+  std::string bad_magic = pristine;
+  bad_magic[0] = 'X';
+  write_bytes(bad_magic);
+  // Magic corruption also breaks the CRC; either way it must not parse.
+  EXPECT_FALSE(reader.Open(path).ok());
+}
+
+TEST(SnapshotStreamTest, AbandonedWriterLeavesNoFiles) {
+  std::string path = TempPath("abandoned.ckpt");
+  std::filesystem::remove(path);
+  {
+    SnapshotStreamWriter stream;
+    ASSERT_TRUE(stream.Open(path, 2).ok());
+    Writer alpha;
+    alpha.WriteU32(1);
+    ASSERT_TRUE(stream.AppendSection("alpha", alpha).ok());
+    // Destroyed without Close(): neither the target nor the tmp may
+    // exist afterwards.
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+// The scale checkpoint pattern: every AnswerLog shard streams out as its
+// own section and back in one at a time, and the reassembled log matches
+// a monolithic round-trip exactly.
+TEST(SnapshotStreamTest, ShardedAnswerLogRoundTripsSectionBySection) {
+  constexpr size_t kObjects = 10000;
+  constexpr size_t kAnnotators = 50;
+  constexpr size_t kShardObjects = 1024;
+  crowd::AnswerLog log(kObjects, kAnnotators, kShardObjects);
+  Rng rng(4242);
+  for (int r = 0; r < 500; ++r) {
+    // Touch a few scattered ranges, leaving most shards untouched.
+    int object = rng.UniformInt(static_cast<int>(kObjects / 20)) +
+                 (r % 3) * 4000;
+    int annotator = rng.UniformInt(static_cast<int>(kAnnotators));
+    if (log.HasAnswer(object, annotator)) continue;
+    log.Record(object, annotator, rng.UniformInt(3));
+  }
+
+  std::vector<size_t> live_shards;
+  for (size_t s = 0; s < log.num_shards(); ++s) {
+    if (!log.ShardEmpty(s)) live_shards.push_back(s);
+  }
+  ASSERT_GT(live_shards.size(), 1u);
+  ASSERT_LT(live_shards.size(), log.num_shards());  // Some stayed empty.
+
+  std::string path = TempPath("sharded_log.ckpt");
+  {
+    SnapshotStreamWriter stream;
+    ASSERT_TRUE(stream.Open(path, live_shards.size()).ok());
+    for (size_t s : live_shards) {
+      Writer payload;
+      log.SaveShardState(s, &payload);
+      ASSERT_TRUE(
+          stream
+              .AppendSection("answers/shard-" + std::to_string(s), payload)
+              .ok());
+    }
+    ASSERT_TRUE(stream.Close().ok());
+  }
+
+  crowd::AnswerLog restored(kObjects, kAnnotators, kShardObjects);
+  {
+    SnapshotStreamReader reader;
+    ASSERT_TRUE(reader.Open(path).ok());
+    for (size_t s : live_shards) {
+      std::string buffer;
+      Reader section;
+      ASSERT_TRUE(reader
+                      .ReadSection("answers/shard-" + std::to_string(s),
+                                   &buffer, &section)
+                      .ok());
+      ASSERT_TRUE(restored.LoadShardState(&section).ok());
+    }
+  }
+
+  EXPECT_EQ(restored.total_answers(), log.total_answers());
+  for (size_t i = 0; i < kObjects; ++i) {
+    const int object = static_cast<int>(i);
+    EXPECT_EQ(restored.AnswerCount(object), log.AnswerCount(object));
+    for (size_t j = 0; j < kAnnotators; ++j) {
+      EXPECT_EQ(restored.HasAnswer(object, static_cast<int>(j)),
+                log.HasAnswer(object, static_cast<int>(j)));
+    }
+  }
 }
 
 TEST(CheckpointDirTest, FileNamesSortByIteration) {
