@@ -1,0 +1,361 @@
+// Compute-backend bench: reference vs quantized-int8 serving inference.
+// Emits BENCH_backend.json with
+//   * forward throughput (rows/sec) of the QNetwork-shaped MLP under the
+//     reference CpuBackend and the QuantizedCpuBackend, per SIMD tier,
+//   * weight memory: fp64 weights vs the int8-plus-scales pack,
+//   * reference bit-identity vs an in-bench naive forward (the same
+//     triple-loop the golden tests pin),
+//   * quantized accuracy: end-to-end max-abs-error plus a guard-every-call
+//     audit run — "within_documented_bound" is true iff the backend's own
+//     ElementErrorBound guard never tripped (fallbacks == 0),
+//   * selection agreement: top-k overlap and argmax identity between the
+//     two backends' Q scores over the bench batch,
+//   * end-to-end serve delta: a small single-campaign LabellingService run
+//     per backend, answers/sec each.
+//
+// Flags:
+//   --batch=N    forward batch rows                (default 8192)
+//   --reps=N     timed repetitions per backend     (default 30)
+//   --serve_scale=F  dataset scale of the serve leg (default 0.05;
+//                    0 disables the serve comparison)
+//   --json=PATH  output report (default BENCH_backend.json)
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "math/backend.h"
+#include "nn/activation.h"
+#include "nn/mlp.h"
+#include "rl/state.h"
+#include "serve/service.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace {
+
+using crowdrl::Matrix;
+using crowdrl::Rng;
+
+struct BackendBenchConfig {
+  size_t batch = 8192;
+  int reps = 30;
+  double serve_scale = 0.05;
+  std::string json = "BENCH_backend.json";
+};
+
+BackendBenchConfig ParseBackendArgs(int argc, char** argv) {
+  BackendBenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) -> const char* {
+      size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value("--batch=")) {
+      config.batch = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--reps=")) {
+      config.reps = std::atoi(v);
+    } else if (const char* v = value("--serve_scale=")) {
+      config.serve_scale = std::atof(v);
+    } else if (const char* v = value("--json=")) {
+      config.json = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: backend_bench [--batch=N] [--reps=N] "
+                   "[--serve_scale=F] [--json=PATH]\n");
+      std::exit(2);
+    }
+  }
+  CROWDRL_CHECK(config.batch > 0 && config.reps > 0);
+  return config;
+}
+
+double Seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// The historical naive forward (one scalar accumulator per element, k
+// ascending) — the arithmetic the gemm kernels and the reference backend
+// promise to reproduce bit-exactly.
+Matrix NaiveForward(const crowdrl::nn::Mlp& net, const Matrix& batch) {
+  Matrix current = batch;
+  for (size_t l = 0; l < net.num_layers(); ++l) {
+    const Matrix& w = net.layer_weight(l);
+    const std::vector<double>& bias = net.layer_bias(l);
+    Matrix out(current.rows(), w.rows());
+    for (size_t r = 0; r < current.rows(); ++r) {
+      for (size_t j = 0; j < w.rows(); ++j) {
+        double acc = 0.0;
+        for (size_t t = 0; t < w.cols(); ++t) {
+          acc += current.At(r, t) * w.At(j, t);
+        }
+        out.At(r, j) = acc + bias[j];
+      }
+    }
+    crowdrl::nn::ApplyActivation(net.layer_activation(l), &out);
+    current = std::move(out);
+  }
+  return current;
+}
+
+bool BitEqual(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return std::memcmp(a.data().data(), b.data().data(),
+                     a.size() * sizeof(double)) == 0;
+}
+
+// Median-of-reps forward time for one backend, seconds per InferInto.
+double TimeForward(const crowdrl::nn::Mlp& net, const Matrix& batch,
+                   crowdrl::math::Backend* backend, int reps, Matrix* out) {
+  // Warm-up: quantization pack, scratch allocation, branch predictors.
+  net.InferInto(batch, nullptr, out, backend);
+  net.InferInto(batch, nullptr, out, backend);
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const double start = Seconds();
+    net.InferInto(batch, nullptr, out, backend);
+    times.push_back(Seconds() - start);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+// Fraction of the reference top-k the other backend's top-k reproduces.
+double TopKOverlap(const Matrix& ref, const Matrix& other, size_t k) {
+  auto topk = [k](const Matrix& scores) {
+    std::vector<size_t> order(scores.rows());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                      order.end(), [&scores](size_t a, size_t b) {
+                        if (scores.At(a, 0) != scores.At(b, 0)) {
+                          return scores.At(a, 0) > scores.At(b, 0);
+                        }
+                        return a < b;
+                      });
+    order.resize(k);
+    std::sort(order.begin(), order.end());
+    return order;
+  };
+  std::vector<size_t> a = topk(ref);
+  std::vector<size_t> b = topk(other);
+  std::vector<size_t> both;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(both));
+  return static_cast<double>(both.size()) / static_cast<double>(k);
+}
+
+size_t ArgMax(const Matrix& scores) {
+  size_t best = 0;
+  for (size_t r = 1; r < scores.rows(); ++r) {
+    if (scores.At(r, 0) > scores.At(best, 0)) best = r;
+  }
+  return best;
+}
+
+// One small serve campaign end to end; returns committed answers/sec.
+double RunServeLeg(double scale, bool quantized) {
+  crowdrl::bench::BenchConfig bench_config;
+  bench_config.scale = scale;
+  crowdrl::data::Dataset dataset =
+      crowdrl::bench::MakeDatasetVariant("S12CP", bench_config);
+  std::vector<crowdrl::crowd::Annotator> pool = crowdrl::bench::MakePoolOfSize(
+      5, dataset.num_classes, bench_config.base_seed + 7);
+  const double budget = crowdrl::bench::BudgetFor("S12CP", bench_config);
+
+  crowdrl::serve::ServiceOptions service_options;
+  service_options.shared_threads = 2;
+  crowdrl::serve::LabellingService service(service_options);
+  crowdrl::serve::CampaignOptions options;
+  options.name = quantized ? "backend_bench_q" : "backend_bench_ref";
+  options.synchronous_inference = false;
+  if (quantized) {
+    options.config.agent.inference_backend =
+        crowdrl::math::BackendKind::kQuantizedInt8;
+  }
+  crowdrl::serve::Campaign* campaign = service.AddCampaign(
+      options, &dataset, &pool, budget, bench_config.base_seed);
+  CROWDRL_CHECK(service.StartAll().ok());
+  campaign->sessions().ConnectAll();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> annotator_threads;
+  for (int j = 0; j < 5; ++j) {
+    annotator_threads.emplace_back([&, j] {
+      while (!stop.load(std::memory_order_acquire)) {
+        std::optional<crowdrl::serve::WorkItem> item =
+            campaign->sessions().RequestWork(j);
+        if (item.has_value()) {
+          campaign->ingest().Push(*item);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  const double start = Seconds();
+  CROWDRL_CHECK(service.RunUntilComplete().ok());
+  const double wall = Seconds() - start;
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : annotator_threads) t.join();
+  return static_cast<double>(campaign->answers_committed()) / wall;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BackendBenchConfig config = ParseBackendArgs(argc, argv);
+  namespace math = crowdrl::math;
+
+  // The serving network shape: StateFeaturizer features through the
+  // QNetwork's default hidden stack to one Q value.
+  const size_t feature_dim = crowdrl::rl::StateFeaturizer::kFeatureDim;
+  const std::vector<size_t> sizes = {feature_dim, 64, 32, 1};
+  const std::vector<crowdrl::nn::Activation> acts = {
+      crowdrl::nn::Activation::kRelu, crowdrl::nn::Activation::kRelu,
+      crowdrl::nn::Activation::kIdentity};
+  Rng rng(1234);
+  crowdrl::nn::Mlp net(sizes, acts, &rng);
+
+  Matrix batch(config.batch, feature_dim);
+  Rng feature_rng(99);
+  for (size_t r = 0; r < batch.rows(); ++r) {
+    for (size_t c = 0; c < feature_dim; ++c) {
+      // StateFeaturizer emits values in [0, 1]-ish ranges; match that.
+      batch.At(r, c) = feature_rng.Uniform();
+    }
+  }
+
+  math::Backend* reference = math::ReferenceBackend();
+  math::QuantizedCpuBackend quantized;  // default guard every 64th call
+
+  Matrix ref_out;
+  Matrix quant_out;
+  const double ref_s =
+      TimeForward(net, batch, reference, config.reps, &ref_out);
+  const double quant_s =
+      TimeForward(net, batch, &quantized, config.reps, &quant_out);
+  const double speedup = ref_s / quant_s;
+  const double ref_rows_per_sec = static_cast<double>(config.batch) / ref_s;
+  const double quant_rows_per_sec =
+      static_cast<double>(config.batch) / quant_s;
+
+  // Bit-identity of the reference backend vs the historical naive loop.
+  const bool reference_bit_identical = BitEqual(ref_out, NaiveForward(net, batch));
+
+  // Quantized accuracy: end-to-end error, plus a guard-every-call audit —
+  // every LinearNT in this pass is checked against the backend's documented
+  // ElementErrorBound, so zero fallbacks means every element complied.
+  double max_abs_error = 0.0;
+  for (size_t i = 0; i < ref_out.size(); ++i) {
+    max_abs_error = std::max(
+        max_abs_error, std::abs(ref_out.data()[i] - quant_out.data()[i]));
+  }
+  math::QuantizedBackendOptions audit_options;
+  audit_options.guard_period = 1;
+  math::QuantizedCpuBackend audit(audit_options);
+  Matrix audit_out;
+  net.InferInto(batch, nullptr, &audit_out, &audit);
+  const math::QuantizedCpuBackend::Stats audit_stats = audit.stats();
+  const bool within_bound = !audit.FellBack();
+
+  // Weight memory: serving weights in fp64 vs the int8 pack (+ scales).
+  size_t weight_bytes_fp64 = 0;
+  for (size_t l = 0; l < net.num_layers(); ++l) {
+    weight_bytes_fp64 += net.layer_weight(l).size() * sizeof(double);
+  }
+  const size_t weight_bytes_quantized = quantized.CachedWeightBytes();
+
+  // Selection agreement over the bench batch's Q scores.
+  const size_t topk = std::min<size_t>(32, config.batch);
+  const double overlap = TopKOverlap(ref_out, quant_out, topk);
+  const bool argmax_identical = ArgMax(ref_out) == ArgMax(quant_out);
+
+  const math::QuantizedCpuBackend::Stats stats = quantized.stats();
+  std::printf("backend bench: batch=%zu reps=%d tier=%s\n", config.batch,
+              config.reps, math::SimdTierName(math::ActiveSimdTier()));
+  std::printf("  reference  %10.0f rows/sec  (%.3f ms)  biteq=%d\n",
+              ref_rows_per_sec, ref_s * 1e3, reference_bit_identical);
+  std::printf("  quantized  %10.0f rows/sec  (%.3f ms)  %.2fx  "
+              "max_err=%.3e  within_bound=%d\n",
+              quant_rows_per_sec, quant_s * 1e3, speedup, max_abs_error,
+              within_bound);
+  std::printf("  weights    fp64 %zu B  int8 %zu B  (%.2fx smaller)\n",
+              weight_bytes_fp64, weight_bytes_quantized,
+              static_cast<double>(weight_bytes_fp64) /
+                  static_cast<double>(weight_bytes_quantized));
+  std::printf("  selection  top-%zu overlap %.3f  argmax_identical=%d\n",
+              topk, overlap, argmax_identical);
+
+  double serve_ref = 0.0;
+  double serve_quant = 0.0;
+  if (config.serve_scale > 0.0) {
+    serve_ref = RunServeLeg(config.serve_scale, /*quantized=*/false);
+    serve_quant = RunServeLeg(config.serve_scale, /*quantized=*/true);
+    std::printf("  serve      reference %.0f answers/sec  quantized %.0f "
+                "answers/sec\n",
+                serve_ref, serve_quant);
+  }
+
+  std::FILE* out = std::fopen(config.json.c_str(), "w");
+  CROWDRL_CHECK(out != nullptr) << "cannot write " << config.json;
+  std::fprintf(out, "{\n");
+  crowdrl::bench::WriteBenchMeta(out, 1, "quantized-int8 vs reference-cpu");
+  std::fprintf(out,
+               "  \"bench\": \"backend\",\n"
+               "  \"dims\": {\"in\": %zu, \"hidden\": [64, 32], \"out\": 1, "
+               "\"batch\": %zu, \"reps\": %d},\n",
+               feature_dim, config.batch, config.reps);
+  std::fprintf(out,
+               "  \"reference\": {\"rows_per_sec\": %.0f, "
+               "\"ms_per_forward\": %.4f, \"bit_identical\": %s, "
+               "\"weight_bytes\": %zu},\n",
+               ref_rows_per_sec, ref_s * 1e3,
+               reference_bit_identical ? "true" : "false", weight_bytes_fp64);
+  std::fprintf(out,
+               "  \"quantized\": {\"rows_per_sec\": %.0f, "
+               "\"ms_per_forward\": %.4f, \"weight_bytes\": %zu, "
+               "\"max_abs_error\": %.6e, \"guard_checks\": %llu, "
+               "\"fallbacks\": %llu, \"audit_guard_checks\": %llu, "
+               "\"audit_fallbacks\": %llu, "
+               "\"within_documented_bound\": %s},\n",
+               quant_rows_per_sec, quant_s * 1e3, weight_bytes_quantized,
+               max_abs_error,
+               static_cast<unsigned long long>(stats.guard_checks),
+               static_cast<unsigned long long>(stats.fallbacks),
+               static_cast<unsigned long long>(audit_stats.guard_checks),
+               static_cast<unsigned long long>(audit_stats.fallbacks),
+               within_bound ? "true" : "false");
+  std::fprintf(out, "  \"speedup\": %.3f,\n", speedup);
+  std::fprintf(out, "  \"weight_bytes_ratio\": %.3f,\n",
+               static_cast<double>(weight_bytes_fp64) /
+                   static_cast<double>(weight_bytes_quantized));
+  std::fprintf(out,
+               "  \"selection\": {\"topk\": %zu, \"topk_overlap\": %.4f, "
+               "\"argmax_identical\": %s},\n",
+               topk, overlap, argmax_identical ? "true" : "false");
+  std::fprintf(out,
+               "  \"serve\": {\"scale\": %g, "
+               "\"reference_answers_per_sec\": %.1f, "
+               "\"quantized_answers_per_sec\": %.1f, "
+               "\"delta_pct\": %.2f}\n",
+               config.serve_scale, serve_ref, serve_quant,
+               serve_ref > 0.0 ? (serve_quant - serve_ref) / serve_ref * 100.0
+                               : 0.0);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", config.json.c_str());
+  return 0;
+}

@@ -1,6 +1,7 @@
 #ifndef CROWDRL_BENCH_BENCH_COMMON_H_
 #define CROWDRL_BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,8 +10,24 @@
 #include "crowd/annotator.h"
 #include "data/dataset.h"
 #include "eval/experiment.h"
+#include "math/backend.h"
 
 namespace crowdrl::bench {
+
+/// Stamps the shared metadata header into an already-open JSON object —
+/// call right after writing the opening "{":
+///   "meta": {"backend": "...", "simd_tier": "...", "threads": N},
+/// Every BENCH_*.json writer emits this so committed results say which
+/// compute backend (math::Backend::Name()), SIMD tier and thread count
+/// produced them. Header-only so binaries that don't link
+/// crowdrl_bench_common (micro_components) can stamp too.
+inline void WriteBenchMeta(std::FILE* out, int threads,
+                           const char* backend = "reference-cpu") {
+  std::fprintf(out,
+               "  \"meta\": {\"backend\": \"%s\", \"simd_tier\": \"%s\", "
+               "\"threads\": %d},\n",
+               backend, math::SimdTierName(math::ActiveSimdTier()), threads);
+}
 
 /// Command-line knobs shared by all figure benches.
 ///

@@ -130,8 +130,9 @@ void RunThreadsSweep(const BenchConfig& config) {
 
   std::FILE* json = std::fopen("BENCH_scaling.json", "w");
   CROWDRL_CHECK(json != nullptr) << "cannot write BENCH_scaling.json";
+  std::fprintf(json, "{\n");
+  crowdrl::bench::WriteBenchMeta(json, rows.back().threads);
   std::fprintf(json,
-               "{\n"
                "  \"bench\": \"fig5_threads_sweep\",\n"
                "  \"stage\": \"candidate_scoring\",\n"
                "  \"dataset\": \"S12CP\",\n"

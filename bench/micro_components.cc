@@ -31,6 +31,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench/bench_common.h"
 #include "classifier/knn_classifier.h"
 #include "classifier/mlp_classifier.h"
 #include "core/enrichment.h"
@@ -560,8 +561,9 @@ void WriteKernelReport(size_t max_batch, const std::string& path) {
 
   std::FILE* json = std::fopen(path.c_str(), "w");
   CROWDRL_CHECK(json != nullptr) << "cannot write " << path;
+  std::fprintf(json, "{\n");
+  bench::WriteBenchMeta(json, 1);
   std::fprintf(json,
-               "{\n"
                "  \"bench\": \"kernels\",\n"
                "  \"simd_tier\": \"%s\",\n"
                "  \"dims\": {\"in\": %zu, \"hidden\": %zu, \"out\": %zu},\n"
@@ -1068,8 +1070,9 @@ void WriteScoringReport(size_t objects, const std::string& path) {
 
   std::FILE* json = std::fopen(path.c_str(), "w");
   CROWDRL_CHECK(json != nullptr) << "cannot write " << path;
+  std::fprintf(json, "{\n");
+  bench::WriteBenchMeta(json, 1);
   std::fprintf(json,
-               "{\n"
                "  \"bench\": \"scoring\",\n"
                "  \"simd_tier\": \"%s\",\n"
                "  \"dims\": {\"objects\": %zu, \"annotators\": %zu, "
@@ -1248,8 +1251,9 @@ void WriteObsReport(const std::string& path) {
 
   std::FILE* json = std::fopen(path.c_str(), "w");
   CROWDRL_CHECK(json != nullptr) << "cannot write " << path;
+  std::fprintf(json, "{\n");
+  bench::WriteBenchMeta(json, 1);
   std::fprintf(json,
-               "{\n"
                "  \"bench\": \"obs_overhead\",\n"
                "  \"baseline_loop_ns\": %.4f,\n"
                "  \"ops\": [\n",

@@ -412,6 +412,7 @@ int main(int argc, char** argv) {
   std::FILE* out = std::fopen(config.json.c_str(), "w");
   CROWDRL_CHECK(out != nullptr) << "cannot write " << config.json;
   std::fprintf(out, "{\n");
+  crowdrl::bench::WriteBenchMeta(out, config.threads);
   std::fprintf(out,
                "  \"config\": {\"objects\": %zu, \"annotators\": %zu, "
                "\"iterations\": %d, \"k\": %d, \"pick\": %d, \"threads\": %d, "

@@ -1,0 +1,428 @@
+#include "math/backend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace crowdrl::math {
+
+namespace {
+
+// Same compilation guard as gemm.cc's kernel tiers: the target-attribute
+// multiversioning idiom below is GCC-on-x86-64 specific. backend.cc and
+// gemm.cc share this one probe, so a tier is only ever reported if the
+// kernels for it were actually compiled.
+#if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__)
+#define CROWDRL_BACKEND_X86_DISPATCH 1
+#endif
+
+SimdTier DetectSimdTier() {
+#ifdef CROWDRL_BACKEND_X86_DISPATCH
+  if (__builtin_cpu_supports("avx512f")) return SimdTier::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+#endif
+  return SimdTier::kPortable;
+}
+
+// ---------------------------------------------------------------------------
+// Int8 row kernel: out_row = (af · qt) * scale, fp32 accumulate.
+//
+// qt is the weight matrix stored TRANSPOSED (k-major: qt[t * out_dim + j]),
+// so the inner loop runs over independent output channels j — each facc[j]
+// is its own accumulator, which vectorizes under plain -O2 without any
+// reassociation of a per-element sum. FMA is allowed here (unlike the
+// reference tiers): this path is error-bounded, not bit-identical, and the
+// fused rounding only tightens the float accumulation error.
+// ---------------------------------------------------------------------------
+
+#define CROWDRL_QROW_BODY                                          \
+  for (size_t j = 0; j < out_dim; ++j) facc[j] = 0.0f;             \
+  for (size_t t = 0; t < k; ++t) {                                 \
+    const float v = af[t];                                         \
+    const int8_t* qrow = qt + t * out_dim;                         \
+    for (size_t j = 0; j < out_dim; ++j) {                         \
+      facc[j] += v * static_cast<float>(qrow[j]);                  \
+    }                                                              \
+  }                                                                \
+  for (size_t j = 0; j < out_dim; ++j) {                           \
+    out_row[j] = static_cast<double>(facc[j] * scale[j]);          \
+  }
+
+using QRowFn = void (*)(const float* af, const int8_t* qt,
+                        const float* scale, size_t k, size_t out_dim,
+                        float* facc, double* out_row);
+
+void QRowPortable(const float* af, const int8_t* qt, const float* scale,
+                  size_t k, size_t out_dim, float* facc, double* out_row) {
+  CROWDRL_QROW_BODY
+}
+
+#ifdef CROWDRL_BACKEND_X86_DISPATCH
+__attribute__((target("avx2,fma"))) void QRowAvx2(
+    const float* af, const int8_t* qt, const float* scale, size_t k,
+    size_t out_dim, float* facc, double* out_row) {
+  CROWDRL_QROW_BODY
+}
+
+__attribute__((target("avx512f,avx512bw"))) void QRowAvx512(
+    const float* af, const int8_t* qt, const float* scale, size_t k,
+    size_t out_dim, float* facc, double* out_row) {
+  CROWDRL_QROW_BODY
+}
+#endif  // CROWDRL_BACKEND_X86_DISPATCH
+
+#undef CROWDRL_QROW_BODY
+
+QRowFn SelectQRowKernel() {
+#ifdef CROWDRL_BACKEND_X86_DISPATCH
+  switch (ActiveSimdTier()) {
+    case SimdTier::kAvx512:
+      return QRowAvx512;
+    case SimdTier::kAvx2:
+      return QRowAvx2;
+    case SimdTier::kPortable:
+      break;
+  }
+#endif
+  return QRowPortable;
+}
+
+QRowFn ActiveQRowKernel() {
+  static const QRowFn kernel = SelectQRowKernel();
+  return kernel;
+}
+
+// Mirrors gemm.cc's chunking: serial blocks of kRowGrain rows, or a few
+// large chunks per pool lane. Chunks write disjoint rows.
+constexpr size_t kRowGrain = 64;
+constexpr size_t kChunksPerLane = 4;
+
+void RunRowChunks(ThreadPool* pool, size_t rows,
+                  const std::function<void(size_t, size_t)>& body) {
+  if (pool != nullptr && rows > kRowGrain) {
+    const size_t lanes = static_cast<size_t>(pool->num_threads());
+    const size_t grain =
+        std::max(kRowGrain, rows / (lanes * kChunksPerLane));
+    pool->ParallelFor(0, rows, grain, body);
+    return;
+  }
+  for (size_t r0 = 0; r0 < rows; r0 += kRowGrain) {
+    body(r0, std::min(r0 + kRowGrain, rows));
+  }
+}
+
+void ResizeNoInit(Matrix* out, size_t rows, size_t cols) {
+  if (out->rows() != rows || out->cols() != cols) {
+    *out = Matrix(rows, cols);
+  }
+}
+
+uint64_t HashString(const char* s) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (const char* p = s; *p != '\0'; ++p) {
+    h ^= static_cast<uint8_t>(*p);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+SimdTier ActiveSimdTier() {
+  static const SimdTier tier = DetectSimdTier();
+  return tier;
+}
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kAvx512:
+      return "avx512";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kPortable:
+      break;
+  }
+  return "portable";
+}
+
+const char* BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kQuantizedInt8:
+      return "quantized-int8";
+    case BackendKind::kReference:
+      break;
+  }
+  return "reference-cpu";
+}
+
+uint64_t NextWeightVersion() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+// ---------------------------------------------------------------------------
+// Backend defaults: straight delegation to the reference kernels.
+// ---------------------------------------------------------------------------
+
+uint64_t Backend::NumericsToken() const {
+  uint64_t token = HashString(Name());
+  if (FellBack()) token ^= 0x9E3779B97F4A7C15ull;
+  return token;
+}
+
+void Backend::MatMulInto(const Matrix& a, const Matrix& b, Matrix* out,
+                         ThreadPool* pool) const {
+  gemm::MatMulInto(a, b, out, pool);
+}
+
+void Backend::MatMulNTInto(const Matrix& a, const Matrix& b, Matrix* out,
+                           ThreadPool* pool,
+                           const gemm::RowEpilogue& epilogue,
+                           Matrix* bt_scratch) const {
+  gemm::MatMulNTInto(a, b, out, pool, epilogue, bt_scratch);
+}
+
+void Backend::MatMulTNInto(const Matrix& a, const Matrix& b, Matrix* out,
+                           ThreadPool* pool) const {
+  gemm::MatMulTNInto(a, b, out, pool);
+}
+
+void Backend::Axpy(double alpha, const double* x, double* y,
+                   size_t n) const {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double Backend::Dot(const double* x, const double* y, size_t n) const {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double Backend::MaxAbsDiff(const double* x, const double* y,
+                           size_t n) const {
+  double max_abs = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    max_abs = std::max(max_abs, std::fabs(x[i] - y[i]));
+  }
+  return max_abs;
+}
+
+void CpuBackend::LinearNT(const Matrix& acts, const Matrix& weight,
+                          const WeightTag& /*tag*/, Matrix* out,
+                          ThreadPool* pool,
+                          const gemm::RowEpilogue& epilogue,
+                          Matrix* bt_scratch) {
+  gemm::MatMulNTInto(acts, weight, out, pool, epilogue, bt_scratch);
+}
+
+// ---------------------------------------------------------------------------
+// QuantizedCpuBackend
+// ---------------------------------------------------------------------------
+
+QuantizedCpuBackend::QuantizedCpuBackend(QuantizedBackendOptions options)
+    : options_(options) {}
+
+double QuantizedCpuBackend::ElementErrorBound(
+    double scale, double acts_l1, const QuantizedBackendOptions& options) {
+  return options.guard_slack * 0.51 * scale * acts_l1 +
+         options.guard_abs_floor;
+}
+
+std::shared_ptr<const QuantizedCpuBackend::PackedWeights>
+QuantizedCpuBackend::GetOrQuantize(const Matrix& weight,
+                                   const WeightTag& tag) {
+  const size_t out_dim = weight.rows();
+  const size_t k = weight.cols();
+  const uint64_t key =
+      static_cast<uint64_t>(reinterpret_cast<uintptr_t>(tag.owner)) *
+          0x9E3779B97F4A7C15ull +
+      tag.slot;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tag.owner != nullptr) {
+    auto it = cache_.find(key);
+    if (it != cache_.end() && it->second->version == tag.version &&
+        it->second->out_dim == out_dim && it->second->k == k) {
+      return it->second;
+    }
+  }
+  auto packed = std::make_shared<PackedWeights>();
+  packed->out_dim = out_dim;
+  packed->k = k;
+  packed->version = tag.version;
+  packed->qt.assign(k * out_dim, 0);
+  packed->scale.assign(out_dim, 1.0f);
+  for (size_t j = 0; j < out_dim; ++j) {
+    const double* w_row = weight.Row(j);
+    double amax = 0.0;
+    for (size_t t = 0; t < k; ++t) {
+      amax = std::max(amax, std::fabs(w_row[t]));
+    }
+    const double scale = amax > 0.0 ? amax / 127.0 : 1.0;
+    packed->scale[j] = static_cast<float>(scale);
+    const double inv = 1.0 / scale;
+    for (size_t t = 0; t < k; ++t) {
+      const double q = std::nearbyint(w_row[t] * inv);
+      packed->qt[t * out_dim + j] =
+          static_cast<int8_t>(std::clamp(q, -127.0, 127.0));
+    }
+  }
+  if (poison_.exchange(false, std::memory_order_acq_rel) && out_dim > 0) {
+    packed->scale[0] *= 4.0f;  // Guaranteed to blow the guard bound.
+  }
+  quantizations_.fetch_add(1, std::memory_order_relaxed);
+  if (tag.owner != nullptr) {
+    if (cache_.size() > 512) cache_.clear();  // Unbounded-growth backstop.
+    cache_[key] = packed;
+  }
+  return packed;
+}
+
+void QuantizedCpuBackend::ReferenceLinearNT(
+    const Matrix& acts, const Matrix& weight, Matrix* out, ThreadPool* pool,
+    const gemm::RowEpilogue& epilogue, Matrix* bt_scratch) const {
+  gemm::MatMulNTInto(acts, weight, out, pool, epilogue, bt_scratch);
+}
+
+void QuantizedCpuBackend::LinearNT(const Matrix& acts, const Matrix& weight,
+                                   const WeightTag& tag, Matrix* out,
+                                   ThreadPool* pool,
+                                   const gemm::RowEpilogue& epilogue,
+                                   Matrix* bt_scratch) {
+  CROWDRL_CHECK(out != nullptr);
+  CROWDRL_CHECK(acts.cols() == weight.cols())
+      << "linear shape mismatch: " << acts.cols() << " vs " << weight.cols();
+  if (fell_back_.load(std::memory_order_acquire)) {
+    ReferenceLinearNT(acts, weight, out, pool, epilogue, bt_scratch);
+    return;
+  }
+  const size_t rows = acts.rows();
+  const size_t k = acts.cols();
+  const size_t out_dim = weight.rows();
+  if (rows == 0 || out_dim == 0) {
+    ResizeNoInit(out, rows, out_dim);
+    return;
+  }
+  auto packed = GetOrQuantize(weight, tag);
+  const uint64_t call =
+      forwards_.fetch_add(1, std::memory_order_relaxed);
+  const bool guarded =
+      options_.guard_period > 0 && call % options_.guard_period == 0;
+  ResizeNoInit(out, rows, out_dim);
+  const QRowFn qrow = ActiveQRowKernel();
+  const int8_t* qt = packed->qt.data();
+  const float* scale = packed->scale.data();
+  const auto compute_rows = [&](size_t r0, size_t r1) {
+    thread_local std::vector<float> af;
+    thread_local std::vector<float> facc;
+    if (af.size() < k) af.resize(k);
+    if (facc.size() < out_dim) facc.resize(out_dim);
+    for (size_t i = r0; i < r1; ++i) {
+      const double* a_row = acts.Row(i);
+      for (size_t t = 0; t < k; ++t) af[t] = static_cast<float>(a_row[t]);
+      qrow(af.data(), qt, scale, k, out_dim, facc.data(), out->Row(i));
+    }
+  };
+  if (!guarded) {
+    // Common path: fuse the epilogue into the row chunks, reference-style.
+    RunRowChunks(pool, rows, [&](size_t r0, size_t r1) {
+      compute_rows(r0, r1);
+      if (epilogue) epilogue(r0, r1);
+    });
+    return;
+  }
+  // Guarded call: compute the quantized product bare, verify element-wise
+  // against the reference kernels, then apply the epilogue to whichever
+  // result survives. The epilogue is a pure row-wise map, so applying it
+  // after the product is arithmetically identical to fusing it.
+  RunRowChunks(pool, rows, compute_rows);
+  Matrix reference;
+  gemm::MatMulNTInto(acts, weight, &reference, pool, nullptr, nullptr);
+  double max_abs_error = 0.0;
+  double max_bound = 0.0;
+  bool violated = false;
+  for (size_t i = 0; i < rows; ++i) {
+    const double* a_row = acts.Row(i);
+    double l1 = 0.0;
+    for (size_t t = 0; t < k; ++t) l1 += std::fabs(a_row[t]);
+    const double* got = out->Row(i);
+    const double* want = reference.Row(i);
+    for (size_t j = 0; j < out_dim; ++j) {
+      const double err = std::fabs(got[j] - want[j]);
+      const double bound = ElementErrorBound(scale[j], l1, options_);
+      max_abs_error = std::max(max_abs_error, err);
+      max_bound = std::max(max_bound, bound);
+      if (err > bound) violated = true;
+    }
+  }
+  guard_checks_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_guard_max_abs_error_ = max_abs_error;
+    last_guard_bound_ = max_bound;
+  }
+  if (violated) {
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    fell_back_.store(true, std::memory_order_release);
+    CROWDRL_LOG(Warning)
+        << "quantized-int8 backend accuracy guard tripped (max abs error "
+        << max_abs_error << "); serving from reference kernels from now on";
+    *out = std::move(reference);
+  }
+  if (epilogue) {
+    RunRowChunks(pool, rows,
+                 [&](size_t r0, size_t r1) { epilogue(r0, r1); });
+  }
+}
+
+QuantizedCpuBackend::Stats QuantizedCpuBackend::stats() const {
+  Stats stats;
+  stats.forwards = forwards_.load(std::memory_order_relaxed);
+  stats.quantizations = quantizations_.load(std::memory_order_relaxed);
+  stats.guard_checks = guard_checks_.load(std::memory_order_relaxed);
+  stats.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.last_guard_max_abs_error = last_guard_max_abs_error_;
+  stats.last_guard_bound = last_guard_bound_;
+  return stats;
+}
+
+size_t QuantizedCpuBackend::CachedWeightBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = 0;
+  for (const auto& [key, packed] : cache_) {
+    bytes += packed->qt.size() * sizeof(int8_t) +
+             packed->scale.size() * sizeof(float);
+  }
+  return bytes;
+}
+
+void QuantizedCpuBackend::PoisonForTest() {
+  poison_.store(true, std::memory_order_release);
+}
+
+Backend* ReferenceBackend() {
+  static CpuBackend* const backend = new CpuBackend();
+  return backend;
+}
+
+std::unique_ptr<Backend> CreateBackend(
+    BackendKind kind, QuantizedBackendOptions quantized_options) {
+  switch (kind) {
+    case BackendKind::kQuantizedInt8:
+      return std::make_unique<QuantizedCpuBackend>(quantized_options);
+    case BackendKind::kReference:
+      break;
+  }
+  return std::make_unique<CpuBackend>();
+}
+
+const std::vector<BackendKind>& RegisteredBackendKinds() {
+  static const std::vector<BackendKind>* const kinds =
+      new std::vector<BackendKind>{BackendKind::kReference,
+                                   BackendKind::kQuantizedInt8};
+  return *kinds;
+}
+
+}  // namespace crowdrl::math

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "math/backend.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 
@@ -153,13 +154,21 @@ struct Kernels {
   const char* tier;
 };
 
+// Tier selection consumes the process-wide cached probe in backend.cc
+// (math::ActiveSimdTier) instead of re-running cpuid checks here, so every
+// dispatch site — gemm, the quantized backend, bench metadata — reports
+// the same tier from one probe. backend.cc compiles its dispatch under the
+// identical cpp guard, so a tier is only returned when the kernels above
+// exist.
 Kernels SelectKernels() {
 #ifdef CROWDRL_GEMM_X86_DISPATCH
-  if (__builtin_cpu_supports("avx512f")) {
-    return {Axpy4Avx512, Axpy1Avx512, "avx512"};
-  }
-  if (__builtin_cpu_supports("avx2")) {
-    return {Axpy4Avx2, Axpy1Avx2, "avx2"};
+  switch (math::ActiveSimdTier()) {
+    case math::SimdTier::kAvx512:
+      return {Axpy4Avx512, Axpy1Avx512, "avx512"};
+    case math::SimdTier::kAvx2:
+      return {Axpy4Avx2, Axpy1Avx2, "avx2"};
+    case math::SimdTier::kPortable:
+      break;
   }
 #endif
   return {Axpy4Portable, Axpy1Portable, "portable"};

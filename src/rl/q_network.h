@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "math/backend.h"
 #include "math/matrix.h"
 #include "nn/mlp.h"
 #include "nn/optimizer.h"
@@ -48,6 +49,14 @@ struct QNetworkOptions {
   /// every thread count because each row's forward pass is independent.
   int threads = 1;
   uint64_t seed = 17;
+  /// Compute backend for the *serving* forward passes only
+  /// (PredictBatchServing and PredictBatchFactorized with serving=true —
+  /// the selection-scoring paths). Training, the bootstrap/target
+  /// forwards, and the plain PredictBatch always run the reference
+  /// kernels, so learning dynamics and checkpoints are identical across
+  /// backend choices. kQuantizedInt8 serves from int8 weights with an
+  /// accuracy guard and automatic fallback (see math/backend.h).
+  math::BackendKind inference_backend = math::BackendKind::kReference;
 };
 
 /// \brief Q(S, A; theta) as a small MLP over per-action features, with a
@@ -67,6 +76,13 @@ class QNetwork {
   /// Online-network Q values for a batch (one action per row).
   std::vector<double> PredictBatch(const Matrix& features) const;
 
+  /// Like PredictBatch, but routed through the configured serving backend
+  /// (options.inference_backend). With the default reference backend this
+  /// is bit-identical to PredictBatch; with a quantized backend the
+  /// results are error-bounded instead. Only the selection-scoring paths
+  /// (DqnAgent::Score / ExactQ) call this.
+  std::vector<double> PredictBatchServing(const Matrix& features) const;
+
   /// Target-network Q values for a batch.
   std::vector<double> TargetPredictBatch(const Matrix& features) const;
 
@@ -81,9 +97,25 @@ class QNetwork {
   /// changes the floating-point accumulation order, so results agree only
   /// to within a few ULPs (see DESIGN.md "Numerics & kernels"). Callers
   /// must opt in (DqnAgentOptions::factorized_q_head, default off).
+  /// `serving` routes the post-first-layer products through the configured
+  /// serving backend (reference backend: unchanged bits; quantized:
+  /// error-bounded). The bootstrap callers (use_target or double-DQN
+  /// argmax) pass serving=false and always get reference numerics.
   std::vector<double> PredictBatchFactorized(const FeatureBlocks& blocks,
                                              const std::vector<Action>& pairs,
-                                             bool use_target);
+                                             bool use_target,
+                                             bool serving = false);
+
+  /// The backend serving forwards route through; never null (reference
+  /// when options.inference_backend is kReference).
+  math::Backend* serving_backend() const;
+
+  /// Token identifying the serving numerics regime — changes across
+  /// backend kinds and when a quantized backend falls back. The agent
+  /// treats a change as a score-cache drift event.
+  uint64_t serving_numerics_token() const {
+    return serving_backend()->NumericsToken();
+  }
 
   /// One SGD step on a replay minibatch; returns the TD loss.
   double TrainBatch(const std::vector<const Transition*>& batch);
@@ -128,6 +160,10 @@ class QNetwork {
   /// Inference pool, null when options_.threads <= 1 (serial). Shared so
   /// the network stays copyable; copies score on the same workers.
   std::shared_ptr<ThreadPool> pool_;
+  /// Owned non-reference serving backend; null when the options select the
+  /// reference backend. Shared (like the pool) so the network stays
+  /// copyable; copies share one quantized-weight cache and guard state.
+  std::shared_ptr<math::Backend> serving_backend_owned_;
 
   /// Parameter-change counters keying the factorized caches: bumped on
   /// every mutation of the corresponding network's weights.

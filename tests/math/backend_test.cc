@@ -1,0 +1,296 @@
+#include "math/backend.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "math/gemm.h"
+#include "math/matrix.h"
+#include "nn/mlp.h"
+#include "tests/testing/reference_gemm.h"
+#include "util/random.h"
+
+namespace crowdrl::math {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed,
+                    double scale = 1.0) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      m.At(r, c) = (rng.Uniform() * 2.0 - 1.0) * scale;
+    }
+  }
+  return m;
+}
+
+double RowL1(const Matrix& m, size_t r) {
+  double sum = 0.0;
+  for (size_t c = 0; c < m.cols(); ++c) sum += std::abs(m.At(r, c));
+  return sum;
+}
+
+// Per-output-channel scale exactly as QuantizedCpuBackend packs it.
+double ChannelScale(const Matrix& weight, size_t j) {
+  double maxabs = 0.0;
+  for (size_t t = 0; t < weight.cols(); ++t) {
+    maxabs = std::max(maxabs, std::abs(weight.At(j, t)));
+  }
+  return maxabs > 0.0 ? maxabs / 127.0 : 1.0;
+}
+
+// Shape edge cases every backend's dense ops must handle.
+struct Shape {
+  size_t m, k, n;
+};
+const Shape kShapes[] = {
+    {0, 4, 3}, {1, 1, 1}, {1, 7, 5},  {5, 1, 4},
+    {4, 5, 1}, {9, 3, 8}, {3, 17, 2}, {33, 12, 9},
+};
+
+TEST(BackendRegistry, ListsBothKindsAndCreatesThem) {
+  const std::vector<BackendKind>& kinds = RegisteredBackendKinds();
+  ASSERT_EQ(kinds.size(), 2u);
+  for (BackendKind kind : kinds) {
+    std::unique_ptr<Backend> backend = CreateBackend(kind);
+    ASSERT_NE(backend, nullptr);
+    EXPECT_STREQ(backend->Name(), BackendKindName(kind));
+  }
+}
+
+TEST(BackendRegistry, SimdTierMatchesGemmProbe) {
+  EXPECT_STREQ(SimdTierName(ActiveSimdTier()), gemm::SimdTierName());
+  Backend* reference = ReferenceBackend();
+  EXPECT_STREQ(reference->SimdTierName(), gemm::SimdTierName());
+}
+
+TEST(BackendRegistry, NumericsTokensDistinguishKinds) {
+  std::unique_ptr<Backend> reference = CreateBackend(BackendKind::kReference);
+  std::unique_ptr<Backend> quantized =
+      CreateBackend(BackendKind::kQuantizedInt8);
+  EXPECT_NE(reference->NumericsToken(), quantized->NumericsToken());
+  EXPECT_EQ(reference->NumericsToken(),
+            ReferenceBackend()->NumericsToken());
+}
+
+// The default dense ops of every registered backend delegate to the gemm
+// kernels, which are pinned bit-for-bit against the seed loops.
+TEST(BackendConformance, DenseOpsBitEqualReferenceOnEveryKind) {
+  for (BackendKind kind : RegisteredBackendKinds()) {
+    std::unique_ptr<Backend> backend = CreateBackend(kind);
+    for (const Shape& s : kShapes) {
+      Matrix a = RandomMatrix(s.m, s.k, 11 + s.m * 31 + s.k);
+      Matrix b = RandomMatrix(s.k, s.n, 23 + s.n);
+      Matrix expected = testing::ReferenceMatMul(a, b);
+      Matrix out;
+      backend->MatMulInto(a, b, &out);
+      EXPECT_TRUE(testing::BitEqual(out, expected))
+          << backend->Name() << " MatMul " << s.m << "x" << s.k << "x"
+          << s.n;
+
+      Matrix bt = testing::ReferenceTransposed(b);  // n x k
+      Matrix out_nt;
+      backend->MatMulNTInto(a, bt, &out_nt);
+      EXPECT_TRUE(testing::BitEqual(out_nt, expected))
+          << backend->Name() << " MatMulNT " << s.m << "x" << s.k << "x"
+          << s.n;
+
+      Matrix at = testing::ReferenceTransposed(a);  // k x m
+      Matrix out_tn;
+      backend->MatMulTNInto(at, b, &out_tn);
+      EXPECT_TRUE(testing::BitEqual(out_tn, expected))
+          << backend->Name() << " MatMulTN " << s.m << "x" << s.k << "x"
+          << s.n;
+    }
+  }
+}
+
+TEST(BackendConformance, VectorOpsMatchNaiveLoops) {
+  for (BackendKind kind : RegisteredBackendKinds()) {
+    std::unique_ptr<Backend> backend = CreateBackend(kind);
+    std::vector<double> x = {1.0, -2.5, 3.0, 0.0, 7.25};
+    std::vector<double> y = {0.5, 1.5, -1.0, 2.0, -3.0};
+    std::vector<double> y2 = y;
+    backend->Axpy(2.0, x.data(), y2.data(), x.size());
+    double expected_dot = 0.0;
+    double expected_maxdiff = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      EXPECT_DOUBLE_EQ(y2[i], y[i] + 2.0 * x[i]) << backend->Name();
+      expected_dot += x[i] * y[i];
+      expected_maxdiff = std::max(expected_maxdiff, std::abs(x[i] - y[i]));
+    }
+    EXPECT_DOUBLE_EQ(backend->Dot(x.data(), y.data(), x.size()),
+                     expected_dot);
+    EXPECT_DOUBLE_EQ(backend->MaxAbsDiff(x.data(), y.data(), x.size()),
+                     expected_maxdiff);
+  }
+}
+
+TEST(BackendConformance, ReferenceLinearNTBitEqualGemm) {
+  Backend* backend = ReferenceBackend();
+  for (const Shape& s : kShapes) {
+    Matrix acts = RandomMatrix(s.m, s.k, 101 + s.m);
+    Matrix weight = RandomMatrix(s.n, s.k, 202 + s.n);
+    Matrix expected;
+    gemm::MatMulNTInto(acts, weight, &expected);
+    Matrix out;
+    backend->LinearNT(acts, weight, {nullptr, 0, 0}, &out, nullptr, nullptr,
+                      nullptr);
+    EXPECT_TRUE(testing::BitEqual(out, expected))
+        << "LinearNT " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+// Every quantized LinearNT element must satisfy the documented bound
+// |out - ref| <= guard_slack * 0.51 * scale_j * ||acts_row||_1 + floor.
+TEST(QuantizedBackend, LinearNTWithinElementErrorBound) {
+  QuantizedBackendOptions options;
+  QuantizedCpuBackend backend(options);
+  for (const Shape& s : kShapes) {
+    Matrix acts = RandomMatrix(s.m, s.k, 301 + s.m, 3.0);
+    Matrix weight = RandomMatrix(s.n, s.k, 402 + s.n, 2.0);
+    Matrix expected;
+    gemm::MatMulNTInto(acts, weight, &expected);
+    Matrix out;
+    WeightTag tag{&backend, static_cast<uint32_t>(s.n),
+                  NextWeightVersion()};
+    backend.LinearNT(acts, weight, tag, &out, nullptr, nullptr, nullptr);
+    ASSERT_EQ(out.rows(), expected.rows());
+    ASSERT_EQ(out.cols(), expected.cols());
+    for (size_t r = 0; r < out.rows(); ++r) {
+      const double l1 = RowL1(acts, r);
+      for (size_t j = 0; j < out.cols(); ++j) {
+        const double bound = QuantizedCpuBackend::ElementErrorBound(
+            ChannelScale(weight, j), l1, options);
+        EXPECT_LE(std::abs(out.At(r, j) - expected.At(r, j)), bound)
+            << s.m << "x" << s.k << "x" << s.n << " at (" << r << "," << j
+            << ")";
+      }
+    }
+  }
+  EXPECT_FALSE(backend.FellBack());
+  EXPECT_EQ(backend.stats().fallbacks, 0u);
+}
+
+// Identity activations dequantize the weights: the round-trip error of
+// each stored value is at most half an int8 step times its channel scale.
+TEST(QuantizedBackend, RoundTripErrorWithinHalfStep) {
+  QuantizedCpuBackend backend;
+  const size_t k = 24, n = 7;
+  Matrix weight = RandomMatrix(n, k, 777, 5.0);
+  Matrix identity = Matrix::Identity(k);
+  Matrix out;
+  backend.LinearNT(identity, weight, {&backend, 1, NextWeightVersion()},
+                   &out, nullptr, nullptr, nullptr);
+  // out(t, j) = dequantized weight(j, t).
+  for (size_t j = 0; j < n; ++j) {
+    const double half_step = 0.5 * ChannelScale(weight, j);
+    for (size_t t = 0; t < k; ++t) {
+      EXPECT_LE(std::abs(out.At(t, j) - weight.At(j, t)),
+                half_step + 1e-9)
+          << "channel " << j << " col " << t;
+    }
+  }
+}
+
+TEST(QuantizedBackend, PacksOncePerVersionAndRepacksOnChange) {
+  QuantizedCpuBackend backend;
+  Matrix acts = RandomMatrix(6, 10, 31);
+  Matrix weight = RandomMatrix(4, 10, 32);
+  const int owner = 0;
+  WeightTag tag{&owner, 0, NextWeightVersion()};
+  Matrix out;
+  backend.LinearNT(acts, weight, tag, &out, nullptr, nullptr, nullptr);
+  backend.LinearNT(acts, weight, tag, &out, nullptr, nullptr, nullptr);
+  EXPECT_EQ(backend.stats().quantizations, 1u);
+  EXPECT_GT(backend.CachedWeightBytes(), 0u);
+
+  tag.version = NextWeightVersion();  // weights "mutated"
+  backend.LinearNT(acts, weight, tag, &out, nullptr, nullptr, nullptr);
+  EXPECT_EQ(backend.stats().quantizations, 2u);
+}
+
+TEST(QuantizedBackend, GuardTripsPoisonedPackAndFallsBackPermanently) {
+  QuantizedBackendOptions options;
+  options.guard_period = 1;  // guard every call
+  QuantizedCpuBackend backend(options);
+  const uint64_t healthy_token = backend.NumericsToken();
+
+  Matrix acts = RandomMatrix(16, 12, 51, 2.0);
+  Matrix weight = RandomMatrix(8, 12, 52, 2.0);
+  Matrix expected;
+  gemm::MatMulNTInto(acts, weight, &expected);
+
+  backend.PoisonForTest();
+  Matrix out;
+  backend.LinearNT(acts, weight, {&backend, 3, NextWeightVersion()}, &out,
+                   nullptr, nullptr, nullptr);
+  // The offending call already returns reference results, bit-exact.
+  EXPECT_TRUE(testing::BitEqual(out, expected));
+  EXPECT_TRUE(backend.FellBack());
+  EXPECT_EQ(backend.stats().fallbacks, 1u);
+  EXPECT_NE(backend.NumericsToken(), healthy_token);
+  EXPECT_GT(backend.stats().last_guard_max_abs_error,
+            backend.stats().last_guard_bound);
+
+  // Permanently on the reference path from here on.
+  Matrix acts2 = RandomMatrix(5, 12, 61);
+  Matrix expected2;
+  gemm::MatMulNTInto(acts2, weight, &expected2);
+  Matrix out2;
+  backend.LinearNT(acts2, weight, {&backend, 3, NextWeightVersion()}, &out2,
+                   nullptr, nullptr, nullptr);
+  EXPECT_TRUE(testing::BitEqual(out2, expected2));
+  EXPECT_EQ(backend.stats().fallbacks, 1u);
+}
+
+TEST(QuantizedBackend, HealthyGuardDoesNotTrip) {
+  QuantizedBackendOptions options;
+  options.guard_period = 1;
+  QuantizedCpuBackend backend(options);
+  Matrix acts = RandomMatrix(32, 20, 71, 4.0);
+  Matrix weight = RandomMatrix(10, 20, 72, 3.0);
+  Matrix out;
+  for (int call = 0; call < 5; ++call) {
+    backend.LinearNT(acts, weight, {&backend, 0, 1}, &out, nullptr, nullptr,
+                     nullptr);
+  }
+  EXPECT_FALSE(backend.FellBack());
+  EXPECT_EQ(backend.stats().guard_checks, 5u);
+  EXPECT_EQ(backend.stats().fallbacks, 0u);
+}
+
+// End to end through the MLP: a quantized member backend changes inference
+// numerics within tolerance; clearing it restores bit-identity.
+TEST(MlpBackend, QuantizedInferCloseAndRevertsBitExact) {
+  Rng rng(9);
+  nn::Mlp net({8, 16, 4}, {nn::Activation::kRelu, nn::Activation::kIdentity},
+              &rng);
+  Matrix batch = RandomMatrix(40, 8, 91);
+  Matrix reference_out;
+  net.InferInto(batch, nullptr, &reference_out);
+
+  QuantizedCpuBackend quantized;
+  net.set_inference_backend(&quantized);
+  Matrix quant_out;
+  net.InferInto(batch, nullptr, &quant_out);
+  ASSERT_EQ(quant_out.rows(), reference_out.rows());
+  double max_err = 0.0;
+  for (size_t i = 0; i < quant_out.size(); ++i) {
+    max_err = std::max(max_err, std::abs(quant_out.data()[i] -
+                                         reference_out.data()[i]));
+  }
+  EXPECT_GT(quantized.stats().forwards, 0u);
+  EXPECT_LT(max_err, 0.1);  // loose sanity; the per-layer bound is tested
+                            // exactly above
+
+  net.set_inference_backend(nullptr);
+  Matrix restored;
+  net.InferInto(batch, nullptr, &restored);
+  EXPECT_TRUE(testing::BitEqual(restored, reference_out));
+}
+
+}  // namespace
+}  // namespace crowdrl::math

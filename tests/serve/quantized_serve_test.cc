@@ -1,0 +1,135 @@
+// Serving with the quantized-int8 compute backend: selection numerics are
+// error-bounded rather than bit-identical to the reference kernels, but the
+// campaign itself must stay fully deterministic — two identical quantized
+// runs commit the same answers, spend the same budget, and finish with the
+// same labels, because quantized inference is a pure function of the packed
+// weights and the commit order is pinned by the sequence-reorder contract.
+// Also covers the drift-event plumbing: a scoring-backend switch bumps the
+// ScoreCache rebuild epoch so shortlist bounds from one numeric regime
+// never gate selections scored under another.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/crowdrl.h"
+#include "math/backend.h"
+#include "rl/score_cache.h"
+#include "serve/service.h"
+
+namespace crowdrl::serve {
+namespace {
+
+constexpr double kBudget = 400.0;
+constexpr uint64_t kSeed = 17;
+
+struct Workload {
+  data::Dataset dataset;
+  std::vector<crowd::Annotator> pool;
+
+  explicit Workload(size_t objects = 120, uint64_t seed = 5) {
+    data::GaussianMixtureOptions options;
+    options.num_objects = objects;
+    options.view = {10, 2.4, 0.5};
+    options.seed = seed;
+    dataset = data::MakeGaussianMixture(options);
+    crowd::PoolOptions pool_options;
+    pool_options.num_workers = 3;
+    pool_options.num_experts = 2;
+    pool_options.seed = seed + 1;
+    pool = crowd::MakePool(pool_options);
+  }
+};
+
+struct RunOutcome {
+  core::LabellingResult result;
+  std::vector<core::AssignmentRecord> log;
+  size_t answers_committed = 0;
+};
+
+// Single synchronous-TI campaign pumped to completion with in-order
+// arrivals (the deterministic drive of tests/serve/bridge_test.cc).
+RunOutcome RunCampaign(const Workload& w, math::BackendKind backend) {
+  LabellingService service;
+  CampaignOptions options;
+  options.name = "quantized_serve";
+  options.config.max_iterations = 200;
+  options.config.agent.inference_backend = backend;
+  options.synchronous_inference = true;
+  Campaign* campaign =
+      service.AddCampaign(options, &w.dataset, &w.pool, kBudget, kSeed);
+  EXPECT_TRUE(service.StartAll().ok());
+  campaign->sessions().ConnectAll();
+
+  size_t idle_passes = 0;
+  while (!campaign->done()) {
+    bool progress = service.PumpOnce();
+    bool served = false;
+    for (int j = 0; j < static_cast<int>(w.pool.size()); ++j) {
+      while (std::optional<WorkItem> item =
+                 campaign->sessions().RequestWork(j)) {
+        campaign->ingest().Push(*item);
+        served = true;
+      }
+    }
+    idle_passes = (progress || served) ? 0 : idle_passes + 1;
+    if (idle_passes >= 10000u) {
+      ADD_FAILURE() << "service pump wedged";
+      break;
+    }
+  }
+  EXPECT_EQ(campaign->state(), Campaign::State::kComplete)
+      << campaign->status().ToString();
+  return RunOutcome{campaign->result(), campaign->assignment_log(),
+                    campaign->answers_committed()};
+}
+
+void ExpectBitIdentical(const RunOutcome& a, const RunOutcome& b) {
+  EXPECT_EQ(a.result.labels, b.result.labels);
+  EXPECT_EQ(a.result.sources, b.result.sources);
+  EXPECT_EQ(a.result.budget_spent, b.result.budget_spent);
+  EXPECT_EQ(a.result.iterations, b.result.iterations);
+  EXPECT_EQ(a.result.human_answers, b.result.human_answers);
+  EXPECT_EQ(a.result.final_log_likelihood, b.result.final_log_likelihood);
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_EQ(a.answers_committed, b.answers_committed);
+}
+
+TEST(QuantizedServeTest, QuantizedCampaignIsDeterministic) {
+  Workload w;
+  RunOutcome first = RunCampaign(w, math::BackendKind::kQuantizedInt8);
+  RunOutcome second = RunCampaign(w, math::BackendKind::kQuantizedInt8);
+  EXPECT_GT(first.answers_committed, 0u);
+  ExpectBitIdentical(first, second);
+}
+
+TEST(QuantizedServeTest, QuantizedCampaignLabelsEveryObject) {
+  Workload w;
+  RunOutcome out = RunCampaign(w, math::BackendKind::kQuantizedInt8);
+  ASSERT_EQ(out.result.labels.size(), w.dataset.num_objects());
+  for (int label : out.result.labels) EXPECT_GE(label, 0);
+  EXPECT_LE(out.result.budget_spent, kBudget);
+}
+
+// The reference-backend campaign through the same harness is this test
+// file's control: selection quality (objects labelled, budget respected)
+// must hold under both numeric regimes.
+TEST(QuantizedServeTest, ReferenceControlCompletesIdenticallyShaped) {
+  Workload w;
+  RunOutcome reference = RunCampaign(w, math::BackendKind::kReference);
+  RunOutcome quantized = RunCampaign(w, math::BackendKind::kQuantizedInt8);
+  EXPECT_EQ(reference.result.labels.size(), quantized.result.labels.size());
+  EXPECT_GT(reference.answers_committed, 0u);
+  EXPECT_GT(quantized.answers_committed, 0u);
+}
+
+TEST(QuantizedServeTest, BackendSwitchBumpsScoreCacheEpoch) {
+  rl::ScoreCache cache;
+  const size_t before = cache.rebuild_epoch();
+  cache.NoteScoringBackendSwitch();
+  EXPECT_EQ(cache.rebuild_epoch(), before + 1);
+  EXPECT_EQ(cache.global_drift(), 0.0);
+}
+
+}  // namespace
+}  // namespace crowdrl::serve
