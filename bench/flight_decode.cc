@@ -1,0 +1,98 @@
+// Human-readable decoder for flight-recorder dumps (DESIGN.md §15).
+//
+// Usage: flight_decode <dump-file> [--tail=N]
+//
+// Reads a CRC-framed dump written by io::DumpFlightRecorder (from the
+// service failure path, the fatal-signal hook, or `serve_load
+// --flight_dump=`), validates its integrity, and prints one line per
+// event oldest → newest:
+//
+//   [   1042] +12.345678s  ti_swap          campaign=video-tags a=7 b=3
+//
+// Times are printed relative to the first event in the dump so a crash
+// narrative reads as elapsed time, not raw epoch nanoseconds. Torn slots
+// (a write in flight when the ring was frozen) are marked `TORN` and
+// their fields must not be trusted. Exit status is nonzero when the dump
+// fails CRC/framing validation, so CI can gate on decodability.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "io/flight_dump.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s <dump-file> [--tail=N]\n", argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  uint64_t tail = 0;  // 0 = print everything.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--tail=", 7) == 0) {
+      tail = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  crowdrl::io::FlightDump dump;
+  const crowdrl::Status status = crowdrl::io::ReadFlightDump(path, &dump);
+  if (!status.ok()) {
+    std::fprintf(stderr, "flight_decode: %s: %s\n", path,
+                 status.message().c_str());
+    return 1;
+  }
+
+  std::printf("# %s: %zu events (of %" PRIu64
+              " appended, ring capacity %" PRIu64 ")\n",
+              path, dump.events.size(), dump.total_appended, dump.capacity);
+  if (dump.total_appended > dump.events.size()) {
+    std::printf("# %" PRIu64 " older events overwritten by the ring\n",
+                dump.total_appended - dump.events.size());
+  }
+
+  size_t start = 0;
+  if (tail != 0 && dump.events.size() > tail) {
+    start = dump.events.size() - static_cast<size_t>(tail);
+    std::printf("# (showing last %" PRIu64 ")\n", tail);
+  }
+  const uint64_t base_ns =
+      dump.events.empty() ? 0 : dump.events.front().time_ns;
+  size_t torn = 0;
+  for (size_t i = start; i < dump.events.size(); ++i) {
+    const crowdrl::io::FlightDumpEvent& ev = dump.events[i];
+    if (ev.torn) {
+      ++torn;
+      std::printf("[%7" PRIu64 "] TORN (write in flight; fields untrusted)\n",
+                  ev.index);
+      continue;
+    }
+    const uint64_t rel = ev.time_ns >= base_ns ? ev.time_ns - base_ns : 0;
+    std::printf("[%7" PRIu64 "] +%4" PRIu64 ".%06" PRIu64
+                "s  %-18s %-14s a=%" PRIu64 " b=%" PRIu64 "\n",
+                ev.index, static_cast<uint64_t>(rel / 1000000000ull),
+                static_cast<uint64_t>((rel / 1000ull) % 1000000ull),
+                dump.TypeName(ev.type).c_str(),
+                dump.ScopeName(ev.scope).c_str(), ev.a, ev.b);
+  }
+  if (torn > 0) {
+    std::printf("# %zu torn slot(s) — expected at the ring head after a "
+                "crash\n",
+                torn);
+  }
+  return 0;
+}

@@ -2,9 +2,12 @@
 // LabellingService, with simulated annotator clients (Poisson think
 // times), session churn (periodic disconnect / reconnect with work in
 // flight), and asynchronous truth inference on the shared background
-// worker. Emits BENCH_serve.json with per-campaign answers/sec, p50/p99
-// dispatch-to-commit assignment latency, TI swap counts, and the time the
-// pump spent stalled waiting on a truth-inference swap.
+// worker. Runs fully instrumented — lifecycle tracing, flight recorder,
+// and health watchdog all on — and emits BENCH_serve.json with
+// per-campaign answers/sec, the answer-lifecycle stage breakdown
+// (dispatch→deliver→arrive→commit→observe, streaming p50/p90/p99 per
+// stage), TI swap counts, and the time the pump spent stalled waiting on
+// a truth-inference swap.
 //
 // Flags (self-parsed; this bench's knobs are serve-specific):
 //   --campaigns=N        concurrent campaigns            (default 2)
@@ -18,6 +21,9 @@
 //                        default, default 0)
 //   --json=PATH          output report                   (default
 //                        BENCH_serve.json)
+//   --lifecycle_json=P   per-campaign stage-breakdown report (empty = off)
+//   --flight_dump=P      dump the flight-recorder ring at exit (decode
+//                        with bench/flight_decode; empty = off)
 
 #include <algorithm>
 #include <atomic>
@@ -32,6 +38,8 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "io/flight_dump.h"
+#include "obs/lifecycle.h"
 #include "serve/service.h"
 #include "util/logging.h"
 
@@ -56,6 +64,8 @@ struct ServeBenchConfig {
   /// "reference" or "quantized" (math::BackendKind::kQuantizedInt8).
   std::string backend = "reference";
   std::string json = "BENCH_serve.json";
+  std::string lifecycle_json;  // Empty = no lifecycle report.
+  std::string flight_dump;     // Empty = no flight-recorder dump.
 };
 
 ServeBenchConfig ParseServeArgs(int argc, char** argv) {
@@ -84,13 +94,18 @@ ServeBenchConfig ParseServeArgs(int argc, char** argv) {
       config.backend = v;
     } else if (const char* v = value("--json=")) {
       config.json = v;
+    } else if (const char* v = value("--lifecycle_json=")) {
+      config.lifecycle_json = v;
+    } else if (const char* v = value("--flight_dump=")) {
+      config.flight_dump = v;
     } else {
       std::fprintf(stderr,
                    "usage: serve_load [--campaigns=N] [--scale=F] "
                    "[--annotators=M] [--mean_latency_us=U] "
                    "[--churn_period_ms=P] [--shared_threads=T] "
                    "[--objects=N] [--backend=reference|quantized] "
-                   "[--json=PATH]\n");
+                   "[--json=PATH] [--lifecycle_json=PATH] "
+                   "[--flight_dump=PATH]\n");
       std::exit(2);
     }
   }
@@ -101,14 +116,23 @@ ServeBenchConfig ParseServeArgs(int argc, char** argv) {
   return config;
 }
 
-double Percentile(std::vector<double> samples, double q) {
-  if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
-  const double pos = q * static_cast<double>(samples.size() - 1);
-  const size_t lo = static_cast<size_t>(pos);
-  const size_t hi = std::min(lo + 1, samples.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return samples[lo] + frac * (samples[hi] - samples[lo]);
+/// One campaign's "stages" JSON object from its lifecycle store:
+/// {"dispatch_deliver":{"count":N,"p50_us":...,"p90_us":...,"p99_us":...,
+/// "max_us":...},...}.
+void WriteStageBreakdown(std::FILE* out, const Campaign& campaign) {
+  std::fprintf(out, "\"stages\": {");
+  for (size_t s = 0; s < crowdrl::obs::kNumLifecycleStages; ++s) {
+    const auto stage = static_cast<crowdrl::obs::LifecycleStage>(s);
+    const crowdrl::obs::LifecycleSample::StageSample sample =
+        crowdrl::obs::SummarizeStage(campaign.lifecycle().stage(stage));
+    std::fprintf(out,
+                 "%s\"%s\": {\"count\": %llu, \"p50_us\": %.1f, "
+                 "\"p90_us\": %.1f, \"p99_us\": %.1f, \"max_us\": %.1f}",
+                 s == 0 ? "" : ", ", crowdrl::obs::LifecycleStageName(stage),
+                 static_cast<unsigned long long>(sample.count), sample.p50_us,
+                 sample.p90_us, sample.p99_us, sample.max_us);
+  }
+  std::fprintf(out, "}");
 }
 
 }  // namespace
@@ -144,6 +168,10 @@ int main(int argc, char** argv) {
 
   ServiceOptions service_options;
   service_options.shared_threads = serve_config.shared_threads;
+  // The observability load test runs fully instrumented: lifecycle
+  // tracing + flight recorder + health watchdog (hot-path overhead is
+  // budgeted separately by micro_components --obs_overhead_json).
+  service_options.watchdog.enabled = true;
   LabellingService service(service_options);
   std::vector<Campaign*> campaigns;
   for (int c = 0; c < serve_config.campaigns; ++c) {
@@ -151,6 +179,9 @@ int main(int argc, char** argv) {
     CampaignOptions options;
     options.name = setup.name;
     options.synchronous_inference = false;  // Async TI is the serve mode.
+    options.config.obs.enabled = true;
+    options.config.obs.lifecycle = true;
+    options.config.obs.flight_recorder = true;
     if (serve_config.backend == "quantized") {
       options.config.agent.inference_backend =
           crowdrl::math::BackendKind::kQuantizedInt8;
@@ -258,30 +289,33 @@ int main(int argc, char** argv) {
   for (size_t c = 0; c < campaigns.size(); ++c) {
     Campaign* campaign = campaigns[c];
     total_answers += campaign->answers_committed();
-    const std::vector<double>& latencies = campaign->commit_latencies_us();
-    const double p50 = Percentile(latencies, 0.50);
-    const double p99 = Percentile(latencies, 0.99);
+    const auto commit_sample = crowdrl::obs::SummarizeStage(
+        campaign->lifecycle().stage(
+            crowdrl::obs::LifecycleStage::kArriveToCommit));
     std::fprintf(
         out,
         "    {\"name\": \"%s\", \"answers\": %zu, \"rounds\": %zu, "
-        "\"answers_per_sec\": %.1f, \"assignment_latency_p50_us\": %.1f, "
-        "\"assignment_latency_p99_us\": %.1f, \"ti_swaps\": %zu, "
-        "\"ti_stall_ms\": %.3f, \"abandoned\": %zu, "
-        "\"budget_spent\": %.2f, \"iterations\": %zu, "
-        "\"peak_rss_kb\": %zu}%s\n",
+        "\"answers_per_sec\": %.1f, ",
         setups[c].name.c_str(), campaign->answers_committed(),
         campaign->rounds_completed(),
-        static_cast<double>(campaign->answers_committed()) / wall_seconds,
-        p50, p99, campaign->ti_swaps(),
+        static_cast<double>(campaign->answers_committed()) / wall_seconds);
+    WriteStageBreakdown(out, *campaign);
+    std::fprintf(
+        out,
+        ", \"ti_swaps\": %zu, \"ti_stall_ms\": %.3f, \"abandoned\": %zu, "
+        "\"budget_spent\": %.2f, \"iterations\": %zu, "
+        "\"peak_rss_kb\": %zu}%s\n",
+        campaign->ti_swaps(),
         static_cast<double>(campaign->ti_stall_ns()) / 1e6,
         campaign->abandoned_items(), campaign->result().budget_spent,
         campaign->result().iterations, campaign_peak_rss_kb[c].load(),
         c + 1 < campaigns.size() ? "," : "");
     std::printf(
-        "%-22s answers %6zu  rounds %4zu  p50 %8.1fus  p99 %8.1fus  "
-        "ti_swaps %3zu  stall %7.1fms  abandoned %4zu\n",
+        "%-22s answers %6zu  rounds %4zu  commit p50 %8.1fus  "
+        "p99 %8.1fus  ti_swaps %3zu  stall %7.1fms  abandoned %4zu\n",
         setups[c].name.c_str(), campaign->answers_committed(),
-        campaign->rounds_completed(), p50, p99, campaign->ti_swaps(),
+        campaign->rounds_completed(), commit_sample.p50_us,
+        commit_sample.p99_us, campaign->ti_swaps(),
         static_cast<double>(campaign->ti_stall_ns()) / 1e6,
         campaign->abandoned_items());
   }
@@ -291,6 +325,21 @@ int main(int argc, char** argv) {
                static_cast<double>(total_answers) / wall_seconds);
   std::fprintf(out, "}\n");
   std::fclose(out);
+
+  if (!serve_config.lifecycle_json.empty()) {
+    CROWDRL_CHECK(crowdrl::obs::LifecycleRegistry::Get().WriteJson(
+        serve_config.lifecycle_json))
+        << "cannot write " << serve_config.lifecycle_json;
+    std::printf("lifecycle report -> %s\n",
+                serve_config.lifecycle_json.c_str());
+  }
+  if (!serve_config.flight_dump.empty()) {
+    CROWDRL_CHECK(
+        crowdrl::io::DumpFlightRecorder(serve_config.flight_dump.c_str()))
+        << "cannot write " << serve_config.flight_dump;
+    std::printf("flight-recorder dump -> %s\n",
+                serve_config.flight_dump.c_str());
+  }
   std::printf("total: %.1f answers/sec over %.2fs -> %s\n",
               static_cast<double>(total_answers) / wall_seconds, wall_seconds,
               serve_config.json.c_str());

@@ -24,6 +24,8 @@
 #include "crowd/annotator.h"
 #include "data/dataset.h"
 #include "eval/metrics.h"
+#include "io/flight_dump.h"
+#include "obs/lifecycle.h"
 #include "serve/service.h"
 
 namespace {
@@ -63,13 +65,23 @@ int Run(int argc, char** argv) {
 
   // One service = one scheduler pump + one background truth-inference
   // worker + (here) a 2-thread selection pool shared by both campaigns.
+  // The full observability stack rides along (DESIGN.md §15): the
+  // health watchdog monitors both campaigns, and a fatal signal or
+  // campaign failure dumps the flight-recorder ring for post-mortem
+  // decoding with bench/flight_decode.
   ServiceOptions service_options;
   service_options.shared_threads = 2;
+  service_options.watchdog.enabled = true;
+  service_options.flight_dump_on_failure = "serving_run_flight.dump";
   LabellingService service(service_options);
+  crowdrl::io::InstallFatalSignalHook("serving_run_flight.dump");
 
   CampaignOptions options;
   options.name = "products";
   options.synchronous_inference = false;  // EM off the serving path.
+  options.config.obs.enabled = true;
+  options.config.obs.lifecycle = true;        // Stage latency breakdown.
+  options.config.obs.flight_recorder = true;  // The black box.
   Campaign* products =
       service.AddCampaign(options, &first.dataset, &first.pool, budget, 11);
   options.name = "reviews";
@@ -140,7 +152,26 @@ int Run(int argc, char** argv) {
         row.name, metrics.accuracy, row.campaign->answers_committed(),
         row.campaign->rounds_completed(), row.campaign->ti_swaps(),
         row.campaign->abandoned_items(), result.budget_spent);
+    // Where each answer spent its time, per stage transition.
+    for (size_t s = 0; s < crowdrl::obs::kNumLifecycleStages; ++s) {
+      const auto stage = static_cast<crowdrl::obs::LifecycleStage>(s);
+      const auto sample = crowdrl::obs::SummarizeStage(
+          row.campaign->lifecycle().stage(stage));
+      std::printf("  %-18s p50 %8.1fus  p99 %8.1fus  max %8.1fus\n",
+                  crowdrl::obs::LifecycleStageName(stage), sample.p50_us,
+                  sample.p99_us, sample.max_us);
+    }
   }
+
+  // The watchdog's closing view of the service: every rule should have
+  // cleared by completion (a finished campaign is not "stalled").
+  const crowdrl::serve::ServiceHealth health = service.HealthSnapshot();
+  size_t firing = 0;
+  for (const auto& verdict : health.verdicts) firing += verdict.firing;
+  std::printf("health: %zu campaigns, %zu rules monitored, %zu firing, "
+              "%llu total firings\n",
+              health.campaigns.size(), health.verdicts.size(), firing,
+              static_cast<unsigned long long>(health.watchdog_firings));
   return 0;
 }
 

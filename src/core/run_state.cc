@@ -8,6 +8,7 @@
 #include "core/enrichment.h"
 #include "core/reward.h"
 #include "math/vector_ops.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rl/state.h"
@@ -693,6 +694,8 @@ Status RunState::WriteCheckpointNow() const {
   if (config->checkpoint_dir.empty()) return Status::Ok();
   io::SnapshotBuilder builder;
   BuildSnapshot(&builder);
+  obs::RecordFlightEvent(obs::FlightEventType::kCheckpoint, /*scope=*/0,
+                         static_cast<uint64_t>(iterations));
   return io::WriteCheckpointRotating(builder, config->checkpoint_dir,
                                      iterations,
                                      config->checkpoint_keep_last);

@@ -1,0 +1,181 @@
+#ifndef CROWDRL_OBS_LIFECYCLE_H_
+#define CROWDRL_OBS_LIFECYCLE_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+/// \file
+/// \brief Answer-lifecycle tracing: per-stage latency attribution for the
+/// labelling service (DESIGN.md §15).
+///
+/// A served answer passes through four stage transitions:
+///
+///   dispatch → deliver   scheduler planned the pair → annotator took it
+///                        (reorder-buffer head-of-line wait is upstream
+///                        of this edge, inbox queueing is inside it)
+///   deliver  → arrive    annotator think time (simulated or human)
+///   arrive   → commit    ingest-queue wait + sequence-reorder wait; the
+///                        commit stamp is when Environment::RequestAnswer
+///                        actually ran
+///   commit   → observe   revision-gated reward delay: how long a
+///                        committed answer waited for a truth-inference
+///                        swap (async mode) or the next plan (sync mode)
+///                        before the agent observed its reward
+///
+/// The per-WorkItem trace context is the item itself: WorkItem /
+/// CompletedAnswer carry monotonic stage timestamps (dispatch_ns,
+/// deliver_ns, arrive_ns), stamped where each transition happens, so no
+/// side lookup table exists and driver threads never touch shared
+/// lifecycle state. All recording into the per-stage stores happens on
+/// the campaign pump thread at commit / observe time; the stores
+/// themselves are relaxed atomics so the health watchdog and exporters
+/// can read them concurrently.
+///
+/// Same contract as the rest of src/obs/: recording is gated on
+/// LifecycleEnabled() (one relaxed load when disabled), options are
+/// enable-only, hooks never touch RNG or numeric state (instrumented
+/// serve runs stay byte-identical — proven by the bridge tests), and
+/// CROWDRL_OBS_BUILD=0 compiles everything out.
+
+namespace crowdrl::obs {
+
+namespace internal {
+extern std::atomic<bool> g_lifecycle;
+}  // namespace internal
+
+/// True when answer-lifecycle tracing is live (requires Enabled()).
+inline bool LifecycleEnabled() {
+#if CROWDRL_OBS_BUILD
+  return internal::g_lifecycle.load(std::memory_order_relaxed) &&
+         internal::g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+void SetLifecycle(bool lifecycle);
+
+/// The four stage transitions of a served answer, in pipeline order.
+enum class LifecycleStage : int {
+  kDispatchToDeliver = 0,
+  kDeliverToArrive = 1,
+  kArriveToCommit = 2,
+  kCommitToObserve = 3,
+};
+inline constexpr size_t kNumLifecycleStages = 4;
+const char* LifecycleStageName(LifecycleStage stage);
+
+/// \brief Lock-free streaming latency store: geometric buckets (ratio
+/// 1.25 from 1 µs, 64 bounds + overflow) plus count/sum/max on relaxed
+/// atomics. Recording is wait-free (one binary search over a constexpr
+/// bound table + three atomic ops); quantiles are interpolated within
+/// the landing bucket, so a reported p99 is exact to one bucket width
+/// (< +25%) — the documented accuracy of every `*_p99_us` figure.
+class LatencyRecorder {
+ public:
+  static constexpr size_t kNumBounds = 64;
+
+  /// Upper bound of bucket `i` in nanoseconds (ascending; samples above
+  /// the last bound land in the overflow bucket).
+  static uint64_t BucketBoundNs(size_t i);
+
+  void Record(uint64_t ns) {
+#if CROWDRL_OBS_BUILD
+    if (!LifecycleEnabled()) return;
+    RecordAlways(ns);
+#else
+    (void)ns;
+#endif
+  }
+
+  /// Record() without the enabled gate — for callers that already
+  /// checked, and for unit tests.
+  void RecordAlways(uint64_t ns);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_ns() const { return sum_ns_.load(std::memory_order_relaxed); }
+  uint64_t max_ns() const { return max_ns_.load(std::memory_order_relaxed); }
+
+  /// Interpolated quantile in microseconds, q in [0, 1]. 0 when empty.
+  double QuantileUs(double q) const;
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBounds + 1> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ns_{0};
+  std::atomic<uint64_t> max_ns_{0};
+};
+
+/// \brief Per-campaign stage-breakdown store: one LatencyRecorder per
+/// stage transition. Owned by the process-wide LifecycleRegistry so
+/// exporters and the watchdog outlive any one campaign.
+class LifecycleStats {
+ public:
+  void Record(LifecycleStage stage, uint64_t ns) {
+    stages_[static_cast<size_t>(stage)].Record(ns);
+  }
+  const LatencyRecorder& stage(LifecycleStage s) const {
+    return stages_[static_cast<size_t>(s)];
+  }
+  LatencyRecorder& mutable_stage(LifecycleStage s) {
+    return stages_[static_cast<size_t>(s)];
+  }
+  void Reset();
+
+ private:
+  std::array<LatencyRecorder, kNumLifecycleStages> stages_;
+};
+
+/// One exported campaign entry of WriteLifecycleJson.
+struct LifecycleSample {
+  std::string name;
+  struct StageSample {
+    uint64_t count = 0;
+    double mean_us = 0.0;
+    double p50_us = 0.0;
+    double p90_us = 0.0;
+    double p99_us = 0.0;
+    double max_us = 0.0;
+  };
+  std::array<StageSample, kNumLifecycleStages> stages;
+};
+
+/// \brief Process-wide name → LifecycleStats store (the lifecycle analog
+/// of MetricsRegistry): registration is idempotent and returns stable
+/// pointers that live for the rest of the process.
+class LifecycleRegistry {
+ public:
+  static LifecycleRegistry& Get();
+
+  LifecycleStats* GetStats(const std::string& name);
+
+  std::vector<LifecycleSample> Snapshot() const;
+
+  /// Writes {"campaigns":[{"name":...,"stages":{...}}]} — the
+  /// --lifecycle_json report of serve_load and the observability CI job.
+  bool WriteJson(const std::string& path) const;
+
+  /// Zeroes every recorder (names stay registered). Tests only.
+  void ResetAll();
+
+ private:
+  LifecycleRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Computes the StageSample summary of one recorder (shared by the JSON
+/// export and the per-campaign gauge refresh).
+LifecycleSample::StageSample SummarizeStage(const LatencyRecorder& recorder);
+
+}  // namespace crowdrl::obs
+
+#endif  // CROWDRL_OBS_LIFECYCLE_H_

@@ -1,5 +1,8 @@
 #include "obs/metrics.h"
 
+#include "obs/flight_recorder.h"
+#include "obs/lifecycle.h"
+
 #include <cmath>
 #include <map>
 #include <memory>
@@ -23,6 +26,14 @@ void SetTracing(bool tracing) {
 void ApplyOptions(const ObsOptions& options) {
   if (options.enabled) SetEnabled(true);
   if (options.tracing) SetTracing(true);
+  if (options.lifecycle) {
+    SetEnabled(true);
+    SetLifecycle(true);
+  }
+  if (options.flight_recorder) {
+    SetEnabled(true);
+    FlightRecorder::Get().Configure(options.flight_recorder_events);
+  }
 }
 
 Histogram::Histogram(std::vector<double> bounds)

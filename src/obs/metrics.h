@@ -54,6 +54,17 @@ struct ObsOptions {
   /// When non-empty (and tracing), CrowdRlFramework::Run exports the
   /// accumulated spans as Chrome trace-event JSON at the end of the run.
   std::string trace_json_path;
+  /// Record answer-lifecycle stage latencies (dispatch→deliver→arrive→
+  /// commit→observe) into the per-campaign LifecycleRegistry stores and
+  /// export per-stage quantile gauges. Serve-mode only; implies
+  /// `enabled`.
+  bool lifecycle = false;
+  /// Configure (preallocate) and enable the process-wide FlightRecorder
+  /// ring journal. Implies `enabled`.
+  bool flight_recorder = false;
+  /// Ring capacity in events when `flight_recorder` is set (32 bytes
+  /// each; the default is a 2 MiB black box). First configuration wins.
+  size_t flight_recorder_events = 1 << 16;
 };
 
 namespace internal {

@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <mutex>
@@ -37,7 +38,10 @@ std::string EscapeJson(const char* s) {
 
 // Per-thread cap: 1M events ≈ 24 MB/thread worst case. Beyond it we count
 // drops instead of growing — a tracing run must not OOM the process.
-constexpr size_t kMaxEventsPerThread = 1 << 20;
+// Runtime-settable (tests only) so the overflow path is testable without
+// recording a million spans first.
+constexpr size_t kDefaultMaxEventsPerThread = 1 << 20;
+std::atomic<size_t> g_max_events_per_thread{kDefaultMaxEventsPerThread};
 
 struct TraceEvent {
   const char* name;
@@ -91,12 +95,20 @@ TraceRecorder& TraceRecorder::Get() {
 void TraceRecorder::RecordComplete(const char* name, uint64_t start_ns,
                                    uint64_t dur_ns) {
   ThreadBuffer* buffer = impl().BufferForThisThread();
-  std::lock_guard<std::mutex> lock(buffer->mutex);
-  if (buffer->events.size() >= kMaxEventsPerThread) {
+  {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    if (buffer->events.size() <
+        g_max_events_per_thread.load(std::memory_order_relaxed)) {
+      buffer->events.push_back({name, start_ns, dur_ns});
+      return;
+    }
     ++buffer->dropped;
-    return;
   }
-  buffer->events.push_back({name, start_ns, dur_ns});
+  // The drop is also a metric, so span loss is visible to consumers that
+  // only look at snapshots / run_metrics.jsonl, not the trace file.
+  static Counter* const dropped =
+      MetricsRegistry::Get().GetCounter("crowdrl.obs.trace_dropped");
+  dropped->Inc();
 }
 
 bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
@@ -104,8 +116,10 @@ bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
   if (file == nullptr) return false;
   std::fputs("{\"traceEvents\":[", file);
   bool first = true;
+  uint64_t dropped = 0;
   for (ThreadBuffer* buffer : impl().AllBuffers()) {
     std::lock_guard<std::mutex> lock(buffer->mutex);
+    dropped += buffer->dropped;
     for (const TraceEvent& event : buffer->events) {
       // Chrome trace-event timestamps are microseconds; keep fractional
       // precision so sub-µs spans stay visible.
@@ -118,7 +132,8 @@ bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
       first = false;
     }
   }
-  std::fputs("]}\n", file);
+  std::fprintf(file, "],\"dropped_events\":%llu}\n",
+               static_cast<unsigned long long>(dropped));
   bool ok = std::fclose(file) == 0;
   return ok;
 }
@@ -147,6 +162,11 @@ uint64_t TraceRecorder::dropped_count() const {
     total += buffer->dropped;
   }
   return total;
+}
+
+void TraceRecorder::SetEventCapForTesting(size_t cap) {
+  g_max_events_per_thread.store(cap > 0 ? cap : kDefaultMaxEventsPerThread,
+                                std::memory_order_relaxed);
 }
 
 }  // namespace crowdrl::obs

@@ -39,9 +39,11 @@ class TraceRecorder {
   /// pointer is stored.
   void RecordComplete(const char* name, uint64_t start_ns, uint64_t dur_ns);
 
-  /// Writes {"traceEvents":[...]} with ts/dur in microseconds. Returns
-  /// false on I/O failure. Safe to call while other threads record (their
-  /// later events simply miss this export).
+  /// Writes {"traceEvents":[...],"dropped_events":N} with ts/dur in
+  /// microseconds; `dropped_events` is the total span loss across all
+  /// thread buffers so a truncated trace is never silently mistaken for
+  /// a complete one. Returns false on I/O failure. Safe to call while
+  /// other threads record (their later events simply miss this export).
   bool WriteChromeTrace(const std::string& path) const;
 
   /// Drops all recorded events (buffers stay allocated to their threads).
@@ -49,8 +51,14 @@ class TraceRecorder {
 
   /// Events recorded across all thread buffers (excludes dropped).
   size_t event_count() const;
-  /// Events discarded because a thread buffer hit its cap.
+  /// Events discarded because a thread buffer hit its cap. Every drop
+  /// also bumps the `crowdrl.obs.trace_dropped` counter, so metric
+  /// consumers see span loss without parsing the trace export.
   uint64_t dropped_count() const;
+
+  /// Overrides the per-thread event cap (default 1M) for buffers' future
+  /// records. Tests only — overflowing the real cap takes a while.
+  void SetEventCapForTesting(size_t cap);
 
  private:
   TraceRecorder() = default;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -127,9 +128,14 @@ void RecordPruneMetrics(const ShortlistPruner& pruner,
   full->Inc(cur.full_iterations >= seen.full_iterations
                 ? cur.full_iterations - seen.full_iterations
                 : 0);
-  gate_fallbacks->Inc(cur.gate_fallbacks >= seen.gate_fallbacks
-                          ? cur.gate_fallbacks - seen.gate_fallbacks
-                          : 0);
+  if (cur.gate_fallbacks > seen.gate_fallbacks) {
+    gate_fallbacks->Inc(cur.gate_fallbacks - seen.gate_fallbacks);
+    // Gate fallbacks are the pruner's "my bounds collapsed" signal; the
+    // flight recorder keeps them in the crash timeline (and the watchdog's
+    // gate_fallback_burst rule watches the counter above).
+    obs::RecordFlightEvent(obs::FlightEventType::kGateFallback, /*scope=*/0,
+                           cur.gate_fallbacks);
+  }
   precheck_fallbacks->Inc(
       cur.precheck_fallbacks >= seen.precheck_fallbacks
           ? cur.precheck_fallbacks - seen.precheck_fallbacks

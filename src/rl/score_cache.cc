@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/flight_recorder.h"
 #include "util/logging.h"
 
 namespace crowdrl::rl {
@@ -52,6 +53,8 @@ void ScoreCache::NoteScoringBackendSwitch() {
   std::fill(annotator_drift_.begin(), annotator_drift_.end(), 0.0);
   global_drift_ = 0.0;
   ++rebuild_epoch_;
+  obs::RecordFlightEvent(obs::FlightEventType::kBackendFallback, /*scope=*/0,
+                         static_cast<uint64_t>(rebuild_epoch_));
 }
 
 bool ScoreCache::NeedsFullRebuild(const StateView& view) const {

@@ -1,5 +1,6 @@
 #include "serve/annotator_session.h"
 
+#include "obs/lifecycle.h"
 #include "util/logging.h"
 
 namespace crowdrl::serve {
@@ -19,6 +20,8 @@ void AnnotatorSessionRegistry::Connect(int annotator) {
                   static_cast<size_t>(annotator) < connected_.size());
     connected_[static_cast<size_t>(annotator)] = 1;
   }
+  obs::RecordFlightEvent(obs::FlightEventType::kSessionConnect, flight_scope_,
+                         static_cast<uint64_t>(annotator));
   if (hub_ != nullptr) hub_->Notify();
 }
 
@@ -36,6 +39,8 @@ void AnnotatorSessionRegistry::Disconnect(int annotator) {
     }
     inbox_[j].clear();
   }
+  obs::RecordFlightEvent(obs::FlightEventType::kSessionDisconnect,
+                         flight_scope_, static_cast<uint64_t>(annotator));
   if (hub_ != nullptr) hub_->Notify();
 }
 
@@ -91,7 +96,23 @@ std::optional<WorkItem> AnnotatorSessionRegistry::RequestWork(int annotator) {
   if (!connected_[j] || inbox_[j].empty()) return std::nullopt;
   WorkItem item = inbox_[j].front();
   inbox_[j].pop_front();
+  ++delivered_;
+  // Deliver stamp: the dispatch→deliver edge ends here (inbox queueing is
+  // inside it); the item carries the stamp back through the driver.
+  if (obs::LifecycleEnabled()) item.deliver_ns = obs::NowNs();
   return item;
+}
+
+uint64_t AnnotatorSessionRegistry::delivered_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+size_t AnnotatorSessionRegistry::TotalQueued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const std::deque<WorkItem>& inbox : inbox_) total += inbox.size();
+  return total;
 }
 
 std::vector<uint64_t> AnnotatorSessionRegistry::TakeAbandonedSeqs() {

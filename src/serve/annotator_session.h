@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "serve/answer_ingest.h"
 
 namespace crowdrl::serve {
@@ -70,12 +71,26 @@ class AnnotatorSessionRegistry {
   /// the round already resolved them.
   void CancelAllQueued();
 
+  /// Items handed to annotators via RequestWork since construction (feeds
+  /// the campaign's `delivered` counter; inbox starvation = work queued
+  /// but this not moving).
+  uint64_t delivered_count() const;
+  /// Items currently sitting undelivered across every inbox (the
+  /// campaign's `inbox_depth` gauge).
+  size_t TotalQueued() const;
+
+  /// Flight-recorder scope for connect/disconnect events (the owning
+  /// campaign's ordinal). Set once by the campaign before serving starts.
+  void set_flight_scope(uint16_t scope) { flight_scope_ = scope; }
+
  private:
   mutable std::mutex mu_;
   std::vector<uint8_t> connected_;
   std::vector<std::deque<WorkItem>> inbox_;
   std::vector<uint64_t> abandoned_seqs_;
   std::vector<int> disconnect_events_;
+  uint64_t delivered_ = 0;
+  uint16_t flight_scope_ = 0;
   EventHub* hub_;
 };
 

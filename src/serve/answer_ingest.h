@@ -8,6 +8,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/lifecycle.h"
+
 namespace crowdrl::serve {
 
 /// \brief Wake-up channel between annotator driver threads and the
@@ -51,6 +53,12 @@ struct CompletedAnswer {
   int object = 0;
   int annotator = 0;
   uint64_t dispatch_ns = 0;  ///< obs::NowNs() at dispatch, for latency.
+  // Answer-lifecycle trace context (DESIGN.md §15): the item IS the trace
+  // — stage timestamps ride along with it, so driver threads never touch
+  // shared lifecycle state. Stamped only when lifecycle tracing is on
+  // (0 otherwise); all *recording* happens on the pump thread at commit.
+  uint64_t deliver_ns = 0;  ///< obs::NowNs() when an annotator took it.
+  uint64_t arrive_ns = 0;   ///< obs::NowNs() when the completion arrived.
 };
 
 /// \brief MPSC arrival buffer: any number of annotator driver threads
@@ -64,9 +72,11 @@ class AnswerIngestQueue {
   explicit AnswerIngestQueue(EventHub* hub = nullptr) : hub_(hub) {}
 
   void Push(const CompletedAnswer& answer) {
+    CompletedAnswer stamped = answer;
+    if (obs::LifecycleEnabled()) stamped.arrive_ns = obs::NowNs();
     {
       std::lock_guard<std::mutex> lock(mu_);
-      buffer_.push_back(answer);
+      buffer_.push_back(stamped);
     }
     if (hub_ != nullptr) hub_->Notify();
   }

@@ -42,11 +42,25 @@ Campaign::Campaign(CampaignOptions options, const data::Dataset* dataset,
   metric_rounds_ = registry.GetCounter(MetricName(name, "rounds"));
   metric_abandoned_ = registry.GetCounter(MetricName(name, "abandoned"));
   metric_ti_swaps_ = registry.GetCounter(MetricName(name, "ti_swaps"));
+  metric_delivered_ = registry.GetCounter(MetricName(name, "delivered"));
   metric_queue_depth_ = registry.GetGauge(MetricName(name, "queue_depth"));
+  metric_inbox_depth_ = registry.GetGauge(MetricName(name, "inbox_depth"));
+  metric_connected_ = registry.GetGauge(MetricName(name, "connected"));
   metric_ti_stall_us_ =
       registry.GetGauge(MetricName(name, "ti_stall_us"));
   metric_latency_us_ = registry.GetHistogram(
       MetricName(name, "assignment_latency_us"), kLatencyBoundsUs);
+  for (size_t s = 0; s < obs::kNumLifecycleStages; ++s) {
+    const std::string stage = std::string("lifecycle.") +
+        obs::LifecycleStageName(static_cast<obs::LifecycleStage>(s));
+    metric_stage_gauges_[s].p50 =
+        registry.GetGauge(MetricName(name, (stage + ".p50_us").c_str()));
+    metric_stage_gauges_[s].p90 =
+        registry.GetGauge(MetricName(name, (stage + ".p90_us").c_str()));
+    metric_stage_gauges_[s].p99 =
+        registry.GetGauge(MetricName(name, (stage + ".p99_us").c_str()));
+  }
+  lifecycle_ = obs::LifecycleRegistry::Get().GetStats(name);
 }
 
 Campaign::~Campaign() {
@@ -54,10 +68,14 @@ Campaign::~Campaign() {
 }
 
 Status Campaign::Start() {
-  CROWDRL_CHECK(state_ == State::kNew) << "campaign already started";
+  CROWDRL_CHECK(state() == State::kNew) << "campaign already started";
   CROWDRL_RETURN_IF_ERROR(
       core::ValidateRunInputs(options_.config, *dataset_, *pool_, budget_));
   obs::ApplyOptions(options_.config.obs);
+  // Scope registration is unconditional (idempotent, just a name slot);
+  // whether events actually record stays gated on FlightEnabled().
+  flight_scope_ = obs::FlightRecorder::Get().RegisterScope(options_.name);
+  sessions_.set_flight_scope(flight_scope_);
   if (obs::Enabled() && !options_.config.obs.metrics_jsonl_path.empty()) {
     if (!metrics_writer_.Open(options_.config.obs.metrics_jsonl_path)) {
       CROWDRL_LOG(Warning) << "cannot open metrics sink "
@@ -75,6 +93,7 @@ Status Campaign::Start() {
   applied_revision_ = rs_->env.answers_revision();
   snapshot_revision_ = applied_revision_;
   state_ = State::kServing;
+  obs::RecordFlightEvent(obs::FlightEventType::kCampaignStart, flight_scope_);
   return Status::Ok();
 }
 
@@ -83,6 +102,8 @@ void Campaign::Fail(Status status) {
                        << " failed: " << status.ToString();
   status_ = std::move(status);
   state_ = State::kFailed;
+  obs::RecordFlightEvent(obs::FlightEventType::kCampaignFailed,
+                         flight_scope_);
   metrics_writer_.Flush();
   hub_->Notify();
 }
@@ -103,7 +124,21 @@ bool Campaign::PumpStep() {
   if (state_ != State::kServing) return progress;
   if (!round_active_) progress |= MaybePlanRound();
   metric_queue_depth_->Set(static_cast<double>(ingest_.ApproxDepth()));
+  if (obs::Enabled()) {
+    metric_inbox_depth_->Set(static_cast<double>(sessions_.TotalQueued()));
+    metric_connected_->Set(static_cast<double>(sessions_.num_connected()));
+    metric_delivered_->Inc(sessions_.delivered_count() -
+                           metric_delivered_->value());
+  }
   return progress;
+}
+
+void Campaign::NoteAbandoned(uint64_t seq) {
+  reorder_.Abandon(seq);
+  ++abandoned_items_;
+  metric_abandoned_->Inc();
+  obs::RecordFlightEvent(obs::FlightEventType::kItemAbandoned, flight_scope_,
+                         seq);
 }
 
 bool Campaign::ProcessSessionEvents() {
@@ -117,9 +152,7 @@ bool Campaign::ProcessSessionEvents() {
     progress = true;
   }
   for (uint64_t seq : sessions_.TakeAbandonedSeqs()) {
-    reorder_.Abandon(seq);
-    ++abandoned_items_;
-    metric_abandoned_->Inc();
+    NoteAbandoned(seq);
     progress = true;
   }
   return progress;
@@ -156,30 +189,80 @@ bool Campaign::CommitArrivals() {
       // The budget refused this pair; the rest of the round is moot.
       // Undelivered work is cancelled (seqs come back as abandoned);
       // in-flight completions still arrive and are skipped above.
+      obs::RecordFlightEvent(obs::FlightEventType::kBudgetExhausted,
+                             flight_scope_, answer.seq);
       stop_executing_ = true;
       sessions_.CancelAllQueued();
       for (uint64_t seq : sessions_.TakeAbandonedSeqs()) {
-        reorder_.Abandon(seq);
-        ++abandoned_items_;
-        metric_abandoned_->Inc();
+        NoteAbandoned(seq);
       }
       continue;
     }
     ++answers_committed_;
     metric_answers_->Inc();
     const uint64_t now = obs::NowNs();
+    last_commit_ns_.store(now, std::memory_order_relaxed);
     const double latency_us =
         static_cast<double>(now - answer.dispatch_ns) / 1000.0;
     commit_latencies_us_.push_back(latency_us);
     metric_latency_us_->Record(latency_us);
+    if (obs::LifecycleEnabled()) {
+      // The first three stage edges resolve here, entirely from stamps
+      // the item carried (monotonic clock ⇒ the deltas are well-formed
+      // whenever the stamps exist; a 0 stamp means tracing turned on
+      // mid-flight — skip the item rather than record a wild delta).
+      if (answer.deliver_ns >= answer.dispatch_ns &&
+          answer.arrive_ns >= answer.deliver_ns && answer.deliver_ns != 0 &&
+          answer.arrive_ns != 0) {
+        lifecycle_->Record(obs::LifecycleStage::kDispatchToDeliver,
+                           answer.deliver_ns - answer.dispatch_ns);
+        lifecycle_->Record(obs::LifecycleStage::kDeliverToArrive,
+                           answer.arrive_ns - answer.deliver_ns);
+        lifecycle_->Record(obs::LifecycleStage::kArriveToCommit,
+                           now - answer.arrive_ns);
+      }
+      // The observe edge closes when the reward covering this commit is
+      // handed to the agent (next plan's pending pass in sync mode, the
+      // round's revision-gated observation in async mode).
+      round_commit_ns_.push_back(now);
+    }
   }
   return progress;
+}
+
+void Campaign::RecordObserveLatencies(std::vector<uint64_t>* stamps) {
+  if (stamps->empty()) return;
+  if (obs::LifecycleEnabled()) {
+    const uint64_t now = obs::NowNs();
+    for (uint64_t t : *stamps) {
+      lifecycle_->Record(obs::LifecycleStage::kCommitToObserve,
+                         now >= t ? now - t : 0);
+    }
+  }
+  stamps->clear();
+}
+
+void Campaign::UpdateLifecycleGauges() {
+  if (!obs::LifecycleEnabled()) return;
+  for (size_t s = 0; s < obs::kNumLifecycleStages; ++s) {
+    const obs::LifecycleSample::StageSample sample = obs::SummarizeStage(
+        lifecycle_->stage(static_cast<obs::LifecycleStage>(s)));
+    metric_stage_gauges_[s].p50->Set(sample.p50_us);
+    metric_stage_gauges_[s].p90->Set(sample.p90_us);
+    metric_stage_gauges_[s].p99->Set(sample.p99_us);
+  }
 }
 
 void Campaign::FinishRound() {
   CROWDRL_CHECK(round_active_);
   round_active_ = false;
   if (options_.synchronous_inference) {
+    // The round's rewards become pending; they are observed by the next
+    // PlanIteration (or ObserveFinalPending), which closes the
+    // commit→observe edge for these stamps.
+    observe_wait_ns_.insert(observe_wait_ns_.end(), round_commit_ns_.begin(),
+                            round_commit_ns_.end());
+    round_commit_ns_.clear();
     Status s = rs_->FinishIteration(plan_, executed_);
     if (!s.ok()) {
       Fail(std::move(s));
@@ -191,11 +274,14 @@ void Campaign::FinishRound() {
     round.plan = std::move(plan_);
     round.executed = std::move(executed_);
     round.completed_revision = rs_->env.answers_revision();
+    round.commit_ns = std::move(round_commit_ns_);
+    round_commit_ns_.clear();
     unobserved_.push_back(std::move(round));
     MaybeStartInference();
   }
   ++rounds_completed_;
   metric_rounds_->Inc();
+  UpdateLifecycleGauges();
   WriteMetricsRecord();
   Status s = rs_->MaybeCheckpoint();
   if (!s.ok()) {
@@ -219,6 +305,8 @@ void Campaign::MaybeStartInference() {
   rs_->SnapshotInference(ti_job_.get());
   snapshot_revision_ = ti_job_->base_revision;
   ti_done_ = std::make_shared<std::atomic<bool>>(false);
+  obs::RecordFlightEvent(obs::FlightEventType::kTiSnapshot, flight_scope_,
+                         static_cast<uint64_t>(snapshot_revision_));
   core::TruthInferenceJob* job = ti_job_.get();
   std::shared_ptr<std::atomic<bool>> done = ti_done_;
   EventHub* hub = hub_;
@@ -249,6 +337,9 @@ bool Campaign::MaybeApplyInference() {
   ti_job_.reset();
   ++ti_swaps_;
   metric_ti_swaps_->Inc();
+  obs::RecordFlightEvent(obs::FlightEventType::kTiSwap, flight_scope_,
+                         static_cast<uint64_t>(applied_revision_),
+                         static_cast<uint64_t>(ti_swaps_.load()));
   ObserveReadyRounds();
   MaybeStartInference();
   return true;
@@ -270,6 +361,7 @@ void Campaign::ObserveReadyRounds() {
     rs_->agent.ObserveOldestPairs(round.plan.pairs.size(), rewards,
                                   rs_->MakeView(), affordable,
                                   /*terminal=*/false);
+    RecordObserveLatencies(&round.commit_ns);
     unobserved_.pop_front();
   }
 }
@@ -316,6 +408,8 @@ bool Campaign::MaybePlanRound() {
 
   core::IterationPlan plan;
   rs_->PlanIteration(&mask, /*observe_pending=*/true, &plan);
+  // Sync mode: the pending rewards (previous round) were just observed.
+  RecordObserveLatencies(&observe_wait_ns_);
   if (plan.ran && !unobserved_.empty() && !unobserved_.back().has_shared) {
     // This plan's enrichment reveals the previous round's shared r_phi
     // term (the batch loop's one-iteration reward delay).
@@ -378,10 +472,12 @@ void Campaign::FinishCampaign(const core::IterationPlan& terminal_plan) {
           round.plan.pairs.size(), rewards, rs_->MakeView(),
           rs_->env.AffordableAnnotators(),
           /*terminal=*/unobserved_.size() == 1);
+      RecordObserveLatencies(&round.commit_ns);
       unobserved_.pop_front();
     }
   }
   rs_->ObserveFinalPending();
+  RecordObserveLatencies(&observe_wait_ns_);
   Status s = rs_->Finalize(&result_);
   if (!s.ok()) {
     Fail(std::move(s));
@@ -389,14 +485,18 @@ void Campaign::FinishCampaign(const core::IterationPlan& terminal_plan) {
   }
   // Flush-on-completion: the metrics sink ends exactly at the final
   // round even if the process dies before the service shuts down.
+  UpdateLifecycleGauges();
   WriteMetricsRecord();
   metrics_writer_.Flush();
   state_ = State::kComplete;
+  obs::RecordFlightEvent(obs::FlightEventType::kCampaignComplete,
+                         flight_scope_);
   hub_->Notify();
 }
 
 Status Campaign::Drain() {
   if (state_ != State::kServing) return Status::Ok();
+  obs::RecordFlightEvent(obs::FlightEventType::kDrain, flight_scope_);
   // Flush everything that already arrived, then abandon what is still
   // out: queued inbox items and in-flight work are dropped (their late
   // completions, if any, bounce off the resolved reorder slots).
@@ -407,9 +507,7 @@ Status Campaign::Drain() {
     sessions_.CancelAllQueued();
     ProcessSessionEvents();
     for (uint64_t seq : reorder_.UnresolvedSeqs()) {
-      reorder_.Abandon(seq);
-      ++abandoned_items_;
-      metric_abandoned_->Inc();
+      NoteAbandoned(seq);
     }
     CommitArrivals();
     if (state_ != State::kServing) return status_;
@@ -445,6 +543,7 @@ Status Campaign::Drain() {
                                     rs_->MakeView(),
                                     rs_->env.AffordableAnnotators(),
                                     /*terminal=*/false);
+      RecordObserveLatencies(&round.commit_ns);
       unobserved_.pop_front();
     }
     if (!unobserved_.empty()) {
@@ -452,6 +551,8 @@ Status Campaign::Drain() {
       rs_->pending_pair_rewards =
           rs_->ComputePairRewards(round.plan.pairs, round.executed);
       rs_->has_pending = true;
+      // This round's rewards will be observed by a future resumed run, not
+      // this process — its observe edge is dropped, not fabricated.
       unobserved_.pop_front();
     }
   }
@@ -460,6 +561,11 @@ Status Campaign::Drain() {
     Fail(s);
     return s;
   }
+  // A drained campaign still owes the sink its final state: emit one last
+  // record so the JSONL's tail reflects post-drain values (counters,
+  // lifecycle quantiles), then close.
+  UpdateLifecycleGauges();
+  WriteMetricsRecord();
   metrics_writer_.Flush();
   metrics_writer_.Close();
   state_ = State::kStopped;

@@ -1,6 +1,7 @@
 #ifndef CROWDRL_SERVE_CAMPAIGN_H_
 #define CROWDRL_SERVE_CAMPAIGN_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -11,6 +12,8 @@
 
 #include "core/framework.h"
 #include "core/run_state.h"
+#include "obs/flight_recorder.h"
+#include "obs/lifecycle.h"
 #include "obs/metrics.h"
 #include "serve/annotator_session.h"
 #include "serve/answer_ingest.h"
@@ -95,10 +98,12 @@ class Campaign {
   /// config.resume picks up from that checkpoint.
   Status Drain();
 
-  State state() const { return state_; }
+  /// Thread-safe (atomic): HealthSnapshot reads it off-pump.
+  State state() const { return state_.load(std::memory_order_acquire); }
   bool done() const {
-    return state_ == State::kComplete || state_ == State::kFailed ||
-           state_ == State::kStopped;
+    const State s = state();
+    return s == State::kComplete || s == State::kFailed ||
+           s == State::kStopped;
   }
   /// Failure reason when state() == kFailed; Ok otherwise.
   const Status& status() const { return status_; }
@@ -113,17 +118,27 @@ class Campaign {
   const std::vector<core::AssignmentRecord>& assignment_log() const;
   const core::RunState& run_state() const { return *rs_; }
 
-  // Serving statistics (pump-thread values; read after done() or from the
-  // pump thread).
+  // Serving statistics. Counters are relaxed atomics updated only by the
+  // pump thread, so they are exact there and merely fresh-ish from any
+  // other thread (HealthSnapshot / watchdog active callbacks).
   size_t answers_committed() const { return answers_committed_; }
   size_t rounds_completed() const { return rounds_completed_; }
   size_t ti_swaps() const { return ti_swaps_; }
   uint64_t ti_stall_ns() const { return ti_stall_ns_; }
   size_t abandoned_items() const { return abandoned_items_; }
+  /// obs::NowNs() of the most recent committed answer (0 before the
+  /// first); the liveness signal of HealthSnapshot.
+  uint64_t last_commit_ns() const { return last_commit_ns_; }
   /// Dispatch-to-commit latency of every committed answer, microseconds.
   const std::vector<double>& commit_latencies_us() const {
     return commit_latencies_us_;
   }
+
+  /// Flight-recorder scope ordinal of this campaign (0 until Start).
+  uint16_t flight_scope() const { return flight_scope_; }
+  /// Per-stage lifecycle latency store (registered under the campaign
+  /// name; populated only while lifecycle tracing is enabled).
+  const obs::LifecycleStats& lifecycle() const { return *lifecycle_; }
 
  private:
   /// One finished-but-unobserved round (asynchronous mode): rewards wait
@@ -136,6 +151,9 @@ class Campaign {
     size_t completed_revision = 0;
     double shared = 0.0;
     bool has_shared = false;
+    /// Commit stamps of the round's answers, awaiting the observe edge
+    /// (filled only while lifecycle tracing is on).
+    std::vector<uint64_t> commit_ns;
   };
 
   void Fail(Status status);
@@ -149,6 +167,13 @@ class Campaign {
   bool MaybePlanRound();
   void FinishCampaign(const core::IterationPlan& terminal_plan);
   void WriteMetricsRecord();
+  /// Resolves one abandoned seq (reorder + stats + flight event).
+  void NoteAbandoned(uint64_t seq);
+  /// Records commit→observe latencies for `stamps` (observed now) and
+  /// clears it.
+  void RecordObserveLatencies(std::vector<uint64_t>* stamps);
+  /// Refreshes the per-stage lifecycle quantile gauges from the store.
+  void UpdateLifecycleGauges();
 
   CampaignOptions options_;
   const data::Dataset* dataset_;
@@ -158,7 +183,7 @@ class Campaign {
   EventHub* hub_;
   InferenceWorker* ti_worker_;
 
-  State state_ = State::kNew;
+  std::atomic<State> state_{State::kNew};
   Status status_;
   core::LabellingResult result_;
 
@@ -186,22 +211,46 @@ class Campaign {
   size_t snapshot_revision_ = 0;
   uint64_t stall_started_ns_ = 0;
 
-  // Serving statistics.
-  size_t answers_committed_ = 0;
-  size_t rounds_completed_ = 0;
-  size_t ti_swaps_ = 0;
-  uint64_t ti_stall_ns_ = 0;
-  size_t abandoned_items_ = 0;
+  // Serving statistics (atomic so HealthSnapshot can read them off-pump;
+  // written only by the pump thread).
+  std::atomic<size_t> answers_committed_{0};
+  std::atomic<size_t> rounds_completed_{0};
+  std::atomic<size_t> ti_swaps_{0};
+  std::atomic<uint64_t> ti_stall_ns_{0};
+  std::atomic<size_t> abandoned_items_{0};
+  std::atomic<uint64_t> last_commit_ns_{0};
   std::vector<double> commit_latencies_us_;
+
+  // Answer-lifecycle trace state (pump-thread-only; populated only while
+  // lifecycle tracing is enabled).
+  obs::LifecycleStats* lifecycle_ = nullptr;
+  /// Commit stamps of the active round (moved into the PendingRound /
+  /// observe-wait list when the round finishes).
+  std::vector<uint64_t> round_commit_ns_;
+  /// Sync mode: stamps of rounds whose rewards wait for the next
+  /// PlanIteration's pending-observe pass.
+  std::vector<uint64_t> observe_wait_ns_;
+
+  uint16_t flight_scope_ = 0;
 
   // Per-campaign metrics (crowdrl.serve.<name>.*).
   obs::Counter* metric_answers_;
   obs::Counter* metric_rounds_;
   obs::Counter* metric_abandoned_;
   obs::Counter* metric_ti_swaps_;
+  obs::Counter* metric_delivered_;
   obs::Gauge* metric_queue_depth_;
+  obs::Gauge* metric_inbox_depth_;
+  obs::Gauge* metric_connected_;
   obs::Gauge* metric_ti_stall_us_;
   obs::Histogram* metric_latency_us_;
+  /// lifecycle.<stage>.{p50,p90,p99}_us quantile gauges, per stage.
+  struct StageGauges {
+    obs::Gauge* p50;
+    obs::Gauge* p90;
+    obs::Gauge* p99;
+  };
+  std::array<StageGauges, obs::kNumLifecycleStages> metric_stage_gauges_;
   obs::MetricsJsonlWriter metrics_writer_;
 };
 

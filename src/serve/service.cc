@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "io/flight_dump.h"
+#include "util/logging.h"
+
 namespace crowdrl::serve {
 
 LabellingService::LabellingService(ServiceOptions options)
@@ -31,6 +34,25 @@ Status LabellingService::StartAll() {
     Status status = campaign->Start();
     if (!status.ok() && first.ok()) first = status;
   }
+  if (options_.watchdog.enabled && !watchdog_.running()) {
+    // One rule set per campaign over its crowdrl.serve.<name>.* metrics.
+    // The `active` callback reads the campaign's atomic state, so a
+    // finished campaign reads healthy instead of "stalled". The watchdog
+    // only reads metrics and writes health gauges — it cannot perturb
+    // scheduling (the bridge test runs with it enabled).
+    std::vector<obs::WatchdogRuleSet> rule_sets;
+    rule_sets.reserve(campaigns_.size());
+    for (auto& campaign : campaigns_) {
+      obs::WatchdogRuleSet set;
+      set.scope_name = campaign->name();
+      set.scope = campaign->flight_scope();
+      set.rules = obs::DefaultCampaignRules(campaign->name());
+      Campaign* c = campaign.get();
+      set.active = [c] { return c->state() == Campaign::State::kServing; };
+      rule_sets.push_back(std::move(set));
+    }
+    watchdog_.Start(options_.watchdog, std::move(rule_sets));
+  }
   return first;
 }
 
@@ -41,6 +63,20 @@ bool LabellingService::PumpOnce() {
       continue;
     }
     if (campaign->PumpStep()) progress = true;
+  }
+  if (!failure_dumped_ && !options_.flight_dump_on_failure.empty()) {
+    for (auto& campaign : campaigns_) {
+      if (campaign->state() != Campaign::State::kFailed) continue;
+      // First failure observed: persist the black box while its tail
+      // still explains what led here.
+      failure_dumped_ = true;
+      if (io::DumpFlightRecorder(options_.flight_dump_on_failure.c_str())) {
+        CROWDRL_LOG(Warning) << "campaign " << campaign->name()
+                             << " failed; flight recorder dumped to "
+                             << options_.flight_dump_on_failure;
+      }
+      break;
+    }
   }
   return progress;
 }
@@ -66,9 +102,32 @@ Status LabellingService::RunUntilComplete() {
   return Status::Ok();
 }
 
+ServiceHealth LabellingService::HealthSnapshot() const {
+  ServiceHealth health;
+  health.campaigns.reserve(campaigns_.size());
+  for (const auto& campaign : campaigns_) {
+    CampaignHealth c;
+    c.name = campaign->name();
+    c.state = campaign->state();
+    c.answers = campaign->answers_committed();
+    c.rounds = campaign->rounds_completed();
+    c.abandoned = campaign->abandoned_items();
+    c.ti_swaps = campaign->ti_swaps();
+    c.ti_stall_ns = campaign->ti_stall_ns();
+    c.last_commit_ns = campaign->last_commit_ns();
+    health.campaigns.push_back(std::move(c));
+  }
+  health.verdicts = watchdog_.Verdicts();
+  health.watchdog_firings = watchdog_.firings();
+  return health;
+}
+
 Status LabellingService::Shutdown() {
   if (shut_down_) return Status::Ok();
   shut_down_ = true;
+  // Stop the watchdog before draining: a drain legitimately stalls its
+  // metrics, which must not read as a dying service.
+  watchdog_.Stop();
   Status first = Status::Ok();
   for (auto& campaign : campaigns_) {
     if (campaign->state() != Campaign::State::kServing) continue;
@@ -76,6 +135,7 @@ Status LabellingService::Shutdown() {
     if (!status.ok() && first.ok()) first = status;
   }
   ti_worker_.Stop();
+  obs::RecordFlightEvent(obs::FlightEventType::kServiceShutdown);
   return first;
 }
 

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "obs/watchdog.h"
 #include "serve/answer_ingest.h"
 #include "serve/campaign.h"
 #include "serve/inference_worker.h"
@@ -21,6 +23,36 @@ struct ServiceOptions {
   /// How long an idle scheduler pass sleeps on the event hub before
   /// re-polling (annotator pushes and finished TI jobs wake it earlier).
   int64_t idle_wait_micros = 2000;
+  /// Health watchdog over the default per-campaign rule set
+  /// (obs::DefaultCampaignRules). Off by default; observes only — its
+  /// verdicts never feed back into scheduling.
+  obs::WatchdogOptions watchdog;
+  /// When non-empty, the first campaign failure observed by the pump
+  /// dumps the flight recorder here (io::DumpFlightRecorder), once per
+  /// service lifetime.
+  std::string flight_dump_on_failure;
+};
+
+/// Thread-safe point-in-time health view of one campaign (all fields are
+/// relaxed-atomic reads of pump-maintained state).
+struct CampaignHealth {
+  std::string name;
+  Campaign::State state = Campaign::State::kNew;
+  uint64_t answers = 0;
+  uint64_t rounds = 0;
+  uint64_t abandoned = 0;
+  uint64_t ti_swaps = 0;
+  uint64_t ti_stall_ns = 0;
+  uint64_t last_commit_ns = 0;  ///< 0 until the first commit.
+};
+
+/// The service's introspection surface (a future transport front-end
+/// serves this verbatim): per-campaign progress plus the watchdog's
+/// current verdicts.
+struct ServiceHealth {
+  std::vector<CampaignHealth> campaigns;
+  std::vector<obs::WatchdogVerdict> verdicts;  ///< Empty if watchdog off.
+  uint64_t watchdog_firings = 0;
 };
 
 /// \brief Multi-campaign labelling scheduler (the serve-mode entry point).
@@ -44,6 +76,10 @@ class LabellingService {
 
   LabellingService(const LabellingService&) = delete;
   LabellingService& operator=(const LabellingService&) = delete;
+
+  /// Thread-safe health view: campaign states/progress + watchdog
+  /// verdicts. Callable from any thread while the service lives.
+  ServiceHealth HealthSnapshot() const;
 
   /// Registers a campaign (kNew; call StartAll — or Start() on the
   /// returned campaign — before pumping). When the service owns a shared
@@ -81,6 +117,8 @@ class LabellingService {
   InferenceWorker ti_worker_;
   std::shared_ptr<ThreadPool> shared_pool_;
   std::vector<std::unique_ptr<Campaign>> campaigns_;
+  obs::HealthWatchdog watchdog_;
+  bool failure_dumped_ = false;
   bool shut_down_ = false;
 };
 

@@ -1,0 +1,167 @@
+// LatencyRecorder / LifecycleRegistry contract tests: geometric bucket
+// layout, interpolated-quantile accuracy (exact to one bucket width,
+// < +25%), concurrent recording, the enabled gate, and the JSON export
+// shape consumed by --lifecycle_json.
+
+#include "obs/lifecycle.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "tests/testing/mini_json.h"
+
+namespace crowdrl::obs {
+namespace {
+
+using crowdrl::testing::JsonValue;
+using crowdrl::testing::MiniJsonParser;
+
+class LifecycleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    SetLifecycle(true);
+    LifecycleRegistry::Get().ResetAll();
+  }
+  void TearDown() override {
+    LifecycleRegistry::Get().ResetAll();
+    SetLifecycle(false);
+    SetEnabled(false);
+  }
+};
+
+TEST_F(LifecycleTest, BucketBoundsAreAscendingFromOneMicrosecond) {
+  EXPECT_EQ(LatencyRecorder::BucketBoundNs(0), 1000u);
+  for (size_t i = 1; i < LatencyRecorder::kNumBounds; ++i) {
+    EXPECT_GT(LatencyRecorder::BucketBoundNs(i),
+              LatencyRecorder::BucketBoundNs(i - 1));
+  }
+}
+
+TEST_F(LifecycleTest, CountSumMaxAreExact) {
+  LatencyRecorder r;
+  r.RecordAlways(1'000);
+  r.RecordAlways(2'000);
+  r.RecordAlways(500'000);
+  EXPECT_EQ(r.count(), 3u);
+  EXPECT_EQ(r.sum_ns(), 503'000u);
+  EXPECT_EQ(r.max_ns(), 500'000u);
+  r.Reset();
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_EQ(r.max_ns(), 0u);
+  EXPECT_EQ(r.QuantileUs(0.5), 0.0);  // Empty recorder reads zero.
+}
+
+TEST_F(LifecycleTest, QuantilesAreExactToOneBucketWidth) {
+  LatencyRecorder r;
+  // 1000 samples spread uniformly over [10us, 1000us): the true p50 is
+  // ~505us, the true p99 ~990us. The geometric buckets (ratio 1.25)
+  // guarantee an estimate within one bucket width of the truth.
+  for (uint64_t i = 0; i < 1000; ++i) {
+    r.RecordAlways((10 + i * 99 / 100) * 1000);
+  }
+  const double p50 = r.QuantileUs(0.50);
+  const double p99 = r.QuantileUs(0.99);
+  EXPECT_GT(p50, 505.0 / 1.25);
+  EXPECT_LT(p50, 505.0 * 1.25);
+  EXPECT_GT(p99, 990.0 / 1.25);
+  EXPECT_LT(p99, 990.0 * 1.25);
+  EXPECT_GE(p99, p50);  // Quantiles are monotone in q.
+}
+
+TEST_F(LifecycleTest, DisabledGateRecordsNothing) {
+  LatencyRecorder r;
+  SetLifecycle(false);
+  r.Record(1'000'000);
+  EXPECT_EQ(r.count(), 0u);
+  SetLifecycle(true);
+  r.Record(1'000'000);
+  EXPECT_EQ(r.count(), 1u);
+}
+
+TEST_F(LifecycleTest, ConcurrentRecordingLosesNoSamples) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  LifecycleStats* stats = LifecycleRegistry::Get().GetStats("mt-campaign");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([stats] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        stats->Record(LifecycleStage::kArriveToCommit, 5'000 + (i & 1023));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const LatencyRecorder& r = stats->stage(LifecycleStage::kArriveToCommit);
+  EXPECT_EQ(r.count(), kThreads * kPerThread);
+  EXPECT_EQ(r.max_ns(), 5'000u + 1023u);
+}
+
+TEST_F(LifecycleTest, RegistryIsIdempotentAndStable) {
+  LifecycleStats* a = LifecycleRegistry::Get().GetStats("same");
+  LifecycleStats* b = LifecycleRegistry::Get().GetStats("same");
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(LifecycleTest, StageNamesMatchThePipelineOrder) {
+  EXPECT_STREQ(LifecycleStageName(LifecycleStage::kDispatchToDeliver),
+               "dispatch_deliver");
+  EXPECT_STREQ(LifecycleStageName(LifecycleStage::kDeliverToArrive),
+               "deliver_arrive");
+  EXPECT_STREQ(LifecycleStageName(LifecycleStage::kArriveToCommit),
+               "arrive_commit");
+  EXPECT_STREQ(LifecycleStageName(LifecycleStage::kCommitToObserve),
+               "commit_observe");
+}
+
+TEST_F(LifecycleTest, WriteJsonParsesWithAllStagesPerCampaign) {
+  LifecycleStats* stats = LifecycleRegistry::Get().GetStats("json-camp");
+  for (uint64_t i = 0; i < 100; ++i) {
+    stats->Record(LifecycleStage::kDispatchToDeliver, 10'000 + i * 100);
+    stats->Record(LifecycleStage::kArriveToCommit, 2'000);
+  }
+  const std::string path =
+      ::testing::TempDir() + "crowdrl_lifecycle_test.json";
+  ASSERT_TRUE(LifecycleRegistry::Get().WriteJson(path));
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  JsonValue root;
+  ASSERT_TRUE(MiniJsonParser::Parse(buffer.str(), &root)) << buffer.str();
+  const JsonValue& campaigns = root["campaigns"];
+  ASSERT_TRUE(campaigns.is_array());
+  const JsonValue* camp = nullptr;
+  for (const JsonValue& c : campaigns.array) {
+    if (c["name"].str == "json-camp") camp = &c;
+  }
+  ASSERT_NE(camp, nullptr);
+  const JsonValue& stages = (*camp)["stages"];
+  EXPECT_EQ(stages["dispatch_deliver"]["count"].number, 100.0);
+  EXPECT_EQ(stages["arrive_commit"]["count"].number, 100.0);
+  EXPECT_EQ(stages["deliver_arrive"]["count"].number, 0.0);
+  EXPECT_GT(stages["dispatch_deliver"]["p99_us"].number,
+            stages["dispatch_deliver"]["p50_us"].number);
+  EXPECT_EQ(stages["commit_observe"]["p50_us"].number, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(LifecycleTest, SummarizeStageOfEmptyRecorderIsAllZero) {
+  LatencyRecorder r;
+  const LifecycleSample::StageSample s = SummarizeStage(r);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean_us, 0.0);
+  EXPECT_EQ(s.p99_us, 0.0);
+  EXPECT_EQ(s.max_us, 0.0);
+}
+
+}  // namespace
+}  // namespace crowdrl::obs

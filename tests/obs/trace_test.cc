@@ -131,23 +131,54 @@ TEST_F(TraceTest, NestedSpansOrderedParentAfterChildByEndTime) {
 
 TEST_F(TraceTest, BufferCapDropsExcessEventsAndCountsThem) {
   TraceRecorder& recorder = TraceRecorder::Get();
-  // Fill this thread's buffer to its cap (1M events; bounded loop in case
-  // the cap ever grows) and verify overflow is counted, not stored.
-  const size_t kSafetyLimit = (size_t{1} << 20) + 8;
-  size_t recorded = 0;
-  while (recorder.dropped_count() == 0 && recorded < kSafetyLimit) {
-    recorder.RecordComplete("test.flood", 0, 1);
-    ++recorded;
-  }
-  ASSERT_GT(recorder.dropped_count(), 0u);
-  EXPECT_EQ(recorder.event_count(), recorded - recorder.dropped_count());
-  recorder.RecordComplete("test.flood", 0, 1);
-  EXPECT_EQ(recorder.dropped_count(), 2u);
+  MetricsRegistry::Get().ResetAll();
+  Counter* dropped_metric =
+      MetricsRegistry::Get().GetCounter("crowdrl.obs.trace_dropped");
+  recorder.SetEventCapForTesting(4);
+  for (int i = 0; i < 10; ++i) recorder.RecordComplete("test.flood", 0, 1);
+  // The first 4 are stored; the next 6 are counted, not stored.
+  EXPECT_EQ(recorder.event_count(), 4u);
+  EXPECT_EQ(recorder.dropped_count(), 6u);
+  EXPECT_EQ(dropped_metric->value(), 6u);
+
+  // The export declares its own lossiness so a half trace is never
+  // mistaken for the whole story.
+  std::string path = ::testing::TempDir() + "crowdrl_obs_trace_drop.json";
+  ASSERT_TRUE(recorder.WriteChromeTrace(path));
+  JsonValue root;
+  ASSERT_TRUE(MiniJsonParser::Parse(ReadFile(path), &root));
+  EXPECT_EQ(root["traceEvents"].array.size(), 4u);
+  ASSERT_TRUE(root.Has("dropped_events"));
+  EXPECT_EQ(root["dropped_events"].number, 6.0);
+  std::remove(path.c_str());
+
   // Clear frees the events and re-arms the cap.
   recorder.Clear();
   EXPECT_EQ(recorder.event_count(), 0u);
+  EXPECT_EQ(recorder.dropped_count(), 0u);
   recorder.RecordComplete("test.after_clear", 0, 1);
   EXPECT_EQ(recorder.event_count(), 1u);
+  recorder.SetEventCapForTesting(0);  // Restore the default cap.
+  MetricsRegistry::Get().ResetAll();
+}
+
+TEST_F(TraceTest, DropsAreCountedPerThread) {
+  TraceRecorder& recorder = TraceRecorder::Get();
+  recorder.SetEventCapForTesting(2);
+  // Each thread has its own buffer and its own cap; drops sum across
+  // threads in dropped_count().
+  std::thread t1([&recorder] {
+    for (int i = 0; i < 5; ++i) recorder.RecordComplete("test.t1", 0, 1);
+  });
+  std::thread t2([&recorder] {
+    for (int i = 0; i < 7; ++i) recorder.RecordComplete("test.t2", 0, 1);
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(recorder.event_count(), 4u);   // 2 kept per thread.
+  EXPECT_EQ(recorder.dropped_count(), 8u);  // 3 + 5 dropped.
+  recorder.Clear();
+  recorder.SetEventCapForTesting(0);
 }
 
 }  // namespace

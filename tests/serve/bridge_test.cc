@@ -75,12 +75,27 @@ enum class ServeOrder { kInOrder, kReversed, kThreadedJitter };
 //                      every round arrives maximally out of order;
 //   kThreadedJitter  — one real driver thread per annotator with random
 //                      think time, racing the pump through the MPSC queue.
-RunOutcome RunServe(const Workload& w, int agent_threads, ServeOrder order) {
-  LabellingService service;
+RunOutcome RunServe(const Workload& w, int agent_threads, ServeOrder order,
+                    bool instrumented = false) {
+  ServiceOptions service_options;
+  if (instrumented) {
+    service_options.watchdog.enabled = true;
+    service_options.watchdog.tick_micros = 1'000;
+  }
+  LabellingService service(service_options);
   CampaignOptions options;
   options.name = "bridge";
   options.config = TestConfig(agent_threads);
   options.synchronous_inference = true;
+  if (instrumented) {
+    // The whole observability stack at once: lifecycle tracing, the
+    // flight-recorder ring, and the health watchdog. None of it may
+    // perturb the run (hooks read clocks and bump atomics; answer
+    // sampling happens at commit time on the pump thread).
+    options.config.obs.enabled = true;
+    options.config.obs.lifecycle = true;
+    options.config.obs.flight_recorder = true;
+  }
   Campaign* campaign = service.AddCampaign(options, &w.dataset, &w.pool,
                                            kBudget, kSeed);
   EXPECT_TRUE(service.StartAll().ok());
@@ -189,6 +204,30 @@ TEST(ServeBridgeTest, ServeItselfIsThreadCountInvariant) {
   Workload w;
   ExpectBitIdentical(RunServe(w, /*agent_threads=*/8, ServeOrder::kReversed),
                      RunServe(w, /*agent_threads=*/1, ServeOrder::kInOrder));
+}
+
+// The observability non-perturbation contract (DESIGN.md §15): a serve
+// run with lifecycle tracing, the flight recorder, and the health
+// watchdog all enabled is byte-identical to the uninstrumented run. The
+// uninstrumented twin runs first — obs switches are process-global and
+// enable-only, so the order proves the clean baseline, then the
+// instrumented run must land on exactly the same bits.
+TEST(ServeBridgeTest, FullyInstrumentedServeMatchesUninstrumentedSingleThread) {
+  Workload w;
+  RunOutcome plain = RunServe(w, /*agent_threads=*/1, ServeOrder::kInOrder);
+  RunOutcome instrumented = RunServe(w, /*agent_threads=*/1,
+                                     ServeOrder::kInOrder,
+                                     /*instrumented=*/true);
+  ExpectBitIdentical(instrumented, plain);
+}
+
+TEST(ServeBridgeTest, FullyInstrumentedServeMatchesUninstrumentedEightThreads) {
+  Workload w;
+  RunOutcome plain = RunServe(w, /*agent_threads=*/8, ServeOrder::kReversed);
+  RunOutcome instrumented = RunServe(w, /*agent_threads=*/8,
+                                     ServeOrder::kReversed,
+                                     /*instrumented=*/true);
+  ExpectBitIdentical(instrumented, plain);
 }
 
 }  // namespace

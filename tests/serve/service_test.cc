@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/crowdrl.h"
+#include "tests/testing/mini_json.h"
 
 namespace crowdrl::serve {
 namespace {
@@ -367,6 +368,123 @@ TEST(LabellingServiceTest, MetricsSinkFlushedOnCompletion) {
   EXPECT_NE(text.find("crowdrl.serve.metered.answers"), std::string::npos);
   EXPECT_NE(text.find("crowdrl.serve.metered.rounds"), std::string::npos);
   fs::remove_all(dir);
+}
+
+// A drained (not completed) campaign must also leave a trustworthy
+// metrics trail: Drain writes one final snapshot record, so the last
+// JSONL line reflects the post-drain counters — answers actually
+// committed, rounds actually finished — not the last *round* boundary.
+TEST(LabellingServiceTest, DrainWritesFinalMetricsRecord) {
+  Workload w;
+  std::string dir = FreshDir("drain_metrics");
+  std::string metrics_path = dir + "/drain_metrics.jsonl";
+  core::CrowdRlConfig config = TestConfig();
+  config.checkpoint_dir = dir;
+  config.obs.enabled = true;
+  config.obs.metrics_jsonl_path = metrics_path;
+
+  size_t answers_at_drain = 0;
+  size_t rounds_at_drain = 0;
+  {
+    LabellingService service;
+    CampaignOptions options;
+    options.name = "drainmet";
+    options.config = config;
+    Campaign* campaign =
+        service.AddCampaign(options, &w.dataset, &w.pool, kBudget, 29);
+    ASSERT_TRUE(service.StartAll().ok());
+    campaign->sessions().ConnectAll();
+
+    size_t idle_passes = 0;
+    while (campaign->rounds_completed() < 2 && !campaign->done()) {
+      bool progress = service.PumpOnce();
+      bool served = false;
+      for (int j = 0; j < static_cast<int>(w.pool.size()); ++j) {
+        while (std::optional<WorkItem> item =
+                   campaign->sessions().RequestWork(j)) {
+          campaign->ingest().Push(*item);
+          served = true;
+        }
+      }
+      idle_passes = (progress || served) ? 0 : idle_passes + 1;
+      ASSERT_LT(idle_passes, 10000u) << "service pump wedged";
+    }
+    ASSERT_FALSE(campaign->done());
+    ASSERT_TRUE(service.Shutdown().ok());
+    EXPECT_EQ(campaign->state(), Campaign::State::kStopped);
+    answers_at_drain = campaign->answers_committed();
+    rounds_at_drain = campaign->rounds_completed();
+  }
+  ASSERT_GT(answers_at_drain, 0u);
+
+  std::ifstream in(metrics_path);
+  ASSERT_TRUE(in.good()) << "metrics sink was not written";
+  std::string line;
+  std::string last;
+  size_t records = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty()) {
+      last = line;
+      ++records;
+    }
+  }
+  ASSERT_GT(records, 0u);
+  crowdrl::testing::JsonValue root;
+  ASSERT_TRUE(crowdrl::testing::MiniJsonParser::Parse(last, &root)) << last;
+  // Drain committed what had already arrived for the open round, so the
+  // final record must carry the post-drain totals.
+  EXPECT_EQ(root["counters"]["crowdrl.serve.drainmet.answers"].number,
+            static_cast<double>(answers_at_drain));
+  EXPECT_EQ(root["counters"]["crowdrl.serve.drainmet.rounds"].number,
+            static_cast<double>(rounds_at_drain));
+  fs::remove_all(dir);
+}
+
+// HealthSnapshot exposes per-campaign liveness counters and the
+// watchdog's verdicts; on a healthy run every default rule reads clean
+// by the end.
+TEST(LabellingServiceTest, HealthSnapshotReportsCampaignsAndVerdicts) {
+  Workload w;
+  core::CrowdRlConfig config = TestConfig();
+  config.obs.enabled = true;
+  config.obs.lifecycle = true;
+  config.obs.flight_recorder = true;
+
+  ServiceOptions service_options;
+  service_options.watchdog.enabled = true;
+  service_options.watchdog.tick_micros = 1'000;
+  LabellingService service(service_options);
+  CampaignOptions options;
+  options.name = "health";
+  options.config = config;
+  Campaign* campaign =
+      service.AddCampaign(options, &w.dataset, &w.pool, kBudget, 31);
+  ASSERT_TRUE(service.StartAll().ok());
+  campaign->sessions().ConnectAll();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> drivers =
+      StartDrivers(campaign, w.pool.size(), &stop);
+  ASSERT_TRUE(service.RunUntilComplete().ok());
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : drivers) t.join();
+  ExpectCompleteAndLabelled(*campaign, w);
+
+  ServiceHealth health = service.HealthSnapshot();
+  ASSERT_EQ(health.campaigns.size(), 1u);
+  const CampaignHealth& ch = health.campaigns[0];
+  EXPECT_EQ(ch.name, "health");
+  EXPECT_EQ(ch.state, Campaign::State::kComplete);
+  EXPECT_EQ(ch.answers, campaign->answers_committed());
+  EXPECT_EQ(ch.rounds, campaign->rounds_completed());
+  EXPECT_GT(ch.last_commit_ns, 0u);
+  // One verdict per default rule; the campaign finished, so none of the
+  // stall rules may still be firing.
+  ASSERT_EQ(health.verdicts.size(), 5u);
+  for (const obs::WatchdogVerdict& v : health.verdicts) {
+    EXPECT_EQ(v.scope_name, "health");
+    EXPECT_FALSE(v.firing) << v.rule;
+  }
 }
 
 }  // namespace
